@@ -1,0 +1,105 @@
+// Shared benchmark scaffolding: the paper's run-size sweep (0.1K..102.4K
+// vertices, doubling), standard workloads (QBLAST and the synthetic spec of
+// Section 8.2), timing helpers and table printing.
+//
+// Scale note: the paper averages label/construction points over 10^3 runs
+// and query points over 10^6 queries on 2005-era hardware. We default to a
+// handful of runs and 10^5..10^6 queries, which gives stable numbers in
+// seconds; SKL_BENCH_RUNS / SKL_BENCH_MAX_SIZE environment variables scale
+// the sweep up or down.
+#ifndef SKL_BENCH_BENCH_COMMON_H_
+#define SKL_BENCH_BENCH_COMMON_H_
+
+#include <cstdio>
+#include <cstdlib>
+#include <string>
+#include <vector>
+
+#include "src/common/check.h"
+#include "src/common/stopwatch.h"
+#include "src/core/skeleton_labeler.h"
+#include "src/workload/query_generator.h"
+#include "src/workload/real_workflows.h"
+#include "src/workload/run_generator.h"
+#include "src/workload/spec_generator.h"
+
+namespace skl {
+namespace bench {
+
+inline uint32_t MaxSweepSize() {
+  if (const char* env = std::getenv("SKL_BENCH_MAX_SIZE")) {
+    return static_cast<uint32_t>(std::strtoul(env, nullptr, 10));
+  }
+  return 102400;
+}
+
+inline int RunsPerPoint() {
+  if (const char* env = std::getenv("SKL_BENCH_RUNS")) {
+    return std::atoi(env);
+  }
+  return 3;
+}
+
+/// 100, 200, ..., capped by MaxSweepSize(); the paper's 0.1K..102.4K.
+inline std::vector<uint32_t> SizeSweep() {
+  std::vector<uint32_t> sizes;
+  for (uint32_t s = 100; s <= MaxSweepSize(); s *= 2) sizes.push_back(s);
+  return sizes;
+}
+
+inline Specification QblastSpec() {
+  auto spec = BuildRealWorkflow("QBLAST");
+  SKL_CHECK_MSG(spec.ok(), spec.status().ToString().c_str());
+  return std::move(spec).value();
+}
+
+/// Section 8.2's synthetic spec: n_G=100, m_G=200, |T_G|=10, [T_G]=4.
+inline Specification SyntheticSpec(uint32_t n_g = 100, uint64_t seed = 71) {
+  SpecGenOptions opt;
+  opt.num_vertices = n_g;
+  opt.num_edges = n_g * 2;
+  opt.num_subgraphs = 9;
+  opt.depth = 4;
+  opt.seed = seed;
+  auto spec = GenerateSpecification(opt);
+  SKL_CHECK_MSG(spec.ok(), spec.status().ToString().c_str());
+  return std::move(spec).value();
+}
+
+inline GeneratedRun MakeRun(const Specification& spec, uint32_t target,
+                            uint64_t seed) {
+  RunGenerator generator(&spec);
+  RunGenOptions opt;
+  opt.target_vertices = target;
+  opt.seed = seed;
+  auto run = generator.Generate(opt);
+  SKL_CHECK_MSG(run.ok(), run.status().ToString().c_str());
+  return std::move(run).value();
+}
+
+/// Variable-width bits for one label value (paper's "average label length"
+/// is measured over the variable-size encodings).
+inline uint32_t VarBits(uint32_t value) {
+  uint32_t bits = 1;
+  while (value >>= 1) ++bits;
+  return bits;
+}
+
+inline double AverageLabelBits(const RunLabeling& labeling) {
+  double total = 0;
+  for (const RunLabel& l : labeling.labels()) {
+    total += VarBits(l.q1) + VarBits(l.q2) + VarBits(l.q3) +
+             VarBits(l.origin + 1);
+  }
+  return total / labeling.num_vertices();
+}
+
+/// Prints a header + underline.
+inline void PrintHeader(const std::string& title) {
+  std::printf("\n=== %s ===\n", title.c_str());
+}
+
+}  // namespace bench
+}  // namespace skl
+
+#endif  // SKL_BENCH_BENCH_COMMON_H_

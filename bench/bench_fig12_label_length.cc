@@ -1,0 +1,48 @@
+// Figure 12: maximum and average SKL label length versus run size for the
+// QBLAST workflow, against the 3*log2(n_R) asymptote. Expected shape:
+// logarithmic growth, maximum a small constant below 3*log2(n_R) + log2(n_G)
+// (the tight bound uses nonempty + nodes, not n_R), average within a small
+// constant of the maximum.
+#include <cmath>
+#include <cstdio>
+
+#include "bench/bench_common.h"
+
+int main() {
+  using namespace skl;
+  using namespace skl::bench;
+  Specification spec = QblastSpec();
+  SkeletonLabeler labeler(&spec, SpecSchemeKind::kTcm);
+  SKL_CHECK(labeler.Init().ok());
+
+  PrintHeader("Figure 12: Label Length for QBLAST (TCM skeleton, cost of "
+              "spec labels excluded)");
+  std::printf("%10s %10s %12s %12s %12s %12s\n", "run size", "n_T^+",
+              "max bits", "avg bits", "3log(nR)", "3log(nR)+logB");
+  const int runs = RunsPerPoint();
+  for (uint32_t target : SizeSweep()) {
+    double max_bits = 0, avg_bits = 0, nonempty = 0, n_r = 0;
+    for (int r = 0; r < runs; ++r) {
+      GeneratedRun gen = MakeRun(spec, target, target * 131 + r);
+      auto labeling = labeler.LabelRun(gen.run);
+      SKL_CHECK(labeling.ok());
+      max_bits += labeling->label_bits();
+      avg_bits += AverageLabelBits(*labeling);
+      nonempty += labeling->num_nonempty_plus();
+      n_r += gen.run.num_vertices();
+    }
+    max_bits /= runs;
+    avg_bits /= runs;
+    nonempty /= runs;
+    n_r /= runs;
+    double asym = 3 * std::log2(n_r);
+    double bound = asym + std::log2(spec.graph().num_vertices());
+    std::printf("%10.0f %10.0f %12.1f %12.1f %12.1f %12.1f\n", n_r,
+                nonempty, max_bits, avg_bits, asym, bound);
+  }
+  std::printf("\nexpected: max <= 3 ceil(log2 n_T^+) + ceil(log2 n_G), "
+              "growing logarithmically;\n"
+              "          actual max sits below the 3log(nR) dotted line of "
+              "the paper by a small constant.\n");
+  return 0;
+}

@@ -1,0 +1,52 @@
+// Figure 20: influence of specification size on query time (BFS+SKL).
+// Expected shape: larger specs are slower (the skeleton consultations do a
+// graph search over the spec); query time *decreases* with run size as more
+// queries are answered by the extended labels alone; the three curves
+// converge for large runs.
+#include <cstdio>
+
+#include "bench/bench_common.h"
+
+int main() {
+  using namespace skl;
+  using namespace skl::bench;
+  const uint32_t spec_sizes[] = {50, 100, 200};
+  std::vector<Specification> specs;
+  std::vector<std::unique_ptr<SkeletonLabeler>> labelers;
+  for (uint32_t n_g : spec_sizes) {
+    specs.push_back(SyntheticSpec(n_g, 71 + n_g));
+  }
+  for (auto& spec : specs) {
+    labelers.push_back(
+        std::make_unique<SkeletonLabeler>(&spec, SpecSchemeKind::kBfs));
+    SKL_CHECK(labelers.back()->Init().ok());
+  }
+
+  PrintHeader("Figure 20: Influence of Specification on Query Time "
+              "(BFS+SKL, ns per query)");
+  std::printf("%10s %14s %14s %14s\n", "run size", "n_G=50", "n_G=100",
+              "n_G=200");
+  const size_t kQueries = 200000;
+  for (uint32_t target : SizeSweep()) {
+    std::printf("%10u", target);
+    for (size_t i = 0; i < specs.size(); ++i) {
+      GeneratedRun gen = MakeRun(specs[i], target, target * 43 + i);
+      auto labeling = labelers[i]->LabelRun(gen.run);
+      SKL_CHECK(labeling.ok());
+      auto queries =
+          GenerateQueries(gen.run.num_vertices(), kQueries, target + i);
+      Stopwatch sw;
+      size_t sink = 0;
+      for (const auto& [u, v] : queries) sink += labeling->Reaches(u, v);
+      double ns = sw.ElapsedSeconds() * 1e9 / queries.size();
+      if (sink == SIZE_MAX) std::printf("!");
+      std::printf(" %14.1f", ns);
+    }
+    std::printf("\n");
+  }
+  std::printf("\nexpected: larger specs slower (graph search on skeleton "
+              "consultations); all three\n"
+              "          decrease with run size and converge for large "
+              "runs (paper Fig. 20).\n");
+  return 0;
+}

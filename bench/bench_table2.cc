@@ -1,0 +1,97 @@
+// Table 2: complexity comparison with amortized cost — the paper's analytic
+// table, printed alongside measured values on a concrete run so the formulas
+// can be sanity-checked empirically.
+#include <cmath>
+#include <cstdio>
+
+#include "bench/bench_common.h"
+#include "src/baseline/direct.h"
+#include "src/common/stopwatch.h"
+#include "src/speclabel/tcm.h"
+
+int main() {
+  using namespace skl;
+  using namespace skl::bench;
+  Specification spec = SyntheticSpec();
+  const double n_g = spec.graph().num_vertices();
+  const double m_g = spec.graph().num_edges();
+
+  PrintHeader("Table 2: Complexity Comparison (with amortized cost over k "
+              "runs)");
+  std::printf("%-10s | %-34s | %-26s | %-14s\n", "scheme", "label length",
+              "construction time", "query time");
+  std::printf("%-10s | %-34s | %-26s | %-14s\n", "TCM+SKL",
+              "3log nR + log nG + nG^2/(k nR)", "O(mR + nR + mG nG / k)",
+              "O(1)");
+  std::printf("%-10s | %-34s | %-26s | %-14s\n", "BFS+SKL",
+              "3log nR + log nG", "O(mR + nR)", "O(mG + nG)");
+  std::printf("%-10s | %-34s | %-26s | %-14s\n", "TCM", "nR",
+              "O(mR x nR)", "O(1)");
+  std::printf("%-10s | %-34s | %-26s | %-14s\n", "BFS", "0", "0",
+              "O(mR + nR)");
+
+  // Empirical spot check at nR = 12.8K, k = 1.
+  const uint32_t target = 12800;
+  GeneratedRun gen = MakeRun(spec, target, 2025);
+  const double n_r = gen.run.num_vertices();
+  const double m_r = gen.run.num_edges();
+
+  SkeletonLabeler tcm_labeler(&spec, SpecSchemeKind::kTcm);
+  SKL_CHECK(tcm_labeler.Init().ok());
+  SkeletonLabeler bfs_labeler(&spec, SpecSchemeKind::kBfs);
+  SKL_CHECK(bfs_labeler.Init().ok());
+
+  Stopwatch sw;
+  auto skl_labeling = tcm_labeler.LabelRun(gen.run);
+  double skl_ms = sw.ElapsedMillis();
+  SKL_CHECK(skl_labeling.ok());
+  auto bfs_labeling = bfs_labeler.LabelRun(gen.run);
+  SKL_CHECK(bfs_labeling.ok());
+
+  DirectRunLabeling tcm_direct(SpecSchemeKind::kTcm);
+  sw.Restart();
+  SKL_CHECK(tcm_direct.Build(gen.run).ok());
+  double tcm_direct_ms = sw.ElapsedMillis();
+
+  auto queries = GenerateQueries(gen.run.num_vertices(), 100000, 5);
+  auto time_queries = [&](auto&& reach) {
+    Stopwatch t;
+    size_t sink = 0;
+    for (const auto& [u, v] : queries) sink += reach(u, v);
+    (void)sink;
+    return t.ElapsedSeconds() * 1e9 / queries.size();
+  };
+  double q_tcm_skl = time_queries(
+      [&](VertexId u, VertexId v) { return skl_labeling->Reaches(u, v); });
+  double q_bfs_skl = time_queries(
+      [&](VertexId u, VertexId v) { return bfs_labeling->Reaches(u, v); });
+  double q_tcm = time_queries(
+      [&](VertexId u, VertexId v) { return tcm_direct.Reaches(u, v); });
+  DirectRunLabeling bfs_direct(SpecSchemeKind::kBfs);
+  SKL_CHECK(bfs_direct.Build(gen.run).ok());
+  Stopwatch t;
+  size_t sink = 0;
+  for (size_t i = 0; i < 1000; ++i) {
+    sink += bfs_direct.Reaches(queries[i].first, queries[i].second);
+  }
+  (void)sink;
+  double q_bfs = t.ElapsedSeconds() * 1e9 / 1000;
+
+  std::printf("\nempirical check at n_R=%.0f, m_R=%.0f, n_G=%.0f, m_G=%.0f, "
+              "k=1:\n", n_r, m_r, n_g, m_g);
+  std::printf("  TCM+SKL: %u-bit labels (+%.0f amortized), built in %.2f "
+              "ms, %.0f ns/query\n",
+              skl_labeling->label_bits(), n_g * n_g / n_r, skl_ms,
+              q_tcm_skl);
+  std::printf("  BFS+SKL: %u-bit labels, %.0f ns/query\n",
+              bfs_labeling->label_bits(), q_bfs_skl);
+  std::printf("  TCM    : %.0f-bit labels, built in %.2f ms, %.0f "
+              "ns/query\n", n_r, tcm_direct_ms, q_tcm);
+  std::printf("  BFS    : 0-bit labels, no construction, %.0f ns/query\n",
+              q_bfs);
+  std::printf("\nexpected: the measured ordering matches the table "
+              "(SKL label ~ a few dozen bits vs nR bits for\n"
+              "          TCM; SKL construction linear vs polynomial; BFS "
+              "queries slower by orders of magnitude).\n");
+  return 0;
+}

@@ -1,0 +1,100 @@
+// Provenance audit over a bioinformatics-style workflow (Section 6 usage).
+//
+// Scenario: a QBLAST-like pipeline ran with hundreds of module executions.
+// Quality control flags one module execution as faulty; the analyst needs
+// (a) every data item downstream of the faulty execution (to invalidate),
+// and (b) the upstream executions that a chosen final item depended on
+// (to re-examine inputs). Both are answered from labels alone — no graph
+// traversal over the run.
+//
+//   $ ./provenance_audit [target_run_size]
+#include <cstdio>
+#include <cstdlib>
+#include <vector>
+
+#include "src/common/stopwatch.h"
+#include "src/core/data_provenance.h"
+#include "src/core/skeleton_labeler.h"
+#include "src/workload/data_generator.h"
+#include "src/workload/real_workflows.h"
+#include "src/workload/run_generator.h"
+
+using namespace skl;  // NOLINT: example brevity
+
+int main(int argc, char** argv) {
+  uint32_t target = argc > 1 ? static_cast<uint32_t>(
+                                   std::strtoul(argv[1], nullptr, 10))
+                             : 2000;
+  auto spec = BuildRealWorkflow("QBLAST");
+  if (!spec.ok()) {
+    std::fprintf(stderr, "%s\n", spec.status().ToString().c_str());
+    return 1;
+  }
+  std::printf("QBLAST-like specification: %u modules, %zu channels\n",
+              spec->graph().num_vertices(), spec->graph().num_edges());
+
+  RunGenerator generator(&spec.value());
+  RunGenOptions ropt;
+  ropt.target_vertices = target;
+  ropt.seed = 2024;
+  auto gen = generator.Generate(ropt);
+  if (!gen.ok()) {
+    std::fprintf(stderr, "%s\n", gen.status().ToString().c_str());
+    return 1;
+  }
+  const Run& run = gen->run;
+  std::printf("simulated run: %u executions, %zu channels\n",
+              run.num_vertices(), run.num_edges());
+
+  SkeletonLabeler labeler(&spec.value(), SpecSchemeKind::kTcm);
+  if (!labeler.Init().ok()) return 1;
+  Stopwatch sw;
+  auto labeling = labeler.LabelRun(run);
+  if (!labeling.ok()) {
+    std::fprintf(stderr, "%s\n", labeling.status().ToString().c_str());
+    return 1;
+  }
+  std::printf("labeled in %.2f ms (%u-bit labels)\n\n", sw.ElapsedMillis(),
+              labeling->label_bits());
+
+  DataGenOptions dopt;
+  dopt.seed = 7;
+  DataCatalog catalog = GenerateDataCatalog(run, dopt);
+  auto dp = DataProvenance::Build(&labeling.value(), catalog);
+  if (!dp.ok()) return 1;
+  std::printf("data catalog: %zu items (max %zu readers per item)\n\n",
+              catalog.size(), catalog.MaxInputs());
+
+  // (a) Faulty execution: pick a mid-run vertex; find all affected items.
+  VertexId faulty = run.num_vertices() / 2;
+  sw.Restart();
+  size_t affected = 0;
+  for (DataItemId x = 0; x < catalog.size(); ++x) {
+    if (dp->DataDependsOnModule(x, faulty)) ++affected;
+  }
+  std::printf("fault audit: execution #%u ('%s') taints %zu/%zu items "
+              "(%.2f ms via labels)\n",
+              faulty, run.ModuleNameOf(faulty).c_str(), affected,
+              catalog.size(), sw.ElapsedMillis());
+
+  // (b) Root-cause: which executions fed the last item written?
+  DataItemId last = static_cast<DataItemId>(catalog.size() - 1);
+  sw.Restart();
+  size_t contributors = 0;
+  for (VertexId v = 0; v < run.num_vertices(); ++v) {
+    if (dp->DataDependsOnModule(last, v)) ++contributors;
+  }
+  std::printf("root cause: item #%u depends on %zu/%u executions "
+              "(%.2f ms via labels)\n",
+              last, contributors, run.num_vertices(), sw.ElapsedMillis());
+
+  // (c) Item-to-item dependency spot checks.
+  size_t deps = 0;
+  const size_t sample = std::min<size_t>(catalog.size(), 200);
+  for (DataItemId x = 0; x < sample; ++x) {
+    if (dp->DependsOn(last, x)) ++deps;
+  }
+  std::printf("lineage: item #%u depends on %zu of the first %zu items\n",
+              last, deps, sample);
+  return 0;
+}

@@ -1,0 +1,63 @@
+// Scaling demonstration: labels a sweep of run sizes (0.1K..25.6K vertices
+// by default) against one fixed specification and prints label length,
+// construction time and mean query latency — a miniature of the paper's
+// Figures 12-14 that runs in a couple of seconds.
+//
+//   $ ./scaling_demo [max_vertices]
+#include <cstdio>
+#include <cstdlib>
+
+#include "src/common/stopwatch.h"
+#include "src/core/skeleton_labeler.h"
+#include "src/workload/query_generator.h"
+#include "src/workload/real_workflows.h"
+#include "src/workload/run_generator.h"
+
+using namespace skl;  // NOLINT: example brevity
+
+int main(int argc, char** argv) {
+  uint32_t max_vertices =
+      argc > 1 ? static_cast<uint32_t>(std::strtoul(argv[1], nullptr, 10))
+               : 25600;
+  auto spec = BuildRealWorkflow("QBLAST");
+  if (!spec.ok()) {
+    std::fprintf(stderr, "%s\n", spec.status().ToString().c_str());
+    return 1;
+  }
+  SkeletonLabeler labeler(&spec.value(), SpecSchemeKind::kTcm);
+  if (!labeler.Init().ok()) return 1;
+  RunGenerator generator(&spec.value());
+
+  std::printf("%10s %10s %12s %14s %12s\n", "run size", "edges",
+              "label bits", "construct ms", "query ns");
+  for (uint32_t target = 100; target <= max_vertices; target *= 2) {
+    RunGenOptions ropt;
+    ropt.target_vertices = target;
+    ropt.seed = target;
+    auto gen = generator.Generate(ropt);
+    if (!gen.ok()) {
+      std::fprintf(stderr, "%s\n", gen.status().ToString().c_str());
+      return 1;
+    }
+    Stopwatch sw;
+    auto labeling = labeler.LabelRun(gen->run);
+    double construct_ms = sw.ElapsedMillis();
+    if (!labeling.ok()) {
+      std::fprintf(stderr, "%s\n", labeling.status().ToString().c_str());
+      return 1;
+    }
+    auto queries =
+        GenerateQueries(gen->run.num_vertices(), 100000, target + 1);
+    sw.Restart();
+    size_t positive = 0;
+    for (const auto& [u, v] : queries) {
+      positive += labeling->Reaches(u, v) ? 1 : 0;
+    }
+    double query_ns = sw.ElapsedSeconds() * 1e9 / queries.size();
+    std::printf("%10u %10zu %12u %14.2f %12.1f   (%zu%% reachable)\n",
+                gen->run.num_vertices(), gen->run.num_edges(),
+                labeling->label_bits(), construct_ms, query_ns,
+                positive * 100 / queries.size());
+  }
+  return 0;
+}

@@ -1,0 +1,141 @@
+// sklctl: command-line front end over the XML formats.
+//
+//   sklctl demo-spec > spec.xml          write the running-example spec
+//   sklctl demo-run spec.xml > run.xml   simulate a run of a spec
+//   sklctl validate spec.xml run.xml     conformance-check a run
+//   sklctl label spec.xml run.xml        label and answer stdin queries
+//                                        ("<from-id> <to-id>" per line)
+//   sklctl stats spec.xml run.xml        print plan/label statistics
+#include <cstdio>
+#include <cstring>
+#include <fstream>
+#include <iostream>
+#include <sstream>
+#include <string>
+
+#include "src/core/plan_builder.h"
+#include "src/core/skeleton_labeler.h"
+#include "src/io/workflow_xml.h"
+#include "src/workload/real_workflows.h"
+#include "src/workload/run_generator.h"
+
+using namespace skl;  // NOLINT: example brevity
+
+namespace {
+
+int Fail(const Status& st) {
+  std::fprintf(stderr, "error: %s\n", st.ToString().c_str());
+  return 1;
+}
+
+Result<std::string> ReadFile(const char* path) {
+  std::ifstream in(path);
+  if (!in) return Status::NotFound(std::string("cannot open ") + path);
+  std::ostringstream buf;
+  buf << in.rdbuf();
+  return buf.str();
+}
+
+Result<Specification> LoadSpec(const char* path) {
+  SKL_ASSIGN_OR_RETURN(std::string xml, ReadFile(path));
+  return ReadSpecificationXml(xml);
+}
+
+Result<Run> LoadRun(const char* path) {
+  SKL_ASSIGN_OR_RETURN(std::string xml, ReadFile(path));
+  return ReadRunXml(xml);
+}
+
+int Usage() {
+  std::fprintf(stderr,
+               "usage: sklctl demo-spec\n"
+               "       sklctl demo-run <spec.xml> [target_size] [seed]\n"
+               "       sklctl validate <spec.xml> <run.xml>\n"
+               "       sklctl label <spec.xml> <run.xml>\n"
+               "       sklctl stats <spec.xml> <run.xml>\n");
+  return 2;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  if (argc < 2) return Usage();
+  const std::string cmd = argv[1];
+
+  if (cmd == "demo-spec") {
+    auto spec = BuildRunningExampleSpec();
+    if (!spec.ok()) return Fail(spec.status());
+    std::fputs(WriteSpecificationXml(*spec).c_str(), stdout);
+    return 0;
+  }
+
+  if (cmd == "demo-run") {
+    if (argc < 3) return Usage();
+    auto spec = LoadSpec(argv[2]);
+    if (!spec.ok()) return Fail(spec.status());
+    RunGenerator generator(&spec.value());
+    RunGenOptions opt;
+    opt.target_vertices =
+        argc > 3 ? static_cast<uint32_t>(std::strtoul(argv[3], nullptr, 10))
+                 : 100;
+    opt.seed = argc > 4 ? std::strtoull(argv[4], nullptr, 10) : 1;
+    auto gen = generator.Generate(opt);
+    if (!gen.ok()) return Fail(gen.status());
+    std::fputs(WriteRunXml(gen->run).c_str(), stdout);
+    return 0;
+  }
+
+  if (cmd == "validate" || cmd == "label" || cmd == "stats") {
+    if (argc < 4) return Usage();
+    auto spec = LoadSpec(argv[2]);
+    if (!spec.ok()) return Fail(spec.status());
+    auto run = LoadRun(argv[3]);
+    if (!run.ok()) return Fail(run.status());
+
+    auto recovered = ConstructPlan(*spec, *run);
+    if (cmd == "validate") {
+      if (!recovered.ok()) {
+        std::printf("NOT CONFORMING: %s\n",
+                    recovered.status().ToString().c_str());
+        return 1;
+      }
+      std::printf("OK: run conforms to the specification\n");
+      return 0;
+    }
+    if (!recovered.ok()) return Fail(recovered.status());
+
+    SkeletonLabeler labeler(&spec.value(), SpecSchemeKind::kTcm);
+    if (Status st = labeler.Init(); !st.ok()) return Fail(st);
+    auto labeling = labeler.LabelRunWithPlan(*run, recovered->plan,
+                                             recovered->origin);
+    if (!labeling.ok()) return Fail(labeling.status());
+
+    if (cmd == "stats") {
+      std::printf("run vertices:        %u\n", run->num_vertices());
+      std::printf("run edges:           %zu\n", run->num_edges());
+      std::printf("plan nodes:          %zu\n", recovered->plan.num_nodes());
+      std::printf("nonempty + nodes:    %u\n",
+                  labeling->num_nonempty_plus());
+      std::printf("bits per label:      %u (3x%u context + %u origin)\n",
+                  labeling->label_bits(), labeling->context_bits() / 3,
+                  labeling->origin_bits());
+      return 0;
+    }
+    // label: answer "<from> <to>" queries from stdin.
+    std::string line;
+    while (std::getline(std::cin, line)) {
+      if (line.empty() || line[0] == '#') continue;
+      std::istringstream iss(line);
+      VertexId u, v;
+      if (!(iss >> u >> v) || u >= run->num_vertices() ||
+          v >= run->num_vertices()) {
+        std::printf("? bad query: %s\n", line.c_str());
+        continue;
+      }
+      std::printf("%u -> %u : %s\n", u, v,
+                  labeling->Reaches(u, v) ? "reachable" : "unreachable");
+    }
+    return 0;
+  }
+  return Usage();
+}

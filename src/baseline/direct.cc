@@ -1,0 +1,4 @@
+#include "src/baseline/direct.h"
+
+// Header-only logic; this translation unit pins the vtable-ish pieces and
+// keeps the build layout uniform (one .cc per module).

@@ -1,0 +1,35 @@
+// Baselines that label the run graph directly, ignoring the specification:
+// TCM-on-run and BFS-on-run (the paper's comparison points in Figures 15-17).
+// Any SpecLabelingScheme works, since those schemes operate on plain DAGs.
+#ifndef SKL_BASELINE_DIRECT_H_
+#define SKL_BASELINE_DIRECT_H_
+
+#include <memory>
+
+#include "src/common/status.h"
+#include "src/speclabel/scheme.h"
+#include "src/workflow/run.h"
+
+namespace skl {
+
+/// A reachability index built directly over one run.
+class DirectRunLabeling {
+ public:
+  explicit DirectRunLabeling(SpecSchemeKind kind)
+      : scheme_(CreateSpecScheme(kind)) {}
+
+  Status Build(const Run& run) { return scheme_->Build(run.graph()); }
+
+  bool Reaches(VertexId u, VertexId v) const {
+    return scheme_->Reaches(u, v);
+  }
+
+  const SpecLabelingScheme& scheme() const { return *scheme_; }
+
+ private:
+  std::unique_ptr<SpecLabelingScheme> scheme_;
+};
+
+}  // namespace skl
+
+#endif  // SKL_BASELINE_DIRECT_H_

@@ -1,0 +1,91 @@
+#include "src/baseline/tree_transform.h"
+
+#include <algorithm>
+
+#include "src/common/bit_codec.h"
+#include "src/graph/algorithms.h"
+
+namespace skl {
+
+Status TreeTransformLabeling::Build(const Digraph& g) {
+  auto sources = Sources(g);
+  if (sources.size() != 1) {
+    return Status::InvalidArgument("tree transform requires a single source");
+  }
+  if (!IsAcyclic(g)) {
+    return Status::InvalidArgument("tree transform requires a DAG");
+  }
+  num_vertices_ = g.num_vertices();
+  occurrences_.assign(num_vertices_, {});
+  first_pre_.assign(num_vertices_, 0);
+  first_max_.assign(num_vertices_, 0);
+  tree_size_ = 0;
+
+  struct Frame {
+    VertexId vertex;
+    size_t child = 0;
+    uint32_t pre = 0;
+    uint32_t max_pre = 0;
+    bool is_first = false;
+  };
+  std::vector<Frame> stack;
+  uint32_t counter = 0;
+
+  auto push = [&](VertexId v) -> Status {
+    if (++tree_size_ > max_tree_nodes_) {
+      return Status::CapacityExceeded(
+          "unfolded tree exceeds the configured node cap (" +
+          std::to_string(max_tree_nodes_) + ")");
+    }
+    Frame f;
+    f.vertex = v;
+    f.pre = counter++;
+    f.max_pre = f.pre;
+    f.is_first = occurrences_[v].empty();
+    occurrences_[v].push_back(f.pre);
+    stack.push_back(f);
+    return Status::OK();
+  };
+
+  SKL_RETURN_NOT_OK(push(sources[0]));
+  while (!stack.empty()) {
+    Frame& f = stack.back();
+    auto kids = g.OutNeighbors(f.vertex);
+    if (f.child < kids.size()) {
+      VertexId c = kids[f.child++];
+      SKL_RETURN_NOT_OK(push(c));
+    } else {
+      if (f.is_first) {
+        first_pre_[f.vertex] = f.pre;
+        first_max_[f.vertex] = f.max_pre;
+      }
+      uint32_t done_max = f.max_pre;
+      stack.pop_back();
+      if (!stack.empty()) {
+        stack.back().max_pre = std::max(stack.back().max_pre, done_max);
+      }
+    }
+  }
+  // Occurrence lists are filled in preorder, hence already sorted.
+  return Status::OK();
+}
+
+bool TreeTransformLabeling::Reaches(VertexId u, VertexId v) const {
+  if (u == v) return true;
+  uint32_t lo = first_pre_[u];
+  uint32_t hi = first_max_[u];
+  const auto& occ = occurrences_[v];
+  auto it = std::lower_bound(occ.begin(), occ.end(), lo);
+  return it != occ.end() && *it <= hi;
+}
+
+size_t TreeTransformLabeling::TotalLabelBits() const {
+  size_t bits_per = BitsForCount(tree_size_ + 1);
+  size_t total = 0;
+  for (const auto& occ : occurrences_) {
+    total += (occ.size() + 1) * bits_per;  // occurrences + one subtree bound
+  }
+  return total;
+}
+
+}  // namespace skl

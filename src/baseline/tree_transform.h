@@ -1,0 +1,53 @@
+// Tree-transform baseline in the style of Heinis & Alonso (SIGMOD'08) [8]:
+// unfold the run DAG into a tree by duplicating every vertex once per
+// distinct root path prefix, interval-label the tree, and answer u ~> v by
+// checking whether any occurrence of v falls inside the interval of u's
+// first occurrence. Correct, constant-ish query time, but the unfolded tree
+// can be exponentially larger than the DAG — which is exactly the weakness
+// the paper's Section 2 points out and our ablation quantifies. A node cap
+// turns the blow-up into a CapacityExceeded error instead of an OOM.
+#ifndef SKL_BASELINE_TREE_TRANSFORM_H_
+#define SKL_BASELINE_TREE_TRANSFORM_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "src/common/status.h"
+#include "src/graph/digraph.h"
+#include "src/workflow/run.h"
+
+namespace skl {
+
+class TreeTransformLabeling {
+ public:
+  /// `max_tree_nodes` caps the unfolding (default 8M).
+  explicit TreeTransformLabeling(size_t max_tree_nodes = size_t{8} << 20)
+      : max_tree_nodes_(max_tree_nodes) {}
+
+  /// Unfolds and labels. Requires a single-source DAG (true for runs).
+  Status Build(const Digraph& g);
+  Status Build(const Run& run) { return Build(run.graph()); }
+
+  /// Reflexive reachability.
+  bool Reaches(VertexId u, VertexId v) const;
+
+  /// Size of the unfolded tree (the blow-up factor's numerator).
+  size_t tree_size() const { return tree_size_; }
+  /// Total label bits: every occurrence stores one preorder number, plus one
+  /// subtree bound for the first occurrence.
+  size_t TotalLabelBits() const;
+
+ private:
+  size_t max_tree_nodes_ = 0;
+  size_t tree_size_ = 0;
+  VertexId num_vertices_ = 0;
+  /// Sorted preorder numbers of each vertex's tree occurrences.
+  std::vector<std::vector<uint32_t>> occurrences_;
+  /// Interval [pre, max_pre] of the first occurrence.
+  std::vector<uint32_t> first_pre_;
+  std::vector<uint32_t> first_max_;
+};
+
+}  // namespace skl
+
+#endif  // SKL_BASELINE_TREE_TRANSFORM_H_

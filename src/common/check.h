@@ -1,0 +1,36 @@
+// Internal invariant checks. These abort on failure and are reserved for
+// programmer errors (violated preconditions inside the library); recoverable
+// conditions use Status instead.
+#ifndef SKL_COMMON_CHECK_H_
+#define SKL_COMMON_CHECK_H_
+
+#include <cstdio>
+#include <cstdlib>
+
+#define SKL_CHECK(cond)                                                   \
+  do {                                                                    \
+    if (!(cond)) {                                                        \
+      std::fprintf(stderr, "SKL_CHECK failed at %s:%d: %s\n", __FILE__,   \
+                   __LINE__, #cond);                                      \
+      std::abort();                                                       \
+    }                                                                     \
+  } while (0)
+
+#define SKL_CHECK_MSG(cond, msg)                                          \
+  do {                                                                    \
+    if (!(cond)) {                                                        \
+      std::fprintf(stderr, "SKL_CHECK failed at %s:%d: %s (%s)\n",        \
+                   __FILE__, __LINE__, #cond, msg);                       \
+      std::abort();                                                       \
+    }                                                                     \
+  } while (0)
+
+#ifndef NDEBUG
+#define SKL_DCHECK(cond) SKL_CHECK(cond)
+#else
+#define SKL_DCHECK(cond) \
+  do {                   \
+  } while (0)
+#endif
+
+#endif  // SKL_COMMON_CHECK_H_

@@ -1,0 +1,77 @@
+#include "src/common/random.h"
+
+#include <cmath>
+
+#include "src/common/check.h"
+
+namespace skl {
+
+uint64_t SplitMix64(uint64_t* state) {
+  uint64_t z = (*state += 0x9e3779b97f4a7c15ULL);
+  z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+  z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
+  return z ^ (z >> 31);
+}
+
+namespace {
+inline uint64_t Rotl(uint64_t x, int k) { return (x << k) | (x >> (64 - k)); }
+}  // namespace
+
+Rng::Rng(uint64_t seed) {
+  uint64_t sm = seed;
+  for (auto& s : s_) s = SplitMix64(&sm);
+}
+
+uint64_t Rng::Next() {
+  const uint64_t result = Rotl(s_[1] * 5, 7) * 9;
+  const uint64_t t = s_[1] << 17;
+  s_[2] ^= s_[0];
+  s_[3] ^= s_[1];
+  s_[1] ^= s_[2];
+  s_[0] ^= s_[3];
+  s_[2] ^= t;
+  s_[3] = Rotl(s_[3], 45);
+  return result;
+}
+
+uint64_t Rng::NextBelow(uint64_t bound) {
+  SKL_DCHECK(bound > 0);
+  // Lemire-style rejection-free-enough multiply-shift; bias is negligible for
+  // our bound sizes but we reject the short tail anyway for determinism.
+  uint64_t threshold = (0 - bound) % bound;
+  for (;;) {
+    uint64_t r = Next();
+    if (r >= threshold) return r % bound;
+  }
+}
+
+int64_t Rng::NextInRange(int64_t lo, int64_t hi) {
+  SKL_DCHECK(lo <= hi);
+  return lo + static_cast<int64_t>(
+                  NextBelow(static_cast<uint64_t>(hi - lo) + 1));
+}
+
+double Rng::NextDouble() {
+  return static_cast<double>(Next() >> 11) * 0x1.0p-53;
+}
+
+bool Rng::NextBool(double p) {
+  if (p <= 0.0) return false;
+  if (p >= 1.0) return true;
+  return NextDouble() < p;
+}
+
+uint32_t Rng::NextCount(double mean) {
+  if (mean <= 1.0) return 1;
+  // Geometric distribution on {1,2,...} with the requested mean:
+  // success probability q = 1/mean.
+  double q = 1.0 / mean;
+  double u = NextDouble();
+  // Inverse CDF; clamp to avoid pathological counts from tiny u.
+  double k = std::floor(std::log1p(-u) / std::log1p(-q)) + 1.0;
+  if (k < 1.0) k = 1.0;
+  if (k > 1e6) k = 1e6;
+  return static_cast<uint32_t>(k);
+}
+
+}  // namespace skl

@@ -1,0 +1,107 @@
+// Status and Result<T>: exception-free error propagation in the style of
+// RocksDB/Arrow. Core library code returns Status (or Result<T>) instead of
+// throwing; SKL_CHECK-style macros are reserved for programmer errors.
+#ifndef SKL_COMMON_STATUS_H_
+#define SKL_COMMON_STATUS_H_
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <utility>
+
+namespace skl {
+
+/// Error category carried by a Status.
+enum class StatusCode : uint8_t {
+  kOk = 0,
+  kInvalidArgument = 1,   ///< Caller passed a malformed value.
+  kInvalidSpecification = 2,  ///< Definitions 1-3 violated (model errors).
+  kInvalidRun = 3,        ///< Run graph does not conform to its specification.
+  kNotFound = 4,          ///< Lookup failed (module name, vertex, data item).
+  kParseError = 5,        ///< Serialization input is malformed.
+  kCapacityExceeded = 6,  ///< A configured limit (e.g. tree blow-up cap) hit.
+  kInternal = 7,          ///< Invariant broken inside the library.
+};
+
+/// Human-readable name of a status code (e.g. "InvalidSpecification").
+const char* StatusCodeName(StatusCode code);
+
+/// A cheap, movable success-or-error value. OK carries no allocation.
+class Status {
+ public:
+  /// Constructs an OK status.
+  Status() = default;
+
+  /// Constructs a status with the given code and message.
+  Status(StatusCode code, std::string message);
+
+  static Status OK() { return Status(); }
+  static Status InvalidArgument(std::string msg);
+  static Status InvalidSpecification(std::string msg);
+  static Status InvalidRun(std::string msg);
+  static Status NotFound(std::string msg);
+  static Status ParseError(std::string msg);
+  static Status CapacityExceeded(std::string msg);
+  static Status Internal(std::string msg);
+
+  bool ok() const { return code_ == StatusCode::kOk; }
+  StatusCode code() const { return code_; }
+  const std::string& message() const { return message_; }
+
+  /// "OK" or "<CodeName>: <message>".
+  std::string ToString() const;
+
+ private:
+  StatusCode code_ = StatusCode::kOk;
+  std::string message_;
+};
+
+/// Result<T>: either a value or an error Status. Modeled after
+/// arrow::Result; intentionally minimal (no implicit conversions beyond
+/// value/status construction).
+template <typename T>
+class Result {
+ public:
+  /// Constructs an errored result. `status` must not be OK.
+  Result(Status status) : status_(std::move(status)) {}  // NOLINT(runtime/explicit)
+  /// Constructs a successful result holding `value`.
+  Result(T value) : value_(std::move(value)) {}  // NOLINT(runtime/explicit)
+
+  bool ok() const { return value_.has_value(); }
+  const Status& status() const { return status_; }
+
+  /// Value access. Precondition: ok().
+  const T& value() const& { return *value_; }
+  T& value() & { return *value_; }
+  T&& value() && { return std::move(*value_); }
+
+  const T& operator*() const& { return *value_; }
+  T& operator*() & { return *value_; }
+  const T* operator->() const { return &*value_; }
+  T* operator->() { return &*value_; }
+
+ private:
+  Status status_;
+  std::optional<T> value_;
+};
+
+}  // namespace skl
+
+/// Propagates a non-OK Status from the current function.
+#define SKL_RETURN_NOT_OK(expr)                  \
+  do {                                           \
+    ::skl::Status _st = (expr);                  \
+    if (!_st.ok()) return _st;                   \
+  } while (0)
+
+/// Evaluates a Result expression, propagating the error or binding the value.
+#define SKL_ASSIGN_OR_RETURN(lhs, expr)          \
+  auto SKL_CONCAT_(_res_, __LINE__) = (expr);    \
+  if (!SKL_CONCAT_(_res_, __LINE__).ok())        \
+    return SKL_CONCAT_(_res_, __LINE__).status();\
+  lhs = std::move(SKL_CONCAT_(_res_, __LINE__)).value()
+
+#define SKL_CONCAT_(a, b) SKL_CONCAT_IMPL_(a, b)
+#define SKL_CONCAT_IMPL_(a, b) a##b
+
+#endif  // SKL_COMMON_STATUS_H_

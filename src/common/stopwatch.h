@@ -1,0 +1,35 @@
+// Monotonic wall-clock stopwatch for benchmarks and construction-time
+// reporting.
+#ifndef SKL_COMMON_STOPWATCH_H_
+#define SKL_COMMON_STOPWATCH_H_
+
+#include <chrono>
+
+namespace skl {
+
+class Stopwatch {
+ public:
+  Stopwatch() : start_(Clock::now()) {}
+
+  /// Resets the epoch to now.
+  void Restart() { start_ = Clock::now(); }
+
+  /// Elapsed seconds since construction or the last Restart().
+  double ElapsedSeconds() const {
+    return std::chrono::duration<double>(Clock::now() - start_).count();
+  }
+
+  /// Elapsed milliseconds.
+  double ElapsedMillis() const { return ElapsedSeconds() * 1e3; }
+
+  /// Elapsed microseconds.
+  double ElapsedMicros() const { return ElapsedSeconds() * 1e6; }
+
+ private:
+  using Clock = std::chrono::steady_clock;
+  Clock::time_point start_;
+};
+
+}  // namespace skl
+
+#endif  // SKL_COMMON_STOPWATCH_H_

@@ -1,0 +1,88 @@
+#include "src/core/data_provenance.h"
+
+#include <algorithm>
+
+namespace skl {
+
+DataItemId DataCatalog::AddItem(VertexId output) {
+  outputs_.push_back(output);
+  inputs_.emplace_back();
+  return static_cast<DataItemId>(outputs_.size() - 1);
+}
+
+Status DataCatalog::AddFlow(DataItemId item, VertexId writer,
+                            VertexId reader) {
+  if (item >= outputs_.size()) {
+    return Status::InvalidArgument("unknown data item");
+  }
+  if (outputs_[item] != writer) {
+    return Status::InvalidArgument(
+        "data item written by two different modules");
+  }
+  auto& readers = inputs_[item];
+  if (std::find(readers.begin(), readers.end(), reader) == readers.end()) {
+    readers.push_back(reader);
+  }
+  return Status::OK();
+}
+
+size_t DataCatalog::MaxInputs() const {
+  size_t k = 0;
+  for (const auto& readers : inputs_) k = std::max(k, readers.size());
+  return k;
+}
+
+Result<DataProvenance> DataProvenance::Build(const RunLabeling* labeling,
+                                             const DataCatalog& catalog) {
+  if (labeling == nullptr) {
+    return Status::InvalidArgument("null labeling");
+  }
+  DataProvenance dp;
+  dp.labeling_ = labeling;
+  dp.output_labels_.reserve(catalog.size());
+  dp.input_labels_.reserve(catalog.size());
+  for (DataItemId x = 0; x < catalog.size(); ++x) {
+    VertexId out = catalog.OutputOf(x);
+    if (out >= labeling->num_vertices()) {
+      return Status::InvalidArgument("data item writer outside the run");
+    }
+    dp.output_labels_.push_back(labeling->label(out));
+    std::vector<RunLabel> readers;
+    readers.reserve(catalog.InputsOf(x).size());
+    for (VertexId v : catalog.InputsOf(x)) {
+      if (v >= labeling->num_vertices()) {
+        return Status::InvalidArgument("data item reader outside the run");
+      }
+      readers.push_back(labeling->label(v));
+    }
+    dp.input_labels_.push_back(std::move(readers));
+  }
+  return dp;
+}
+
+bool DataProvenance::DependsOn(DataItemId x, DataItemId x_from) const {
+  const RunLabel& out = output_labels_[x];
+  for (const RunLabel& reader : input_labels_[x_from]) {
+    if (RunLabeling::Decide(reader, out, labeling_->scheme())) return true;
+  }
+  return false;
+}
+
+bool DataProvenance::DataDependsOnModule(DataItemId x, VertexId v) const {
+  return RunLabeling::Decide(labeling_->label(v), output_labels_[x],
+                             labeling_->scheme());
+}
+
+bool DataProvenance::ModuleDependsOnData(VertexId v, DataItemId x) const {
+  const RunLabel& target = labeling_->label(v);
+  for (const RunLabel& reader : input_labels_[x]) {
+    if (RunLabeling::Decide(reader, target, labeling_->scheme())) return true;
+  }
+  return false;
+}
+
+size_t DataProvenance::LabelBits(DataItemId x) const {
+  return (input_labels_[x].size() + 1) * labeling_->label_bits();
+}
+
+}  // namespace skl

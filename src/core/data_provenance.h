@@ -1,0 +1,81 @@
+// Data provenance labels (paper Section 6): data items flow over run edges;
+// each item x is written by exactly one module Output(x) and read by a set of
+// modules Inputs(x). The item label is the pair
+//   ( phi(Output(x)), { phi(v) : v in Inputs(x) } )
+// and dependency queries reduce to module reachability:
+//   x depends on x'  iff  some v in Inputs(x') reaches Output(x);
+//   x depends on module v iff v reaches Output(x);
+//   module v depends on x iff some reader of x reaches v.
+#ifndef SKL_CORE_DATA_PROVENANCE_H_
+#define SKL_CORE_DATA_PROVENANCE_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "src/common/status.h"
+#include "src/core/run_labeling.h"
+
+namespace skl {
+
+using DataItemId = uint32_t;
+inline constexpr DataItemId kInvalidDataItem = UINT32_MAX;
+
+/// The set of data items of one run, with their writer and reader modules.
+/// Assembled either directly or from per-edge item annotations.
+class DataCatalog {
+ public:
+  /// Declares an item written by `output`. Returns its id.
+  DataItemId AddItem(VertexId output);
+
+  /// Registers that `item` flows over an edge (Output(item) -> reader).
+  /// Fails if a different writer was registered earlier (each data item is
+  /// created by a unique module).
+  Status AddFlow(DataItemId item, VertexId writer, VertexId reader);
+
+  size_t size() const { return outputs_.size(); }
+  VertexId OutputOf(DataItemId x) const { return outputs_[x]; }
+  const std::vector<VertexId>& InputsOf(DataItemId x) const {
+    return inputs_[x];
+  }
+
+  /// Max |Inputs(x)| (the paper's k; bounds label blow-up and query time).
+  size_t MaxInputs() const;
+
+ private:
+  std::vector<VertexId> outputs_;
+  std::vector<std::vector<VertexId>> inputs_;
+};
+
+/// Data labels over a labeled run.
+class DataProvenance {
+ public:
+  /// Copies the module labels into per-item data labels. The labeling (and
+  /// its skeleton scheme) must outlive the result.
+  static Result<DataProvenance> Build(const RunLabeling* labeling,
+                                      const DataCatalog& catalog);
+
+  /// Does item x depend on item x_from (data flowed x_from ~> x)? Reflexive
+  /// on modules: an item read and rewritten by the same module depends on it.
+  bool DependsOn(DataItemId x, DataItemId x_from) const;
+
+  /// Does item x depend on module v (is x downstream of v)?
+  bool DataDependsOnModule(DataItemId x, VertexId v) const;
+
+  /// Does module v depend on item x (did x flow into v)?
+  bool ModuleDependsOnData(VertexId v, DataItemId x) const;
+
+  /// Per-item label size in bits: (|Inputs(x)|+1) module labels.
+  size_t LabelBits(DataItemId x) const;
+
+  size_t num_items() const { return output_labels_.size(); }
+
+ private:
+  const RunLabeling* labeling_ = nullptr;
+  std::vector<RunLabel> output_labels_;
+  std::vector<std::vector<RunLabel>> input_labels_;
+};
+
+}  // namespace skl
+
+#endif  // SKL_CORE_DATA_PROVENANCE_H_

@@ -1,0 +1,142 @@
+#include "src/core/execution_plan.h"
+
+#include <functional>
+
+#include "src/common/check.h"
+
+namespace skl {
+
+bool IsPlusNode(PlanNodeType t) {
+  return t == PlanNodeType::kGPlus || t == PlanNodeType::kFPlus ||
+         t == PlanNodeType::kLPlus;
+}
+
+const char* PlanNodeTypeName(PlanNodeType t) {
+  switch (t) {
+    case PlanNodeType::kGPlus:
+      return "G+";
+    case PlanNodeType::kFMinus:
+      return "F-";
+    case PlanNodeType::kFPlus:
+      return "F+";
+    case PlanNodeType::kLMinus:
+      return "L-";
+    case PlanNodeType::kLPlus:
+      return "L+";
+  }
+  return "?";
+}
+
+ExecutionPlan::ExecutionPlan(VertexId num_run_vertices)
+    : context_(num_run_vertices, kInvalidPlanNode) {
+  nodes_.push_back(PlanNode{PlanNodeType::kGPlus, kHierRoot,
+                            kInvalidPlanNode, {}, 0});
+  num_plus_nodes_ = 1;
+}
+
+PlanNodeId ExecutionPlan::AddNode(PlanNodeType type, HierNodeId hier,
+                                  PlanNodeId parent) {
+  PlanNodeId id = static_cast<PlanNodeId>(nodes_.size());
+  nodes_.push_back(PlanNode{type, hier, parent, {}, 0});
+  if (IsPlusNode(type)) ++num_plus_nodes_;
+  if (parent != kInvalidPlanNode) nodes_[parent].children.push_back(id);
+  return id;
+}
+
+void ExecutionPlan::SetParent(PlanNodeId child, PlanNodeId parent) {
+  SKL_DCHECK(nodes_[child].parent == kInvalidPlanNode);
+  nodes_[child].parent = parent;
+  nodes_[parent].children.push_back(child);
+}
+
+void ExecutionPlan::AssignContext(VertexId v, PlanNodeId x) {
+  SKL_DCHECK(v < context_.size());
+  SKL_DCHECK(context_[v] == kInvalidPlanNode);
+  SKL_DCHECK(IsPlusNode(nodes_[x].type));
+  context_[v] = x;
+  if (nodes_[x].num_context_vertices++ == 0) ++num_nonempty_plus_;
+}
+
+VertexId ExecutionPlan::AppendVertex(PlanNodeId x) {
+  VertexId v = static_cast<VertexId>(context_.size());
+  context_.push_back(kInvalidPlanNode);
+  AssignContext(v, x);
+  return v;
+}
+
+Status ExecutionPlan::Validate(size_t num_run_edges) const {
+  if (nodes_.empty() || nodes_[kPlanRoot].type != PlanNodeType::kGPlus) {
+    return Status::Internal("plan has no G+ root");
+  }
+  for (size_t i = 0; i < nodes_.size(); ++i) {
+    const PlanNode& n = nodes_[i];
+    if (i == kPlanRoot) {
+      if (n.parent != kInvalidPlanNode) {
+        return Status::Internal("root has a parent");
+      }
+    } else if (n.parent == kInvalidPlanNode) {
+      return Status::Internal("non-root plan node has no parent");
+    }
+    for (PlanNodeId c : n.children) {
+      if (nodes_[c].parent != static_cast<PlanNodeId>(i)) {
+        return Status::Internal("child/parent mismatch in plan");
+      }
+      // + nodes alternate with - nodes by construction.
+      if (IsPlusNode(n.type) == IsPlusNode(nodes_[c].type)) {
+        return Status::Internal("plan does not alternate +/- levels");
+      }
+      if (!IsPlusNode(n.type) && nodes_[c].hier != n.hier) {
+        return Status::Internal("copy under execution node of another "
+                                "subgraph");
+      }
+    }
+    if (!IsPlusNode(n.type)) {
+      if (n.children.empty()) {
+        return Status::Internal("execution (-) node with no copies");
+      }
+      if (n.num_context_vertices != 0) {
+        return Status::Internal("- node has context vertices");
+      }
+    }
+  }
+  for (size_t v = 0; v < context_.size(); ++v) {
+    if (context_[v] == kInvalidPlanNode) {
+      return Status::Internal("vertex without context");
+    }
+    if (!IsPlusNode(nodes_[context_[v]].type)) {
+      return Status::Internal("context of a vertex is not a + node");
+    }
+  }
+  // Lemma 4.2: |V(T_R)| <= 4 m_R (trivially true for runs with no edges).
+  if (num_run_edges > 0 && nodes_.size() > 4 * num_run_edges) {
+    return Status::Internal("plan exceeds the Lemma 4.2 size bound");
+  }
+  return Status::OK();
+}
+
+std::string ExecutionPlan::ToString(const Hierarchy* hierarchy) const {
+  std::string out;
+  std::function<void(PlanNodeId, int)> rec = [&](PlanNodeId id, int indent) {
+    const PlanNode& n = nodes_[id];
+    out.append(static_cast<size_t>(indent) * 2, ' ');
+    out += PlanNodeTypeName(n.type);
+    if (hierarchy != nullptr && n.hier != kHierRoot) {
+      out += "(subgraph ";
+      out += std::to_string(hierarchy->node(n.hier).subgraph_index);
+      out += ")";
+    }
+    out += " [node ";
+    out += std::to_string(id);
+    if (IsPlusNode(n.type)) {
+      out += ", ";
+      out += std::to_string(n.num_context_vertices);
+      out += " ctx vertices";
+    }
+    out += "]\n";
+    for (PlanNodeId c : n.children) rec(c, indent + 1);
+  };
+  rec(kPlanRoot, 0);
+  return out;
+}
+
+}  // namespace skl

@@ -1,0 +1,113 @@
+// Execution plan T_R (paper Section 4.1, Figure 7): a semi-ordered tree
+// describing how the fork and loop subgraphs of the specification were
+// replicated to produce a run. The root (G+) stands for the whole run; F+/L+
+// nodes stand for single fork/loop copies; F-/L- nodes stand for all copies
+// produced by one fork/loop execution (children of L- nodes are ordered by
+// serial position, all other children are unordered).
+//
+// The plan also carries the context function C : V(R) -> V(T_R)
+// (Definition 9): the deepest + node dominating each run vertex.
+#ifndef SKL_CORE_EXECUTION_PLAN_H_
+#define SKL_CORE_EXECUTION_PLAN_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "src/common/status.h"
+#include "src/graph/digraph.h"
+#include "src/workflow/hierarchy.h"
+
+namespace skl {
+
+using PlanNodeId = int32_t;
+inline constexpr PlanNodeId kPlanRoot = 0;
+inline constexpr PlanNodeId kInvalidPlanNode = -1;
+
+enum class PlanNodeType : uint8_t {
+  kGPlus,   ///< root: the entire run
+  kFMinus,  ///< all parallel copies of one fork execution
+  kFPlus,   ///< a single fork copy
+  kLMinus,  ///< all serial copies of one loop execution
+  kLPlus,   ///< a single loop copy
+};
+
+/// True for G+/F+/L+ nodes.
+bool IsPlusNode(PlanNodeType t);
+
+const char* PlanNodeTypeName(PlanNodeType t);
+
+struct PlanNode {
+  PlanNodeType type = PlanNodeType::kGPlus;
+  /// The T_G node this plan node instantiates (root for G+).
+  HierNodeId hier = kHierRoot;
+  PlanNodeId parent = kInvalidPlanNode;
+  /// Ordered left-to-right for L- nodes; arbitrary otherwise.
+  std::vector<PlanNodeId> children;
+  /// Number of run vertices whose context is this node (only + nodes).
+  uint32_t num_context_vertices = 0;
+};
+
+class ExecutionPlan {
+ public:
+  ExecutionPlan() = default;
+
+  /// Creates a plan containing only the root G+ node, with `num_run_vertices`
+  /// context slots (all initially unassigned).
+  explicit ExecutionPlan(VertexId num_run_vertices);
+
+  const std::vector<PlanNode>& nodes() const { return nodes_; }
+  const PlanNode& node(PlanNodeId id) const { return nodes_[id]; }
+  size_t num_nodes() const { return nodes_.size(); }
+
+  /// Adds a node; parent may be kInvalidPlanNode and fixed up later via
+  /// SetParent.
+  PlanNodeId AddNode(PlanNodeType type, HierNodeId hier,
+                     PlanNodeId parent = kInvalidPlanNode);
+
+  /// Links `child` under `parent` (appends to the parent's child list).
+  void SetParent(PlanNodeId child, PlanNodeId parent);
+
+  /// Context function. kInvalidPlanNode marks unassigned vertices.
+  PlanNodeId ContextOf(VertexId v) const { return context_[v]; }
+  const std::vector<PlanNodeId>& context() const { return context_; }
+
+  /// Assigns vertex v the context x (must be a + node) and bumps the node's
+  /// nonempty counter. No-op forbidden: v must be unassigned.
+  void AssignContext(VertexId v, PlanNodeId x);
+
+  /// Appends a context slot for a brand-new run vertex and assigns it to x
+  /// (online construction). Returns the new vertex id.
+  VertexId AppendVertex(PlanNodeId x);
+
+  /// Number of run vertices covered by the context function.
+  VertexId num_run_vertices() const {
+    return static_cast<VertexId>(context_.size());
+  }
+
+  /// Number of + nodes with at least one context vertex (n_T^+ in the
+  /// paper's label-length bound).
+  uint32_t num_nonempty_plus() const { return num_nonempty_plus_; }
+  uint32_t num_plus_nodes() const { return num_plus_nodes_; }
+  uint32_t num_minus_nodes() const {
+    return static_cast<uint32_t>(nodes_.size()) - num_plus_nodes_;
+  }
+
+  /// Structural sanity: parents/children consistent, every vertex assigned to
+  /// a + node, L-/F- children are + nodes of the same hierarchy node, and the
+  /// Lemma 4.2 bound |V(T_R)| <= 4 m_R holds (m_R from the caller).
+  Status Validate(size_t num_run_edges) const;
+
+  /// Multi-line dump for debugging and the quickstart example.
+  std::string ToString(const Hierarchy* hierarchy = nullptr) const;
+
+ private:
+  std::vector<PlanNode> nodes_;
+  std::vector<PlanNodeId> context_;
+  uint32_t num_plus_nodes_ = 0;
+  uint32_t num_nonempty_plus_ = 0;
+};
+
+}  // namespace skl
+
+#endif  // SKL_CORE_EXECUTION_PLAN_H_

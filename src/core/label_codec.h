@@ -1,0 +1,38 @@
+// Bit-exact serialization of run labels. Each label is packed at exactly the
+// paper's width: 3 * ceil(log2 n_T^+) bits of context encoding plus
+// ceil(log2 n_G) bits of origin reference; a small fixed header records the
+// widths. This makes the Lemma 4.7 label-length bound measurable on real
+// bytes, and lets labels live in external storage (the provenance database)
+// independent of the in-memory structures.
+#ifndef SKL_CORE_LABEL_CODEC_H_
+#define SKL_CORE_LABEL_CODEC_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "src/common/status.h"
+#include "src/core/run_labeling.h"
+
+namespace skl {
+
+/// Serialized label block: header + packed labels.
+struct EncodedLabels {
+  std::vector<uint8_t> bytes;
+  /// Bits per label actually used (excluding the shared header).
+  uint32_t bits_per_label = 0;
+  uint32_t num_labels = 0;
+};
+
+/// Packs all labels of a run labeling.
+EncodedLabels EncodeLabels(const RunLabeling& labeling);
+
+/// Unpacks labels; the result is usable with RunLabeling::Decide plus a
+/// skeleton scheme.
+Result<std::vector<RunLabel>> DecodeLabels(const EncodedLabels& encoded);
+
+/// Decodes from raw bytes (e.g. read back from storage).
+Result<std::vector<RunLabel>> DecodeLabels(const std::vector<uint8_t>& bytes);
+
+}  // namespace skl
+
+#endif  // SKL_CORE_LABEL_CODEC_H_

@@ -1,0 +1,183 @@
+#include "src/core/online_labeler.h"
+
+#include <algorithm>
+
+#include "src/common/check.h"
+
+namespace skl {
+
+OnlineLabeler::OnlineLabeler(const Specification* spec,
+                             const SpecLabelingScheme* scheme)
+    : spec_(spec), scheme_(scheme), plan_(0) {
+  depth_of_node_.push_back(0);
+  serial_index_.push_back(0);
+  stack_.push_back(Frame{
+      kPlanRoot, /*is_copy=*/true,
+      std::vector<uint32_t>(
+          spec_->hierarchy().node(kHierRoot).children.size(), 0)});
+}
+
+Status OnlineLabeler::BeginExecution(HierNodeId subgraph) {
+  if (finished_) return Status::InvalidArgument("labeler already finished");
+  if (!stack_.back().is_copy) {
+    return Status::InvalidRun(
+        "BeginExecution while another execution is awaiting copies");
+  }
+  const Hierarchy& hg = spec_->hierarchy();
+  if (subgraph <= 0 || static_cast<size_t>(subgraph) >= hg.size()) {
+    return Status::InvalidArgument("unknown subgraph");
+  }
+  const PlanNode& open_copy = plan_.node(stack_.back().node);
+  const HierNode& parent_hier = hg.node(open_copy.hier);
+  auto it = std::find(parent_hier.children.begin(),
+                      parent_hier.children.end(), subgraph);
+  if (it == parent_hier.children.end()) {
+    return Status::InvalidRun(
+        "subgraph is not nested directly inside the open copy's subgraph");
+  }
+  size_t child_index =
+      static_cast<size_t>(it - parent_hier.children.begin());
+  if (stack_.back().child_tally[child_index]++ != 0) {
+    return Status::InvalidRun(
+        "subgraph already executed inside this copy");
+  }
+  bool is_fork = hg.node(subgraph).kind == HierKind::kFork;
+  PlanNodeId g = plan_.AddNode(
+      is_fork ? PlanNodeType::kFMinus : PlanNodeType::kLMinus, subgraph,
+      stack_.back().node);
+  depth_of_node_.push_back(depth_of_node_[stack_.back().node] + 1);
+  serial_index_.push_back(
+      static_cast<uint32_t>(plan_.node(stack_.back().node).children.size() -
+                            1));
+  stack_.push_back(Frame{g, /*is_copy=*/false, {}});
+  return Status::OK();
+}
+
+Status OnlineLabeler::BeginCopy() {
+  if (finished_) return Status::InvalidArgument("labeler already finished");
+  if (stack_.back().is_copy) {
+    return Status::InvalidRun("BeginCopy outside an execution");
+  }
+  const Hierarchy& hg = spec_->hierarchy();
+  PlanNodeId g = stack_.back().node;
+  HierNodeId hier = plan_.node(g).hier;
+  bool is_fork = plan_.node(g).type == PlanNodeType::kFMinus;
+  PlanNodeId x = plan_.AddNode(
+      is_fork ? PlanNodeType::kFPlus : PlanNodeType::kLPlus, hier, g);
+  depth_of_node_.push_back(depth_of_node_[g] + 1);
+  serial_index_.push_back(
+      static_cast<uint32_t>(plan_.node(g).children.size() - 1));
+  stack_.push_back(Frame{
+      x, /*is_copy=*/true,
+      std::vector<uint32_t>(hg.node(hier).children.size(), 0)});
+  return Status::OK();
+}
+
+Status OnlineLabeler::EndCopy() {
+  if (finished_) return Status::InvalidArgument("labeler already finished");
+  if (stack_.size() <= 1 || !stack_.back().is_copy) {
+    return Status::InvalidRun("EndCopy without an open copy");
+  }
+  // Every nested fork/loop must have executed exactly once (Definition 6
+  // derives runs by replacing subgraphs, and a copy always instantiates
+  // each nested subgraph at least once).
+  for (uint32_t t : stack_.back().child_tally) {
+    if (t != 1) {
+      return Status::InvalidRun(
+          "copy closed without executing each nested fork/loop exactly "
+          "once");
+    }
+  }
+  stack_.pop_back();
+  return Status::OK();
+}
+
+Status OnlineLabeler::EndExecution() {
+  if (finished_) return Status::InvalidArgument("labeler already finished");
+  if (stack_.back().is_copy) {
+    return Status::InvalidRun("EndExecution without an open execution");
+  }
+  if (plan_.node(stack_.back().node).children.empty()) {
+    return Status::InvalidRun("execution closed without any copy");
+  }
+  stack_.pop_back();
+  return Status::OK();
+}
+
+Result<VertexId> OnlineLabeler::ExecuteModule(std::string_view module_name) {
+  if (finished_) return Status::InvalidArgument("labeler already finished");
+  if (!stack_.back().is_copy) {
+    return Status::InvalidRun(
+        "module executed between BeginExecution and BeginCopy");
+  }
+  VertexId origin = spec_->VertexOf(module_name);
+  if (origin == kInvalidVertex) {
+    return Status::InvalidRun("unknown module: " + std::string(module_name));
+  }
+  PlanNodeId copy = stack_.back().node;
+  if (spec_->hierarchy().OwnerOf(origin) != plan_.node(copy).hier) {
+    return Status::InvalidRun(
+        "module '" + std::string(module_name) +
+        "' is not owned by the currently open fork/loop copy");
+  }
+  VertexId v = plan_.AppendVertex(copy);
+  context_of_.push_back(copy);
+  origin_of_.push_back(origin);
+  return v;
+}
+
+bool OnlineLabeler::Reaches(VertexId v, VertexId w) const {
+  SKL_CHECK(v < context_of_.size() && w < context_of_.size());
+  PlanNodeId a = context_of_[v];
+  PlanNodeId b = context_of_[w];
+  // Lift the deeper context until both sit at the same depth, then walk up
+  // in lockstep; remember the child entered from each side.
+  PlanNodeId a_child = kInvalidPlanNode;
+  PlanNodeId b_child = kInvalidPlanNode;
+  while (depth_of_node_[a] > depth_of_node_[b]) {
+    a_child = a;
+    a = plan_.node(a).parent;
+  }
+  while (depth_of_node_[b] > depth_of_node_[a]) {
+    b_child = b;
+    b = plan_.node(b).parent;
+  }
+  while (a != b) {
+    a_child = a;
+    b_child = b;
+    a = plan_.node(a).parent;
+    b = plan_.node(b).parent;
+  }
+  switch (plan_.node(a).type) {
+    case PlanNodeType::kFMinus:
+      // Parallel copies (Lemma 4.3): unreachable either way.
+      return false;
+    case PlanNodeType::kLMinus:
+      // Serial copies: earlier reaches later (Lemma 4.3). Children of an
+      // L- node are appended in execution order.
+      return serial_index_[a_child] < serial_index_[b_child];
+    default:
+      // Same copy or nested + ancestor (Lemma 4.4): spec reachability of
+      // the origins.
+      return scheme_->Reaches(origin_of_[v], origin_of_[w]);
+  }
+}
+
+Result<RunLabeling> OnlineLabeler::Finish() && {
+  if (finished_) return Status::InvalidArgument("labeler already finished");
+  if (stack_.size() != 1) {
+    return Status::InvalidRun("executions or copies still open");
+  }
+  for (uint32_t t : stack_.back().child_tally) {
+    if (t != 1) {
+      return Status::InvalidRun(
+          "run finished without executing each top-level fork/loop exactly "
+          "once");
+    }
+  }
+  finished_ = true;
+  return RunLabeling::FromPlan(*spec_, scheme_, plan_,
+                               std::move(origin_of_));
+}
+
+}  // namespace skl

@@ -1,0 +1,94 @@
+// Online labeling of in-flight runs — the paper's Section 9 future-work
+// direction ("label data as soon as it is generated ... enable provenance
+// queries on intermediate results before the workflow completes").
+//
+// A workflow engine reports execution events as they happen:
+//
+//   OnlineLabeler ol(&spec, scheme);
+//   ol.BeginExecution(f1);  // a fork/loop execution starts
+//   ol.BeginCopy();         //   first copy
+//   auto v = ol.ExecuteModule("align");
+//   ...
+//   ol.EndCopy();
+//   ol.BeginCopy();         //   second (parallel or serial) copy
+//   ...
+//   ol.EndExecution();
+//   bool dep = ol.Reaches(v1, v2);          // query mid-run
+//   auto labeling = std::move(ol).Finish(); // O(1)-query labels at the end
+//
+// Mid-run queries cannot use the three-order encoding (positions keep
+// shifting as the plan grows), so they walk the partial execution plan to
+// the contexts' least common ancestor: O(plan depth) per query, with the
+// same decision rules as Lemma 4.3/4.4. Finish() freezes the plan and
+// produces a standard RunLabeling with constant-time queries.
+//
+// The event stream must be well-parenthesized (depth-first); engines that
+// interleave parallel branches can partition their log per branch, which is
+// exactly what Taverna-style logs provide.
+#ifndef SKL_CORE_ONLINE_LABELER_H_
+#define SKL_CORE_ONLINE_LABELER_H_
+
+#include <string_view>
+#include <vector>
+
+#include "src/common/status.h"
+#include "src/core/run_labeling.h"
+#include "src/speclabel/scheme.h"
+#include "src/workflow/specification.h"
+
+namespace skl {
+
+class OnlineLabeler {
+ public:
+  /// `spec` and `scheme` must outlive the labeler; `scheme` must already be
+  /// built over spec.graph().
+  OnlineLabeler(const Specification* spec, const SpecLabelingScheme* scheme);
+
+  /// Starts an execution of the given fork/loop (a child, in T_G, of the
+  /// subgraph whose copy is currently open).
+  Status BeginExecution(HierNodeId subgraph);
+  /// Starts the next copy of the currently open execution (serial order for
+  /// loops; declaration order is irrelevant for forks).
+  Status BeginCopy();
+  Status EndCopy();
+  Status EndExecution();
+
+  /// Records one module execution inside the currently open copy; the
+  /// module must be owned (Definition 9) by that copy's subgraph. Returns
+  /// the new run vertex id, usable in queries immediately.
+  Result<VertexId> ExecuteModule(std::string_view module_name);
+
+  /// Mid-run reachability (reflexive): O(plan depth).
+  bool Reaches(VertexId v, VertexId w) const;
+
+  /// Number of module executions so far.
+  VertexId num_vertices() const {
+    return static_cast<VertexId>(context_of_.size());
+  }
+
+  /// Completes the run: every execution must be closed and every copy must
+  /// have executed each nested fork/loop exactly once. Produces a standard
+  /// constant-time-query labeling.
+  Result<RunLabeling> Finish() &&;
+
+ private:
+  struct Frame {
+    PlanNodeId node;
+    bool is_copy;  // alternates: copy frames open execution frames
+    std::vector<uint32_t> child_tally;  // executions seen, per T_G child
+  };
+
+  const Specification* spec_;
+  const SpecLabelingScheme* scheme_;
+  ExecutionPlan plan_;
+  std::vector<PlanNodeId> context_of_;   // per run vertex
+  std::vector<VertexId> origin_of_;      // per run vertex
+  std::vector<int32_t> depth_of_node_;   // per plan node
+  std::vector<uint32_t> serial_index_;   // position under the parent
+  std::vector<Frame> stack_;
+  bool finished_ = false;
+};
+
+}  // namespace skl
+
+#endif  // SKL_CORE_ONLINE_LABELER_H_

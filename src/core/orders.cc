@@ -1,0 +1,46 @@
+#include "src/core/orders.h"
+
+namespace skl {
+
+namespace {
+
+/// One preorder traversal; `reverse_kind` selects which - node type has its
+/// children visited right-to-left (-1 for none).
+void Traverse(const ExecutionPlan& plan, int reverse_kind,
+              std::vector<uint32_t>* out) {
+  out->assign(plan.num_nodes(), 0);
+  uint32_t counter = 0;
+  std::vector<PlanNodeId> stack{kPlanRoot};
+  while (!stack.empty()) {
+    PlanNodeId x = stack.back();
+    stack.pop_back();
+    const PlanNode& node = plan.node(x);
+    if (IsPlusNode(node.type) && node.num_context_vertices > 0) {
+      (*out)[x] = ++counter;  // positions are 1-based
+    }
+    // Push children so they pop in the desired order: a stack pops in
+    // reverse push order, so push right-to-left for a left-to-right visit.
+    if (static_cast<int>(node.type) == reverse_kind) {
+      for (PlanNodeId c : node.children) stack.push_back(c);
+    } else {
+      for (auto it = node.children.rbegin(); it != node.children.rend();
+           ++it) {
+        stack.push_back(*it);
+      }
+    }
+  }
+}
+
+}  // namespace
+
+ContextEncoding GenerateThreeOrders(const ExecutionPlan& plan) {
+  ContextEncoding enc;
+  // O1: plain preorder. O2: reverse F- children. O3: reverse L- children.
+  Traverse(plan, -1, &enc.q1);
+  Traverse(plan, static_cast<int>(PlanNodeType::kFMinus), &enc.q2);
+  Traverse(plan, static_cast<int>(PlanNodeType::kLMinus), &enc.q3);
+  enc.num_nonempty_plus = plan.num_nonempty_plus();
+  return enc;
+}
+
+}  // namespace skl

@@ -1,0 +1,33 @@
+// Three-dimensional context encoding (paper Algorithm 1 and Lemma 4.5):
+// three preorder traversals of the execution plan assign every nonempty
+// + node positions (q1, q2, q3); O1 visits children left-to-right, O2
+// reverses the children of F- nodes, O3 reverses the children of L- nodes.
+// Comparing positions reveals whether the least common ancestor of two
+// contexts is an F- node (O1/O2 disagree), an L- node (O1/O3 disagree) or a
+// + node (all three agree).
+#ifndef SKL_CORE_ORDERS_H_
+#define SKL_CORE_ORDERS_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "src/core/execution_plan.h"
+
+namespace skl {
+
+/// Per-plan-node positions in the three total orders; 0 for - nodes and for
+/// empty + nodes (which never serve as a context).
+struct ContextEncoding {
+  std::vector<uint32_t> q1;
+  std::vector<uint32_t> q2;
+  std::vector<uint32_t> q3;
+  uint32_t num_nonempty_plus = 0;
+};
+
+/// Runs the three traversals (iterative; plans can be deep for long loop
+/// chains... the L- chains are siblings, but nested loops still nest).
+ContextEncoding GenerateThreeOrders(const ExecutionPlan& plan);
+
+}  // namespace skl
+
+#endif  // SKL_CORE_ORDERS_H_

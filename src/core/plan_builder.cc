@@ -1,0 +1,509 @@
+#include "src/core/plan_builder.h"
+
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "src/common/check.h"
+#include "src/graph/multigraph.h"
+
+namespace skl {
+
+namespace {
+
+uint64_t PairKey(VertexId u, VertexId v) {
+  return (static_cast<uint64_t>(u) << 32) | v;
+}
+
+/// Working state of the recovery algorithm.
+class PlanRecovery {
+ public:
+  PlanRecovery(const Specification& spec, const Run& run,
+               std::vector<VertexId> origin)
+      : spec_(spec),
+        hg_(spec.hierarchy()),
+        origin_(std::move(origin)),
+        mg_(run.graph()),
+        plan_(run.num_vertices()),
+        num_run_edges_(run.num_edges()) {}
+
+  Result<RecoveredPlan> Build() {
+    SKL_RETURN_NOT_OK(SeedLeaves());
+    vert_stamp_.assign(origin_.size(), 0);
+    for (int32_t depth = hg_.depth(); depth >= 2; --depth) {
+      SKL_RETURN_NOT_OK(ProcessLevel(depth));
+    }
+    SKL_RETURN_NOT_OK(FinishRoot());
+    SKL_RETURN_NOT_OK(ValidateRootLevel());
+    return RecoveredPlan{std::move(plan_), std::move(origin_)};
+  }
+
+ private:
+  /// One discovered fork/loop copy, pending grouping.
+  struct CopyRec {
+    PlanNodeId node = kInvalidPlanNode;
+    VertexId source = kInvalidVertex;
+    VertexId sink = kInvalidVertex;
+    EdgeId copy_edge = kInvalidEdge;
+  };
+
+  Status SeedLeaves() {
+    seeds_.assign(hg_.size(), {});
+    // Per-subgraph multiset of "own" edges (those not inside any child):
+    // every conforming copy contains each exactly once.
+    own_edge_count_.assign(hg_.size(), {});
+    for (size_t i = 0; i < hg_.size(); ++i) {
+      for (const auto& [u, v] :
+           hg_.node(static_cast<HierNodeId>(i)).own_edges) {
+        ++own_edge_count_[i][PairKey(u, v)];
+      }
+    }
+    std::unordered_map<uint64_t, HierNodeId> leaf_leaders;
+    for (size_t i = 1; i < hg_.size(); ++i) {
+      const HierNode& node = hg_.node(static_cast<HierNodeId>(i));
+      if (!node.children.empty()) continue;
+      auto [u, v] = node.leader_edge;
+      leaf_leaders.emplace(PairKey(u, v), static_cast<HierNodeId>(i));
+    }
+    if (leaf_leaders.empty()) return Status::OK();
+    for (EdgeId e = 0; e < mg_.edge_capacity(); ++e) {
+      const MultiEdge& me = mg_.edge(e);
+      auto it = leaf_leaders.find(PairKey(origin_[me.from], origin_[me.to]));
+      if (it != leaf_leaders.end()) seeds_[it->second].push_back(e);
+    }
+    return Status::OK();
+  }
+
+  Status ProcessLevel(int32_t depth) {
+    // Phase 1: discover all copies at this level.
+    std::vector<std::vector<CopyRec>> copies_of;  // parallel to level list
+    const auto& level = hg_.Level(depth);
+    copies_of.resize(level.size());
+    for (size_t li = 0; li < level.size(); ++li) {
+      HierNodeId h = level[li];
+      const HierNode& node = hg_.node(h);
+      if (seeds_[h].empty()) {
+        return Status::InvalidRun(
+            "no copies of a specification subgraph appear in the run");
+      }
+      for (EdgeId seed : seeds_[h]) {
+        if (!mg_.IsAlive(seed)) {
+          return Status::InvalidRun(
+              "two copy seeds landed in one subgraph copy (run does not "
+              "conform to the specification)");
+        }
+        CopyRec rec;
+        SKL_RETURN_NOT_OK(SearchCopy(h, node, seed, &rec));
+        copies_of[li].push_back(rec);
+      }
+      seeds_[h].clear();
+    }
+    // Phase 2: group copies into F-/L- execution nodes.
+    for (size_t li = 0; li < level.size(); ++li) {
+      HierNodeId h = level[li];
+      const HierNode& node = hg_.node(h);
+      if (node.kind == HierKind::kFork) {
+        SKL_RETURN_NOT_OK(GroupForkCopies(h, node, copies_of[li]));
+      } else {
+        SKL_RETURN_NOT_OK(GroupLoopCopies(h, node, copies_of[li]));
+      }
+    }
+    return Status::OK();
+  }
+
+  /// Pruned undirected DFS (paper's SearchNodes) discovering one copy of H
+  /// from a seed edge, assigning contexts and wiring child execution nodes,
+  /// then collapsing the copy into a single special edge.
+  Status SearchCopy(HierNodeId h, const HierNode& node, EdgeId seed,
+                    CopyRec* out) {
+    const bool is_fork = node.kind == HierKind::kFork;
+    const VertexId spec_s = node.source;
+    const VertexId spec_t = node.sink;
+    const SubgraphInfo& sub = spec_.subgraphs()[node.subgraph_index];
+
+    ++stamp_;
+    if (edge_stamp_.size() < mg_.edge_capacity()) {
+      edge_stamp_.resize(mg_.edge_capacity(), 0);
+    }
+    copy_edges_.clear();
+    copy_verts_.clear();
+    dfs_stack_.clear();
+
+    VertexId copy_s = kInvalidVertex;
+    VertexId copy_t = kInvalidVertex;
+    auto touch = [&](VertexId v) -> Status {
+      if (vert_stamp_[v] == stamp_) return Status::OK();
+      vert_stamp_[v] = stamp_;
+      VertexId ov = origin_[v];
+      if (!sub.vertex_set.Test(ov)) {
+        return Status::InvalidRun(
+            "copy search left the subgraph's module set (run does not "
+            "conform to the specification)");
+      }
+      if (ov == spec_s) {
+        if (copy_s != kInvalidVertex) {
+          return Status::InvalidRun("copy has two source vertices");
+        }
+        copy_s = v;
+      } else if (ov == spec_t) {
+        if (copy_t != kInvalidVertex) {
+          return Status::InvalidRun("copy has two sink vertices");
+        }
+        copy_t = v;
+      }
+      copy_verts_.push_back(v);
+      dfs_stack_.push_back(v);
+      return Status::OK();
+    };
+
+    auto take_edge = [&](EdgeId e) -> Status {
+      if (edge_stamp_[e] == stamp_) return Status::OK();
+      edge_stamp_[e] = stamp_;
+      copy_edges_.push_back(e);
+      SKL_RETURN_NOT_OK(touch(mg_.edge(e).from));
+      SKL_RETURN_NOT_OK(touch(mg_.edge(e).to));
+      return Status::OK();
+    };
+
+    SKL_RETURN_NOT_OK(take_edge(seed));
+    while (!dfs_stack_.empty()) {
+      VertexId v = dfs_stack_.back();
+      dfs_stack_.pop_back();
+      VertexId ov = origin_[v];
+      if (ov == spec_s) {
+        // Forks never expand through their terminals; loops own their source
+        // and all of its outgoing edges (completeness).
+        if (is_fork) continue;
+        for (EdgeId e : mg_.OutEdges(v)) SKL_RETURN_NOT_OK(take_edge(e));
+      } else if (ov == spec_t) {
+        if (is_fork) continue;
+        for (EdgeId e : mg_.InEdges(v)) SKL_RETURN_NOT_OK(take_edge(e));
+      } else {
+        // Internal vertices are fully self-contained: every incident alive
+        // edge belongs to this copy.
+        for (EdgeId e : mg_.OutEdges(v)) SKL_RETURN_NOT_OK(take_edge(e));
+        for (EdgeId e : mg_.InEdges(v)) SKL_RETURN_NOT_OK(take_edge(e));
+      }
+    }
+    if (copy_s == kInvalidVertex || copy_t == kInvalidVertex) {
+      return Status::InvalidRun("copy search found no source or sink");
+    }
+
+    PlanNodeId x = plan_.AddNode(
+        is_fork ? PlanNodeType::kFPlus : PlanNodeType::kLPlus, h);
+    // Context (Definition 9): every vertex of the copy not yet claimed by a
+    // deeper copy; a fork copy does not dominate its shared terminals.
+    for (VertexId v : copy_verts_) {
+      if (is_fork && (v == copy_s || v == copy_t)) continue;
+      if (plan_.ContextOf(v) == kInvalidPlanNode) plan_.AssignContext(v, x);
+    }
+    // Wire child execution (-) nodes whose special edges lie in this copy.
+    // A conforming copy contains exactly one execution per hierarchy child
+    // and each of the subgraph's own edges exactly once.
+    child_tally_.assign(node.children.size(), 0);
+    edge_tally_.clear();
+    for (EdgeId e : copy_edges_) {
+      int32_t tag = mg_.edge(e).tag;
+      if (tag == -1) {
+        ++edge_tally_[PairKey(origin_[mg_.edge(e).from],
+                              origin_[mg_.edge(e).to])];
+      } else if (tag == -2) {
+        return Status::InvalidRun(
+            "copy search crossed into a sibling copy (run does not conform "
+            "to the specification)");
+      }
+      if (tag >= 0) {
+        if (plan_.node(tag).parent != kInvalidPlanNode) {
+          return Status::Internal("execution edge claimed by two copies");
+        }
+        plan_.SetParent(tag, x);
+        HierNodeId child_hier = plan_.node(tag).hier;
+        size_t ci = 0;
+        while (ci < node.children.size() && node.children[ci] != child_hier) {
+          ++ci;
+        }
+        if (ci == node.children.size()) {
+          return Status::InvalidRun(
+              "execution of a subgraph surfaced inside a copy of an "
+              "unrelated subgraph");
+        }
+        ++child_tally_[ci];
+      }
+      mg_.RemoveEdge(e);
+    }
+    for (size_t ci = 0; ci < node.children.size(); ++ci) {
+      if (child_tally_[ci] != 1) {
+        return Status::InvalidRun(
+            "copy does not contain exactly one execution of each nested "
+            "fork/loop (run does not conform to the specification)");
+      }
+    }
+    const auto& expected_edges = own_edge_count_[h];
+    if (edge_tally_.size() != expected_edges.size()) {
+      return Status::InvalidRun(
+          "copy's edges do not match the subgraph (run does not conform to "
+          "the specification)");
+    }
+    for (const auto& [key, count] : edge_tally_) {
+      auto it = expected_edges.find(key);
+      if (it == expected_edges.end() || it->second != count) {
+        return Status::InvalidRun(
+            "copy's edges do not match the subgraph (run does not conform "
+            "to the specification)");
+      }
+    }
+    out->node = x;
+    out->source = copy_s;
+    out->sink = copy_t;
+    out->copy_edge = mg_.AddEdge(copy_s, copy_t, /*tag=*/-2);
+    return Status::OK();
+  }
+
+  Status GroupForkCopies(HierNodeId h, const HierNode& node,
+                         const std::vector<CopyRec>& copies) {
+    std::unordered_map<uint64_t, PlanNodeId> groups;
+    std::vector<std::pair<uint64_t, PlanNodeId>> group_order;
+    for (const CopyRec& rec : copies) {
+      uint64_t key = PairKey(rec.source, rec.sink);
+      auto [it, inserted] = groups.emplace(key, kInvalidPlanNode);
+      if (inserted) {
+        it->second = plan_.AddNode(PlanNodeType::kFMinus, h);
+        group_order.emplace_back(key, it->second);
+      }
+      plan_.SetParent(rec.node, it->second);
+      mg_.RemoveEdge(rec.copy_edge);
+    }
+    for (auto [key, g] : group_order) {
+      VertexId s = static_cast<VertexId>(key >> 32);
+      VertexId t = static_cast<VertexId>(key & 0xffffffffu);
+      EdgeId ge = mg_.AddEdge(s, t, /*tag=*/g);
+      PropagateSeed(node, ge);
+    }
+    return Status::OK();
+  }
+
+  Status GroupLoopCopies(HierNodeId h, const HierNode& node,
+                         const std::vector<CopyRec>& copies) {
+    const VertexId spec_s = node.source;
+    const VertexId spec_t = node.sink;
+    std::unordered_map<VertexId, size_t> by_source;
+    std::unordered_map<VertexId, size_t> by_sink;
+    by_source.reserve(copies.size() * 2);
+    by_sink.reserve(copies.size() * 2);
+    for (size_t i = 0; i < copies.size(); ++i) {
+      by_source.emplace(copies[i].source, i);
+      by_sink.emplace(copies[i].sink, i);
+    }
+    std::vector<bool> grouped(copies.size(), false);
+
+    // Returns the index of the serial predecessor/successor copy, or SIZE_MAX.
+    auto serial_prev = [&](size_t i, EdgeId* edge) -> Result<size_t> {
+      for (EdgeId e : mg_.InEdges(copies[i].source)) {
+        if (origin_[mg_.edge(e).from] == spec_t) {
+          auto it = by_sink.find(mg_.edge(e).from);
+          if (it == by_sink.end()) {
+            return Status::InvalidRun("dangling serial loop edge");
+          }
+          *edge = e;
+          return it->second;
+        }
+      }
+      return size_t{SIZE_MAX};
+    };
+    auto serial_next = [&](size_t i, EdgeId* edge) -> Result<size_t> {
+      for (EdgeId e : mg_.OutEdges(copies[i].sink)) {
+        if (origin_[mg_.edge(e).to] == spec_s) {
+          auto it = by_source.find(mg_.edge(e).to);
+          if (it == by_source.end()) {
+            return Status::InvalidRun("dangling serial loop edge");
+          }
+          *edge = e;
+          return it->second;
+        }
+      }
+      return size_t{SIZE_MAX};
+    };
+
+    for (size_t i = 0; i < copies.size(); ++i) {
+      if (grouped[i]) continue;
+      // Walk back to the first copy of this serial chain.
+      size_t start = i;
+      for (size_t steps = 0;; ++steps) {
+        if (steps > copies.size()) {
+          return Status::InvalidRun("serial loop chain contains a cycle");
+        }
+        EdgeId unused;
+        SKL_ASSIGN_OR_RETURN(size_t prev, serial_prev(start, &unused));
+        if (prev == SIZE_MAX) break;
+        start = prev;
+      }
+      // Walk forward collecting the ordered chain.
+      std::vector<size_t> chain{start};
+      std::vector<EdgeId> serial_edges;
+      for (size_t cur = start;;) {
+        EdgeId e = kInvalidEdge;
+        SKL_ASSIGN_OR_RETURN(size_t next, serial_next(cur, &e));
+        if (next == SIZE_MAX) break;
+        if (grouped[next] || next == start) {
+          return Status::InvalidRun("serial loop chain is inconsistent");
+        }
+        serial_edges.push_back(e);
+        chain.push_back(next);
+        cur = next;
+        if (chain.size() > copies.size()) {
+          return Status::InvalidRun("serial loop chain contains a cycle");
+        }
+      }
+      PlanNodeId g = plan_.AddNode(PlanNodeType::kLMinus, h);
+      for (size_t idx : chain) {
+        grouped[idx] = true;
+        plan_.SetParent(copies[idx].node, g);  // appends: keeps serial order
+        mg_.RemoveEdge(copies[idx].copy_edge);
+      }
+      for (EdgeId e : serial_edges) mg_.RemoveEdge(e);
+      EdgeId ge = mg_.AddEdge(copies[chain.front()].source,
+                              copies[chain.back()].sink, /*tag=*/g);
+      PropagateSeed(node, ge);
+    }
+    return Status::OK();
+  }
+
+  /// Registers a freshly created execution edge as a copy seed for the parent
+  /// subgraph if this node is the parent's designated child.
+  void PropagateSeed(const HierNode& node, EdgeId group_edge) {
+    HierNodeId parent = node.parent;
+    if (parent == kHierRoot) return;  // the root is never searched
+    HierNodeId self =
+        static_cast<HierNodeId>(node.subgraph_index + 1);
+    if (hg_.node(parent).designated_child == self) {
+      seeds_[parent].push_back(group_edge);
+    }
+  }
+
+  Status FinishRoot() {
+    // Any still-unparented execution node must hang off the root; the root,
+    // like every copy, contains exactly one execution per hierarchy child.
+    std::vector<uint32_t> tally(hg_.size(), 0);
+    for (size_t i = 1; i < plan_.num_nodes(); ++i) {
+      const PlanNode& n = plan_.node(static_cast<PlanNodeId>(i));
+      if (n.parent != kInvalidPlanNode) continue;
+      if (IsPlusNode(n.type)) {
+        return Status::Internal("ungrouped copy node");
+      }
+      if (hg_.node(n.hier).parent != kHierRoot) {
+        return Status::InvalidRun(
+            "nested execution never enclosed by a parent copy (run does not "
+            "conform to the specification)");
+      }
+      ++tally[n.hier];
+      plan_.SetParent(static_cast<PlanNodeId>(i), kPlanRoot);
+    }
+    for (HierNodeId c : hg_.node(kHierRoot).children) {
+      if (tally[c] != 1) {
+        return Status::InvalidRun(
+            "top level does not contain exactly one execution of each "
+            "fork/loop (run does not conform to the specification)");
+      }
+    }
+    for (VertexId v = 0; v < plan_.num_run_vertices(); ++v) {
+      if (plan_.ContextOf(v) == kInvalidPlanNode) {
+        plan_.AssignContext(v, kPlanRoot);
+      }
+    }
+    return Status::OK();
+  }
+
+  /// After all collapses the surviving graph must be exactly the
+  /// specification's root with child executions contracted: every root-owned
+  /// edge once, every root-owned module once.
+  Status ValidateRootLevel() {
+    const HierNode& root = hg_.node(kHierRoot);
+    std::unordered_map<uint64_t, int> expected;
+    for (const auto& [u, v] : root.own_edges) ++expected[PairKey(u, v)];
+    for (EdgeId e = 0; e < mg_.edge_capacity(); ++e) {
+      if (!mg_.IsAlive(e)) continue;
+      const MultiEdge& me = mg_.edge(e);
+      if (me.tag == -2) return Status::Internal("left-over copy edge");
+      if (me.tag >= 0) {
+        if (plan_.node(me.tag).parent != kPlanRoot) {
+          return Status::Internal("left-over nested execution edge");
+        }
+        continue;
+      }
+      auto it = expected.find(PairKey(origin_[me.from], origin_[me.to]));
+      if (it == expected.end() || it->second == 0) {
+        return Status::InvalidRun(
+            "run has an edge the specification's top level does not (run "
+            "does not conform to the specification)");
+      }
+      --it->second;
+    }
+    for (const auto& entry : expected) {
+      if (entry.second != 0) {
+        return Status::InvalidRun(
+            "run is missing a top-level specification edge");
+      }
+    }
+    // Root-context vertices must carry distinct root-owned modules, one each.
+    std::vector<uint8_t> seen(spec_.graph().num_vertices(), 0);
+    size_t root_ctx = 0;
+    for (VertexId v = 0; v < plan_.num_run_vertices(); ++v) {
+      if (plan_.ContextOf(v) != kPlanRoot) continue;
+      ++root_ctx;
+      VertexId ov = origin_[v];
+      if (hg_.OwnerOf(ov) != kHierRoot) {
+        return Status::InvalidRun(
+            "vertex outside every fork/loop copy is not a top-level module");
+      }
+      if (seen[ov]++) {
+        return Status::InvalidRun(
+            "two top-level run vertices share a module name");
+      }
+    }
+    if (root_ctx != hg_.OwnVertices(kHierRoot).size()) {
+      return Status::InvalidRun("run is missing a top-level module");
+    }
+    SKL_RETURN_NOT_OK(plan_.Validate(num_run_edges_));
+    return Status::OK();
+  }
+
+  const Specification& spec_;
+  const Hierarchy& hg_;
+  std::vector<VertexId> origin_;
+  Multigraph mg_;
+  ExecutionPlan plan_;
+  size_t num_run_edges_;
+
+  std::vector<std::vector<EdgeId>> seeds_;
+  std::vector<uint32_t> vert_stamp_;
+  std::vector<uint32_t> edge_stamp_;
+  uint32_t stamp_ = 0;
+  // Scratch buffers reused across SearchCopy calls.
+  std::vector<EdgeId> copy_edges_;
+  std::vector<VertexId> copy_verts_;
+  std::vector<VertexId> dfs_stack_;
+  std::vector<uint32_t> child_tally_;
+  std::vector<std::unordered_map<uint64_t, int>> own_edge_count_;
+  std::unordered_map<uint64_t, int> edge_tally_;
+};
+
+}  // namespace
+
+Result<RecoveredPlan> ConstructPlan(const Specification& spec,
+                                    const Run& run) {
+  SKL_ASSIGN_OR_RETURN(std::vector<VertexId> origin,
+                       ComputeOrigin(spec, run));
+  return ConstructPlanWithOrigin(spec, run, std::move(origin));
+}
+
+Result<RecoveredPlan> ConstructPlanWithOrigin(const Specification& spec,
+                                              const Run& run,
+                                              std::vector<VertexId> origin) {
+  if (origin.size() != run.num_vertices()) {
+    return Status::InvalidArgument("origin size mismatch");
+  }
+  PlanRecovery recovery(spec, run, std::move(origin));
+  return recovery.Build();
+}
+
+}  // namespace skl

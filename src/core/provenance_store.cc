@@ -1,0 +1,144 @@
+#include "src/core/provenance_store.h"
+
+#include <algorithm>
+
+#include "src/common/bit_codec.h"
+#include "src/core/label_codec.h"
+
+namespace skl {
+
+namespace {
+constexpr uint32_t kMagic = 0x534b4c50;  // "SKLP"
+constexpr uint32_t kVersion = 1;
+}  // namespace
+
+ProvenanceStore ProvenanceStore::Capture(const RunLabeling& labeling,
+                                         const DataCatalog* catalog) {
+  ProvenanceStore store;
+  store.labels_ = labeling.labels();
+  if (catalog != nullptr) {
+    store.item_writers_.reserve(catalog->size());
+    store.item_readers_.reserve(catalog->size());
+    for (DataItemId x = 0; x < catalog->size(); ++x) {
+      store.item_writers_.push_back(catalog->OutputOf(x));
+      store.item_readers_.push_back(catalog->InputsOf(x));
+    }
+  }
+  return store;
+}
+
+std::vector<uint8_t> ProvenanceStore::Serialize() const {
+  BitWriter writer;
+  writer.Write(kMagic, 32);
+  writer.WriteVarint(kVersion);
+  // Labels block: reuse the label codec widths.
+  const uint32_t n = static_cast<uint32_t>(labels_.size());
+  uint32_t max_q = 1, max_origin = 0;
+  for (const RunLabel& l : labels_) {
+    max_q = std::max({max_q, l.q1, l.q2, l.q3});
+    max_origin = std::max(max_origin, l.origin);
+  }
+  const int q_bits = BitsForCount(max_q + 1);
+  const int o_bits = BitsForCount(max_origin + 2);
+  writer.WriteVarint(n);
+  writer.WriteVarint(static_cast<uint64_t>(q_bits));
+  writer.WriteVarint(static_cast<uint64_t>(o_bits));
+  for (const RunLabel& l : labels_) {
+    writer.Write(l.q1, q_bits);
+    writer.Write(l.q2, q_bits);
+    writer.Write(l.q3, q_bits);
+    writer.Write(l.origin, o_bits);
+  }
+  // Catalog block.
+  writer.WriteVarint(item_writers_.size());
+  for (size_t x = 0; x < item_writers_.size(); ++x) {
+    writer.WriteVarint(item_writers_[x]);
+    writer.WriteVarint(item_readers_[x].size());
+    for (VertexId r : item_readers_[x]) writer.WriteVarint(r);
+  }
+  return writer.Finish();
+}
+
+Result<ProvenanceStore> ProvenanceStore::Deserialize(
+    const std::vector<uint8_t>& bytes) {
+  BitReader reader(bytes);
+  uint64_t magic, version, n, q_bits, o_bits;
+  SKL_RETURN_NOT_OK(reader.Read(32, &magic));
+  if (magic != kMagic) return Status::ParseError("not a provenance store");
+  SKL_RETURN_NOT_OK(reader.ReadVarint(&version));
+  if (version != kVersion) {
+    return Status::ParseError("unsupported store version");
+  }
+  SKL_RETURN_NOT_OK(reader.ReadVarint(&n));
+  SKL_RETURN_NOT_OK(reader.ReadVarint(&q_bits));
+  SKL_RETURN_NOT_OK(reader.ReadVarint(&o_bits));
+  if (q_bits == 0 || q_bits > 32 || o_bits == 0 || o_bits > 32) {
+    return Status::ParseError("corrupt store header");
+  }
+  ProvenanceStore store;
+  store.labels_.resize(n);
+  for (uint64_t v = 0; v < n; ++v) {
+    uint64_t q1, q2, q3, origin;
+    SKL_RETURN_NOT_OK(reader.Read(static_cast<int>(q_bits), &q1));
+    SKL_RETURN_NOT_OK(reader.Read(static_cast<int>(q_bits), &q2));
+    SKL_RETURN_NOT_OK(reader.Read(static_cast<int>(q_bits), &q3));
+    SKL_RETURN_NOT_OK(reader.Read(static_cast<int>(o_bits), &origin));
+    store.labels_[v] = RunLabel{
+        static_cast<uint32_t>(q1), static_cast<uint32_t>(q2),
+        static_cast<uint32_t>(q3), static_cast<VertexId>(origin)};
+  }
+  uint64_t items;
+  SKL_RETURN_NOT_OK(reader.ReadVarint(&items));
+  store.item_writers_.resize(items);
+  store.item_readers_.resize(items);
+  for (uint64_t x = 0; x < items; ++x) {
+    uint64_t writer_v, readers;
+    SKL_RETURN_NOT_OK(reader.ReadVarint(&writer_v));
+    if (writer_v >= n) return Status::ParseError("item writer out of range");
+    store.item_writers_[x] = static_cast<VertexId>(writer_v);
+    SKL_RETURN_NOT_OK(reader.ReadVarint(&readers));
+    if (readers > n) return Status::ParseError("reader count out of range");
+    store.item_readers_[x].resize(readers);
+    for (uint64_t r = 0; r < readers; ++r) {
+      uint64_t reader_v;
+      SKL_RETURN_NOT_OK(reader.ReadVarint(&reader_v));
+      if (reader_v >= n) {
+        return Status::ParseError("item reader out of range");
+      }
+      store.item_readers_[x][r] = static_cast<VertexId>(reader_v);
+    }
+  }
+  return store;
+}
+
+Result<bool> ProvenanceStore::DependsOn(
+    DataItemId x, DataItemId x_from,
+    const SpecLabelingScheme& scheme) const {
+  if (x >= num_items() || x_from >= num_items()) {
+    return Status::InvalidArgument("unknown data item");
+  }
+  const RunLabel& out = labels_[item_writers_[x]];
+  for (VertexId r : item_readers_[x_from]) {
+    if (RunLabeling::Decide(labels_[r], out, scheme)) return true;
+  }
+  return false;
+}
+
+Result<bool> ProvenanceStore::ModuleDependsOnData(
+    VertexId v, DataItemId x, const SpecLabelingScheme& scheme) const {
+  if (x >= num_items()) return Status::InvalidArgument("unknown data item");
+  if (v >= num_vertices()) return Status::InvalidArgument("unknown vertex");
+  for (VertexId r : item_readers_[x]) {
+    if (RunLabeling::Decide(labels_[r], labels_[v], scheme)) return true;
+  }
+  return false;
+}
+
+Result<bool> ProvenanceStore::DataDependsOnModule(
+    DataItemId x, VertexId v, const SpecLabelingScheme& scheme) const {
+  if (x >= num_items()) return Status::InvalidArgument("unknown data item");
+  if (v >= num_vertices()) return Status::InvalidArgument("unknown vertex");
+  return RunLabeling::Decide(labels_[v], labels_[item_writers_[x]], scheme);
+}
+
+}  // namespace skl

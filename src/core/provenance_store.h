@@ -1,0 +1,70 @@
+// Persistent provenance store: what a workflow system would actually write
+// to its provenance database after a run completes. Holds the bit-packed run
+// labels (at the exact Lemma 4.7 width) plus the data-item catalog, serialized
+// to a single self-describing binary blob. Queries need only the blob and the
+// specification's skeleton scheme — the run graph itself can be discarded,
+// which is the whole point of reachability labels.
+//
+// Layout: magic "SKLP", format version, encoded labels block (label_codec),
+// then the catalog as varints (item count; per item: writer, reader count,
+// readers).
+#ifndef SKL_CORE_PROVENANCE_STORE_H_
+#define SKL_CORE_PROVENANCE_STORE_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "src/common/status.h"
+#include "src/core/data_provenance.h"
+#include "src/core/run_labeling.h"
+
+namespace skl {
+
+class ProvenanceStore {
+ public:
+  /// Captures a labeled run and (optionally) its data catalog.
+  static ProvenanceStore Capture(const RunLabeling& labeling,
+                                 const DataCatalog* catalog = nullptr);
+
+  /// Serializes to a self-describing blob.
+  std::vector<uint8_t> Serialize() const;
+
+  /// Restores a store from a blob.
+  static Result<ProvenanceStore> Deserialize(
+      const std::vector<uint8_t>& bytes);
+
+  VertexId num_vertices() const {
+    return static_cast<VertexId>(labels_.size());
+  }
+  size_t num_items() const { return item_writers_.size(); }
+
+  const RunLabel& label(VertexId v) const { return labels_[v]; }
+
+  /// Module-level reachability against a skeleton scheme built over the
+  /// originating specification.
+  bool Reaches(VertexId v, VertexId w,
+               const SpecLabelingScheme& scheme) const {
+    return RunLabeling::Decide(labels_[v], labels_[w], scheme);
+  }
+
+  /// Item-level dependency (paper Section 6): x depends on x_from.
+  Result<bool> DependsOn(DataItemId x, DataItemId x_from,
+                         const SpecLabelingScheme& scheme) const;
+
+  /// Did module execution v read data derived from item x?
+  Result<bool> ModuleDependsOnData(VertexId v, DataItemId x,
+                                   const SpecLabelingScheme& scheme) const;
+
+  /// Is item x downstream of module execution v?
+  Result<bool> DataDependsOnModule(DataItemId x, VertexId v,
+                                   const SpecLabelingScheme& scheme) const;
+
+ private:
+  std::vector<RunLabel> labels_;
+  std::vector<VertexId> item_writers_;
+  std::vector<std::vector<VertexId>> item_readers_;
+};
+
+}  // namespace skl
+
+#endif  // SKL_CORE_PROVENANCE_STORE_H_

@@ -1,0 +1,102 @@
+#include "src/core/run_labeling.h"
+
+#include "src/common/bit_codec.h"
+#include "src/common/check.h"
+
+namespace skl {
+
+Result<RunLabeling> RunLabeling::FromPlan(const Specification& spec,
+                                          const SpecLabelingScheme* scheme,
+                                          const ExecutionPlan& plan,
+                                          std::vector<VertexId> origin) {
+  if (scheme == nullptr) {
+    return Status::InvalidArgument("null skeleton scheme");
+  }
+  if (origin.size() != plan.num_run_vertices()) {
+    return Status::InvalidArgument("origin/plan size mismatch");
+  }
+  RunLabeling rl;
+  rl.scheme_ = scheme;
+  ContextEncoding enc = GenerateThreeOrders(plan);
+  rl.labels_.resize(plan.num_run_vertices());
+  for (VertexId v = 0; v < plan.num_run_vertices(); ++v) {
+    PlanNodeId x = plan.ContextOf(v);
+    if (x == kInvalidPlanNode) {
+      return Status::Internal("vertex without context");
+    }
+    if (enc.q1[x] == 0) {
+      return Status::Internal("context is an empty + node");
+    }
+    rl.labels_[v] =
+        RunLabel{enc.q1[x], enc.q2[x], enc.q3[x], origin[v]};
+  }
+  rl.num_nonempty_plus_ = enc.num_nonempty_plus;
+  rl.context_bits_ =
+      3 * static_cast<uint32_t>(BitsForCount(enc.num_nonempty_plus));
+  rl.origin_bits_ =
+      static_cast<uint32_t>(BitsForCount(spec.graph().num_vertices()));
+  return rl;
+}
+
+bool RunLabeling::Decide(const RunLabel& a, const RunLabel& b,
+                         const SpecLabelingScheme& scheme) {
+  int64_t d2 = static_cast<int64_t>(a.q2) - static_cast<int64_t>(b.q2);
+  int64_t d3 = static_cast<int64_t>(a.q3) - static_cast<int64_t>(b.q3);
+  if (d2 * d3 < 0) {
+    // LCA of the contexts is an F- node (unreachable either way) or an L-
+    // node (reachable in serial order); a.q1 < b.q1 && a.q3 > b.q3 singles
+    // out the L- case in the forward direction (Lemma 4.5).
+    return a.q1 < b.q1 && a.q3 > b.q3;
+  }
+  return scheme.Reaches(a.origin, b.origin);
+}
+
+const char* RunRelationshipName(RunRelationship r) {
+  switch (r) {
+    case RunRelationship::kEqual:
+      return "equal";
+    case RunRelationship::kForward:
+      return "forward";
+    case RunRelationship::kBackward:
+      return "backward";
+    case RunRelationship::kUnrelated:
+      return "unrelated";
+  }
+  return "?";
+}
+
+RunRelationship RunLabeling::Relate(VertexId v, VertexId w) const {
+  if (v == w) return RunRelationship::kEqual;
+  const RunLabel& a = labels_[v];
+  const RunLabel& b = labels_[w];
+  int64_t d2 = static_cast<int64_t>(a.q2) - static_cast<int64_t>(b.q2);
+  int64_t d3 = static_cast<int64_t>(a.q3) - static_cast<int64_t>(b.q3);
+  if (d2 * d3 < 0) {
+    // L- ancestor: O1 and the reversed O3 disagree, direction from O1.
+    // F- ancestor: O1 and O3 agree, so neither test below fires.
+    if (a.q1 < b.q1 && a.q3 > b.q3) return RunRelationship::kForward;
+    if (b.q1 < a.q1 && b.q3 > a.q3) return RunRelationship::kBackward;
+    return RunRelationship::kUnrelated;
+  }
+  if (scheme_->Reaches(a.origin, b.origin)) return RunRelationship::kForward;
+  if (scheme_->Reaches(b.origin, a.origin)) {
+    return RunRelationship::kBackward;
+  }
+  return RunRelationship::kUnrelated;
+}
+
+bool RunLabeling::ReachesWithStats(VertexId v, VertexId w,
+                                   bool* used_skeleton) const {
+  const RunLabel& a = labels_[v];
+  const RunLabel& b = labels_[w];
+  int64_t d2 = static_cast<int64_t>(a.q2) - static_cast<int64_t>(b.q2);
+  int64_t d3 = static_cast<int64_t>(a.q3) - static_cast<int64_t>(b.q3);
+  if (d2 * d3 < 0) {
+    *used_skeleton = false;
+    return a.q1 < b.q1 && a.q3 > b.q3;
+  }
+  *used_skeleton = true;
+  return scheme_->Reaches(a.origin, b.origin);
+}
+
+}  // namespace skl

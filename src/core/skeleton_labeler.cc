@@ -1,0 +1,43 @@
+#include "src/core/skeleton_labeler.h"
+
+#include <utility>
+
+namespace skl {
+
+SkeletonLabeler::SkeletonLabeler(const Specification* spec,
+                                 SpecSchemeKind scheme_kind)
+    : spec_(spec), scheme_(CreateSpecScheme(scheme_kind)) {}
+
+SkeletonLabeler::SkeletonLabeler(const Specification* spec,
+                                 std::unique_ptr<SpecLabelingScheme> scheme)
+    : spec_(spec), scheme_(std::move(scheme)) {}
+
+Status SkeletonLabeler::Init() {
+  SKL_RETURN_NOT_OK(scheme_->Build(spec_->graph()));
+  initialized_ = true;
+  return Status::OK();
+}
+
+Result<RunLabeling> SkeletonLabeler::LabelRun(const Run& run) const {
+  if (!initialized_) {
+    return Status::InvalidArgument("SkeletonLabeler::Init() not called");
+  }
+  SKL_ASSIGN_OR_RETURN(RecoveredPlan recovered, ConstructPlan(*spec_, run));
+  return RunLabeling::FromPlan(*spec_, scheme_.get(), recovered.plan,
+                               std::move(recovered.origin));
+}
+
+Result<RunLabeling> SkeletonLabeler::LabelRunWithPlan(
+    const Run& run, const ExecutionPlan& plan,
+    std::vector<VertexId> origin) const {
+  if (!initialized_) {
+    return Status::InvalidArgument("SkeletonLabeler::Init() not called");
+  }
+  if (plan.num_run_vertices() != run.num_vertices()) {
+    return Status::InvalidArgument("plan does not match the run");
+  }
+  return RunLabeling::FromPlan(*spec_, scheme_.get(), plan,
+                               std::move(origin));
+}
+
+}  // namespace skl

@@ -1,0 +1,55 @@
+// Facade tying the pieces together (paper Algorithm 2): label the
+// specification once with a chosen scheme, then label any number of
+// conforming runs. This is the main entry point of the library:
+//
+//   SkeletonLabeler labeler(&spec, SpecSchemeKind::kTcm);
+//   SKL_RETURN_NOT_OK(labeler.Init());
+//   auto labeling = labeler.LabelRun(run);            // raw graph
+//   auto labeling2 = labeler.LabelRunWithPlan(run, plan, origin);  // logs
+//   labeling->Reaches(v, w);
+#ifndef SKL_CORE_SKELETON_LABELER_H_
+#define SKL_CORE_SKELETON_LABELER_H_
+
+#include <memory>
+
+#include "src/core/plan_builder.h"
+#include "src/core/run_labeling.h"
+#include "src/speclabel/scheme.h"
+#include "src/workflow/run.h"
+#include "src/workflow/specification.h"
+
+namespace skl {
+
+class SkeletonLabeler {
+ public:
+  /// `spec` must outlive the labeler and every labeling it produces.
+  SkeletonLabeler(const Specification* spec, SpecSchemeKind scheme_kind);
+  SkeletonLabeler(const Specification* spec,
+                  std::unique_ptr<SpecLabelingScheme> scheme);
+
+  /// Builds the skeleton labels (once; amortized over all runs).
+  Status Init();
+
+  /// Labels a raw run graph: recovers plan + context (Section 5), then
+  /// assigns (q1,q2,q3,origin) labels.
+  Result<RunLabeling> LabelRun(const Run& run) const;
+
+  /// Labels a run whose plan + context are already known (e.g. from the
+  /// workflow engine's log, as Taverna provides).
+  Result<RunLabeling> LabelRunWithPlan(const Run& run,
+                                       const ExecutionPlan& plan,
+                                       std::vector<VertexId> origin) const;
+
+  const Specification& spec() const { return *spec_; }
+  const SpecLabelingScheme& scheme() const { return *scheme_; }
+  bool initialized() const { return initialized_; }
+
+ private:
+  const Specification* spec_;
+  std::unique_ptr<SpecLabelingScheme> scheme_;
+  bool initialized_ = false;
+};
+
+}  // namespace skl
+
+#endif  // SKL_CORE_SKELETON_LABELER_H_

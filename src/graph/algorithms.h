@@ -1,0 +1,50 @@
+// Graph algorithms shared by the workflow model, the labeling schemes and the
+// test oracles: topological sort, reachability (single query and all-pairs),
+// connectivity, and source/sink analysis.
+#ifndef SKL_GRAPH_ALGORITHMS_H_
+#define SKL_GRAPH_ALGORITHMS_H_
+
+#include <vector>
+
+#include "src/common/bitset.h"
+#include "src/common/status.h"
+#include "src/graph/digraph.h"
+
+namespace skl {
+
+/// Kahn topological sort. Returns InvalidArgument if g has a cycle.
+Result<std::vector<VertexId>> TopologicalSort(const Digraph& g);
+
+/// True iff g is acyclic.
+bool IsAcyclic(const Digraph& g);
+
+/// BFS reachability query: is there a (possibly empty) path from u to v?
+/// Reflexive: Reaches(g, u, u) is true.
+bool Reaches(const Digraph& g, VertexId u, VertexId v);
+
+/// DFS (iterative) variant of Reaches, used by the DFS skeleton scheme.
+bool ReachesDfs(const Digraph& g, VertexId u, VertexId v);
+
+/// Set of vertices reachable from u, including u.
+DynamicBitset ReachableFrom(const Digraph& g, VertexId u);
+
+/// Full reflexive transitive closure: row u = vertices reachable from u.
+/// O(n*m/64) via bitset DP over a reverse topological order.
+/// Precondition: g is acyclic.
+std::vector<DynamicBitset> TransitiveClosure(const Digraph& g);
+
+/// Vertices with in-degree 0 / out-degree 0.
+std::vector<VertexId> Sources(const Digraph& g);
+std::vector<VertexId> Sinks(const Digraph& g);
+
+/// True iff the subgraph induced by `vertices` (markers over g's vertex set)
+/// is weakly connected, treating edges as undirected and only edges with both
+/// endpoints marked. An empty set is considered connected.
+bool InducedWeaklyConnected(const Digraph& g, const std::vector<bool>& in_set);
+
+/// True iff g contains a duplicate (u,v) edge.
+bool HasParallelEdges(const Digraph& g);
+
+}  // namespace skl
+
+#endif  // SKL_GRAPH_ALGORITHMS_H_

@@ -1,0 +1,69 @@
+#include "src/graph/multigraph.h"
+
+#include "src/common/check.h"
+
+namespace skl {
+
+Multigraph::Multigraph(VertexId n) : out_(n), in_(n) {}
+
+Multigraph::Multigraph(const Digraph& g) : Multigraph(g.num_vertices()) {
+  for (VertexId u = 0; u < g.num_vertices(); ++u) {
+    for (VertexId v : g.OutNeighbors(u)) AddEdge(u, v);
+  }
+}
+
+VertexId Multigraph::AddVertex() {
+  out_.emplace_back();
+  in_.emplace_back();
+  return static_cast<VertexId>(out_.size() - 1);
+}
+
+EdgeId Multigraph::AddEdge(VertexId u, VertexId v, int32_t tag) {
+  SKL_DCHECK(u < num_vertices() && v < num_vertices());
+  EdgeId e = static_cast<EdgeId>(edges_.size());
+  edges_.push_back(MultiEdge{u, v, tag, true});
+  out_[u].push_back(e);
+  in_[v].push_back(e);
+  ++alive_edges_;
+  return e;
+}
+
+void Multigraph::RemoveEdge(EdgeId e) {
+  SKL_DCHECK(e < edges_.size());
+  if (edges_[e].alive) {
+    edges_[e].alive = false;
+    --alive_edges_;
+  }
+}
+
+void Multigraph::CompactOut(VertexId u) {
+  auto& list = out_[u];
+  size_t w = 0;
+  for (EdgeId e : list) {
+    if (edges_[e].alive) list[w++] = e;
+  }
+  list.resize(w);
+}
+
+void Multigraph::CompactIn(VertexId u) {
+  auto& list = in_[u];
+  size_t w = 0;
+  for (EdgeId e : list) {
+    if (edges_[e].alive) list[w++] = e;
+  }
+  list.resize(w);
+}
+
+const std::vector<EdgeId>& Multigraph::OutEdges(VertexId u) {
+  SKL_DCHECK(u < num_vertices());
+  CompactOut(u);
+  return out_[u];
+}
+
+const std::vector<EdgeId>& Multigraph::InEdges(VertexId u) {
+  SKL_DCHECK(u < num_vertices());
+  CompactIn(u);
+  return in_[u];
+}
+
+}  // namespace skl

@@ -1,0 +1,74 @@
+// Mutable directed multigraph with stable edge ids and O(1) amortized edge
+// deletion. This is the working representation used by the plan-recovery
+// algorithm (Section 5 of the paper), which repeatedly collapses fork/loop
+// copies into "special" edges: parallel special edges can coexist, so a
+// simple adjacency set is not enough.
+#ifndef SKL_GRAPH_MULTIGRAPH_H_
+#define SKL_GRAPH_MULTIGRAPH_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "src/graph/digraph.h"
+
+namespace skl {
+
+using EdgeId = uint32_t;
+inline constexpr EdgeId kInvalidEdge = UINT32_MAX;
+
+/// Edge payload: endpoints plus a caller-defined tag (the plan builder tags
+/// special edges with the hierarchy node they stand for).
+struct MultiEdge {
+  VertexId from = kInvalidVertex;
+  VertexId to = kInvalidVertex;
+  int32_t tag = -1;
+  bool alive = false;
+};
+
+class Multigraph {
+ public:
+  Multigraph() = default;
+  /// Creates a multigraph with `n` vertices and no edges.
+  explicit Multigraph(VertexId n);
+  /// Creates a multigraph holding a copy of `g`'s edges (tag = -1).
+  explicit Multigraph(const Digraph& g);
+
+  VertexId num_vertices() const { return static_cast<VertexId>(out_.size()); }
+  /// Number of currently alive edges.
+  size_t num_alive_edges() const { return alive_edges_; }
+  /// Total edge slots ever allocated (dead ids are not reused).
+  size_t edge_capacity() const { return edges_.size(); }
+
+  VertexId AddVertex();
+
+  /// Adds an edge and returns its id.
+  EdgeId AddEdge(VertexId u, VertexId v, int32_t tag = -1);
+
+  /// Marks an edge dead. Dead edges are skipped by iteration helpers.
+  void RemoveEdge(EdgeId e);
+
+  bool IsAlive(EdgeId e) const { return edges_[e].alive; }
+  const MultiEdge& edge(EdgeId e) const { return edges_[e]; }
+
+  /// Alive out-edge ids of u. Compacts the internal list lazily.
+  const std::vector<EdgeId>& OutEdges(VertexId u);
+  /// Alive in-edge ids of u. Compacts the internal list lazily.
+  const std::vector<EdgeId>& InEdges(VertexId u);
+
+  /// Alive out-degree / in-degree (compacting).
+  size_t OutDegree(VertexId u) { return OutEdges(u).size(); }
+  size_t InDegree(VertexId u) { return InEdges(u).size(); }
+
+ private:
+  void CompactOut(VertexId u);
+  void CompactIn(VertexId u);
+
+  std::vector<MultiEdge> edges_;
+  std::vector<std::vector<EdgeId>> out_;
+  std::vector<std::vector<EdgeId>> in_;
+  size_t alive_edges_ = 0;
+};
+
+}  // namespace skl
+
+#endif  // SKL_GRAPH_MULTIGRAPH_H_

@@ -1,0 +1,179 @@
+#include "src/io/workflow_xml.h"
+
+#include <charconv>
+#include <unordered_map>
+#include <sstream>
+
+#include "src/io/xml.h"
+
+namespace skl {
+
+namespace {
+
+Result<uint32_t> ParseU32(const std::string& s) {
+  uint32_t value = 0;
+  auto [ptr, ec] = std::from_chars(s.data(), s.data() + s.size(), value);
+  if (ec != std::errc() || ptr != s.data() + s.size()) {
+    return Status::ParseError("not an unsigned integer: " + s);
+  }
+  return value;
+}
+
+std::vector<std::string> SplitWords(const std::string& s) {
+  std::vector<std::string> out;
+  std::istringstream iss(s);
+  std::string word;
+  while (iss >> word) out.push_back(word);
+  return out;
+}
+
+}  // namespace
+
+std::string WriteSpecificationXml(const Specification& spec) {
+  XmlNode root;
+  root.name = "specification";
+  for (VertexId v = 0; v < spec.graph().num_vertices(); ++v) {
+    XmlNode m;
+    m.name = "module";
+    m.attributes.emplace_back("name", spec.ModuleName(v));
+    root.children.push_back(std::move(m));
+  }
+  for (const auto& [u, v] : spec.graph().Edges()) {
+    XmlNode e;
+    e.name = "edge";
+    e.attributes.emplace_back("from", spec.ModuleName(u));
+    e.attributes.emplace_back("to", spec.ModuleName(v));
+    root.children.push_back(std::move(e));
+  }
+  for (const SubgraphInfo& sub : spec.subgraphs()) {
+    XmlNode s;
+    s.name = sub.kind == SubgraphKind::kFork ? "fork" : "loop";
+    std::string vertices;
+    for (VertexId v : sub.vertices) {
+      if (!vertices.empty()) vertices.push_back(' ');
+      vertices += spec.ModuleName(v);
+    }
+    s.attributes.emplace_back("vertices", vertices);
+    root.children.push_back(std::move(s));
+  }
+  return SerializeXml(root);
+}
+
+Result<Specification> ReadSpecificationXml(const std::string& xml) {
+  SKL_ASSIGN_OR_RETURN(XmlNode root, ParseXml(xml));
+  if (root.name != "specification") {
+    return Status::ParseError("expected <specification> root");
+  }
+  SpecificationBuilder builder;
+  std::unordered_map<std::string, VertexId> by_name;
+  for (const XmlNode* m : root.FindChildren("module")) {
+    const std::string* name = m->FindAttribute("name");
+    if (name == nullptr) {
+      return Status::ParseError("<module> missing name attribute");
+    }
+    by_name[*name] = builder.AddModule(*name);
+  }
+  auto lookup = [&](const std::string& name) -> Result<VertexId> {
+    auto it = by_name.find(name);
+    if (it == by_name.end()) {
+      return Status::ParseError("unknown module: " + name);
+    }
+    return it->second;
+  };
+  for (const XmlNode* e : root.FindChildren("edge")) {
+    const std::string* from = e->FindAttribute("from");
+    const std::string* to = e->FindAttribute("to");
+    if (from == nullptr || to == nullptr) {
+      return Status::ParseError("<edge> missing from/to attribute");
+    }
+    SKL_ASSIGN_OR_RETURN(VertexId u, lookup(*from));
+    SKL_ASSIGN_OR_RETURN(VertexId v, lookup(*to));
+    builder.AddEdge(u, v);
+  }
+  for (const XmlNode& child : root.children) {
+    if (child.name != "fork" && child.name != "loop") continue;
+    const std::string* vertices = child.FindAttribute("vertices");
+    if (vertices == nullptr) {
+      return Status::ParseError("<" + child.name +
+                                "> missing vertices attribute");
+    }
+    std::vector<VertexId> span;
+    for (const std::string& name : SplitWords(*vertices)) {
+      SKL_ASSIGN_OR_RETURN(VertexId v, lookup(name));
+      span.push_back(v);
+    }
+    if (child.name == "fork") {
+      builder.DeclareFork(std::move(span));
+    } else {
+      builder.DeclareLoop(std::move(span));
+    }
+  }
+  return std::move(builder).Build();
+}
+
+std::string WriteRunXml(const Run& run) {
+  XmlNode root;
+  root.name = "run";
+  for (VertexId v = 0; v < run.num_vertices(); ++v) {
+    XmlNode n;
+    n.name = "vertex";
+    n.attributes.emplace_back("id", std::to_string(v));
+    n.attributes.emplace_back("module", run.ModuleNameOf(v));
+    root.children.push_back(std::move(n));
+  }
+  for (const auto& [u, v] : run.graph().Edges()) {
+    XmlNode e;
+    e.name = "edge";
+    e.attributes.emplace_back("from", std::to_string(u));
+    e.attributes.emplace_back("to", std::to_string(v));
+    root.children.push_back(std::move(e));
+  }
+  return SerializeXml(root);
+}
+
+Result<Run> ReadRunXml(const std::string& xml) {
+  SKL_ASSIGN_OR_RETURN(XmlNode root, ParseXml(xml));
+  if (root.name != "run") {
+    return Status::ParseError("expected <run> root");
+  }
+  auto vertex_nodes = root.FindChildren("vertex");
+  std::vector<std::string> module_of(vertex_nodes.size());
+  for (const XmlNode* n : vertex_nodes) {
+    const std::string* id = n->FindAttribute("id");
+    const std::string* module = n->FindAttribute("module");
+    if (id == nullptr || module == nullptr) {
+      return Status::ParseError("<vertex> missing id/module attribute");
+    }
+    SKL_ASSIGN_OR_RETURN(uint32_t vid, ParseU32(*id));
+    if (vid >= module_of.size()) {
+      return Status::ParseError("vertex id out of range: " + *id);
+    }
+    if (!module_of[vid].empty()) {
+      return Status::ParseError("duplicate vertex id: " + *id);
+    }
+    module_of[vid] = *module;
+  }
+  RunBuilder builder;
+  for (const std::string& module : module_of) {
+    if (module.empty()) {
+      return Status::ParseError("vertex ids are not contiguous");
+    }
+    builder.AddVertex(module);
+  }
+  for (const XmlNode* e : root.FindChildren("edge")) {
+    const std::string* from = e->FindAttribute("from");
+    const std::string* to = e->FindAttribute("to");
+    if (from == nullptr || to == nullptr) {
+      return Status::ParseError("<edge> missing from/to attribute");
+    }
+    SKL_ASSIGN_OR_RETURN(uint32_t u, ParseU32(*from));
+    SKL_ASSIGN_OR_RETURN(uint32_t v, ParseU32(*to));
+    if (u >= module_of.size() || v >= module_of.size()) {
+      return Status::ParseError("edge endpoint out of range");
+    }
+    builder.AddEdge(u, v);
+  }
+  return std::move(builder).Build();
+}
+
+}  // namespace skl

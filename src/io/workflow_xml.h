@@ -1,0 +1,35 @@
+// XML serialization of specifications and runs.
+//
+// Specification:
+//   <specification>
+//     <module name="a"/> ...
+//     <edge from="a" to="b"/> ...
+//     <fork vertices="a b c h"/>
+//     <loop vertices="b c"/>
+//   </specification>
+//
+// Run (module names repeat; ids disambiguate):
+//   <run>
+//     <vertex id="0" module="a"/> ...
+//     <edge from="0" to="3"/> ...
+//   </run>
+#ifndef SKL_IO_WORKFLOW_XML_H_
+#define SKL_IO_WORKFLOW_XML_H_
+
+#include <string>
+
+#include "src/common/status.h"
+#include "src/workflow/run.h"
+#include "src/workflow/specification.h"
+
+namespace skl {
+
+std::string WriteSpecificationXml(const Specification& spec);
+Result<Specification> ReadSpecificationXml(const std::string& xml);
+
+std::string WriteRunXml(const Run& run);
+Result<Run> ReadRunXml(const std::string& xml);
+
+}  // namespace skl
+
+#endif  // SKL_IO_WORKFLOW_XML_H_

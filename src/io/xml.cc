@@ -1,0 +1,277 @@
+#include "src/io/xml.h"
+
+#include <cctype>
+
+namespace skl {
+
+const std::string* XmlNode::FindAttribute(std::string_view key) const {
+  for (const auto& [k, v] : attributes) {
+    if (k == key) return &v;
+  }
+  return nullptr;
+}
+
+const XmlNode* XmlNode::FindChild(std::string_view name_arg) const {
+  for (const XmlNode& c : children) {
+    if (c.name == name_arg) return &c;
+  }
+  return nullptr;
+}
+
+std::vector<const XmlNode*> XmlNode::FindChildren(
+    std::string_view name_arg) const {
+  std::vector<const XmlNode*> out;
+  for (const XmlNode& c : children) {
+    if (c.name == name_arg) out.push_back(&c);
+  }
+  return out;
+}
+
+namespace {
+
+class Parser {
+ public:
+  explicit Parser(std::string_view input) : in_(input) {}
+
+  Result<XmlNode> Parse() {
+    SkipProlog();
+    XmlNode root;
+    SKL_RETURN_NOT_OK(ParseElement(&root));
+    SkipWhitespaceAndComments();
+    if (pos_ != in_.size()) {
+      return Status::ParseError("trailing content after root element");
+    }
+    return root;
+  }
+
+ private:
+  bool Eof() const { return pos_ >= in_.size(); }
+  char Peek() const { return in_[pos_]; }
+  bool Consume(std::string_view token) {
+    if (in_.substr(pos_, token.size()) == token) {
+      pos_ += token.size();
+      return true;
+    }
+    return false;
+  }
+
+  void SkipWhitespace() {
+    while (!Eof() && std::isspace(static_cast<unsigned char>(Peek()))) ++pos_;
+  }
+
+  Status SkipComment() {
+    // Caller consumed "<!--".
+    size_t end = in_.find("-->", pos_);
+    if (end == std::string_view::npos) {
+      return Status::ParseError("unterminated comment");
+    }
+    pos_ = end + 3;
+    return Status::OK();
+  }
+
+  void SkipWhitespaceAndComments() {
+    for (;;) {
+      SkipWhitespace();
+      if (Consume("<!--")) {
+        if (!SkipComment().ok()) return;
+        continue;
+      }
+      return;
+    }
+  }
+
+  void SkipProlog() {
+    SkipWhitespace();
+    if (Consume("<?")) {
+      size_t end = in_.find("?>", pos_);
+      pos_ = end == std::string_view::npos ? in_.size() : end + 2;
+    }
+    SkipWhitespaceAndComments();
+  }
+
+  static bool IsNameChar(char c) {
+    return std::isalnum(static_cast<unsigned char>(c)) || c == '_' ||
+           c == '-' || c == '.' || c == ':';
+  }
+
+  Status ParseName(std::string* out) {
+    size_t start = pos_;
+    while (!Eof() && IsNameChar(Peek())) ++pos_;
+    if (pos_ == start) return Status::ParseError("expected a name");
+    *out = std::string(in_.substr(start, pos_ - start));
+    return Status::OK();
+  }
+
+  Status Unescape(std::string_view raw, std::string* out) {
+    out->clear();
+    out->reserve(raw.size());
+    for (size_t i = 0; i < raw.size(); ++i) {
+      if (raw[i] != '&') {
+        out->push_back(raw[i]);
+        continue;
+      }
+      size_t semi = raw.find(';', i);
+      if (semi == std::string_view::npos) {
+        return Status::ParseError("unterminated entity");
+      }
+      std::string_view entity = raw.substr(i + 1, semi - i - 1);
+      if (entity == "amp") {
+        out->push_back('&');
+      } else if (entity == "lt") {
+        out->push_back('<');
+      } else if (entity == "gt") {
+        out->push_back('>');
+      } else if (entity == "quot") {
+        out->push_back('"');
+      } else if (entity == "apos") {
+        out->push_back('\'');
+      } else {
+        return Status::ParseError("unknown entity: " + std::string(entity));
+      }
+      i = semi;
+    }
+    return Status::OK();
+  }
+
+  Status ParseAttributes(XmlNode* node) {
+    for (;;) {
+      SkipWhitespace();
+      if (Eof()) return Status::ParseError("unterminated start tag");
+      if (Peek() == '>' || Peek() == '/') return Status::OK();
+      std::string key;
+      SKL_RETURN_NOT_OK(ParseName(&key));
+      SkipWhitespace();
+      if (!Consume("=")) return Status::ParseError("expected '='");
+      SkipWhitespace();
+      if (Eof() || (Peek() != '"' && Peek() != '\'')) {
+        return Status::ParseError("expected a quoted attribute value");
+      }
+      char quote = Peek();
+      ++pos_;
+      size_t start = pos_;
+      while (!Eof() && Peek() != quote) ++pos_;
+      if (Eof()) return Status::ParseError("unterminated attribute value");
+      std::string value;
+      SKL_RETURN_NOT_OK(Unescape(in_.substr(start, pos_ - start), &value));
+      ++pos_;
+      node->attributes.emplace_back(std::move(key), std::move(value));
+    }
+  }
+
+  Status ParseElement(XmlNode* node) {
+    SkipWhitespaceAndComments();
+    if (!Consume("<")) return Status::ParseError("expected '<'");
+    SKL_RETURN_NOT_OK(ParseName(&node->name));
+    SKL_RETURN_NOT_OK(ParseAttributes(node));
+    if (Consume("/>")) return Status::OK();
+    if (!Consume(">")) return Status::ParseError("expected '>'");
+    // Content: children, text, comments, until the matching end tag.
+    for (;;) {
+      size_t lt = in_.find('<', pos_);
+      if (lt == std::string_view::npos) {
+        return Status::ParseError("unterminated element: " + node->name);
+      }
+      std::string text_chunk;
+      SKL_RETURN_NOT_OK(Unescape(in_.substr(pos_, lt - pos_), &text_chunk));
+      // Keep non-whitespace character data only.
+      for (char c : text_chunk) {
+        if (!std::isspace(static_cast<unsigned char>(c))) {
+          node->text += text_chunk;
+          break;
+        }
+      }
+      pos_ = lt;
+      if (Consume("<!--")) {
+        SKL_RETURN_NOT_OK(SkipComment());
+        continue;
+      }
+      if (in_.substr(pos_, 2) == "</") {
+        pos_ += 2;
+        std::string closing;
+        SKL_RETURN_NOT_OK(ParseName(&closing));
+        SkipWhitespace();
+        if (!Consume(">")) return Status::ParseError("expected '>'");
+        if (closing != node->name) {
+          return Status::ParseError("mismatched end tag: expected </" +
+                                    node->name + ">, got </" + closing + ">");
+        }
+        return Status::OK();
+      }
+      XmlNode child;
+      SKL_RETURN_NOT_OK(ParseElement(&child));
+      node->children.push_back(std::move(child));
+    }
+  }
+
+  std::string_view in_;
+  size_t pos_ = 0;
+};
+
+void SerializeNode(const XmlNode& node, int indent, std::string* out) {
+  out->append(static_cast<size_t>(indent) * 2, ' ');
+  out->push_back('<');
+  out->append(node.name);
+  for (const auto& [k, v] : node.attributes) {
+    out->push_back(' ');
+    out->append(k);
+    out->append("=\"");
+    out->append(XmlEscape(v));
+    out->push_back('"');
+  }
+  if (node.children.empty() && node.text.empty()) {
+    out->append("/>\n");
+    return;
+  }
+  out->push_back('>');
+  if (!node.text.empty()) out->append(XmlEscape(node.text));
+  if (!node.children.empty()) {
+    out->push_back('\n');
+    for (const XmlNode& c : node.children) SerializeNode(c, indent + 1, out);
+    out->append(static_cast<size_t>(indent) * 2, ' ');
+  }
+  out->append("</");
+  out->append(node.name);
+  out->append(">\n");
+}
+
+}  // namespace
+
+Result<XmlNode> ParseXml(std::string_view input) {
+  Parser parser(input);
+  return parser.Parse();
+}
+
+std::string SerializeXml(const XmlNode& root) {
+  std::string out = "<?xml version=\"1.0\" encoding=\"UTF-8\"?>\n";
+  SerializeNode(root, 0, &out);
+  return out;
+}
+
+std::string XmlEscape(std::string_view text) {
+  std::string out;
+  out.reserve(text.size());
+  for (char c : text) {
+    switch (c) {
+      case '&':
+        out += "&amp;";
+        break;
+      case '<':
+        out += "&lt;";
+        break;
+      case '>':
+        out += "&gt;";
+        break;
+      case '"':
+        out += "&quot;";
+        break;
+      case '\'':
+        out += "&apos;";
+        break;
+      default:
+        out.push_back(c);
+    }
+  }
+  return out;
+}
+
+}  // namespace skl

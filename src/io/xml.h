@@ -1,0 +1,43 @@
+// Minimal XML subset used to persist specifications and runs (the paper
+// stores both as XML files). Supports elements, attributes, self-closing
+// tags, comments, XML declarations and the five predefined entities; no
+// namespaces, CDATA or DTDs. Implemented from scratch — no external
+// dependencies.
+#ifndef SKL_IO_XML_H_
+#define SKL_IO_XML_H_
+
+#include <string>
+#include <string_view>
+#include <utility>
+#include <vector>
+
+#include "src/common/status.h"
+
+namespace skl {
+
+struct XmlNode {
+  std::string name;
+  std::vector<std::pair<std::string, std::string>> attributes;
+  std::vector<XmlNode> children;
+  std::string text;  ///< concatenated character data directly inside
+
+  /// Attribute value, or nullptr.
+  const std::string* FindAttribute(std::string_view key) const;
+  /// First child element with the given name, or nullptr.
+  const XmlNode* FindChild(std::string_view name) const;
+  /// All child elements with the given name.
+  std::vector<const XmlNode*> FindChildren(std::string_view name) const;
+};
+
+/// Parses a document; returns its root element.
+Result<XmlNode> ParseXml(std::string_view input);
+
+/// Serializes with 2-space indentation and a leading XML declaration.
+std::string SerializeXml(const XmlNode& root);
+
+/// Escapes the five predefined entities.
+std::string XmlEscape(std::string_view text);
+
+}  // namespace skl
+
+#endif  // SKL_IO_XML_H_

@@ -1,0 +1,78 @@
+#include "src/speclabel/chain.h"
+
+#include <algorithm>
+
+#include "src/common/bit_codec.h"
+#include "src/common/stopwatch.h"
+#include "src/graph/algorithms.h"
+
+namespace skl {
+
+Status ChainScheme::Build(const Digraph& g) {
+  Stopwatch sw;
+  const VertexId n = g.num_vertices();
+  auto topo_result = TopologicalSort(g);
+  if (!topo_result.ok()) return topo_result.status();
+  const auto& topo = topo_result.value();
+
+  // Greedy chain peeling: walk from every not-yet-covered vertex in
+  // topological order, always extending to an uncovered successor. This is
+  // not a minimum path cover (that needs bipartite matching) but is linear
+  // and typically within a small factor for workflow specs.
+  chain_of_.assign(n, kUnreachable);
+  pos_in_chain_.assign(n, 0);
+  num_chains_ = 0;
+  for (VertexId v : topo) {
+    if (chain_of_[v] != kUnreachable) continue;
+    uint32_t chain = static_cast<uint32_t>(num_chains_++);
+    uint32_t pos = 0;
+    VertexId cur = v;
+    for (;;) {
+      chain_of_[cur] = chain;
+      pos_in_chain_[cur] = pos++;
+      VertexId next = kInvalidVertex;
+      for (VertexId w : g.OutNeighbors(cur)) {
+        if (chain_of_[w] == kUnreachable) {
+          next = w;
+          break;
+        }
+      }
+      if (next == kInvalidVertex) break;
+      cur = next;
+    }
+  }
+
+  // Reverse-topological DP of minimal reachable chain positions.
+  minpos_.assign(static_cast<size_t>(n) * num_chains_, kUnreachable);
+  for (auto it = topo.rbegin(); it != topo.rend(); ++it) {
+    VertexId u = *it;
+    uint32_t* row = &minpos_[static_cast<size_t>(u) * num_chains_];
+    for (VertexId w : g.OutNeighbors(u)) {
+      const uint32_t* wrow = &minpos_[static_cast<size_t>(w) * num_chains_];
+      for (size_t c = 0; c < num_chains_; ++c) {
+        row[c] = std::min(row[c], wrow[c]);
+      }
+    }
+    row[chain_of_[u]] = std::min(row[chain_of_[u]], pos_in_chain_[u]);
+  }
+  build_seconds_ = sw.ElapsedSeconds();
+  return Status::OK();
+}
+
+bool ChainScheme::Reaches(VertexId u, VertexId v) const {
+  return minpos_[static_cast<size_t>(u) * num_chains_ + chain_of_[v]] <=
+         pos_in_chain_[v];
+}
+
+size_t ChainScheme::TotalLabelBits() const {
+  return chain_of_.size() * MaxLabelBits();
+}
+
+size_t ChainScheme::MaxLabelBits() const {
+  uint32_t max_pos = 0;
+  for (uint32_t p : pos_in_chain_) max_pos = std::max(max_pos, p);
+  // One (position+1 or "unreachable") slot per chain.
+  return num_chains_ * static_cast<size_t>(BitsForCount(max_pos + 2));
+}
+
+}  // namespace skl

@@ -1,0 +1,38 @@
+// Chain-decomposition scheme (Jagadish 1990): partition the DAG into chains
+// (vertex-disjoint paths) with a greedy peeling pass, then store for every
+// vertex u and every chain c the minimum chain position reachable from u.
+// Query: u reaches v iff minpos(u, chain(v)) <= pos(v). Label size is
+// proportional to the number of chains.
+#ifndef SKL_SPECLABEL_CHAIN_H_
+#define SKL_SPECLABEL_CHAIN_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "src/speclabel/scheme.h"
+
+namespace skl {
+
+class ChainScheme : public SpecLabelingScheme {
+ public:
+  std::string_view name() const override { return "CHAIN"; }
+  Status Build(const Digraph& g) override;
+  bool Reaches(VertexId u, VertexId v) const override;
+  size_t TotalLabelBits() const override;
+  size_t MaxLabelBits() const override;
+
+  size_t num_chains() const { return num_chains_; }
+
+ private:
+  static constexpr uint32_t kUnreachable = UINT32_MAX;
+
+  size_t num_chains_ = 0;
+  std::vector<uint32_t> chain_of_;
+  std::vector<uint32_t> pos_in_chain_;
+  /// minpos_[u * num_chains_ + c]
+  std::vector<uint32_t> minpos_;
+};
+
+}  // namespace skl
+
+#endif  // SKL_SPECLABEL_CHAIN_H_

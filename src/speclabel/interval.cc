@@ -1,0 +1,77 @@
+#include "src/speclabel/interval.h"
+
+#include "src/common/bit_codec.h"
+#include "src/common/stopwatch.h"
+#include "src/graph/algorithms.h"
+
+namespace skl {
+
+Status IntervalScheme::Build(const Digraph& g) {
+  Stopwatch sw;
+  const VertexId n = g.num_vertices();
+  if (n == 0) return Status::InvalidArgument("empty graph");
+  VertexId root = kInvalidVertex;
+  for (VertexId v = 0; v < n; ++v) {
+    if (g.InDegree(v) > 1) {
+      return Status::InvalidArgument(
+          "interval scheme requires a tree (vertex has two parents)");
+    }
+    if (g.InDegree(v) == 0) {
+      if (root != kInvalidVertex) {
+        return Status::InvalidArgument(
+            "interval scheme requires a single root");
+      }
+      root = v;
+    }
+  }
+  if (root == kInvalidVertex) {
+    return Status::InvalidArgument("graph has a cycle (no root)");
+  }
+  pre_.assign(n, 0);
+  max_pre_.assign(n, 0);
+  // Iterative preorder with post-processing hooks: when a vertex is finished,
+  // fold its max_pre into the parent.
+  std::vector<std::pair<VertexId, size_t>> stack;  // (vertex, child index)
+  std::vector<VertexId> parent(n, kInvalidVertex);
+  uint32_t counter = 0;
+  stack.emplace_back(root, 0);
+  pre_[root] = counter++;
+  size_t visited = 1;
+  while (!stack.empty()) {
+    auto& [v, ci] = stack.back();
+    auto kids = g.OutNeighbors(v);
+    if (ci < kids.size()) {
+      VertexId c = kids[ci++];
+      parent[c] = v;
+      pre_[c] = counter++;
+      ++visited;
+      stack.emplace_back(c, 0);
+    } else {
+      max_pre_[v] = std::max(max_pre_[v], pre_[v]);
+      if (parent[v] != kInvalidVertex) {
+        max_pre_[parent[v]] = std::max(max_pre_[parent[v]], max_pre_[v]);
+      }
+      stack.pop_back();
+    }
+  }
+  if (visited != n) {
+    return Status::InvalidArgument(
+        "interval scheme requires a connected tree");
+  }
+  build_seconds_ = sw.ElapsedSeconds();
+  return Status::OK();
+}
+
+bool IntervalScheme::Reaches(VertexId u, VertexId v) const {
+  return pre_[u] <= pre_[v] && pre_[v] <= max_pre_[u];
+}
+
+size_t IntervalScheme::TotalLabelBits() const {
+  return pre_.size() * MaxLabelBits();
+}
+
+size_t IntervalScheme::MaxLabelBits() const {
+  return 2 * static_cast<size_t>(BitsForCount(pre_.size()));
+}
+
+}  // namespace skl

@@ -1,0 +1,36 @@
+// Santoro-Khatib interval scheme [15]: for rooted trees, label every vertex
+// with [pre, max_pre] over a preorder numbering; u reaches v iff
+// pre(u) <= pre(v) <= max_pre(u). Only valid on out-trees (every vertex has
+// at most one predecessor); used standalone on tree-shaped inputs and as the
+// building block of the tree-cover scheme.
+#ifndef SKL_SPECLABEL_INTERVAL_H_
+#define SKL_SPECLABEL_INTERVAL_H_
+
+#include <vector>
+
+#include "src/speclabel/scheme.h"
+
+namespace skl {
+
+class IntervalScheme : public SpecLabelingScheme {
+ public:
+  std::string_view name() const override { return "INTERVAL"; }
+  /// Fails with InvalidArgument unless g is a single rooted out-tree.
+  Status Build(const Digraph& g) override;
+  bool Reaches(VertexId u, VertexId v) const override;
+  size_t TotalLabelBits() const override;
+  size_t MaxLabelBits() const override;
+
+  /// The [pre, max_pre] interval of a vertex (exposed for tests).
+  std::pair<uint32_t, uint32_t> IntervalOf(VertexId v) const {
+    return {pre_[v], max_pre_[v]};
+  }
+
+ private:
+  std::vector<uint32_t> pre_;
+  std::vector<uint32_t> max_pre_;
+};
+
+}  // namespace skl
+
+#endif  // SKL_SPECLABEL_INTERVAL_H_

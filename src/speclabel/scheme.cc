@@ -1,0 +1,54 @@
+#include "src/speclabel/scheme.h"
+
+#include "src/common/check.h"
+#include "src/speclabel/chain.h"
+#include "src/speclabel/interval.h"
+#include "src/speclabel/tcm.h"
+#include "src/speclabel/traversal.h"
+#include "src/speclabel/tree_cover.h"
+#include "src/speclabel/two_hop.h"
+
+namespace skl {
+
+const char* SpecSchemeKindName(SpecSchemeKind kind) {
+  switch (kind) {
+    case SpecSchemeKind::kTcm:
+      return "TCM";
+    case SpecSchemeKind::kBfs:
+      return "BFS";
+    case SpecSchemeKind::kDfs:
+      return "DFS";
+    case SpecSchemeKind::kInterval:
+      return "INTERVAL";
+    case SpecSchemeKind::kTreeCover:
+      return "TREECOVER";
+    case SpecSchemeKind::kChain:
+      return "CHAIN";
+    case SpecSchemeKind::kTwoHop:
+      return "2HOP";
+  }
+  return "?";
+}
+
+std::unique_ptr<SpecLabelingScheme> CreateSpecScheme(SpecSchemeKind kind) {
+  switch (kind) {
+    case SpecSchemeKind::kTcm:
+      return std::make_unique<TcmScheme>();
+    case SpecSchemeKind::kBfs:
+      return std::make_unique<BfsScheme>();
+    case SpecSchemeKind::kDfs:
+      return std::make_unique<DfsScheme>();
+    case SpecSchemeKind::kInterval:
+      return std::make_unique<IntervalScheme>();
+    case SpecSchemeKind::kTreeCover:
+      return std::make_unique<TreeCoverScheme>();
+    case SpecSchemeKind::kChain:
+      return std::make_unique<ChainScheme>();
+    case SpecSchemeKind::kTwoHop:
+      return std::make_unique<TwoHopScheme>();
+  }
+  SKL_CHECK_MSG(false, "unknown scheme kind");
+  return nullptr;
+}
+
+}  // namespace skl

@@ -1,0 +1,66 @@
+// Reachability labeling schemes for the specification graph (the "skeleton"
+// of Section 7). Any scheme exposing this interface can back the SKL run
+// labeling; the paper evaluates TCM (transitive closure matrix) and BFS, and
+// we additionally provide DFS, an interval scheme for trees, a tree-cover
+// scheme and a chain-decomposition scheme for the robustness ablation.
+//
+// Reachability is reflexive throughout the library: Reaches(u, u) == true.
+#ifndef SKL_SPECLABEL_SCHEME_H_
+#define SKL_SPECLABEL_SCHEME_H_
+
+#include <memory>
+#include <string>
+#include <string_view>
+
+#include "src/common/status.h"
+#include "src/graph/digraph.h"
+
+namespace skl {
+
+/// Identifiers for the bundled schemes.
+enum class SpecSchemeKind {
+  kTcm,        ///< precomputed transitive-closure matrix; O(1) query
+  kBfs,        ///< no index; BFS per query
+  kDfs,        ///< no index; DFS per query
+  kInterval,   ///< Santoro-Khatib intervals; trees only
+  kTreeCover,  ///< Agrawal et al. tree cover (spanning tree + intervals)
+  kChain,      ///< Jagadish chain decomposition
+  kTwoHop,     ///< Cohen et al. 2-hop cover (greedy set cover)
+};
+
+const char* SpecSchemeKindName(SpecSchemeKind kind);
+
+/// A built reachability index over one DAG.
+class SpecLabelingScheme {
+ public:
+  virtual ~SpecLabelingScheme() = default;
+
+  /// Scheme name for reports ("TCM", "BFS", ...).
+  virtual std::string_view name() const = 0;
+
+  /// Builds labels for `g`. Must be called exactly once before queries.
+  virtual Status Build(const Digraph& g) = 0;
+
+  /// Reflexive reachability between spec vertices.
+  virtual bool Reaches(VertexId u, VertexId v) const = 0;
+
+  /// Total index size in bits across all vertices (0 for search-based
+  /// schemes, which keep only the graph itself).
+  virtual size_t TotalLabelBits() const = 0;
+
+  /// Largest single-vertex label in bits.
+  virtual size_t MaxLabelBits() const = 0;
+
+  /// Wall-clock seconds spent in Build (0 until built).
+  double BuildSeconds() const { return build_seconds_; }
+
+ protected:
+  double build_seconds_ = 0;
+};
+
+/// Instantiates a scheme by kind.
+std::unique_ptr<SpecLabelingScheme> CreateSpecScheme(SpecSchemeKind kind);
+
+}  // namespace skl
+
+#endif  // SKL_SPECLABEL_SCHEME_H_

@@ -1,0 +1,28 @@
+#include "src/speclabel/tcm.h"
+
+#include "src/common/stopwatch.h"
+#include "src/graph/algorithms.h"
+
+namespace skl {
+
+Status TcmScheme::Build(const Digraph& g) {
+  if (!IsAcyclic(g)) {
+    return Status::InvalidArgument("TCM requires an acyclic graph");
+  }
+  Stopwatch sw;
+  closure_ = TransitiveClosure(g);
+  build_seconds_ = sw.ElapsedSeconds();
+  return Status::OK();
+}
+
+bool TcmScheme::Reaches(VertexId u, VertexId v) const {
+  return closure_[u].Test(v);
+}
+
+size_t TcmScheme::TotalLabelBits() const {
+  return closure_.size() * closure_.size();
+}
+
+size_t TcmScheme::MaxLabelBits() const { return closure_.size(); }
+
+}  // namespace skl

@@ -1,0 +1,28 @@
+// TCM (paper Section 7): precomputes the reflexive transitive-closure matrix
+// of the graph and assigns row i as the label of vertex i. Constant query
+// time; n bits per label.
+#ifndef SKL_SPECLABEL_TCM_H_
+#define SKL_SPECLABEL_TCM_H_
+
+#include <vector>
+
+#include "src/common/bitset.h"
+#include "src/speclabel/scheme.h"
+
+namespace skl {
+
+class TcmScheme : public SpecLabelingScheme {
+ public:
+  std::string_view name() const override { return "TCM"; }
+  Status Build(const Digraph& g) override;
+  bool Reaches(VertexId u, VertexId v) const override;
+  size_t TotalLabelBits() const override;
+  size_t MaxLabelBits() const override;
+
+ private:
+  std::vector<DynamicBitset> closure_;
+};
+
+}  // namespace skl
+
+#endif  // SKL_SPECLABEL_TCM_H_

@@ -1,0 +1,59 @@
+#include "src/speclabel/traversal.h"
+
+namespace skl {
+
+Status BfsScheme::Build(const Digraph& g) {
+  graph_ = g;
+  stamp_.assign(g.num_vertices(), 0);
+  epoch_ = 0;
+  return Status::OK();
+}
+
+bool BfsScheme::Reaches(VertexId u, VertexId v) const {
+  if (u == v) return true;
+  ++epoch_;
+  frontier_.clear();
+  frontier_.push_back(u);
+  stamp_[u] = epoch_;
+  size_t head = 0;
+  while (head < frontier_.size()) {
+    VertexId x = frontier_[head++];
+    for (VertexId y : graph_.OutNeighbors(x)) {
+      if (y == v) return true;
+      if (stamp_[y] != epoch_) {
+        stamp_[y] = epoch_;
+        frontier_.push_back(y);
+      }
+    }
+  }
+  return false;
+}
+
+Status DfsScheme::Build(const Digraph& g) {
+  graph_ = g;
+  stamp_.assign(g.num_vertices(), 0);
+  epoch_ = 0;
+  return Status::OK();
+}
+
+bool DfsScheme::Reaches(VertexId u, VertexId v) const {
+  if (u == v) return true;
+  ++epoch_;
+  stack_.clear();
+  stack_.push_back(u);
+  stamp_[u] = epoch_;
+  while (!stack_.empty()) {
+    VertexId x = stack_.back();
+    stack_.pop_back();
+    for (VertexId y : graph_.OutNeighbors(x)) {
+      if (y == v) return true;
+      if (stamp_[y] != epoch_) {
+        stamp_[y] = epoch_;
+        stack_.push_back(y);
+      }
+    }
+  }
+  return false;
+}
+
+}  // namespace skl

@@ -1,0 +1,45 @@
+// BFS/DFS "schemes" (paper Section 7): no index is built; every query runs a
+// graph search over the stored graph. Label length and construction time are
+// treated as zero, query time is O(m + n).
+#ifndef SKL_SPECLABEL_TRAVERSAL_H_
+#define SKL_SPECLABEL_TRAVERSAL_H_
+
+#include "src/graph/digraph.h"
+#include "src/speclabel/scheme.h"
+
+namespace skl {
+
+class BfsScheme : public SpecLabelingScheme {
+ public:
+  std::string_view name() const override { return "BFS"; }
+  Status Build(const Digraph& g) override;
+  bool Reaches(VertexId u, VertexId v) const override;
+  size_t TotalLabelBits() const override { return 0; }
+  size_t MaxLabelBits() const override { return 0; }
+
+ private:
+  Digraph graph_;
+  // Scratch space reused across queries to avoid per-query allocation.
+  mutable std::vector<uint32_t> stamp_;
+  mutable std::vector<VertexId> frontier_;
+  mutable uint32_t epoch_ = 0;
+};
+
+class DfsScheme : public SpecLabelingScheme {
+ public:
+  std::string_view name() const override { return "DFS"; }
+  Status Build(const Digraph& g) override;
+  bool Reaches(VertexId u, VertexId v) const override;
+  size_t TotalLabelBits() const override { return 0; }
+  size_t MaxLabelBits() const override { return 0; }
+
+ private:
+  Digraph graph_;
+  mutable std::vector<uint32_t> stamp_;
+  mutable std::vector<VertexId> stack_;
+  mutable uint32_t epoch_ = 0;
+};
+
+}  // namespace skl
+
+#endif  // SKL_SPECLABEL_TRAVERSAL_H_

@@ -1,0 +1,121 @@
+#include "src/speclabel/tree_cover.h"
+
+#include <algorithm>
+
+#include "src/common/bit_codec.h"
+#include "src/common/stopwatch.h"
+#include "src/graph/algorithms.h"
+
+namespace skl {
+
+Status TreeCoverScheme::Build(const Digraph& g) {
+  Stopwatch sw;
+  const VertexId n = g.num_vertices();
+  auto topo_result = TopologicalSort(g);
+  if (!topo_result.ok()) return topo_result.status();
+  const auto& topo = topo_result.value();
+
+  auto sources = Sources(g);
+  if (sources.size() != 1) {
+    return Status::InvalidArgument("tree cover requires a single source");
+  }
+  // Spanning tree: first-in-topological-order parent. Processing vertices in
+  // topological order guarantees the parent precedes the child.
+  std::vector<VertexId> parent(n, kInvalidVertex);
+  std::vector<std::vector<VertexId>> tree_children(n);
+  {
+    std::vector<uint32_t> topo_pos(n);
+    for (uint32_t i = 0; i < n; ++i) topo_pos[topo[i]] = i;
+    for (VertexId v = 0; v < n; ++v) {
+      VertexId best = kInvalidVertex;
+      for (VertexId u : g.InNeighbors(v)) {
+        if (best == kInvalidVertex || topo_pos[u] < topo_pos[best]) best = u;
+      }
+      parent[v] = best;
+      if (best != kInvalidVertex) tree_children[best].push_back(v);
+    }
+  }
+  // Postorder numbering of the spanning tree (iterative).
+  post_.assign(n, 0);
+  std::vector<uint32_t> subtree_lo(n, 0);
+  {
+    uint32_t counter = 1;  // postorder numbers are 1-based
+    std::vector<std::pair<VertexId, size_t>> stack{{sources[0], 0}};
+    while (!stack.empty()) {
+      auto [v, ci] = stack.back();
+      if (ci < tree_children[v].size()) {
+        ++stack.back().second;
+        stack.emplace_back(tree_children[v][ci], 0);
+      } else {
+        post_[v] = counter++;
+        subtree_lo[v] = post_[v];
+        for (VertexId c : tree_children[v]) {
+          subtree_lo[v] = std::min(subtree_lo[v], subtree_lo[c]);
+        }
+        stack.pop_back();
+      }
+    }
+    if (counter != n + 1) {
+      return Status::InvalidArgument(
+          "tree cover requires all vertices reachable from the source");
+    }
+  }
+  // Propagate interval lists in reverse topological order.
+  intervals_.assign(n, {});
+  std::vector<Interval> merged;
+  for (auto it = topo.rbegin(); it != topo.rend(); ++it) {
+    VertexId u = *it;
+    merged.clear();
+    merged.push_back(Interval{subtree_lo[u], post_[u]});
+    for (VertexId v : g.OutNeighbors(u)) {
+      merged.insert(merged.end(), intervals_[v].begin(), intervals_[v].end());
+    }
+    std::sort(merged.begin(), merged.end(),
+              [](const Interval& a, const Interval& b) {
+                return a.lo < b.lo || (a.lo == b.lo && a.hi > b.hi);
+              });
+    auto& out = intervals_[u];
+    out.clear();
+    for (const Interval& iv : merged) {
+      if (!out.empty() && iv.lo <= out.back().hi + 1) {
+        out.back().hi = std::max(out.back().hi, iv.hi);
+      } else {
+        out.push_back(iv);
+      }
+    }
+  }
+  build_seconds_ = sw.ElapsedSeconds();
+  return Status::OK();
+}
+
+bool TreeCoverScheme::Reaches(VertexId u, VertexId v) const {
+  uint32_t target = post_[v];
+  const auto& ivs = intervals_[u];
+  // Intervals are sorted and disjoint: binary search the candidate.
+  size_t lo = 0, hi = ivs.size();
+  while (lo < hi) {
+    size_t mid = (lo + hi) / 2;
+    if (ivs[mid].hi < target) {
+      lo = mid + 1;
+    } else {
+      hi = mid;
+    }
+  }
+  return lo < ivs.size() && ivs[lo].lo <= target;
+}
+
+size_t TreeCoverScheme::TotalLabelBits() const {
+  size_t per_endpoint = BitsForCount(post_.size() + 1);
+  size_t total = 0;
+  for (const auto& ivs : intervals_) total += ivs.size() * 2 * per_endpoint;
+  return total;
+}
+
+size_t TreeCoverScheme::MaxLabelBits() const {
+  size_t per_endpoint = BitsForCount(post_.size() + 1);
+  size_t max_ivs = 0;
+  for (const auto& ivs : intervals_) max_ivs = std::max(max_ivs, ivs.size());
+  return max_ivs * 2 * per_endpoint;
+}
+
+}  // namespace skl

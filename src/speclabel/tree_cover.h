@@ -1,0 +1,40 @@
+// Tree-cover scheme (Agrawal, Borgida, Jagadish 1989): interval-label a
+// spanning tree by postorder, then propagate interval lists along non-tree
+// edges in reverse topological order, merging overlapping/adjacent intervals.
+// Query: u reaches v iff v's postorder number falls in one of u's intervals.
+#ifndef SKL_SPECLABEL_TREE_COVER_H_
+#define SKL_SPECLABEL_TREE_COVER_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "src/speclabel/scheme.h"
+
+namespace skl {
+
+class TreeCoverScheme : public SpecLabelingScheme {
+ public:
+  std::string_view name() const override { return "TREECOVER"; }
+  /// Requires an acyclic graph whose vertices are all reachable from a single
+  /// source (true for workflow specifications).
+  Status Build(const Digraph& g) override;
+  bool Reaches(VertexId u, VertexId v) const override;
+  size_t TotalLabelBits() const override;
+  size_t MaxLabelBits() const override;
+
+  /// Number of intervals stored for a vertex (exposed for tests/benches).
+  size_t NumIntervals(VertexId v) const { return intervals_[v].size(); }
+
+ private:
+  struct Interval {
+    uint32_t lo;
+    uint32_t hi;
+  };
+
+  std::vector<uint32_t> post_;                  ///< postorder number
+  std::vector<std::vector<Interval>> intervals_;
+};
+
+}  // namespace skl
+
+#endif  // SKL_SPECLABEL_TREE_COVER_H_

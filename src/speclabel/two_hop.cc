@@ -1,0 +1,123 @@
+#include "src/speclabel/two_hop.h"
+
+#include <algorithm>
+
+#include "src/common/bit_codec.h"
+#include "src/common/bitset.h"
+#include "src/common/stopwatch.h"
+#include "src/graph/algorithms.h"
+
+namespace skl {
+
+Status TwoHopScheme::Build(const Digraph& g) {
+  if (!IsAcyclic(g)) {
+    return Status::InvalidArgument("2-hop requires an acyclic graph");
+  }
+  Stopwatch sw;
+  const VertexId n = g.num_vertices();
+  num_vertices_ = n;
+  out_hops_.assign(n, {});
+  in_hops_.assign(n, {});
+  if (n == 0) return Status::OK();
+
+  // Forward closure rows (reachable-from) and backward rows (reaching).
+  std::vector<DynamicBitset> fwd = TransitiveClosure(g);
+  std::vector<DynamicBitset> bwd(n);
+  for (VertexId v = 0; v < n; ++v) bwd[v] = DynamicBitset(n);
+  for (VertexId u = 0; u < n; ++u) {
+    for (size_t v = fwd[u].FindFirst(); v < n; v = fwd[u].FindNext(v)) {
+      bwd[v].Set(u);
+    }
+  }
+
+  // Uncovered strict pairs per source vertex (diagonal handled reflexively
+  // at query time).
+  std::vector<DynamicBitset> uncovered = fwd;
+  size_t remaining = 0;
+  for (VertexId u = 0; u < n; ++u) {
+    uncovered[u].Clear(u);
+    remaining += uncovered[u].Count();
+  }
+
+  // Greedy set cover: repeatedly pick the hop w whose R-(w) x R+(w)
+  // rectangle covers the most uncovered pairs.
+  std::vector<bool> in_added(n, false);
+  while (remaining > 0) {
+    VertexId best = kInvalidVertex;
+    size_t best_gain = 0;
+    for (VertexId w = 0; w < n; ++w) {
+      size_t gain = 0;
+      for (size_t x = bwd[w].FindFirst(); x < n; x = bwd[w].FindNext(x)) {
+        DynamicBitset tmp = uncovered[x];
+        tmp.IntersectWith(fwd[w]);
+        gain += tmp.Count();
+      }
+      if (gain > best_gain) {
+        best_gain = gain;
+        best = w;
+      }
+    }
+    if (best == kInvalidVertex) {
+      return Status::Internal("2-hop greedy stalled with uncovered pairs");
+    }
+    std::fill(in_added.begin(), in_added.end(), false);
+    for (size_t x = bwd[best].FindFirst(); x < n;
+         x = bwd[best].FindNext(x)) {
+      DynamicBitset newly = uncovered[static_cast<VertexId>(x)];
+      newly.IntersectWith(fwd[best]);
+      size_t cnt = newly.Count();
+      if (cnt == 0) continue;
+      out_hops_[x].push_back(best);
+      remaining -= cnt;
+      for (size_t y = newly.FindFirst(); y < n; y = newly.FindNext(y)) {
+        uncovered[x].Clear(y);
+        if (!in_added[y]) {
+          in_added[y] = true;
+          in_hops_[y].push_back(best);
+        }
+      }
+    }
+  }
+  for (auto& hops : out_hops_) std::sort(hops.begin(), hops.end());
+  for (auto& hops : in_hops_) std::sort(hops.begin(), hops.end());
+  build_seconds_ = sw.ElapsedSeconds();
+  return Status::OK();
+}
+
+bool TwoHopScheme::Reaches(VertexId u, VertexId v) const {
+  if (u == v) return true;
+  const auto& a = out_hops_[u];
+  const auto& b = in_hops_[v];
+  size_t i = 0, j = 0;
+  while (i < a.size() && j < b.size()) {
+    if (a[i] == b[j]) return true;
+    if (a[i] < b[j]) {
+      ++i;
+    } else {
+      ++j;
+    }
+  }
+  return false;
+}
+
+size_t TwoHopScheme::TotalEntries() const {
+  size_t total = 0;
+  for (const auto& hops : out_hops_) total += hops.size();
+  for (const auto& hops : in_hops_) total += hops.size();
+  return total;
+}
+
+size_t TwoHopScheme::TotalLabelBits() const {
+  return TotalEntries() * BitsForCount(num_vertices_);
+}
+
+size_t TwoHopScheme::MaxLabelBits() const {
+  size_t max_entries = 0;
+  for (VertexId v = 0; v < num_vertices_; ++v) {
+    max_entries =
+        std::max(max_entries, out_hops_[v].size() + in_hops_[v].size());
+  }
+  return max_entries * BitsForCount(num_vertices_);
+}
+
+}  // namespace skl

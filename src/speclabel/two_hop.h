@@ -1,0 +1,36 @@
+// 2-hop labeling (Cohen, Halperin, Kaplan, Zwick — SODA'02), the third
+// labeling family in the paper's related work. Every vertex stores two hop
+// sets, Lout(u) (hops reachable from u) and Lin(v) (hops reaching v), such
+// that u reaches v iff Lout(u) and Lin(v) intersect. Hops are chosen by the
+// classic greedy set-cover heuristic over the transitive closure, which is
+// near-optimal but quadratic-ish — fine for specification-sized graphs,
+// which is exactly where skeleton schemes run.
+#ifndef SKL_SPECLABEL_TWO_HOP_H_
+#define SKL_SPECLABEL_TWO_HOP_H_
+
+#include <vector>
+
+#include "src/speclabel/scheme.h"
+
+namespace skl {
+
+class TwoHopScheme : public SpecLabelingScheme {
+ public:
+  std::string_view name() const override { return "2HOP"; }
+  Status Build(const Digraph& g) override;
+  bool Reaches(VertexId u, VertexId v) const override;
+  size_t TotalLabelBits() const override;
+  size_t MaxLabelBits() const override;
+
+  /// Total hop-set entries across all vertices (index size).
+  size_t TotalEntries() const;
+
+ private:
+  VertexId num_vertices_ = 0;
+  std::vector<std::vector<VertexId>> out_hops_;  ///< sorted
+  std::vector<std::vector<VertexId>> in_hops_;   ///< sorted
+};
+
+}  // namespace skl
+
+#endif  // SKL_SPECLABEL_TWO_HOP_H_

@@ -1,0 +1,26 @@
+#include "src/workflow/module_table.h"
+
+#include "src/common/check.h"
+
+namespace skl {
+
+ModuleId ModuleTable::Intern(std::string_view name) {
+  auto it = index_.find(std::string(name));
+  if (it != index_.end()) return it->second;
+  ModuleId id = static_cast<ModuleId>(names_.size());
+  names_.emplace_back(name);
+  index_.emplace(names_.back(), id);
+  return id;
+}
+
+ModuleId ModuleTable::Find(std::string_view name) const {
+  auto it = index_.find(std::string(name));
+  return it == index_.end() ? kInvalidModule : it->second;
+}
+
+const std::string& ModuleTable::Name(ModuleId id) const {
+  SKL_DCHECK(id < names_.size());
+  return names_[id];
+}
+
+}  // namespace skl

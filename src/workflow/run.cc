@@ -1,0 +1,80 @@
+#include "src/workflow/run.h"
+
+#include <utility>
+
+#include "src/common/check.h"
+
+namespace skl {
+
+RunBuilder::RunBuilder() {
+  auto table = std::make_shared<ModuleTable>();
+  owned_table_ = table.get();
+  table_ = std::move(table);
+}
+
+RunBuilder::RunBuilder(std::shared_ptr<const ModuleTable> table)
+    : table_(std::move(table)) {}
+
+VertexId RunBuilder::AddVertex(std::string_view module_name) {
+  SKL_CHECK_MSG(owned_table_ != nullptr,
+                "AddVertex(name) requires an owned module table");
+  modules_.push_back(owned_table_->Intern(module_name));
+  return static_cast<VertexId>(modules_.size() - 1);
+}
+
+VertexId RunBuilder::AddVertexById(ModuleId module) {
+  modules_.push_back(module);
+  return static_cast<VertexId>(modules_.size() - 1);
+}
+
+RunBuilder& RunBuilder::AddEdge(VertexId u, VertexId v) {
+  edges_.emplace_back(u, v);
+  return *this;
+}
+
+Result<Run> RunBuilder::Build() && {
+  Run run;
+  for (ModuleId m : modules_) {
+    if (m >= table_->size()) {
+      return Status::InvalidRun("run vertex references unknown module id");
+    }
+  }
+  DigraphBuilder gb(static_cast<VertexId>(modules_.size()));
+  for (const auto& [u, v] : edges_) {
+    if (u >= modules_.size() || v >= modules_.size()) {
+      return Status::InvalidRun("run edge endpoint out of range");
+    }
+    if (u == v) {
+      return Status::InvalidRun("run has a self-loop edge");
+    }
+    gb.AddEdge(u, v);
+  }
+  run.graph_ = std::move(gb).Build();
+  run.modules_ = std::move(modules_);
+  run.table_ = std::move(table_);
+  return run;
+}
+
+Result<std::vector<VertexId>> ComputeOrigin(const Specification& spec,
+                                            const Run& run) {
+  std::vector<VertexId> origin(run.num_vertices(), kInvalidVertex);
+  // Fast path: the run shares the specification's module table, so module ids
+  // are spec vertex ids already.
+  const bool shared_table = &run.modules() == &spec.modules();
+  for (VertexId v = 0; v < run.num_vertices(); ++v) {
+    VertexId u;
+    if (shared_table) {
+      u = static_cast<VertexId>(run.ModuleOf(v));
+    } else {
+      u = spec.VertexOf(run.ModuleNameOf(v));
+    }
+    if (u == kInvalidVertex || u >= spec.graph().num_vertices()) {
+      return Status::InvalidRun("run module '" + run.ModuleNameOf(v) +
+                                "' does not appear in the specification");
+    }
+    origin[v] = u;
+  }
+  return origin;
+}
+
+}  // namespace skl

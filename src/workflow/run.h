@@ -1,0 +1,80 @@
+// Workflow run (Definition 6): a labeled graph derived from a specification
+// by fork (parallel) and loop (serial) executions. Vertices carry module
+// names, which are unique in the specification but repeat in the run; the
+// origin function maps each run vertex back to its specification vertex by
+// module name (Definition 8).
+#ifndef SKL_WORKFLOW_RUN_H_
+#define SKL_WORKFLOW_RUN_H_
+
+#include <memory>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "src/common/status.h"
+#include "src/graph/digraph.h"
+#include "src/workflow/module_table.h"
+#include "src/workflow/specification.h"
+
+namespace skl {
+
+/// Immutable run graph.
+class Run {
+ public:
+  const Digraph& graph() const { return graph_; }
+  VertexId num_vertices() const { return graph_.num_vertices(); }
+  size_t num_edges() const { return graph_.num_edges(); }
+
+  ModuleId ModuleOf(VertexId v) const { return modules_[v]; }
+  const std::string& ModuleNameOf(VertexId v) const {
+    return table_->Name(modules_[v]);
+  }
+  const ModuleTable& modules() const { return *table_; }
+
+ private:
+  friend class RunBuilder;
+
+  Digraph graph_;
+  std::vector<ModuleId> modules_;
+  std::shared_ptr<const ModuleTable> table_;
+};
+
+/// Assembles a Run. Use the shared-table form when the run is produced
+/// against an in-memory specification (module ids then coincide with spec
+/// vertex ids); use the owned-table form when loading from external formats.
+class RunBuilder {
+ public:
+  /// Builder with its own module table (names are interned on AddVertex).
+  RunBuilder();
+  /// Builder referencing an existing table (e.g. the specification's).
+  explicit RunBuilder(std::shared_ptr<const ModuleTable> table);
+
+  /// Adds a vertex labeled with `module_name`. Only valid for owned tables.
+  VertexId AddVertex(std::string_view module_name);
+  /// Adds a vertex labeled with an id from the shared table.
+  VertexId AddVertexById(ModuleId module);
+
+  RunBuilder& AddEdge(VertexId u, VertexId v);
+
+  VertexId num_vertices() const {
+    return static_cast<VertexId>(modules_.size());
+  }
+
+  Result<Run> Build() &&;
+
+ private:
+  std::shared_ptr<const ModuleTable> table_;
+  ModuleTable* owned_table_ = nullptr;  // aliases table_ when owned
+  std::vector<ModuleId> modules_;
+  std::vector<std::pair<VertexId, VertexId>> edges_;
+};
+
+/// Computes the origin function (Definition 8): origin[v] is the spec vertex
+/// whose module name matches run vertex v. Fails with InvalidRun if any run
+/// module is unknown to the specification.
+Result<std::vector<VertexId>> ComputeOrigin(const Specification& spec,
+                                            const Run& run);
+
+}  // namespace skl
+
+#endif  // SKL_WORKFLOW_RUN_H_

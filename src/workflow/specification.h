@@ -1,0 +1,94 @@
+// Workflow specification (G, F, L) per Definition 3: a uniquely-labeled
+// acyclic flow network G together with a well-nested system of fork subgraphs
+// F (atomic, self-contained; executed in parallel) and loop subgraphs L
+// (complete, self-contained; executed in series).
+//
+// Forks and loops are declared by their full vertex set; edge sets are
+// normalized per the paper's model:
+//   * loop edges  = all edges of G induced by the vertex set (a complete
+//     subgraph contains every branch between its terminals);
+//   * fork edges  = induced edges minus any direct source->sink edge (which,
+//     by Definition 1(3), may bypass the fork; an atomic fork containing both
+//     a direct edge and internal structure would not be atomic).
+#ifndef SKL_WORKFLOW_SPECIFICATION_H_
+#define SKL_WORKFLOW_SPECIFICATION_H_
+
+#include <memory>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "src/common/bitset.h"
+#include "src/common/status.h"
+#include "src/graph/digraph.h"
+#include "src/workflow/hierarchy.h"
+#include "src/workflow/module_table.h"
+#include "src/workflow/subgraph.h"
+
+namespace skl {
+
+/// Immutable validated specification.
+class Specification {
+ public:
+  const Digraph& graph() const { return graph_; }
+  const ModuleTable& modules() const { return *modules_; }
+  std::shared_ptr<const ModuleTable> shared_modules() const {
+    return modules_;
+  }
+
+  /// Module name of a specification vertex (vertex id == declaration order).
+  const std::string& ModuleName(VertexId v) const;
+  /// Vertex for a module name, or kInvalidVertex.
+  VertexId VertexOf(std::string_view module_name) const;
+
+  VertexId source() const { return source_; }
+  VertexId sink() const { return sink_; }
+
+  const std::vector<SubgraphInfo>& subgraphs() const { return subgraphs_; }
+  const Hierarchy& hierarchy() const { return hierarchy_; }
+
+  size_t num_forks() const { return num_forks_; }
+  size_t num_loops() const { return num_loops_; }
+
+ private:
+  friend class SpecificationBuilder;
+
+  Digraph graph_;
+  std::shared_ptr<ModuleTable> modules_;
+  VertexId source_ = kInvalidVertex;
+  VertexId sink_ = kInvalidVertex;
+  std::vector<SubgraphInfo> subgraphs_;
+  Hierarchy hierarchy_;
+  size_t num_forks_ = 0;
+  size_t num_loops_ = 0;
+};
+
+/// Assembles and validates a Specification.
+class SpecificationBuilder {
+ public:
+  /// Adds a module (== one vertex). Names must be unique; duplicates are
+  /// reported by Build().
+  VertexId AddModule(std::string_view name);
+
+  /// Adds a data-channel edge between two previously added modules.
+  SpecificationBuilder& AddEdge(VertexId u, VertexId v);
+
+  /// Declares a fork over the given full vertex set (source, internals, sink).
+  SpecificationBuilder& DeclareFork(std::vector<VertexId> vertices);
+
+  /// Declares a loop over the given full vertex set.
+  SpecificationBuilder& DeclareLoop(std::vector<VertexId> vertices);
+
+  /// Validates everything (acyclic flow network; Definitions 1 and 2) and
+  /// builds the fork/loop hierarchy T_G.
+  Result<Specification> Build() &&;
+
+ private:
+  std::vector<std::string> names_;
+  std::vector<std::pair<VertexId, VertexId>> edges_;
+  std::vector<std::pair<SubgraphKind, std::vector<VertexId>>> declared_;
+};
+
+}  // namespace skl
+
+#endif  // SKL_WORKFLOW_SPECIFICATION_H_

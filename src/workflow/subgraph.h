@@ -1,0 +1,31 @@
+// Normalized fork/loop subgraph record shared by the specification,
+// validation and hierarchy-construction code.
+#ifndef SKL_WORKFLOW_SUBGRAPH_H_
+#define SKL_WORKFLOW_SUBGRAPH_H_
+
+#include <cstdint>
+#include <utility>
+#include <vector>
+
+#include "src/common/bitset.h"
+#include "src/graph/digraph.h"
+
+namespace skl {
+
+/// Kind of a declared repeatable subgraph.
+enum class SubgraphKind : uint8_t { kFork, kLoop };
+
+/// A normalized fork or loop subgraph of the specification.
+struct SubgraphInfo {
+  SubgraphKind kind = SubgraphKind::kFork;
+  VertexId source = kInvalidVertex;
+  VertexId sink = kInvalidVertex;
+  std::vector<VertexId> vertices;                    ///< sorted, incl. s/t
+  DynamicBitset vertex_set;                          ///< over V(G)
+  std::vector<std::pair<VertexId, VertexId>> edges;  ///< E(H)
+  DynamicBitset dom_set;  ///< Definition 2: V*(H) for forks, V(H) for loops.
+};
+
+}  // namespace skl
+
+#endif  // SKL_WORKFLOW_SUBGRAPH_H_

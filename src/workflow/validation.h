@@ -1,0 +1,35 @@
+// Structural validation of the workflow model: acyclic flow networks,
+// self-contained / atomic / complete subgraphs (Definition 1) and
+// well-nestedness (Definition 2). Used by SpecificationBuilder and tested
+// directly; the checks are also reusable as an oracle over run graphs.
+#ifndef SKL_WORKFLOW_VALIDATION_H_
+#define SKL_WORKFLOW_VALIDATION_H_
+
+#include <vector>
+
+#include "src/common/status.h"
+#include "src/graph/digraph.h"
+#include "src/workflow/subgraph.h"
+
+namespace skl {
+
+/// Checks that g is an acyclic flow network: simple DAG with a unique source
+/// and unique sink and every vertex on some source-to-sink path. Outputs the
+/// terminals on success.
+Status CheckAcyclicFlowNetwork(const Digraph& g, VertexId* source,
+                               VertexId* sink);
+
+/// Normalizes a declared fork/loop vertex set into a SubgraphInfo and checks
+/// Definition 1 for it: self-contained, plus atomic (forks; requires at least
+/// one internal vertex, see DESIGN.md) or complete (loops).
+Result<SubgraphInfo> NormalizeSubgraph(const Digraph& g, SubgraphKind kind,
+                                       std::vector<VertexId> vertices);
+
+/// Checks Definition 2 over all declared subgraphs: every pair is nested
+/// (DomSet and edge containment agree) or fully disjoint, and no two
+/// subgraphs coincide.
+Status CheckWellNested(const std::vector<SubgraphInfo>& subgraphs);
+
+}  // namespace skl
+
+#endif  // SKL_WORKFLOW_VALIDATION_H_

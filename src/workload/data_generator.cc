@@ -1,0 +1,35 @@
+#include "src/workload/data_generator.h"
+
+#include "src/common/check.h"
+#include "src/common/random.h"
+
+namespace skl {
+
+DataCatalog GenerateDataCatalog(const Run& run,
+                                const DataGenOptions& options) {
+  Rng rng(options.seed);
+  DataCatalog catalog;
+  const Digraph& g = run.graph();
+  for (VertexId u = 0; u < g.num_vertices(); ++u) {
+    auto out = g.OutNeighbors(u);
+    if (out.empty()) continue;
+    // Optionally one broadcast item read by every successor.
+    if (out.size() > 1 && rng.NextBool(options.multi_reader_prob)) {
+      DataItemId shared = catalog.AddItem(u);
+      for (VertexId v : out) {
+        Status st = catalog.AddFlow(shared, u, v);
+        SKL_CHECK(st.ok());
+      }
+    }
+    for (VertexId v : out) {
+      for (uint32_t i = 0; i < options.items_per_edge; ++i) {
+        DataItemId item = catalog.AddItem(u);
+        Status st = catalog.AddFlow(item, u, v);
+        SKL_CHECK(st.ok());
+      }
+    }
+  }
+  return catalog;
+}
+
+}  // namespace skl

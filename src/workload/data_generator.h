@@ -1,0 +1,27 @@
+// Random data-item annotations for a run (paper Section 6): items flow on
+// edges; each item has one writer and one or more readers.
+#ifndef SKL_WORKLOAD_DATA_GENERATOR_H_
+#define SKL_WORKLOAD_DATA_GENERATOR_H_
+
+#include <cstdint>
+
+#include "src/core/data_provenance.h"
+#include "src/workflow/run.h"
+
+namespace skl {
+
+struct DataGenOptions {
+  /// Items created per (writer, edge) before sharing.
+  uint32_t items_per_edge = 1;
+  /// Probability that a writer shares one item across all its out-edges
+  /// (producing |Inputs| > 1 items, the paper's factor k).
+  double multi_reader_prob = 0.3;
+  uint64_t seed = 1;
+};
+
+/// Generates a catalog where every run edge carries at least one item.
+DataCatalog GenerateDataCatalog(const Run& run, const DataGenOptions& options);
+
+}  // namespace skl
+
+#endif  // SKL_WORKLOAD_DATA_GENERATOR_H_

@@ -1,0 +1,20 @@
+#include "src/workload/query_generator.h"
+
+#include "src/common/random.h"
+
+namespace skl {
+
+std::vector<std::pair<VertexId, VertexId>> GenerateQueries(
+    VertexId num_vertices, size_t count, uint64_t seed) {
+  Rng rng(seed);
+  std::vector<std::pair<VertexId, VertexId>> queries;
+  queries.reserve(count);
+  for (size_t i = 0; i < count; ++i) {
+    queries.emplace_back(
+        static_cast<VertexId>(rng.NextBelow(num_vertices)),
+        static_cast<VertexId>(rng.NextBelow(num_vertices)));
+  }
+  return queries;
+}
+
+}  // namespace skl

@@ -1,0 +1,20 @@
+// Random reachability-query workloads (vertex pairs), as used in the paper's
+// query-time measurements (10^6 random queries per point).
+#ifndef SKL_WORKLOAD_QUERY_GENERATOR_H_
+#define SKL_WORKLOAD_QUERY_GENERATOR_H_
+
+#include <cstdint>
+#include <utility>
+#include <vector>
+
+#include "src/graph/digraph.h"
+
+namespace skl {
+
+/// `count` uniform random ordered vertex pairs over [0, num_vertices).
+std::vector<std::pair<VertexId, VertexId>> GenerateQueries(
+    VertexId num_vertices, size_t count, uint64_t seed);
+
+}  // namespace skl
+
+#endif  // SKL_WORKLOAD_QUERY_GENERATOR_H_

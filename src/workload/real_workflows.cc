@@ -1,0 +1,59 @@
+#include "src/workload/real_workflows.h"
+
+#include "src/workload/spec_generator.h"
+
+namespace skl {
+
+const std::vector<RealWorkflowInfo>& RealWorkflowTable() {
+  static const std::vector<RealWorkflowInfo> kTable = {
+      {"EBI", 29, 31, 4, 2},      {"PubMed", 35, 45, 3, 3},
+      {"QBLAST", 58, 72, 6, 3},   {"BioAID", 71, 87, 10, 4},
+      {"ProScan", 89, 119, 9, 4}, {"ProDisc", 111, 158, 9, 3},
+  };
+  return kTable;
+}
+
+Result<Specification> BuildRealWorkflow(const std::string& name) {
+  for (size_t i = 0; i < RealWorkflowTable().size(); ++i) {
+    const RealWorkflowInfo& info = RealWorkflowTable()[i];
+    if (info.name != name) continue;
+    SpecGenOptions opt;
+    opt.num_vertices = info.n_g;
+    opt.num_edges = info.m_g;
+    opt.num_subgraphs = info.t_g_size - 1;
+    opt.depth = info.t_g_depth;
+    opt.fork_fraction = 0.5;
+    // Fixed per-workflow seed: the reconstruction is deterministic.
+    opt.seed = 0xb10ba5e + i * 7919;
+    opt.name_prefix = info.name + "_step";
+    return GenerateSpecification(opt);
+  }
+  return Status::NotFound("unknown real workflow: " + name);
+}
+
+Result<Specification> BuildRunningExampleSpec() {
+  SpecificationBuilder builder;
+  VertexId a = builder.AddModule("a");
+  VertexId b = builder.AddModule("b");
+  VertexId c = builder.AddModule("c");
+  VertexId h = builder.AddModule("h");
+  VertexId d = builder.AddModule("d");
+  VertexId e = builder.AddModule("e");
+  VertexId f = builder.AddModule("f");
+  VertexId g = builder.AddModule("g");
+  builder.AddEdge(a, b)
+      .AddEdge(b, c)
+      .AddEdge(c, h)
+      .AddEdge(a, d)
+      .AddEdge(d, e)
+      .AddEdge(e, f)
+      .AddEdge(f, g)
+      .AddEdge(g, h);
+  builder.DeclareFork({a, b, c, h});  // F1
+  builder.DeclareLoop({b, c});        // L1 (inside F1)
+  builder.DeclareLoop({e, f, g});     // L2
+  builder.DeclareFork({e, f, g});     // F2 (inside L2; equal edge sets)
+  return std::move(builder).Build();
+}
+
+}  // namespace skl

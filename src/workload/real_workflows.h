@@ -1,0 +1,40 @@
+// Substituted "real-life" dataset. The paper evaluates on six scientific
+// workflows collected from the myExperiment repository (Table 1). The
+// repository is not available offline, so we reconstruct specifications with
+// exactly the published structural characteristics (n_G, m_G, |T_G|, [T_G]),
+// which are the only properties the experiments depend on. See DESIGN.md.
+#ifndef SKL_WORKLOAD_REAL_WORKFLOWS_H_
+#define SKL_WORKLOAD_REAL_WORKFLOWS_H_
+
+#include <string>
+#include <vector>
+
+#include "src/common/status.h"
+#include "src/workflow/specification.h"
+
+namespace skl {
+
+/// Table 1 row.
+struct RealWorkflowInfo {
+  std::string name;
+  uint32_t n_g;        ///< vertices
+  uint32_t m_g;        ///< edges
+  uint32_t t_g_size;   ///< |T_G| = forks + loops + 1
+  uint32_t t_g_depth;  ///< [T_G]
+};
+
+/// The six workflows of Table 1 (EBI, PubMed, QBLAST, BioAID, ProScan,
+/// ProDisc) in paper order.
+const std::vector<RealWorkflowInfo>& RealWorkflowTable();
+
+/// Builds the workflow with the given Table 1 name ("QBLAST", ...).
+Result<Specification> BuildRealWorkflow(const std::string& name);
+
+/// Builds the paper's running example (Figures 2-3): modules a..h, fork F1
+/// {a,b,c,h}, loop L1 {b,c}, loop L2 {e,f,g}, fork F2 {e,f,g} nested per
+/// Figure 6.
+Result<Specification> BuildRunningExampleSpec();
+
+}  // namespace skl
+
+#endif  // SKL_WORKLOAD_REAL_WORKFLOWS_H_

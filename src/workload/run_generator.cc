@@ -1,0 +1,256 @@
+#include "src/workload/run_generator.h"
+
+#include <algorithm>
+#include <cmath>
+#include <unordered_map>
+#include <utility>
+
+#include "src/common/check.h"
+
+namespace skl {
+
+namespace {
+
+/// Sampled replication structure: one node per future + copy; per hierarchy
+/// child a group of sketch children (>= 1 copy each). Built first (cheap),
+/// sized, and only then materialized.
+struct PlanSketch {
+  struct Node {
+    HierNodeId hier;
+    /// Parallel to hierarchy().node(hier).children: sketch node ids of the
+    /// copies in each execution group.
+    std::vector<std::vector<int32_t>> groups;
+  };
+  std::vector<Node> nodes;
+  uint64_t total_vertices = 0;
+  bool capped = false;
+};
+
+/// Builds a sketch with mean replication `mean`; aborts once the projected
+/// run exceeds `vertex_cap` (the caller is probing for a target size).
+PlanSketch BuildSketch(const Hierarchy& hg, double mean,
+                                     Rng* rng, uint64_t vertex_cap) {
+  PlanSketch sketch;
+  struct Frame {
+    int32_t sketch_id;
+    size_t group_index = 0;
+    uint32_t copies_left = 0;
+  };
+  auto new_node = [&](HierNodeId h) -> int32_t {
+    int32_t id = static_cast<int32_t>(sketch.nodes.size());
+    sketch.nodes.push_back(PlanSketch::Node{
+        h, std::vector<std::vector<int32_t>>(hg.node(h).children.size())});
+    sketch.total_vertices += hg.OwnVertices(h).size();
+    return id;
+  };
+  std::vector<Frame> stack;
+  stack.push_back(Frame{new_node(kHierRoot)});
+  while (!stack.empty()) {
+    if (sketch.total_vertices > vertex_cap) {
+      sketch.capped = true;
+      return sketch;
+    }
+    Frame& f = stack.back();
+    const HierNode& hn = hg.node(sketch.nodes[f.sketch_id].hier);
+    if (f.group_index >= hn.children.size()) {
+      stack.pop_back();
+      continue;
+    }
+    if (f.copies_left == 0 &&
+        sketch.nodes[f.sketch_id].groups[f.group_index].empty()) {
+      f.copies_left = rng->NextCount(mean);
+    }
+    if (f.copies_left == 0) {
+      ++f.group_index;
+      continue;
+    }
+    --f.copies_left;
+    HierNodeId child = hn.children[f.group_index];
+    int32_t cid = new_node(child);
+    sketch.nodes[f.sketch_id].groups[f.group_index].push_back(cid);
+    stack.push_back(Frame{cid});
+  }
+  return sketch;
+}
+
+/// Materializes a sketch into a run graph + ground-truth plan (Lemma 4.1).
+class Materializer {
+ public:
+  Materializer(const Specification& spec,
+               const PlanSketch& sketch,
+               const std::vector<VertexId>& perm)
+      : spec_(spec),
+        hg_(spec.hierarchy()),
+        sketch_(sketch),
+        perm_(perm),
+        plan_(static_cast<VertexId>(perm.size())),
+        modules_(perm.size(), kInvalidModule) {}
+
+  GeneratedRun Finish() && {
+    auto [root_s, root_t] = MatPlus(0, kPlanRoot, kInvalidVertex,
+                                    kInvalidVertex);
+    (void)root_s;
+    (void)root_t;
+    RunBuilder rb(spec_.shared_modules());
+    for (ModuleId m : modules_) {
+      SKL_CHECK_MSG(m != kInvalidModule, "unassigned run vertex");
+      rb.AddVertexById(m);
+    }
+    for (const auto& [u, v] : edges_) rb.AddEdge(u, v);
+    auto run = std::move(rb).Build();
+    SKL_CHECK_MSG(run.ok(), "generated run failed to build");
+    GeneratedRun out{std::move(run).value(), std::move(plan_), {}};
+    return out;
+  }
+
+ private:
+  VertexId NewVertex(VertexId spec_vertex) {
+    VertexId id = perm_[next_seq_++];
+    modules_[id] = static_cast<ModuleId>(spec_vertex);
+    return id;
+  }
+
+  VertexId Resolve(const std::unordered_map<VertexId, VertexId>& lmap,
+                   VertexId spec_vertex) const {
+    auto it = lmap.find(spec_vertex);
+    SKL_CHECK_MSG(it != lmap.end(), "unresolved boundary vertex");
+    return it->second;
+  }
+
+  /// Materializes the + copy for sketch node `sid`. For fork copies the
+  /// shared terminals are passed in as ports; loops create their own.
+  /// Returns the run vertices standing for (s(H), t(H)) of this copy.
+  std::pair<VertexId, VertexId> MatPlus(int32_t sid, PlanNodeId plan_parent,
+                                        VertexId port_s, VertexId port_t) {
+    const auto& snode = sketch_.nodes[sid];
+    const HierNode& hn = hg_.node(snode.hier);
+    const bool is_root = snode.hier == kHierRoot;
+    PlanNodeId x;
+    if (is_root) {
+      x = kPlanRoot;
+    } else {
+      x = plan_.AddNode(hn.kind == HierKind::kFork ? PlanNodeType::kFPlus
+                                                   : PlanNodeType::kLPlus,
+                        snode.hier, plan_parent);
+    }
+    std::unordered_map<VertexId, VertexId> lmap;
+    for (VertexId v : hg_.OwnVertices(snode.hier)) {
+      VertexId id = NewVertex(v);
+      lmap.emplace(v, id);
+      plan_.AssignContext(id, x);
+    }
+    if (port_s != kInvalidVertex) {
+      lmap.emplace(hn.source, port_s);
+      lmap.emplace(hn.sink, port_t);
+    }
+    // Loop children first: their exposed terminals may serve as boundary
+    // vertices of sibling fork children and of own edges.
+    for (size_t gi = 0; gi < hn.children.size(); ++gi) {
+      HierNodeId child = hn.children[gi];
+      const HierNode& cn = hg_.node(child);
+      if (cn.kind != HierKind::kLoop) continue;
+      PlanNodeId g = plan_.AddNode(PlanNodeType::kLMinus, child, x);
+      VertexId first_s = kInvalidVertex;
+      VertexId prev_t = kInvalidVertex;
+      for (int32_t csid : snode.groups[gi]) {
+        auto [cs, ct] = MatPlus(csid, g, kInvalidVertex, kInvalidVertex);
+        if (first_s == kInvalidVertex) {
+          first_s = cs;
+        } else {
+          edges_.emplace_back(prev_t, cs);  // serial composition
+        }
+        prev_t = ct;
+      }
+      lmap.emplace(cn.source, first_s);
+      lmap.emplace(cn.sink, prev_t);
+    }
+    for (size_t gi = 0; gi < hn.children.size(); ++gi) {
+      HierNodeId child = hn.children[gi];
+      const HierNode& cn = hg_.node(child);
+      if (cn.kind != HierKind::kFork) continue;
+      PlanNodeId g = plan_.AddNode(PlanNodeType::kFMinus, child, x);
+      VertexId fs = Resolve(lmap, cn.source);
+      VertexId ft = Resolve(lmap, cn.sink);
+      for (int32_t csid : snode.groups[gi]) {
+        MatPlus(csid, g, fs, ft);  // parallel composition: shared terminals
+      }
+    }
+    for (const auto& [u, v] : hn.own_edges) {
+      edges_.emplace_back(Resolve(lmap, u), Resolve(lmap, v));
+    }
+    return {Resolve(lmap, hn.source), Resolve(lmap, hn.sink)};
+  }
+
+  const Specification& spec_;
+  const Hierarchy& hg_;
+  const PlanSketch& sketch_;
+  const std::vector<VertexId>& perm_;
+  ExecutionPlan plan_;
+  std::vector<ModuleId> modules_;
+  std::vector<std::pair<VertexId, VertexId>> edges_;
+  size_t next_seq_ = 0;
+};
+
+}  // namespace
+
+Result<GeneratedRun> RunGenerator::Generate(const RunGenOptions& options) const {
+  const Hierarchy& hg = spec_->hierarchy();
+  Rng rng(options.seed);
+
+  PlanSketch sketch;
+  if (options.target_vertices == 0) {
+    sketch = BuildSketch(hg, std::max(1.0, options.mean_replication), &rng,
+                         UINT64_MAX);
+  } else {
+    const double target = options.target_vertices;
+    double factor = 2.0;
+    PlanSketch best;
+    double best_err = 1e300;
+    for (int iter = 0; iter < 48; ++iter) {
+      uint64_t child_seed = options.seed * 0x9e3779b97f4a7c15ULL +
+                            static_cast<uint64_t>(iter) + 1;
+      Rng trial_rng(child_seed);
+      PlanSketch trial =
+          BuildSketch(hg, factor, &trial_rng,
+                      static_cast<uint64_t>(target * 4) + 1024);
+      double size = trial.capped ? target * 8
+                                 : static_cast<double>(trial.total_vertices);
+      double err = std::abs(size - target) / target;
+      if (!trial.capped && err < best_err) {
+        best_err = err;
+        best = std::move(trial);
+      }
+      if (best_err <= options.target_tolerance) break;
+      double adjust = std::pow(target / size, 0.8);
+      factor = std::clamp(factor * std::clamp(adjust, 0.2, 8.0), 1.0, 1e9);
+    }
+    if (best.nodes.empty()) {
+      return Status::Internal("run generator failed to build a sketch");
+    }
+    sketch = std::move(best);
+  }
+
+  // Permutation for vertex ids.
+  std::vector<VertexId> perm(sketch.total_vertices);
+  for (size_t i = 0; i < perm.size(); ++i) perm[i] = static_cast<VertexId>(i);
+  if (options.shuffle_vertex_ids) rng.Shuffle(&perm);
+
+  Materializer mat(*spec_, sketch, perm);
+  GeneratedRun out = std::move(mat).Finish();
+  // Origins equal module ids because the run shares the spec module table.
+  out.origin.resize(out.run.num_vertices());
+  for (VertexId v = 0; v < out.run.num_vertices(); ++v) {
+    out.origin[v] = static_cast<VertexId>(out.run.ModuleOf(v));
+  }
+  return out;
+}
+
+Result<GeneratedRun> RunGenerator::GenerateMinimal(uint64_t seed) const {
+  RunGenOptions options;
+  options.mean_replication = 1.0;
+  options.target_vertices = 0;
+  options.seed = seed;
+  return Generate(options);
+}
+
+}  // namespace skl

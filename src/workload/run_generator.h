@@ -1,0 +1,59 @@
+// Run generator: simulates workflow executions by sampling an execution-plan
+// tree (per-fork/loop replication counts) and materializing the run graph
+// bottom-up per Lemma 4.1. Generated runs conform to the specification by
+// construction and carry ground-truth plan + context + origin, which backs
+// the property tests and the paper's "with execution plan & context"
+// experiment setting (Figure 13).
+#ifndef SKL_WORKLOAD_RUN_GENERATOR_H_
+#define SKL_WORKLOAD_RUN_GENERATOR_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "src/common/random.h"
+#include "src/common/status.h"
+#include "src/core/execution_plan.h"
+#include "src/workflow/run.h"
+#include "src/workflow/specification.h"
+
+namespace skl {
+
+struct GeneratedRun {
+  Run run;
+  ExecutionPlan plan;                ///< ground-truth T_R + context
+  std::vector<VertexId> origin;      ///< ground-truth origins
+};
+
+struct RunGenOptions {
+  /// Mean replication count per fork/loop execution (>= 1). Ignored when
+  /// target_vertices > 0.
+  double mean_replication = 2.0;
+  /// If nonzero, the generator searches a replication factor so the run has
+  /// about this many vertices (within `target_tolerance`), as in the paper's
+  /// 0.1K..102.4K sweeps.
+  uint32_t target_vertices = 0;
+  double target_tolerance = 0.10;
+  /// Permute vertex ids of the produced run so downstream code cannot rely
+  /// on generation order.
+  bool shuffle_vertex_ids = true;
+  uint64_t seed = 1;
+};
+
+class RunGenerator {
+ public:
+  explicit RunGenerator(const Specification* spec) : spec_(spec) {}
+
+  /// Generates one run (plus ground truth) according to `options`.
+  Result<GeneratedRun> Generate(const RunGenOptions& options) const;
+
+  /// Expected minimal run: every fork/loop executed exactly once (the run is
+  /// then isomorphic to the specification).
+  Result<GeneratedRun> GenerateMinimal(uint64_t seed = 1) const;
+
+ private:
+  const Specification* spec_;
+};
+
+}  // namespace skl
+
+#endif  // SKL_WORKLOAD_RUN_GENERATOR_H_

@@ -1,0 +1,33 @@
+// Random workflow-specification generator. Produces validated specifications
+// hitting exact structural targets — the paper parameterizes synthetic specs
+// by (n_G, m_G, |T_G|, [T_G]) (Section 8) — by composing well-nested
+// fork/loop "capsules" in series along a backbone chain and topping up the
+// edge count with forward skip edges that respect Definitions 1-2.
+#ifndef SKL_WORKLOAD_SPEC_GENERATOR_H_
+#define SKL_WORKLOAD_SPEC_GENERATOR_H_
+
+#include <string>
+
+#include "src/common/status.h"
+#include "src/workflow/specification.h"
+
+namespace skl {
+
+struct SpecGenOptions {
+  uint32_t num_vertices = 100;   ///< n_G (exact)
+  uint32_t num_edges = 200;      ///< m_G (exact, if feasible)
+  uint32_t num_subgraphs = 9;    ///< |T_G| - 1 (forks + loops, exact)
+  uint32_t depth = 4;            ///< [T_G] (exact; 1 = no forks/loops)
+  double fork_fraction = 0.5;    ///< probability a subgraph is a fork
+  uint64_t seed = 1;
+  std::string name_prefix = "m";
+};
+
+/// Generates a specification matching the options. Fails with
+/// InvalidArgument when the targets are mutually infeasible (e.g. not enough
+/// vertices to host the requested subgraphs, or an edge count below n_G - 1).
+Result<Specification> GenerateSpecification(const SpecGenOptions& options);
+
+}  // namespace skl
+
+#endif  // SKL_WORKLOAD_SPEC_GENERATOR_H_

@@ -1,0 +1,278 @@
+// Tests for the common substrate: Status/Result, Rng, DynamicBitset and the
+// bit codec.
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <set>
+
+#include "src/common/bit_codec.h"
+#include "src/common/bitset.h"
+#include "src/common/random.h"
+#include "src/common/status.h"
+
+namespace skl {
+namespace {
+
+TEST(StatusTest, DefaultIsOk) {
+  Status st;
+  EXPECT_TRUE(st.ok());
+  EXPECT_EQ(st.code(), StatusCode::kOk);
+  EXPECT_EQ(st.ToString(), "OK");
+}
+
+TEST(StatusTest, ErrorCarriesCodeAndMessage) {
+  Status st = Status::InvalidRun("boom");
+  EXPECT_FALSE(st.ok());
+  EXPECT_EQ(st.code(), StatusCode::kInvalidRun);
+  EXPECT_EQ(st.message(), "boom");
+  EXPECT_EQ(st.ToString(), "InvalidRun: boom");
+}
+
+TEST(StatusTest, AllCodesHaveNames) {
+  EXPECT_STREQ(StatusCodeName(StatusCode::kOk), "OK");
+  EXPECT_STREQ(StatusCodeName(StatusCode::kInvalidArgument),
+               "InvalidArgument");
+  EXPECT_STREQ(StatusCodeName(StatusCode::kInvalidSpecification),
+               "InvalidSpecification");
+  EXPECT_STREQ(StatusCodeName(StatusCode::kInvalidRun), "InvalidRun");
+  EXPECT_STREQ(StatusCodeName(StatusCode::kNotFound), "NotFound");
+  EXPECT_STREQ(StatusCodeName(StatusCode::kParseError), "ParseError");
+  EXPECT_STREQ(StatusCodeName(StatusCode::kCapacityExceeded),
+               "CapacityExceeded");
+  EXPECT_STREQ(StatusCodeName(StatusCode::kInternal), "Internal");
+}
+
+Result<int> ParsePositive(int x) {
+  if (x <= 0) return Status::InvalidArgument("not positive");
+  return x * 2;
+}
+
+Status UseResult(int x, int* out) {
+  SKL_ASSIGN_OR_RETURN(int doubled, ParsePositive(x));
+  *out = doubled;
+  return Status::OK();
+}
+
+TEST(ResultTest, ValueAndErrorPaths) {
+  Result<int> good = ParsePositive(21);
+  ASSERT_TRUE(good.ok());
+  EXPECT_EQ(good.value(), 42);
+
+  Result<int> bad = ParsePositive(-1);
+  ASSERT_FALSE(bad.ok());
+  EXPECT_EQ(bad.status().code(), StatusCode::kInvalidArgument);
+}
+
+TEST(ResultTest, AssignOrReturnMacro) {
+  int out = 0;
+  EXPECT_TRUE(UseResult(5, &out).ok());
+  EXPECT_EQ(out, 10);
+  EXPECT_FALSE(UseResult(-5, &out).ok());
+}
+
+TEST(RngTest, Deterministic) {
+  Rng a(42), b(42), c(43);
+  EXPECT_EQ(a.Next(), b.Next());
+  EXPECT_EQ(a.Next(), b.Next());
+  Rng a2(42);
+  EXPECT_NE(a2.Next(), c.Next());
+}
+
+TEST(RngTest, NextBelowInRange) {
+  Rng rng(7);
+  for (int i = 0; i < 1000; ++i) {
+    EXPECT_LT(rng.NextBelow(17), 17u);
+  }
+  EXPECT_EQ(rng.NextBelow(1), 0u);
+}
+
+TEST(RngTest, NextInRangeInclusive) {
+  Rng rng(9);
+  std::set<int64_t> seen;
+  for (int i = 0; i < 2000; ++i) {
+    int64_t v = rng.NextInRange(-3, 3);
+    EXPECT_GE(v, -3);
+    EXPECT_LE(v, 3);
+    seen.insert(v);
+  }
+  EXPECT_EQ(seen.size(), 7u);  // all values hit
+}
+
+TEST(RngTest, NextDoubleInUnitInterval) {
+  Rng rng(11);
+  for (int i = 0; i < 1000; ++i) {
+    double d = rng.NextDouble();
+    EXPECT_GE(d, 0.0);
+    EXPECT_LT(d, 1.0);
+  }
+}
+
+TEST(RngTest, NextCountMeanRoughlyMatches) {
+  Rng rng(13);
+  double sum = 0;
+  const int n = 20000;
+  for (int i = 0; i < n; ++i) sum += rng.NextCount(3.0);
+  double mean = sum / n;
+  EXPECT_NEAR(mean, 3.0, 0.25);
+  EXPECT_EQ(rng.NextCount(1.0), 1u);
+  EXPECT_EQ(rng.NextCount(0.5), 1u);
+}
+
+TEST(RngTest, ShufflePermutes) {
+  Rng rng(17);
+  std::vector<int> v{0, 1, 2, 3, 4, 5, 6, 7, 8, 9};
+  std::vector<int> orig = v;
+  rng.Shuffle(&v);
+  std::vector<int> sorted = v;
+  std::sort(sorted.begin(), sorted.end());
+  EXPECT_EQ(sorted, orig);
+}
+
+TEST(BitsetTest, SetTestClear) {
+  DynamicBitset bs(130);
+  EXPECT_EQ(bs.size(), 130u);
+  EXPECT_TRUE(bs.None());
+  bs.Set(0);
+  bs.Set(64);
+  bs.Set(129);
+  EXPECT_TRUE(bs.Test(0));
+  EXPECT_TRUE(bs.Test(64));
+  EXPECT_TRUE(bs.Test(129));
+  EXPECT_FALSE(bs.Test(1));
+  EXPECT_EQ(bs.Count(), 3u);
+  bs.Clear(64);
+  EXPECT_FALSE(bs.Test(64));
+  EXPECT_EQ(bs.Count(), 2u);
+}
+
+TEST(BitsetTest, SetOperations) {
+  DynamicBitset a(100), b(100);
+  a.Set(3);
+  a.Set(50);
+  b.Set(50);
+  b.Set(99);
+  EXPECT_TRUE(a.Intersects(b));
+  EXPECT_FALSE(a.IsSubsetOf(b));
+
+  DynamicBitset u = a;
+  u.UnionWith(b);
+  EXPECT_EQ(u.Count(), 3u);
+  EXPECT_TRUE(a.IsSubsetOf(u));
+  EXPECT_TRUE(b.IsSubsetOf(u));
+
+  DynamicBitset i = a;
+  i.IntersectWith(b);
+  EXPECT_EQ(i.Count(), 1u);
+  EXPECT_TRUE(i.Test(50));
+
+  DynamicBitset c(100);
+  c.Set(0);
+  EXPECT_FALSE(a.Intersects(c));
+}
+
+TEST(BitsetTest, FindFirstNext) {
+  DynamicBitset bs(200);
+  EXPECT_EQ(bs.FindFirst(), 200u);
+  bs.Set(5);
+  bs.Set(63);
+  bs.Set(64);
+  bs.Set(199);
+  EXPECT_EQ(bs.FindFirst(), 5u);
+  EXPECT_EQ(bs.FindNext(5), 63u);
+  EXPECT_EQ(bs.FindNext(63), 64u);
+  EXPECT_EQ(bs.FindNext(64), 199u);
+  EXPECT_EQ(bs.FindNext(199), 200u);
+}
+
+TEST(BitsetTest, Equality) {
+  DynamicBitset a(10), b(10);
+  EXPECT_TRUE(a == b);
+  a.Set(4);
+  EXPECT_FALSE(a == b);
+  b.Set(4);
+  EXPECT_TRUE(a == b);
+}
+
+TEST(BitCodecTest, RoundTripFixedWidths) {
+  BitWriter w;
+  w.Write(0b101, 3);
+  w.Write(0xdeadbeef, 32);
+  w.Write(1, 1);
+  w.Write(0x3ff, 10);
+  auto bytes = w.Finish();
+  BitReader r(bytes);
+  uint64_t v;
+  ASSERT_TRUE(r.Read(3, &v).ok());
+  EXPECT_EQ(v, 0b101u);
+  ASSERT_TRUE(r.Read(32, &v).ok());
+  EXPECT_EQ(v, 0xdeadbeefu);
+  ASSERT_TRUE(r.Read(1, &v).ok());
+  EXPECT_EQ(v, 1u);
+  ASSERT_TRUE(r.Read(10, &v).ok());
+  EXPECT_EQ(v, 0x3ffu);
+}
+
+TEST(BitCodecTest, RoundTripVarint) {
+  BitWriter w;
+  w.Write(1, 3);  // misalign on purpose
+  w.WriteVarint(0);
+  w.WriteVarint(127);
+  w.WriteVarint(128);
+  w.WriteVarint(UINT64_MAX);
+  auto bytes = w.Finish();
+  BitReader r(bytes);
+  uint64_t v;
+  ASSERT_TRUE(r.Read(3, &v).ok());
+  ASSERT_TRUE(r.ReadVarint(&v).ok());
+  EXPECT_EQ(v, 0u);
+  ASSERT_TRUE(r.ReadVarint(&v).ok());
+  EXPECT_EQ(v, 127u);
+  ASSERT_TRUE(r.ReadVarint(&v).ok());
+  EXPECT_EQ(v, 128u);
+  ASSERT_TRUE(r.ReadVarint(&v).ok());
+  EXPECT_EQ(v, UINT64_MAX);
+}
+
+TEST(BitCodecTest, ReadPastEndFails) {
+  BitWriter w;
+  w.Write(1, 4);
+  auto bytes = w.Finish();  // padded to 8 bits
+  BitReader r(bytes);
+  uint64_t v;
+  ASSERT_TRUE(r.Read(8, &v).ok());
+  EXPECT_FALSE(r.Read(1, &v).ok());
+}
+
+TEST(BitCodecTest, BitsForCount) {
+  EXPECT_EQ(BitsForCount(0), 1);
+  EXPECT_EQ(BitsForCount(1), 1);
+  EXPECT_EQ(BitsForCount(2), 1);
+  EXPECT_EQ(BitsForCount(3), 2);
+  EXPECT_EQ(BitsForCount(4), 2);
+  EXPECT_EQ(BitsForCount(5), 3);
+  EXPECT_EQ(BitsForCount(1024), 10);
+  EXPECT_EQ(BitsForCount(1025), 11);
+}
+
+TEST(BitCodecTest, ExhaustiveWidthRoundTrip) {
+  for (int bits = 1; bits <= 64; ++bits) {
+    BitWriter w;
+    uint64_t max_val =
+        bits == 64 ? UINT64_MAX : (uint64_t{1} << bits) - 1;
+    w.Write(max_val, bits);
+    w.Write(0, bits);
+    w.Write(max_val & 0x5555555555555555ULL, bits);
+    auto bytes = w.Finish();
+    BitReader r(bytes);
+    uint64_t v;
+    ASSERT_TRUE(r.Read(bits, &v).ok());
+    EXPECT_EQ(v, max_val) << bits;
+    ASSERT_TRUE(r.Read(bits, &v).ok());
+    EXPECT_EQ(v, 0u) << bits;
+    ASSERT_TRUE(r.Read(bits, &v).ok());
+    EXPECT_EQ(v, max_val & 0x5555555555555555ULL) << bits;
+  }
+}
+
+}  // namespace
+}  // namespace skl

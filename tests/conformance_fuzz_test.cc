@@ -1,0 +1,153 @@
+// Conformance fuzzing: mutate conforming runs at random (add/delete edges,
+// relabel/duplicate vertices) and require that the plan-recovery algorithm
+// either rejects the mutant as nonconforming or — if the mutant happens to
+// remain a valid run — produces labels that still agree with graph search.
+// Either outcome is sound; silently mislabeling is the only failure mode.
+#include <gtest/gtest.h>
+
+#include "src/common/check.h"
+#include "src/common/random.h"
+#include "src/core/skeleton_labeler.h"
+#include "src/graph/algorithms.h"
+#include "src/workload/run_generator.h"
+#include "src/workload/spec_generator.h"
+
+namespace skl {
+namespace {
+
+enum class Mutation {
+  kAddEdge,
+  kDeleteEdge,
+  kRelabelVertex,
+  kDuplicateVertex,
+};
+
+Run Mutate(const Specification& spec, const Run& run, Mutation kind,
+           Rng* rng) {
+  RunBuilder rb(spec.shared_modules());
+  for (VertexId v = 0; v < run.num_vertices(); ++v) {
+    ModuleId m = run.ModuleOf(v);
+    if (kind == Mutation::kRelabelVertex &&
+        v == rng->NextBelow(run.num_vertices())) {
+      m = static_cast<ModuleId>(
+          rng->NextBelow(spec.graph().num_vertices()));
+    }
+    rb.AddVertexById(m);
+  }
+  auto edges = run.graph().Edges();
+  size_t skip = kind == Mutation::kDeleteEdge
+                    ? rng->NextBelow(edges.size())
+                    : SIZE_MAX;
+  for (size_t i = 0; i < edges.size(); ++i) {
+    if (i == skip) continue;
+    rb.AddEdge(edges[i].first, edges[i].second);
+  }
+  if (kind == Mutation::kAddEdge) {
+    VertexId u = static_cast<VertexId>(rng->NextBelow(run.num_vertices()));
+    VertexId v = static_cast<VertexId>(rng->NextBelow(run.num_vertices()));
+    if (u != v) rb.AddEdge(u, v);
+  }
+  if (kind == Mutation::kDuplicateVertex) {
+    VertexId v = static_cast<VertexId>(rng->NextBelow(run.num_vertices()));
+    VertexId dup = rb.AddVertexById(run.ModuleOf(v));
+    auto in = run.graph().InNeighbors(v);
+    if (!in.empty()) rb.AddEdge(in[0], dup);
+    auto out = run.graph().OutNeighbors(v);
+    if (!out.empty()) rb.AddEdge(dup, out[0]);
+  }
+  auto result = std::move(rb).Build();
+  SKL_CHECK(result.ok());
+  return std::move(result).value();
+}
+
+class ConformanceFuzz : public ::testing::TestWithParam<uint64_t> {};
+
+TEST_P(ConformanceFuzz, MutantsAreRejectedOrLabeledCorrectly) {
+  const uint64_t seed = GetParam();
+  SpecGenOptions sopt;
+  sopt.num_vertices = 40;
+  sopt.num_edges = 64;
+  sopt.num_subgraphs = 5;
+  sopt.depth = 3;
+  sopt.seed = seed;
+  auto spec = GenerateSpecification(sopt);
+  ASSERT_TRUE(spec.ok()) << spec.status().ToString();
+  SkeletonLabeler labeler(&spec.value(), SpecSchemeKind::kTcm);
+  ASSERT_TRUE(labeler.Init().ok());
+
+  RunGenerator gen(&spec.value());
+  Rng rng(seed * 7919 + 3);
+  size_t rejected = 0, accepted = 0;
+  for (int trial = 0; trial < 40; ++trial) {
+    RunGenOptions ropt;
+    ropt.target_vertices = 150;
+    ropt.seed = seed * 100 + trial;
+    auto generated = gen.Generate(ropt);
+    ASSERT_TRUE(generated.ok());
+    Mutation kind = static_cast<Mutation>(rng.NextBelow(4));
+    ::skl::Run mutant =
+        Mutate(spec.value(), generated->run, kind, &rng);
+
+    auto labeling = labeler.LabelRun(mutant);
+    if (!labeling.ok()) {
+      // Rejection must come through the typed error, not a crash.
+      EXPECT_EQ(labeling.status().code(), StatusCode::kInvalidRun)
+          << labeling.status().ToString();
+      ++rejected;
+      continue;
+    }
+    ++accepted;
+    // The mutant slipped through as (or equal to) a conforming run: its
+    // labels must still answer correctly.
+    const Digraph& g = mutant.graph();
+    for (int q = 0; q < 600; ++q) {
+      VertexId u = static_cast<VertexId>(rng.NextBelow(g.num_vertices()));
+      VertexId v = static_cast<VertexId>(rng.NextBelow(g.num_vertices()));
+      ASSERT_EQ(labeling->Reaches(u, v), Reaches(g, u, v))
+          << "seed " << seed << " trial " << trial << " mutation "
+          << static_cast<int>(kind);
+    }
+  }
+  // Most mutations break conformance; make sure the oracle is doing work.
+  EXPECT_GT(rejected, 0u) << "no mutant was rejected across 40 trials";
+  (void)accepted;
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, ConformanceFuzz,
+                         ::testing::Values(1u, 2u, 3u, 4u, 5u, 6u));
+
+TEST(ConformanceFuzzShape, ScrambledEdgesRejected) {
+  // Extreme mutant: keep the vertex multiset of a valid run but rewire all
+  // edges randomly (acyclic by index order).
+  SpecGenOptions sopt;
+  sopt.seed = 9;
+  auto spec = GenerateSpecification(sopt);
+  ASSERT_TRUE(spec.ok());
+  RunGenerator gen(&spec.value());
+  RunGenOptions ropt;
+  ropt.target_vertices = 200;
+  ropt.seed = 10;
+  auto generated = gen.Generate(ropt);
+  ASSERT_TRUE(generated.ok());
+  Rng rng(11);
+  RunBuilder rb(spec->shared_modules());
+  for (VertexId v = 0; v < generated->run.num_vertices(); ++v) {
+    rb.AddVertexById(generated->run.ModuleOf(v));
+  }
+  for (size_t i = 0; i < generated->run.num_edges(); ++i) {
+    VertexId u = static_cast<VertexId>(
+        rng.NextBelow(generated->run.num_vertices() - 1));
+    VertexId v = static_cast<VertexId>(
+        u + 1 + rng.NextBelow(generated->run.num_vertices() - u - 1));
+    rb.AddEdge(u, v);
+  }
+  auto mutant = std::move(rb).Build();
+  ASSERT_TRUE(mutant.ok());
+  SkeletonLabeler labeler(&spec.value(), SpecSchemeKind::kTcm);
+  ASSERT_TRUE(labeler.Init().ok());
+  auto labeling = labeler.LabelRun(*mutant);
+  EXPECT_FALSE(labeling.ok());
+}
+
+}  // namespace
+}  // namespace skl

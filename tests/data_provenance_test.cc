@@ -1,0 +1,138 @@
+// Tests for Section 6 data provenance: the paper's Example 10 plus
+// brute-force cross-checks of the dependency semantics.
+#include <gtest/gtest.h>
+
+#include "src/core/data_provenance.h"
+#include "src/core/skeleton_labeler.h"
+#include "src/graph/algorithms.h"
+#include "src/workload/data_generator.h"
+#include "src/workload/run_generator.h"
+#include "tests/test_util.h"
+
+namespace skl {
+namespace {
+
+class DataProvenanceExample : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    ex_ = testing_util::MakeRunningExample();
+    labeler_ = std::make_unique<SkeletonLabeler>(&ex_.spec,
+                                                 SpecSchemeKind::kTcm);
+    ASSERT_TRUE(labeler_->Init().ok());
+    auto labeling = labeler_->LabelRun(ex_.run);
+    ASSERT_TRUE(labeling.ok());
+    labeling_ = std::make_unique<RunLabeling>(std::move(labeling).value());
+  }
+
+  testing_util::RunningExample ex_;
+  std::unique_ptr<SkeletonLabeler> labeler_;
+  std::unique_ptr<RunLabeling> labeling_;
+};
+
+TEST_F(DataProvenanceExample, Example10) {
+  // Figure 11: x1 flows a1->{b1, b3}; x6 flows c3->h1.
+  DataCatalog catalog;
+  DataItemId x1 = catalog.AddItem(ex_.rv("a1"));
+  ASSERT_TRUE(catalog.AddFlow(x1, ex_.rv("a1"), ex_.rv("b1")).ok());
+  ASSERT_TRUE(catalog.AddFlow(x1, ex_.rv("a1"), ex_.rv("b3")).ok());
+  DataItemId x6 = catalog.AddItem(ex_.rv("c3"));
+  ASSERT_TRUE(catalog.AddFlow(x6, ex_.rv("c3"), ex_.rv("h1")).ok());
+
+  auto dp = DataProvenance::Build(labeling_.get(), catalog);
+  ASSERT_TRUE(dp.ok());
+  // x6 depends on x1 iff some reader of x1 (b1 or b3) reaches c3. b3 does.
+  EXPECT_TRUE(dp->DependsOn(x6, x1));
+  // x1 does not depend on x6 (h1 reaches nothing upstream).
+  EXPECT_FALSE(dp->DependsOn(x1, x6));
+  // Data-vs-module queries.
+  EXPECT_TRUE(dp->DataDependsOnModule(x6, ex_.rv("b3")));
+  EXPECT_FALSE(dp->DataDependsOnModule(x6, ex_.rv("b1")));
+  EXPECT_TRUE(dp->ModuleDependsOnData(ex_.rv("h1"), x1));
+  EXPECT_FALSE(dp->ModuleDependsOnData(ex_.rv("d1"), x1));
+}
+
+TEST_F(DataProvenanceExample, WriterConsistencyEnforced) {
+  DataCatalog catalog;
+  DataItemId x = catalog.AddItem(ex_.rv("a1"));
+  EXPECT_FALSE(catalog.AddFlow(x, ex_.rv("b1"), ex_.rv("c1")).ok());
+  EXPECT_FALSE(catalog.AddFlow(99, ex_.rv("a1"), ex_.rv("b1")).ok());
+}
+
+TEST_F(DataProvenanceExample, DuplicateReaderDeduplicated) {
+  DataCatalog catalog;
+  DataItemId x = catalog.AddItem(ex_.rv("a1"));
+  ASSERT_TRUE(catalog.AddFlow(x, ex_.rv("a1"), ex_.rv("b1")).ok());
+  ASSERT_TRUE(catalog.AddFlow(x, ex_.rv("a1"), ex_.rv("b1")).ok());
+  EXPECT_EQ(catalog.InputsOf(x).size(), 1u);
+  EXPECT_EQ(catalog.MaxInputs(), 1u);
+}
+
+TEST_F(DataProvenanceExample, LabelBitsScaleWithReaders) {
+  DataCatalog catalog;
+  DataItemId x1 = catalog.AddItem(ex_.rv("a1"));
+  ASSERT_TRUE(catalog.AddFlow(x1, ex_.rv("a1"), ex_.rv("b1")).ok());
+  ASSERT_TRUE(catalog.AddFlow(x1, ex_.rv("a1"), ex_.rv("b3")).ok());
+  DataItemId x2 = catalog.AddItem(ex_.rv("c3"));
+  ASSERT_TRUE(catalog.AddFlow(x2, ex_.rv("c3"), ex_.rv("h1")).ok());
+  auto dp = DataProvenance::Build(labeling_.get(), catalog);
+  ASSERT_TRUE(dp.ok());
+  EXPECT_EQ(dp->LabelBits(x1), 3u * labeling_->label_bits());
+  EXPECT_EQ(dp->LabelBits(x2), 2u * labeling_->label_bits());
+}
+
+TEST_F(DataProvenanceExample, RejectsOutOfRangeModules) {
+  DataCatalog catalog;
+  catalog.AddItem(9999);
+  auto dp = DataProvenance::Build(labeling_.get(), catalog);
+  EXPECT_FALSE(dp.ok());
+}
+
+TEST(DataProvenancePropertyTest, MatchesBruteForceOnGeneratedRun) {
+  auto spec_result = BuildRunningExampleSpec();
+  ASSERT_TRUE(spec_result.ok());
+  Specification spec = std::move(spec_result).value();
+  RunGenerator generator(&spec);
+  RunGenOptions ropt;
+  ropt.target_vertices = 120;
+  ropt.seed = 5;
+  auto gen = generator.Generate(ropt);
+  ASSERT_TRUE(gen.ok());
+
+  SkeletonLabeler labeler(&spec, SpecSchemeKind::kTcm);
+  ASSERT_TRUE(labeler.Init().ok());
+  auto labeling = labeler.LabelRun(gen->run);
+  ASSERT_TRUE(labeling.ok());
+
+  DataGenOptions dopt;
+  dopt.seed = 17;
+  DataCatalog catalog = GenerateDataCatalog(gen->run, dopt);
+  ASSERT_GT(catalog.size(), 0u);
+  auto dp = DataProvenance::Build(&labeling.value(), catalog);
+  ASSERT_TRUE(dp.ok());
+
+  const Digraph& g = gen->run.graph();
+  // Brute force: x depends on x_from iff some reader of x_from reaches
+  // Output(x) in the run graph.
+  auto brute = [&](DataItemId x, DataItemId x_from) {
+    for (VertexId r : catalog.InputsOf(x_from)) {
+      if (Reaches(g, r, catalog.OutputOf(x))) return true;
+    }
+    return false;
+  };
+  // Sample pairs (the full cross product is quadratic in items).
+  Rng rng(23);
+  for (int i = 0; i < 400; ++i) {
+    DataItemId a = static_cast<DataItemId>(rng.NextBelow(catalog.size()));
+    DataItemId b = static_cast<DataItemId>(rng.NextBelow(catalog.size()));
+    EXPECT_EQ(dp->DependsOn(a, b), brute(a, b)) << a << " vs " << b;
+  }
+  for (int i = 0; i < 200; ++i) {
+    DataItemId a = static_cast<DataItemId>(rng.NextBelow(catalog.size()));
+    VertexId v = static_cast<VertexId>(rng.NextBelow(g.num_vertices()));
+    EXPECT_EQ(dp->DataDependsOnModule(a, v),
+              Reaches(g, v, catalog.OutputOf(a)));
+  }
+}
+
+}  // namespace
+}  // namespace skl

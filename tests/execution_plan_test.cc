@@ -1,0 +1,98 @@
+// Tests for the ExecutionPlan container itself (structure bookkeeping,
+// validation rules, Lemma 4.2 bound check).
+#include <gtest/gtest.h>
+
+#include "src/core/execution_plan.h"
+
+namespace skl {
+namespace {
+
+TEST(ExecutionPlanTest, RootOnly) {
+  ExecutionPlan plan(3);
+  EXPECT_EQ(plan.num_nodes(), 1u);
+  EXPECT_EQ(plan.node(kPlanRoot).type, PlanNodeType::kGPlus);
+  EXPECT_EQ(plan.num_plus_nodes(), 1u);
+  EXPECT_EQ(plan.num_nonempty_plus(), 0u);
+  plan.AssignContext(0, kPlanRoot);
+  plan.AssignContext(1, kPlanRoot);
+  plan.AssignContext(2, kPlanRoot);
+  EXPECT_EQ(plan.num_nonempty_plus(), 1u);
+  EXPECT_TRUE(plan.Validate(5).ok());
+}
+
+TEST(ExecutionPlanTest, TypePredicates) {
+  EXPECT_TRUE(IsPlusNode(PlanNodeType::kGPlus));
+  EXPECT_TRUE(IsPlusNode(PlanNodeType::kFPlus));
+  EXPECT_TRUE(IsPlusNode(PlanNodeType::kLPlus));
+  EXPECT_FALSE(IsPlusNode(PlanNodeType::kFMinus));
+  EXPECT_FALSE(IsPlusNode(PlanNodeType::kLMinus));
+  EXPECT_STREQ(PlanNodeTypeName(PlanNodeType::kGPlus), "G+");
+  EXPECT_STREQ(PlanNodeTypeName(PlanNodeType::kLMinus), "L-");
+}
+
+TEST(ExecutionPlanTest, TreeConstruction) {
+  ExecutionPlan plan(4);
+  PlanNodeId g = plan.AddNode(PlanNodeType::kFMinus, 1, kPlanRoot);
+  PlanNodeId c1 = plan.AddNode(PlanNodeType::kFPlus, 1, g);
+  PlanNodeId c2 = plan.AddNode(PlanNodeType::kFPlus, 1, g);
+  EXPECT_EQ(plan.node(g).children.size(), 2u);
+  EXPECT_EQ(plan.node(c1).parent, g);
+  plan.AssignContext(0, kPlanRoot);
+  plan.AssignContext(1, kPlanRoot);
+  plan.AssignContext(2, c1);
+  plan.AssignContext(3, c2);
+  EXPECT_EQ(plan.num_nonempty_plus(), 3u);
+  EXPECT_TRUE(plan.Validate(10).ok());
+}
+
+TEST(ExecutionPlanTest, ValidateRejectsUnassignedContext) {
+  ExecutionPlan plan(2);
+  plan.AssignContext(0, kPlanRoot);
+  auto st = plan.Validate(3);
+  EXPECT_FALSE(st.ok());
+  EXPECT_NE(st.message().find("without context"), std::string::npos);
+}
+
+TEST(ExecutionPlanTest, ValidateRejectsEmptyGroup) {
+  ExecutionPlan plan(1);
+  plan.AddNode(PlanNodeType::kFMinus, 1, kPlanRoot);
+  plan.AssignContext(0, kPlanRoot);
+  auto st = plan.Validate(3);
+  EXPECT_FALSE(st.ok());
+  EXPECT_NE(st.message().find("no copies"), std::string::npos);
+}
+
+TEST(ExecutionPlanTest, ValidateRejectsNonAlternating) {
+  ExecutionPlan plan(1);
+  // + node directly under the + root.
+  plan.AddNode(PlanNodeType::kFPlus, 1, kPlanRoot);
+  plan.AssignContext(0, kPlanRoot);
+  EXPECT_FALSE(plan.Validate(3).ok());
+}
+
+TEST(ExecutionPlanTest, ValidateEnforcesLemma42Bound) {
+  ExecutionPlan plan(1);
+  plan.AssignContext(0, kPlanRoot);
+  // Grow an absurd plan for a run that claims a single edge.
+  PlanNodeId parent = kPlanRoot;
+  for (int i = 0; i < 8; ++i) {
+    PlanNodeId minus = plan.AddNode(PlanNodeType::kLMinus, 1, parent);
+    parent = plan.AddNode(PlanNodeType::kLPlus, 1, minus);
+  }
+  EXPECT_FALSE(plan.Validate(1).ok());
+  EXPECT_TRUE(plan.Validate(100).ok());
+}
+
+TEST(ExecutionPlanTest, ToStringMentionsStructure) {
+  ExecutionPlan plan(1);
+  PlanNodeId g = plan.AddNode(PlanNodeType::kLMinus, 1, kPlanRoot);
+  plan.AddNode(PlanNodeType::kLPlus, 1, g);
+  plan.AssignContext(0, kPlanRoot);
+  std::string s = plan.ToString();
+  EXPECT_NE(s.find("G+"), std::string::npos);
+  EXPECT_NE(s.find("L-"), std::string::npos);
+  EXPECT_NE(s.find("L+"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace skl

@@ -1,0 +1,77 @@
+// Tests for the mutable multigraph used by the plan-recovery algorithm.
+#include <gtest/gtest.h>
+
+#include "src/graph/multigraph.h"
+
+namespace skl {
+namespace {
+
+TEST(MultigraphTest, AddAndQueryEdges) {
+  Multigraph mg(3);
+  EdgeId e0 = mg.AddEdge(0, 1);
+  EdgeId e1 = mg.AddEdge(1, 2, 7);
+  EXPECT_EQ(mg.num_alive_edges(), 2u);
+  EXPECT_TRUE(mg.IsAlive(e0));
+  EXPECT_EQ(mg.edge(e1).tag, 7);
+  EXPECT_EQ(mg.edge(e1).from, 1u);
+  EXPECT_EQ(mg.edge(e1).to, 2u);
+}
+
+TEST(MultigraphTest, ParallelEdgesCoexist) {
+  Multigraph mg(2);
+  EdgeId a = mg.AddEdge(0, 1, 1);
+  EdgeId b = mg.AddEdge(0, 1, 2);
+  EXPECT_NE(a, b);
+  EXPECT_EQ(mg.OutEdges(0).size(), 2u);
+  EXPECT_EQ(mg.InEdges(1).size(), 2u);
+}
+
+TEST(MultigraphTest, RemovalAndLazyCompaction) {
+  Multigraph mg(2);
+  EdgeId a = mg.AddEdge(0, 1);
+  EdgeId b = mg.AddEdge(0, 1);
+  mg.RemoveEdge(a);
+  EXPECT_EQ(mg.num_alive_edges(), 1u);
+  EXPECT_FALSE(mg.IsAlive(a));
+  const auto& out = mg.OutEdges(0);
+  ASSERT_EQ(out.size(), 1u);
+  EXPECT_EQ(out[0], b);
+  // Double removal is a no-op.
+  mg.RemoveEdge(a);
+  EXPECT_EQ(mg.num_alive_edges(), 1u);
+}
+
+TEST(MultigraphTest, FromDigraph) {
+  DigraphBuilder db(3);
+  db.AddEdge(0, 1);
+  db.AddEdge(1, 2);
+  Digraph g = std::move(db).Build();
+  Multigraph mg(g);
+  EXPECT_EQ(mg.num_vertices(), 3u);
+  EXPECT_EQ(mg.num_alive_edges(), 2u);
+  EXPECT_EQ(mg.edge(0).tag, -1);
+}
+
+TEST(MultigraphTest, AddVertex) {
+  Multigraph mg(1);
+  VertexId v = mg.AddVertex();
+  EXPECT_EQ(v, 1u);
+  EXPECT_EQ(mg.num_vertices(), 2u);
+  mg.AddEdge(0, v);
+  EXPECT_EQ(mg.InEdges(v).size(), 1u);
+}
+
+TEST(MultigraphTest, DegreesSkipDeadEdges) {
+  Multigraph mg(3);
+  EdgeId a = mg.AddEdge(0, 1);
+  mg.AddEdge(0, 2);
+  mg.AddEdge(1, 2);
+  EXPECT_EQ(mg.OutDegree(0), 2u);
+  mg.RemoveEdge(a);
+  EXPECT_EQ(mg.OutDegree(0), 1u);
+  EXPECT_EQ(mg.InDegree(1), 0u);
+  EXPECT_EQ(mg.InDegree(2), 2u);
+}
+
+}  // namespace
+}  // namespace skl

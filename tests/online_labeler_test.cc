@@ -1,0 +1,280 @@
+// Tests for the online labeler (Section 9 future-work extension): replay
+// the running example as an event stream, query mid-run, compare the final
+// labeling against the offline path, and exercise the event-protocol error
+// paths.
+#include <gtest/gtest.h>
+
+#include <functional>
+#include <map>
+#include <string>
+
+#include "src/core/online_labeler.h"
+#include "src/core/skeleton_labeler.h"
+#include "src/graph/algorithms.h"
+#include "src/workload/run_generator.h"
+#include "src/workload/spec_generator.h"
+#include "tests/test_util.h"
+
+namespace skl {
+namespace {
+
+class OnlineLabelerExample : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    ex_ = testing_util::MakeRunningExample();
+    scheme_ = CreateSpecScheme(SpecSchemeKind::kTcm);
+    ASSERT_TRUE(scheme_->Build(ex_.spec.graph()).ok());
+    // Hierarchy ids: declaration order + 1 (F1=1, L1=2, L2=3, F2=4).
+  }
+
+  /// Replays Figure 3 as a well-parenthesized event stream, recording
+  /// vertex ids under the paper's names.
+  Status Replay(OnlineLabeler* ol) {
+    auto exec = [&](const std::string& inst, const char* module) -> Status {
+      SKL_ASSIGN_OR_RETURN(VertexId id, ol->ExecuteModule(module));
+      v_[inst] = id;
+      return Status::OK();
+    };
+    SKL_RETURN_NOT_OK(exec("a1", "a"));
+    SKL_RETURN_NOT_OK(exec("d1", "d"));
+    SKL_RETURN_NOT_OK(exec("h1", "h"));
+    SKL_RETURN_NOT_OK(ol->BeginExecution(1));  // F1 execution
+    {
+      SKL_RETURN_NOT_OK(ol->BeginCopy());  // fork copy with two iterations
+      SKL_RETURN_NOT_OK(ol->BeginExecution(2));  // L1
+      SKL_RETURN_NOT_OK(ol->BeginCopy());
+      SKL_RETURN_NOT_OK(exec("b1", "b"));
+      SKL_RETURN_NOT_OK(exec("c1", "c"));
+      SKL_RETURN_NOT_OK(ol->EndCopy());
+      SKL_RETURN_NOT_OK(ol->BeginCopy());
+      SKL_RETURN_NOT_OK(exec("b2", "b"));
+      SKL_RETURN_NOT_OK(exec("c2", "c"));
+      SKL_RETURN_NOT_OK(ol->EndCopy());
+      SKL_RETURN_NOT_OK(ol->EndExecution());
+      SKL_RETURN_NOT_OK(ol->EndCopy());
+
+      SKL_RETURN_NOT_OK(ol->BeginCopy());  // fork copy with one iteration
+      SKL_RETURN_NOT_OK(ol->BeginExecution(2));  // L1
+      SKL_RETURN_NOT_OK(ol->BeginCopy());
+      SKL_RETURN_NOT_OK(exec("b3", "b"));
+      SKL_RETURN_NOT_OK(exec("c3", "c"));
+      SKL_RETURN_NOT_OK(ol->EndCopy());
+      SKL_RETURN_NOT_OK(ol->EndExecution());
+      SKL_RETURN_NOT_OK(ol->EndCopy());
+    }
+    SKL_RETURN_NOT_OK(ol->EndExecution());
+
+    SKL_RETURN_NOT_OK(ol->BeginExecution(3));  // L2 execution
+    {
+      SKL_RETURN_NOT_OK(ol->BeginCopy());  // iteration 1
+      SKL_RETURN_NOT_OK(exec("e1", "e"));
+      SKL_RETURN_NOT_OK(exec("g1", "g"));
+      SKL_RETURN_NOT_OK(ol->BeginExecution(4));  // F2
+      SKL_RETURN_NOT_OK(ol->BeginCopy());
+      SKL_RETURN_NOT_OK(exec("f1", "f"));
+      SKL_RETURN_NOT_OK(ol->EndCopy());
+      SKL_RETURN_NOT_OK(ol->EndExecution());
+      SKL_RETURN_NOT_OK(ol->EndCopy());
+
+      SKL_RETURN_NOT_OK(ol->BeginCopy());  // iteration 2: F2 forked twice
+      SKL_RETURN_NOT_OK(exec("e2", "e"));
+      SKL_RETURN_NOT_OK(exec("g2", "g"));
+      SKL_RETURN_NOT_OK(ol->BeginExecution(4));
+      SKL_RETURN_NOT_OK(ol->BeginCopy());
+      SKL_RETURN_NOT_OK(exec("f2", "f"));
+      SKL_RETURN_NOT_OK(ol->EndCopy());
+      SKL_RETURN_NOT_OK(ol->BeginCopy());
+      SKL_RETURN_NOT_OK(exec("f3", "f"));
+      SKL_RETURN_NOT_OK(ol->EndCopy());
+      SKL_RETURN_NOT_OK(ol->EndExecution());
+      SKL_RETURN_NOT_OK(ol->EndCopy());
+    }
+    SKL_RETURN_NOT_OK(ol->EndExecution());
+    return Status::OK();
+  }
+
+  testing_util::RunningExample ex_;
+  std::unique_ptr<SpecLabelingScheme> scheme_;
+  std::map<std::string, VertexId> v_;
+};
+
+TEST_F(OnlineLabelerExample, MidRunQueries) {
+  OnlineLabeler ol(&ex_.spec, scheme_.get());
+  ASSERT_TRUE(ol.ExecuteModule("a").ok());
+  ASSERT_TRUE(ol.BeginExecution(1).ok());
+  ASSERT_TRUE(ol.BeginCopy().ok());
+  ASSERT_TRUE(ol.BeginExecution(2).ok());
+  ASSERT_TRUE(ol.BeginCopy().ok());
+  auto b1 = ol.ExecuteModule("b");
+  auto c1 = ol.ExecuteModule("c");
+  ASSERT_TRUE(b1.ok() && c1.ok());
+  // Query while the first loop iteration is still open.
+  EXPECT_TRUE(ol.Reaches(0, *b1));   // a1 ~> b1 (spec: a ~> b)
+  EXPECT_TRUE(ol.Reaches(*b1, *c1));
+  EXPECT_FALSE(ol.Reaches(*c1, *b1));
+  ASSERT_TRUE(ol.EndCopy().ok());
+  ASSERT_TRUE(ol.BeginCopy().ok());
+  auto b2 = ol.ExecuteModule("b");
+  ASSERT_TRUE(b2.ok());
+  // Cross-iteration: c1 ~> b2 even though spec has no path c ~> b.
+  EXPECT_TRUE(ol.Reaches(*c1, *b2));
+  EXPECT_FALSE(ol.Reaches(*b2, *c1));
+}
+
+TEST_F(OnlineLabelerExample, FullReplayMatchesOffline) {
+  OnlineLabeler ol(&ex_.spec, scheme_.get());
+  Status st = Replay(&ol);
+  ASSERT_TRUE(st.ok()) << st.ToString();
+  ASSERT_EQ(ol.num_vertices(), ex_.run.num_vertices());
+
+  // Mid-run predicate must agree with graph search on the true run for every
+  // pair, matched by instance name.
+  const Digraph& g = ex_.run.graph();
+  for (const auto& [nu, u_online] : v_) {
+    for (const auto& [nv, v_online] : v_) {
+      EXPECT_EQ(ol.Reaches(u_online, v_online),
+                Reaches(g, ex_.rv(nu), ex_.rv(nv)))
+          << nu << " -> " << nv;
+    }
+  }
+
+  // Finished labeling must agree as well (constant-time path).
+  auto labeling = std::move(ol).Finish();
+  ASSERT_TRUE(labeling.ok()) << labeling.status().ToString();
+  for (const auto& [nu, u_online] : v_) {
+    for (const auto& [nv, v_online] : v_) {
+      EXPECT_EQ(labeling->Reaches(u_online, v_online),
+                Reaches(g, ex_.rv(nu), ex_.rv(nv)))
+          << nu << " -> " << nv;
+    }
+  }
+  EXPECT_EQ(labeling->num_nonempty_plus(), 9u);
+}
+
+TEST_F(OnlineLabelerExample, ProtocolErrors) {
+  OnlineLabeler ol(&ex_.spec, scheme_.get());
+  // EndCopy/EndExecution with nothing open.
+  EXPECT_FALSE(ol.EndCopy().ok());
+  EXPECT_FALSE(ol.EndExecution().ok());
+  // BeginCopy outside an execution.
+  EXPECT_FALSE(ol.BeginCopy().ok());
+  // Executing a module owned by a nested loop at the top level.
+  EXPECT_FALSE(ol.ExecuteModule("b").ok());
+  // Unknown module / subgraph.
+  EXPECT_FALSE(ol.ExecuteModule("zzz").ok());
+  EXPECT_FALSE(ol.BeginExecution(99).ok());
+  // L1 (id 2) is nested in F1, not directly under the root.
+  EXPECT_FALSE(ol.BeginExecution(2).ok());
+  // Proper nesting: F1, then a module between Begin and Copy is an error.
+  ASSERT_TRUE(ol.BeginExecution(1).ok());
+  EXPECT_FALSE(ol.ExecuteModule("a").ok());
+  // Executing F1 twice in the same (root) copy is rejected.
+  EXPECT_FALSE(ol.BeginExecution(1).ok());
+  // Closing an execution without any copy is rejected.
+  EXPECT_FALSE(ol.EndExecution().ok());
+  ASSERT_TRUE(ol.BeginCopy().ok());
+  // A fork copy of F1 must run L1 exactly once before closing.
+  EXPECT_FALSE(ol.EndCopy().ok());
+}
+
+TEST_F(OnlineLabelerExample, FinishValidation) {
+  {
+    // Unclosed execution.
+    OnlineLabeler ol(&ex_.spec, scheme_.get());
+    ASSERT_TRUE(ol.BeginExecution(1).ok());
+    EXPECT_FALSE(std::move(ol).Finish().ok());
+  }
+  {
+    // Top-level subgraphs never executed.
+    OnlineLabeler ol(&ex_.spec, scheme_.get());
+    ASSERT_TRUE(ol.ExecuteModule("a").ok());
+    EXPECT_FALSE(std::move(ol).Finish().ok());
+  }
+  {
+    // Complete replay finishes cleanly and rejects further events.
+    OnlineLabeler ol(&ex_.spec, scheme_.get());
+    ASSERT_TRUE(Replay(&ol).ok());
+    auto labeling = std::move(ol).Finish();
+    ASSERT_TRUE(labeling.ok());
+    EXPECT_FALSE(ol.ExecuteModule("a").ok());
+    EXPECT_FALSE(ol.BeginExecution(1).ok());
+  }
+}
+
+// Replays a generated run's ground-truth plan as an event stream and checks
+// the online labeler against graph search on the materialized run.
+class OnlinePropertyTest : public ::testing::TestWithParam<uint64_t> {};
+
+TEST_P(OnlinePropertyTest, ReplayedGeneratedRunsAgreeWithGraphSearch) {
+  const uint64_t seed = GetParam();
+  SpecGenOptions sopt;
+  sopt.num_vertices = 50;
+  sopt.num_edges = 80;
+  sopt.num_subgraphs = 6;
+  sopt.depth = 4;
+  sopt.seed = seed;
+  auto spec = GenerateSpecification(sopt);
+  ASSERT_TRUE(spec.ok()) << spec.status().ToString();
+  RunGenerator gen(&spec.value());
+  RunGenOptions ropt;
+  ropt.target_vertices = 300;
+  ropt.seed = seed * 13 + 1;
+  auto generated = gen.Generate(ropt);
+  ASSERT_TRUE(generated.ok());
+
+  auto scheme = CreateSpecScheme(SpecSchemeKind::kTcm);
+  ASSERT_TRUE(scheme->Build(spec->graph()).ok());
+  OnlineLabeler ol(&spec.value(), scheme.get());
+
+  // Vertices per context node.
+  const ExecutionPlan& plan = generated->plan;
+  std::vector<std::vector<VertexId>> by_context(plan.num_nodes());
+  for (VertexId v = 0; v < generated->run.num_vertices(); ++v) {
+    by_context[plan.ContextOf(v)].push_back(v);
+  }
+  std::vector<VertexId> online_id(generated->run.num_vertices(),
+                                  kInvalidVertex);
+  // Depth-first replay of the plan tree.
+  std::function<void(PlanNodeId)> replay = [&](PlanNodeId x) {
+    for (VertexId v : by_context[x]) {
+      auto id = ol.ExecuteModule(
+          spec->ModuleName(generated->origin[v]));
+      ASSERT_TRUE(id.ok()) << id.status().ToString();
+      online_id[v] = *id;
+    }
+    for (PlanNodeId g : plan.node(x).children) {
+      ASSERT_TRUE(ol.BeginExecution(plan.node(g).hier).ok());
+      for (PlanNodeId copy : plan.node(g).children) {
+        ASSERT_TRUE(ol.BeginCopy().ok());
+        replay(copy);
+        ASSERT_TRUE(ol.EndCopy().ok());
+      }
+      ASSERT_TRUE(ol.EndExecution().ok());
+    }
+  };
+  replay(kPlanRoot);
+  ASSERT_EQ(ol.num_vertices(), generated->run.num_vertices());
+
+  const Digraph& g = generated->run.graph();
+  Rng rng(seed + 99);
+  for (int i = 0; i < 1500; ++i) {
+    VertexId u = static_cast<VertexId>(rng.NextBelow(g.num_vertices()));
+    VertexId v = static_cast<VertexId>(rng.NextBelow(g.num_vertices()));
+    ASSERT_EQ(ol.Reaches(online_id[u], online_id[v]), Reaches(g, u, v))
+        << u << " -> " << v;
+  }
+  auto labeling = std::move(ol).Finish();
+  ASSERT_TRUE(labeling.ok()) << labeling.status().ToString();
+  for (int i = 0; i < 1500; ++i) {
+    VertexId u = static_cast<VertexId>(rng.NextBelow(g.num_vertices()));
+    VertexId v = static_cast<VertexId>(rng.NextBelow(g.num_vertices()));
+    ASSERT_EQ(labeling->Reaches(online_id[u], online_id[v]),
+              Reaches(g, u, v));
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, OnlinePropertyTest,
+                         ::testing::Values(1u, 2u, 3u, 4u, 5u));
+
+}  // namespace
+}  // namespace skl

@@ -1,0 +1,144 @@
+// Tests for the three-order context encoding (Algorithm 1 / Lemma 4.5):
+// exact positions on a hand-built plan with known child order, plus the
+// Lemma 4.5 invariants on the running example's recovered plan.
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "src/core/orders.h"
+#include "src/core/plan_builder.h"
+#include "tests/test_util.h"
+
+namespace skl {
+namespace {
+
+TEST(OrdersTest, HandBuiltPlanExactPositions) {
+  // Root with an F- (two F+ children) followed by an L- (two L+ children);
+  // every + node nonempty. Preorder O1: root, f1, f2, l1, l2.
+  ExecutionPlan plan(5);
+  PlanNodeId fminus = plan.AddNode(PlanNodeType::kFMinus, 1, kPlanRoot);
+  PlanNodeId f1 = plan.AddNode(PlanNodeType::kFPlus, 1, fminus);
+  PlanNodeId f2 = plan.AddNode(PlanNodeType::kFPlus, 1, fminus);
+  PlanNodeId lminus = plan.AddNode(PlanNodeType::kLMinus, 2, kPlanRoot);
+  PlanNodeId l1 = plan.AddNode(PlanNodeType::kLPlus, 2, lminus);
+  PlanNodeId l2 = plan.AddNode(PlanNodeType::kLPlus, 2, lminus);
+  plan.AssignContext(0, kPlanRoot);
+  plan.AssignContext(1, f1);
+  plan.AssignContext(2, f2);
+  plan.AssignContext(3, l1);
+  plan.AssignContext(4, l2);
+
+  ContextEncoding enc = GenerateThreeOrders(plan);
+  EXPECT_EQ(enc.num_nonempty_plus, 5u);
+  // O1: root(1), f1(2), f2(3), l1(4), l2(5).
+  EXPECT_EQ(enc.q1[kPlanRoot], 1u);
+  EXPECT_EQ(enc.q1[f1], 2u);
+  EXPECT_EQ(enc.q1[f2], 3u);
+  EXPECT_EQ(enc.q1[l1], 4u);
+  EXPECT_EQ(enc.q1[l2], 5u);
+  // O2 reverses F- children: f2 before f1.
+  EXPECT_EQ(enc.q2[f1], 3u);
+  EXPECT_EQ(enc.q2[f2], 2u);
+  EXPECT_EQ(enc.q2[l1], 4u);
+  EXPECT_EQ(enc.q2[l2], 5u);
+  // O3 reverses L- children: l2 before l1.
+  EXPECT_EQ(enc.q3[f1], 2u);
+  EXPECT_EQ(enc.q3[f2], 3u);
+  EXPECT_EQ(enc.q3[l1], 5u);
+  EXPECT_EQ(enc.q3[l2], 4u);
+  // Minus nodes and the (none here) empty + nodes get no position.
+  EXPECT_EQ(enc.q1[fminus], 0u);
+  EXPECT_EQ(enc.q1[lminus], 0u);
+}
+
+TEST(OrdersTest, EmptyPlusNodesAreSkipped) {
+  ExecutionPlan plan(2);
+  PlanNodeId fminus = plan.AddNode(PlanNodeType::kFMinus, 1, kPlanRoot);
+  PlanNodeId f1 = plan.AddNode(PlanNodeType::kFPlus, 1, fminus);  // empty
+  PlanNodeId lminus = plan.AddNode(PlanNodeType::kLMinus, 2, f1);
+  PlanNodeId l1 = plan.AddNode(PlanNodeType::kLPlus, 2, lminus);
+  plan.AssignContext(0, kPlanRoot);
+  plan.AssignContext(1, l1);
+  ContextEncoding enc = GenerateThreeOrders(plan);
+  EXPECT_EQ(enc.num_nonempty_plus, 2u);
+  EXPECT_EQ(enc.q1[f1], 0u);      // empty + node: skipped
+  EXPECT_EQ(enc.q1[kPlanRoot], 1u);
+  EXPECT_EQ(enc.q1[l1], 2u);
+}
+
+/// Finds the least common ancestor by walking parents.
+PlanNodeId Lca(const ExecutionPlan& plan, PlanNodeId a, PlanNodeId b) {
+  std::vector<bool> seen(plan.num_nodes(), false);
+  for (PlanNodeId x = a; x != kInvalidPlanNode; x = plan.node(x).parent) {
+    seen[x] = true;
+  }
+  for (PlanNodeId x = b; x != kInvalidPlanNode; x = plan.node(x).parent) {
+    if (seen[x]) return x;
+  }
+  return kInvalidPlanNode;
+}
+
+TEST(OrdersTest, Lemma45InvariantsOnRunningExample) {
+  auto ex = testing_util::MakeRunningExample();
+  auto rec = ConstructPlan(ex.spec, ex.run);
+  ASSERT_TRUE(rec.ok());
+  const ExecutionPlan& plan = rec->plan;
+  ContextEncoding enc = GenerateThreeOrders(plan);
+
+  std::vector<PlanNodeId> nonempty;
+  for (size_t i = 0; i < plan.num_nodes(); ++i) {
+    if (enc.q1[i] != 0) nonempty.push_back(static_cast<PlanNodeId>(i));
+  }
+  ASSERT_EQ(nonempty.size(), 9u);
+
+  for (PlanNodeId x : nonempty) {
+    for (PlanNodeId y : nonempty) {
+      if (x == y) continue;
+      PlanNodeId lca = Lca(plan, x, y);
+      ASSERT_NE(lca, kInvalidPlanNode);
+      bool lt1 = enc.q1[x] < enc.q1[y];
+      bool lt2 = enc.q2[x] < enc.q2[y];
+      bool lt3 = enc.q3[x] < enc.q3[y];
+      switch (plan.node(lca).type) {
+        case PlanNodeType::kFMinus:
+          // O1 and O2 must disagree; O1 and O3 agree (Lemma 4.5 case 1).
+          EXPECT_NE(lt1, lt2);
+          EXPECT_EQ(lt1, lt3);
+          break;
+        case PlanNodeType::kLMinus:
+          // O1 and O3 must disagree; O1 and O2 agree (case 2).
+          EXPECT_NE(lt1, lt3);
+          EXPECT_EQ(lt1, lt2);
+          break;
+        default:
+          // + node (including one being the other's ancestor): all agree.
+          EXPECT_EQ(lt1, lt2);
+          EXPECT_EQ(lt1, lt3);
+          break;
+      }
+    }
+  }
+}
+
+TEST(OrdersTest, AncestorPrecedesDescendantInAllOrders) {
+  auto ex = testing_util::MakeRunningExample();
+  auto rec = ConstructPlan(ex.spec, ex.run);
+  ASSERT_TRUE(rec.ok());
+  const ExecutionPlan& plan = rec->plan;
+  ContextEncoding enc = GenerateThreeOrders(plan);
+  // Preorder property: any nonempty + ancestor precedes its nonempty +
+  // descendants in every order.
+  for (size_t i = 0; i < plan.num_nodes(); ++i) {
+    if (enc.q1[i] == 0) continue;
+    for (PlanNodeId anc = plan.node(i).parent; anc != kInvalidPlanNode;
+         anc = plan.node(anc).parent) {
+      if (enc.q1[anc] == 0) continue;
+      EXPECT_LT(enc.q1[anc], enc.q1[i]);
+      EXPECT_LT(enc.q2[anc], enc.q2[i]);
+      EXPECT_LT(enc.q3[anc], enc.q3[i]);
+    }
+  }
+}
+
+}  // namespace
+}  // namespace skl

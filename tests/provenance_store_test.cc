@@ -1,0 +1,152 @@
+// Tests for the persistent provenance store: lossless serialization, queries
+// from the blob alone (run graph discarded), and corrupt-input rejection.
+#include <gtest/gtest.h>
+
+#include "src/core/provenance_store.h"
+#include "src/core/skeleton_labeler.h"
+#include "src/graph/algorithms.h"
+#include "src/workload/data_generator.h"
+#include "src/workload/run_generator.h"
+#include "tests/test_util.h"
+
+namespace skl {
+namespace {
+
+class ProvenanceStoreTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    ex_ = testing_util::MakeRunningExample();
+    labeler_ = std::make_unique<SkeletonLabeler>(&ex_.spec,
+                                                 SpecSchemeKind::kTcm);
+    ASSERT_TRUE(labeler_->Init().ok());
+    auto labeling = labeler_->LabelRun(ex_.run);
+    ASSERT_TRUE(labeling.ok());
+    labeling_ = std::make_unique<RunLabeling>(std::move(labeling).value());
+  }
+
+  testing_util::RunningExample ex_;
+  std::unique_ptr<SkeletonLabeler> labeler_;
+  std::unique_ptr<RunLabeling> labeling_;
+};
+
+TEST_F(ProvenanceStoreTest, RoundTripLabelsOnly) {
+  ProvenanceStore store = ProvenanceStore::Capture(*labeling_);
+  auto blob = store.Serialize();
+  auto restored = ProvenanceStore::Deserialize(blob);
+  ASSERT_TRUE(restored.ok()) << restored.status().ToString();
+  ASSERT_EQ(restored->num_vertices(), ex_.run.num_vertices());
+  EXPECT_EQ(restored->num_items(), 0u);
+  for (VertexId u = 0; u < ex_.run.num_vertices(); ++u) {
+    for (VertexId v = 0; v < ex_.run.num_vertices(); ++v) {
+      EXPECT_EQ(restored->Reaches(u, v, labeler_->scheme()),
+                labeling_->Reaches(u, v));
+    }
+  }
+}
+
+TEST_F(ProvenanceStoreTest, RoundTripWithCatalog) {
+  DataCatalog catalog;
+  DataItemId x1 = catalog.AddItem(ex_.rv("a1"));
+  ASSERT_TRUE(catalog.AddFlow(x1, ex_.rv("a1"), ex_.rv("b1")).ok());
+  ASSERT_TRUE(catalog.AddFlow(x1, ex_.rv("a1"), ex_.rv("b3")).ok());
+  DataItemId x6 = catalog.AddItem(ex_.rv("c3"));
+  ASSERT_TRUE(catalog.AddFlow(x6, ex_.rv("c3"), ex_.rv("h1")).ok());
+
+  ProvenanceStore store = ProvenanceStore::Capture(*labeling_, &catalog);
+  auto restored = ProvenanceStore::Deserialize(store.Serialize());
+  ASSERT_TRUE(restored.ok());
+  ASSERT_EQ(restored->num_items(), 2u);
+  // Example 10, now answered from the persisted blob.
+  auto dep = restored->DependsOn(x6, x1, labeler_->scheme());
+  ASSERT_TRUE(dep.ok());
+  EXPECT_TRUE(*dep);
+  auto rev = restored->DependsOn(x1, x6, labeler_->scheme());
+  ASSERT_TRUE(rev.ok());
+  EXPECT_FALSE(*rev);
+  auto mod = restored->DataDependsOnModule(x6, ex_.rv("b3"),
+                                           labeler_->scheme());
+  ASSERT_TRUE(mod.ok());
+  EXPECT_TRUE(*mod);
+  auto mdd = restored->ModuleDependsOnData(ex_.rv("h1"), x1,
+                                           labeler_->scheme());
+  ASSERT_TRUE(mdd.ok());
+  EXPECT_TRUE(*mdd);
+}
+
+TEST_F(ProvenanceStoreTest, QueryErrorsOnBadIds) {
+  ProvenanceStore store = ProvenanceStore::Capture(*labeling_);
+  EXPECT_FALSE(store.DependsOn(0, 0, labeler_->scheme()).ok());
+  EXPECT_FALSE(
+      store.ModuleDependsOnData(0, 99, labeler_->scheme()).ok());
+  EXPECT_FALSE(
+      store.DataDependsOnModule(99, 0, labeler_->scheme()).ok());
+}
+
+TEST_F(ProvenanceStoreTest, CorruptBlobsRejected) {
+  ProvenanceStore store = ProvenanceStore::Capture(*labeling_);
+  auto blob = store.Serialize();
+  // Wrong magic.
+  auto bad = blob;
+  bad[0] ^= 0xff;
+  EXPECT_FALSE(ProvenanceStore::Deserialize(bad).ok());
+  // Truncated.
+  auto cut = blob;
+  cut.resize(cut.size() / 3);
+  EXPECT_FALSE(ProvenanceStore::Deserialize(cut).ok());
+  // Empty.
+  EXPECT_FALSE(ProvenanceStore::Deserialize({}).ok());
+}
+
+TEST(ProvenanceStoreLargeTest, GeneratedRunRoundTrip) {
+  auto spec_result = BuildRunningExampleSpec();
+  ASSERT_TRUE(spec_result.ok());
+  Specification spec = std::move(spec_result).value();
+  RunGenerator gen(&spec);
+  RunGenOptions ropt;
+  ropt.target_vertices = 800;
+  ropt.seed = 3;
+  auto generated = gen.Generate(ropt);
+  ASSERT_TRUE(generated.ok());
+  SkeletonLabeler labeler(&spec, SpecSchemeKind::kTcm);
+  ASSERT_TRUE(labeler.Init().ok());
+  auto labeling = labeler.LabelRun(generated->run);
+  ASSERT_TRUE(labeling.ok());
+  DataGenOptions dopt;
+  dopt.seed = 4;
+  DataCatalog catalog = GenerateDataCatalog(generated->run, dopt);
+
+  ProvenanceStore store = ProvenanceStore::Capture(*labeling, &catalog);
+  auto blob = store.Serialize();
+  auto restored = ProvenanceStore::Deserialize(blob);
+  ASSERT_TRUE(restored.ok());
+
+  // Storage sanity: label payload is within a byte-rounding of the
+  // theoretical width.
+  EXPECT_LT(blob.size(),
+            (labeling->label_bits() + 8) / 8.0 *
+                    generated->run.num_vertices() +
+                catalog.size() * 8 + 64);
+
+  // Query equivalence against the in-memory path, sampled.
+  const Digraph& g = generated->run.graph();
+  Rng rng(5);
+  for (int i = 0; i < 2000; ++i) {
+    VertexId u = static_cast<VertexId>(rng.NextBelow(g.num_vertices()));
+    VertexId v = static_cast<VertexId>(rng.NextBelow(g.num_vertices()));
+    ASSERT_EQ(restored->Reaches(u, v, labeler.scheme()), Reaches(g, u, v));
+  }
+  for (int i = 0; i < 300; ++i) {
+    DataItemId a = static_cast<DataItemId>(rng.NextBelow(catalog.size()));
+    DataItemId b = static_cast<DataItemId>(rng.NextBelow(catalog.size()));
+    auto stored = restored->DependsOn(a, b, labeler.scheme());
+    ASSERT_TRUE(stored.ok());
+    bool brute = false;
+    for (VertexId r : catalog.InputsOf(b)) {
+      brute = brute || Reaches(g, r, catalog.OutputOf(a));
+    }
+    ASSERT_EQ(*stored, brute);
+  }
+}
+
+}  // namespace
+}  // namespace skl

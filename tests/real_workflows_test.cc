@@ -1,0 +1,89 @@
+// Tests that the reconstructed "real" workflows reproduce Table 1 exactly.
+#include <gtest/gtest.h>
+
+#include "src/common/random.h"
+#include "src/core/skeleton_labeler.h"
+#include "src/graph/algorithms.h"
+#include "src/workload/real_workflows.h"
+#include "src/workload/run_generator.h"
+
+namespace skl {
+namespace {
+
+TEST(RealWorkflowsTest, TableHasSixRows) {
+  EXPECT_EQ(RealWorkflowTable().size(), 6u);
+  EXPECT_EQ(RealWorkflowTable()[2].name, "QBLAST");
+}
+
+class RealWorkflowCharacteristics
+    : public ::testing::TestWithParam<RealWorkflowInfo> {};
+
+TEST_P(RealWorkflowCharacteristics, MatchesTable1) {
+  const RealWorkflowInfo& info = GetParam();
+  auto spec = BuildRealWorkflow(info.name);
+  ASSERT_TRUE(spec.ok()) << spec.status().ToString();
+  EXPECT_EQ(spec->graph().num_vertices(), info.n_g);
+  EXPECT_EQ(spec->graph().num_edges(), info.m_g);
+  EXPECT_EQ(spec->subgraphs().size() + 1, info.t_g_size);
+  EXPECT_EQ(spec->hierarchy().depth(),
+            static_cast<int32_t>(info.t_g_depth));
+}
+
+INSTANTIATE_TEST_SUITE_P(Table1, RealWorkflowCharacteristics,
+                         ::testing::ValuesIn(RealWorkflowTable()),
+                         [](const auto& info) { return info.param.name; });
+
+TEST(RealWorkflowsTest, UnknownNameFails) {
+  EXPECT_FALSE(BuildRealWorkflow("NotAWorkflow").ok());
+}
+
+TEST(RealWorkflowsTest, QblastSupportsLargeRuns) {
+  auto spec = BuildRealWorkflow("QBLAST");
+  ASSERT_TRUE(spec.ok());
+  RunGenerator gen(&spec.value());
+  RunGenOptions opt;
+  opt.target_vertices = 10000;
+  opt.seed = 1;
+  auto run = gen.Generate(opt);
+  ASSERT_TRUE(run.ok());
+  double err = std::abs(static_cast<double>(run->run.num_vertices()) -
+                        10000.0) /
+               10000.0;
+  EXPECT_LE(err, 0.25);
+}
+
+TEST_P(RealWorkflowCharacteristics, LabelsAnswerCorrectlyOnRuns) {
+  const RealWorkflowInfo& info = GetParam();
+  auto spec = BuildRealWorkflow(info.name);
+  ASSERT_TRUE(spec.ok());
+  RunGenerator gen(&spec.value());
+  RunGenOptions ropt;
+  ropt.target_vertices = 1000;
+  ropt.seed = 17;
+  auto run = gen.Generate(ropt);
+  ASSERT_TRUE(run.ok()) << run.status().ToString();
+  SkeletonLabeler labeler(&spec.value(), SpecSchemeKind::kTcm);
+  ASSERT_TRUE(labeler.Init().ok());
+  auto labeling = labeler.LabelRun(run->run);
+  ASSERT_TRUE(labeling.ok()) << labeling.status().ToString();
+  const Digraph& g = run->run.graph();
+  Rng rng(19);
+  for (int i = 0; i < 2500; ++i) {
+    VertexId u = static_cast<VertexId>(rng.NextBelow(g.num_vertices()));
+    VertexId v = static_cast<VertexId>(rng.NextBelow(g.num_vertices()));
+    ASSERT_EQ(labeling->Reaches(u, v), Reaches(g, u, v))
+        << info.name << " " << u << "->" << v;
+  }
+}
+
+TEST(RealWorkflowsTest, RunningExampleSpecIsFigure2) {
+  auto spec = BuildRunningExampleSpec();
+  ASSERT_TRUE(spec.ok()) << spec.status().ToString();
+  EXPECT_EQ(spec->graph().num_vertices(), 8u);
+  EXPECT_EQ(spec->num_forks(), 2u);
+  EXPECT_EQ(spec->num_loops(), 2u);
+  EXPECT_EQ(spec->hierarchy().depth(), 3);
+}
+
+}  // namespace
+}  // namespace skl

@@ -1,0 +1,154 @@
+// Tests for the run generator: conformance by construction (accepted by the
+// plan-recovery conformance checker), ground-truth plan validity, target
+// sizing and determinism.
+#include <gtest/gtest.h>
+
+#include "src/core/plan_builder.h"
+#include "src/graph/algorithms.h"
+#include "src/workload/run_generator.h"
+#include "src/workload/spec_generator.h"
+#include "tests/test_util.h"
+
+namespace skl {
+namespace {
+
+TEST(RunGeneratorTest, MinimalRunMatchesSpecSize) {
+  auto ex = testing_util::MakeRunningExample();
+  RunGenerator gen(&ex.spec);
+  auto run = gen.GenerateMinimal();
+  ASSERT_TRUE(run.ok()) << run.status().ToString();
+  EXPECT_EQ(run->run.num_vertices(), ex.spec.graph().num_vertices());
+  EXPECT_EQ(run->run.num_edges(), ex.spec.graph().num_edges());
+  EXPECT_TRUE(run->plan.Validate(run->run.num_edges()).ok());
+}
+
+TEST(RunGeneratorTest, GeneratedRunsConform) {
+  auto ex = testing_util::MakeRunningExample();
+  RunGenerator gen(&ex.spec);
+  for (uint64_t seed = 1; seed <= 8; ++seed) {
+    RunGenOptions opt;
+    opt.mean_replication = 2.5;
+    opt.seed = seed;
+    auto run = gen.Generate(opt);
+    ASSERT_TRUE(run.ok()) << run.status().ToString();
+    // The recovery algorithm doubles as a conformance oracle.
+    auto rec = ConstructPlan(ex.spec, run->run);
+    ASSERT_TRUE(rec.ok()) << "seed " << seed << ": "
+                          << rec.status().ToString();
+  }
+}
+
+TEST(RunGeneratorTest, TargetSizing) {
+  auto ex = testing_util::MakeRunningExample();
+  RunGenerator gen(&ex.spec);
+  for (uint32_t target : {100u, 1000u, 10000u}) {
+    RunGenOptions opt;
+    opt.target_vertices = target;
+    opt.seed = 3;
+    auto run = gen.Generate(opt);
+    ASSERT_TRUE(run.ok());
+    double err = std::abs(static_cast<double>(run->run.num_vertices()) -
+                          target) /
+                 target;
+    EXPECT_LE(err, 0.25) << "target " << target << " got "
+                         << run->run.num_vertices();
+  }
+}
+
+TEST(RunGeneratorTest, GroundTruthPlanMatchesRecoveredPlan) {
+  auto ex = testing_util::MakeRunningExample();
+  RunGenerator gen(&ex.spec);
+  RunGenOptions opt;
+  opt.target_vertices = 300;
+  opt.seed = 11;
+  auto run = gen.Generate(opt);
+  ASSERT_TRUE(run.ok());
+  auto rec = ConstructPlan(ex.spec, run->run);
+  ASSERT_TRUE(rec.ok()) << rec.status().ToString();
+  // Same node statistics...
+  EXPECT_EQ(rec->plan.num_nodes(), run->plan.num_nodes());
+  EXPECT_EQ(rec->plan.num_plus_nodes(), run->plan.num_plus_nodes());
+  EXPECT_EQ(rec->plan.num_nonempty_plus(), run->plan.num_nonempty_plus());
+  // ...and identical per-vertex context classes: two vertices share a
+  // generated context iff they share a recovered context.
+  const VertexId n = run->run.num_vertices();
+  std::unordered_map<PlanNodeId, PlanNodeId> gen_to_rec;
+  for (VertexId v = 0; v < n; ++v) {
+    PlanNodeId g = run->plan.ContextOf(v);
+    PlanNodeId r = rec->plan.ContextOf(v);
+    auto [it, inserted] = gen_to_rec.emplace(g, r);
+    EXPECT_EQ(it->second, r) << "vertex " << v;
+  }
+}
+
+TEST(RunGeneratorTest, DeterministicForSameSeed) {
+  auto ex = testing_util::MakeRunningExample();
+  RunGenerator gen(&ex.spec);
+  RunGenOptions opt;
+  opt.target_vertices = 500;
+  opt.seed = 7;
+  auto a = gen.Generate(opt);
+  auto b = gen.Generate(opt);
+  ASSERT_TRUE(a.ok() && b.ok());
+  EXPECT_EQ(a->run.graph().Edges(), b->run.graph().Edges());
+}
+
+TEST(RunGeneratorTest, ShuffleTogglePreservesStructure) {
+  auto ex = testing_util::MakeRunningExample();
+  RunGenerator gen(&ex.spec);
+  RunGenOptions opt;
+  opt.target_vertices = 200;
+  opt.seed = 13;
+  opt.shuffle_vertex_ids = false;
+  auto plain = gen.Generate(opt);
+  opt.shuffle_vertex_ids = true;
+  auto shuffled = gen.Generate(opt);
+  ASSERT_TRUE(plain.ok() && shuffled.ok());
+  EXPECT_EQ(plain->run.num_vertices(), shuffled->run.num_vertices());
+  EXPECT_EQ(plain->run.num_edges(), shuffled->run.num_edges());
+  // Both conform.
+  EXPECT_TRUE(ConstructPlan(ex.spec, plain->run).ok());
+  EXPECT_TRUE(ConstructPlan(ex.spec, shuffled->run).ok());
+}
+
+TEST(RunGeneratorTest, SpecWithoutSubgraphsYieldsIsomorphicRuns) {
+  SpecGenOptions sopt;
+  sopt.num_vertices = 30;
+  sopt.num_edges = 45;
+  sopt.num_subgraphs = 0;
+  sopt.depth = 1;
+  auto spec = GenerateSpecification(sopt);
+  ASSERT_TRUE(spec.ok());
+  RunGenerator gen(&spec.value());
+  RunGenOptions opt;
+  opt.target_vertices = 1000;  // unreachable: no forks/loops to replicate
+  auto run = gen.Generate(opt);
+  ASSERT_TRUE(run.ok());
+  EXPECT_EQ(run->run.num_vertices(), 30u);
+}
+
+TEST(RunGeneratorTest, RunsOverGeneratedSpecsConform) {
+  for (uint64_t seed = 1; seed <= 6; ++seed) {
+    SpecGenOptions sopt;
+    sopt.num_vertices = 60;
+    sopt.num_edges = 100;
+    sopt.num_subgraphs = 7;
+    sopt.depth = 4;
+    sopt.seed = seed;
+    auto spec = GenerateSpecification(sopt);
+    ASSERT_TRUE(spec.ok()) << spec.status().ToString();
+    RunGenerator gen(&spec.value());
+    RunGenOptions opt;
+    opt.target_vertices = 400;
+    opt.seed = seed * 31;
+    auto run = gen.Generate(opt);
+    ASSERT_TRUE(run.ok()) << run.status().ToString();
+    auto rec = ConstructPlan(spec.value(), run->run);
+    ASSERT_TRUE(rec.ok()) << "seed " << seed << ": "
+                          << rec.status().ToString();
+    EXPECT_TRUE(rec->plan.Validate(run->run.num_edges()).ok());
+  }
+}
+
+}  // namespace
+}  // namespace skl

@@ -1,0 +1,187 @@
+// Tests for the full SKL labeling (Algorithms 2-3) on the paper's running
+// example: the introduction's three provenance queries, Examples 6 and 9,
+// and an exhaustive cross-check against graph search on the run.
+#include <gtest/gtest.h>
+
+#include "src/core/skeleton_labeler.h"
+#include "src/graph/algorithms.h"
+#include "tests/test_util.h"
+
+namespace skl {
+namespace {
+
+class RunLabelingExample : public ::testing::TestWithParam<SpecSchemeKind> {
+ protected:
+  void SetUp() override {
+    ex_ = testing_util::MakeRunningExample();
+    labeler_ = std::make_unique<SkeletonLabeler>(&ex_.spec, GetParam());
+    ASSERT_TRUE(labeler_->Init().ok());
+    auto labeling = labeler_->LabelRun(ex_.run);
+    ASSERT_TRUE(labeling.ok()) << labeling.status().ToString();
+    labeling_ = std::make_unique<RunLabeling>(std::move(labeling).value());
+  }
+
+  bool Reach(const std::string& u, const std::string& v) const {
+    return labeling_->Reaches(ex_.rv(u), ex_.rv(v));
+  }
+
+  testing_util::RunningExample ex_;
+  std::unique_ptr<SkeletonLabeler> labeler_;
+  std::unique_ptr<RunLabeling> labeling_;
+};
+
+TEST_P(RunLabelingExample, IntroductionQueries) {
+  // (1) Does x8 (output of c3) depend on x1 (input to b1)? No: parallel
+  // fork copies.
+  EXPECT_FALSE(Reach("b1", "c3"));
+  EXPECT_FALSE(Reach("c3", "b1"));
+  // (2) Does x4 (output of b2) depend on x2 (input to c1)? Yes: successive
+  // loop iterations, despite b not reachable from c in the spec.
+  EXPECT_TRUE(Reach("c1", "b2"));
+  EXPECT_FALSE(Reach("b2", "c1"));
+  // (3) Does x3 (output of c1) depend on x1 (input to b1)? Same fork/loop
+  // copy: reduces to spec reachability b ~> c. Yes.
+  EXPECT_TRUE(Reach("b1", "c1"));
+}
+
+TEST_P(RunLabelingExample, Example6And9Queries) {
+  // Example 6: f1 ~> e2 via the L- ancestor.
+  EXPECT_TRUE(Reach("f1", "e2"));
+  EXPECT_FALSE(Reach("e2", "f1"));
+  // Example 6/9: c1 vs d1 — + ancestor, spec says no path either way.
+  EXPECT_FALSE(Reach("c1", "d1"));
+  EXPECT_FALSE(Reach("d1", "c1"));
+}
+
+TEST_P(RunLabelingExample, ForkAndLoopStructure) {
+  // Parallel F2 copies are mutually unreachable.
+  EXPECT_FALSE(Reach("f2", "f3"));
+  EXPECT_FALSE(Reach("f3", "f2"));
+  // Across loop iterations the earlier copy reaches the later one.
+  EXPECT_TRUE(Reach("f1", "f2"));
+  EXPECT_TRUE(Reach("f1", "f3"));
+  EXPECT_FALSE(Reach("f2", "f1"));
+  // Source reaches everything; everything reaches the sink.
+  for (const auto& [name, v] : ex_.run_vertex) {
+    EXPECT_TRUE(labeling_->Reaches(ex_.rv("a1"), v)) << name;
+    EXPECT_TRUE(labeling_->Reaches(v, ex_.rv("h1"))) << name;
+  }
+}
+
+TEST_P(RunLabelingExample, Reflexive) {
+  for (const auto& [name, v] : ex_.run_vertex) {
+    EXPECT_TRUE(labeling_->Reaches(v, v)) << name;
+  }
+}
+
+TEST_P(RunLabelingExample, MatchesGraphSearchExhaustively) {
+  const Digraph& g = ex_.run.graph();
+  for (VertexId u = 0; u < g.num_vertices(); ++u) {
+    for (VertexId v = 0; v < g.num_vertices(); ++v) {
+      EXPECT_EQ(labeling_->Reaches(u, v), Reaches(g, u, v))
+          << ex_.run.ModuleNameOf(u) << " -> " << ex_.run.ModuleNameOf(v);
+    }
+  }
+}
+
+TEST_P(RunLabelingExample, SkeletonConsultationSplit) {
+  // Queries decided by the extended labels alone never consult the skeleton;
+  // same-copy queries do (the paper's Section 1 observation).
+  bool used = true;
+  labeling_->ReachesWithStats(ex_.rv("b1"), ex_.rv("c3"), &used);
+  EXPECT_FALSE(used);  // F- ancestor
+  labeling_->ReachesWithStats(ex_.rv("f1"), ex_.rv("e2"), &used);
+  EXPECT_FALSE(used);  // L- ancestor
+  labeling_->ReachesWithStats(ex_.rv("c1"), ex_.rv("d1"), &used);
+  EXPECT_TRUE(used);  // + ancestor: delegate to skeleton
+}
+
+TEST_P(RunLabelingExample, RelateClassification) {
+  EXPECT_EQ(labeling_->Relate(ex_.rv("b1"), ex_.rv("b1")),
+            RunRelationship::kEqual);
+  EXPECT_EQ(labeling_->Relate(ex_.rv("b1"), ex_.rv("c1")),
+            RunRelationship::kForward);
+  EXPECT_EQ(labeling_->Relate(ex_.rv("c1"), ex_.rv("b1")),
+            RunRelationship::kBackward);
+  EXPECT_EQ(labeling_->Relate(ex_.rv("c1"), ex_.rv("b2")),
+            RunRelationship::kForward);  // serial loop iterations
+  EXPECT_EQ(labeling_->Relate(ex_.rv("b1"), ex_.rv("c3")),
+            RunRelationship::kUnrelated);  // parallel fork copies
+  EXPECT_EQ(labeling_->Relate(ex_.rv("f2"), ex_.rv("f3")),
+            RunRelationship::kUnrelated);
+  EXPECT_EQ(labeling_->Relate(ex_.rv("c1"), ex_.rv("d1")),
+            RunRelationship::kUnrelated);  // incomparable branches
+  EXPECT_STREQ(RunRelationshipName(RunRelationship::kForward), "forward");
+}
+
+TEST_P(RunLabelingExample, RelateConsistentWithReaches) {
+  for (VertexId u = 0; u < ex_.run.num_vertices(); ++u) {
+    for (VertexId v = 0; v < ex_.run.num_vertices(); ++v) {
+      RunRelationship r = labeling_->Relate(u, v);
+      bool fwd = labeling_->Reaches(u, v);
+      bool bwd = labeling_->Reaches(v, u);
+      if (u == v) {
+        EXPECT_EQ(r, RunRelationship::kEqual);
+      } else if (fwd) {
+        EXPECT_EQ(r, RunRelationship::kForward);
+      } else if (bwd) {
+        EXPECT_EQ(r, RunRelationship::kBackward);
+      } else {
+        EXPECT_EQ(r, RunRelationship::kUnrelated);
+      }
+    }
+  }
+}
+
+TEST_P(RunLabelingExample, LabelBitsAccounting) {
+  // 9 nonempty + nodes -> 4 bits per coordinate; 8 spec vertices -> 3 bits.
+  EXPECT_EQ(labeling_->num_nonempty_plus(), 9u);
+  EXPECT_EQ(labeling_->context_bits(), 12u);
+  EXPECT_EQ(labeling_->origin_bits(), 3u);
+  EXPECT_EQ(labeling_->label_bits(), 15u);
+}
+
+TEST_P(RunLabelingExample, LabelRunWithPlanAgrees) {
+  auto rec = ConstructPlan(ex_.spec, ex_.run);
+  ASSERT_TRUE(rec.ok());
+  auto labeling2 =
+      labeler_->LabelRunWithPlan(ex_.run, rec->plan, rec->origin);
+  ASSERT_TRUE(labeling2.ok());
+  for (VertexId u = 0; u < ex_.run.num_vertices(); ++u) {
+    for (VertexId v = 0; v < ex_.run.num_vertices(); ++v) {
+      EXPECT_EQ(labeling_->Reaches(u, v), labeling2->Reaches(u, v));
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(AllSchemes, RunLabelingExample,
+                         ::testing::Values(SpecSchemeKind::kTcm,
+                                           SpecSchemeKind::kBfs,
+                                           SpecSchemeKind::kDfs,
+                                           SpecSchemeKind::kTreeCover,
+                                           SpecSchemeKind::kChain,
+                                           SpecSchemeKind::kTwoHop),
+                         [](const auto& info) {
+                           std::string name(SpecSchemeKindName(info.param));
+                           if (name == "2HOP") name = "TwoHop";
+                           return name;
+                         });
+
+TEST(SkeletonLabelerTest, RequiresInit) {
+  auto ex = testing_util::MakeRunningExample();
+  SkeletonLabeler labeler(&ex.spec, SpecSchemeKind::kTcm);
+  auto labeling = labeler.LabelRun(ex.run);
+  EXPECT_FALSE(labeling.ok());
+}
+
+TEST(SkeletonLabelerTest, PlanSizeMismatchRejected) {
+  auto ex = testing_util::MakeRunningExample();
+  SkeletonLabeler labeler(&ex.spec, SpecSchemeKind::kTcm);
+  ASSERT_TRUE(labeler.Init().ok());
+  ExecutionPlan tiny(1);
+  tiny.AssignContext(0, kPlanRoot);
+  EXPECT_FALSE(labeler.LabelRunWithPlan(ex.run, tiny, {0}).ok());
+}
+
+}  // namespace
+}  // namespace skl

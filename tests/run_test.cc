@@ -1,0 +1,88 @@
+// Tests for Run/RunBuilder and the origin function (Definition 8).
+#include <gtest/gtest.h>
+
+#include "src/workflow/run.h"
+#include "tests/test_util.h"
+
+namespace skl {
+namespace {
+
+TEST(RunBuilderTest, OwnedTableInternsNames) {
+  RunBuilder b;
+  VertexId v0 = b.AddVertex("alpha");
+  VertexId v1 = b.AddVertex("beta");
+  VertexId v2 = b.AddVertex("alpha");
+  b.AddEdge(v0, v1).AddEdge(v1, v2);
+  auto run = std::move(b).Build();
+  ASSERT_TRUE(run.ok());
+  EXPECT_EQ(run->num_vertices(), 3u);
+  EXPECT_EQ(run->ModuleNameOf(v0), "alpha");
+  EXPECT_EQ(run->ModuleNameOf(v2), "alpha");
+  EXPECT_EQ(run->ModuleOf(v0), run->ModuleOf(v2));
+  EXPECT_NE(run->ModuleOf(v0), run->ModuleOf(v1));
+}
+
+TEST(RunBuilderTest, SharedTable) {
+  auto ex = testing_util::MakeRunningExample();
+  EXPECT_EQ(&ex.run.modules(), &ex.spec.modules());
+  EXPECT_EQ(ex.run.ModuleNameOf(ex.rv("b2")), "b");
+}
+
+TEST(RunBuilderTest, RejectsBadEdges) {
+  RunBuilder b;
+  VertexId v = b.AddVertex("x");
+  b.AddEdge(v, 42);
+  EXPECT_FALSE(std::move(b).Build().ok());
+
+  RunBuilder b2;
+  VertexId w = b2.AddVertex("x");
+  b2.AddEdge(w, w);
+  EXPECT_FALSE(std::move(b2).Build().ok());
+}
+
+TEST(RunBuilderTest, RejectsUnknownModuleId) {
+  auto ex = testing_util::MakeRunningExample();
+  RunBuilder b(ex.spec.shared_modules());
+  b.AddVertexById(999);
+  EXPECT_FALSE(std::move(b).Build().ok());
+}
+
+TEST(ComputeOriginTest, RunningExample) {
+  auto ex = testing_util::MakeRunningExample();
+  auto origin = ComputeOrigin(ex.spec, ex.run);
+  ASSERT_TRUE(origin.ok()) << origin.status().ToString();
+  EXPECT_EQ((*origin)[ex.rv("b1")], ex.sv("b"));
+  EXPECT_EQ((*origin)[ex.rv("b3")], ex.sv("b"));
+  EXPECT_EQ((*origin)[ex.rv("f2")], ex.sv("f"));
+  EXPECT_EQ((*origin)[ex.rv("a1")], ex.sv("a"));
+}
+
+TEST(ComputeOriginTest, ByNameAcrossTables) {
+  auto ex = testing_util::MakeRunningExample();
+  // Rebuild the run with an independent module table: origins must resolve
+  // through names.
+  RunBuilder b;
+  VertexId x = b.AddVertex("a");
+  VertexId y = b.AddVertex("d");
+  b.AddEdge(x, y);
+  auto run = std::move(b).Build();
+  ASSERT_TRUE(run.ok());
+  auto origin = ComputeOrigin(ex.spec, *run);
+  ASSERT_TRUE(origin.ok());
+  EXPECT_EQ((*origin)[x], ex.sv("a"));
+  EXPECT_EQ((*origin)[y], ex.sv("d"));
+}
+
+TEST(ComputeOriginTest, UnknownModuleFails) {
+  auto ex = testing_util::MakeRunningExample();
+  RunBuilder b;
+  b.AddVertex("not_a_module");
+  auto run = std::move(b).Build();
+  ASSERT_TRUE(run.ok());
+  auto origin = ComputeOrigin(ex.spec, *run);
+  ASSERT_FALSE(origin.ok());
+  EXPECT_EQ(origin.status().code(), StatusCode::kInvalidRun);
+}
+
+}  // namespace
+}  // namespace skl

@@ -1,0 +1,172 @@
+// End-to-end property tests: over random specifications and runs, SKL must
+// agree with ground-truth graph reachability for every sampled vertex pair,
+// under every skeleton scheme, both with recovered and with ground-truth
+// plans; the paper's structural bounds (Lemma 4.2, Lemma 4.7) must hold.
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "src/common/random.h"
+#include "src/core/plan_builder.h"
+#include "src/core/skeleton_labeler.h"
+#include "src/graph/algorithms.h"
+#include "src/workload/run_generator.h"
+#include "src/workload/spec_generator.h"
+
+namespace skl {
+namespace {
+
+struct PropertyCase {
+  uint64_t spec_seed;
+  uint32_t spec_vertices;
+  uint32_t spec_edges;
+  uint32_t subgraphs;
+  uint32_t depth;
+  uint32_t run_target;
+  SpecSchemeKind scheme;
+};
+
+class SkeletonProperty : public ::testing::TestWithParam<PropertyCase> {};
+
+TEST_P(SkeletonProperty, AgreesWithGroundTruth) {
+  const PropertyCase& pc = GetParam();
+  SpecGenOptions sopt;
+  sopt.num_vertices = pc.spec_vertices;
+  sopt.num_edges = pc.spec_edges;
+  sopt.num_subgraphs = pc.subgraphs;
+  sopt.depth = pc.depth;
+  sopt.seed = pc.spec_seed;
+  auto spec = GenerateSpecification(sopt);
+  ASSERT_TRUE(spec.ok()) << spec.status().ToString();
+
+  RunGenerator gen(&spec.value());
+  RunGenOptions ropt;
+  ropt.target_vertices = pc.run_target;
+  ropt.seed = pc.spec_seed * 1000003;
+  auto run = gen.Generate(ropt);
+  ASSERT_TRUE(run.ok()) << run.status().ToString();
+
+  SkeletonLabeler labeler(&spec.value(), pc.scheme);
+  ASSERT_TRUE(labeler.Init().ok());
+  auto labeling = labeler.LabelRun(run->run);
+  ASSERT_TRUE(labeling.ok()) << labeling.status().ToString();
+
+  // Lemma 4.7: label length <= 3 log n_T+ + log n_G, with n_T+ <= n_R.
+  const double n_r = run->run.num_vertices();
+  EXPECT_LE(labeling->num_nonempty_plus(), run->run.num_vertices());
+  EXPECT_LE(labeling->context_bits(),
+            3 * (std::floor(std::log2(std::max(2.0, n_r))) + 1));
+
+  const Digraph& g = run->run.graph();
+  Rng rng(pc.spec_seed * 77 + 5);
+  const size_t pairs = 4000;
+  for (size_t i = 0; i < pairs; ++i) {
+    VertexId u = static_cast<VertexId>(rng.NextBelow(g.num_vertices()));
+    VertexId v = static_cast<VertexId>(rng.NextBelow(g.num_vertices()));
+    bool expected = Reaches(g, u, v);
+    EXPECT_EQ(labeling->Reaches(u, v), expected)
+        << u << " -> " << v << " (" << run->run.ModuleNameOf(u) << " -> "
+        << run->run.ModuleNameOf(v) << ")";
+    if (labeling->Reaches(u, v) != expected) break;  // one failure is enough
+  }
+
+  // Ground-truth plan path must agree with the recovered-plan path.
+  auto labeling2 =
+      labeler.LabelRunWithPlan(run->run, run->plan, run->origin);
+  ASSERT_TRUE(labeling2.ok());
+  for (size_t i = 0; i < 500; ++i) {
+    VertexId u = static_cast<VertexId>(rng.NextBelow(g.num_vertices()));
+    VertexId v = static_cast<VertexId>(rng.NextBelow(g.num_vertices()));
+    EXPECT_EQ(labeling->Reaches(u, v), labeling2->Reaches(u, v));
+  }
+}
+
+std::vector<PropertyCase> MakeCases() {
+  std::vector<PropertyCase> cases;
+  const SpecSchemeKind schemes[] = {SpecSchemeKind::kTcm,
+                                    SpecSchemeKind::kBfs,
+                                    SpecSchemeKind::kChain};
+  int i = 0;
+  for (uint64_t seed = 1; seed <= 6; ++seed) {
+    PropertyCase pc;
+    pc.spec_seed = seed;
+    pc.spec_vertices = 40 + 20 * (seed % 3);
+    pc.spec_edges = pc.spec_vertices * 3 / 2;
+    pc.subgraphs = 5 + (seed % 4);
+    pc.depth = 3 + (seed % 2);
+    pc.run_target = 200 + 300 * (seed % 3);
+    pc.scheme = schemes[i++ % 3];
+    cases.push_back(pc);
+  }
+  // A couple of stress shapes: deep nesting and fork-only / loop-only specs.
+  cases.push_back(PropertyCase{101, 60, 90, 12, 6, 800,
+                               SpecSchemeKind::kTcm});
+  cases.push_back(PropertyCase{102, 30, 40, 4, 4, 1500,
+                               SpecSchemeKind::kTcm});
+  cases.push_back(PropertyCase{103, 80, 200, 9, 4, 600,
+                               SpecSchemeKind::kTreeCover});
+  return cases;
+}
+
+INSTANTIATE_TEST_SUITE_P(RandomWorkloads, SkeletonProperty,
+                         ::testing::ValuesIn(MakeCases()),
+                         [](const auto& info) {
+                           return "case" + std::to_string(info.index);
+                         });
+
+TEST(SkeletonBoundsTest, Lemma42HoldsAcrossSeeds) {
+  SpecGenOptions sopt;
+  sopt.num_vertices = 50;
+  sopt.num_edges = 80;
+  sopt.num_subgraphs = 8;
+  sopt.depth = 4;
+  sopt.seed = 9;
+  auto spec = GenerateSpecification(sopt);
+  ASSERT_TRUE(spec.ok());
+  RunGenerator gen(&spec.value());
+  for (uint64_t seed = 1; seed <= 10; ++seed) {
+    RunGenOptions ropt;
+    ropt.mean_replication = 3.0;
+    ropt.seed = seed;
+    auto run = gen.Generate(ropt);
+    ASSERT_TRUE(run.ok());
+    auto rec = ConstructPlan(spec.value(), run->run);
+    ASSERT_TRUE(rec.ok());
+    EXPECT_LE(rec->plan.num_nodes(), 4 * run->run.num_edges());
+  }
+}
+
+TEST(SkeletonBoundsTest, FigureShapesAllForksAllLoops) {
+  for (double fork_fraction : {0.0, 1.0}) {
+    SpecGenOptions sopt;
+    sopt.num_vertices = 40;
+    sopt.num_edges = 60;
+    sopt.num_subgraphs = 6;
+    sopt.depth = 3;
+    sopt.fork_fraction = fork_fraction;
+    sopt.seed = 21;
+    auto spec = GenerateSpecification(sopt);
+    ASSERT_TRUE(spec.ok());
+    RunGenerator gen(&spec.value());
+    RunGenOptions ropt;
+    ropt.target_vertices = 500;
+    ropt.seed = 22;
+    auto run = gen.Generate(ropt);
+    ASSERT_TRUE(run.ok());
+    SkeletonLabeler labeler(&spec.value(), SpecSchemeKind::kTcm);
+    ASSERT_TRUE(labeler.Init().ok());
+    auto labeling = labeler.LabelRun(run->run);
+    ASSERT_TRUE(labeling.ok()) << labeling.status().ToString();
+    const Digraph& g = run->run.graph();
+    Rng rng(33);
+    for (int i = 0; i < 2000; ++i) {
+      VertexId u = static_cast<VertexId>(rng.NextBelow(g.num_vertices()));
+      VertexId v = static_cast<VertexId>(rng.NextBelow(g.num_vertices()));
+      ASSERT_EQ(labeling->Reaches(u, v), Reaches(g, u, v))
+          << "fork_fraction " << fork_fraction;
+    }
+  }
+}
+
+}  // namespace
+}  // namespace skl

@@ -1,0 +1,118 @@
+// Tests for the synthetic specification generator: exact structural targets
+// across seeds and parameter combinations, plus infeasible-target errors.
+#include <gtest/gtest.h>
+
+#include "src/workload/spec_generator.h"
+
+namespace skl {
+namespace {
+
+struct GenCase {
+  uint32_t n, m, subs, depth;
+  uint64_t seed;
+};
+
+class SpecGeneratorExact : public ::testing::TestWithParam<GenCase> {};
+
+TEST_P(SpecGeneratorExact, HitsTargetsExactly) {
+  const GenCase& c = GetParam();
+  SpecGenOptions opt;
+  opt.num_vertices = c.n;
+  opt.num_edges = c.m;
+  opt.num_subgraphs = c.subs;
+  opt.depth = c.depth;
+  opt.seed = c.seed;
+  auto spec = GenerateSpecification(opt);
+  ASSERT_TRUE(spec.ok()) << spec.status().ToString();
+  EXPECT_EQ(spec->graph().num_vertices(), c.n);
+  EXPECT_EQ(spec->graph().num_edges(), c.m);
+  EXPECT_EQ(spec->subgraphs().size(), c.subs);
+  EXPECT_EQ(spec->hierarchy().size(), c.subs + 1u);
+  EXPECT_EQ(spec->hierarchy().depth(), static_cast<int32_t>(c.depth));
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Sweep, SpecGeneratorExact,
+    ::testing::Values(GenCase{100, 200, 9, 4, 1}, GenCase{100, 200, 9, 4, 2},
+                      GenCase{100, 200, 9, 4, 3}, GenCase{50, 100, 9, 4, 1},
+                      GenCase{200, 400, 9, 4, 1}, GenCase{29, 31, 3, 2, 7},
+                      GenCase{35, 45, 2, 3, 7}, GenCase{58, 72, 5, 3, 7},
+                      GenCase{111, 158, 8, 3, 7}, GenCase{20, 19, 0, 1, 1},
+                      GenCase{40, 60, 1, 2, 4}, GenCase{60, 80, 12, 6, 11}),
+    [](const auto& info) {
+      const GenCase& c = info.param;
+      return "n" + std::to_string(c.n) + "m" + std::to_string(c.m) + "k" +
+             std::to_string(c.subs) + "d" + std::to_string(c.depth) + "s" +
+             std::to_string(c.seed);
+    });
+
+TEST(SpecGeneratorTest, DeterministicForSameSeed) {
+  SpecGenOptions opt;
+  opt.seed = 42;
+  auto a = GenerateSpecification(opt);
+  auto b = GenerateSpecification(opt);
+  ASSERT_TRUE(a.ok() && b.ok());
+  EXPECT_EQ(a->graph().Edges(), b->graph().Edges());
+}
+
+TEST(SpecGeneratorTest, DifferentSeedsDiffer) {
+  SpecGenOptions opt;
+  opt.seed = 1;
+  auto a = GenerateSpecification(opt);
+  opt.seed = 2;
+  auto b = GenerateSpecification(opt);
+  ASSERT_TRUE(a.ok() && b.ok());
+  EXPECT_NE(a->graph().Edges(), b->graph().Edges());
+}
+
+TEST(SpecGeneratorTest, ForkFractionExtremes) {
+  SpecGenOptions opt;
+  opt.fork_fraction = 0.0;
+  auto all_loops = GenerateSpecification(opt);
+  ASSERT_TRUE(all_loops.ok()) << all_loops.status().ToString();
+  EXPECT_EQ(all_loops->num_forks(), 0u);
+  opt.fork_fraction = 1.0;
+  auto all_forks = GenerateSpecification(opt);
+  ASSERT_TRUE(all_forks.ok()) << all_forks.status().ToString();
+  EXPECT_EQ(all_forks->num_loops(), 0u);
+}
+
+TEST(SpecGeneratorTest, InfeasibleTargetsRejected) {
+  SpecGenOptions opt;
+  // Too few vertices for the requested subgraphs.
+  opt.num_vertices = 5;
+  opt.num_subgraphs = 9;
+  opt.depth = 4;
+  EXPECT_FALSE(GenerateSpecification(opt).ok());
+
+  opt = SpecGenOptions{};
+  opt.num_edges = 10;  // below n-1
+  opt.num_vertices = 100;
+  EXPECT_FALSE(GenerateSpecification(opt).ok());
+
+  opt = SpecGenOptions{};
+  opt.depth = 1;
+  opt.num_subgraphs = 3;  // depth 1 admits none
+  EXPECT_FALSE(GenerateSpecification(opt).ok());
+
+  opt = SpecGenOptions{};
+  opt.depth = 6;
+  opt.num_subgraphs = 2;  // cannot realize depth 6 with 2 subgraphs
+  EXPECT_FALSE(GenerateSpecification(opt).ok());
+
+  opt = SpecGenOptions{};
+  opt.num_vertices = 0;
+  EXPECT_FALSE(GenerateSpecification(opt).ok());
+}
+
+TEST(SpecGeneratorTest, SkipEdgeOverflowRejected) {
+  SpecGenOptions opt;
+  opt.num_vertices = 10;
+  opt.num_edges = 500;  // far beyond the available skip slots
+  opt.num_subgraphs = 0;
+  opt.depth = 1;
+  EXPECT_FALSE(GenerateSpecification(opt).ok());
+}
+
+}  // namespace
+}  // namespace skl

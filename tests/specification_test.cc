@@ -1,0 +1,115 @@
+// Tests for SpecificationBuilder and the running-example specification
+// (paper Figure 2).
+#include <gtest/gtest.h>
+
+#include "src/workflow/specification.h"
+#include "tests/test_util.h"
+
+namespace skl {
+namespace {
+
+TEST(SpecificationTest, RunningExampleBuilds) {
+  auto spec = BuildRunningExampleSpec();
+  ASSERT_TRUE(spec.ok()) << spec.status().ToString();
+  EXPECT_EQ(spec->graph().num_vertices(), 8u);
+  EXPECT_EQ(spec->graph().num_edges(), 8u);
+  EXPECT_EQ(spec->num_forks(), 2u);
+  EXPECT_EQ(spec->num_loops(), 2u);
+  EXPECT_EQ(spec->ModuleName(spec->source()), "a");
+  EXPECT_EQ(spec->ModuleName(spec->sink()), "h");
+}
+
+TEST(SpecificationTest, VertexLookupByModuleName) {
+  auto spec = BuildRunningExampleSpec();
+  ASSERT_TRUE(spec.ok());
+  EXPECT_EQ(spec->ModuleName(spec->VertexOf("d")), "d");
+  EXPECT_EQ(spec->VertexOf("nope"), kInvalidVertex);
+}
+
+TEST(SpecificationTest, DuplicateModuleNamesRejected) {
+  SpecificationBuilder b;
+  b.AddModule("x");
+  b.AddModule("x");
+  auto spec = std::move(b).Build();
+  ASSERT_FALSE(spec.ok());
+  EXPECT_NE(spec.status().message().find("duplicate"), std::string::npos);
+}
+
+TEST(SpecificationTest, EmptyNameRejected) {
+  SpecificationBuilder b;
+  b.AddModule("");
+  EXPECT_FALSE(std::move(b).Build().ok());
+}
+
+TEST(SpecificationTest, SelfLoopRejected) {
+  SpecificationBuilder b;
+  VertexId x = b.AddModule("x");
+  b.AddModule("y");
+  b.AddEdge(x, x);
+  EXPECT_FALSE(std::move(b).Build().ok());
+}
+
+TEST(SpecificationTest, EdgeOutOfRangeRejected) {
+  SpecificationBuilder b;
+  VertexId x = b.AddModule("x");
+  b.AddEdge(x, 99);
+  EXPECT_FALSE(std::move(b).Build().ok());
+}
+
+TEST(SpecificationTest, InvalidForkRejected) {
+  SpecificationBuilder b;
+  VertexId s = b.AddModule("s");
+  VertexId m = b.AddModule("m");
+  VertexId n = b.AddModule("n");
+  VertexId t = b.AddModule("t");
+  b.AddEdge(s, m).AddEdge(s, n).AddEdge(m, t).AddEdge(n, t);
+  b.DeclareFork({s, m, n, t});  // diamond: not atomic
+  auto spec = std::move(b).Build();
+  ASSERT_FALSE(spec.ok());
+  EXPECT_EQ(spec.status().code(), StatusCode::kInvalidSpecification);
+}
+
+TEST(SpecificationTest, NotWellNestedRejected) {
+  SpecificationBuilder b;
+  std::vector<VertexId> v;
+  for (int i = 0; i < 8; ++i) v.push_back(b.AddModule("m" + std::to_string(i)));
+  for (int i = 0; i + 1 < 8; ++i) b.AddEdge(v[i], v[i + 1]);
+  b.DeclareLoop({v[1], v[2], v[3], v[4]});
+  b.DeclareLoop({v[3], v[4], v[5], v[6]});
+  EXPECT_FALSE(std::move(b).Build().ok());
+}
+
+TEST(SpecificationTest, SubgraphNormalization) {
+  auto ex = testing_util::MakeRunningExample();
+  const auto& subs = ex.spec.subgraphs();
+  ASSERT_EQ(subs.size(), 4u);
+  // F1 = {a,b,c,h}: source a, sink h, dominates {b,c}.
+  EXPECT_EQ(subs[0].kind, SubgraphKind::kFork);
+  EXPECT_EQ(subs[0].source, ex.sv("a"));
+  EXPECT_EQ(subs[0].sink, ex.sv("h"));
+  EXPECT_EQ(subs[0].dom_set.Count(), 2u);
+  EXPECT_EQ(subs[0].edges.size(), 3u);
+  // L1 = {b,c}.
+  EXPECT_EQ(subs[1].kind, SubgraphKind::kLoop);
+  EXPECT_EQ(subs[1].edges.size(), 1u);
+  EXPECT_EQ(subs[1].dom_set.Count(), 2u);
+  // L2 = {e,f,g} and F2 = {e,f,g} share the edge set.
+  EXPECT_EQ(subs[2].edges.size(), 2u);
+  EXPECT_EQ(subs[3].edges.size(), 2u);
+  EXPECT_EQ(subs[2].dom_set.Count(), 3u);
+  EXPECT_EQ(subs[3].dom_set.Count(), 1u);
+}
+
+TEST(SpecificationTest, SpecWithoutSubgraphs) {
+  SpecificationBuilder b;
+  VertexId x = b.AddModule("x");
+  VertexId y = b.AddModule("y");
+  b.AddEdge(x, y);
+  auto spec = std::move(b).Build();
+  ASSERT_TRUE(spec.ok()) << spec.status().ToString();
+  EXPECT_EQ(spec->hierarchy().depth(), 1);
+  EXPECT_EQ(spec->hierarchy().size(), 1u);
+}
+
+}  // namespace
+}  // namespace skl

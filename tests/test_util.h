@@ -1,0 +1,106 @@
+// Shared fixtures: the paper's running example (Figures 2-3) and small
+// helpers used across test files.
+#ifndef SKL_TESTS_TEST_UTIL_H_
+#define SKL_TESTS_TEST_UTIL_H_
+
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "src/common/check.h"
+#include "src/workflow/run.h"
+#include "src/workflow/specification.h"
+#include "src/workload/real_workflows.h"
+
+namespace skl {
+namespace testing_util {
+
+/// The Figure 3 run of the running example: F1 executed twice; in one copy
+/// L2... — precisely: fork F1 {b,c} twice (copies (b1,c1,b2,c2) with loop L1
+/// twice, and (b3,c3) with L1 once), loop L2 twice (iteration 1 reads e1,
+/// f1, g1; iteration 2 has fork F2 over f executed twice: f2, f3).
+/// Vertex naming follows the paper: a1, b1..b3, c1..c3, d1, e1, e2, f1..f3,
+/// g1, g2, h1.
+struct RunningExample {
+  Specification spec;
+  Run run;
+  std::unordered_map<std::string, VertexId> run_vertex;   // "b1" -> id
+  std::unordered_map<std::string, VertexId> spec_vertex;  // "b" -> id
+
+  VertexId rv(const std::string& name) const {
+    auto it = run_vertex.find(name);
+    SKL_CHECK_MSG(it != run_vertex.end(), name.c_str());
+    return it->second;
+  }
+  VertexId sv(const std::string& name) const {
+    auto it = spec_vertex.find(name);
+    SKL_CHECK_MSG(it != spec_vertex.end(), name.c_str());
+    return it->second;
+  }
+};
+
+inline RunningExample MakeRunningExample() {
+  auto spec_result = BuildRunningExampleSpec();
+  SKL_CHECK_MSG(spec_result.ok(), spec_result.status().ToString().c_str());
+  RunningExample ex{std::move(spec_result).value(), Run{}, {}, {}};
+  for (const char* name : {"a", "b", "c", "h", "d", "e", "f", "g"}) {
+    ex.spec_vertex[name] = ex.spec.VertexOf(name);
+  }
+
+  RunBuilder rb(ex.spec.shared_modules());
+  auto add = [&](const std::string& instance, const std::string& module) {
+    VertexId v = rb.AddVertexById(
+        static_cast<ModuleId>(ex.spec.VertexOf(module)));
+    ex.run_vertex[instance] = v;
+  };
+  // Figure 3's vertices.
+  add("a1", "a");
+  add("b1", "b");
+  add("c1", "c");
+  add("b2", "b");
+  add("c2", "c");
+  add("b3", "b");
+  add("c3", "c");
+  add("h1", "h");
+  add("d1", "d");
+  add("e1", "e");
+  add("f1", "f");
+  add("g1", "g");
+  add("e2", "e");
+  add("f2", "f");
+  add("f3", "f");
+  add("g2", "g");
+  auto edge = [&](const std::string& u, const std::string& v) {
+    rb.AddEdge(ex.run_vertex.at(u), ex.run_vertex.at(v));
+  };
+  // Fork copy 1 of F1 with loop L1 executed twice: a1->b1->c1->b2->c2->h1.
+  edge("a1", "b1");
+  edge("b1", "c1");
+  edge("c1", "b2");  // serial loop edge
+  edge("b2", "c2");
+  edge("c2", "h1");
+  // Fork copy 2 of F1 with L1 once: a1->b3->c3->h1.
+  edge("a1", "b3");
+  edge("b3", "c3");
+  edge("c3", "h1");
+  // Second branch: a1->d1->e1->f1->g1->e2->{f2,f3}->g2->h1.
+  edge("a1", "d1");
+  edge("d1", "e1");
+  edge("e1", "f1");
+  edge("f1", "g1");
+  edge("g1", "e2");  // serial loop edge between L2 iterations
+  edge("e2", "f2");
+  edge("f2", "g2");
+  edge("e2", "f3");
+  edge("f3", "g2");
+  edge("g2", "h1");
+  auto run_result = std::move(rb).Build();
+  SKL_CHECK_MSG(run_result.ok(), run_result.status().ToString().c_str());
+  ex.run = std::move(run_result).value();
+  return ex;
+}
+
+}  // namespace testing_util
+}  // namespace skl
+
+#endif  // SKL_TESTS_TEST_UTIL_H_

@@ -1,0 +1,113 @@
+// Tests for the tree-transform baseline: correctness on DAGs, exponential
+// blow-up measurement, and the capacity cap.
+#include <gtest/gtest.h>
+
+#include "src/baseline/tree_transform.h"
+#include "src/graph/algorithms.h"
+#include "src/workload/run_generator.h"
+#include "tests/test_util.h"
+
+namespace skl {
+namespace {
+
+TEST(TreeTransformTest, CorrectOnDiamond) {
+  DigraphBuilder b(4);
+  b.AddEdge(0, 1);
+  b.AddEdge(0, 2);
+  b.AddEdge(1, 3);
+  b.AddEdge(2, 3);
+  Digraph g = std::move(b).Build();
+  TreeTransformLabeling tt;
+  ASSERT_TRUE(tt.Build(g).ok());
+  // 3 is duplicated (reached via 1 and via 2): tree has 5 nodes.
+  EXPECT_EQ(tt.tree_size(), 5u);
+  for (VertexId u = 0; u < 4; ++u) {
+    for (VertexId v = 0; v < 4; ++v) {
+      EXPECT_EQ(tt.Reaches(u, v), Reaches(g, u, v)) << u << "->" << v;
+    }
+  }
+}
+
+TEST(TreeTransformTest, CorrectOnGeneratedRun) {
+  auto ex = testing_util::MakeRunningExample();
+  RunGenerator gen(&ex.spec);
+  RunGenOptions opt;
+  opt.target_vertices = 150;
+  opt.seed = 4;
+  auto run = gen.Generate(opt);
+  ASSERT_TRUE(run.ok());
+  TreeTransformLabeling tt;
+  auto st = tt.Build(run->run);
+  ASSERT_TRUE(st.ok()) << st.ToString();
+  const Digraph& g = run->run.graph();
+  Rng rng(41);
+  for (int i = 0; i < 2000; ++i) {
+    VertexId u = static_cast<VertexId>(rng.NextBelow(g.num_vertices()));
+    VertexId v = static_cast<VertexId>(rng.NextBelow(g.num_vertices()));
+    ASSERT_EQ(tt.Reaches(u, v), Reaches(g, u, v)) << u << "->" << v;
+  }
+}
+
+TEST(TreeTransformTest, BlowUpOnChainedDiamonds) {
+  // k chained diamonds duplicate the tail 2^k times.
+  const int k = 12;
+  DigraphBuilder b;
+  VertexId prev = b.AddVertex();
+  for (int i = 0; i < k; ++i) {
+    VertexId left = b.AddVertex();
+    VertexId right = b.AddVertex();
+    VertexId join = b.AddVertex();
+    b.AddEdge(prev, left);
+    b.AddEdge(prev, right);
+    b.AddEdge(left, join);
+    b.AddEdge(right, join);
+    prev = join;
+  }
+  Digraph g = std::move(b).Build();
+  TreeTransformLabeling tt;
+  ASSERT_TRUE(tt.Build(g).ok());
+  EXPECT_GT(tt.tree_size(), size_t{1} << k);  // exponential in k
+  EXPECT_LT(g.num_vertices(), 4u * k + 1u);   // but the DAG is linear in k
+}
+
+TEST(TreeTransformTest, CapStopsTheExplosion) {
+  const int k = 40;
+  DigraphBuilder b;
+  VertexId prev = b.AddVertex();
+  for (int i = 0; i < k; ++i) {
+    VertexId left = b.AddVertex();
+    VertexId right = b.AddVertex();
+    VertexId join = b.AddVertex();
+    b.AddEdge(prev, left);
+    b.AddEdge(prev, right);
+    b.AddEdge(left, join);
+    b.AddEdge(right, join);
+    prev = join;
+  }
+  Digraph g = std::move(b).Build();
+  TreeTransformLabeling tt(/*max_tree_nodes=*/100000);
+  auto st = tt.Build(g);
+  ASSERT_FALSE(st.ok());
+  EXPECT_EQ(st.code(), StatusCode::kCapacityExceeded);
+}
+
+TEST(TreeTransformTest, RequiresSingleSource) {
+  DigraphBuilder b(3);
+  b.AddEdge(0, 2);
+  b.AddEdge(1, 2);
+  Digraph g = std::move(b).Build();
+  TreeTransformLabeling tt;
+  EXPECT_FALSE(tt.Build(g).ok());
+}
+
+TEST(TreeTransformTest, LabelBitsAccounted) {
+  DigraphBuilder b(2);
+  b.AddEdge(0, 1);
+  Digraph g = std::move(b).Build();
+  TreeTransformLabeling tt;
+  ASSERT_TRUE(tt.Build(g).ok());
+  EXPECT_GT(tt.TotalLabelBits(), 0u);
+}
+
+}  // namespace
+}  // namespace skl

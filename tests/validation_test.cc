@@ -1,0 +1,255 @@
+// Tests for Definition 1-2 validation: acyclic flow networks, subgraph
+// normalization (self-contained / atomic / complete) and well-nestedness,
+// including every failure path.
+#include <gtest/gtest.h>
+
+#include "src/graph/digraph.h"
+#include "src/workflow/validation.h"
+
+namespace skl {
+namespace {
+
+Digraph Chain(VertexId n) {
+  DigraphBuilder b(n);
+  for (VertexId i = 0; i + 1 < n; ++i) b.AddEdge(i, i + 1);
+  return std::move(b).Build();
+}
+
+TEST(FlowNetworkTest, ChainIsValid) {
+  Digraph g = Chain(5);
+  VertexId s, t;
+  ASSERT_TRUE(CheckAcyclicFlowNetwork(g, &s, &t).ok());
+  EXPECT_EQ(s, 0u);
+  EXPECT_EQ(t, 4u);
+}
+
+TEST(FlowNetworkTest, RejectsEmpty) {
+  Digraph g;
+  VertexId s, t;
+  EXPECT_EQ(CheckAcyclicFlowNetwork(g, &s, &t).code(),
+            StatusCode::kInvalidSpecification);
+}
+
+TEST(FlowNetworkTest, RejectsTwoSources) {
+  DigraphBuilder b(3);
+  b.AddEdge(0, 2);
+  b.AddEdge(1, 2);
+  Digraph g = std::move(b).Build();
+  VertexId s, t;
+  auto st = CheckAcyclicFlowNetwork(g, &s, &t);
+  EXPECT_FALSE(st.ok());
+  EXPECT_NE(st.message().find("source"), std::string::npos);
+}
+
+TEST(FlowNetworkTest, RejectsTwoSinks) {
+  DigraphBuilder b(3);
+  b.AddEdge(0, 1);
+  b.AddEdge(0, 2);
+  Digraph g = std::move(b).Build();
+  VertexId s, t;
+  auto st = CheckAcyclicFlowNetwork(g, &s, &t);
+  EXPECT_FALSE(st.ok());
+  EXPECT_NE(st.message().find("sink"), std::string::npos);
+}
+
+TEST(FlowNetworkTest, RejectsCycle) {
+  DigraphBuilder b(4);
+  b.AddEdge(0, 1);
+  b.AddEdge(1, 2);
+  b.AddEdge(2, 1);
+  b.AddEdge(2, 3);
+  Digraph g = std::move(b).Build();
+  VertexId s, t;
+  EXPECT_FALSE(CheckAcyclicFlowNetwork(g, &s, &t).ok());
+}
+
+TEST(FlowNetworkTest, RejectsParallelEdges) {
+  DigraphBuilder b(2);
+  b.AddEdge(0, 1);
+  b.AddEdge(0, 1);
+  Digraph g = std::move(b).Build();
+  VertexId s, t;
+  auto st = CheckAcyclicFlowNetwork(g, &s, &t);
+  EXPECT_FALSE(st.ok());
+  EXPECT_NE(st.message().find("parallel"), std::string::npos);
+}
+
+TEST(FlowNetworkTest, RejectsDisconnected) {
+  // 0 -> 3 and isolated diamond 1 -> 2 cannot happen with unique terminals;
+  // instead: 0->1->4, 2->3 ... that has two sources. Use a vertex not
+  // reachable from the source but feeding the sink: 0->2, 1->2 is two
+  // sources again. A vertex with no edges gives both: covered by terminal
+  // checks. What slips past terminals: a "back alley" 0->1->3, 0->2->3 plus
+  // unreachable 4? vertex 4 with no edges adds a source+sink. So the
+  // reachability check is exercised with a parallel component that has its
+  // own internal edge: impossible without extra terminals. The check still
+  // guards Internal invariants; assert the valid case here.
+  Digraph g = Chain(3);
+  VertexId s, t;
+  EXPECT_TRUE(CheckAcyclicFlowNetwork(g, &s, &t).ok());
+}
+
+// Fixture graph for subgraph tests:
+//   0 -> 1 -> 2 -> 3 -> 4, plus 1 -> 5 -> 3 (diamond between 1 and 3),
+//   and 1 -> 3 direct edge.
+Digraph SubgraphFixture() {
+  DigraphBuilder b(6);
+  b.AddEdge(0, 1);
+  b.AddEdge(1, 2);
+  b.AddEdge(2, 3);
+  b.AddEdge(3, 4);
+  b.AddEdge(1, 5);
+  b.AddEdge(5, 3);
+  b.AddEdge(1, 3);
+  return std::move(b).Build();
+}
+
+TEST(NormalizeTest, LoopIncludesAllBranches) {
+  Digraph g = SubgraphFixture();
+  auto r = NormalizeSubgraph(g, SubgraphKind::kLoop, {1, 2, 5, 3});
+  ASSERT_TRUE(r.ok()) << r.status().ToString();
+  EXPECT_EQ(r->source, 1u);
+  EXPECT_EQ(r->sink, 3u);
+  EXPECT_EQ(r->edges.size(), 5u);  // 1-2, 2-3, 1-5, 5-3, 1-3
+  EXPECT_EQ(r->dom_set.Count(), 4u);
+}
+
+TEST(NormalizeTest, ForkDiamondIsNotAtomic) {
+  Digraph g = SubgraphFixture();
+  auto r = NormalizeSubgraph(g, SubgraphKind::kFork, {1, 2, 5, 3});
+  // 2 and 5 are vertex-disjoint parallel branches -> not atomic.
+  ASSERT_FALSE(r.ok());
+  EXPECT_NE(r.status().message().find("atomic"), std::string::npos);
+}
+
+TEST(NormalizeTest, AtomicForkChain) {
+  Digraph g = SubgraphFixture();
+  auto r = NormalizeSubgraph(g, SubgraphKind::kFork, {1, 2, 3});
+  // Induced: 1->2, 2->3 plus direct 1->3 dropped. V* = {2}: atomic.
+  ASSERT_TRUE(r.ok()) << r.status().ToString();
+  EXPECT_EQ(r->edges.size(), 2u);
+}
+
+TEST(NormalizeTest, SingleEdgeForkRejected) {
+  Digraph g = Chain(3);
+  // A fork over a single edge has no edges left once the direct
+  // source->sink edge is dropped (and no internal vertex either way).
+  auto r = NormalizeSubgraph(g, SubgraphKind::kFork, {0, 1});
+  ASSERT_FALSE(r.ok());
+  EXPECT_EQ(r.status().code(), StatusCode::kInvalidSpecification);
+}
+
+TEST(NormalizeTest, ForkWithoutInternalVertexRejected) {
+  // Parallel paths s->t and s->m->t: fork {s, m, t} is fine, but a fork
+  // {s, t} over just the direct edge is not.
+  DigraphBuilder b(4);
+  b.AddEdge(0, 1);
+  b.AddEdge(1, 3);
+  b.AddEdge(1, 2);
+  b.AddEdge(2, 3);
+  Digraph g = std::move(b).Build();
+  auto r = NormalizeSubgraph(g, SubgraphKind::kFork, {1, 3});
+  ASSERT_FALSE(r.ok());
+}
+
+TEST(NormalizeTest, SingleEdgeLoopAllowed) {
+  Digraph g = Chain(3);
+  auto r = NormalizeSubgraph(g, SubgraphKind::kLoop, {1, 2});
+  ASSERT_TRUE(r.ok()) << r.status().ToString();
+  EXPECT_EQ(r->edges.size(), 1u);
+}
+
+TEST(NormalizeTest, RejectsNotSelfContained) {
+  Digraph g = SubgraphFixture();
+  // {1, 2}: vertex 2 is internal? no — 2 is the sink here; but {2, 3}:
+  // source 2, sink 3; ok. Take {1, 2, 3} as loop: 2 internal has no outside
+  // edges; but 1 has outgoing to 5 outside -> completeness violation.
+  auto r = NormalizeSubgraph(g, SubgraphKind::kLoop, {1, 2, 3});
+  ASSERT_FALSE(r.ok());
+  EXPECT_NE(r.status().message().find("complete"), std::string::npos);
+}
+
+TEST(NormalizeTest, RejectsInternalLeak) {
+  // 0->1->2->3, 1->4, 4->2 and declare {1, 2} with internal... build a case
+  // where an internal vertex touches outside: 0->1, 1->2, 2->3, 1->4, 4->3:
+  // subgraph {1, 2, 4, 3}? 4 and 2 parallel... use loop {1,2,3} with 2
+  // internal and 2->4 outside.
+  DigraphBuilder b(5);
+  b.AddEdge(0, 1);
+  b.AddEdge(1, 2);
+  b.AddEdge(2, 3);
+  b.AddEdge(2, 4);
+  b.AddEdge(3, 4);
+  Digraph g = std::move(b).Build();
+  auto r = NormalizeSubgraph(g, SubgraphKind::kLoop, {1, 2, 3});
+  ASSERT_FALSE(r.ok());
+}
+
+TEST(NormalizeTest, RejectsMultipleSources) {
+  DigraphBuilder b(5);
+  b.AddEdge(0, 1);
+  b.AddEdge(0, 2);
+  b.AddEdge(1, 3);
+  b.AddEdge(2, 3);
+  b.AddEdge(3, 4);
+  Digraph g = std::move(b).Build();
+  // {1, 2, 3}: both 1 and 2 have no induced in-edges.
+  auto r = NormalizeSubgraph(g, SubgraphKind::kLoop, {1, 2, 3});
+  ASSERT_FALSE(r.ok());
+  EXPECT_NE(r.status().message().find("source"), std::string::npos);
+}
+
+TEST(NormalizeTest, RejectsTooSmall) {
+  Digraph g = Chain(3);
+  EXPECT_FALSE(NormalizeSubgraph(g, SubgraphKind::kLoop, {1}).ok());
+  EXPECT_FALSE(NormalizeSubgraph(g, SubgraphKind::kLoop, {1, 1}).ok());
+}
+
+TEST(NormalizeTest, RejectsOutOfRange) {
+  Digraph g = Chain(3);
+  EXPECT_FALSE(NormalizeSubgraph(g, SubgraphKind::kLoop, {1, 99}).ok());
+}
+
+TEST(WellNestedTest, DisjointOk) {
+  Digraph g = Chain(6);
+  auto a = NormalizeSubgraph(g, SubgraphKind::kLoop, {1, 2});
+  auto b = NormalizeSubgraph(g, SubgraphKind::kLoop, {3, 4});
+  ASSERT_TRUE(a.ok() && b.ok());
+  EXPECT_TRUE(CheckWellNested({a.value(), b.value()}).ok());
+}
+
+TEST(WellNestedTest, NestedOk) {
+  Digraph g = Chain(6);
+  auto outer = NormalizeSubgraph(g, SubgraphKind::kLoop, {1, 2, 3, 4});
+  auto inner = NormalizeSubgraph(g, SubgraphKind::kLoop, {2, 3});
+  ASSERT_TRUE(outer.ok() && inner.ok());
+  EXPECT_TRUE(CheckWellNested({outer.value(), inner.value()}).ok());
+}
+
+TEST(WellNestedTest, EqualEdgeForkInLoopOk) {
+  // The paper's F2-in-L2 pattern: same edge set, smaller DomSet for the fork.
+  Digraph g = Chain(5);
+  auto loop = NormalizeSubgraph(g, SubgraphKind::kLoop, {1, 2, 3});
+  auto fork = NormalizeSubgraph(g, SubgraphKind::kFork, {1, 2, 3});
+  ASSERT_TRUE(loop.ok() && fork.ok());
+  EXPECT_TRUE(CheckWellNested({loop.value(), fork.value()}).ok());
+}
+
+TEST(WellNestedTest, IdenticalLoopsRejected) {
+  Digraph g = Chain(5);
+  auto a = NormalizeSubgraph(g, SubgraphKind::kLoop, {1, 2, 3});
+  auto b = NormalizeSubgraph(g, SubgraphKind::kLoop, {1, 2, 3});
+  ASSERT_TRUE(a.ok() && b.ok());
+  EXPECT_FALSE(CheckWellNested({a.value(), b.value()}).ok());
+}
+
+TEST(WellNestedTest, StraddlingRejected) {
+  Digraph g = Chain(8);
+  auto a = NormalizeSubgraph(g, SubgraphKind::kLoop, {1, 2, 3, 4});
+  auto b = NormalizeSubgraph(g, SubgraphKind::kLoop, {3, 4, 5, 6});
+  ASSERT_TRUE(a.ok() && b.ok());
+  EXPECT_FALSE(CheckWellNested({a.value(), b.value()}).ok());
+}
+
+}  // namespace
+}  // namespace skl

@@ -1,0 +1,120 @@
+// Tests for workflow XML serialization: lossless round trips for specs and
+// runs, end-to-end labeling of a run loaded from XML, and malformed inputs.
+#include <gtest/gtest.h>
+
+#include "src/core/skeleton_labeler.h"
+#include "src/graph/algorithms.h"
+#include "src/io/workflow_xml.h"
+#include "src/workload/run_generator.h"
+#include "src/workload/spec_generator.h"
+#include "tests/test_util.h"
+
+namespace skl {
+namespace {
+
+TEST(SpecificationXmlTest, RoundTripRunningExample) {
+  auto ex = testing_util::MakeRunningExample();
+  std::string xml = WriteSpecificationXml(ex.spec);
+  auto spec2 = ReadSpecificationXml(xml);
+  ASSERT_TRUE(spec2.ok()) << spec2.status().ToString();
+  EXPECT_EQ(spec2->graph().num_vertices(), ex.spec.graph().num_vertices());
+  EXPECT_EQ(spec2->graph().num_edges(), ex.spec.graph().num_edges());
+  EXPECT_EQ(spec2->num_forks(), ex.spec.num_forks());
+  EXPECT_EQ(spec2->num_loops(), ex.spec.num_loops());
+  EXPECT_EQ(spec2->hierarchy().depth(), ex.spec.hierarchy().depth());
+  // Vertices keep their names (and hence ids, by declaration order).
+  for (VertexId v = 0; v < ex.spec.graph().num_vertices(); ++v) {
+    EXPECT_EQ(spec2->ModuleName(v), ex.spec.ModuleName(v));
+  }
+  EXPECT_EQ(spec2->graph().Edges(), ex.spec.graph().Edges());
+}
+
+TEST(SpecificationXmlTest, RoundTripGeneratedSpec) {
+  SpecGenOptions opt;
+  opt.num_vertices = 60;
+  opt.num_edges = 100;
+  opt.num_subgraphs = 7;
+  opt.depth = 4;
+  opt.seed = 3;
+  auto spec = GenerateSpecification(opt);
+  ASSERT_TRUE(spec.ok());
+  auto spec2 = ReadSpecificationXml(WriteSpecificationXml(spec.value()));
+  ASSERT_TRUE(spec2.ok()) << spec2.status().ToString();
+  EXPECT_EQ(spec2->graph().Edges(), spec->graph().Edges());
+  EXPECT_EQ(spec2->subgraphs().size(), spec->subgraphs().size());
+}
+
+TEST(SpecificationXmlTest, MalformedInputs) {
+  EXPECT_FALSE(ReadSpecificationXml("<wrong/>").ok());
+  EXPECT_FALSE(ReadSpecificationXml("<specification><module/>"
+                                    "</specification>").ok());
+  EXPECT_FALSE(
+      ReadSpecificationXml("<specification><module name=\"a\"/>"
+                           "<edge from=\"a\" to=\"zzz\"/></specification>")
+          .ok());
+  EXPECT_FALSE(
+      ReadSpecificationXml("<specification><module name=\"a\"/>"
+                           "<fork vertices=\"a q\"/></specification>")
+          .ok());
+  EXPECT_FALSE(ReadSpecificationXml("not xml at all").ok());
+}
+
+TEST(RunXmlTest, RoundTripRunningExample) {
+  auto ex = testing_util::MakeRunningExample();
+  std::string xml = WriteRunXml(ex.run);
+  auto run2 = ReadRunXml(xml);
+  ASSERT_TRUE(run2.ok()) << run2.status().ToString();
+  EXPECT_EQ(run2->num_vertices(), ex.run.num_vertices());
+  EXPECT_EQ(run2->num_edges(), ex.run.num_edges());
+  for (VertexId v = 0; v < ex.run.num_vertices(); ++v) {
+    EXPECT_EQ(run2->ModuleNameOf(v), ex.run.ModuleNameOf(v));
+  }
+  EXPECT_EQ(run2->graph().Edges(), ex.run.graph().Edges());
+}
+
+TEST(RunXmlTest, LoadedRunIsLabelable) {
+  // Full pipeline: generate, serialize, reload with a fresh module table,
+  // label via name-based origins, and verify against graph search.
+  auto ex = testing_util::MakeRunningExample();
+  RunGenerator gen(&ex.spec);
+  RunGenOptions opt;
+  opt.target_vertices = 150;
+  opt.seed = 6;
+  auto generated = gen.Generate(opt);
+  ASSERT_TRUE(generated.ok());
+  auto reloaded = ReadRunXml(WriteRunXml(generated->run));
+  ASSERT_TRUE(reloaded.ok());
+  EXPECT_NE(&reloaded->modules(), &ex.spec.modules());
+
+  SkeletonLabeler labeler(&ex.spec, SpecSchemeKind::kTcm);
+  ASSERT_TRUE(labeler.Init().ok());
+  auto labeling = labeler.LabelRun(*reloaded);
+  ASSERT_TRUE(labeling.ok()) << labeling.status().ToString();
+  const Digraph& g = reloaded->graph();
+  Rng rng(51);
+  for (int i = 0; i < 1500; ++i) {
+    VertexId u = static_cast<VertexId>(rng.NextBelow(g.num_vertices()));
+    VertexId v = static_cast<VertexId>(rng.NextBelow(g.num_vertices()));
+    ASSERT_EQ(labeling->Reaches(u, v), Reaches(g, u, v));
+  }
+}
+
+TEST(RunXmlTest, MalformedInputs) {
+  EXPECT_FALSE(ReadRunXml("<notrun/>").ok());
+  EXPECT_FALSE(ReadRunXml("<run><vertex id=\"0\"/></run>").ok());
+  EXPECT_FALSE(
+      ReadRunXml("<run><vertex id=\"7\" module=\"a\"/></run>").ok());
+  EXPECT_FALSE(
+      ReadRunXml("<run><vertex id=\"0\" module=\"a\"/>"
+                 "<vertex id=\"0\" module=\"b\"/></run>")
+          .ok());
+  EXPECT_FALSE(
+      ReadRunXml("<run><vertex id=\"0\" module=\"a\"/>"
+                 "<edge from=\"0\" to=\"9\"/></run>")
+          .ok());
+  EXPECT_FALSE(
+      ReadRunXml("<run><vertex id=\"x\" module=\"a\"/></run>").ok());
+}
+
+}  // namespace
+}  // namespace skl

@@ -1,0 +1,104 @@
+// Tests for the minimal XML parser/writer.
+#include <gtest/gtest.h>
+
+#include "src/io/xml.h"
+
+namespace skl {
+namespace {
+
+TEST(XmlParseTest, SimpleDocument) {
+  auto r = ParseXml("<root a=\"1\"><child b=\"x\"/><child b=\"y\"/></root>");
+  ASSERT_TRUE(r.ok()) << r.status().ToString();
+  EXPECT_EQ(r->name, "root");
+  ASSERT_NE(r->FindAttribute("a"), nullptr);
+  EXPECT_EQ(*r->FindAttribute("a"), "1");
+  EXPECT_EQ(r->FindAttribute("zz"), nullptr);
+  auto kids = r->FindChildren("child");
+  ASSERT_EQ(kids.size(), 2u);
+  EXPECT_EQ(*kids[1]->FindAttribute("b"), "y");
+  EXPECT_NE(r->FindChild("child"), nullptr);
+  EXPECT_EQ(r->FindChild("nope"), nullptr);
+}
+
+TEST(XmlParseTest, DeclarationAndComments) {
+  auto r = ParseXml(
+      "<?xml version=\"1.0\"?>\n<!-- hello -->\n"
+      "<root><!-- inner --><x/></root>\n<!-- trailing -->");
+  ASSERT_TRUE(r.ok()) << r.status().ToString();
+  EXPECT_EQ(r->children.size(), 1u);
+}
+
+TEST(XmlParseTest, TextContent) {
+  auto r = ParseXml("<root>hello &amp; goodbye</root>");
+  ASSERT_TRUE(r.ok());
+  EXPECT_EQ(r->text, "hello & goodbye");
+}
+
+TEST(XmlParseTest, Entities) {
+  auto r = ParseXml("<root a=\"&lt;&gt;&quot;&apos;&amp;\"/>");
+  ASSERT_TRUE(r.ok());
+  EXPECT_EQ(*r->FindAttribute("a"), "<>\"'&");
+}
+
+TEST(XmlParseTest, SingleQuotedAttributes) {
+  auto r = ParseXml("<root a='va'/>");
+  ASSERT_TRUE(r.ok());
+  EXPECT_EQ(*r->FindAttribute("a"), "va");
+}
+
+TEST(XmlParseTest, NestedElements) {
+  auto r = ParseXml("<a><b><c deep=\"1\"/></b></a>");
+  ASSERT_TRUE(r.ok());
+  const XmlNode* b = r->FindChild("b");
+  ASSERT_NE(b, nullptr);
+  const XmlNode* c = b->FindChild("c");
+  ASSERT_NE(c, nullptr);
+  EXPECT_EQ(*c->FindAttribute("deep"), "1");
+}
+
+TEST(XmlParseTest, Errors) {
+  EXPECT_FALSE(ParseXml("").ok());
+  EXPECT_FALSE(ParseXml("<a>").ok());                 // unterminated
+  EXPECT_FALSE(ParseXml("<a></b>").ok());             // mismatched
+  EXPECT_FALSE(ParseXml("<a x=1/>").ok());            // unquoted attribute
+  EXPECT_FALSE(ParseXml("<a x=\"1/>").ok());          // unterminated value
+  EXPECT_FALSE(ParseXml("<a/><b/>").ok());            // two roots
+  EXPECT_FALSE(ParseXml("<a>&unknown;</a>").ok());    // bad entity
+  EXPECT_FALSE(ParseXml("<a><!-- \xf0 ").ok());       // unterminated comment
+  EXPECT_FALSE(ParseXml("plain text").ok());
+}
+
+TEST(XmlSerializeTest, RoundTrip) {
+  XmlNode root;
+  root.name = "spec";
+  root.attributes.emplace_back("title", "a<b & \"c\"");
+  XmlNode child;
+  child.name = "item";
+  child.attributes.emplace_back("k", "v");
+  root.children.push_back(child);
+  std::string xml = SerializeXml(root);
+  auto parsed = ParseXml(xml);
+  ASSERT_TRUE(parsed.ok()) << parsed.status().ToString() << "\n" << xml;
+  EXPECT_EQ(parsed->name, "spec");
+  EXPECT_EQ(*parsed->FindAttribute("title"), "a<b & \"c\"");
+  ASSERT_EQ(parsed->children.size(), 1u);
+  EXPECT_EQ(parsed->children[0].name, "item");
+}
+
+TEST(XmlSerializeTest, EscapeHelper) {
+  EXPECT_EQ(XmlEscape("a&b<c>d\"e'f"),
+            "a&amp;b&lt;c&gt;d&quot;e&apos;f");
+  EXPECT_EQ(XmlEscape("plain"), "plain");
+}
+
+TEST(XmlSerializeTest, TextRoundTrip) {
+  XmlNode root;
+  root.name = "note";
+  root.text = "x < y";
+  auto parsed = ParseXml(SerializeXml(root));
+  ASSERT_TRUE(parsed.ok());
+  EXPECT_EQ(parsed->text, "x < y");
+}
+
+}  // namespace
+}  // namespace skl
