@@ -1,21 +1,28 @@
 // Figure 17: query time for TCM+SKL, BFS+SKL, TCM-on-run and BFS-on-run.
-// Expected shape: TCM+SKL and TCM-on-run flat (TCM+SKL slightly slower:
-// extra decode step); BFS+SKL starts slower and *decreases* with run size
-// (more queries are settled by the extended labels alone as fork/loop
-// copies multiply — the paper's counter-intuitive observation); BFS-on-run
-// is linear in run size, orders of magnitude slower.
+// The SKL columns go through ProvenanceService (one service per skeleton
+// scheme, batch queries under a single reader lock); the on-run baselines
+// label the run graph directly. Expected shape: TCM+SKL and TCM-on-run flat
+// (TCM+SKL slightly slower: extra decode step); BFS+SKL starts slower and
+// *decreases* with run size (more queries are settled by the extended
+// labels alone as fork/loop copies multiply — the paper's counter-intuitive
+// observation); BFS-on-run is linear in run size, orders of magnitude
+// slower.
 #include <cstdio>
 
 #include "bench/bench_common.h"
 #include "src/baseline/direct.h"
+#include "src/core/provenance_service.h"
 
 int main() {
   using namespace skl;
   using namespace skl::bench;
   Specification spec = SyntheticSpec();
 
-  SkeletonLabeler tcm_labeler(&spec, SpecSchemeKind::kTcm);
-  SKL_CHECK(tcm_labeler.Init().ok());
+  auto tcm_service = ProvenanceService::Create(spec, SpecSchemeKind::kTcm);
+  auto bfs_service = ProvenanceService::Create(spec, SpecSchemeKind::kBfs);
+  SKL_CHECK(tcm_service.ok() && bfs_service.ok());
+  // The decision-mix stat (skeleton consulted vs extended labels alone)
+  // needs ReachesWithStats, which lives on the low-level RunLabeling.
   SkeletonLabeler bfs_labeler(&spec, SpecSchemeKind::kBfs);
   SKL_CHECK(bfs_labeler.Init().ok());
 
@@ -27,24 +34,26 @@ int main() {
     GeneratedRun gen = MakeRun(spec, target, target * 29 + 2);
     const VertexId n = gen.run.num_vertices();
 
-    auto tcm_labeling = tcm_labeler.LabelRun(gen.run);
-    auto bfs_labeling = bfs_labeler.LabelRun(gen.run);
-    SKL_CHECK(tcm_labeling.ok() && bfs_labeling.ok());
+    auto tcm_id = tcm_service->AddRun(gen.run);
+    auto bfs_id = bfs_service->AddRun(gen.run);
+    SKL_CHECK(tcm_id.ok() && bfs_id.ok());
 
     auto queries = GenerateQueries(n, 200000, target + 77);
-    Stopwatch sw;
     size_t sink = 0;
-    for (const auto& [u, v] : queries) {
-      sink += tcm_labeling->Reaches(u, v);
-    }
+    Stopwatch sw;
+    auto tcm_answers = tcm_service->ReachesBatch(*tcm_id, queries);
     double tcm_skl_ns = sw.ElapsedSeconds() * 1e9 / queries.size();
+    SKL_CHECK(tcm_answers.ok());
+    for (bool a : *tcm_answers) sink += a;
 
     sw.Restart();
-    for (const auto& [u, v] : queries) {
-      sink += bfs_labeling->Reaches(u, v);
-    }
+    auto bfs_answers = bfs_service->ReachesBatch(*bfs_id, queries);
     double bfs_skl_ns = sw.ElapsedSeconds() * 1e9 / queries.size();
+    SKL_CHECK(bfs_answers.ok());
+    for (bool a : *bfs_answers) sink += a;
 
+    auto bfs_labeling = bfs_labeler.LabelRun(gen.run);
+    SKL_CHECK(bfs_labeling.ok());
     size_t skeleton_used = 0;
     const size_t mix_sample = 50000;
     for (size_t i = 0; i < mix_sample; ++i) {
@@ -73,6 +82,11 @@ int main() {
       sink += bfs_direct.Reaches(queries[i].first, queries[i].second);
     }
     double bfs_run_ns = sw.ElapsedSeconds() * 1e9 / bfs_queries;
+
+    // Keep one run per service per size point: drop the registered runs so
+    // memory stays flat across the sweep.
+    SKL_CHECK(tcm_service->RemoveRun(*tcm_id).ok());
+    SKL_CHECK(bfs_service->RemoveRun(*bfs_id).ok());
 
     char tcm_buf[32];
     if (tcm_run_ns < 0) {

@@ -1,29 +1,33 @@
-// Live provenance monitoring (the paper's Section 9 direction, implemented
-// by OnlineLabeler): a long-running iterative workflow reports events while
-// it executes, and an analyst asks dependency questions about intermediate
-// results before the run completes.
+// Live provenance monitoring (the paper's Section 9 direction): a
+// long-running iterative workflow reports events while it executes, and an
+// analyst asks dependency questions about intermediate results before the
+// run completes. Built on ProvenanceService::OpenSession — the service owns
+// the labeled skeleton; the session wraps the event feed and Seal()s the
+// finished run into the service's registry.
 //
 // The simulated workflow refines a model over many loop iterations, forking
 // a configurable number of parallel evaluations inside each iteration.
 //
 //   $ ./live_monitor [iterations] [forks_per_iteration]
+#include <algorithm>
 #include <cstdio>
 #include <cstdlib>
 #include <vector>
 
 #include "src/common/stopwatch.h"
-#include "src/core/online_labeler.h"
-#include "src/workflow/specification.h"
+#include "src/skl.h"
 
 using namespace skl;  // NOLINT: example brevity
 
 int main(int argc, char** argv) {
-  const uint32_t iterations =
-      argc > 1 ? static_cast<uint32_t>(std::strtoul(argv[1], nullptr, 10))
-               : 50;
-  const uint32_t forks =
-      argc > 2 ? static_cast<uint32_t>(std::strtoul(argv[2], nullptr, 10))
-               : 8;
+  // The monitoring queries below index the first/second eval of the first
+  // and last iteration, so at least one iteration with two forks each.
+  const uint32_t iterations = std::max<uint32_t>(
+      1, argc > 1 ? static_cast<uint32_t>(std::strtoul(argv[1], nullptr, 10))
+                  : 50);
+  const uint32_t forks = std::max<uint32_t>(
+      2, argc > 2 ? static_cast<uint32_t>(std::strtoul(argv[2], nullptr, 10))
+                  : 8);
 
   // Specification: ingest -> [ prepare -> { evaluate } -> select ]* -> publish
   // with a loop around prepare/evaluate/select and a fork around evaluate.
@@ -42,11 +46,15 @@ int main(int argc, char** argv) {
     std::fprintf(stderr, "%s\n", spec.status().ToString().c_str());
     return 1;
   }
-  // Hierarchy ids follow declaration order: loop=1, fork=2.
-  auto scheme = CreateSpecScheme(SpecSchemeKind::kTcm);
-  if (!scheme->Build(spec->graph()).ok()) return 1;
+  auto service =
+      ProvenanceService::Create(std::move(spec).value(), SpecSchemeKind::kTcm);
+  if (!service.ok()) {
+    std::fprintf(stderr, "%s\n", service.status().ToString().c_str());
+    return 1;
+  }
 
-  OnlineLabeler monitor(&spec.value(), scheme.get());
+  // Hierarchy ids follow declaration order: loop=1, fork=2.
+  RunSession monitor = service->OpenSession();
   auto die = [](const Status& st) {
     std::fprintf(stderr, "event error: %s\n", st.ToString().c_str());
     std::exit(1);
@@ -111,23 +119,32 @@ int main(int argc, char** argv) {
               "(%.2f ms, O(depth) per query)\n",
               dependent, monitor.num_vertices(), sw.ElapsedMillis());
 
-  // The run completes; freeze into constant-time labels.
+  // The run completes; seal into constant-time labels inside the service.
   ok(monitor.EndExecution());
   auto publish_v = monitor.ExecuteModule("publish");
   if (!publish_v.ok()) die(publish_v.status());
-  auto labeling = std::move(monitor).Finish();
-  if (!labeling.ok()) die(labeling.status());
-  std::printf("\nrun complete: %u-bit final labels; publish depends on "
-              "ingest: %s\n",
-              labeling->label_bits(),
-              labeling->Reaches(*ingest_v, *publish_v) ? "yes" : "no");
-  std::printf("relationship(first eval, last eval) = %s\n",
-              RunRelationshipName(
-                  labeling->Relate(first_iter_evals[0],
-                                   last_iter_evals[0])));
-  std::printf("relationship(two parallel evals)    = %s\n",
-              RunRelationshipName(
-                  labeling->Relate(last_iter_evals[0],
-                                   last_iter_evals[1])));
+  auto id = std::move(monitor).Seal();
+  if (!id.ok()) die(id.status());
+  auto stats = service->Stats(*id);
+  if (!stats.ok()) die(stats.status());
+  auto final_dep = service->Reaches(*id, *ingest_v, *publish_v);
+  if (!final_dep.ok()) die(final_dep.status());
+  std::printf("\nrun complete: sealed as run #%llu; %u-bit final labels; "
+              "publish depends on ingest: %s\n",
+              static_cast<unsigned long long>(id->value()),
+              stats->label_bits, *final_dep ? "yes" : "no");
+
+  // Constant-time answers now come from the registry; batch queries take
+  // the reader lock once.
+  std::vector<VertexPair> pairs = {
+      {first_iter_evals[0], last_iter_evals[0]},
+      {last_iter_evals[0], last_iter_evals[1]},
+  };
+  auto answers = service->ReachesBatch(*id, pairs);
+  if (!answers.ok()) die(answers.status());
+  std::printf("first eval feeds last eval = %s\n",
+              (*answers)[0] ? "yes" : "no");
+  std::printf("two parallel evals related = %s\n",
+              (*answers)[1] ? "yes" : "no (parallel)");
   return 0;
 }

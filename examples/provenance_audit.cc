@@ -1,11 +1,13 @@
-// Provenance audit over a bioinformatics-style workflow (Section 6 usage).
+// Provenance audit over a bioinformatics-style workflow (Section 6 usage),
+// driven through ProvenanceService: the run is registered once with its data
+// catalog, and every audit question is answered from the service's registry
+// — no graph traversal over the run, no scheme plumbing at the call sites.
 //
 // Scenario: a QBLAST-like pipeline ran with hundreds of module executions.
 // Quality control flags one module execution as faulty; the analyst needs
 // (a) every data item downstream of the faulty execution (to invalidate),
 // and (b) the upstream executions that a chosen final item depended on
-// (to re-examine inputs). Both are answered from labels alone — no graph
-// traversal over the run.
+// (to re-examine inputs).
 //
 //   $ ./provenance_audit [target_run_size]
 #include <cstdio>
@@ -13,8 +15,7 @@
 #include <vector>
 
 #include "src/common/stopwatch.h"
-#include "src/core/data_provenance.h"
-#include "src/core/skeleton_labeler.h"
+#include "src/skl.h"
 #include "src/workload/data_generator.h"
 #include "src/workload/real_workflows.h"
 #include "src/workload/run_generator.h"
@@ -46,22 +47,26 @@ int main(int argc, char** argv) {
   std::printf("simulated run: %u executions, %zu channels\n",
               run.num_vertices(), run.num_edges());
 
-  SkeletonLabeler labeler(&spec.value(), SpecSchemeKind::kTcm);
-  if (!labeler.Init().ok()) return 1;
-  Stopwatch sw;
-  auto labeling = labeler.LabelRun(run);
-  if (!labeling.ok()) {
-    std::fprintf(stderr, "%s\n", labeling.status().ToString().c_str());
-    return 1;
-  }
-  std::printf("labeled in %.2f ms (%u-bit labels)\n\n", sw.ElapsedMillis(),
-              labeling->label_bits());
-
   DataGenOptions dopt;
   dopt.seed = 7;
   DataCatalog catalog = GenerateDataCatalog(run, dopt);
-  auto dp = DataProvenance::Build(&labeling.value(), catalog);
-  if (!dp.ok()) return 1;
+
+  auto service =
+      ProvenanceService::Create(std::move(spec).value(), SpecSchemeKind::kTcm);
+  if (!service.ok()) {
+    std::fprintf(stderr, "%s\n", service.status().ToString().c_str());
+    return 1;
+  }
+  Stopwatch sw;
+  auto id = service->AddRun(run, &catalog);
+  if (!id.ok()) {
+    std::fprintf(stderr, "%s\n", id.status().ToString().c_str());
+    return 1;
+  }
+  auto stats = service->Stats(*id);
+  if (!stats.ok()) return 1;
+  std::printf("registered in %.2f ms (%u-bit labels)\n", sw.ElapsedMillis(),
+              stats->label_bits);
   std::printf("data catalog: %zu items (max %zu readers per item)\n\n",
               catalog.size(), catalog.MaxInputs());
 
@@ -70,7 +75,8 @@ int main(int argc, char** argv) {
   sw.Restart();
   size_t affected = 0;
   for (DataItemId x = 0; x < catalog.size(); ++x) {
-    if (dp->DataDependsOnModule(x, faulty)) ++affected;
+    auto dep = service->DataDependsOnModule(*id, x, faulty);
+    if (dep.ok() && *dep) ++affected;
   }
   std::printf("fault audit: execution #%u ('%s') taints %zu/%zu items "
               "(%.2f ms via labels)\n",
@@ -82,18 +88,22 @@ int main(int argc, char** argv) {
   sw.Restart();
   size_t contributors = 0;
   for (VertexId v = 0; v < run.num_vertices(); ++v) {
-    if (dp->DataDependsOnModule(last, v)) ++contributors;
+    auto fed = service->DataDependsOnModule(*id, last, v);
+    if (fed.ok() && *fed) ++contributors;
   }
   std::printf("root cause: item #%u depends on %zu/%u executions "
               "(%.2f ms via labels)\n",
               last, contributors, run.num_vertices(), sw.ElapsedMillis());
 
-  // (c) Item-to-item dependency spot checks.
-  size_t deps = 0;
+  // (c) Item-to-item dependency spot checks, batched under one reader lock.
   const size_t sample = std::min<size_t>(catalog.size(), 200);
-  for (DataItemId x = 0; x < sample; ++x) {
-    if (dp->DependsOn(last, x)) ++deps;
-  }
+  std::vector<ItemPair> pairs;
+  pairs.reserve(sample);
+  for (DataItemId x = 0; x < sample; ++x) pairs.push_back({last, x});
+  auto answers = service->DependsOnBatch(*id, pairs);
+  if (!answers.ok()) return 1;
+  size_t deps = 0;
+  for (bool a : *answers) deps += a ? 1 : 0;
   std::printf("lineage: item #%u depends on %zu of the first %zu items\n",
               last, deps, sample);
   return 0;

@@ -1,16 +1,15 @@
-// Quickstart: the paper's running example end to end.
+// Quickstart: the paper's running example end to end, against the
+// service-level API. Everything needed is in the umbrella header.
 //
 // Builds the Figure 2 specification (fork F1, loops L1/L2, fork F2), the
-// Figure 3 run, labels the run with skeleton labels (TCM on the spec), and
-// answers the three provenance queries from the paper's introduction.
+// Figure 3 run, registers the run with a ProvenanceService (TCM skeleton,
+// labeled once), and answers the provenance queries from the paper's
+// introduction.
 //
 //   $ ./quickstart
 #include <cstdio>
-#include <string>
 
-#include "src/core/skeleton_labeler.h"
-#include "src/workflow/run.h"
-#include "src/workflow/specification.h"
+#include "src/skl.h"
 
 namespace {
 
@@ -73,22 +72,26 @@ int main() {
   std::printf("run: %u module executions, %zu data channels\n\n",
               run->num_vertices(), run->num_edges());
 
-  // Label the specification once (TCM), then the run.
-  SkeletonLabeler labeler(&spec.value(), SpecSchemeKind::kTcm);
-  if (Status st = labeler.Init(); !st.ok()) {
-    std::fprintf(stderr, "init: %s\n", st.ToString().c_str());
+  // The service labels the specification skeleton once (TCM); every run
+  // added afterwards amortizes that cost.
+  auto service =
+      ProvenanceService::Create(std::move(spec).value(), SpecSchemeKind::kTcm);
+  if (!service.ok()) {
+    std::fprintf(stderr, "service: %s\n",
+                 service.status().ToString().c_str());
     return 1;
   }
-  auto labeling = labeler.LabelRun(*run);
-  if (!labeling.ok()) {
-    std::fprintf(stderr, "label: %s\n",
-                 labeling.status().ToString().c_str());
+  auto id = service->AddRun(*run);
+  if (!id.ok()) {
+    std::fprintf(stderr, "label: %s\n", id.status().ToString().c_str());
     return 1;
   }
+  auto stats = service->Stats(*id);
+  if (!stats.ok()) return 1;
   std::printf("labels: %u bits each (3x%u context + %u origin), "
               "%u nonempty plan nodes\n\n",
-              labeling->label_bits(), labeling->context_bits() / 3,
-              labeling->origin_bits(), labeling->num_nonempty_plus());
+              stats->label_bits, stats->context_bits / 3,
+              stats->origin_bits, stats->num_nonempty_plus);
 
   struct Query {
     const char* text;
@@ -105,11 +108,24 @@ int main() {
       {"does f3 see f2's data (parallel fork copies)?", f2, f3},
   };
   for (const Query& q : queries) {
-    bool used_skeleton = false;
-    bool answer =
-        labeling->ReachesWithStats(q.from, q.to, &used_skeleton);
-    std::printf("  %-62s %-3s (%s)\n", q.text, answer ? "yes" : "no",
-                used_skeleton ? "skeleton label" : "extended labels only");
+    auto answer = service->Reaches(*id, q.from, q.to);
+    if (!answer.ok()) {
+      std::fprintf(stderr, "query: %s\n",
+                   answer.status().ToString().c_str());
+      return 1;
+    }
+    std::printf("  %-62s %s\n", q.text, *answer ? "yes" : "no");
   }
+
+  // Persist and restore: a blob round-trip stays queryable.
+  auto blob = service->ExportRun(*id);
+  if (!blob.ok()) return 1;
+  auto restored = service->ImportRun(*blob);
+  if (!restored.ok()) return 1;
+  auto check = service->Reaches(*restored, b1, c3);
+  std::printf("\npersisted blob: %zu bytes; restored run answers match: %s\n",
+              blob->size(),
+              check.ok() && *check == *service->Reaches(*id, b1, c3)
+                  ? "yes" : "no");
   return 0;
 }

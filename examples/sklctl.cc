@@ -1,4 +1,5 @@
-// sklctl: command-line front end over the XML formats.
+// sklctl: command-line front end over the XML formats, built on the
+// service-level API (skl::ProvenanceService).
 //
 //   sklctl demo-spec > spec.xml          write the running-example spec
 //   sklctl demo-run spec.xml > run.xml   simulate a run of a spec
@@ -6,16 +7,18 @@
 //   sklctl label spec.xml run.xml        label and answer stdin queries
 //                                        ("<from-id> <to-id>" per line)
 //   sklctl stats spec.xml run.xml        print plan/label statistics
+//
+// label/stats accept --scheme=tcm|bfs|dfs|interval|tree-cover|chain|2hop
+// to pick the skeleton labeling scheme (default tcm).
 #include <cstdio>
 #include <cstring>
 #include <fstream>
 #include <iostream>
 #include <sstream>
 #include <string>
+#include <vector>
 
-#include "src/core/plan_builder.h"
-#include "src/core/skeleton_labeler.h"
-#include "src/io/workflow_xml.h"
+#include "src/skl.h"
 #include "src/workload/real_workflows.h"
 #include "src/workload/run_generator.h"
 
@@ -47,20 +50,40 @@ Result<Run> LoadRun(const char* path) {
 }
 
 int Usage() {
-  std::fprintf(stderr,
-               "usage: sklctl demo-spec\n"
-               "       sklctl demo-run <spec.xml> [target_size] [seed]\n"
-               "       sklctl validate <spec.xml> <run.xml>\n"
-               "       sklctl label <spec.xml> <run.xml>\n"
-               "       sklctl stats <spec.xml> <run.xml>\n");
+  std::fprintf(
+      stderr,
+      "usage: sklctl demo-spec\n"
+      "       sklctl demo-run <spec.xml> [target_size] [seed]\n"
+      "       sklctl validate <spec.xml> <run.xml>\n"
+      "       sklctl label [--scheme=<name>] <spec.xml> <run.xml>\n"
+      "       sklctl stats [--scheme=<name>] <spec.xml> <run.xml>\n"
+      "scheme names: tcm (default), bfs, dfs, interval, tree-cover, "
+      "chain, 2hop\n");
   return 2;
 }
 
 }  // namespace
 
 int main(int argc, char** argv) {
-  if (argc < 2) return Usage();
-  const std::string cmd = argv[1];
+  // Split argv into the command, --scheme, and positional arguments.
+  std::string cmd;
+  SpecSchemeKind scheme_kind = SpecSchemeKind::kTcm;
+  std::vector<const char*> args;
+  for (int i = 1; i < argc; ++i) {
+    if (std::strncmp(argv[i], "--scheme=", 9) == 0) {
+      auto parsed = ParseSpecSchemeKind(argv[i] + 9);
+      if (!parsed.ok()) return Fail(parsed.status());
+      scheme_kind = *parsed;
+    } else if (std::strncmp(argv[i], "--", 2) == 0) {
+      std::fprintf(stderr, "error: unknown option '%s'\n", argv[i]);
+      return Usage();
+    } else if (cmd.empty()) {
+      cmd = argv[i];
+    } else {
+      args.push_back(argv[i]);
+    }
+  }
+  if (cmd.empty()) return Usage();
 
   if (cmd == "demo-spec") {
     auto spec = BuildRunningExampleSpec();
@@ -70,15 +93,16 @@ int main(int argc, char** argv) {
   }
 
   if (cmd == "demo-run") {
-    if (argc < 3) return Usage();
-    auto spec = LoadSpec(argv[2]);
+    if (args.empty()) return Usage();
+    auto spec = LoadSpec(args[0]);
     if (!spec.ok()) return Fail(spec.status());
     RunGenerator generator(&spec.value());
     RunGenOptions opt;
     opt.target_vertices =
-        argc > 3 ? static_cast<uint32_t>(std::strtoul(argv[3], nullptr, 10))
-                 : 100;
-    opt.seed = argc > 4 ? std::strtoull(argv[4], nullptr, 10) : 1;
+        args.size() > 1
+            ? static_cast<uint32_t>(std::strtoul(args[1], nullptr, 10))
+            : 100;
+    opt.seed = args.size() > 2 ? std::strtoull(args[2], nullptr, 10) : 1;
     auto gen = generator.Generate(opt);
     if (!gen.ok()) return Fail(gen.status());
     std::fputs(WriteRunXml(gen->run).c_str(), stdout);
@@ -86,10 +110,10 @@ int main(int argc, char** argv) {
   }
 
   if (cmd == "validate" || cmd == "label" || cmd == "stats") {
-    if (argc < 4) return Usage();
-    auto spec = LoadSpec(argv[2]);
+    if (args.size() < 2) return Usage();
+    auto spec = LoadSpec(args[0]);
     if (!spec.ok()) return Fail(spec.status());
-    auto run = LoadRun(argv[3]);
+    auto run = LoadRun(args[1]);
     if (!run.ok()) return Fail(run.status());
 
     auto recovered = ConstructPlan(*spec, *run);
@@ -103,22 +127,27 @@ int main(int argc, char** argv) {
       return 0;
     }
     if (!recovered.ok()) return Fail(recovered.status());
+    const size_t plan_nodes = recovered->plan.num_nodes();
 
-    SkeletonLabeler labeler(&spec.value(), SpecSchemeKind::kTcm);
-    if (Status st = labeler.Init(); !st.ok()) return Fail(st);
-    auto labeling = labeler.LabelRunWithPlan(*run, recovered->plan,
-                                             recovered->origin);
-    if (!labeling.ok()) return Fail(labeling.status());
+    auto service =
+        ProvenanceService::Create(std::move(spec).value(), scheme_kind);
+    if (!service.ok()) return Fail(service.status());
+    auto id = service->AddRunWithPlan(*run, recovered->plan,
+                                      std::move(recovered->origin));
+    if (!id.ok()) return Fail(id.status());
 
     if (cmd == "stats") {
+      auto stats = service->Stats(*id);
+      if (!stats.ok()) return Fail(stats.status());
+      std::printf("scheme:              %s\n",
+                  SpecSchemeKindName(scheme_kind));
       std::printf("run vertices:        %u\n", run->num_vertices());
       std::printf("run edges:           %zu\n", run->num_edges());
-      std::printf("plan nodes:          %zu\n", recovered->plan.num_nodes());
-      std::printf("nonempty + nodes:    %u\n",
-                  labeling->num_nonempty_plus());
+      std::printf("plan nodes:          %zu\n", plan_nodes);
+      std::printf("nonempty + nodes:    %u\n", stats->num_nonempty_plus);
       std::printf("bits per label:      %u (3x%u context + %u origin)\n",
-                  labeling->label_bits(), labeling->context_bits() / 3,
-                  labeling->origin_bits());
+                  stats->label_bits, stats->context_bits / 3,
+                  stats->origin_bits);
       return 0;
     }
     // label: answer "<from> <to>" queries from stdin.
@@ -132,8 +161,10 @@ int main(int argc, char** argv) {
         std::printf("? bad query: %s\n", line.c_str());
         continue;
       }
+      auto reach = service->Reaches(*id, u, v);
+      if (!reach.ok()) return Fail(reach.status());
       std::printf("%u -> %u : %s\n", u, v,
-                  labeling->Reaches(u, v) ? "reachable" : "unreachable");
+                  *reach ? "reachable" : "unreachable");
     }
     return 0;
   }

@@ -25,6 +25,11 @@
 // The event stream must be well-parenthesized (depth-first); engines that
 // interleave parallel branches can partition their log per branch, which is
 // exactly what Taverna-style logs provide.
+//
+// Deprecated as an entry point: new code should open a RunSession via
+// skl::ProvenanceService::OpenSession (src/core/provenance_service.h),
+// which wraps this class and Seal()s the finished run into the service's
+// registry.
 #ifndef SKL_CORE_ONLINE_LABELER_H_
 #define SKL_CORE_ONLINE_LABELER_H_
 

@@ -1,0 +1,247 @@
+#include "src/core/provenance_service.h"
+
+#include <mutex>
+#include <string>
+
+#include "src/core/plan_builder.h"
+
+namespace skl {
+
+namespace {
+
+/// The catalog is captured verbatim into the store; reject out-of-range
+/// vertices up front so store queries can index labels unchecked.
+Status ValidateCatalog(const DataCatalog& catalog, VertexId num_vertices) {
+  for (DataItemId x = 0; x < catalog.size(); ++x) {
+    if (catalog.OutputOf(x) >= num_vertices) {
+      return Status::InvalidArgument("catalog item " + std::to_string(x) +
+                                     " written by unknown vertex");
+    }
+    for (VertexId r : catalog.InputsOf(x)) {
+      if (r >= num_vertices) {
+        return Status::InvalidArgument("catalog item " + std::to_string(x) +
+                                       " read by unknown vertex");
+      }
+    }
+  }
+  return Status::OK();
+}
+
+}  // namespace
+
+ProvenanceService::ProvenanceService(
+    std::unique_ptr<const Specification> spec,
+    std::unique_ptr<SpecLabelingScheme> scheme)
+    : spec_(std::move(spec)),
+      scheme_(std::move(scheme)),
+      mu_(std::make_unique<std::shared_mutex>()) {}
+
+Result<ProvenanceService> ProvenanceService::Create(
+    Specification spec, SpecSchemeKind scheme_kind) {
+  return Create(std::move(spec), CreateSpecScheme(scheme_kind));
+}
+
+Result<ProvenanceService> ProvenanceService::Create(
+    Specification spec, std::unique_ptr<SpecLabelingScheme> scheme) {
+  if (scheme == nullptr) {
+    return Status::InvalidArgument("null labeling scheme");
+  }
+  auto owned_spec =
+      std::make_unique<const Specification>(std::move(spec));
+  SKL_RETURN_NOT_OK(scheme->Build(owned_spec->graph()));
+  return ProvenanceService(std::move(owned_spec), std::move(scheme));
+}
+
+Result<RunId> ProvenanceService::AddRun(const Run& run,
+                                        const DataCatalog* catalog) {
+  SKL_ASSIGN_OR_RETURN(RecoveredPlan recovered, ConstructPlan(*spec_, run));
+  return AddRunWithPlan(run, recovered.plan, std::move(recovered.origin),
+                        catalog);
+}
+
+Result<RunId> ProvenanceService::AddRunWithPlan(const Run& run,
+                                                const ExecutionPlan& plan,
+                                                std::vector<VertexId> origin,
+                                                const DataCatalog* catalog) {
+  if (origin.size() != run.num_vertices()) {
+    return Status::InvalidArgument("origin size does not match run");
+  }
+  SKL_ASSIGN_OR_RETURN(
+      RunLabeling labeling,
+      RunLabeling::FromPlan(*spec_, scheme_.get(), plan, std::move(origin)));
+  return Register(labeling, catalog, /*imported=*/false);
+}
+
+RunSession ProvenanceService::OpenSession() {
+  return RunSession(this, spec_.get(), scheme_.get());
+}
+
+Status ProvenanceService::RemoveRun(RunId id) {
+  std::unique_lock lock(*mu_);
+  if (runs_.erase(id.value()) == 0) {
+    return Status::NotFound("unknown run id");
+  }
+  return Status::OK();
+}
+
+Result<RunId> ProvenanceService::Register(const RunLabeling& labeling,
+                                          const DataCatalog* catalog,
+                                          bool imported) {
+  if (catalog != nullptr) {
+    SKL_RETURN_NOT_OK(ValidateCatalog(*catalog, labeling.num_vertices()));
+  }
+  RunRecord record;
+  record.store = ProvenanceStore::Capture(labeling, catalog);
+  record.stats.num_vertices = labeling.num_vertices();
+  record.stats.num_items = record.store.num_items();
+  record.stats.label_bits = labeling.label_bits();
+  record.stats.context_bits = labeling.context_bits();
+  record.stats.origin_bits = labeling.origin_bits();
+  record.stats.num_nonempty_plus = labeling.num_nonempty_plus();
+  record.stats.imported = imported;
+
+  std::unique_lock lock(*mu_);
+  RunId id(next_id_++);
+  runs_.emplace(id.value(), std::move(record));
+  return id;
+}
+
+const ProvenanceService::RunRecord* ProvenanceService::FindLocked(
+    RunId id) const {
+  auto it = runs_.find(id.value());
+  return it == runs_.end() ? nullptr : &it->second;
+}
+
+Result<bool> ProvenanceService::Reaches(RunId id, VertexId v,
+                                        VertexId w) const {
+  std::shared_lock lock(*mu_);
+  const RunRecord* record = FindLocked(id);
+  if (record == nullptr) return Status::NotFound("unknown run id");
+  if (v >= record->stats.num_vertices || w >= record->stats.num_vertices) {
+    return Status::InvalidArgument("vertex out of range for run");
+  }
+  return record->store.Reaches(v, w, *scheme_);
+}
+
+Result<std::vector<bool>> ProvenanceService::ReachesBatch(
+    RunId id, std::span<const VertexPair> pairs) const {
+  std::shared_lock lock(*mu_);
+  const RunRecord* record = FindLocked(id);
+  if (record == nullptr) return Status::NotFound("unknown run id");
+  const VertexId n = record->stats.num_vertices;
+  std::vector<bool> answers;
+  answers.reserve(pairs.size());
+  for (const auto& [v, w] : pairs) {
+    if (v >= n || w >= n) {
+      return Status::InvalidArgument("vertex out of range for run");
+    }
+    answers.push_back(record->store.Reaches(v, w, *scheme_));
+  }
+  return answers;
+}
+
+Result<bool> ProvenanceService::DependsOn(RunId id, DataItemId x,
+                                          DataItemId x_from) const {
+  std::shared_lock lock(*mu_);
+  const RunRecord* record = FindLocked(id);
+  if (record == nullptr) return Status::NotFound("unknown run id");
+  return record->store.DependsOn(x, x_from, *scheme_);
+}
+
+Result<std::vector<bool>> ProvenanceService::DependsOnBatch(
+    RunId id, std::span<const ItemPair> pairs) const {
+  std::shared_lock lock(*mu_);
+  const RunRecord* record = FindLocked(id);
+  if (record == nullptr) return Status::NotFound("unknown run id");
+  std::vector<bool> answers;
+  answers.reserve(pairs.size());
+  for (const auto& [x, x_from] : pairs) {
+    SKL_ASSIGN_OR_RETURN(bool dep,
+                         record->store.DependsOn(x, x_from, *scheme_));
+    answers.push_back(dep);
+  }
+  return answers;
+}
+
+Result<bool> ProvenanceService::ModuleDependsOnData(RunId id, VertexId v,
+                                                    DataItemId x) const {
+  std::shared_lock lock(*mu_);
+  const RunRecord* record = FindLocked(id);
+  if (record == nullptr) return Status::NotFound("unknown run id");
+  return record->store.ModuleDependsOnData(v, x, *scheme_);
+}
+
+Result<bool> ProvenanceService::DataDependsOnModule(RunId id, DataItemId x,
+                                                    VertexId v) const {
+  std::shared_lock lock(*mu_);
+  const RunRecord* record = FindLocked(id);
+  if (record == nullptr) return Status::NotFound("unknown run id");
+  return record->store.DataDependsOnModule(x, v, *scheme_);
+}
+
+Result<std::vector<uint8_t>> ProvenanceService::ExportRun(RunId id) const {
+  std::shared_lock lock(*mu_);
+  const RunRecord* record = FindLocked(id);
+  if (record == nullptr) return Status::NotFound("unknown run id");
+  return record->store.Serialize();
+}
+
+Result<RunId> ProvenanceService::ImportRun(
+    const std::vector<uint8_t>& blob) {
+  SKL_ASSIGN_OR_RETURN(ProvenanceStore store,
+                       ProvenanceStore::Deserialize(blob));
+  // The blob must stem from a run of this service's specification: every
+  // origin must name a spec vertex, or queries would index the scheme out
+  // of range.
+  const VertexId n_g = spec_->graph().num_vertices();
+  for (VertexId v = 0; v < store.num_vertices(); ++v) {
+    if (store.label(v).origin >= n_g) {
+      return Status::InvalidArgument(
+          "blob references spec vertex " +
+          std::to_string(store.label(v).origin) +
+          " unknown to this service's specification");
+    }
+  }
+  RunRecord record;
+  record.stats.num_vertices = store.num_vertices();
+  record.stats.num_items = store.num_items();
+  record.stats.imported = true;
+  record.store = std::move(store);
+
+  std::unique_lock lock(*mu_);
+  RunId id(next_id_++);
+  runs_.emplace(id.value(), std::move(record));
+  return id;
+}
+
+bool ProvenanceService::Contains(RunId id) const {
+  std::shared_lock lock(*mu_);
+  return FindLocked(id) != nullptr;
+}
+
+size_t ProvenanceService::num_runs() const {
+  std::shared_lock lock(*mu_);
+  return runs_.size();
+}
+
+Result<RunStats> ProvenanceService::Stats(RunId id) const {
+  std::shared_lock lock(*mu_);
+  const RunRecord* record = FindLocked(id);
+  if (record == nullptr) return Status::NotFound("unknown run id");
+  return record->stats;
+}
+
+std::vector<RunId> ProvenanceService::ListRuns() const {
+  std::shared_lock lock(*mu_);
+  std::vector<RunId> ids;
+  ids.reserve(runs_.size());
+  for (const auto& kv : runs_) ids.push_back(RunId(kv.first));
+  return ids;
+}
+
+Result<RunId> RunSession::Seal(const DataCatalog* catalog) && {
+  SKL_ASSIGN_OR_RETURN(RunLabeling labeling, std::move(labeler_).Finish());
+  return service_->Register(labeling, catalog, /*imported=*/false);
+}
+
+}  // namespace skl

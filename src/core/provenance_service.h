@@ -1,0 +1,262 @@
+// ProvenanceService: the service-level entry point of the library, built for
+// the paper's amortization argument — label the specification skeleton once,
+// then cheaply label, query and persist *many* runs against it.
+//
+// The service owns the specification and its built skeleton scheme, and keeps
+// a registry of labeled runs behind opaque RunId handles. Three ingestion
+// paths feed the registry:
+//
+//   skl::ProvenanceService svc = *ProvenanceService::Create(
+//       std::move(spec), SpecSchemeKind::kTcm);
+//   RunId a = *svc.AddRun(run);                       // raw run graph
+//   RunId b = *svc.AddRunWithPlan(run, plan, origin); // engine-provided plan
+//   RunSession s = svc.OpenSession();                 // live event stream
+//   s.ExecuteModule("align"); ...
+//   RunId c = *std::move(s).Seal();
+//
+// Queries are self-contained — no scheme parameter, unlike the lower-level
+// facades — and guarded by a std::shared_mutex so concurrent readers never
+// block each other:
+//
+//   bool dep = *svc.Reaches(a, v, w);
+//   auto answers = *svc.ReachesBatch(a, pairs);       // one lock, many pairs
+//
+// Persistence round-trips through the ProvenanceStore blob format; an
+// imported blob is immediately queryable against the service's scheme:
+//
+//   std::vector<uint8_t> blob = *svc.ExportRun(a);
+//   RunId restored = *svc.ImportRun(blob);
+//
+// Threading contract: every public method is safe to call concurrently.
+// Ingestion does the expensive labeling outside the lock and takes the
+// writer lock only to publish into the registry. The service must not be
+// moved while other threads use it or while sessions are open.
+#ifndef SKL_CORE_PROVENANCE_SERVICE_H_
+#define SKL_CORE_PROVENANCE_SERVICE_H_
+
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <shared_mutex>
+#include <span>
+#include <string_view>
+#include <utility>
+#include <vector>
+
+#include "src/common/status.h"
+#include "src/core/data_provenance.h"
+#include "src/core/online_labeler.h"
+#include "src/core/provenance_store.h"
+#include "src/core/run_labeling.h"
+#include "src/speclabel/scheme.h"
+#include "src/workflow/run.h"
+#include "src/workflow/specification.h"
+
+namespace skl {
+
+/// Opaque handle to a run registered with a ProvenanceService. Handles are
+/// never reused, so a stale handle (e.g. after RemoveRun) fails cleanly with
+/// NotFound instead of silently addressing another run.
+class RunId {
+ public:
+  RunId() = default;
+
+  uint64_t value() const { return value_; }
+  bool valid() const { return value_ != 0; }
+
+  friend bool operator==(RunId a, RunId b) { return a.value_ == b.value_; }
+  friend bool operator!=(RunId a, RunId b) { return a.value_ != b.value_; }
+
+  /// Reconstructs a handle from its numeric value (e.g. parsed from a CLI
+  /// argument or a log line). Unknown values fail queries with NotFound.
+  static RunId FromValue(uint64_t value) { return RunId(value); }
+
+ private:
+  friend class ProvenanceService;
+  explicit RunId(uint64_t value) : value_(value) {}
+
+  uint64_t value_ = 0;  // 0 = invalid
+};
+
+/// Pair types for the batch query variants.
+using VertexPair = std::pair<VertexId, VertexId>;
+using ItemPair = std::pair<DataItemId, DataItemId>;
+
+/// Per-run bookkeeping returned by ProvenanceService::Stats.
+struct RunStats {
+  VertexId num_vertices = 0;
+  size_t num_items = 0;        ///< data items in the catalog (0 if none)
+  uint32_t label_bits = 0;     ///< per-label bits; 0 for imported runs
+  uint32_t context_bits = 0;   ///< 3 * ceil(log2 n_T^+); 0 for imported runs
+  uint32_t origin_bits = 0;    ///< ceil(log2 n_G); 0 for imported runs
+  uint32_t num_nonempty_plus = 0;  ///< nonempty + nodes; 0 for imported runs
+  bool imported = false;       ///< true when ingested via ImportRun
+};
+
+class RunSession;
+
+/// One specification + one built skeleton scheme + many labeled runs.
+class ProvenanceService {
+ public:
+  /// Builds the skeleton index once over `spec` (moved in). All runs later
+  /// registered with the service are labeled and queried against it.
+  static Result<ProvenanceService> Create(Specification spec,
+                                          SpecSchemeKind scheme_kind);
+  /// As above with a caller-constructed (not yet built) scheme.
+  static Result<ProvenanceService> Create(
+      Specification spec, std::unique_ptr<SpecLabelingScheme> scheme);
+
+  ProvenanceService(ProvenanceService&&) = default;
+  ProvenanceService& operator=(ProvenanceService&&) = default;
+
+  // ------------------------------------------------------------ ingestion --
+
+  /// Labels a raw run graph (recovers plan + context, Section 5) and
+  /// registers it. The run graph can be discarded afterwards; only the
+  /// bit-packed labels (and the catalog, if given) are retained.
+  Result<RunId> AddRun(const Run& run, const DataCatalog* catalog = nullptr);
+
+  /// Registers a run whose plan + context are already known (e.g. from the
+  /// workflow engine's log, as Taverna provides).
+  Result<RunId> AddRunWithPlan(const Run& run, const ExecutionPlan& plan,
+                               std::vector<VertexId> origin,
+                               const DataCatalog* catalog = nullptr);
+
+  /// Opens a live labeling session for an in-flight run (Section 9): feed
+  /// events as they happen, query intermediate results mid-run, then Seal()
+  /// into a registered run. The session must not outlive the service.
+  RunSession OpenSession();
+
+  /// Removes a run. Its RunId is never reused.
+  Status RemoveRun(RunId id);
+
+  // -------------------------------------------------------------- queries --
+
+  /// Module-level reachability (reflexive): is there a path v ~> w in the
+  /// identified run?
+  Result<bool> Reaches(RunId id, VertexId v, VertexId w) const;
+
+  /// Answers many reachability queries under one reader lock; answers[i]
+  /// corresponds to pairs[i].
+  Result<std::vector<bool>> ReachesBatch(
+      RunId id, std::span<const VertexPair> pairs) const;
+
+  /// Item-level dependency (Section 6): does item x depend on x_from?
+  Result<bool> DependsOn(RunId id, DataItemId x, DataItemId x_from) const;
+
+  /// Batch variant of DependsOn; answers[i] corresponds to pairs[i].
+  Result<std::vector<bool>> DependsOnBatch(
+      RunId id, std::span<const ItemPair> pairs) const;
+
+  /// Did module execution v read data derived from item x?
+  Result<bool> ModuleDependsOnData(RunId id, VertexId v, DataItemId x) const;
+
+  /// Is item x downstream of module execution v?
+  Result<bool> DataDependsOnModule(RunId id, DataItemId x, VertexId v) const;
+
+  // ---------------------------------------------------------- persistence --
+
+  /// Serializes a registered run to the self-describing ProvenanceStore
+  /// blob (labels + catalog; the paper's "what the provenance database
+  /// stores").
+  Result<std::vector<uint8_t>> ExportRun(RunId id) const;
+
+  /// Registers a run from a blob previously produced by ExportRun (or by
+  /// ProvenanceStore::Serialize). The blob must stem from a run of this
+  /// service's specification; it is immediately queryable.
+  Result<RunId> ImportRun(const std::vector<uint8_t>& blob);
+
+  // ------------------------------------------------------------- registry --
+
+  bool Contains(RunId id) const;
+  size_t num_runs() const;
+  Result<RunStats> Stats(RunId id) const;
+  /// Handles of all registered runs, in registration order.
+  std::vector<RunId> ListRuns() const;
+
+  const Specification& spec() const { return *spec_; }
+  const SpecLabelingScheme& scheme() const { return *scheme_; }
+
+ private:
+  friend class RunSession;
+
+  struct RunRecord {
+    ProvenanceStore store;
+    RunStats stats;
+  };
+
+  ProvenanceService(std::unique_ptr<const Specification> spec,
+                    std::unique_ptr<SpecLabelingScheme> scheme);
+
+  /// Captures a labeling (+ optional catalog) and publishes it under a new
+  /// id. Validates the catalog against the labeling first.
+  Result<RunId> Register(const RunLabeling& labeling,
+                         const DataCatalog* catalog, bool imported);
+
+  /// Looks up a record; the caller must hold `mu_` (shared or unique).
+  const RunRecord* FindLocked(RunId id) const;
+
+  // unique_ptrs keep spec/scheme addresses stable across service moves:
+  // schemes hold a pointer to spec.graph(), sessions to both.
+  std::unique_ptr<const Specification> spec_;
+  std::unique_ptr<SpecLabelingScheme> scheme_;
+
+  mutable std::unique_ptr<std::shared_mutex> mu_;
+  uint64_t next_id_ = 1;  // guarded by mu_
+  // Ids are monotonic and never reused, so ascending key order doubles as
+  // registration order (ListRuns).
+  std::map<uint64_t, RunRecord> runs_;  // guarded by mu_
+};
+
+/// Live labeling of one in-flight run, created by
+/// ProvenanceService::OpenSession. Wraps OnlineLabeler event feeding: the
+/// event stream must be well-parenthesized (depth-first), and mid-run
+/// queries walk the partial plan in O(depth). Seal() freezes the run into
+/// constant-time labels and registers it with the originating service.
+class RunSession {
+ public:
+  RunSession(RunSession&&) = default;
+  RunSession& operator=(RunSession&&) = default;
+
+  /// Starts an execution of the given fork/loop (a child, in T_G, of the
+  /// subgraph whose copy is currently open).
+  Status BeginExecution(HierNodeId subgraph) {
+    return labeler_.BeginExecution(subgraph);
+  }
+  /// Starts the next copy of the currently open execution.
+  Status BeginCopy() { return labeler_.BeginCopy(); }
+  Status EndCopy() { return labeler_.EndCopy(); }
+  Status EndExecution() { return labeler_.EndExecution(); }
+
+  /// Records one module execution inside the currently open copy. Returns
+  /// the new run vertex id, usable in queries immediately.
+  Result<VertexId> ExecuteModule(std::string_view module_name) {
+    return labeler_.ExecuteModule(module_name);
+  }
+
+  /// Mid-run reachability (reflexive): O(plan depth).
+  bool Reaches(VertexId v, VertexId w) const {
+    return labeler_.Reaches(v, w);
+  }
+
+  /// Number of module executions so far.
+  VertexId num_vertices() const { return labeler_.num_vertices(); }
+
+  /// Completes the run and registers it with the service; the session is
+  /// consumed. Every execution must be closed (same contract as
+  /// OnlineLabeler::Finish).
+  Result<RunId> Seal(const DataCatalog* catalog = nullptr) &&;
+
+ private:
+  friend class ProvenanceService;
+  RunSession(ProvenanceService* service, const Specification* spec,
+             const SpecLabelingScheme* scheme)
+      : service_(service), labeler_(spec, scheme) {}
+
+  ProvenanceService* service_;
+  OnlineLabeler labeler_;
+};
+
+}  // namespace skl
+
+#endif  // SKL_CORE_PROVENANCE_SERVICE_H_

@@ -40,22 +40,32 @@ class ProvenanceStore {
 
   const RunLabel& label(VertexId v) const { return labels_[v]; }
 
+  // The scheme-passing query overloads below are deprecated: re-passing the
+  // scheme on every call is error-prone (nothing ties a blob to the scheme
+  // it was labeled under). Prefer the service-bound queries on
+  // skl::ProvenanceService, which hold the scheme once per specification;
+  // these remain as the delegation target the service uses.
+
   /// Module-level reachability against a skeleton scheme built over the
   /// originating specification.
+  /// Deprecated: prefer ProvenanceService::Reaches(RunId, v, w).
   bool Reaches(VertexId v, VertexId w,
                const SpecLabelingScheme& scheme) const {
     return RunLabeling::Decide(labels_[v], labels_[w], scheme);
   }
 
   /// Item-level dependency (paper Section 6): x depends on x_from.
+  /// Deprecated: prefer ProvenanceService::DependsOn(RunId, x, x_from).
   Result<bool> DependsOn(DataItemId x, DataItemId x_from,
                          const SpecLabelingScheme& scheme) const;
 
   /// Did module execution v read data derived from item x?
+  /// Deprecated: prefer ProvenanceService::ModuleDependsOnData.
   Result<bool> ModuleDependsOnData(VertexId v, DataItemId x,
                                    const SpecLabelingScheme& scheme) const;
 
   /// Is item x downstream of module execution v?
+  /// Deprecated: prefer ProvenanceService::DataDependsOnModule.
   Result<bool> DataDependsOnModule(DataItemId x, VertexId v,
                                    const SpecLabelingScheme& scheme) const;
 

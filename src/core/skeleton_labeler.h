@@ -1,12 +1,18 @@
 // Facade tying the pieces together (paper Algorithm 2): label the
 // specification once with a chosen scheme, then label any number of
-// conforming runs. This is the main entry point of the library:
+// conforming runs.
 //
 //   SkeletonLabeler labeler(&spec, SpecSchemeKind::kTcm);
 //   SKL_RETURN_NOT_OK(labeler.Init());
 //   auto labeling = labeler.LabelRun(run);            // raw graph
 //   auto labeling2 = labeler.LabelRunWithPlan(run, plan, origin);  // logs
 //   labeling->Reaches(v, w);
+//
+// Deprecated as an entry point: new code should use skl::ProvenanceService
+// (src/core/provenance_service.h), which owns the spec + scheme, keeps a
+// registry of runs behind RunId handles, and adds thread-safe queries and
+// blob persistence. SkeletonLabeler remains for single-run embedded uses
+// and as the building block the service wraps.
 #ifndef SKL_CORE_SKELETON_LABELER_H_
 #define SKL_CORE_SKELETON_LABELER_H_
 

@@ -1,0 +1,33 @@
+// Umbrella header: the public surface of the SKL library in one include.
+//
+//   #include "src/skl.h"
+//
+//   skl::Specification spec = ...;                       // SpecificationBuilder
+//   auto svc = skl::ProvenanceService::Create(
+//       std::move(spec), skl::SpecSchemeKind::kTcm);     // skeleton labeled once
+//   skl::RunId id = *svc->AddRun(run);                   // many runs, amortized
+//   bool dep = *svc->Reaches(id, v, w);                  // O(1) per query
+//
+// ProvenanceService is the recommended entry point; the lower-level facades
+// (SkeletonLabeler, OnlineLabeler, scheme-passing ProvenanceStore queries)
+// remain available for single-run and embedded uses.
+#ifndef SKL_SKL_H_
+#define SKL_SKL_H_
+
+#include "src/common/status.h"
+#include "src/core/data_provenance.h"
+#include "src/core/execution_plan.h"
+#include "src/core/online_labeler.h"
+#include "src/core/plan_builder.h"
+#include "src/core/provenance_service.h"
+#include "src/core/provenance_store.h"
+#include "src/core/run_labeling.h"
+#include "src/core/skeleton_labeler.h"
+#include "src/graph/digraph.h"
+#include "src/io/workflow_xml.h"
+#include "src/speclabel/scheme.h"
+#include "src/workflow/run.h"
+#include "src/workflow/specification.h"
+#include "src/workflow/validation.h"
+
+#endif  // SKL_SKL_H_

@@ -1,5 +1,7 @@
 #include "src/speclabel/scheme.h"
 
+#include <cctype>
+
 #include "src/common/check.h"
 #include "src/speclabel/chain.h"
 #include "src/speclabel/interval.h"
@@ -28,6 +30,26 @@ const char* SpecSchemeKindName(SpecSchemeKind kind) {
       return "2HOP";
   }
   return "?";
+}
+
+Result<SpecSchemeKind> ParseSpecSchemeKind(std::string_view name) {
+  std::string folded;
+  folded.reserve(name.size());
+  for (char c : name) {
+    if (c == '-' || c == '_') continue;  // "tree-cover" == "treecover"
+    folded.push_back(
+        static_cast<char>(std::toupper(static_cast<unsigned char>(c))));
+  }
+  if (folded == "TCM") return SpecSchemeKind::kTcm;
+  if (folded == "BFS") return SpecSchemeKind::kBfs;
+  if (folded == "DFS") return SpecSchemeKind::kDfs;
+  if (folded == "INTERVAL") return SpecSchemeKind::kInterval;
+  if (folded == "TREECOVER") return SpecSchemeKind::kTreeCover;
+  if (folded == "CHAIN") return SpecSchemeKind::kChain;
+  if (folded == "2HOP" || folded == "TWOHOP") return SpecSchemeKind::kTwoHop;
+  return Status::InvalidArgument(
+      "unknown scheme '" + std::string(name) +
+      "' (expected tcm|bfs|dfs|interval|tree-cover|chain|2hop)");
 }
 
 std::unique_ptr<SpecLabelingScheme> CreateSpecScheme(SpecSchemeKind kind) {

@@ -30,6 +30,12 @@ enum class SpecSchemeKind {
 
 const char* SpecSchemeKindName(SpecSchemeKind kind);
 
+/// Inverse of SpecSchemeKindName, for CLI/config parsing. Accepts the
+/// canonical names ("TCM", "TREECOVER", "2HOP", ...) and the CLI spellings
+/// ("tcm", "tree-cover", "two-hop", ...), case-insensitively. Fails with
+/// InvalidArgument listing the accepted names.
+Result<SpecSchemeKind> ParseSpecSchemeKind(std::string_view name);
+
 /// A built reachability index over one DAG.
 class SpecLabelingScheme {
  public:

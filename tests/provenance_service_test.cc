@@ -1,0 +1,389 @@
+// Tests for the service-level API: multi-run registry isolation, the three
+// ingestion paths (raw run, engine plan, live session), export→import→query
+// equivalence, and a threaded smoke test comparing concurrent answers
+// against single-threaded ones.
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <thread>
+#include <utility>
+#include <vector>
+
+#include "src/core/provenance_service.h"
+#include "src/core/skeleton_labeler.h"
+#include "src/workload/data_generator.h"
+#include "src/workload/query_generator.h"
+#include "src/workload/run_generator.h"
+#include "src/workload/spec_generator.h"
+#include "tests/test_util.h"
+
+namespace skl {
+namespace {
+
+Specification MakeSpec() {
+  return testing_util::MakeRunningExample().spec;
+}
+
+Run MakeGeneratedRun(const Specification& spec, uint32_t target,
+                     uint64_t seed) {
+  RunGenerator generator(&spec);
+  RunGenOptions opt;
+  opt.target_vertices = target;
+  opt.seed = seed;
+  auto gen = generator.Generate(opt);
+  SKL_CHECK_MSG(gen.ok(), gen.status().ToString().c_str());
+  return std::move(gen->run);
+}
+
+/// Reference answers via the low-level facade the service wraps.
+std::vector<std::vector<bool>> ReferenceMatrix(const Specification& spec,
+                                               const Run& run) {
+  SkeletonLabeler labeler(&spec, SpecSchemeKind::kTcm);
+  SKL_CHECK(labeler.Init().ok());
+  auto labeling = labeler.LabelRun(run);
+  SKL_CHECK_MSG(labeling.ok(), labeling.status().ToString().c_str());
+  std::vector<std::vector<bool>> m(run.num_vertices());
+  for (VertexId u = 0; u < run.num_vertices(); ++u) {
+    m[u].resize(run.num_vertices());
+    for (VertexId v = 0; v < run.num_vertices(); ++v) {
+      m[u][v] = labeling->Reaches(u, v);
+    }
+  }
+  return m;
+}
+
+TEST(ProvenanceServiceTest, FigureThreeAnswers) {
+  auto ex = testing_util::MakeRunningExample();
+  auto service = ProvenanceService::Create(std::move(ex.spec),
+                                           SpecSchemeKind::kTcm);
+  ASSERT_TRUE(service.ok()) << service.status().ToString();
+  auto id = service->AddRun(ex.run);
+  ASSERT_TRUE(id.ok()) << id.status().ToString();
+
+  // The paper's introduction queries.
+  EXPECT_FALSE(*service->Reaches(*id, ex.rv("b1"), ex.rv("c3")));
+  EXPECT_TRUE(*service->Reaches(*id, ex.rv("c1"), ex.rv("b2")));
+  EXPECT_TRUE(*service->Reaches(*id, ex.rv("b1"), ex.rv("c1")));
+  EXPECT_FALSE(*service->Reaches(*id, ex.rv("c1"), ex.rv("d1")));
+  EXPECT_TRUE(*service->Reaches(*id, ex.rv("f1"), ex.rv("f2")));
+  EXPECT_FALSE(*service->Reaches(*id, ex.rv("f2"), ex.rv("f3")));
+
+  // Batch variant answers pairwise-identically.
+  std::vector<VertexPair> pairs = {{ex.rv("b1"), ex.rv("c3")},
+                                   {ex.rv("c1"), ex.rv("b2")},
+                                   {ex.rv("f1"), ex.rv("f2")}};
+  auto batch = service->ReachesBatch(*id, pairs);
+  ASSERT_TRUE(batch.ok());
+  ASSERT_EQ(batch->size(), 3u);
+  EXPECT_FALSE((*batch)[0]);
+  EXPECT_TRUE((*batch)[1]);
+  EXPECT_TRUE((*batch)[2]);
+}
+
+TEST(ProvenanceServiceTest, MultiRunRegistryIsolation) {
+  Specification spec = MakeSpec();
+  std::vector<::skl::Run> runs;
+  for (uint64_t seed = 1; seed <= 4; ++seed) {
+    runs.push_back(MakeGeneratedRun(spec, 40 + 20 * seed, seed));
+  }
+  std::vector<std::vector<std::vector<bool>>> expected;
+  for (const ::skl::Run& r : runs) expected.push_back(ReferenceMatrix(spec, r));
+
+  auto service =
+      ProvenanceService::Create(std::move(spec), SpecSchemeKind::kTcm);
+  ASSERT_TRUE(service.ok());
+  std::vector<RunId> ids;
+  for (const ::skl::Run& r : runs) {
+    auto id = service->AddRun(r);
+    ASSERT_TRUE(id.ok()) << id.status().ToString();
+    ids.push_back(*id);
+  }
+  ASSERT_EQ(service->num_runs(), runs.size());
+  EXPECT_EQ(service->ListRuns().size(), runs.size());
+
+  // Every run answers exactly its own reference matrix — sizes differ, so a
+  // registry mix-up would be caught immediately.
+  for (size_t i = 0; i < runs.size(); ++i) {
+    auto stats = service->Stats(ids[i]);
+    ASSERT_TRUE(stats.ok());
+    ASSERT_EQ(stats->num_vertices, runs[i].num_vertices());
+    for (VertexId u = 0; u < runs[i].num_vertices(); ++u) {
+      for (VertexId v = 0; v < runs[i].num_vertices(); ++v) {
+        ASSERT_EQ(*service->Reaches(ids[i], u, v), expected[i][u][v])
+            << "run " << i << " " << u << "->" << v;
+      }
+    }
+  }
+
+  // Removing one run does not disturb the others; its handle goes stale.
+  ASSERT_TRUE(service->RemoveRun(ids[1]).ok());
+  EXPECT_EQ(service->num_runs(), runs.size() - 1);
+  EXPECT_FALSE(service->Contains(ids[1]));
+  EXPECT_FALSE(service->Reaches(ids[1], 0, 0).ok());
+  EXPECT_FALSE(service->RemoveRun(ids[1]).ok());  // double remove
+  EXPECT_TRUE(*service->Reaches(ids[0], 0, 0));  // reflexive, still there
+  auto id_again = service->AddRun(runs[1]);
+  ASSERT_TRUE(id_again.ok());
+  EXPECT_NE(*id_again, ids[1]) << "RunIds must never be reused";
+}
+
+TEST(ProvenanceServiceTest, AddRunWithPlanMatchesAddRun) {
+  auto ex = testing_util::MakeRunningExample();
+  auto recovered = ConstructPlan(ex.spec, ex.run);
+  ASSERT_TRUE(recovered.ok());
+  auto service = ProvenanceService::Create(std::move(ex.spec),
+                                           SpecSchemeKind::kTcm);
+  ASSERT_TRUE(service.ok());
+  auto a = service->AddRun(ex.run);
+  auto b = service->AddRunWithPlan(ex.run, recovered->plan,
+                                   recovered->origin);
+  ASSERT_TRUE(a.ok() && b.ok());
+  for (VertexId u = 0; u < ex.run.num_vertices(); ++u) {
+    for (VertexId v = 0; v < ex.run.num_vertices(); ++v) {
+      EXPECT_EQ(*service->Reaches(*a, u, v), *service->Reaches(*b, u, v));
+    }
+  }
+
+  std::vector<VertexId> short_origin(ex.run.num_vertices() - 1);
+  EXPECT_FALSE(
+      service->AddRunWithPlan(ex.run, recovered->plan, short_origin).ok());
+}
+
+TEST(ProvenanceServiceTest, SessionSealsIntoRegistry) {
+  // ingest -> [ prepare -> { evaluate } -> select ]* -> publish, as in the
+  // live_monitor example; loop=1, fork=2 in declaration order.
+  SpecificationBuilder b;
+  VertexId ingest = b.AddModule("ingest");
+  VertexId prepare = b.AddModule("prepare");
+  VertexId evaluate = b.AddModule("evaluate");
+  VertexId select = b.AddModule("select");
+  VertexId publish = b.AddModule("publish");
+  b.AddEdge(ingest, prepare).AddEdge(prepare, evaluate)
+      .AddEdge(evaluate, select).AddEdge(select, publish);
+  b.DeclareLoop({prepare, evaluate, select});
+  b.DeclareFork({prepare, evaluate, select});
+  auto spec = std::move(b).Build();
+  ASSERT_TRUE(spec.ok());
+  auto service = ProvenanceService::Create(std::move(spec).value(),
+                                           SpecSchemeKind::kTcm);
+  ASSERT_TRUE(service.ok());
+
+  RunSession session = service->OpenSession();
+  auto iv = session.ExecuteModule("ingest");
+  ASSERT_TRUE(iv.ok());
+  ASSERT_TRUE(session.BeginExecution(1).ok());
+  std::vector<VertexId> evals;
+  for (int it = 0; it < 2; ++it) {
+    ASSERT_TRUE(session.BeginCopy().ok());
+    ASSERT_TRUE(session.ExecuteModule("prepare").ok());
+    ASSERT_TRUE(session.BeginExecution(2).ok());
+    for (int f = 0; f < 2; ++f) {
+      ASSERT_TRUE(session.BeginCopy().ok());
+      auto e = session.ExecuteModule("evaluate");
+      ASSERT_TRUE(e.ok());
+      evals.push_back(*e);
+      ASSERT_TRUE(session.EndCopy().ok());
+    }
+    ASSERT_TRUE(session.EndExecution().ok());
+    ASSERT_TRUE(session.ExecuteModule("select").ok());
+    ASSERT_TRUE(session.EndCopy().ok());
+  }
+  // Mid-run answers (O(depth) plan walk).
+  EXPECT_TRUE(session.Reaches(evals[0], evals[2]));   // across iterations
+  EXPECT_FALSE(session.Reaches(evals[2], evals[3]));  // parallel copies
+  ASSERT_TRUE(session.EndExecution().ok());
+  auto pv = session.ExecuteModule("publish");
+  ASSERT_TRUE(pv.ok());
+
+  auto id = std::move(session).Seal();
+  ASSERT_TRUE(id.ok()) << id.status().ToString();
+  ASSERT_TRUE(service->Contains(*id));
+  // Sealed answers agree with the mid-run ones, now in O(1).
+  EXPECT_TRUE(*service->Reaches(*id, evals[0], evals[2]));
+  EXPECT_FALSE(*service->Reaches(*id, evals[2], evals[3]));
+  EXPECT_TRUE(*service->Reaches(*id, *iv, *pv));
+}
+
+TEST(ProvenanceServiceTest, ExportImportQueryEquivalence) {
+  Specification spec = MakeSpec();
+  ::skl::Run run = MakeGeneratedRun(spec, 120, 9);
+  DataGenOptions dopt;
+  dopt.seed = 5;
+  DataCatalog catalog = GenerateDataCatalog(run, dopt);
+
+  auto service =
+      ProvenanceService::Create(std::move(spec), SpecSchemeKind::kTcm);
+  ASSERT_TRUE(service.ok());
+  auto original = service->AddRun(run, &catalog);
+  ASSERT_TRUE(original.ok());
+
+  auto blob = service->ExportRun(*original);
+  ASSERT_TRUE(blob.ok());
+  auto imported = service->ImportRun(*blob);
+  ASSERT_TRUE(imported.ok()) << imported.status().ToString();
+  EXPECT_NE(*imported, *original);
+
+  auto stats = service->Stats(*imported);
+  ASSERT_TRUE(stats.ok());
+  EXPECT_TRUE(stats->imported);
+  EXPECT_EQ(stats->num_vertices, run.num_vertices());
+  EXPECT_EQ(stats->num_items, catalog.size());
+
+  for (VertexId u = 0; u < run.num_vertices(); ++u) {
+    for (VertexId v = 0; v < run.num_vertices(); ++v) {
+      ASSERT_EQ(*service->Reaches(*imported, u, v),
+                *service->Reaches(*original, u, v))
+          << u << "->" << v;
+    }
+  }
+  const DataItemId items = static_cast<DataItemId>(catalog.size());
+  for (DataItemId x = 0; x < items; x += 7) {
+    for (DataItemId y = 0; y < items; y += 11) {
+      ASSERT_EQ(*service->DependsOn(*imported, x, y),
+                *service->DependsOn(*original, x, y));
+    }
+  }
+  for (VertexId v = 0; v < run.num_vertices(); v += 13) {
+    for (DataItemId x = 0; x < items; x += 17) {
+      ASSERT_EQ(*service->ModuleDependsOnData(*imported, v, x),
+                *service->ModuleDependsOnData(*original, v, x));
+      ASSERT_EQ(*service->DataDependsOnModule(*imported, x, v),
+                *service->DataDependsOnModule(*original, x, v));
+    }
+  }
+}
+
+TEST(ProvenanceServiceTest, ErrorPaths) {
+  auto ex = testing_util::MakeRunningExample();
+  auto service = ProvenanceService::Create(std::move(ex.spec),
+                                           SpecSchemeKind::kTcm);
+  ASSERT_TRUE(service.ok());
+  auto id = service->AddRun(ex.run);
+  ASSERT_TRUE(id.ok());
+
+  // Unknown handle, invalid handle, stale handle value.
+  EXPECT_FALSE(service->Reaches(RunId(), 0, 0).ok());
+  EXPECT_FALSE(service->Reaches(RunId::FromValue(999), 0, 0).ok());
+  EXPECT_FALSE(service->ExportRun(RunId::FromValue(999)).ok());
+  EXPECT_FALSE(service->Stats(RunId::FromValue(999)).ok());
+
+  // Vertex range checks, single and batch.
+  EXPECT_FALSE(service->Reaches(*id, 0, ex.run.num_vertices()).ok());
+  std::vector<VertexPair> bad = {{0, 0}, {ex.run.num_vertices(), 0}};
+  EXPECT_FALSE(service->ReachesBatch(*id, bad).ok());
+
+  // Item queries on a run without a catalog.
+  EXPECT_FALSE(service->DependsOn(*id, 0, 0).ok());
+
+  // Catalog naming a vertex the run does not have.
+  DataCatalog bad_catalog;
+  bad_catalog.AddItem(ex.run.num_vertices() + 3);
+  EXPECT_FALSE(service->AddRun(ex.run, &bad_catalog).ok());
+
+  // Corrupt blobs are rejected.
+  EXPECT_FALSE(service->ImportRun({0x01, 0x02, 0x03}).ok());
+  auto blob = service->ExportRun(*id);
+  ASSERT_TRUE(blob.ok());
+  std::vector<uint8_t> truncated(blob->begin(),
+                                 blob->begin() + blob->size() / 2);
+  EXPECT_FALSE(service->ImportRun(truncated).ok());
+}
+
+TEST(ProvenanceServiceTest, ImportRejectsForeignSpecBlob) {
+  // A blob whose labels reference spec vertices beyond this service's
+  // specification must be refused, not accepted and queried out of range.
+  SpecGenOptions opt;
+  opt.num_vertices = 60;
+  opt.num_edges = 120;
+  opt.num_subgraphs = 5;
+  opt.depth = 3;
+  opt.seed = 77;
+  auto big_spec = GenerateSpecification(opt);
+  ASSERT_TRUE(big_spec.ok());
+  ::skl::Run big_run = MakeGeneratedRun(*big_spec, 150, 3);
+  auto big_service = ProvenanceService::Create(std::move(big_spec).value(),
+                                               SpecSchemeKind::kTcm);
+  ASSERT_TRUE(big_service.ok());
+  auto big_id = big_service->AddRun(big_run);
+  ASSERT_TRUE(big_id.ok());
+  auto blob = big_service->ExportRun(*big_id);
+  ASSERT_TRUE(blob.ok());
+
+  auto small_service = ProvenanceService::Create(MakeSpec(),
+                                                 SpecSchemeKind::kTcm);
+  ASSERT_TRUE(small_service.ok());
+  EXPECT_FALSE(small_service->ImportRun(*blob).ok());
+}
+
+TEST(ProvenanceServiceTest, ThreadedReadersMatchSingleThreaded) {
+  Specification spec = MakeSpec();
+  constexpr size_t kRuns = 3;
+  constexpr size_t kThreads = 8;
+  constexpr size_t kQueriesPerThread = 4000;
+
+  std::vector<::skl::Run> runs;
+  for (uint64_t seed = 0; seed < kRuns; ++seed) {
+    runs.push_back(MakeGeneratedRun(spec, 80 + 40 * seed, seed + 21));
+  }
+  auto service =
+      ProvenanceService::Create(std::move(spec), SpecSchemeKind::kTcm);
+  ASSERT_TRUE(service.ok());
+  std::vector<RunId> ids;
+  std::vector<std::vector<VertexPair>> queries;
+  std::vector<std::vector<bool>> expected;
+  for (size_t i = 0; i < kRuns; ++i) {
+    auto id = service->AddRun(runs[i]);
+    ASSERT_TRUE(id.ok());
+    ids.push_back(*id);
+    queries.push_back(GenerateQueries(runs[i].num_vertices(),
+                                      kQueriesPerThread, 1000 + i));
+    // Single-threaded reference answers through the same service.
+    auto answers = service->ReachesBatch(*id, queries.back());
+    ASSERT_TRUE(answers.ok());
+    expected.push_back(*answers);
+  }
+
+  // N reader threads per run: half use the batch variant, half the single
+  // calls; a writer thread keeps registering and removing extra runs so
+  // readers run against a mutating registry.
+  std::atomic<size_t> mismatches{0};
+  std::atomic<bool> stop_writer{false};
+  std::thread writer([&] {
+    while (!stop_writer.load(std::memory_order_relaxed)) {
+      auto extra = service->AddRun(runs[0]);
+      if (!extra.ok() || !service->RemoveRun(*extra).ok()) {
+        mismatches.fetch_add(1, std::memory_order_relaxed);
+        return;
+      }
+    }
+  });
+  std::vector<std::thread> readers;
+  for (size_t t = 0; t < kThreads; ++t) {
+    readers.emplace_back([&, t] {
+      const size_t i = t % kRuns;
+      if (t % 2 == 0) {
+        auto answers = service->ReachesBatch(ids[i], queries[i]);
+        if (!answers.ok() || *answers != expected[i]) {
+          mismatches.fetch_add(1, std::memory_order_relaxed);
+        }
+        return;
+      }
+      for (size_t q = 0; q < queries[i].size(); ++q) {
+        auto r = service->Reaches(ids[i], queries[i][q].first,
+                                  queries[i][q].second);
+        if (!r.ok() || *r != expected[i][q]) {
+          mismatches.fetch_add(1, std::memory_order_relaxed);
+          return;
+        }
+      }
+    });
+  }
+  for (std::thread& th : readers) th.join();
+  stop_writer.store(true, std::memory_order_relaxed);
+  writer.join();
+  EXPECT_EQ(mismatches.load(), 0u);
+  EXPECT_EQ(service->num_runs(), kRuns);
+}
+
+}  // namespace
+}  // namespace skl

@@ -158,5 +158,37 @@ TEST(SchemeFactoryTest, NamesRoundTrip) {
   }
 }
 
+TEST(SchemeFactoryTest, ParseInvertsName) {
+  // Canonical names parse back to the same kind...
+  for (SpecSchemeKind kind :
+       {SpecSchemeKind::kTcm, SpecSchemeKind::kBfs, SpecSchemeKind::kDfs,
+        SpecSchemeKind::kInterval, SpecSchemeKind::kTreeCover,
+        SpecSchemeKind::kChain, SpecSchemeKind::kTwoHop}) {
+    auto parsed = ParseSpecSchemeKind(SpecSchemeKindName(kind));
+    ASSERT_TRUE(parsed.ok()) << SpecSchemeKindName(kind);
+    EXPECT_EQ(*parsed, kind);
+  }
+  // ...as do the CLI spellings, case-insensitively.
+  const std::pair<const char*, SpecSchemeKind> cli[] = {
+      {"tcm", SpecSchemeKind::kTcm},
+      {"bfs", SpecSchemeKind::kBfs},
+      {"dfs", SpecSchemeKind::kDfs},
+      {"interval", SpecSchemeKind::kInterval},
+      {"tree-cover", SpecSchemeKind::kTreeCover},
+      {"TreeCover", SpecSchemeKind::kTreeCover},
+      {"chain", SpecSchemeKind::kChain},
+      {"2hop", SpecSchemeKind::kTwoHop},
+      {"two-hop", SpecSchemeKind::kTwoHop},
+  };
+  for (const auto& [name, kind] : cli) {
+    auto parsed = ParseSpecSchemeKind(name);
+    ASSERT_TRUE(parsed.ok()) << name;
+    EXPECT_EQ(*parsed, kind) << name;
+  }
+  EXPECT_FALSE(ParseSpecSchemeKind("").ok());
+  EXPECT_FALSE(ParseSpecSchemeKind("bogus").ok());
+  EXPECT_FALSE(ParseSpecSchemeKind("tcm2").ok());
+}
+
 }  // namespace
 }  // namespace skl
