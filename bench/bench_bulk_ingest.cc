@@ -1,0 +1,89 @@
+// Bulk ingestion scaling: the paper's "many runs" amortization, parallel.
+// Ingests the same batch of QBLAST runs through (a) a serial AddRun loop and
+// (b) AddRunsParallel with 1, 2, 4 and 8 pool workers, and reports runs/sec,
+// per-run latency and speedup over the serial loop. Per-run work is
+// identical on both paths (plan recovery + labeling + store capture); the
+// parallel path only moves it onto pool workers and batches the publish, so
+// speedup tracks available cores.
+//
+// Workload knobs: SKL_BENCH_BULK_RUNS (default 24 runs) and
+// SKL_BENCH_BULK_SIZE (default ~2000 vertices per run).
+#include <cstdio>
+#include <cstdlib>
+#include <vector>
+
+#include "bench/bench_common.h"
+#include "src/common/thread_pool.h"
+#include "src/core/provenance_service.h"
+
+int main() {
+  using namespace skl;
+  using namespace skl::bench;
+
+  size_t num_runs = 24;
+  if (const char* env = std::getenv("SKL_BENCH_BULK_RUNS")) {
+    num_runs = std::strtoul(env, nullptr, 10);
+  }
+  uint32_t target = 2000;
+  if (const char* env = std::getenv("SKL_BENCH_BULK_SIZE")) {
+    target = static_cast<uint32_t>(std::strtoul(env, nullptr, 10));
+  }
+
+  Specification spec = QblastSpec();
+  RunGenerator generator(&spec);
+  RunGenOptions opt;
+  opt.target_vertices = target;
+  opt.seed = 99;
+  auto generated = generator.GenerateMany(opt, num_runs);
+  SKL_CHECK_MSG(generated.ok(), generated.status().ToString().c_str());
+  std::vector<Run> runs;
+  runs.reserve(generated->size());
+  for (GeneratedRun& g : *generated) runs.push_back(std::move(g.run));
+
+  PrintHeader("Bulk Ingestion Scaling (QBLAST, " +
+              std::to_string(num_runs) + " runs x ~" +
+              std::to_string(target) + " vertices)");
+  std::printf("%10s %8s %10s %9s %8s %8s\n", "mode", "threads", "total ms",
+              "ms/run", "runs/s", "speedup");
+
+  // Serial baseline: the pre-bulk-API idiom, one AddRun call per run.
+  double serial_secs = 0;
+  {
+    auto service = ProvenanceService::Create(QblastSpec(),
+                                             SpecSchemeKind::kTcm);
+    SKL_CHECK(service.ok());
+    Stopwatch sw;
+    for (const Run& run : runs) {
+      auto id = service->AddRun(run);
+      SKL_CHECK_MSG(id.ok(), id.status().ToString().c_str());
+    }
+    serial_secs = sw.ElapsedSeconds();
+    SKL_CHECK(service->num_runs() == runs.size());
+  }
+  std::printf("%10s %8s %10.1f %9.2f %8.0f %8s\n", "serial", "-",
+              serial_secs * 1e3, serial_secs * 1e3 / runs.size(),
+              runs.size() / serial_secs, "1.00x");
+
+  for (unsigned threads : {1u, 2u, 4u, 8u}) {
+    ProvenanceService::Options options;
+    options.num_threads = threads;
+    auto service = ProvenanceService::Create(QblastSpec(),
+                                             SpecSchemeKind::kTcm, options);
+    SKL_CHECK(service.ok());
+    Stopwatch sw;
+    std::vector<Result<RunId>> ids = service->AddRunsParallel(runs);
+    const double secs = sw.ElapsedSeconds();
+    for (const Result<RunId>& id : ids) {
+      SKL_CHECK_MSG(id.ok(), id.status().ToString().c_str());
+    }
+    SKL_CHECK(service->num_runs() == runs.size());
+    std::printf("%10s %8u %10.1f %9.2f %8.0f %7.2fx\n", "parallel", threads,
+                secs * 1e3, secs * 1e3 / runs.size(), runs.size() / secs,
+                serial_secs / secs);
+  }
+
+  std::printf("\nhardware threads: %u (wall-clock speedup is bounded by "
+              "this)\n",
+              ThreadPool::DefaultThreadCount());
+  return 0;
+}

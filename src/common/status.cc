@@ -20,6 +20,8 @@ const char* StatusCodeName(StatusCode code) {
       return "CapacityExceeded";
     case StatusCode::kInternal:
       return "Internal";
+    case StatusCode::kCancelled:
+      return "Cancelled";
   }
   return "Unknown";
 }
@@ -47,6 +49,9 @@ Status Status::CapacityExceeded(std::string msg) {
 }
 Status Status::Internal(std::string msg) {
   return Status(StatusCode::kInternal, std::move(msg));
+}
+Status Status::Cancelled(std::string msg) {
+  return Status(StatusCode::kCancelled, std::move(msg));
 }
 
 std::string Status::ToString() const {

@@ -21,6 +21,7 @@ enum class StatusCode : uint8_t {
   kParseError = 5,        ///< Serialization input is malformed.
   kCapacityExceeded = 6,  ///< A configured limit (e.g. tree blow-up cap) hit.
   kInternal = 7,          ///< Invariant broken inside the library.
+  kCancelled = 8,         ///< Work abandoned (e.g. fail-fast bulk ingestion).
 };
 
 /// Human-readable name of a status code (e.g. "InvalidSpecification").
@@ -43,6 +44,7 @@ class Status {
   static Status ParseError(std::string msg);
   static Status CapacityExceeded(std::string msg);
   static Status Internal(std::string msg);
+  static Status Cancelled(std::string msg);
 
   bool ok() const { return code_ == StatusCode::kOk; }
   StatusCode code() const { return code_; }

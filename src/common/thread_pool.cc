@@ -1,0 +1,71 @@
+#include "src/common/thread_pool.h"
+
+#include <utility>
+
+namespace skl {
+
+unsigned ThreadPool::DefaultThreadCount() {
+  unsigned n = std::thread::hardware_concurrency();
+  return n == 0 ? 1 : n;
+}
+
+ThreadPool::ThreadPool(unsigned num_threads) : num_threads_(num_threads) {
+  workers_.reserve(num_threads_);
+  try {
+    for (unsigned i = 0; i < num_threads_; ++i) {
+      workers_.emplace_back([this] { WorkerLoop(); });
+    }
+  } catch (...) {
+    // Thread spawn failed partway (e.g. system_error on an absurd count).
+    // Join the workers that did start before rethrowing — destroying a
+    // joinable std::thread would std::terminate and make the failure
+    // uncatchable for the caller.
+    {
+      std::unique_lock lock(mu_);
+      stop_ = true;
+    }
+    cv_.notify_all();
+    for (std::thread& w : workers_) w.join();
+    throw;
+  }
+}
+
+ThreadPool::~ThreadPool() {
+  {
+    std::unique_lock lock(mu_);
+    stop_ = true;
+  }
+  cv_.notify_all();
+  for (std::thread& w : workers_) w.join();
+}
+
+std::future<void> ThreadPool::Submit(std::function<void()> task) {
+  std::packaged_task<void()> packaged(std::move(task));
+  std::future<void> future = packaged.get_future();
+  if (num_threads_ == 0) {
+    packaged();  // inline mode; exceptions land in the future, not here
+    return future;
+  }
+  {
+    std::unique_lock lock(mu_);
+    queue_.push_back(std::move(packaged));
+  }
+  cv_.notify_one();
+  return future;
+}
+
+void ThreadPool::WorkerLoop() {
+  for (;;) {
+    std::packaged_task<void()> task;
+    {
+      std::unique_lock lock(mu_);
+      cv_.wait(lock, [this] { return stop_ || !queue_.empty(); });
+      if (queue_.empty()) return;  // stop_ set and nothing left to drain
+      task = std::move(queue_.front());
+      queue_.pop_front();
+    }
+    task();  // packaged_task routes exceptions into the future
+  }
+}
+
+}  // namespace skl

@@ -1,0 +1,73 @@
+// ThreadPool: a fixed-size worker pool with exception-safe task futures,
+// shared by the bulk ingestion paths (ProvenanceService::AddRunsParallel),
+// the workload generators and the scaling benchmarks.
+//
+// Design points:
+//  - Fixed worker count chosen at construction; workers live until the pool
+//    is destroyed (destruction drains the queue, then joins).
+//  - Submit returns a std::future<void>; an exception thrown by the task is
+//    captured into the future and rethrown by future::get(), never lost and
+//    never allowed to tear down a worker thread.
+//  - Tasks are dispatched FIFO: with one worker, tasks run strictly in
+//    submission order.
+//  - A pool constructed with zero threads degrades to inline execution:
+//    Submit runs the task on the calling thread before returning. This keeps
+//    call sites free of "if parallel" branches and gives tests and
+//    single-core builds a deterministic serial mode.
+#ifndef SKL_COMMON_THREAD_POOL_H_
+#define SKL_COMMON_THREAD_POOL_H_
+
+#include <condition_variable>
+#include <deque>
+#include <functional>
+#include <future>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+namespace skl {
+
+class ThreadPool {
+ public:
+  /// Starts `num_threads` workers. 0 workers = inline execution on Submit.
+  explicit ThreadPool(unsigned num_threads);
+
+  /// Drains outstanding tasks, then joins all workers.
+  ~ThreadPool();
+
+  ThreadPool(const ThreadPool&) = delete;
+  ThreadPool& operator=(const ThreadPool&) = delete;
+
+  /// Enqueues a task (runs it inline for a zero-thread pool). The returned
+  /// future becomes ready when the task finishes; if the task threw, get()
+  /// rethrows the exception.
+  std::future<void> Submit(std::function<void()> task);
+
+  /// Worker count this pool was built with (0 = inline mode).
+  unsigned num_threads() const { return num_threads_; }
+
+  /// Hardware concurrency with a fallback of 1 (hardware_concurrency may
+  /// report 0 on exotic platforms).
+  static unsigned DefaultThreadCount();
+
+  /// Resolves the library-wide "0 = auto" worker-count convention: returns
+  /// `requested`, or DefaultThreadCount() when requested is 0. Every layer
+  /// exposing a num_threads knob funnels through this.
+  static unsigned Resolve(unsigned requested) {
+    return requested == 0 ? DefaultThreadCount() : requested;
+  }
+
+ private:
+  void WorkerLoop();
+
+  const unsigned num_threads_;
+  std::mutex mu_;
+  std::condition_variable cv_;
+  std::deque<std::packaged_task<void()>> queue_;  // guarded by mu_
+  bool stop_ = false;                             // guarded by mu_
+  std::vector<std::thread> workers_;
+};
+
+}  // namespace skl
+
+#endif  // SKL_COMMON_THREAD_POOL_H_

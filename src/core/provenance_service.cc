@@ -1,6 +1,9 @@
 #include "src/core/provenance_service.h"
 
+#include <atomic>
+#include <future>
 #include <mutex>
+#include <optional>
 #include <string>
 
 #include "src/core/plan_builder.h"
@@ -31,45 +34,217 @@ Status ValidateCatalog(const DataCatalog& catalog, VertexId num_vertices) {
 
 ProvenanceService::ProvenanceService(
     std::unique_ptr<const Specification> spec,
-    std::unique_ptr<SpecLabelingScheme> scheme)
+    std::unique_ptr<SpecLabelingScheme> scheme, Options options)
     : spec_(std::move(spec)),
       scheme_(std::move(scheme)),
-      mu_(std::make_unique<std::shared_mutex>()) {}
+      options_(options),
+      mu_(std::make_unique<std::shared_mutex>()),
+      pool_mu_(std::make_unique<std::mutex>()) {}
 
 Result<ProvenanceService> ProvenanceService::Create(
-    Specification spec, SpecSchemeKind scheme_kind) {
-  return Create(std::move(spec), CreateSpecScheme(scheme_kind));
+    Specification spec, SpecSchemeKind scheme_kind, Options options) {
+  return Create(std::move(spec), CreateSpecScheme(scheme_kind), options);
 }
 
 Result<ProvenanceService> ProvenanceService::Create(
-    Specification spec, std::unique_ptr<SpecLabelingScheme> scheme) {
+    Specification spec, std::unique_ptr<SpecLabelingScheme> scheme,
+    Options options) {
   if (scheme == nullptr) {
     return Status::InvalidArgument("null labeling scheme");
   }
   auto owned_spec =
       std::make_unique<const Specification>(std::move(spec));
   SKL_RETURN_NOT_OK(scheme->Build(owned_spec->graph()));
-  return ProvenanceService(std::move(owned_spec), std::move(scheme));
+  return ProvenanceService(std::move(owned_spec), std::move(scheme),
+                           options);
 }
 
 Result<RunId> ProvenanceService::AddRun(const Run& run,
                                         const DataCatalog* catalog) {
-  SKL_ASSIGN_OR_RETURN(RecoveredPlan recovered, ConstructPlan(*spec_, run));
-  return AddRunWithPlan(run, recovered.plan, std::move(recovered.origin),
-                        catalog);
+  SKL_ASSIGN_OR_RETURN(RunRecord record,
+                       BuildRecord(run, /*plan=*/nullptr, {}, catalog));
+  return Publish(std::move(record));
 }
 
 Result<RunId> ProvenanceService::AddRunWithPlan(const Run& run,
                                                 const ExecutionPlan& plan,
                                                 std::vector<VertexId> origin,
                                                 const DataCatalog* catalog) {
+  SKL_ASSIGN_OR_RETURN(RunRecord record,
+                       BuildRecord(run, &plan, std::move(origin), catalog));
+  return Publish(std::move(record));
+}
+
+Result<ProvenanceService::RunRecord> ProvenanceService::BuildRecord(
+    const Run& run, const ExecutionPlan* plan, std::vector<VertexId> origin,
+    const DataCatalog* catalog) const {
+  // All of this runs outside any lock (and concurrently on pool workers for
+  // the bulk paths): it only reads the immutable spec and built scheme.
+  RecoveredPlan recovered;
+  if (plan == nullptr) {
+    SKL_ASSIGN_OR_RETURN(recovered, ConstructPlan(*spec_, run));
+    plan = &recovered.plan;
+    origin = std::move(recovered.origin);
+  }
   if (origin.size() != run.num_vertices()) {
     return Status::InvalidArgument("origin size does not match run");
   }
-  SKL_ASSIGN_OR_RETURN(
-      RunLabeling labeling,
-      RunLabeling::FromPlan(*spec_, scheme_.get(), plan, std::move(origin)));
-  return Register(labeling, catalog, /*imported=*/false);
+  SKL_ASSIGN_OR_RETURN(RunLabeling labeling,
+                       RunLabeling::FromPlan(*spec_, scheme_.get(), *plan,
+                                             std::move(origin)));
+  if (catalog != nullptr) {
+    SKL_RETURN_NOT_OK(ValidateCatalog(*catalog, labeling.num_vertices()));
+  }
+  return CaptureRecord(labeling, catalog, /*imported=*/false);
+}
+
+ProvenanceService::RunRecord ProvenanceService::CaptureRecord(
+    const RunLabeling& labeling, const DataCatalog* catalog,
+    bool imported) const {
+  RunRecord record;
+  record.store = ProvenanceStore::Capture(labeling, catalog);
+  record.stats.num_vertices = labeling.num_vertices();
+  record.stats.num_items = record.store.num_items();
+  record.stats.label_bits = labeling.label_bits();
+  record.stats.context_bits = labeling.context_bits();
+  record.stats.origin_bits = labeling.origin_bits();
+  record.stats.num_nonempty_plus = labeling.num_nonempty_plus();
+  record.stats.imported = imported;
+  return record;
+}
+
+RunId ProvenanceService::Publish(RunRecord record) {
+  std::unique_lock lock(*mu_);
+  RunId id(next_id_++);
+  runs_.emplace(id.value(), std::move(record));
+  return id;
+}
+
+ThreadPool& ProvenanceService::Pool() {
+  std::unique_lock lock(*pool_mu_);
+  if (pool_ == nullptr) {
+    pool_ = std::make_unique<ThreadPool>(
+        ThreadPool::Resolve(options_.num_threads));
+  }
+  return *pool_;
+}
+
+std::vector<Result<RunId>> ProvenanceService::BulkIngest(
+    size_t count, const std::function<Result<RunRecord>(size_t)>& build) {
+  if (count == 0) return {};  // keep empty batches from starting the pool
+
+  // Phase 1: label every run concurrently, no lock held. Each worker owns
+  // slot i exclusively; the future handshake publishes it to this thread.
+  // Unwind discipline: tasks queued on the long-lived member pool reference
+  // this frame's records/abort/build, so this function must not unwind (or
+  // rethrow from futures) until every task has finished — hence the Submit
+  // guard below, wait() instead of get(), and slot normalization on this
+  // thread where an allocation failure can no longer dangle anything.
+  std::vector<std::optional<Result<RunRecord>>> records(count);
+  std::atomic<bool> abort{false};
+  const bool fail_fast = options_.fail_fast;
+  ThreadPool& pool = Pool();
+  std::vector<std::future<void>> futures;
+  futures.reserve(count);
+  try {
+    for (size_t i = 0; i < count; ++i) {
+      futures.push_back(pool.Submit([&, i] {
+        if (abort.load(std::memory_order_relaxed)) {
+          records[i] = Status::Cancelled("batch aborted by earlier failure");
+          return;
+        }
+        try {
+          records[i] = build(i);
+        } catch (const std::exception& e) {
+          try {
+            records[i] = Status::Internal(
+                std::string("bulk ingestion task threw: ") + e.what());
+          } catch (...) {
+            // Message allocation failed too; the empty slot is normalized
+            // to an Internal status after the batch drains.
+          }
+        } catch (...) {
+        }
+        if (fail_fast && (!records[i] || !(*records[i]).ok())) {
+          abort.store(true, std::memory_order_relaxed);
+        }
+      }));
+    }
+  } catch (...) {
+    // Submit itself failed (allocation): tell queued tasks to bail and
+    // drain them before unwinding.
+    abort.store(true, std::memory_order_relaxed);
+    for (std::future<void>& f : futures) f.wait();
+    throw;
+  }
+  // wait(), not get(): a stored exception (e.g. bad_alloc escaping the
+  // Cancelled-status construction) must not rethrow while siblings run.
+  for (std::future<void>& f : futures) f.wait();
+  for (std::optional<Result<RunRecord>>& slot : records) {
+    if (!slot) slot = Status::Internal("bulk ingestion task threw");
+  }
+
+  std::vector<Result<RunId>> results;
+  results.reserve(count);
+  if (fail_fast) {
+    // All-or-nothing: any failure voids the whole batch, including runs
+    // that were already labeled successfully.
+    bool any_failed = false;
+    for (const auto& r : records) any_failed |= !r->ok();
+    if (any_failed) {
+      for (const auto& r : records) {
+        results.emplace_back(r->ok() ? Status::Cancelled(
+                                           "batch aborted by earlier failure")
+                                     : r->status());
+      }
+      return results;
+    }
+  }
+  // Phase 2: publish in input order under one writer lock, so ascending
+  // RunIds mirror the caller's batch order.
+  std::unique_lock lock(*mu_);
+  for (size_t i = 0; i < count; ++i) {
+    Result<RunRecord>& r = *records[i];
+    if (!r.ok()) {
+      results.emplace_back(r.status());
+      continue;
+    }
+    RunId id(next_id_++);
+    runs_.emplace(id.value(), std::move(r).value());
+    results.emplace_back(id);
+  }
+  return results;
+}
+
+std::vector<Result<RunId>> ProvenanceService::AddRunsParallel(
+    std::span<const Run> runs, std::span<const DataCatalog* const> catalogs) {
+  if (!catalogs.empty() && catalogs.size() != runs.size()) {
+    std::vector<Result<RunId>> results;
+    results.reserve(runs.size());
+    for (size_t i = 0; i < runs.size(); ++i) {
+      results.emplace_back(
+          Status::InvalidArgument("catalogs size does not match runs"));
+    }
+    return results;
+  }
+  return BulkIngest(runs.size(), [&](size_t i) {
+    return BuildRecord(runs[i], /*plan=*/nullptr, {},
+                       catalogs.empty() ? nullptr : catalogs[i]);
+  });
+}
+
+std::vector<Result<RunId>> ProvenanceService::AddRunsWithPlansParallel(
+    std::span<const PlannedRun> runs) {
+  return BulkIngest(runs.size(), [&](size_t i) -> Result<RunRecord> {
+    const PlannedRun& pr = runs[i];
+    if (pr.run == nullptr || pr.plan == nullptr) {
+      return Status::InvalidArgument("PlannedRun with null run or plan");
+    }
+    return BuildRecord(*pr.run, pr.plan,
+                       std::vector<VertexId>(pr.origin.begin(),
+                                             pr.origin.end()),
+                       pr.catalog);
+  });
 }
 
 RunSession ProvenanceService::OpenSession() {
@@ -90,20 +265,7 @@ Result<RunId> ProvenanceService::Register(const RunLabeling& labeling,
   if (catalog != nullptr) {
     SKL_RETURN_NOT_OK(ValidateCatalog(*catalog, labeling.num_vertices()));
   }
-  RunRecord record;
-  record.store = ProvenanceStore::Capture(labeling, catalog);
-  record.stats.num_vertices = labeling.num_vertices();
-  record.stats.num_items = record.store.num_items();
-  record.stats.label_bits = labeling.label_bits();
-  record.stats.context_bits = labeling.context_bits();
-  record.stats.origin_bits = labeling.origin_bits();
-  record.stats.num_nonempty_plus = labeling.num_nonempty_plus();
-  record.stats.imported = imported;
-
-  std::unique_lock lock(*mu_);
-  RunId id(next_id_++);
-  runs_.emplace(id.value(), std::move(record));
-  return id;
+  return Publish(CaptureRecord(labeling, catalog, imported));
 }
 
 const ProvenanceService::RunRecord* ProvenanceService::FindLocked(
@@ -207,11 +369,7 @@ Result<RunId> ProvenanceService::ImportRun(
   record.stats.num_items = store.num_items();
   record.stats.imported = true;
   record.store = std::move(store);
-
-  std::unique_lock lock(*mu_);
-  RunId id(next_id_++);
-  runs_.emplace(id.value(), std::move(record));
-  return id;
+  return Publish(std::move(record));
 }
 
 bool ProvenanceService::Contains(RunId id) const {

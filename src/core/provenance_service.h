@@ -14,6 +14,16 @@
 //   s.ExecuteModule("align"); ...
 //   RunId c = *std::move(s).Seal();
 //
+// Bulk ingestion labels a whole batch of runs concurrently on an internal
+// ThreadPool (sized by Options::num_threads) and publishes the RunIds in
+// input order under one writer lock — the paper's "many runs" half of the
+// amortization claim, parallelized:
+//
+//   auto svc = *ProvenanceService::Create(std::move(spec),
+//                                         SpecSchemeKind::kTcm,
+//                                         {.num_threads = 8});
+//   std::vector<Result<RunId>> ids = svc.AddRunsParallel(runs);
+//
 // Queries are self-contained — no scheme parameter, unlike the lower-level
 // facades — and guarded by a std::shared_mutex so concurrent readers never
 // block each other:
@@ -29,14 +39,17 @@
 //
 // Threading contract: every public method is safe to call concurrently.
 // Ingestion does the expensive labeling outside the lock and takes the
-// writer lock only to publish into the registry. The service must not be
-// moved while other threads use it or while sessions are open.
+// writer lock only to publish into the registry; queries keep answering
+// under the shared lock while a bulk batch is being labeled. The service
+// must not be moved while other threads use it or while sessions are open.
 #ifndef SKL_CORE_PROVENANCE_SERVICE_H_
 #define SKL_CORE_PROVENANCE_SERVICE_H_
 
 #include <cstdint>
+#include <functional>
 #include <map>
 #include <memory>
+#include <mutex>
 #include <shared_mutex>
 #include <span>
 #include <string_view>
@@ -44,7 +57,9 @@
 #include <vector>
 
 #include "src/common/status.h"
+#include "src/common/thread_pool.h"
 #include "src/core/data_provenance.h"
+#include "src/core/execution_plan.h"
 #include "src/core/online_labeler.h"
 #include "src/core/provenance_store.h"
 #include "src/core/run_labeling.h"
@@ -95,16 +110,45 @@ struct RunStats {
 
 class RunSession;
 
+/// One run for the bulk engine-log ingestion path
+/// (ProvenanceService::AddRunsWithPlansParallel). All pointers are borrowed
+/// and must stay valid for the duration of the call.
+struct PlannedRun {
+  const Run* run = nullptr;
+  const ExecutionPlan* plan = nullptr;
+  std::span<const VertexId> origin;
+  const DataCatalog* catalog = nullptr;  ///< optional
+};
+
+/// Service-wide knobs, fixed at Create time. (Namespace-scope so it can be
+/// brace-defaulted in Create's declaration; spelled
+/// ProvenanceService::Options at call sites.)
+struct ProvenanceServiceOptions {
+  /// Worker threads for the bulk ingestion paths. 0 = one per hardware
+  /// thread. The pool is started lazily on the first bulk call, so
+  /// services that never bulk-ingest spawn no threads.
+  unsigned num_threads = 0;
+  /// Bulk ingestion semantics on failure. false: every run in the batch
+  /// is attempted and gets its own Result; successes are published.
+  /// true: all-or-nothing — the first failure cancels the rest of the
+  /// batch and nothing is published.
+  bool fail_fast = false;
+};
+
 /// One specification + one built skeleton scheme + many labeled runs.
 class ProvenanceService {
  public:
+  using Options = ProvenanceServiceOptions;
+
   /// Builds the skeleton index once over `spec` (moved in). All runs later
   /// registered with the service are labeled and queried against it.
   static Result<ProvenanceService> Create(Specification spec,
-                                          SpecSchemeKind scheme_kind);
+                                          SpecSchemeKind scheme_kind,
+                                          Options options = {});
   /// As above with a caller-constructed (not yet built) scheme.
   static Result<ProvenanceService> Create(
-      Specification spec, std::unique_ptr<SpecLabelingScheme> scheme);
+      Specification spec, std::unique_ptr<SpecLabelingScheme> scheme,
+      Options options = {});
 
   ProvenanceService(ProvenanceService&&) = default;
   ProvenanceService& operator=(ProvenanceService&&) = default;
@@ -121,6 +165,25 @@ class ProvenanceService {
   Result<RunId> AddRunWithPlan(const Run& run, const ExecutionPlan& plan,
                                std::vector<VertexId> origin,
                                const DataCatalog* catalog = nullptr);
+
+  /// Bulk variant of AddRun: labels every run in the batch concurrently on
+  /// the service's thread pool (Options::num_threads), then publishes the
+  /// successes under one writer lock. results[i] corresponds to runs[i],
+  /// and published ids are ascending in input order. Queries on already
+  /// registered runs keep running while the batch is labeled.
+  ///
+  /// `catalogs`, if nonempty, must be runs.size() pointers (entries may be
+  /// null). Under Options::fail_fast the batch is all-or-nothing: the first
+  /// failing run keeps its error, every other entry reports Cancelled, and
+  /// nothing is published.
+  std::vector<Result<RunId>> AddRunsParallel(
+      std::span<const Run> runs,
+      std::span<const DataCatalog* const> catalogs = {});
+
+  /// Bulk variant of AddRunWithPlan; same ordering, threading and fail-fast
+  /// semantics as AddRunsParallel, minus the plan-recovery step.
+  std::vector<Result<RunId>> AddRunsWithPlansParallel(
+      std::span<const PlannedRun> runs);
 
   /// Opens a live labeling session for an in-flight run (Section 9): feed
   /// events as they happen, query intermediate results mid-run, then Seal()
@@ -176,6 +239,7 @@ class ProvenanceService {
 
   const Specification& spec() const { return *spec_; }
   const SpecLabelingScheme& scheme() const { return *scheme_; }
+  const Options& options() const { return options_; }
 
  private:
   friend class RunSession;
@@ -186,12 +250,37 @@ class ProvenanceService {
   };
 
   ProvenanceService(std::unique_ptr<const Specification> spec,
-                    std::unique_ptr<SpecLabelingScheme> scheme);
+                    std::unique_ptr<SpecLabelingScheme> scheme,
+                    Options options);
+
+  /// Labels one run outside any lock: plan recovery (unless supplied, in
+  /// which case `origin` is recovered too and the argument is ignored),
+  /// run labeling, catalog validation and store capture.
+  Result<RunRecord> BuildRecord(const Run& run, const ExecutionPlan* plan,
+                                std::vector<VertexId> origin,
+                                const DataCatalog* catalog) const;
+
+  /// Packs a labeling (+ optional, already validated catalog) into the
+  /// record format the registry stores. Lock-free; shared by every
+  /// ingestion path so the stats fields cannot diverge between them.
+  RunRecord CaptureRecord(const RunLabeling& labeling,
+                          const DataCatalog* catalog, bool imported) const;
+
+  /// Publishes a record under a fresh id (takes the writer lock).
+  RunId Publish(RunRecord record);
 
   /// Captures a labeling (+ optional catalog) and publishes it under a new
   /// id. Validates the catalog against the labeling first.
   Result<RunId> Register(const RunLabeling& labeling,
                          const DataCatalog* catalog, bool imported);
+
+  /// Shared driver of the two bulk paths: `build(i)` produces record i on a
+  /// pool worker; successes are published in input order.
+  std::vector<Result<RunId>> BulkIngest(
+      size_t count, const std::function<Result<RunRecord>(size_t)>& build);
+
+  /// Returns the bulk-ingestion pool, starting it on first use.
+  ThreadPool& Pool();
 
   /// Looks up a record; the caller must hold `mu_` (shared or unique).
   const RunRecord* FindLocked(RunId id) const;
@@ -200,12 +289,16 @@ class ProvenanceService {
   // schemes hold a pointer to spec.graph(), sessions to both.
   std::unique_ptr<const Specification> spec_;
   std::unique_ptr<SpecLabelingScheme> scheme_;
+  Options options_;
 
   mutable std::unique_ptr<std::shared_mutex> mu_;
   uint64_t next_id_ = 1;  // guarded by mu_
   // Ids are monotonic and never reused, so ascending key order doubles as
   // registration order (ListRuns).
   std::map<uint64_t, RunRecord> runs_;  // guarded by mu_
+
+  std::unique_ptr<std::mutex> pool_mu_;  // guards lazy pool_ creation
+  std::unique_ptr<ThreadPool> pool_;     // created on first bulk call
 };
 
 /// Live labeling of one in-flight run, created by

@@ -2,10 +2,13 @@
 
 #include <algorithm>
 #include <cmath>
+#include <future>
+#include <optional>
 #include <unordered_map>
 #include <utility>
 
 #include "src/common/check.h"
+#include "src/common/thread_pool.h"
 
 namespace skl {
 
@@ -243,6 +246,34 @@ Result<GeneratedRun> RunGenerator::Generate(const RunGenOptions& options) const 
     out.origin[v] = static_cast<VertexId>(out.run.ModuleOf(v));
   }
   return out;
+}
+
+Result<std::vector<GeneratedRun>> RunGenerator::GenerateMany(
+    const RunGenOptions& options, size_t count, unsigned num_threads) const {
+  // Generate is a pure function of (spec, options), so runs fan out with no
+  // shared mutable state; slot i is owned by exactly one worker.
+  // Declaration order matters: `pool` after `slots`, so an unwind joins the
+  // workers before the slots they write are destroyed.
+  std::vector<std::optional<Result<GeneratedRun>>> slots(count);
+  ThreadPool pool(ThreadPool::Resolve(num_threads));
+  std::vector<std::future<void>> futures;
+  futures.reserve(count);
+  for (size_t i = 0; i < count; ++i) {
+    futures.push_back(pool.Submit([&, i] {
+      RunGenOptions per_run = options;
+      per_run.seed = options.seed + i;
+      slots[i] = Generate(per_run);
+    }));
+  }
+  for (std::future<void>& f : futures) f.get();
+
+  std::vector<GeneratedRun> runs;
+  runs.reserve(count);
+  for (std::optional<Result<GeneratedRun>>& slot : slots) {
+    if (!slot->ok()) return slot->status();
+    runs.push_back(std::move(*slot).value());
+  }
+  return runs;
 }
 
 Result<GeneratedRun> RunGenerator::GenerateMinimal(uint64_t seed) const {

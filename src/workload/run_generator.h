@@ -46,6 +46,16 @@ class RunGenerator {
   /// Generates one run (plus ground truth) according to `options`.
   Result<GeneratedRun> Generate(const RunGenOptions& options) const;
 
+  /// Generates `count` independent runs, run i with seed options.seed + i,
+  /// fanned out over a ThreadPool with `num_threads` workers (0 = one per
+  /// hardware thread). Results are in seed order regardless of scheduling;
+  /// the first generation error, if any, fails the whole batch. Feeds the
+  /// bulk ingestion paths (ProvenanceService::AddRunsParallel) and the
+  /// scaling benchmarks.
+  Result<std::vector<GeneratedRun>> GenerateMany(const RunGenOptions& options,
+                                                 size_t count,
+                                                 unsigned num_threads = 0) const;
+
   /// Expected minimal run: every fork/loop executed exactly once (the run is
   /// then isomorphic to the specification).
   Result<GeneratedRun> GenerateMinimal(uint64_t seed = 1) const;

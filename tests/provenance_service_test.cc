@@ -1,7 +1,8 @@
 // Tests for the service-level API: multi-run registry isolation, the three
-// ingestion paths (raw run, engine plan, live session), export→import→query
-// equivalence, and a threaded smoke test comparing concurrent answers
-// against single-threaded ones.
+// ingestion paths (raw run, engine plan, live session), the parallel bulk
+// ingestion paths (input-order publishing, fail-fast semantics, concurrent
+// ingest-while-querying), export→import→query equivalence, and a threaded
+// smoke test comparing concurrent answers against single-threaded ones.
 #include <gtest/gtest.h>
 
 #include <atomic>
@@ -125,6 +126,42 @@ TEST(ProvenanceServiceTest, MultiRunRegistryIsolation) {
   auto id_again = service->AddRun(runs[1]);
   ASSERT_TRUE(id_again.ok());
   EXPECT_NE(*id_again, ids[1]) << "RunIds must never be reused";
+}
+
+TEST(ProvenanceServiceTest, RemoveRunStaleHandlesReturnNotFound) {
+  // RunId's header promises: handles are never reused, and a stale handle
+  // (after RemoveRun) or a RunId::FromValue of an unknown value fails with
+  // NotFound — assert the code, not just !ok().
+  auto service = ProvenanceService::Create(MakeSpec(), SpecSchemeKind::kTcm);
+  ASSERT_TRUE(service.ok());
+  auto ex = testing_util::MakeRunningExample();
+  auto id = service->AddRun(ex.run);
+  ASSERT_TRUE(id.ok());
+  const uint64_t raw = id->value();
+
+  ASSERT_TRUE(service->RemoveRun(*id).ok());
+  EXPECT_EQ(service->RemoveRun(*id).code(), StatusCode::kNotFound);
+  EXPECT_EQ(service->Reaches(*id, 0, 0).status().code(),
+            StatusCode::kNotFound);
+  EXPECT_EQ(service->Stats(*id).status().code(), StatusCode::kNotFound);
+  EXPECT_EQ(service->ExportRun(*id).status().code(), StatusCode::kNotFound);
+
+  // Reconstructing the stale handle from its numeric value changes nothing:
+  // the id is gone for good, and later runs never reclaim it.
+  RunId stale = RunId::FromValue(raw);
+  EXPECT_EQ(service->RemoveRun(stale).code(), StatusCode::kNotFound);
+  EXPECT_EQ(service->Reaches(stale, 0, 0).status().code(),
+            StatusCode::kNotFound);
+  auto fresh = service->AddRun(ex.run);
+  ASSERT_TRUE(fresh.ok());
+  EXPECT_NE(fresh->value(), raw);
+  EXPECT_EQ(service->Reaches(stale, 0, 0).status().code(),
+            StatusCode::kNotFound);
+
+  // The default (invalid) handle and a never-issued value behave the same.
+  EXPECT_EQ(service->RemoveRun(RunId()).code(), StatusCode::kNotFound);
+  EXPECT_EQ(service->RemoveRun(RunId::FromValue(12345)).code(),
+            StatusCode::kNotFound);
 }
 
 TEST(ProvenanceServiceTest, AddRunWithPlanMatchesAddRun) {
@@ -313,6 +350,221 @@ TEST(ProvenanceServiceTest, ImportRejectsForeignSpecBlob) {
                                                  SpecSchemeKind::kTcm);
   ASSERT_TRUE(small_service.ok());
   EXPECT_FALSE(small_service->ImportRun(*blob).ok());
+}
+
+/// A structurally valid run whose module name is unknown to the running
+/// example spec, so plan recovery (and hence bulk ingestion) fails on it.
+::skl::Run MakeForeignRun() {
+  RunBuilder b;
+  VertexId v = b.AddVertex("no-such-module");
+  VertexId w = b.AddVertex("no-such-module-either");
+  b.AddEdge(v, w);
+  auto run = std::move(b).Build();
+  SKL_CHECK(run.ok());
+  return std::move(run).value();
+}
+
+TEST(ProvenanceServiceTest, AddRunsParallelPublishesInInputOrder) {
+  Specification spec = MakeSpec();
+  std::vector<::skl::Run> runs;
+  for (uint64_t seed = 1; seed <= 6; ++seed) {
+    // Distinct sizes so a slot mix-up is caught by Stats alone.
+    runs.push_back(MakeGeneratedRun(spec, 30 + 25 * seed, seed));
+  }
+  std::vector<std::vector<std::vector<bool>>> expected;
+  for (const ::skl::Run& r : runs) expected.push_back(ReferenceMatrix(spec, r));
+
+  ProvenanceService::Options options;
+  options.num_threads = 4;
+  auto service =
+      ProvenanceService::Create(std::move(spec), SpecSchemeKind::kTcm,
+                                options);
+  ASSERT_TRUE(service.ok());
+  std::vector<Result<RunId>> ids = service->AddRunsParallel(runs);
+  ASSERT_EQ(ids.size(), runs.size());
+  ASSERT_EQ(service->num_runs(), runs.size());
+  for (size_t i = 0; i < ids.size(); ++i) {
+    ASSERT_TRUE(ids[i].ok()) << i << ": " << ids[i].status().ToString();
+    if (i > 0) {
+      EXPECT_LT(ids[i - 1]->value(), ids[i]->value())
+          << "ids must ascend in input order";
+    }
+    auto stats = service->Stats(*ids[i]);
+    ASSERT_TRUE(stats.ok());
+    EXPECT_EQ(stats->num_vertices, runs[i].num_vertices());
+    for (VertexId u = 0; u < runs[i].num_vertices(); u += 3) {
+      for (VertexId v = 0; v < runs[i].num_vertices(); v += 5) {
+        ASSERT_EQ(*service->Reaches(*ids[i], u, v), expected[i][u][v])
+            << "run " << i << " " << u << "->" << v;
+      }
+    }
+  }
+}
+
+TEST(ProvenanceServiceTest, AddRunsWithPlansParallelMatchesSerialPath) {
+  Specification spec = MakeSpec();
+  RunGenerator generator(&spec);
+  RunGenOptions opt;
+  opt.target_vertices = 70;
+  opt.seed = 31;
+  auto generated = generator.GenerateMany(opt, 5, /*num_threads=*/2);
+  ASSERT_TRUE(generated.ok()) << generated.status().ToString();
+  ASSERT_EQ(generated->size(), 5u);
+
+  auto service =
+      ProvenanceService::Create(std::move(spec), SpecSchemeKind::kTcm,
+                                {.num_threads = 3});
+  ASSERT_TRUE(service.ok());
+  std::vector<PlannedRun> planned;
+  for (const GeneratedRun& g : *generated) {
+    planned.push_back({&g.run, &g.plan, g.origin});
+  }
+  std::vector<Result<RunId>> bulk = service->AddRunsWithPlansParallel(planned);
+  ASSERT_EQ(bulk.size(), planned.size());
+  for (size_t i = 0; i < planned.size(); ++i) {
+    ASSERT_TRUE(bulk[i].ok()) << bulk[i].status().ToString();
+    auto serial = service->AddRunWithPlan((*generated)[i].run,
+                                          (*generated)[i].plan,
+                                          (*generated)[i].origin);
+    ASSERT_TRUE(serial.ok());
+    const VertexId n = (*generated)[i].run.num_vertices();
+    for (VertexId u = 0; u < n; u += 3) {
+      for (VertexId v = 0; v < n; v += 5) {
+        ASSERT_EQ(*service->Reaches(*bulk[i], u, v),
+                  *service->Reaches(*serial, u, v));
+      }
+    }
+  }
+
+  // Null run/plan pointers are per-entry errors, not crashes.
+  std::vector<PlannedRun> bad(1);
+  auto bad_results = service->AddRunsWithPlansParallel(bad);
+  ASSERT_EQ(bad_results.size(), 1u);
+  EXPECT_EQ(bad_results[0].status().code(), StatusCode::kInvalidArgument);
+}
+
+TEST(ProvenanceServiceTest, AddRunsParallelPartialFailureWithoutFailFast) {
+  Specification spec = MakeSpec();
+  std::vector<::skl::Run> runs;
+  runs.push_back(MakeGeneratedRun(spec, 40, 1));
+  runs.push_back(MakeForeignRun());  // fails plan recovery
+  runs.push_back(MakeGeneratedRun(spec, 60, 2));
+
+  auto service =
+      ProvenanceService::Create(std::move(spec), SpecSchemeKind::kTcm,
+                                {.num_threads = 2, .fail_fast = false});
+  ASSERT_TRUE(service.ok());
+  std::vector<Result<RunId>> ids = service->AddRunsParallel(runs);
+  ASSERT_EQ(ids.size(), 3u);
+  EXPECT_TRUE(ids[0].ok());
+  EXPECT_FALSE(ids[1].ok());
+  EXPECT_NE(ids[1].status().code(), StatusCode::kCancelled)
+      << "without fail_fast the bad run keeps its own error";
+  EXPECT_TRUE(ids[2].ok());
+  EXPECT_EQ(service->num_runs(), 2u);
+  EXPECT_TRUE(*service->Reaches(*ids[0], 0, 0));
+  EXPECT_TRUE(*service->Reaches(*ids[2], 0, 0));
+}
+
+TEST(ProvenanceServiceTest, AddRunsParallelFailFastIsAllOrNothing) {
+  Specification spec = MakeSpec();
+  std::vector<::skl::Run> runs;
+  runs.push_back(MakeGeneratedRun(spec, 40, 1));
+  runs.push_back(MakeForeignRun());
+  runs.push_back(MakeGeneratedRun(spec, 60, 2));
+
+  auto service =
+      ProvenanceService::Create(std::move(spec), SpecSchemeKind::kTcm,
+                                {.num_threads = 2, .fail_fast = true});
+  ASSERT_TRUE(service.ok());
+  std::vector<Result<RunId>> ids = service->AddRunsParallel(runs);
+  ASSERT_EQ(ids.size(), 3u);
+  EXPECT_EQ(service->num_runs(), 0u) << "fail_fast publishes nothing";
+  for (const Result<RunId>& r : ids) EXPECT_FALSE(r.ok());
+  EXPECT_FALSE(ids[1].ok());
+  // The failing entry keeps its own error; every other entry is Cancelled.
+  EXPECT_NE(ids[1].status().code(), StatusCode::kCancelled);
+  EXPECT_EQ(ids[0].status().code(), StatusCode::kCancelled);
+  EXPECT_EQ(ids[2].status().code(), StatusCode::kCancelled);
+
+  // The service is not poisoned: the same good runs ingest cleanly next try.
+  std::vector<::skl::Run> good;
+  good.push_back(std::move(runs[0]));
+  good.push_back(std::move(runs[2]));
+  std::vector<Result<RunId>> retry = service->AddRunsParallel(good);
+  ASSERT_EQ(retry.size(), 2u);
+  EXPECT_TRUE(retry[0].ok() && retry[1].ok());
+  EXPECT_EQ(service->num_runs(), 2u);
+}
+
+TEST(ProvenanceServiceTest, AddRunsParallelCatalogMismatchAndEmptyBatch) {
+  Specification spec = MakeSpec();
+  std::vector<::skl::Run> runs;
+  runs.push_back(MakeGeneratedRun(spec, 40, 1));
+  auto service =
+      ProvenanceService::Create(std::move(spec), SpecSchemeKind::kTcm);
+  ASSERT_TRUE(service.ok());
+
+  const DataCatalog* catalogs[2] = {nullptr, nullptr};
+  std::vector<Result<RunId>> mismatched =
+      service->AddRunsParallel(runs, catalogs);
+  ASSERT_EQ(mismatched.size(), 1u);
+  EXPECT_EQ(mismatched[0].status().code(), StatusCode::kInvalidArgument);
+  EXPECT_EQ(service->num_runs(), 0u);
+
+  EXPECT_TRUE(service->AddRunsParallel({}).empty());
+}
+
+TEST(ProvenanceServiceTest, ConcurrentBulkIngestWhileQuerying) {
+  // TSan target: readers hammer an existing run while bulk batches land and
+  // a remover retires them; answers must stay byte-identical throughout.
+  Specification spec = MakeSpec();
+  ::skl::Run stable_run = MakeGeneratedRun(spec, 90, 7);
+  std::vector<::skl::Run> batch;
+  for (uint64_t seed = 0; seed < 4; ++seed) {
+    batch.push_back(MakeGeneratedRun(spec, 50 + 10 * seed, 100 + seed));
+  }
+  auto service =
+      ProvenanceService::Create(std::move(spec), SpecSchemeKind::kTcm,
+                                {.num_threads = 2});
+  ASSERT_TRUE(service.ok());
+  auto stable_id = service->AddRun(stable_run);
+  ASSERT_TRUE(stable_id.ok());
+  std::vector<VertexPair> queries =
+      GenerateQueries(stable_run.num_vertices(), 2000, 17);
+  auto expected = service->ReachesBatch(*stable_id, queries);
+  ASSERT_TRUE(expected.ok());
+
+  std::atomic<size_t> mismatches{0};
+  std::atomic<bool> stop{false};
+  std::vector<std::thread> readers;
+  for (int t = 0; t < 3; ++t) {
+    readers.emplace_back([&] {
+      while (!stop.load(std::memory_order_relaxed)) {
+        auto answers = service->ReachesBatch(*stable_id, queries);
+        if (!answers.ok() || *answers != *expected) {
+          mismatches.fetch_add(1, std::memory_order_relaxed);
+          return;
+        }
+      }
+    });
+  }
+  std::thread ingester([&] {
+    for (int round = 0; round < 6; ++round) {
+      std::vector<Result<RunId>> ids = service->AddRunsParallel(batch);
+      for (const Result<RunId>& id : ids) {
+        if (!id.ok() || !service->RemoveRun(*id).ok()) {
+          mismatches.fetch_add(1, std::memory_order_relaxed);
+          return;
+        }
+      }
+    }
+  });
+  ingester.join();
+  stop.store(true, std::memory_order_relaxed);
+  for (std::thread& r : readers) r.join();
+  EXPECT_EQ(mismatches.load(), 0u);
+  EXPECT_EQ(service->num_runs(), 1u);
 }
 
 TEST(ProvenanceServiceTest, ThreadedReadersMatchSingleThreaded) {

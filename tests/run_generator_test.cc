@@ -127,6 +127,38 @@ TEST(RunGeneratorTest, SpecWithoutSubgraphsYieldsIsomorphicRuns) {
   EXPECT_EQ(run->run.num_vertices(), 30u);
 }
 
+TEST(RunGeneratorTest, GenerateManyMatchesSequentialGenerate) {
+  auto ex = testing_util::MakeRunningExample();
+  RunGenerator gen(&ex.spec);
+  RunGenOptions opt;
+  opt.target_vertices = 120;
+  opt.seed = 40;
+
+  auto many = gen.GenerateMany(opt, 4, /*num_threads=*/3);
+  ASSERT_TRUE(many.ok()) << many.status().ToString();
+  ASSERT_EQ(many->size(), 4u);
+  for (size_t i = 0; i < many->size(); ++i) {
+    // GenerateMany(opt, n) is defined as Generate at seeds opt.seed + i, in
+    // order, independent of the worker count.
+    RunGenOptions per_run = opt;
+    per_run.seed = opt.seed + i;
+    auto reference = gen.Generate(per_run);
+    ASSERT_TRUE(reference.ok());
+    EXPECT_EQ((*many)[i].run.num_vertices(),
+              reference->run.num_vertices());
+    EXPECT_EQ((*many)[i].run.num_edges(), reference->run.num_edges());
+    EXPECT_EQ((*many)[i].origin, reference->origin);
+    EXPECT_TRUE((*many)[i].plan.Validate((*many)[i].run.num_edges()).ok());
+  }
+
+  // Thread count does not change the batch (0 = hardware default).
+  auto serial = gen.GenerateMany(opt, 4, /*num_threads=*/1);
+  ASSERT_TRUE(serial.ok());
+  for (size_t i = 0; i < 4; ++i) {
+    EXPECT_EQ((*many)[i].origin, (*serial)[i].origin);
+  }
+}
+
 TEST(RunGeneratorTest, RunsOverGeneratedSpecsConform) {
   for (uint64_t seed = 1; seed <= 6; ++seed) {
     SpecGenOptions sopt;

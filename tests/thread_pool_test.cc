@@ -1,0 +1,97 @@
+// Tests for skl::ThreadPool: FIFO dispatch, exception capture into futures,
+// the zero-thread inline mode, queue draining on destruction, and a
+// many-producer stress run.
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <future>
+#include <stdexcept>
+#include <thread>
+#include <vector>
+
+#include "src/common/thread_pool.h"
+
+namespace skl {
+namespace {
+
+TEST(ThreadPoolTest, SingleWorkerRunsTasksInSubmissionOrder) {
+  ThreadPool pool(1);
+  std::vector<int> order;  // touched only by the single worker
+  std::vector<std::future<void>> futures;
+  for (int i = 0; i < 64; ++i) {
+    futures.push_back(pool.Submit([&order, i] { order.push_back(i); }));
+  }
+  for (std::future<void>& f : futures) f.get();
+  ASSERT_EQ(order.size(), 64u);
+  for (int i = 0; i < 64; ++i) EXPECT_EQ(order[i], i);
+}
+
+TEST(ThreadPoolTest, ExceptionPropagatesThroughFutureAndPoolSurvives) {
+  ThreadPool pool(2);
+  std::future<void> boom =
+      pool.Submit([] { throw std::runtime_error("task failed"); });
+  EXPECT_THROW(boom.get(), std::runtime_error);
+
+  // The worker that ran the throwing task is still alive and serving.
+  std::atomic<int> ran{0};
+  std::vector<std::future<void>> futures;
+  for (int i = 0; i < 16; ++i) {
+    futures.push_back(pool.Submit([&ran] { ran.fetch_add(1); }));
+  }
+  for (std::future<void>& f : futures) f.get();
+  EXPECT_EQ(ran.load(), 16);
+}
+
+TEST(ThreadPoolTest, ZeroThreadsExecutesInlineOnCallingThread) {
+  ThreadPool pool(0);
+  EXPECT_EQ(pool.num_threads(), 0u);
+  std::thread::id task_thread;
+  std::future<void> f =
+      pool.Submit([&task_thread] { task_thread = std::this_thread::get_id(); });
+  // Inline mode completes before Submit returns.
+  EXPECT_EQ(f.wait_for(std::chrono::seconds(0)), std::future_status::ready);
+  f.get();
+  EXPECT_EQ(task_thread, std::this_thread::get_id());
+
+  // Exceptions still land in the future, not at the Submit call site.
+  std::future<void> boom =
+      pool.Submit([] { throw std::runtime_error("inline failure"); });
+  EXPECT_THROW(boom.get(), std::runtime_error);
+}
+
+TEST(ThreadPoolTest, DestructorDrainsQueuedTasks) {
+  std::atomic<int> ran{0};
+  {
+    ThreadPool pool(1);
+    for (int i = 0; i < 32; ++i) {
+      pool.Submit([&ran] { ran.fetch_add(1); });
+    }
+    // No waiting here: destruction must finish the queue, then join.
+  }
+  EXPECT_EQ(ran.load(), 32);
+}
+
+TEST(ThreadPoolTest, ManyProducersManyWorkersStress) {
+  ThreadPool pool(4);
+  std::atomic<int> ran{0};
+  std::vector<std::thread> producers;
+  for (int p = 0; p < 4; ++p) {
+    producers.emplace_back([&pool, &ran] {
+      std::vector<std::future<void>> futures;
+      for (int i = 0; i < 200; ++i) {
+        futures.push_back(pool.Submit([&ran] { ran.fetch_add(1); }));
+      }
+      for (std::future<void>& f : futures) f.get();
+    });
+  }
+  for (std::thread& t : producers) t.join();
+  EXPECT_EQ(ran.load(), 800);
+  EXPECT_EQ(pool.num_threads(), 4u);
+}
+
+TEST(ThreadPoolTest, DefaultThreadCountIsPositive) {
+  EXPECT_GE(ThreadPool::DefaultThreadCount(), 1u);
+}
+
+}  // namespace
+}  // namespace skl

@@ -1,0 +1,59 @@
+#!/usr/bin/env python3
+"""Fails (exit 1) on broken relative links in the given markdown files.
+
+Checks inline links and images — [text](target) / ![alt](target) — whose
+target is a relative path: the referenced file must exist relative to the
+markdown file containing the link. External schemes (http/https/mailto) and
+pure in-page anchors (#...) are skipped; a #fragment on a relative target is
+stripped before the existence check (anchor validity is not checked).
+
+Usage: tools/check_links.py README.md docs/*.md
+"""
+import re
+import sys
+from pathlib import Path
+
+# Inline links/images; deliberately simple — our docs don't nest parens in
+# URLs or use reference-style links.
+LINK_RE = re.compile(r"!?\[[^\]]*\]\(([^)\s]+)(?:\s+\"[^\"]*\")?\)")
+SKIP_PREFIXES = ("http://", "https://", "mailto:", "#")
+
+
+def broken_links(md_file: Path):
+    text = md_file.read_text(encoding="utf-8")
+    # Drop fenced code blocks: their bracket/paren runs are not links.
+    text = re.sub(r"```.*?```", "", text, flags=re.DOTALL)
+    for match in LINK_RE.finditer(text):
+        target = match.group(1)
+        if target.startswith(SKIP_PREFIXES):
+            continue
+        path = target.split("#", 1)[0]
+        if not path:
+            continue
+        if not (md_file.parent / path).exists():
+            yield target
+
+
+def main(argv):
+    if len(argv) < 2:
+        print(__doc__.strip(), file=sys.stderr)
+        return 2
+    failures = 0
+    for name in argv[1:]:
+        md_file = Path(name)
+        if not md_file.exists():
+            print(f"{name}: file not found", file=sys.stderr)
+            failures += 1
+            continue
+        for target in broken_links(md_file):
+            print(f"{name}: broken relative link -> {target}", file=sys.stderr)
+            failures += 1
+    if failures:
+        print(f"{failures} broken link(s)", file=sys.stderr)
+        return 1
+    print("all relative links resolve")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main(sys.argv))
