@@ -40,6 +40,10 @@ int main() {
   runs.reserve(generated->size());
   for (GeneratedRun& g : *generated) runs.push_back(std::move(g.run));
 
+  JsonReporter json("bench_bulk_ingest");
+  json.Add("num_runs", static_cast<double>(num_runs), "runs");
+  json.Add("target_vertices", target, "vertices");
+
   PrintHeader("Bulk Ingestion Scaling (QBLAST, " +
               std::to_string(num_runs) + " runs x ~" +
               std::to_string(target) + " vertices)");
@@ -63,6 +67,7 @@ int main() {
   std::printf("%10s %8s %10.1f %9.2f %8.0f %8s\n", "serial", "-",
               serial_secs * 1e3, serial_secs * 1e3 / runs.size(),
               runs.size() / serial_secs, "1.00x");
+  json.Add("serial_runs_per_sec", runs.size() / serial_secs, "runs/s");
 
   for (unsigned threads : {1u, 2u, 4u, 8u}) {
     ProvenanceService::Options options;
@@ -80,6 +85,10 @@ int main() {
     std::printf("%10s %8u %10.1f %9.2f %8.0f %7.2fx\n", "parallel", threads,
                 secs * 1e3, secs * 1e3 / runs.size(), runs.size() / secs,
                 serial_secs / secs);
+    const std::string t = std::to_string(threads);
+    json.Add("parallel_t" + t + "_runs_per_sec", runs.size() / secs,
+             "runs/s");
+    json.Add("parallel_t" + t + "_speedup", serial_secs / secs, "x");
   }
 
   std::printf("\nhardware threads: %u (wall-clock speedup is bounded by "

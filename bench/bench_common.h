@@ -6,12 +6,15 @@
 // and query points over 10^6 queries on 2005-era hardware. We default to a
 // handful of runs and 10^5..10^6 queries, which gives stable numbers in
 // seconds; SKL_BENCH_RUNS / SKL_BENCH_MAX_SIZE environment variables scale
-// the sweep up or down.
+// the sweep up or down. SKL_BENCH_JSON=<path> additionally writes the key
+// metrics as machine-readable JSON (JsonReporter below) — the format CI
+// archives on every push for the perf trajectory.
 #ifndef SKL_BENCH_BENCH_COMMON_H_
 #define SKL_BENCH_BENCH_COMMON_H_
 
 #include <cstdio>
 #include <cstdlib>
+#include <fstream>
 #include <string>
 #include <vector>
 
@@ -98,6 +101,72 @@ inline double AverageLabelBits(const RunLabeling& labeling) {
 inline void PrintHeader(const std::string& title) {
   std::printf("\n=== %s ===\n", title.c_str());
 }
+
+/// Machine-readable results sink for the CI perf trajectory: when
+/// SKL_BENCH_JSON=<path> is set, every Add() call is collected and written
+/// to <path> as one JSON document when the reporter is destroyed (or on an
+/// explicit Flush()). Without the variable the reporter is a no-op, so
+/// benches construct one unconditionally next to their printf tables:
+///
+///   JsonReporter json("bench_bulk_ingest");
+///   json.Add("serial_runs_per_sec", runs / secs, "runs/s");
+///
+/// Output shape (one file per bench binary; CI uploads the directory):
+///   {"bench": "<name>", "results": [
+///     {"name": "...", "value": 123.4, "unit": "..."}, ...]}
+class JsonReporter {
+ public:
+  explicit JsonReporter(std::string bench_name)
+      : bench_(std::move(bench_name)) {}
+
+  JsonReporter(const JsonReporter&) = delete;
+  JsonReporter& operator=(const JsonReporter&) = delete;
+
+  ~JsonReporter() { Flush(); }
+
+  static bool Enabled() { return std::getenv("SKL_BENCH_JSON") != nullptr; }
+
+  void Add(const std::string& name, double value, const std::string& unit) {
+    if (!Enabled()) return;
+    char buf[32];
+    std::snprintf(buf, sizeof(buf), "%.10g", value);
+    entries_.push_back("    {\"name\": \"" + Escape(name) +
+                       "\", \"value\": " + buf + ", \"unit\": \"" +
+                       Escape(unit) + "\"}");
+  }
+
+  /// Writes the document and clears the collected entries; safe to call
+  /// when disabled or empty (does nothing).
+  void Flush() {
+    const char* path = std::getenv("SKL_BENCH_JSON");
+    if (path == nullptr || entries_.empty()) return;
+    std::ofstream out(path, std::ios::trunc);
+    if (!out) {
+      std::fprintf(stderr, "warning: cannot write SKL_BENCH_JSON=%s\n", path);
+      return;
+    }
+    out << "{\n  \"bench\": \"" << Escape(bench_) << "\",\n  \"results\": [\n";
+    for (size_t i = 0; i < entries_.size(); ++i) {
+      out << entries_[i] << (i + 1 < entries_.size() ? ",\n" : "\n");
+    }
+    out << "  ]\n}\n";
+    entries_.clear();
+  }
+
+ private:
+  static std::string Escape(const std::string& s) {
+    std::string out;
+    out.reserve(s.size());
+    for (char c : s) {
+      if (c == '"' || c == '\\') out.push_back('\\');
+      out.push_back(c);
+    }
+    return out;
+  }
+
+  std::string bench_;
+  std::vector<std::string> entries_;
+};
 
 }  // namespace bench
 }  // namespace skl

@@ -11,10 +11,19 @@
 // runs is bulk-ingested on the service's thread pool
 // (AddRunsWithPlansParallel) — the paper's many-runs amortization, parallel.
 //
+// After the nightly batch, the service checkpoints itself to a snapshot
+// file and recovery is rehearsed: the snapshot is loaded back and a sample
+// of query answers is verified identical — the warm-restart path a crash
+// would take (docs/PERSISTENCE.md), exercised on every audit.
+//
 //   $ ./provenance_audit [target_run_size] [batch_size]
 #include <cstdio>
 #include <cstdlib>
+#include <filesystem>
+#include <string>
 #include <vector>
+
+#include "src/common/temp_path.h"
 
 #include "src/common/stopwatch.h"
 #include "src/skl.h"
@@ -103,6 +112,57 @@ int main(int argc, char** argv) {
               batch_ok, batch_ids.size(), batch_secs * 1e3,
               batch_secs > 0 ? batch_ok / batch_secs : 0.0,
               ThreadPool::Resolve(service->options().num_threads));
+
+  // Checkpoint-and-recover rehearsal: persist the whole service (spec +
+  // scheme + all registered runs), load it back as a crash recovery would,
+  // and verify the restored registry answers identically.
+  const std::filesystem::path snapshot_path =
+      PidQualifiedTempPath("provenance_audit", ".skls");
+  sw.Restart();
+  Status saved = service->SaveSnapshot(snapshot_path.string());
+  if (!saved.ok()) {
+    std::fprintf(stderr, "%s\n", saved.ToString().c_str());
+    return 1;
+  }
+  const double save_ms = sw.ElapsedMillis();
+  std::error_code size_ec;
+  const auto snapshot_bytes =
+      std::filesystem::file_size(snapshot_path, size_ec);
+
+  sw.Restart();
+  auto restored = ProvenanceService::LoadSnapshot(snapshot_path.string());
+  const double recover_ms = sw.ElapsedMillis();
+  std::error_code rm_ec;
+  std::filesystem::remove(snapshot_path, rm_ec);
+  if (!restored.ok()) {
+    std::fprintf(stderr, "%s\n", restored.status().ToString().c_str());
+    return 1;
+  }
+  size_t verified = 0, mismatches = 0;
+  for (RunId rid : service->ListRuns()) {
+    auto rstats = restored->Stats(rid);
+    if (!rstats.ok()) {  // a missing run counts as one failed sample
+      ++verified;
+      ++mismatches;
+      continue;
+    }
+    const VertexId n = rstats->num_vertices;
+    // Deterministic sample: a diagonal band plus the extremes.
+    for (VertexId v = 0; v < n; v += 1 + n / 16) {
+      const VertexId w = n - 1 - v;
+      auto a = service->Reaches(rid, v, w);
+      auto b = restored->Reaches(rid, v, w);
+      ++verified;
+      if (!a.ok() || !b.ok() || *a != *b) ++mismatches;
+    }
+  }
+  std::printf("checkpoint: %zu runs -> %llu bytes in %.2f ms; recovered in "
+              "%.2f ms; %zu/%zu sampled answers identical\n\n",
+              service->num_runs(),
+              size_ec ? 0ULL
+                      : static_cast<unsigned long long>(snapshot_bytes),
+              save_ms, recover_ms, verified - mismatches, verified);
+  if (mismatches != 0) return 1;
 
   // (a) Faulty execution: pick a mid-run vertex; find all affected items.
   VertexId faulty = run.num_vertices() / 2;

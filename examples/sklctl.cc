@@ -9,12 +9,17 @@
 //   sklctl stats spec.xml run.xml        print plan/label statistics
 //   sklctl ingest-dir spec.xml runs/     bulk-ingest every run XML in a
 //                                        directory on a thread pool
+//   sklctl save spec.xml runs/ out.skls  ingest a directory and save the
+//                                        whole service as a snapshot
+//   sklctl load out.skls                 restore a snapshot and answer
+//                                        stdin queries ("<run-id> <u> <v>")
 //
-// label/stats/ingest-dir accept
+// label/stats/ingest-dir/save accept
 // --scheme=tcm|bfs|dfs|interval|tree-cover|chain|2hop to pick the skeleton
-// labeling scheme (default tcm); ingest-dir additionally accepts
-// --threads=N (0 = one per hardware thread) and --fail-fast (all-or-nothing
-// batch).
+// labeling scheme (default tcm); ingest-dir, save and load accept
+// --threads=N (0 = one per hardware thread), and ingest-dir --fail-fast
+// (all-or-nothing batch). load rejects --scheme: the scheme identity is
+// part of the snapshot.
 #include <algorithm>
 #include <cstdio>
 #include <cstdlib>
@@ -69,23 +74,25 @@ int Usage() {
       "       sklctl ingest-dir [--scheme=<name>] [--threads=<n>] "
       "[--fail-fast]\n"
       "                         <spec.xml> <run-dir>\n"
+      "       sklctl save [--scheme=<name>] [--threads=<n>] "
+      "<spec.xml> <run-dir>\n"
+      "                   <out.snapshot>\n"
+      "       sklctl load [--threads=<n>] <snapshot>\n"
       "scheme names: tcm (default), bfs, dfs, interval, tree-cover, "
       "chain, 2hop\n");
   return 2;
 }
 
-/// Bulk-ingests every regular file in `dir` (sorted by name, parsed as run
-/// XML) through AddRunsParallel, reporting per-file outcomes + throughput.
-int IngestDir(Specification spec, SpecSchemeKind scheme_kind,
-              unsigned num_threads, bool fail_fast, const char* dir) {
+/// Regular files in `dir`, sorted by name; the shared discovery step of
+/// ingest-dir and save.
+Result<std::vector<std::string>> ScanRunDir(const char* dir) {
   // error_code forms throughout: a stat failure mid-iteration (entry
   // deleted under us, unsearchable subpath) must report, not terminate.
   std::error_code ec;
   std::filesystem::directory_iterator it(dir, ec), end;
   if (ec) {
-    std::fprintf(stderr, "error: cannot open directory %s: %s\n", dir,
-                 ec.message().c_str());
-    return 1;
+    return Status::NotFound(std::string("cannot open directory ") + dir +
+                            ": " + ec.message());
   }
   std::vector<std::string> paths;
   for (; it != end; it.increment(ec)) {
@@ -95,15 +102,23 @@ int IngestDir(Specification spec, SpecSchemeKind scheme_kind,
     }
   }
   if (ec) {  // a failed increment lands on `end` with ec set
-    std::fprintf(stderr, "error: while scanning %s: %s\n", dir,
-                 ec.message().c_str());
-    return 1;
+    return Status::Internal(std::string("while scanning ") + dir + ": " +
+                            ec.message());
   }
   std::sort(paths.begin(), paths.end());
   if (paths.empty()) {
-    std::fprintf(stderr, "error: no files in %s\n", dir);
-    return 1;
+    return Status::NotFound(std::string("no files in ") + dir);
   }
+  return paths;
+}
+
+/// Bulk-ingests every regular file in `dir` (sorted by name, parsed as run
+/// XML) through AddRunsParallel, reporting per-file outcomes + throughput.
+int IngestDir(Specification spec, SpecSchemeKind scheme_kind,
+              unsigned num_threads, bool fail_fast, const char* dir) {
+  auto scanned = ScanRunDir(dir);
+  if (!scanned.ok()) return Fail(scanned.status());
+  std::vector<std::string> paths = std::move(scanned).value();
 
   // Parse failures drop out of `runs`; the report loop below re-derives the
   // run-to-path mapping by skipping entries with a parse error.
@@ -162,20 +177,146 @@ int IngestDir(Specification spec, SpecSchemeKind scheme_kind,
   return ok == paths.size() ? 0 : 1;
 }
 
+/// `sklctl save`: ingest every run XML in a directory, then persist the
+/// whole service (spec + scheme identity + every labeled run) as one
+/// snapshot file. Strict: a snapshot is a durability artifact, so any parse
+/// or labeling failure aborts the save instead of dropping runs silently.
+int Save(Specification spec, SpecSchemeKind scheme_kind, unsigned num_threads,
+         const char* dir, const char* out_path) {
+  auto paths = ScanRunDir(dir);
+  if (!paths.ok()) return Fail(paths.status());
+
+  std::vector<Run> runs;
+  runs.reserve(paths->size());
+  for (const std::string& path : *paths) {
+    auto run = LoadRun(path.c_str());
+    if (!run.ok()) {
+      std::fprintf(stderr, "error: %s: %s\n", path.c_str(),
+                   run.status().ToString().c_str());
+      return 1;
+    }
+    runs.push_back(std::move(run).value());
+  }
+
+  ProvenanceService::Options options;
+  options.num_threads = num_threads;
+  options.fail_fast = true;  // all-or-nothing, see above
+  auto service =
+      ProvenanceService::Create(std::move(spec), scheme_kind, options);
+  if (!service.ok()) return Fail(service.status());
+
+  Stopwatch sw;
+  std::vector<Result<RunId>> ids = service->AddRunsParallel(runs);
+  // Under fail-fast, siblings of the real failure report Cancelled; name
+  // the run that actually failed, not the first casualty.
+  size_t failed = ids.size();
+  for (size_t i = 0; i < ids.size(); ++i) {
+    if (ids[i].ok()) continue;
+    if (ids[i].status().code() != StatusCode::kCancelled) {
+      failed = i;
+      break;
+    }
+    if (failed == ids.size()) failed = i;  // Cancelled-only fallback
+  }
+  if (failed != ids.size()) {
+    std::fprintf(stderr, "error: %s: %s\n", (*paths)[failed].c_str(),
+                 ids[failed].status().ToString().c_str());
+    return 1;
+  }
+  const double ingest_secs = sw.ElapsedSeconds();
+
+  sw.Restart();
+  Status saved = service->SaveSnapshot(out_path);
+  if (!saved.ok()) return Fail(saved);
+  const double save_secs = sw.ElapsedSeconds();
+
+  std::error_code ec;
+  const auto bytes = std::filesystem::file_size(out_path, ec);
+  std::printf(
+      "saved %zu runs (scheme %s) to %s: %.2f ms ingest + %.2f ms save"
+      ", %llu bytes\n",
+      ids.size(), SpecSchemeKindName(scheme_kind), out_path,
+      ingest_secs * 1e3, save_secs * 1e3,
+      ec ? 0ULL : static_cast<unsigned long long>(bytes));
+  return 0;
+}
+
+/// `sklctl load`: restore a snapshot, print what came back, and answer
+/// "<run-id> <from> <to>" reachability queries from stdin. The scheme is
+/// part of the snapshot; runtime knobs (threads) are not and pass through.
+int Load(const char* path, unsigned num_threads) {
+  ProvenanceService::Options options;
+  options.num_threads = num_threads;
+  Stopwatch sw;
+  auto service = ProvenanceService::LoadSnapshot(path, options);
+  if (!service.ok()) return Fail(service.status());
+  const double load_secs = sw.ElapsedSeconds();
+
+  std::vector<RunId> ids = service->ListRuns();
+  uint64_t vertices = 0;
+  std::string run_lines;
+  for (RunId id : ids) {
+    auto stats = service->Stats(id);
+    if (!stats.ok()) continue;
+    vertices += stats->num_vertices;
+    char line[128];
+    std::snprintf(line, sizeof(line),
+                  "  run %llu: %u vertices, %zu items, %u-bit labels%s\n",
+                  static_cast<unsigned long long>(id.value()),
+                  stats->num_vertices, stats->num_items, stats->label_bits,
+                  stats->imported ? " (imported)" : "");
+    run_lines += line;
+  }
+  std::printf("restored %s in %.2f ms: scheme %s, %u spec modules, "
+              "%zu runs, %llu run vertices\n",
+              path, load_secs * 1e3,
+              std::string(service->scheme().name()).c_str(),
+              service->spec().graph().num_vertices(), ids.size(),
+              static_cast<unsigned long long>(vertices));
+  std::fputs(run_lines.c_str(), stdout);
+
+  std::string line;
+  while (std::getline(std::cin, line)) {
+    if (line.empty() || line[0] == '#') continue;
+    std::istringstream iss(line);
+    uint64_t run_value;
+    VertexId u, v;
+    if (!(iss >> run_value >> u >> v)) {
+      std::printf("? bad query: %s\n", line.c_str());
+      continue;
+    }
+    auto reach = service->Reaches(RunId::FromValue(run_value), u, v);
+    if (!reach.ok()) {
+      std::printf("? %s\n", reach.status().ToString().c_str());
+      continue;
+    }
+    std::printf("run %llu: %u -> %u : %s\n",
+                static_cast<unsigned long long>(run_value), u, v,
+                *reach ? "reachable" : "unreachable");
+  }
+  return 0;
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
   // Split argv into the command, options, and positional arguments.
   std::string cmd;
   SpecSchemeKind scheme_kind = SpecSchemeKind::kTcm;
+  bool scheme_given = false;
   unsigned num_threads = 0;
   bool fail_fast = false;
   std::vector<const char*> args;
   for (int i = 1; i < argc; ++i) {
     if (std::strncmp(argv[i], "--scheme=", 9) == 0) {
       auto parsed = ParseSpecSchemeKind(argv[i] + 9);
-      if (!parsed.ok()) return Fail(parsed.status());
+      if (!parsed.ok()) {  // malformed invocation: usage + exit 2
+        std::fprintf(stderr, "error: %s\n",
+                     parsed.status().ToString().c_str());
+        return Usage();
+      }
       scheme_kind = *parsed;
+      scheme_given = true;
     } else if (std::strncmp(argv[i], "--threads=", 10) == 0) {
       // Strict parse: reject non-numeric and absurd values up front — a
       // negative number wrapped through strtoul would ask the pool for
@@ -206,6 +347,10 @@ int main(int argc, char** argv) {
   if (cmd.empty()) return Usage();
 
   if (cmd == "demo-spec") {
+    if (!args.empty()) {
+      std::fprintf(stderr, "error: demo-spec takes no arguments\n");
+      return Usage();
+    }
     auto spec = BuildRunningExampleSpec();
     if (!spec.ok()) return Fail(spec.status());
     std::fputs(WriteSpecificationXml(*spec).c_str(), stdout);
@@ -213,7 +358,7 @@ int main(int argc, char** argv) {
   }
 
   if (cmd == "demo-run") {
-    if (args.empty()) return Usage();
+    if (args.empty() || args.size() > 3) return Usage();
     auto spec = LoadSpec(args[0]);
     if (!spec.ok()) return Fail(spec.status());
     RunGenerator generator(&spec.value());
@@ -230,15 +375,46 @@ int main(int argc, char** argv) {
   }
 
   if (cmd == "ingest-dir") {
-    if (args.size() < 2) return Usage();
+    if (args.size() != 2) return Usage();
     auto spec = LoadSpec(args[0]);
     if (!spec.ok()) return Fail(spec.status());
     return IngestDir(std::move(spec).value(), scheme_kind, num_threads,
                      fail_fast, args[1]);
   }
 
+  if (cmd == "save") {
+    if (args.size() != 3) return Usage();
+    if (fail_fast) {
+      std::fprintf(stderr,
+                   "error: save is always all-or-nothing; --fail-fast is "
+                   "not accepted\n");
+      return Usage();
+    }
+    auto spec = LoadSpec(args[0]);
+    if (!spec.ok()) return Fail(spec.status());
+    return Save(std::move(spec).value(), scheme_kind, num_threads, args[1],
+                args[2]);
+  }
+
+  if (cmd == "load") {
+    if (args.size() != 1) return Usage();
+    if (scheme_given) {
+      std::fprintf(stderr,
+                   "error: load restores the scheme stored in the snapshot; "
+                   "--scheme is not accepted\n");
+      return Usage();
+    }
+    if (fail_fast) {
+      std::fprintf(stderr,
+                   "error: load performs no bulk ingestion; --fail-fast is "
+                   "not accepted\n");
+      return Usage();
+    }
+    return Load(args[0], num_threads);
+  }
+
   if (cmd == "validate" || cmd == "label" || cmd == "stats") {
-    if (args.size() < 2) return Usage();
+    if (args.size() != 2) return Usage();
     auto spec = LoadSpec(args[0]);
     if (!spec.ok()) return Fail(spec.status());
     auto run = LoadRun(args[1]);
@@ -296,5 +472,6 @@ int main(int argc, char** argv) {
     }
     return 0;
   }
+  std::fprintf(stderr, "error: unknown subcommand '%s'\n", cmd.c_str());
   return Usage();
 }

@@ -29,6 +29,12 @@ void BitWriter::WriteVarint(uint64_t value) {
   } while (value != 0);
 }
 
+void BitWriter::WriteBytes(std::span<const uint8_t> bytes) {
+  AlignToByte();
+  bytes_.insert(bytes_.end(), bytes.begin(), bytes.end());
+  bit_count_ += bytes.size() * 8;
+}
+
 void BitWriter::AlignToByte() {
   while (bit_count_ & 7) Write(0, 1);
 }
@@ -73,6 +79,17 @@ Status BitReader::ReadVarint(uint64_t* value) {
     if (shift > 63) return Status::ParseError("varint too long");
   }
   *value = out;
+  return Status::OK();
+}
+
+Status BitReader::ReadBytes(size_t count, std::span<const uint8_t>* out) {
+  const size_t aligned = (bit_pos_ + 7) & ~size_t{7};
+  if (count > (size_bits_ - aligned) / 8) {
+    return Status::ParseError("bit stream exhausted");
+  }
+  bit_pos_ = aligned;
+  *out = std::span<const uint8_t>(data_ + (bit_pos_ >> 3), count);
+  bit_pos_ += count * 8;
   return Status::OK();
 }
 

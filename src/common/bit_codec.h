@@ -6,6 +6,7 @@
 #define SKL_COMMON_BIT_CODEC_H_
 
 #include <cstdint>
+#include <span>
 #include <vector>
 
 #include "src/common/status.h"
@@ -22,6 +23,11 @@ class BitWriter {
 
   /// Appends an LEB128-style varint (7 bits per byte), byte-aligned first.
   void WriteVarint(uint64_t value);
+
+  /// Appends a raw byte blob verbatim, byte-aligned first. Used to embed an
+  /// already-encoded payload (e.g. a ProvenanceStore blob inside a service
+  /// snapshot) without re-encoding it bit by bit.
+  void WriteBytes(std::span<const uint8_t> bytes);
 
   /// Pads with zero bits to the next byte boundary.
   void AlignToByte();
@@ -48,6 +54,11 @@ class BitReader {
 
   /// Reads a varint written by WriteVarint (aligns to byte first).
   Status ReadVarint(uint64_t* value);
+
+  /// Reads `count` raw bytes written by WriteBytes (aligns to byte first).
+  /// *out is a zero-copy view into the underlying buffer, valid only while
+  /// that buffer lives. Fails without advancing if fewer bytes remain.
+  Status ReadBytes(size_t count, std::span<const uint8_t>* out);
 
   /// Skips forward to the next byte boundary.
   void AlignToByte();

@@ -1,0 +1,42 @@
+#include "src/common/crc32.h"
+
+#include <array>
+
+namespace skl {
+
+namespace {
+
+// Reflected CRC-32 table for polynomial 0xEDB88320 (IEEE 802.3).
+std::array<uint32_t, 256> BuildTable() {
+  std::array<uint32_t, 256> table;
+  for (uint32_t i = 0; i < 256; ++i) {
+    uint32_t c = i;
+    for (int k = 0; k < 8; ++k) {
+      c = (c & 1) ? 0xEDB88320u ^ (c >> 1) : c >> 1;
+    }
+    table[i] = c;
+  }
+  return table;
+}
+
+const std::array<uint32_t, 256>& Table() {
+  static const std::array<uint32_t, 256> table = BuildTable();
+  return table;
+}
+
+}  // namespace
+
+uint32_t Crc32Update(uint32_t seed, std::span<const uint8_t> bytes) {
+  const std::array<uint32_t, 256>& table = Table();
+  uint32_t c = seed ^ 0xFFFFFFFFu;
+  for (uint8_t b : bytes) {
+    c = table[(c ^ b) & 0xFFu] ^ (c >> 8);
+  }
+  return c ^ 0xFFFFFFFFu;
+}
+
+uint32_t Crc32(std::span<const uint8_t> bytes) {
+  return Crc32Update(0, bytes);
+}
+
+}  // namespace skl

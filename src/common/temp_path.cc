@@ -1,0 +1,21 @@
+#include "src/common/temp_path.h"
+
+#include <filesystem>
+
+#if defined(__unix__) || defined(__APPLE__)
+#include <unistd.h>
+#endif
+
+namespace skl {
+
+std::string PidQualifiedTempPath(const std::string& stem,
+                                 const std::string& suffix) {
+#if defined(__unix__) || defined(__APPLE__)
+  const std::string name = stem + "." + std::to_string(::getpid()) + suffix;
+#else
+  const std::string name = stem + suffix;
+#endif
+  return (std::filesystem::temp_directory_path() / name).string();
+}
+
+}  // namespace skl

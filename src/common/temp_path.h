@@ -1,0 +1,18 @@
+// Pid-qualified scratch-file paths for driver binaries (examples, benches):
+// concurrent invocations on one machine — parallel CI jobs on a shared
+// runner, say — must not clobber each other's temp files.
+#ifndef SKL_COMMON_TEMP_PATH_H_
+#define SKL_COMMON_TEMP_PATH_H_
+
+#include <string>
+
+namespace skl {
+
+/// "<tmpdir>/<stem>.<pid><suffix>"; the pid qualifier is dropped on
+/// platforms without one. `suffix` should include its dot (".skls").
+std::string PidQualifiedTempPath(const std::string& stem,
+                                 const std::string& suffix);
+
+}  // namespace skl
+
+#endif  // SKL_COMMON_TEMP_PATH_H_

@@ -52,6 +52,7 @@
 #include <mutex>
 #include <shared_mutex>
 #include <span>
+#include <string>
 #include <string_view>
 #include <utility>
 #include <vector>
@@ -228,6 +229,26 @@ class ProvenanceService {
   /// ProvenanceStore::Serialize). The blob must stem from a run of this
   /// service's specification; it is immediately queryable.
   Result<RunId> ImportRun(const std::vector<uint8_t>& blob);
+
+  /// Serializes the whole service — specification, scheme identity, and
+  /// every registered run with its labels, catalog and stats — to one
+  /// versioned, checksummed snapshot file (src/io/snapshot.h; format in
+  /// docs/PERSISTENCE.md). Point-in-time consistent: taken under the shared
+  /// lock, so concurrent queries keep answering. Fails with InvalidArgument
+  /// for services over caller-constructed schemes that are not one of the
+  /// bundled SpecSchemeKinds.
+  Status SaveSnapshot(const std::string& path) const;
+
+  /// Restores a service saved by SaveSnapshot: same RunIds (including the
+  /// id counter, so the next AddRun gets the same handle it would have on
+  /// the saving service) and bit-identical query answers, with the skeleton
+  /// scheme rebuilt deterministically from the restored specification.
+  /// Runtime knobs (thread pool size, fail-fast) are not part of the
+  /// snapshot; pass them here. Malformed input — truncated file, bad magic,
+  /// unsupported version, corrupted section — fails with a descriptive
+  /// ParseError.
+  static Result<ProvenanceService> LoadSnapshot(const std::string& path,
+                                                Options options = {});
 
   // ------------------------------------------------------------- registry --
 

@@ -61,7 +61,12 @@ std::vector<uint8_t> ProvenanceStore::Serialize() const {
 
 Result<ProvenanceStore> ProvenanceStore::Deserialize(
     const std::vector<uint8_t>& bytes) {
-  BitReader reader(bytes);
+  return Deserialize(std::span<const uint8_t>(bytes));
+}
+
+Result<ProvenanceStore> ProvenanceStore::Deserialize(
+    std::span<const uint8_t> bytes) {
+  BitReader reader(bytes.data(), bytes.size());
   uint64_t magic, version, n, q_bits, o_bits;
   SKL_RETURN_NOT_OK(reader.Read(32, &magic));
   if (magic != kMagic) return Status::ParseError("not a provenance store");

@@ -12,6 +12,7 @@
 #define SKL_CORE_PROVENANCE_STORE_H_
 
 #include <cstdint>
+#include <span>
 #include <vector>
 
 #include "src/common/status.h"
@@ -30,6 +31,7 @@ class ProvenanceStore {
   std::vector<uint8_t> Serialize() const;
 
   /// Restores a store from a blob.
+  static Result<ProvenanceStore> Deserialize(std::span<const uint8_t> bytes);
   static Result<ProvenanceStore> Deserialize(
       const std::vector<uint8_t>& bytes);
 

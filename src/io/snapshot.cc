@@ -1,0 +1,385 @@
+#include "src/io/snapshot.h"
+
+#include <algorithm>
+#include <atomic>
+#include <filesystem>
+#include <fstream>
+#include <shared_mutex>
+#include <string_view>
+
+#if defined(__unix__) || defined(__APPLE__)
+#include <fcntl.h>
+#include <unistd.h>
+#endif
+
+#include "src/common/bit_codec.h"
+#include "src/common/crc32.h"
+#include "src/core/provenance_service.h"
+#include "src/io/workflow_xml.h"
+#include "src/speclabel/scheme.h"
+
+namespace skl {
+
+namespace {
+
+constexpr uint32_t kMagic = 0x534b4c53;  // "SKLS"
+
+#if defined(__unix__) || defined(__APPLE__)
+Status FsyncPath(const char* path, int flags, const std::string& what) {
+  int fd = ::open(path, flags);
+  if (fd < 0) return Status::Internal("cannot open " + what + " for sync");
+  const bool synced = ::fsync(fd) == 0;
+  ::close(fd);
+  if (!synced) return Status::Internal("cannot sync " + what);
+  return Status::OK();
+}
+#endif
+
+/// Flushes a written file to stable storage where the platform supports it.
+Status SyncFile(const std::string& file) {
+#if defined(__unix__) || defined(__APPLE__)
+  return FsyncPath(file.c_str(), O_RDONLY, "snapshot file " + file);
+#else
+  (void)file;
+  return Status::OK();
+#endif
+}
+
+/// Flushes a directory's entries; a rename is only durable once this runs
+/// *after* it.
+Status SyncDir(const std::string& dir) {
+#if defined(__unix__) || defined(__APPLE__)
+  const std::string d = dir.empty() ? "." : dir;
+  return FsyncPath(d.c_str(), O_RDONLY | O_DIRECTORY,
+                   "snapshot directory " + d);
+#else
+  (void)dir;
+  return Status::OK();
+#endif
+}
+
+Result<std::vector<uint8_t>> ReadFileBytes(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in) return Status::NotFound("cannot open snapshot file " + path);
+  std::vector<uint8_t> bytes((std::istreambuf_iterator<char>(in)),
+                             std::istreambuf_iterator<char>());
+  if (in.bad()) return Status::Internal("error reading snapshot file " + path);
+  return bytes;
+}
+
+}  // namespace
+
+// ----------------------------------------------------------- container IO --
+
+void SnapshotWriter::AddSection(uint32_t id, std::vector<uint8_t> payload) {
+  sections_.emplace_back(id, std::move(payload));
+}
+
+std::vector<uint8_t> SnapshotWriter::Finish() && {
+  BitWriter writer;
+  writer.Write(kMagic, 32);
+  writer.WriteVarint(format_version_);
+  writer.WriteVarint(sections_.size());
+  for (const auto& [id, payload] : sections_) {
+    writer.WriteVarint(id);
+    writer.WriteVarint(payload.size());
+    writer.Write(Crc32(payload), 32);
+    writer.WriteBytes(payload);
+  }
+  return writer.Finish();
+}
+
+Status SnapshotWriter::WriteFile(const std::string& path) && {
+  const std::vector<uint8_t> bytes = std::move(*this).Finish();
+  // Write to a sibling tmp file and rename into place: a crash mid-save
+  // must never leave a torn snapshot under the real name (the previous
+  // snapshot, if any, stays intact until the atomic rename). The tmp name
+  // is pid+sequence qualified so concurrent saves to the same path cannot
+  // clobber each other's half-written bytes before their renames.
+  static std::atomic<uint64_t> save_seq{0};
+  std::string unique = std::to_string(save_seq.fetch_add(1));
+#if defined(__unix__) || defined(__APPLE__)
+  unique = std::to_string(::getpid()) + "." + unique;
+#endif
+  const std::string tmp = path + ".tmp." + unique;
+  {
+    std::ofstream out(tmp, std::ios::binary | std::ios::trunc);
+    if (!out) return Status::Internal("cannot create snapshot file " + tmp);
+    out.write(reinterpret_cast<const char*>(bytes.data()),
+              static_cast<std::streamsize>(bytes.size()));
+    out.close();  // flushes; a failed final flush surfaces on the stream
+    if (out.fail()) {
+      std::error_code cleanup_ec;
+      std::filesystem::remove(tmp, cleanup_ec);
+      return Status::Internal("error writing snapshot file " + tmp);
+    }
+  }
+  // The tmp bytes must be on stable storage before the rename publishes
+  // them, or a power failure could replace a good snapshot with a torn one.
+  Status synced = SyncFile(tmp);
+  if (!synced.ok()) {
+    std::error_code cleanup_ec;
+    std::filesystem::remove(tmp, cleanup_ec);
+    return synced;
+  }
+  std::error_code ec;
+  std::filesystem::rename(tmp, path, ec);
+  if (ec) {
+    const std::string reason = ec.message();
+    std::error_code cleanup_ec;
+    std::filesystem::remove(tmp, cleanup_ec);
+    return Status::Internal("cannot move snapshot into place at " + path +
+                            ": " + reason);
+  }
+  // ... and the rename itself is only durable once the directory entry is
+  // flushed; only then may the caller be told the checkpoint committed.
+  return SyncDir(std::filesystem::path(path).parent_path().string());
+}
+
+Result<SnapshotReader> SnapshotReader::Parse(std::vector<uint8_t> bytes) {
+  SnapshotReader snapshot;
+  snapshot.bytes_ = std::move(bytes);
+  BitReader reader(snapshot.bytes_);
+  uint64_t magic = 0;
+  if (!reader.Read(32, &magic).ok()) {
+    return Status::ParseError("snapshot truncated: missing file header");
+  }
+  if (magic != kMagic) {
+    return Status::ParseError("not an SKL snapshot (bad magic)");
+  }
+  uint64_t version = 0, count = 0;
+  if (!reader.ReadVarint(&version).ok() || !reader.ReadVarint(&count).ok()) {
+    return Status::ParseError("snapshot truncated: incomplete header");
+  }
+  if (version != kSnapshotFormatVersion) {
+    return Status::ParseError(
+        "unsupported snapshot format version " + std::to_string(version) +
+        " (this build reads version " +
+        std::to_string(kSnapshotFormatVersion) + ")");
+  }
+  snapshot.format_version_ = static_cast<uint32_t>(version);
+  // The count is corruption-controlled: cap the reserve at what the file
+  // could physically hold (>= 6 header bytes per section) so a crafted
+  // varint yields ParseError below, not a length_error/bad_alloc abort.
+  snapshot.sections_.reserve(
+      std::min<uint64_t>(count, snapshot.bytes_.size() / 6));
+  for (uint64_t i = 0; i < count; ++i) {
+    uint64_t id = 0, length = 0, expected_crc = 0;
+    if (!reader.ReadVarint(&id).ok() || !reader.ReadVarint(&length).ok() ||
+        !reader.Read(32, &expected_crc).ok()) {
+      return Status::ParseError("snapshot truncated in section " +
+                                std::to_string(i) + " header");
+    }
+    std::span<const uint8_t> payload;
+    if (!reader.ReadBytes(length, &payload).ok()) {
+      return Status::ParseError(
+          "snapshot truncated: section " + std::to_string(i) + " declares " +
+          std::to_string(length) + " payload bytes past end of file");
+    }
+    if (id > UINT32_MAX) {
+      return Status::ParseError("snapshot section id " + std::to_string(id) +
+                                " out of range");
+    }
+    if (Crc32(payload) != expected_crc) {
+      return Status::ParseError("snapshot section " + std::to_string(id) +
+                                " checksum mismatch (corrupted payload)");
+    }
+    snapshot.sections_.push_back(
+        {static_cast<uint32_t>(id),
+         static_cast<size_t>(payload.data() - snapshot.bytes_.data()),
+         static_cast<size_t>(length)});
+  }
+  // Bytes past the last declared section mean a torn writer or a
+  // concatenated file — reject rather than silently ignore them.
+  if (reader.bit_position() != snapshot.bytes_.size() * 8) {
+    return Status::ParseError(
+        "snapshot has trailing bytes after the last section");
+  }
+  return snapshot;
+}
+
+Result<SnapshotReader> SnapshotReader::ReadFile(const std::string& path) {
+  SKL_ASSIGN_OR_RETURN(std::vector<uint8_t> bytes, ReadFileBytes(path));
+  return Parse(std::move(bytes));
+}
+
+bool SnapshotReader::Has(uint32_t id) const {
+  for (const SectionEntry& s : sections_) {
+    if (s.id == id) return true;
+  }
+  return false;
+}
+
+Result<std::span<const uint8_t>> SnapshotReader::Section(uint32_t id) const {
+  for (const SectionEntry& s : sections_) {
+    if (s.id == id) {
+      return std::span<const uint8_t>(bytes_.data() + s.offset, s.length);
+    }
+  }
+  return Status::NotFound("snapshot has no section " + std::to_string(id));
+}
+
+// ------------------------------------------- service snapshot on top of it --
+//
+// The service-level encoding (defined here so the spec-XML and scheme-name
+// dependencies stay inside src/io):
+//
+//   section kSnapshotSectionSpec    spec XML (WriteSpecificationXml)
+//   section kSnapshotSectionScheme  canonical scheme name ("TCM", ...)
+//   section kSnapshotSectionRuns    varint next_id, varint run count, then
+//     per run in ascending id order: varint id, the RunStats fields
+//     (num_vertices, num_items, label_bits, context_bits, origin_bits,
+//     num_nonempty_plus, imported), varint blob length, and the
+//     ProvenanceStore blob (which carries its own magic + version).
+//
+// The scheme itself is not serialized: every bundled scheme builds
+// deterministically from the specification graph, so rebuilding on load
+// yields bit-identical skeleton labels — and therefore bit-identical query
+// answers — at a fraction of the snapshot size.
+
+Status ProvenanceService::SaveSnapshot(const std::string& path) const {
+  const std::string_view scheme_name = scheme_->name();
+  if (!ParseSpecSchemeKind(scheme_name).ok()) {
+    return Status::InvalidArgument(
+        "scheme '" + std::string(scheme_name) +
+        "' is not a bundled SpecSchemeKind; only services over bundled "
+        "schemes can be snapshotted");
+  }
+  SnapshotWriter writer;
+  const std::string spec_xml = WriteSpecificationXml(*spec_);
+  writer.AddSection(kSnapshotSectionSpec,
+                    std::vector<uint8_t>(spec_xml.begin(), spec_xml.end()));
+  writer.AddSection(
+      kSnapshotSectionScheme,
+      std::vector<uint8_t>(scheme_name.begin(), scheme_name.end()));
+
+  BitWriter runs;
+  {
+    // One shared-lock pass: the snapshot is a consistent point-in-time view
+    // of the registry; queries keep answering while it is encoded.
+    std::shared_lock lock(*mu_);
+    runs.WriteVarint(next_id_);
+    runs.WriteVarint(runs_.size());
+    for (const auto& [id, record] : runs_) {
+      runs.WriteVarint(id);
+      const RunStats& s = record.stats;
+      runs.WriteVarint(s.num_vertices);
+      runs.WriteVarint(s.num_items);
+      runs.WriteVarint(s.label_bits);
+      runs.WriteVarint(s.context_bits);
+      runs.WriteVarint(s.origin_bits);
+      runs.WriteVarint(s.num_nonempty_plus);
+      runs.WriteVarint(s.imported ? 1 : 0);
+      const std::vector<uint8_t> blob = record.store.Serialize();
+      runs.WriteVarint(blob.size());
+      runs.WriteBytes(blob);
+    }
+  }
+  writer.AddSection(kSnapshotSectionRuns, runs.Finish());
+  return std::move(writer).WriteFile(path);
+}
+
+Result<ProvenanceService> ProvenanceService::LoadSnapshot(
+    const std::string& path, Options options) {
+  SKL_ASSIGN_OR_RETURN(SnapshotReader reader, SnapshotReader::ReadFile(path));
+
+  SKL_ASSIGN_OR_RETURN(std::span<const uint8_t> spec_bytes,
+                       reader.Section(kSnapshotSectionSpec));
+  SKL_ASSIGN_OR_RETURN(
+      Specification spec,
+      ReadSpecificationXml(std::string(spec_bytes.begin(), spec_bytes.end())));
+
+  SKL_ASSIGN_OR_RETURN(std::span<const uint8_t> scheme_bytes,
+                       reader.Section(kSnapshotSectionScheme));
+  SKL_ASSIGN_OR_RETURN(
+      SpecSchemeKind kind,
+      ParseSpecSchemeKind(std::string_view(
+          reinterpret_cast<const char*>(scheme_bytes.data()),
+          scheme_bytes.size())));
+
+  // Rebuilds the skeleton scheme over the restored spec (deterministic).
+  SKL_ASSIGN_OR_RETURN(ProvenanceService service,
+                       Create(std::move(spec), kind, options));
+
+  SKL_ASSIGN_OR_RETURN(std::span<const uint8_t> runs_bytes,
+                       reader.Section(kSnapshotSectionRuns));
+  BitReader runs(runs_bytes.data(), runs_bytes.size());
+  uint64_t next_id = 0, count = 0;
+  SKL_RETURN_NOT_OK(runs.ReadVarint(&next_id));
+  SKL_RETURN_NOT_OK(runs.ReadVarint(&count));
+  if (next_id == 0) {
+    return Status::ParseError("snapshot run registry: id counter is zero");
+  }
+  // Declared-count vs payload mismatches are checked at the end of the
+  // loop: unread runs would vanish silently from the restored registry.
+  const VertexId n_g = service.spec_->graph().num_vertices();
+  uint64_t prev_id = 0;
+  for (uint64_t i = 0; i < count; ++i) {
+    uint64_t id = 0, num_vertices = 0, num_items = 0, label_bits = 0,
+             context_bits = 0, origin_bits = 0, num_nonempty_plus = 0,
+             imported = 0, blob_len = 0;
+    SKL_RETURN_NOT_OK(runs.ReadVarint(&id));
+    SKL_RETURN_NOT_OK(runs.ReadVarint(&num_vertices));
+    SKL_RETURN_NOT_OK(runs.ReadVarint(&num_items));
+    SKL_RETURN_NOT_OK(runs.ReadVarint(&label_bits));
+    SKL_RETURN_NOT_OK(runs.ReadVarint(&context_bits));
+    SKL_RETURN_NOT_OK(runs.ReadVarint(&origin_bits));
+    SKL_RETURN_NOT_OK(runs.ReadVarint(&num_nonempty_plus));
+    SKL_RETURN_NOT_OK(runs.ReadVarint(&imported));
+    SKL_RETURN_NOT_OK(runs.ReadVarint(&blob_len));
+    if (id <= prev_id || id >= next_id) {
+      return Status::ParseError(
+          "snapshot run registry: run id " + std::to_string(id) +
+          " out of order or beyond the id counter");
+    }
+    if (imported > 1) {
+      return Status::ParseError("snapshot run registry: bad imported flag");
+    }
+    // The stats fields restore into uint32_t; a crafted varint must not
+    // silently truncate into a plausible-looking value.
+    if (label_bits > UINT32_MAX || context_bits > UINT32_MAX ||
+        origin_bits > UINT32_MAX || num_nonempty_plus > UINT32_MAX) {
+      return Status::ParseError("snapshot run " + std::to_string(id) +
+                                ": stats field out of range");
+    }
+    std::span<const uint8_t> blob;
+    SKL_RETURN_NOT_OK(runs.ReadBytes(blob_len, &blob));
+    SKL_ASSIGN_OR_RETURN(ProvenanceStore store,
+                         ProvenanceStore::Deserialize(blob));
+    if (store.num_vertices() != num_vertices ||
+        store.num_items() != num_items) {
+      return Status::ParseError(
+          "snapshot run " + std::to_string(id) +
+          ": stats disagree with the stored labels/catalog");
+    }
+    // Same guard as ImportRun: every origin must name a spec vertex, or
+    // queries would index the rebuilt scheme out of range.
+    for (VertexId v = 0; v < store.num_vertices(); ++v) {
+      if (store.label(v).origin >= n_g) {
+        return Status::ParseError(
+            "snapshot run " + std::to_string(id) + " references spec vertex " +
+            std::to_string(store.label(v).origin) +
+            " unknown to the snapshotted specification");
+      }
+    }
+    RunRecord record;
+    record.stats.num_vertices = static_cast<VertexId>(num_vertices);
+    record.stats.num_items = static_cast<size_t>(num_items);
+    record.stats.label_bits = static_cast<uint32_t>(label_bits);
+    record.stats.context_bits = static_cast<uint32_t>(context_bits);
+    record.stats.origin_bits = static_cast<uint32_t>(origin_bits);
+    record.stats.num_nonempty_plus = static_cast<uint32_t>(num_nonempty_plus);
+    record.stats.imported = imported != 0;
+    record.store = std::move(store);
+    service.runs_.emplace(id, std::move(record));
+    prev_id = id;
+  }
+  if (runs.bit_position() != runs_bytes.size() * 8) {
+    return Status::ParseError(
+        "snapshot run registry has trailing bytes after the declared runs");
+  }
+  service.next_id_ = next_id;
+  return service;
+}
+
+}  // namespace skl

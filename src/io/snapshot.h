@@ -1,0 +1,112 @@
+// Durable service snapshots: the whole ProvenanceService — specification,
+// skeleton scheme identity, and every registered run with its labels —
+// serialized to one versioned, checksummed binary file. This is the paper's
+// amortization argument made restart-proof: the specification is labeled
+// once, and a warm restart (ProvenanceService::LoadSnapshot) restores a
+// fully queryable service without relabeling a single run.
+//
+// Container layout (all multi-byte fields via the bit_codec varint/bit
+// encodings, byte-aligned):
+//
+//   magic "SKLS" (32 bits)
+//   container format version  varint
+//   section count             varint
+//   per section:
+//     section id              varint
+//     payload length (bytes)  varint
+//     payload CRC-32          32 bits
+//     payload                 raw bytes
+//
+// Sections are opaque payloads to the container; SnapshotWriter /
+// SnapshotReader only deal in (id, bytes, checksum). The service-level
+// encoding on top (section ids kSnapshotSection*) lives in snapshot.cc and
+// is documented in docs/PERSISTENCE.md, together with the versioning and
+// recovery policy. Every malformed input — truncated file, bad magic,
+// unsupported version, checksum mismatch — is reported as a descriptive
+// ParseError Status, never a crash.
+#ifndef SKL_IO_SNAPSHOT_H_
+#define SKL_IO_SNAPSHOT_H_
+
+#include <cstdint>
+#include <span>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "src/common/status.h"
+
+namespace skl {
+
+/// Current container format version written by SnapshotWriter.
+inline constexpr uint32_t kSnapshotFormatVersion = 1;
+
+/// Section ids of the service snapshot encoding (see docs/PERSISTENCE.md).
+inline constexpr uint32_t kSnapshotSectionSpec = 1;    ///< spec XML
+inline constexpr uint32_t kSnapshotSectionScheme = 2;  ///< scheme name
+inline constexpr uint32_t kSnapshotSectionRuns = 3;    ///< run registry
+
+/// Assembles a snapshot file: add sections, then Finish() into bytes or
+/// WriteFile() to disk (written to a unique "<path>.tmp.<pid>.<seq>"
+/// sibling, fsynced, and renamed into place, so neither a crash mid-save
+/// nor a concurrent save to the same path can leave a half-written
+/// snapshot at `path`).
+class SnapshotWriter {
+ public:
+  /// `format_version` is overridable only so tests can fabricate snapshots
+  /// from the future; production callers use the default.
+  explicit SnapshotWriter(uint32_t format_version = kSnapshotFormatVersion)
+      : format_version_(format_version) {}
+
+  /// Appends one section. Ids should be unique; SnapshotReader::Section
+  /// returns the first match.
+  void AddSection(uint32_t id, std::vector<uint8_t> payload);
+
+  /// Encodes the container and returns its bytes.
+  std::vector<uint8_t> Finish() &&;
+
+  /// Encodes the container and writes it to `path` (tmp-file + rename).
+  Status WriteFile(const std::string& path) &&;
+
+ private:
+  uint32_t format_version_;
+  std::vector<std::pair<uint32_t, std::vector<uint8_t>>> sections_;
+};
+
+/// Parses and validates a snapshot: magic, version, section table, and the
+/// CRC-32 of every section payload are all checked up front, so a reader
+/// holding a SnapshotReader knows the bytes are intact.
+class SnapshotReader {
+ public:
+  /// Parses an in-memory snapshot. The reader owns the bytes; Section()
+  /// spans point into them.
+  static Result<SnapshotReader> Parse(std::vector<uint8_t> bytes);
+
+  /// Reads and parses a snapshot file.
+  static Result<SnapshotReader> ReadFile(const std::string& path);
+
+  uint32_t format_version() const { return format_version_; }
+  size_t num_sections() const { return sections_.size(); }
+
+  bool Has(uint32_t id) const;
+
+  /// Payload of the section with the given id (checksum already verified),
+  /// or NotFound. The span is valid for the reader's lifetime.
+  Result<std::span<const uint8_t>> Section(uint32_t id) const;
+
+ private:
+  struct SectionEntry {
+    uint32_t id;
+    size_t offset;  ///< byte offset of the payload in bytes_
+    size_t length;
+  };
+
+  SnapshotReader() = default;
+
+  std::vector<uint8_t> bytes_;
+  uint32_t format_version_ = 0;
+  std::vector<SectionEntry> sections_;
+};
+
+}  // namespace skl
+
+#endif  // SKL_IO_SNAPSHOT_H_

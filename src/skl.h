@@ -24,6 +24,7 @@
 #include "src/core/run_labeling.h"
 #include "src/core/skeleton_labeler.h"
 #include "src/graph/digraph.h"
+#include "src/io/snapshot.h"
 #include "src/io/workflow_xml.h"
 #include "src/speclabel/scheme.h"
 #include "src/workflow/run.h"

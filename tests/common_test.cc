@@ -2,11 +2,15 @@
 // bit codec.
 #include <gtest/gtest.h>
 
+#include <algorithm>
 #include <cmath>
 #include <set>
+#include <span>
+#include <vector>
 
 #include "src/common/bit_codec.h"
 #include "src/common/bitset.h"
+#include "src/common/crc32.h"
 #include "src/common/random.h"
 #include "src/common/status.h"
 
@@ -241,6 +245,64 @@ TEST(BitCodecTest, ReadPastEndFails) {
   uint64_t v;
   ASSERT_TRUE(r.Read(8, &v).ok());
   EXPECT_FALSE(r.Read(1, &v).ok());
+}
+
+TEST(Crc32Test, MatchesTheIeeeCheckValue) {
+  // The canonical CRC-32 check: crc32("123456789") == 0xCBF43926.
+  const uint8_t digits[] = {'1', '2', '3', '4', '5', '6', '7', '8', '9'};
+  EXPECT_EQ(Crc32(digits), 0xCBF43926u);
+  EXPECT_EQ(Crc32({}), 0u);
+}
+
+TEST(Crc32Test, StreamingMatchesOneShot) {
+  std::vector<uint8_t> bytes(300);
+  for (size_t i = 0; i < bytes.size(); ++i) {
+    bytes[i] = static_cast<uint8_t>(i * 37 + 11);
+  }
+  const uint32_t one_shot = Crc32(bytes);
+  uint32_t streamed = 0;
+  std::span<const uint8_t> view(bytes);
+  streamed = Crc32Update(streamed, view.subspan(0, 100));
+  streamed = Crc32Update(streamed, view.subspan(100, 1));
+  streamed = Crc32Update(streamed, view.subspan(101));
+  EXPECT_EQ(streamed, one_shot);
+  EXPECT_NE(Crc32(view.subspan(1)), one_shot);
+}
+
+TEST(BitCodecTest, RoundTripRawBytes) {
+  std::vector<uint8_t> blob = {0x00, 0xFF, 0x42, 0x13};
+  BitWriter w;
+  w.Write(1, 3);  // misalign on purpose; WriteBytes must realign
+  w.WriteBytes(blob);
+  w.WriteVarint(99);
+  auto bytes = w.Finish();
+  BitReader r(bytes);
+  uint64_t v;
+  ASSERT_TRUE(r.Read(3, &v).ok());
+  std::span<const uint8_t> out;
+  ASSERT_TRUE(r.ReadBytes(blob.size(), &out).ok());
+  EXPECT_TRUE(std::equal(out.begin(), out.end(), blob.begin(), blob.end()));
+  ASSERT_TRUE(r.ReadVarint(&v).ok());
+  EXPECT_EQ(v, 99u);
+}
+
+TEST(BitCodecTest, ReadBytesPastEndFailsWithoutAdvancing) {
+  BitWriter w;
+  w.WriteBytes(std::vector<uint8_t>{1, 2});
+  auto bytes = w.Finish();
+  BitReader r(bytes);
+  std::span<const uint8_t> out;
+  EXPECT_FALSE(r.ReadBytes(3, &out).ok());
+  ASSERT_TRUE(r.ReadBytes(2, &out).ok());  // the failed read consumed nothing
+  EXPECT_EQ(out[0], 1u);
+  EXPECT_EQ(out[1], 2u);
+}
+
+TEST(BitCodecTest, ReadBytesZeroLengthAtEndSucceeds) {
+  BitReader r(nullptr, 0);
+  std::span<const uint8_t> out;
+  EXPECT_TRUE(r.ReadBytes(0, &out).ok());
+  EXPECT_TRUE(out.empty());
 }
 
 TEST(BitCodecTest, BitsForCount) {

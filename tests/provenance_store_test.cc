@@ -2,6 +2,8 @@
 // from the blob alone (run graph discarded), and corrupt-input rejection.
 #include <gtest/gtest.h>
 
+#include <vector>
+
 #include "src/core/provenance_store.h"
 #include "src/core/skeleton_labeler.h"
 #include "src/graph/algorithms.h"
@@ -94,7 +96,7 @@ TEST_F(ProvenanceStoreTest, CorruptBlobsRejected) {
   cut.resize(cut.size() / 3);
   EXPECT_FALSE(ProvenanceStore::Deserialize(cut).ok());
   // Empty.
-  EXPECT_FALSE(ProvenanceStore::Deserialize({}).ok());
+  EXPECT_FALSE(ProvenanceStore::Deserialize(std::vector<uint8_t>{}).ok());
 }
 
 TEST(ProvenanceStoreLargeTest, GeneratedRunRoundTrip) {

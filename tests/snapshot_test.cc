@@ -1,0 +1,573 @@
+// Durable service snapshots: save→load→query equivalence (exhaustively, for
+// every bundled scheme), RunId bit-identity including the id counter and
+// RemoveRun gaps, imported-run round trips, and the failure paths — missing
+// file, truncation at every byte prefix, bad magic, unsupported format
+// version and corrupted checksums must each come back as a descriptive
+// Status, never a crash.
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <cstdio>
+#include <filesystem>
+#include <fstream>
+#include <string>
+#include <thread>
+#include <utility>
+#include <vector>
+
+#include "src/common/temp_path.h"
+#include "src/core/provenance_service.h"
+#include "src/io/snapshot.h"
+#include "src/workload/data_generator.h"
+#include "src/workload/run_generator.h"
+#include "tests/test_util.h"
+
+namespace skl {
+namespace {
+
+/// A fresh pid-qualified path under the temp dir (concurrent ctest runs —
+/// e.g. the plain and sanitizer build trees — share /tmp); removed by the
+/// TempFile destructor.
+class TempFile {
+ public:
+  explicit TempFile(const std::string& name)
+      : path_(PidQualifiedTempPath("skl_snapshot_test_" + name, ".skls")) {}
+  ~TempFile() {
+    std::error_code ec;
+    std::filesystem::remove(path_, ec);
+    for (const std::string& tmp : TmpSiblings()) {
+      std::filesystem::remove(tmp, ec);
+    }
+  }
+  const std::string& path() const { return path_; }
+
+  /// Any "<path>.tmp*" remnants of SnapshotWriter::WriteFile.
+  std::vector<std::string> TmpSiblings() const {
+    const std::filesystem::path target(path_);
+    const std::string prefix = target.filename().string() + ".tmp";
+    std::vector<std::string> found;
+    std::error_code ec;
+    for (std::filesystem::directory_iterator
+             it(target.parent_path(), ec),
+         end;
+         !ec && it != end; it.increment(ec)) {
+      if (it->path().filename().string().rfind(prefix, 0) == 0) {
+        found.push_back(it->path().string());
+      }
+    }
+    return found;
+  }
+
+ private:
+  std::string path_;
+};
+
+std::vector<uint8_t> ReadAll(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  SKL_CHECK(static_cast<bool>(in));
+  return std::vector<uint8_t>((std::istreambuf_iterator<char>(in)),
+                              std::istreambuf_iterator<char>());
+}
+
+void WriteAll(const std::string& path, const std::vector<uint8_t>& bytes) {
+  std::ofstream out(path, std::ios::binary | std::ios::trunc);
+  SKL_CHECK(static_cast<bool>(out));
+  out.write(reinterpret_cast<const char*>(bytes.data()),
+            static_cast<std::streamsize>(bytes.size()));
+}
+
+::skl::Run GenerateRun(const Specification& spec, uint32_t target,
+                       uint64_t seed) {
+  RunGenerator generator(&spec);
+  RunGenOptions opt;
+  opt.target_vertices = target;
+  opt.seed = seed;
+  auto gen = generator.Generate(opt);
+  SKL_CHECK_MSG(gen.ok(), gen.status().ToString().c_str());
+  return std::move(gen->run);
+}
+
+void ExpectStatsEqual(const RunStats& a, const RunStats& b) {
+  EXPECT_EQ(a.num_vertices, b.num_vertices);
+  EXPECT_EQ(a.num_items, b.num_items);
+  EXPECT_EQ(a.label_bits, b.label_bits);
+  EXPECT_EQ(a.context_bits, b.context_bits);
+  EXPECT_EQ(a.origin_bits, b.origin_bits);
+  EXPECT_EQ(a.num_nonempty_plus, b.num_nonempty_plus);
+  EXPECT_EQ(a.imported, b.imported);
+}
+
+/// Exhaustive Reaches equivalence over every vertex pair of every run.
+void ExpectQueryEquivalent(const ProvenanceService& a,
+                           const ProvenanceService& b) {
+  ASSERT_EQ(a.num_runs(), b.num_runs());
+  std::vector<RunId> ids = a.ListRuns();
+  std::vector<RunId> restored_ids = b.ListRuns();
+  ASSERT_EQ(ids.size(), restored_ids.size());
+  for (size_t i = 0; i < ids.size(); ++i) {
+    EXPECT_EQ(ids[i].value(), restored_ids[i].value());
+  }
+  for (RunId id : ids) {
+    auto sa = a.Stats(id);
+    auto sb = b.Stats(id);
+    ASSERT_TRUE(sa.ok());
+    ASSERT_TRUE(sb.ok());
+    ExpectStatsEqual(*sa, *sb);
+    const VertexId n = sa->num_vertices;
+    std::vector<VertexPair> pairs;
+    pairs.reserve(static_cast<size_t>(n) * n);
+    for (VertexId v = 0; v < n; ++v) {
+      for (VertexId w = 0; w < n; ++w) {
+        pairs.push_back({v, w});
+        auto ra = a.Reaches(id, v, w);
+        auto rb = b.Reaches(id, v, w);
+        ASSERT_TRUE(ra.ok() && rb.ok());
+        ASSERT_EQ(*ra, *rb) << "run " << id.value() << " pair " << v << "->"
+                            << w;
+      }
+    }
+    // The batch variant must agree pairwise too.
+    auto ba = a.ReachesBatch(id, pairs);
+    auto bb = b.ReachesBatch(id, pairs);
+    ASSERT_TRUE(ba.ok() && bb.ok());
+    ASSERT_EQ(*ba, *bb) << "run " << id.value();
+  }
+}
+
+// --------------------------------------------------------- round tripping --
+
+TEST(SnapshotTest, RoundTripsEveryBundledScheme) {
+  // kInterval requires a tree-shaped spec graph and is covered separately.
+  for (SpecSchemeKind kind :
+       {SpecSchemeKind::kTcm, SpecSchemeKind::kBfs, SpecSchemeKind::kDfs,
+        SpecSchemeKind::kTreeCover, SpecSchemeKind::kChain,
+        SpecSchemeKind::kTwoHop}) {
+    SCOPED_TRACE(SpecSchemeKindName(kind));
+    auto ex = testing_util::MakeRunningExample();
+    ::skl::Run generated = GenerateRun(ex.spec, 60, 11);
+    auto service = ProvenanceService::Create(std::move(ex.spec), kind);
+    ASSERT_TRUE(service.ok()) << service.status().ToString();
+    ASSERT_TRUE(service->AddRun(ex.run).ok());
+    ASSERT_TRUE(service->AddRun(generated).ok());
+
+    TempFile file(std::string("scheme_") + SpecSchemeKindName(kind));
+    ASSERT_TRUE(service->SaveSnapshot(file.path()).ok());
+    auto restored = ProvenanceService::LoadSnapshot(file.path());
+    ASSERT_TRUE(restored.ok()) << restored.status().ToString();
+    EXPECT_EQ(std::string(restored->scheme().name()),
+              std::string(service->scheme().name()));
+    ExpectQueryEquivalent(*service, *restored);
+  }
+}
+
+TEST(SnapshotTest, RoundTripsIntervalSchemeOnTreeSpec) {
+  // A tree-shaped specification (chain with a loop) for the one scheme that
+  // rejects DAGs with undirected cycles.
+  SpecificationBuilder builder;
+  VertexId a = builder.AddModule("a");
+  VertexId b = builder.AddModule("b");
+  VertexId c = builder.AddModule("c");
+  VertexId d = builder.AddModule("d");
+  builder.AddEdge(a, b).AddEdge(b, c).AddEdge(c, d);
+  builder.DeclareLoop({b, c});
+  auto spec = std::move(builder).Build();
+  ASSERT_TRUE(spec.ok()) << spec.status().ToString();
+
+  ::skl::Run run = GenerateRun(*spec, 30, 5);
+  auto service = ProvenanceService::Create(std::move(spec).value(),
+                                           SpecSchemeKind::kInterval);
+  ASSERT_TRUE(service.ok()) << service.status().ToString();
+  ASSERT_TRUE(service->AddRun(run).ok());
+
+  TempFile file("interval");
+  ASSERT_TRUE(service->SaveSnapshot(file.path()).ok());
+  auto restored = ProvenanceService::LoadSnapshot(file.path());
+  ASSERT_TRUE(restored.ok()) << restored.status().ToString();
+  ExpectQueryEquivalent(*service, *restored);
+}
+
+TEST(SnapshotTest, RoundTripsDataCatalogAndDependsOn) {
+  auto ex = testing_util::MakeRunningExample();
+  ::skl::Run run = GenerateRun(ex.spec, 80, 21);
+  DataGenOptions dopt;
+  dopt.seed = 3;
+  DataCatalog catalog = GenerateDataCatalog(run, dopt);
+  ASSERT_GT(catalog.size(), 0u);
+
+  auto service =
+      ProvenanceService::Create(std::move(ex.spec), SpecSchemeKind::kTcm);
+  ASSERT_TRUE(service.ok());
+  auto id = service->AddRun(run, &catalog);
+  ASSERT_TRUE(id.ok());
+
+  TempFile file("catalog");
+  ASSERT_TRUE(service->SaveSnapshot(file.path()).ok());
+  auto restored = ProvenanceService::LoadSnapshot(file.path());
+  ASSERT_TRUE(restored.ok()) << restored.status().ToString();
+
+  const DataItemId items = static_cast<DataItemId>(catalog.size());
+  for (DataItemId x = 0; x < items; ++x) {
+    for (DataItemId y = 0; y < items; ++y) {
+      auto a = service->DependsOn(*id, x, y);
+      auto b = restored->DependsOn(*id, x, y);
+      ASSERT_TRUE(a.ok() && b.ok());
+      ASSERT_EQ(*a, *b) << "items " << x << ", " << y;
+    }
+  }
+}
+
+TEST(SnapshotTest, PreservesRunIdsAcrossRemovalsAndTheIdCounter) {
+  auto ex = testing_util::MakeRunningExample();
+  auto service =
+      ProvenanceService::Create(std::move(ex.spec), SpecSchemeKind::kTcm);
+  ASSERT_TRUE(service.ok());
+  auto id1 = service->AddRun(ex.run);
+  auto id2 = service->AddRun(ex.run);
+  auto id3 = service->AddRun(ex.run);
+  ASSERT_TRUE(id1.ok() && id2.ok() && id3.ok());
+  ASSERT_TRUE(service->RemoveRun(*id2).ok());
+
+  TempFile file("ids");
+  ASSERT_TRUE(service->SaveSnapshot(file.path()).ok());
+  auto restored = ProvenanceService::LoadSnapshot(file.path());
+  ASSERT_TRUE(restored.ok()) << restored.status().ToString();
+
+  // The gap survives; the removed id stays NotFound, not reassigned.
+  std::vector<RunId> ids = restored->ListRuns();
+  ASSERT_EQ(ids.size(), 2u);
+  EXPECT_EQ(ids[0].value(), id1->value());
+  EXPECT_EQ(ids[1].value(), id3->value());
+  EXPECT_FALSE(restored->Contains(*id2));
+
+  // The id counter is part of the snapshot: the next ingestion on the
+  // restored service yields the same handle the saving service would.
+  auto next_original = service->AddRun(ex.run);
+  auto next_restored = restored->AddRun(ex.run);
+  ASSERT_TRUE(next_original.ok() && next_restored.ok());
+  EXPECT_EQ(next_original->value(), next_restored->value());
+}
+
+TEST(SnapshotTest, RoundTripsImportedRuns) {
+  auto ex = testing_util::MakeRunningExample();
+  auto service =
+      ProvenanceService::Create(std::move(ex.spec), SpecSchemeKind::kTcm);
+  ASSERT_TRUE(service.ok());
+  auto id = service->AddRun(ex.run);
+  ASSERT_TRUE(id.ok());
+  auto blob = service->ExportRun(*id);
+  ASSERT_TRUE(blob.ok());
+  auto imported = service->ImportRun(*blob);
+  ASSERT_TRUE(imported.ok());
+
+  TempFile file("imported");
+  ASSERT_TRUE(service->SaveSnapshot(file.path()).ok());
+  auto restored = ProvenanceService::LoadSnapshot(file.path());
+  ASSERT_TRUE(restored.ok()) << restored.status().ToString();
+  auto stats = restored->Stats(*imported);
+  ASSERT_TRUE(stats.ok());
+  EXPECT_TRUE(stats->imported);
+  ExpectQueryEquivalent(*service, *restored);
+}
+
+TEST(SnapshotTest, EmptyRegistryRoundTrips) {
+  auto ex = testing_util::MakeRunningExample();
+  auto service =
+      ProvenanceService::Create(std::move(ex.spec), SpecSchemeKind::kBfs);
+  ASSERT_TRUE(service.ok());
+  TempFile file("empty");
+  ASSERT_TRUE(service->SaveSnapshot(file.path()).ok());
+  auto restored = ProvenanceService::LoadSnapshot(file.path());
+  ASSERT_TRUE(restored.ok()) << restored.status().ToString();
+  EXPECT_EQ(restored->num_runs(), 0u);
+  // First run on the restored empty service gets id 1, like a fresh one.
+  auto id = restored->AddRun(ex.run);
+  ASSERT_TRUE(id.ok());
+  EXPECT_EQ(id->value(), 1u);
+}
+
+TEST(SnapshotTest, LoadOptionsControlRuntimeKnobs) {
+  auto ex = testing_util::MakeRunningExample();
+  auto service =
+      ProvenanceService::Create(std::move(ex.spec), SpecSchemeKind::kTcm);
+  ASSERT_TRUE(service.ok());
+  TempFile file("options");
+  ASSERT_TRUE(service->SaveSnapshot(file.path()).ok());
+  ProvenanceService::Options options;
+  options.num_threads = 2;
+  options.fail_fast = true;
+  auto restored = ProvenanceService::LoadSnapshot(file.path(), options);
+  ASSERT_TRUE(restored.ok());
+  EXPECT_EQ(restored->options().num_threads, 2u);
+  EXPECT_TRUE(restored->options().fail_fast);
+}
+
+TEST(SnapshotTest, SaveIsConsistentWhileIngestingAndQuerying) {
+  // TSan target: SaveSnapshot runs under the shared lock, so it must
+  // coexist with concurrent readers and bulk writers — and every snapshot
+  // it produces must be a loadable, point-in-time-consistent registry in
+  // which the stable run answers exactly as in the live service.
+  auto ex = testing_util::MakeRunningExample();
+  ::skl::Run batch_run = GenerateRun(ex.spec, 40, 31);
+  auto service = ProvenanceService::Create(std::move(ex.spec),
+                                           SpecSchemeKind::kTcm,
+                                           {.num_threads = 2});
+  ASSERT_TRUE(service.ok());
+  auto stable_id = service->AddRun(ex.run);
+  ASSERT_TRUE(stable_id.ok());
+  const VertexId n = ex.run.num_vertices();
+
+  std::atomic<bool> stop{false};
+  std::atomic<size_t> failures{0};
+  std::thread ingester([&] {
+    std::vector<::skl::Run> batch(3, batch_run);
+    while (!stop.load(std::memory_order_relaxed)) {
+      for (const Result<RunId>& id : service->AddRunsParallel(batch)) {
+        if (!id.ok() || !service->RemoveRun(*id).ok()) {
+          failures.fetch_add(1, std::memory_order_relaxed);
+          return;
+        }
+      }
+    }
+  });
+  std::thread reader([&] {
+    while (!stop.load(std::memory_order_relaxed)) {
+      auto r = service->Reaches(*stable_id, 0, n - 1);
+      if (!r.ok()) {
+        failures.fetch_add(1, std::memory_order_relaxed);
+        return;
+      }
+    }
+  });
+
+  TempFile file("concurrent");
+  for (int round = 0; round < 4; ++round) {
+    ASSERT_TRUE(service->SaveSnapshot(file.path()).ok());
+    auto restored = ProvenanceService::LoadSnapshot(file.path());
+    ASSERT_TRUE(restored.ok()) << restored.status().ToString();
+    ASSERT_TRUE(restored->Contains(*stable_id));
+    for (VertexId v = 0; v < n; ++v) {
+      auto a = service->Reaches(*stable_id, v, n - 1 - v);
+      auto b = restored->Reaches(*stable_id, v, n - 1 - v);
+      ASSERT_TRUE(a.ok() && b.ok());
+      ASSERT_EQ(*a, *b);
+    }
+  }
+  stop.store(true, std::memory_order_relaxed);
+  ingester.join();
+  reader.join();
+  EXPECT_EQ(failures.load(), 0u);
+}
+
+// ---------------------------------------------------------- failure paths --
+
+TEST(SnapshotTest, MissingFileIsNotFound) {
+  auto missing = ProvenanceService::LoadSnapshot(
+      "/nonexistent/dir/missing.skls");
+  ASSERT_FALSE(missing.ok());
+  EXPECT_EQ(missing.status().code(), StatusCode::kNotFound);
+}
+
+TEST(SnapshotTest, TruncationAtEveryPrefixFailsCleanly) {
+  auto ex = testing_util::MakeRunningExample();
+  auto service =
+      ProvenanceService::Create(std::move(ex.spec), SpecSchemeKind::kTcm);
+  ASSERT_TRUE(service.ok());
+  ASSERT_TRUE(service->AddRun(ex.run).ok());
+  TempFile file("truncate");
+  ASSERT_TRUE(service->SaveSnapshot(file.path()).ok());
+  const std::vector<uint8_t> bytes = ReadAll(file.path());
+  ASSERT_GT(bytes.size(), 16u);
+
+  TempFile truncated("truncated");
+  for (size_t len = 0; len < bytes.size(); ++len) {
+    WriteAll(truncated.path(),
+             std::vector<uint8_t>(bytes.begin(), bytes.begin() + len));
+    auto restored = ProvenanceService::LoadSnapshot(truncated.path());
+    ASSERT_FALSE(restored.ok()) << "prefix of " << len << " bytes parsed";
+    ASSERT_EQ(restored.status().code(), StatusCode::kParseError)
+        << restored.status().ToString();
+  }
+  // The full file still loads (the loop really was about truncation).
+  WriteAll(truncated.path(), bytes);
+  EXPECT_TRUE(ProvenanceService::LoadSnapshot(truncated.path()).ok());
+}
+
+TEST(SnapshotTest, BadMagicIsDescriptive) {
+  auto ex = testing_util::MakeRunningExample();
+  auto service =
+      ProvenanceService::Create(std::move(ex.spec), SpecSchemeKind::kTcm);
+  ASSERT_TRUE(service.ok());
+  TempFile file("magic");
+  ASSERT_TRUE(service->SaveSnapshot(file.path()).ok());
+  std::vector<uint8_t> bytes = ReadAll(file.path());
+  bytes[0] ^= 0xFF;
+  WriteAll(file.path(), bytes);
+  auto restored = ProvenanceService::LoadSnapshot(file.path());
+  ASSERT_FALSE(restored.ok());
+  EXPECT_EQ(restored.status().code(), StatusCode::kParseError);
+  EXPECT_NE(restored.status().message().find("bad magic"), std::string::npos)
+      << restored.status().ToString();
+}
+
+TEST(SnapshotTest, FutureFormatVersionIsRejected) {
+  SnapshotWriter writer(/*format_version=*/kSnapshotFormatVersion + 41);
+  writer.AddSection(kSnapshotSectionSpec, {1, 2, 3});
+  TempFile file("version");
+  ASSERT_TRUE(std::move(writer).WriteFile(file.path()).ok());
+  auto restored = ProvenanceService::LoadSnapshot(file.path());
+  ASSERT_FALSE(restored.ok());
+  EXPECT_EQ(restored.status().code(), StatusCode::kParseError);
+  EXPECT_NE(restored.status().message().find("unsupported snapshot format"),
+            std::string::npos)
+      << restored.status().ToString();
+}
+
+TEST(SnapshotTest, TrailingBytesAreRejected) {
+  auto ex = testing_util::MakeRunningExample();
+  auto service =
+      ProvenanceService::Create(std::move(ex.spec), SpecSchemeKind::kTcm);
+  ASSERT_TRUE(service.ok());
+  TempFile file("trailing");
+  ASSERT_TRUE(service->SaveSnapshot(file.path()).ok());
+  std::vector<uint8_t> bytes = ReadAll(file.path());
+  bytes.push_back('X');  // a torn second write / concatenated snapshot
+  WriteAll(file.path(), bytes);
+  auto restored = ProvenanceService::LoadSnapshot(file.path());
+  ASSERT_FALSE(restored.ok());
+  EXPECT_EQ(restored.status().code(), StatusCode::kParseError);
+  EXPECT_NE(restored.status().message().find("trailing bytes"),
+            std::string::npos)
+      << restored.status().ToString();
+}
+
+TEST(SnapshotTest, CorruptedPayloadFailsTheChecksum) {
+  auto ex = testing_util::MakeRunningExample();
+  auto service =
+      ProvenanceService::Create(std::move(ex.spec), SpecSchemeKind::kTcm);
+  ASSERT_TRUE(service.ok());
+  ASSERT_TRUE(service->AddRun(ex.run).ok());
+  TempFile file("checksum");
+  ASSERT_TRUE(service->SaveSnapshot(file.path()).ok());
+  const std::vector<uint8_t> original = ReadAll(file.path());
+
+  // Flip one byte in the last section's payload (the run registry): the
+  // checksum must catch it before any registry bytes are interpreted.
+  std::vector<uint8_t> corrupted = original;
+  corrupted[corrupted.size() - 1] ^= 0x01;
+  WriteAll(file.path(), corrupted);
+  auto restored = ProvenanceService::LoadSnapshot(file.path());
+  ASSERT_FALSE(restored.ok());
+  EXPECT_EQ(restored.status().code(), StatusCode::kParseError);
+  EXPECT_NE(restored.status().message().find("checksum mismatch"),
+            std::string::npos)
+      << restored.status().ToString();
+}
+
+TEST(SnapshotTest, CustomSchemeIsNotSnapshotable) {
+  class CustomScheme : public SpecLabelingScheme {
+   public:
+    std::string_view name() const override { return "custom-test"; }
+    Status Build(const Digraph&) override { return Status::OK(); }
+    bool Reaches(VertexId u, VertexId v) const override { return u == v; }
+    size_t TotalLabelBits() const override { return 0; }
+    size_t MaxLabelBits() const override { return 0; }
+  };
+  auto ex = testing_util::MakeRunningExample();
+  auto service = ProvenanceService::Create(std::move(ex.spec),
+                                           std::make_unique<CustomScheme>());
+  ASSERT_TRUE(service.ok());
+  TempFile file("custom");
+  Status saved = service->SaveSnapshot(file.path());
+  ASSERT_FALSE(saved.ok());
+  EXPECT_EQ(saved.code(), StatusCode::kInvalidArgument);
+}
+
+// ----------------------------------------------------- container plumbing --
+
+TEST(SnapshotReaderTest, EmptyInputIsTruncated) {
+  auto parsed = SnapshotReader::Parse({});
+  ASSERT_FALSE(parsed.ok());
+  EXPECT_EQ(parsed.status().code(), StatusCode::kParseError);
+}
+
+TEST(SnapshotReaderTest, HugeSectionCountIsParseErrorNotBadAlloc) {
+  // Crafted header claiming ~2^61 sections: must come back as a truncation
+  // ParseError, not attempt the allocation (the reserve is capped by what
+  // the file could physically hold).
+  std::vector<uint8_t> bytes = {'S', 'K', 'L', 'S', 0x01};
+  for (int i = 0; i < 8; ++i) bytes.push_back(0xFF);  // varint count
+  bytes.push_back(0x1F);
+  auto parsed = SnapshotReader::Parse(std::move(bytes));
+  ASSERT_FALSE(parsed.ok());
+  EXPECT_EQ(parsed.status().code(), StatusCode::kParseError);
+}
+
+TEST(SnapshotReaderTest, SectionsRoundTripInMemory) {
+  SnapshotWriter writer;
+  writer.AddSection(7, {0xDE, 0xAD});
+  writer.AddSection(9, {});
+  writer.AddSection(11, std::vector<uint8_t>(300, 0x42));
+  auto parsed = SnapshotReader::Parse(std::move(writer).Finish());
+  ASSERT_TRUE(parsed.ok()) << parsed.status().ToString();
+  EXPECT_EQ(parsed->format_version(), kSnapshotFormatVersion);
+  EXPECT_EQ(parsed->num_sections(), 3u);
+  EXPECT_TRUE(parsed->Has(7));
+  EXPECT_FALSE(parsed->Has(8));
+  auto section = parsed->Section(7);
+  ASSERT_TRUE(section.ok());
+  ASSERT_EQ(section->size(), 2u);
+  EXPECT_EQ((*section)[0], 0xDE);
+  auto empty = parsed->Section(9);
+  ASSERT_TRUE(empty.ok());
+  EXPECT_EQ(empty->size(), 0u);
+  auto missing = parsed->Section(8);
+  ASSERT_FALSE(missing.ok());
+  EXPECT_EQ(missing.status().code(), StatusCode::kNotFound);
+}
+
+TEST(SnapshotReaderTest, SaveLeavesNoTmpFileBehind) {
+  auto ex = testing_util::MakeRunningExample();
+  auto service =
+      ProvenanceService::Create(std::move(ex.spec), SpecSchemeKind::kTcm);
+  ASSERT_TRUE(service.ok());
+  TempFile file("tmpfile");
+  ASSERT_TRUE(service->SaveSnapshot(file.path()).ok());
+  EXPECT_TRUE(std::filesystem::exists(file.path()));
+  EXPECT_TRUE(file.TmpSiblings().empty());
+}
+
+TEST(SnapshotTest, RunsSectionTrailingBytesAreRejected) {
+  // A CRC-valid runs section with bytes past the declared runs means a
+  // writer bug (count written too small); those runs must not vanish
+  // silently from the restored registry.
+  auto ex = testing_util::MakeRunningExample();
+  auto service =
+      ProvenanceService::Create(std::move(ex.spec), SpecSchemeKind::kTcm);
+  ASSERT_TRUE(service.ok());
+  ASSERT_TRUE(service->AddRun(ex.run).ok());
+  TempFile file("runs_trailing");
+  ASSERT_TRUE(service->SaveSnapshot(file.path()).ok());
+
+  auto reader = SnapshotReader::ReadFile(file.path());
+  ASSERT_TRUE(reader.ok());
+  SnapshotWriter writer;
+  for (uint32_t id :
+       {kSnapshotSectionSpec, kSnapshotSectionScheme, kSnapshotSectionRuns}) {
+    auto section = reader->Section(id);
+    ASSERT_TRUE(section.ok());
+    std::vector<uint8_t> payload(section->begin(), section->end());
+    if (id == kSnapshotSectionRuns) payload.push_back(0x00);
+    writer.AddSection(id, std::move(payload));
+  }
+  TempFile tampered("runs_trailing_tampered");
+  ASSERT_TRUE(std::move(writer).WriteFile(tampered.path()).ok());
+  auto restored = ProvenanceService::LoadSnapshot(tampered.path());
+  ASSERT_FALSE(restored.ok());
+  EXPECT_EQ(restored.status().code(), StatusCode::kParseError);
+  EXPECT_NE(restored.status().message().find("run registry has trailing"),
+            std::string::npos)
+      << restored.status().ToString();
+}
+
+}  // namespace
+}  // namespace skl
