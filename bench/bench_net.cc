@@ -1,0 +1,181 @@
+// bench_net: throughput and latency of the network query serving layer
+// (src/net/, docs/NETWORK.md) over loopback. One server process-half, 1/2/4/8
+// concurrent client connections, two client strategies:
+//
+//   roundtrip  one Reaches frame per query, response awaited before the next
+//              — the latency-bound interactive pattern (p50/p99 reported)
+//   pipelined  64 request frames written back to back, then 64 responses
+//              read — the throughput pattern request pipelining enables
+//
+// The spread between the two is the whole point of supporting pipelining in
+// the protocol; the spread between 1 and 8 connections shows how far the
+// per-connection handler model scales on this machine's cores.
+//
+// Environment knobs (CI uses tiny values, docs/BENCHMARKS.md the defaults):
+//   SKL_BENCH_NET_QUERIES    total queries per mode point (default 20000)
+//   SKL_BENCH_NET_SIZE       run size in vertices (default 2000)
+//   SKL_BENCH_NET_MAX_CONNS  largest connection count (default 8)
+//   SKL_BENCH_JSON           machine-readable results (bench_common.h)
+#include <algorithm>
+#include <cstdio>
+#include <cstdlib>
+#include <span>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "bench/bench_common.h"
+#include "src/skl.h"
+
+using namespace skl;         // NOLINT: bench brevity
+using namespace skl::bench;  // NOLINT
+
+namespace {
+
+size_t EnvOr(const char* name, size_t fallback) {
+  if (const char* env = std::getenv(name)) {
+    return static_cast<size_t>(std::strtoull(env, nullptr, 10));
+  }
+  return fallback;
+}
+
+double Quantile(std::vector<double>& sorted_us, double q) {
+  if (sorted_us.empty()) return 0;
+  const size_t idx = static_cast<size_t>(
+      q * static_cast<double>(sorted_us.size() - 1) + 0.5);
+  return sorted_us[std::min(idx, sorted_us.size() - 1)];
+}
+
+struct ModeResult {
+  double seconds = 0;
+  size_t queries = 0;
+  std::vector<double> lat_us;  ///< per-query (roundtrip mode only)
+};
+
+}  // namespace
+
+int main() {
+  const size_t total_queries = EnvOr("SKL_BENCH_NET_QUERIES", 20000);
+  const uint32_t run_size =
+      static_cast<uint32_t>(EnvOr("SKL_BENCH_NET_SIZE", 2000));
+  const unsigned max_conns =
+      static_cast<unsigned>(EnvOr("SKL_BENCH_NET_MAX_CONNS", 8));
+
+  Specification spec = QblastSpec();
+  GeneratedRun gen = MakeRun(spec, run_size, 7);
+  auto service =
+      ProvenanceService::Create(std::move(spec), SpecSchemeKind::kTcm);
+  SKL_CHECK_MSG(service.ok(), service.status().ToString().c_str());
+  auto id = service->AddRun(gen.run);
+  SKL_CHECK_MSG(id.ok(), id.status().ToString().c_str());
+  const VertexId n = gen.run.num_vertices();
+
+  ProvenanceServer::Options server_options;
+  server_options.num_threads = std::max(max_conns, 1u);
+  auto server =
+      ProvenanceServer::Start(std::move(service).value(), server_options);
+  SKL_CHECK_MSG(server.ok(), server.status().ToString().c_str());
+  const uint16_t port = (*server)->port();
+
+  PrintHeader("network serving: Reaches over loopback, run of " +
+              std::to_string(n) + " vertices");
+  std::printf("%6s  %-10s %10s %12s %10s %10s\n", "conns", "mode", "queries",
+              "queries/s", "p50(us)", "p99(us)");
+
+  JsonReporter json("bench_net");
+
+  // Per-connection deterministic query workloads.
+  const auto make_pairs = [&](unsigned conn, size_t count) {
+    std::vector<VertexPair> pairs;
+    pairs.reserve(count);
+    Rng rng(1000 + conn);
+    for (size_t i = 0; i < count; ++i) {
+      pairs.push_back({static_cast<VertexId>(rng.NextBelow(n)),
+                       static_cast<VertexId>(rng.NextBelow(n))});
+    }
+    return pairs;
+  };
+
+  const auto run_mode = [&](unsigned conns, bool pipelined) {
+    const size_t per_conn = total_queries / conns;
+    std::vector<ModeResult> results(conns);
+    std::vector<ProvenanceClient> clients;
+    clients.reserve(conns);
+    for (unsigned c = 0; c < conns; ++c) {
+      auto client = ProvenanceClient::Connect("127.0.0.1", port);
+      SKL_CHECK_MSG(client.ok(), client.status().ToString().c_str());
+      clients.push_back(std::move(client).value());
+    }
+    std::vector<std::thread> threads;
+    Stopwatch wall;
+    for (unsigned c = 0; c < conns; ++c) {
+      threads.emplace_back([&, c] {
+        ProvenanceClient& client = clients[c];
+        const std::vector<VertexPair> pairs = make_pairs(c, per_conn);
+        ModeResult& result = results[c];
+        Stopwatch sw;
+        if (pipelined) {
+          constexpr size_t kWindow = 64;
+          sw.Restart();
+          for (size_t off = 0; off < pairs.size(); off += kWindow) {
+            const size_t len = std::min(kWindow, pairs.size() - off);
+            auto answers = client.ReachesPipelined(
+                *id, std::span<const VertexPair>(pairs).subspan(off, len));
+            SKL_CHECK_MSG(answers.ok(), answers.status().ToString().c_str());
+            result.queries += len;
+          }
+          result.seconds = sw.ElapsedSeconds();
+        } else {
+          result.lat_us.reserve(pairs.size());
+          Stopwatch total;
+          for (const auto& [v, w] : pairs) {
+            sw.Restart();
+            auto answer = client.Reaches(*id, v, w);
+            result.lat_us.push_back(sw.ElapsedSeconds() * 1e6);
+            SKL_CHECK_MSG(answer.ok(), answer.status().ToString().c_str());
+            ++result.queries;
+          }
+          result.seconds = total.ElapsedSeconds();
+        }
+      });
+    }
+    for (std::thread& t : threads) t.join();
+    const double wall_secs = wall.ElapsedSeconds();
+
+    ModeResult merged;
+    merged.seconds = wall_secs;
+    for (ModeResult& r : results) {
+      merged.queries += r.queries;
+      merged.lat_us.insert(merged.lat_us.end(), r.lat_us.begin(),
+                           r.lat_us.end());
+    }
+    std::sort(merged.lat_us.begin(), merged.lat_us.end());
+    const double qps =
+        wall_secs > 0 ? static_cast<double>(merged.queries) / wall_secs : 0;
+    const double p50 = Quantile(merged.lat_us, 0.50);
+    const double p99 = Quantile(merged.lat_us, 0.99);
+    const char* mode = pipelined ? "pipelined" : "roundtrip";
+    if (pipelined) {
+      std::printf("%6u  %-10s %10zu %12.0f %10s %10s\n", conns, mode,
+                  merged.queries, qps, "-", "-");
+    } else {
+      std::printf("%6u  %-10s %10zu %12.0f %10.1f %10.1f\n", conns, mode,
+                  merged.queries, qps, p50, p99);
+    }
+    const std::string prefix =
+        "net_" + std::string(mode) + "_" + std::to_string(conns) + "conn_";
+    json.Add(prefix + "queries_per_sec", qps, "queries/s");
+    if (!pipelined) {
+      json.Add(prefix + "p50_latency", p50, "us");
+      json.Add(prefix + "p99_latency", p99, "us");
+    }
+  };
+
+  for (unsigned conns = 1; conns <= max_conns; conns *= 2) {
+    run_mode(conns, /*pipelined=*/false);
+    run_mode(conns, /*pipelined=*/true);
+  }
+
+  (*server)->Shutdown();
+  return 0;
+}

@@ -200,5 +200,60 @@ int main(int argc, char** argv) {
   for (bool a : *answers) deps += a ? 1 : 0;
   std::printf("lineage: item #%u depends on %zu of the first %zu items\n",
               last, deps, sample);
+
+  // (d) Networked serving rehearsal (docs/NETWORK.md): the same audits,
+  // answered over the wire protocol instead of in-process — the posture a
+  // second analyst's tooling would use against a shared registry. The
+  // service moves into a loopback ProvenanceServer; a ProvenanceClient
+  // re-asks (a) and (c) and every answer must match.
+  ProvenanceServer::Options net_opt;
+  net_opt.num_threads = 2;
+  auto server =
+      ProvenanceServer::Start(std::move(service).value(), net_opt);
+  if (!server.ok()) {
+    std::fprintf(stderr, "%s\n", server.status().ToString().c_str());
+    return 1;
+  }
+  auto client = ProvenanceClient::Connect("127.0.0.1", (*server)->port());
+  if (!client.ok()) {
+    std::fprintf(stderr, "%s\n", client.status().ToString().c_str());
+    return 1;
+  }
+  sw.Restart();
+  size_t remote_affected = 0;
+  for (DataItemId x = 0; x < catalog.size(); ++x) {
+    auto dep = client->DataDependsOnModule(*id, x, faulty);
+    if (dep.ok() && *dep) ++remote_affected;
+  }
+  auto remote_answers = client->DependsOnBatch(*id, pairs);
+  if (!remote_answers.ok()) {
+    std::fprintf(stderr, "%s\n", remote_answers.status().ToString().c_str());
+    return 1;
+  }
+  size_t remote_deps = 0;
+  for (bool a : *remote_answers) remote_deps += a ? 1 : 0;
+  const double remote_ms = sw.ElapsedMillis();
+  const size_t remote_queries = catalog.size() + pairs.size();
+  auto counters = client->GetServiceStats();
+  if (!counters.ok()) return 1;
+  std::printf("networked: %zu remote queries in %.2f ms over loopback "
+              "(%.0f queries/s); server has answered %llu item-level "
+              "queries total\n",
+              remote_queries, remote_ms,
+              remote_ms > 0 ? remote_queries / (remote_ms / 1e3) : 0.0,
+              static_cast<unsigned long long>(
+                  counters->depends_on_queries +
+                  counters->module_data_queries +
+                  counters->data_module_queries));
+  Status down = client->Shutdown();
+  (*server)->Wait();
+  if (!down.ok() || remote_affected != affected || remote_deps != deps) {
+    std::fprintf(stderr,
+                 "networked audit diverged: affected %zu vs %zu, lineage "
+                 "%zu vs %zu, shutdown %s\n",
+                 remote_affected, affected, remote_deps, deps,
+                 down.ToString().c_str());
+    return 1;
+  }
   return 0;
 }

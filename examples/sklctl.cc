@@ -14,9 +14,22 @@
 //   sklctl load out.skls                 restore a snapshot and answer
 //                                        stdin queries ("<run-id> <u> <v>")
 //
-// label/stats/ingest-dir/save accept
+// Network serving (docs/NETWORK.md):
+//
+//   sklctl serve spec.xml [runs/]        serve a (optionally pre-ingested)
+//                                        service over TCP; --port=0 picks an
+//                                        ephemeral port, printed on stdout
+//   sklctl reaches   --connect=H:P <run-id> <u> <v>   remote reachability
+//   sklctl stats     --connect=H:P [run-id]           service counters /
+//                                                     one run's stats
+//   sklctl add-run   --connect=H:P run.xml            remote ingestion
+//   sklctl list-runs --connect=H:P                    remote registry
+//   sklctl shutdown  --connect=H:P                    graceful server drain
+//   sklctl save      --connect=H:P out.skls           server-side snapshot
+//
+// label/stats/ingest-dir/save/serve accept
 // --scheme=tcm|bfs|dfs|interval|tree-cover|chain|2hop to pick the skeleton
-// labeling scheme (default tcm); ingest-dir, save and load accept
+// labeling scheme (default tcm); ingest-dir, save, load and serve accept
 // --threads=N (0 = one per hardware thread), and ingest-dir --fail-fast
 // (all-or-nothing batch). load rejects --scheme: the scheme identity is
 // part of the snapshot.
@@ -78,6 +91,14 @@ int Usage() {
       "<spec.xml> <run-dir>\n"
       "                   <out.snapshot>\n"
       "       sklctl load [--threads=<n>] <snapshot>\n"
+      "       sklctl serve [--scheme=<name>] [--threads=<n>] [--port=<p>]\n"
+      "                    <spec.xml> [run-dir]\n"
+      "       sklctl reaches --connect=<host:port> <run-id> <from> <to>\n"
+      "       sklctl stats --connect=<host:port> [run-id]\n"
+      "       sklctl add-run --connect=<host:port> <run.xml>\n"
+      "       sklctl list-runs --connect=<host:port>\n"
+      "       sklctl shutdown --connect=<host:port>\n"
+      "       sklctl save --connect=<host:port> <out.snapshot>\n"
       "scheme names: tcm (default), bfs, dfs, interval, tree-cover, "
       "chain, 2hop\n");
   return 2;
@@ -297,6 +318,96 @@ int Load(const char* path, unsigned num_threads) {
   return 0;
 }
 
+/// `sklctl serve`: build a service over the spec (optionally pre-ingesting
+/// every run XML in a directory, all-or-nothing), then serve it over TCP
+/// until a remote shutdown frame drains it. The bound address is printed
+/// first — the CI smoke job parses "serving on <addr>:<port>" to discover
+/// an ephemeral port.
+int Serve(Specification spec, SpecSchemeKind scheme_kind,
+          unsigned num_threads, uint16_t port, const char* dir) {
+  ProvenanceService::Options options;
+  options.num_threads = num_threads;
+  auto service =
+      ProvenanceService::Create(std::move(spec), scheme_kind, options);
+  if (!service.ok()) return Fail(service.status());
+
+  if (dir != nullptr) {
+    auto paths = ScanRunDir(dir);
+    if (!paths.ok()) return Fail(paths.status());
+    std::vector<Run> runs;
+    runs.reserve(paths->size());
+    for (const std::string& path : *paths) {
+      auto run = LoadRun(path.c_str());
+      if (!run.ok()) {
+        std::fprintf(stderr, "error: %s: %s\n", path.c_str(),
+                     run.status().ToString().c_str());
+        return 1;
+      }
+      runs.push_back(std::move(run).value());
+    }
+    std::vector<Result<RunId>> ids = service->AddRunsParallel(runs);
+    for (size_t i = 0; i < ids.size(); ++i) {
+      if (!ids[i].ok()) {
+        std::fprintf(stderr, "error: %s: %s\n", (*paths)[i].c_str(),
+                     ids[i].status().ToString().c_str());
+        return 1;
+      }
+    }
+  }
+
+  ProvenanceServer::Options server_options;
+  server_options.port = port;
+  // --threads sizes the connection-handler pool too; 0 keeps the server's
+  // own default (8), which is a better serving concurrency than one-per-
+  // core on small machines.
+  if (num_threads != 0) server_options.num_threads = num_threads;
+  auto server =
+      ProvenanceServer::Start(std::move(service).value(), server_options);
+  if (!server.ok()) return Fail(server.status());
+  std::printf("serving on %s:%u (scheme %s, %zu runs)\n",
+              (*server)->options().bind_address.c_str(), (*server)->port(),
+              SpecSchemeKindName(scheme_kind),
+              (*server)->service().num_runs());
+  std::fflush(stdout);  // the port line must reach a redirected pipe now
+  (*server)->Wait();
+  std::printf("server drained, exiting\n");
+  return 0;
+}
+
+void PrintRunStatsLine(uint64_t id, const RunStats& stats) {
+  std::printf("run %llu: %u vertices, %zu items, %u-bit labels%s\n",
+              static_cast<unsigned long long>(id), stats.num_vertices,
+              stats.num_items, stats.label_bits,
+              stats.imported ? " (imported)" : "");
+}
+
+/// Remote `sklctl stats`: with a run-id argument, that run's stats; without,
+/// the service-wide cumulative counters (the new ServiceStats RPC).
+int RemoteStats(ProvenanceClient& client, const std::vector<const char*>& args) {
+  if (args.size() == 1) {
+    const uint64_t run = std::strtoull(args[0], nullptr, 10);
+    auto stats = client.Stats(RunId::FromValue(run));
+    if (!stats.ok()) return Fail(stats.status());
+    PrintRunStatsLine(run, *stats);
+    return 0;
+  }
+  auto stats = client.GetServiceStats();
+  if (!stats.ok()) return Fail(stats.status());
+  const auto u = [](uint64_t v) { return static_cast<unsigned long long>(v); };
+  std::printf("runs registered:      %llu\n", u(stats->num_runs));
+  std::printf("reaches queries:      %llu\n", u(stats->reaches_queries));
+  std::printf("depends-on queries:   %llu\n", u(stats->depends_on_queries));
+  std::printf("module<-data queries: %llu\n", u(stats->module_data_queries));
+  std::printf("data<-module queries: %llu\n", u(stats->data_module_queries));
+  std::printf("batch calls:          %llu\n", u(stats->batch_calls));
+  std::printf("runs ingested:        %llu\n", u(stats->runs_ingested));
+  std::printf("runs imported:        %llu\n", u(stats->runs_imported));
+  std::printf("runs removed:         %llu\n", u(stats->runs_removed));
+  std::printf("bulk batches:         %llu\n", u(stats->bulk_batches));
+  std::printf("snapshot saves:       %llu\n", u(stats->snapshot_saves));
+  return 0;
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
@@ -306,6 +417,8 @@ int main(int argc, char** argv) {
   bool scheme_given = false;
   unsigned num_threads = 0;
   bool fail_fast = false;
+  uint16_t port = 0;
+  std::string connect;
   std::vector<const char*> args;
   for (int i = 1; i < argc; ++i) {
     if (std::strncmp(argv[i], "--scheme=", 9) == 0) {
@@ -335,6 +448,25 @@ int main(int argc, char** argv) {
       num_threads = static_cast<unsigned>(parsed);
     } else if (std::strcmp(argv[i], "--fail-fast") == 0) {
       fail_fast = true;
+    } else if (std::strncmp(argv[i], "--port=", 7) == 0) {
+      const char* value = argv[i] + 7;
+      char* end = nullptr;
+      unsigned long parsed = std::strtoul(value, &end, 10);
+      if (*value == '\0' || *end != '\0' || value[0] == '-' ||
+          parsed > 65535) {
+        std::fprintf(stderr,
+                     "error: --port expects an integer in [0, 65535], "
+                     "got '%s'\n",
+                     value);
+        return Usage();
+      }
+      port = static_cast<uint16_t>(parsed);
+    } else if (std::strncmp(argv[i], "--connect=", 10) == 0) {
+      connect = argv[i] + 10;
+      if (connect.empty()) {
+        std::fprintf(stderr, "error: --connect expects <host:port>\n");
+        return Usage();
+      }
     } else if (std::strncmp(argv[i], "--", 2) == 0) {
       std::fprintf(stderr, "error: unknown option '%s'\n", argv[i]);
       return Usage();
@@ -345,6 +477,98 @@ int main(int argc, char** argv) {
     }
   }
   if (cmd.empty()) return Usage();
+
+  // --connect routes a command to a remote server; only these speak it.
+  const bool remote_capable = cmd == "reaches" || cmd == "stats" ||
+                              cmd == "add-run" || cmd == "list-runs" ||
+                              cmd == "shutdown" || cmd == "save";
+  if (!connect.empty() && !remote_capable) {
+    std::fprintf(stderr,
+                 "error: --connect is only accepted by reaches, stats, "
+                 "add-run, list-runs, shutdown and save\n");
+    return Usage();
+  }
+
+  if (cmd == "serve") {
+    if (args.empty() || args.size() > 2) return Usage();
+    if (fail_fast) {
+      std::fprintf(stderr,
+                   "error: serve pre-ingestion is always all-or-nothing; "
+                   "--fail-fast is not accepted\n");
+      return Usage();
+    }
+    auto spec = LoadSpec(args[0]);
+    if (!spec.ok()) return Fail(spec.status());
+    return Serve(std::move(spec).value(), scheme_kind, num_threads, port,
+                 args.size() > 1 ? args[1] : nullptr);
+  }
+
+  if (cmd == "reaches" || cmd == "add-run" || cmd == "list-runs" ||
+      cmd == "shutdown" || (cmd == "stats" && !connect.empty()) ||
+      (cmd == "save" && !connect.empty())) {
+    if (connect.empty()) {
+      std::fprintf(stderr, "error: %s requires --connect=<host:port>\n",
+                   cmd.c_str());
+      return Usage();
+    }
+    auto client = ProvenanceClient::ConnectHostPort(connect);
+    if (!client.ok()) return Fail(client.status());
+
+    if (cmd == "reaches") {
+      if (args.size() != 3) return Usage();
+      const uint64_t run = std::strtoull(args[0], nullptr, 10);
+      const VertexId u =
+          static_cast<VertexId>(std::strtoul(args[1], nullptr, 10));
+      const VertexId v =
+          static_cast<VertexId>(std::strtoul(args[2], nullptr, 10));
+      auto reach = client->Reaches(RunId::FromValue(run), u, v);
+      if (!reach.ok()) return Fail(reach.status());
+      std::printf("run %llu: %u -> %u : %s\n",
+                  static_cast<unsigned long long>(run), u, v,
+                  *reach ? "reachable" : "unreachable");
+      return 0;
+    }
+    if (cmd == "stats") {
+      if (args.size() > 1) return Usage();
+      return RemoteStats(*client, args);
+    }
+    if (cmd == "add-run") {
+      if (args.size() != 1) return Usage();
+      auto xml = ReadFile(args[0]);
+      if (!xml.ok()) return Fail(xml.status());
+      auto id = client->AddRunXml(*xml);
+      if (!id.ok()) return Fail(id.status());
+      auto stats = client->Stats(*id);
+      if (!stats.ok()) return Fail(stats.status());
+      PrintRunStatsLine(id->value(), *stats);
+      return 0;
+    }
+    if (cmd == "list-runs") {
+      if (!args.empty()) return Usage();
+      auto ids = client->ListRuns();
+      if (!ids.ok()) return Fail(ids.status());
+      for (RunId id : *ids) {
+        auto stats = client->Stats(id);
+        if (!stats.ok()) return Fail(stats.status());
+        PrintRunStatsLine(id.value(), *stats);
+      }
+      std::printf("%zu runs\n", ids->size());
+      return 0;
+    }
+    if (cmd == "save") {
+      if (args.size() != 1) return Usage();
+      Status saved = client->SaveSnapshot(args[0]);
+      if (!saved.ok()) return Fail(saved);
+      std::printf("server saved snapshot to %s\n", args[0]);
+      return 0;
+    }
+    // shutdown
+    if (!args.empty()) return Usage();
+    Status down = client->Shutdown();
+    if (!down.ok()) return Fail(down);
+    std::printf("server acknowledged shutdown\n");
+    return 0;
+  }
 
   if (cmd == "demo-spec") {
     if (!args.empty()) {

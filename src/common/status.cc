@@ -22,6 +22,8 @@ const char* StatusCodeName(StatusCode code) {
       return "Internal";
     case StatusCode::kCancelled:
       return "Cancelled";
+    case StatusCode::kUnavailable:
+      return "Unavailable";
   }
   return "Unknown";
 }
@@ -52,6 +54,9 @@ Status Status::Internal(std::string msg) {
 }
 Status Status::Cancelled(std::string msg) {
   return Status(StatusCode::kCancelled, std::move(msg));
+}
+Status Status::Unavailable(std::string msg) {
+  return Status(StatusCode::kUnavailable, std::move(msg));
 }
 
 std::string Status::ToString() const {

@@ -22,6 +22,7 @@ enum class StatusCode : uint8_t {
   kCapacityExceeded = 6,  ///< A configured limit (e.g. tree blow-up cap) hit.
   kInternal = 7,          ///< Invariant broken inside the library.
   kCancelled = 8,         ///< Work abandoned (e.g. fail-fast bulk ingestion).
+  kUnavailable = 9,       ///< Peer unreachable (connect/read/write failed).
 };
 
 /// Human-readable name of a status code (e.g. "InvalidSpecification").
@@ -45,6 +46,7 @@ class Status {
   static Status CapacityExceeded(std::string msg);
   static Status Internal(std::string msg);
   static Status Cancelled(std::string msg);
+  static Status Unavailable(std::string msg);
 
   bool ok() const { return code_ == StatusCode::kOk; }
   StatusCode code() const { return code_; }

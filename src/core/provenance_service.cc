@@ -30,6 +30,61 @@ Status ValidateCatalog(const DataCatalog& catalog, VertexId num_vertices) {
   return Status::OK();
 }
 
+// Query logic over a store's bit-packed labels (+ catalog), formerly the
+// scheme-passing ProvenanceStore overloads. It lives here because the
+// service is the only holder of the scheme a store's labels were built
+// under; nothing outside can pair the two incorrectly anymore.
+
+bool StoreReaches(const ProvenanceStore& store, VertexId v, VertexId w,
+                  const SpecLabelingScheme& scheme) {
+  return RunLabeling::Decide(store.label(v), store.label(w), scheme);
+}
+
+Result<bool> StoreDependsOn(const ProvenanceStore& store, DataItemId x,
+                            DataItemId x_from,
+                            const SpecLabelingScheme& scheme) {
+  if (x >= store.num_items() || x_from >= store.num_items()) {
+    return Status::InvalidArgument("unknown data item");
+  }
+  // Paper Section 6: x depends on x_from iff some reader of x_from reaches
+  // the execution that wrote x.
+  const RunLabel& out = store.label(store.item_writer(x));
+  for (VertexId r : store.item_readers(x_from)) {
+    if (RunLabeling::Decide(store.label(r), out, scheme)) return true;
+  }
+  return false;
+}
+
+Result<bool> StoreModuleDependsOnData(const ProvenanceStore& store,
+                                      VertexId v, DataItemId x,
+                                      const SpecLabelingScheme& scheme) {
+  if (x >= store.num_items()) {
+    return Status::InvalidArgument("unknown data item");
+  }
+  if (v >= store.num_vertices()) {
+    return Status::InvalidArgument("unknown vertex");
+  }
+  for (VertexId r : store.item_readers(x)) {
+    if (RunLabeling::Decide(store.label(r), store.label(v), scheme)) {
+      return true;
+    }
+  }
+  return false;
+}
+
+Result<bool> StoreDataDependsOnModule(const ProvenanceStore& store,
+                                      DataItemId x, VertexId v,
+                                      const SpecLabelingScheme& scheme) {
+  if (x >= store.num_items()) {
+    return Status::InvalidArgument("unknown data item");
+  }
+  if (v >= store.num_vertices()) {
+    return Status::InvalidArgument("unknown vertex");
+  }
+  return RunLabeling::Decide(store.label(v),
+                             store.label(store.item_writer(x)), scheme);
+}
+
 }  // namespace
 
 ProvenanceService::ProvenanceService(
@@ -39,6 +94,7 @@ ProvenanceService::ProvenanceService(
       scheme_(std::move(scheme)),
       options_(options),
       mu_(std::make_unique<std::shared_mutex>()),
+      counters_(std::make_unique<Counters>()),
       pool_mu_(std::make_unique<std::mutex>()) {}
 
 Result<ProvenanceService> ProvenanceService::Create(
@@ -117,6 +173,7 @@ RunId ProvenanceService::Publish(RunRecord record) {
   std::unique_lock lock(*mu_);
   RunId id(next_id_++);
   runs_.emplace(id.value(), std::move(record));
+  counters_->runs_ingested.fetch_add(1, std::memory_order_relaxed);
   return id;
 }
 
@@ -132,6 +189,7 @@ ThreadPool& ProvenanceService::Pool() {
 std::vector<Result<RunId>> ProvenanceService::BulkIngest(
     size_t count, const std::function<Result<RunRecord>(size_t)>& build) {
   if (count == 0) return {};  // keep empty batches from starting the pool
+  counters_->bulk_batches.fetch_add(1, std::memory_order_relaxed);
 
   // Phase 1: label every run concurrently, no lock held. Each worker owns
   // slot i exclusively; the future handshake publishes it to this thread.
@@ -211,6 +269,7 @@ std::vector<Result<RunId>> ProvenanceService::BulkIngest(
     }
     RunId id(next_id_++);
     runs_.emplace(id.value(), std::move(r).value());
+    counters_->runs_ingested.fetch_add(1, std::memory_order_relaxed);
     results.emplace_back(id);
   }
   return results;
@@ -256,6 +315,7 @@ Status ProvenanceService::RemoveRun(RunId id) {
   if (runs_.erase(id.value()) == 0) {
     return Status::NotFound("unknown run id");
   }
+  counters_->runs_removed.fetch_add(1, std::memory_order_relaxed);
   return Status::OK();
 }
 
@@ -282,7 +342,8 @@ Result<bool> ProvenanceService::Reaches(RunId id, VertexId v,
   if (v >= record->stats.num_vertices || w >= record->stats.num_vertices) {
     return Status::InvalidArgument("vertex out of range for run");
   }
-  return record->store.Reaches(v, w, *scheme_);
+  counters_->reaches_queries.fetch_add(1, std::memory_order_relaxed);
+  return StoreReaches(record->store, v, w, *scheme_);
 }
 
 Result<std::vector<bool>> ProvenanceService::ReachesBatch(
@@ -297,8 +358,11 @@ Result<std::vector<bool>> ProvenanceService::ReachesBatch(
     if (v >= n || w >= n) {
       return Status::InvalidArgument("vertex out of range for run");
     }
-    answers.push_back(record->store.Reaches(v, w, *scheme_));
+    answers.push_back(StoreReaches(record->store, v, w, *scheme_));
   }
+  counters_->batch_calls.fetch_add(1, std::memory_order_relaxed);
+  counters_->reaches_queries.fetch_add(pairs.size(),
+                                       std::memory_order_relaxed);
   return answers;
 }
 
@@ -307,7 +371,10 @@ Result<bool> ProvenanceService::DependsOn(RunId id, DataItemId x,
   std::shared_lock lock(*mu_);
   const RunRecord* record = FindLocked(id);
   if (record == nullptr) return Status::NotFound("unknown run id");
-  return record->store.DependsOn(x, x_from, *scheme_);
+  SKL_ASSIGN_OR_RETURN(bool dep,
+                       StoreDependsOn(record->store, x, x_from, *scheme_));
+  counters_->depends_on_queries.fetch_add(1, std::memory_order_relaxed);
+  return dep;
 }
 
 Result<std::vector<bool>> ProvenanceService::DependsOnBatch(
@@ -318,10 +385,13 @@ Result<std::vector<bool>> ProvenanceService::DependsOnBatch(
   std::vector<bool> answers;
   answers.reserve(pairs.size());
   for (const auto& [x, x_from] : pairs) {
-    SKL_ASSIGN_OR_RETURN(bool dep,
-                         record->store.DependsOn(x, x_from, *scheme_));
+    SKL_ASSIGN_OR_RETURN(
+        bool dep, StoreDependsOn(record->store, x, x_from, *scheme_));
     answers.push_back(dep);
   }
+  counters_->batch_calls.fetch_add(1, std::memory_order_relaxed);
+  counters_->depends_on_queries.fetch_add(pairs.size(),
+                                          std::memory_order_relaxed);
   return answers;
 }
 
@@ -330,7 +400,10 @@ Result<bool> ProvenanceService::ModuleDependsOnData(RunId id, VertexId v,
   std::shared_lock lock(*mu_);
   const RunRecord* record = FindLocked(id);
   if (record == nullptr) return Status::NotFound("unknown run id");
-  return record->store.ModuleDependsOnData(v, x, *scheme_);
+  SKL_ASSIGN_OR_RETURN(
+      bool dep, StoreModuleDependsOnData(record->store, v, x, *scheme_));
+  counters_->module_data_queries.fetch_add(1, std::memory_order_relaxed);
+  return dep;
 }
 
 Result<bool> ProvenanceService::DataDependsOnModule(RunId id, DataItemId x,
@@ -338,7 +411,10 @@ Result<bool> ProvenanceService::DataDependsOnModule(RunId id, DataItemId x,
   std::shared_lock lock(*mu_);
   const RunRecord* record = FindLocked(id);
   if (record == nullptr) return Status::NotFound("unknown run id");
-  return record->store.DataDependsOnModule(x, v, *scheme_);
+  SKL_ASSIGN_OR_RETURN(
+      bool dep, StoreDataDependsOnModule(record->store, x, v, *scheme_));
+  counters_->data_module_queries.fetch_add(1, std::memory_order_relaxed);
+  return dep;
 }
 
 Result<std::vector<uint8_t>> ProvenanceService::ExportRun(RunId id) const {
@@ -369,6 +445,7 @@ Result<RunId> ProvenanceService::ImportRun(
   record.stats.num_items = store.num_items();
   record.stats.imported = true;
   record.store = std::move(store);
+  counters_->runs_imported.fetch_add(1, std::memory_order_relaxed);
   return Publish(std::move(record));
 }
 
@@ -387,6 +464,26 @@ Result<RunStats> ProvenanceService::Stats(RunId id) const {
   const RunRecord* record = FindLocked(id);
   if (record == nullptr) return Status::NotFound("unknown run id");
   return record->stats;
+}
+
+ServiceStats ProvenanceService::service_stats() const {
+  std::shared_lock lock(*mu_);
+  ServiceStats stats;
+  stats.num_runs = runs_.size();
+  const auto get = [](const std::atomic<uint64_t>& c) {
+    return c.load(std::memory_order_relaxed);
+  };
+  stats.reaches_queries = get(counters_->reaches_queries);
+  stats.depends_on_queries = get(counters_->depends_on_queries);
+  stats.module_data_queries = get(counters_->module_data_queries);
+  stats.data_module_queries = get(counters_->data_module_queries);
+  stats.batch_calls = get(counters_->batch_calls);
+  stats.runs_ingested = get(counters_->runs_ingested);
+  stats.runs_imported = get(counters_->runs_imported);
+  stats.runs_removed = get(counters_->runs_removed);
+  stats.bulk_batches = get(counters_->bulk_batches);
+  stats.snapshot_saves = get(counters_->snapshot_saves);
+  return stats;
 }
 
 std::vector<RunId> ProvenanceService::ListRuns() const {

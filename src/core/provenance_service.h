@@ -45,6 +45,7 @@
 #ifndef SKL_CORE_PROVENANCE_SERVICE_H_
 #define SKL_CORE_PROVENANCE_SERVICE_H_
 
+#include <atomic>
 #include <cstdint>
 #include <functional>
 #include <map>
@@ -107,6 +108,25 @@ struct RunStats {
   uint32_t origin_bits = 0;    ///< ceil(log2 n_G); 0 for imported runs
   uint32_t num_nonempty_plus = 0;  ///< nonempty + nodes; 0 for imported runs
   bool imported = false;       ///< true when ingested via ImportRun
+};
+
+/// Service-wide cumulative counters since service creation (they are not
+/// part of a snapshot: a restored service starts counting afresh). Query
+/// counters tally *answered* queries — a NotFound or out-of-range request
+/// does not count as served. Batch calls count one per answered pair, plus
+/// one batch_calls tick per invocation.
+struct ServiceStats {
+  uint64_t num_runs = 0;             ///< currently registered (point in time)
+  uint64_t reaches_queries = 0;      ///< Reaches + ReachesBatch pairs
+  uint64_t depends_on_queries = 0;   ///< DependsOn + DependsOnBatch pairs
+  uint64_t module_data_queries = 0;  ///< ModuleDependsOnData answers
+  uint64_t data_module_queries = 0;  ///< DataDependsOnModule answers
+  uint64_t batch_calls = 0;          ///< ReachesBatch + DependsOnBatch calls
+  uint64_t runs_ingested = 0;        ///< successful registrations, all paths
+  uint64_t runs_imported = 0;        ///< subset of runs_ingested via ImportRun
+  uint64_t runs_removed = 0;
+  uint64_t bulk_batches = 0;         ///< AddRuns*Parallel invocations
+  uint64_t snapshot_saves = 0;       ///< successful SaveSnapshot calls
 };
 
 class RunSession;
@@ -255,6 +275,8 @@ class ProvenanceService {
   bool Contains(RunId id) const;
   size_t num_runs() const;
   Result<RunStats> Stats(RunId id) const;
+  /// Point-in-time copy of the service-wide cumulative counters.
+  ServiceStats service_stats() const;
   /// Handles of all registered runs, in registration order.
   std::vector<RunId> ListRuns() const;
 
@@ -268,6 +290,24 @@ class ProvenanceService {
   struct RunRecord {
     ProvenanceStore store;
     RunStats stats;
+  };
+
+  /// ServiceStats internals. The fields are atomic because they are
+  /// bumped from concurrent shared-lock holders (query paths) as well as
+  /// unique-lock registry mutations — and, for snapshot_saves, after the
+  /// save's lock scope has ended. Do not downgrade them to plain ints on
+  /// the grounds that mu_ "is always held": it is not.
+  struct Counters {
+    std::atomic<uint64_t> reaches_queries{0};
+    std::atomic<uint64_t> depends_on_queries{0};
+    std::atomic<uint64_t> module_data_queries{0};
+    std::atomic<uint64_t> data_module_queries{0};
+    std::atomic<uint64_t> batch_calls{0};
+    std::atomic<uint64_t> runs_ingested{0};
+    std::atomic<uint64_t> runs_imported{0};
+    std::atomic<uint64_t> runs_removed{0};
+    std::atomic<uint64_t> bulk_batches{0};
+    std::atomic<uint64_t> snapshot_saves{0};
   };
 
   ProvenanceService(std::unique_ptr<const Specification> spec,
@@ -313,6 +353,7 @@ class ProvenanceService {
   Options options_;
 
   mutable std::unique_ptr<std::shared_mutex> mu_;
+  std::unique_ptr<Counters> counters_;  // see Counters for the lock contract
   uint64_t next_id_ = 1;  // guarded by mu_
   // Ids are monotonic and never reused, so ascending key order doubles as
   // registration order (ListRuns).

@@ -116,34 +116,4 @@ Result<ProvenanceStore> ProvenanceStore::Deserialize(
   return store;
 }
 
-Result<bool> ProvenanceStore::DependsOn(
-    DataItemId x, DataItemId x_from,
-    const SpecLabelingScheme& scheme) const {
-  if (x >= num_items() || x_from >= num_items()) {
-    return Status::InvalidArgument("unknown data item");
-  }
-  const RunLabel& out = labels_[item_writers_[x]];
-  for (VertexId r : item_readers_[x_from]) {
-    if (RunLabeling::Decide(labels_[r], out, scheme)) return true;
-  }
-  return false;
-}
-
-Result<bool> ProvenanceStore::ModuleDependsOnData(
-    VertexId v, DataItemId x, const SpecLabelingScheme& scheme) const {
-  if (x >= num_items()) return Status::InvalidArgument("unknown data item");
-  if (v >= num_vertices()) return Status::InvalidArgument("unknown vertex");
-  for (VertexId r : item_readers_[x]) {
-    if (RunLabeling::Decide(labels_[r], labels_[v], scheme)) return true;
-  }
-  return false;
-}
-
-Result<bool> ProvenanceStore::DataDependsOnModule(
-    DataItemId x, VertexId v, const SpecLabelingScheme& scheme) const {
-  if (x >= num_items()) return Status::InvalidArgument("unknown data item");
-  if (v >= num_vertices()) return Status::InvalidArgument("unknown vertex");
-  return RunLabeling::Decide(labels_[v], labels_[item_writers_[x]], scheme);
-}
-
 }  // namespace skl

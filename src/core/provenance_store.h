@@ -42,34 +42,20 @@ class ProvenanceStore {
 
   const RunLabel& label(VertexId v) const { return labels_[v]; }
 
-  // The scheme-passing query overloads below are deprecated: re-passing the
-  // scheme on every call is error-prone (nothing ties a blob to the scheme
-  // it was labeled under). Prefer the service-bound queries on
-  // skl::ProvenanceService, which hold the scheme once per specification;
-  // these remain as the delegation target the service uses.
+  // The store is pure data: labels plus the catalog's writer/reader lists.
+  // The scheme-passing query overloads that used to live here (deprecated
+  // since the service landed) are gone — nothing ties a blob to the scheme
+  // it was labeled under, so pairing the two is the service's job. Query
+  // through skl::ProvenanceService (Reaches/DependsOn/...), which holds the
+  // scheme once per specification and answers from these accessors.
 
-  /// Module-level reachability against a skeleton scheme built over the
-  /// originating specification.
-  /// Deprecated: prefer ProvenanceService::Reaches(RunId, v, w).
-  bool Reaches(VertexId v, VertexId w,
-               const SpecLabelingScheme& scheme) const {
-    return RunLabeling::Decide(labels_[v], labels_[w], scheme);
+  /// Execution that wrote item x. Precondition: x < num_items().
+  VertexId item_writer(DataItemId x) const { return item_writers_[x]; }
+
+  /// Executions that read item x. Precondition: x < num_items().
+  std::span<const VertexId> item_readers(DataItemId x) const {
+    return item_readers_[x];
   }
-
-  /// Item-level dependency (paper Section 6): x depends on x_from.
-  /// Deprecated: prefer ProvenanceService::DependsOn(RunId, x, x_from).
-  Result<bool> DependsOn(DataItemId x, DataItemId x_from,
-                         const SpecLabelingScheme& scheme) const;
-
-  /// Did module execution v read data derived from item x?
-  /// Deprecated: prefer ProvenanceService::ModuleDependsOnData.
-  Result<bool> ModuleDependsOnData(VertexId v, DataItemId x,
-                                   const SpecLabelingScheme& scheme) const;
-
-  /// Is item x downstream of module execution v?
-  /// Deprecated: prefer ProvenanceService::DataDependsOnModule.
-  Result<bool> DataDependsOnModule(DataItemId x, VertexId v,
-                                   const SpecLabelingScheme& scheme) const;
 
  private:
   std::vector<RunLabel> labels_;

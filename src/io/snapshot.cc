@@ -276,7 +276,11 @@ Status ProvenanceService::SaveSnapshot(const std::string& path) const {
     }
   }
   writer.AddSection(kSnapshotSectionRuns, runs.Finish());
-  return std::move(writer).WriteFile(path);
+  Status written = std::move(writer).WriteFile(path);
+  if (written.ok()) {
+    counters_->snapshot_saves.fetch_add(1, std::memory_order_relaxed);
+  }
+  return written;
 }
 
 Result<ProvenanceService> ProvenanceService::LoadSnapshot(

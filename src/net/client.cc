@@ -1,0 +1,496 @@
+#include "src/net/client.h"
+
+#include <netdb.h>
+#include <netinet/in.h>
+#include <netinet/tcp.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <cstring>
+#include <utility>
+
+#include "src/io/workflow_xml.h"
+
+namespace skl {
+
+namespace {
+
+std::string Errno(const char* what) {
+  return std::string(what) + ": " + std::strerror(errno);
+}
+
+bool SendAll(int fd, std::span<const uint8_t> bytes) {
+  size_t off = 0;
+  while (off < bytes.size()) {
+    ssize_t n = ::send(fd, bytes.data() + off, bytes.size() - off,
+                       MSG_NOSIGNAL);
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      return false;
+    }
+    off += static_cast<size_t>(n);
+  }
+  return true;
+}
+
+Result<uint32_t> ReadU32(PayloadReader& reader, const char* what) {
+  SKL_ASSIGN_OR_RETURN(uint64_t raw, reader.U64());
+  if (raw > UINT32_MAX) {
+    return Status::ParseError(std::string(what) +
+                              " in response does not fit 32 bits");
+  }
+  return static_cast<uint32_t>(raw);
+}
+
+/// Decodes the N-boolean reply shape shared by the batch queries.
+Result<std::vector<bool>> DecodeBoolVector(std::span<const uint8_t> payload,
+                                           size_t expected) {
+  PayloadReader reader(payload);
+  SKL_ASSIGN_OR_RETURN(uint64_t count, reader.U64());
+  if (count != expected) {
+    return Status::ParseError("batch reply answers " + std::to_string(count) +
+                              " queries, expected " +
+                              std::to_string(expected));
+  }
+  std::vector<bool> answers;
+  answers.reserve(expected);
+  for (uint64_t i = 0; i < count; ++i) {
+    SKL_ASSIGN_OR_RETURN(bool answer, reader.Boolean());
+    answers.push_back(answer);
+  }
+  SKL_RETURN_NOT_OK(reader.ExpectEnd());
+  return answers;
+}
+
+Result<bool> DecodeBool(std::span<const uint8_t> payload) {
+  PayloadReader reader(payload);
+  SKL_ASSIGN_OR_RETURN(bool answer, reader.Boolean());
+  SKL_RETURN_NOT_OK(reader.ExpectEnd());
+  return answer;
+}
+
+Result<RunId> DecodeRunId(std::span<const uint8_t> payload) {
+  PayloadReader reader(payload);
+  SKL_ASSIGN_OR_RETURN(uint64_t value, reader.U64());
+  SKL_RETURN_NOT_OK(reader.ExpectEnd());
+  return RunId::FromValue(value);
+}
+
+Status ExpectEmpty(std::span<const uint8_t> payload) {
+  PayloadReader reader(payload);
+  return reader.ExpectEnd();
+}
+
+}  // namespace
+
+ProvenanceClient::ProvenanceClient(int fd, size_t max_frame_bytes)
+    : fd_(fd), decoder_(max_frame_bytes) {}
+
+ProvenanceClient::~ProvenanceClient() {
+  if (fd_ >= 0) ::close(fd_);
+}
+
+ProvenanceClient::ProvenanceClient(ProvenanceClient&& other) noexcept
+    : fd_(std::exchange(other.fd_, -1)),
+      next_request_id_(other.next_request_id_),
+      decoder_(std::move(other.decoder_)),
+      broken_(std::move(other.broken_)) {}
+
+ProvenanceClient& ProvenanceClient::operator=(
+    ProvenanceClient&& other) noexcept {
+  if (this != &other) {
+    if (fd_ >= 0) ::close(fd_);
+    fd_ = std::exchange(other.fd_, -1);
+    next_request_id_ = other.next_request_id_;
+    decoder_ = std::move(other.decoder_);
+    broken_ = std::move(other.broken_);
+  }
+  return *this;
+}
+
+Result<ProvenanceClient> ProvenanceClient::Connect(const std::string& host,
+                                                   uint16_t port,
+                                                   size_t max_frame_bytes) {
+  addrinfo hints{};
+  hints.ai_family = AF_UNSPEC;
+  hints.ai_socktype = SOCK_STREAM;
+  addrinfo* addrs = nullptr;
+  const std::string port_str = std::to_string(port);
+  int rc = ::getaddrinfo(host.c_str(), port_str.c_str(), &hints, &addrs);
+  if (rc != 0) {
+    return Status::Unavailable("cannot resolve '" + host +
+                               "': " + ::gai_strerror(rc));
+  }
+  int fd = -1;
+  std::string last_error = "no addresses for '" + host + "'";
+  for (addrinfo* a = addrs; a != nullptr; a = a->ai_next) {
+    fd = ::socket(a->ai_family, a->ai_socktype, a->ai_protocol);
+    if (fd < 0) {
+      last_error = Errno("socket()");
+      continue;
+    }
+    if (::connect(fd, a->ai_addr, a->ai_addrlen) == 0) break;
+    last_error = Errno(("connect " + host + ":" + port_str).c_str());
+    ::close(fd);
+    fd = -1;
+  }
+  ::freeaddrinfo(addrs);
+  if (fd < 0) return Status::Unavailable(last_error);
+  // Request frames are small; don't let Nagle hold one back against the
+  // server's delayed ACK (the mirror of the server-side setting).
+  int one = 1;
+  ::setsockopt(fd, IPPROTO_TCP, TCP_NODELAY, &one, sizeof(one));
+  return ProvenanceClient(fd, max_frame_bytes);
+}
+
+Result<ProvenanceClient> ProvenanceClient::ConnectHostPort(
+    const std::string& host_port, size_t max_frame_bytes) {
+  const size_t colon = host_port.rfind(':');
+  if (colon == std::string::npos || colon == 0 ||
+      colon + 1 == host_port.size()) {
+    return Status::InvalidArgument("expected host:port, got '" + host_port +
+                                   "'");
+  }
+  const std::string port_str = host_port.substr(colon + 1);
+  char* end = nullptr;
+  unsigned long port = std::strtoul(port_str.c_str(), &end, 10);
+  if (*end != '\0' || port_str[0] == '-' || port == 0 || port > 65535) {
+    return Status::InvalidArgument("port must be in [1, 65535], got '" +
+                                   port_str + "'");
+  }
+  return Connect(host_port.substr(0, colon), static_cast<uint16_t>(port),
+                 max_frame_bytes);
+}
+
+Status ProvenanceClient::Poison(Status status) {
+  broken_ = status;
+  return status;
+}
+
+Result<uint64_t> ProvenanceClient::Send(MsgType type,
+                                        std::vector<uint8_t> payload) {
+  if (!broken_.ok()) return broken_;
+  if (fd_ < 0) return Status::Unavailable("client is not connected");
+  Frame frame;
+  frame.type = type;
+  frame.request_id = next_request_id_++;
+  frame.payload = std::move(payload);
+  std::vector<uint8_t> bytes;
+  EncodeFrame(frame, &bytes);
+  if (!SendAll(fd_, bytes)) {
+    return Poison(Status::Unavailable(Errno("send()")));
+  }
+  return frame.request_id;
+}
+
+Result<std::vector<uint8_t>> ProvenanceClient::Receive(uint64_t request_id) {
+  if (!broken_.ok()) return broken_;
+  uint8_t buf[65536];
+  for (;;) {
+    Result<std::optional<Frame>> next = decoder_.Next();
+    if (!next.ok()) {
+      // Framing corruption: the socket's remaining bytes are untrustworthy.
+      return Poison(next.status());
+    }
+    if (next->has_value()) {
+      Frame frame = std::move(**next);
+      if (frame.request_id != request_id) {
+        return Poison(Status::ParseError(
+            "response answers request " + std::to_string(frame.request_id) +
+            ", expected " + std::to_string(request_id) +
+            " (pipelining misuse or desynchronized stream)"));
+      }
+      if (frame.type == MsgType::kError) {
+        // The service-level error; the connection stays usable.
+        return DecodeErrorPayload(frame.payload);
+      }
+      if (frame.type != MsgType::kReply) {
+        return Poison(Status::ParseError(
+            std::string("peer sent a ") + MsgTypeName(frame.type) +
+            " frame where a response was expected"));
+      }
+      return std::move(frame.payload);
+    }
+    ssize_t n = ::recv(fd_, buf, sizeof(buf), 0);
+    if (n < 0 && errno == EINTR) continue;
+    if (n < 0) return Poison(Status::Unavailable(Errno("recv()")));
+    if (n == 0) {
+      return Poison(
+          Status::Unavailable("server closed the connection mid-response"));
+    }
+    decoder_.Feed({buf, static_cast<size_t>(n)});
+  }
+}
+
+Result<std::vector<uint8_t>> ProvenanceClient::Call(
+    MsgType type, std::vector<uint8_t> payload) {
+  SKL_ASSIGN_OR_RETURN(uint64_t id, Send(type, std::move(payload)));
+  return Receive(id);
+}
+
+Result<bool> ProvenanceClient::Reaches(RunId id, VertexId v, VertexId w) {
+  PayloadWriter req;
+  req.U64(id.value());
+  req.U64(v);
+  req.U64(w);
+  SKL_ASSIGN_OR_RETURN(std::vector<uint8_t> reply,
+                       Call(MsgType::kReaches, std::move(req).Finish()));
+  return DecodeBool(reply);
+}
+
+Result<std::vector<bool>> ProvenanceClient::ReachesBatch(
+    RunId id, std::span<const VertexPair> pairs) {
+  PayloadWriter req;
+  req.U64(id.value());
+  req.U64(pairs.size());
+  for (const auto& [v, w] : pairs) {
+    req.U64(v);
+    req.U64(w);
+  }
+  SKL_ASSIGN_OR_RETURN(std::vector<uint8_t> reply,
+                       Call(MsgType::kReachesBatch, std::move(req).Finish()));
+  return DecodeBoolVector(reply, pairs.size());
+}
+
+Result<bool> ProvenanceClient::DependsOn(RunId id, DataItemId x,
+                                         DataItemId x_from) {
+  PayloadWriter req;
+  req.U64(id.value());
+  req.U64(x);
+  req.U64(x_from);
+  SKL_ASSIGN_OR_RETURN(std::vector<uint8_t> reply,
+                       Call(MsgType::kDependsOn, std::move(req).Finish()));
+  return DecodeBool(reply);
+}
+
+Result<std::vector<bool>> ProvenanceClient::DependsOnBatch(
+    RunId id, std::span<const ItemPair> pairs) {
+  PayloadWriter req;
+  req.U64(id.value());
+  req.U64(pairs.size());
+  for (const auto& [x, x_from] : pairs) {
+    req.U64(x);
+    req.U64(x_from);
+  }
+  SKL_ASSIGN_OR_RETURN(
+      std::vector<uint8_t> reply,
+      Call(MsgType::kDependsOnBatch, std::move(req).Finish()));
+  return DecodeBoolVector(reply, pairs.size());
+}
+
+Result<bool> ProvenanceClient::ModuleDependsOnData(RunId id, VertexId v,
+                                                   DataItemId x) {
+  PayloadWriter req;
+  req.U64(id.value());
+  req.U64(v);
+  req.U64(x);
+  SKL_ASSIGN_OR_RETURN(
+      std::vector<uint8_t> reply,
+      Call(MsgType::kModuleDependsOnData, std::move(req).Finish()));
+  return DecodeBool(reply);
+}
+
+Result<bool> ProvenanceClient::DataDependsOnModule(RunId id, DataItemId x,
+                                                   VertexId v) {
+  PayloadWriter req;
+  req.U64(id.value());
+  req.U64(x);
+  req.U64(v);
+  SKL_ASSIGN_OR_RETURN(
+      std::vector<uint8_t> reply,
+      Call(MsgType::kDataDependsOnModule, std::move(req).Finish()));
+  return DecodeBool(reply);
+}
+
+Result<RunId> ProvenanceClient::AddRunXml(std::string_view run_xml) {
+  PayloadWriter req;
+  req.Str(run_xml);
+  SKL_ASSIGN_OR_RETURN(std::vector<uint8_t> reply,
+                       Call(MsgType::kAddRun, std::move(req).Finish()));
+  return DecodeRunId(reply);
+}
+
+Result<RunId> ProvenanceClient::AddRun(const Run& run) {
+  return AddRunXml(WriteRunXml(run));
+}
+
+Result<RunId> ProvenanceClient::ImportRun(const std::vector<uint8_t>& blob) {
+  PayloadWriter req;
+  req.Bytes(blob);
+  SKL_ASSIGN_OR_RETURN(std::vector<uint8_t> reply,
+                       Call(MsgType::kImportRun, std::move(req).Finish()));
+  return DecodeRunId(reply);
+}
+
+Result<std::vector<uint8_t>> ProvenanceClient::ExportRun(RunId id) {
+  PayloadWriter req;
+  req.U64(id.value());
+  SKL_ASSIGN_OR_RETURN(std::vector<uint8_t> reply,
+                       Call(MsgType::kExportRun, std::move(req).Finish()));
+  PayloadReader reader(reply);
+  SKL_ASSIGN_OR_RETURN(std::span<const uint8_t> blob, reader.Bytes());
+  SKL_RETURN_NOT_OK(reader.ExpectEnd());
+  return std::vector<uint8_t>(blob.begin(), blob.end());
+}
+
+Status ProvenanceClient::RemoveRun(RunId id) {
+  PayloadWriter req;
+  req.U64(id.value());
+  auto reply = Call(MsgType::kRemoveRun, std::move(req).Finish());
+  if (!reply.ok()) return reply.status();
+  return ExpectEmpty(*reply);
+}
+
+Result<std::vector<RunId>> ProvenanceClient::ListRuns() {
+  SKL_ASSIGN_OR_RETURN(std::vector<uint8_t> reply,
+                       Call(MsgType::kListRuns, {}));
+  PayloadReader reader(reply);
+  SKL_ASSIGN_OR_RETURN(uint64_t count, reader.U64());
+  std::vector<RunId> ids;
+  for (uint64_t i = 0; i < count; ++i) {
+    SKL_ASSIGN_OR_RETURN(uint64_t value, reader.U64());
+    ids.push_back(RunId::FromValue(value));
+  }
+  SKL_RETURN_NOT_OK(reader.ExpectEnd());
+  return ids;
+}
+
+Result<RunStats> ProvenanceClient::Stats(RunId id) {
+  PayloadWriter req;
+  req.U64(id.value());
+  SKL_ASSIGN_OR_RETURN(std::vector<uint8_t> reply,
+                       Call(MsgType::kRunStats, std::move(req).Finish()));
+  PayloadReader reader(reply);
+  RunStats stats;
+  SKL_ASSIGN_OR_RETURN(stats.num_vertices,
+                       ReadU32(reader, "num_vertices"));
+  SKL_ASSIGN_OR_RETURN(uint64_t num_items, reader.U64());
+  stats.num_items = static_cast<size_t>(num_items);
+  SKL_ASSIGN_OR_RETURN(stats.label_bits, ReadU32(reader, "label_bits"));
+  SKL_ASSIGN_OR_RETURN(stats.context_bits, ReadU32(reader, "context_bits"));
+  SKL_ASSIGN_OR_RETURN(stats.origin_bits, ReadU32(reader, "origin_bits"));
+  SKL_ASSIGN_OR_RETURN(stats.num_nonempty_plus,
+                       ReadU32(reader, "num_nonempty_plus"));
+  SKL_ASSIGN_OR_RETURN(stats.imported, reader.Boolean());
+  SKL_RETURN_NOT_OK(reader.ExpectEnd());
+  return stats;
+}
+
+Result<ServiceStats> ProvenanceClient::GetServiceStats() {
+  SKL_ASSIGN_OR_RETURN(std::vector<uint8_t> reply,
+                       Call(MsgType::kServiceStats, {}));
+  PayloadReader reader(reply);
+  ServiceStats stats;
+  SKL_ASSIGN_OR_RETURN(stats.num_runs, reader.U64());
+  SKL_ASSIGN_OR_RETURN(stats.reaches_queries, reader.U64());
+  SKL_ASSIGN_OR_RETURN(stats.depends_on_queries, reader.U64());
+  SKL_ASSIGN_OR_RETURN(stats.module_data_queries, reader.U64());
+  SKL_ASSIGN_OR_RETURN(stats.data_module_queries, reader.U64());
+  SKL_ASSIGN_OR_RETURN(stats.batch_calls, reader.U64());
+  SKL_ASSIGN_OR_RETURN(stats.runs_ingested, reader.U64());
+  SKL_ASSIGN_OR_RETURN(stats.runs_imported, reader.U64());
+  SKL_ASSIGN_OR_RETURN(stats.runs_removed, reader.U64());
+  SKL_ASSIGN_OR_RETURN(stats.bulk_batches, reader.U64());
+  SKL_ASSIGN_OR_RETURN(stats.snapshot_saves, reader.U64());
+  SKL_RETURN_NOT_OK(reader.ExpectEnd());
+  return stats;
+}
+
+Status ProvenanceClient::SaveSnapshot(const std::string& path) {
+  PayloadWriter req;
+  req.Str(path);
+  auto reply = Call(MsgType::kSaveSnapshot, std::move(req).Finish());
+  if (!reply.ok()) return reply.status();
+  return ExpectEmpty(*reply);
+}
+
+Status ProvenanceClient::LoadSnapshot(const std::string& path) {
+  PayloadWriter req;
+  req.Str(path);
+  auto reply = Call(MsgType::kLoadSnapshot, std::move(req).Finish());
+  if (!reply.ok()) return reply.status();
+  return ExpectEmpty(*reply);
+}
+
+Status ProvenanceClient::Ping() {
+  auto reply = Call(MsgType::kPing, {});
+  if (!reply.ok()) return reply.status();
+  return ExpectEmpty(*reply);
+}
+
+Status ProvenanceClient::Shutdown() {
+  auto reply = Call(MsgType::kShutdown, {});
+  if (!reply.ok()) return reply.status();
+  return ExpectEmpty(*reply);
+}
+
+Result<std::vector<bool>> ProvenanceClient::PipelinedBools(
+    MsgType type, uint64_t run,
+    std::span<const std::pair<uint32_t, uint32_t>> pairs) {
+  if (!broken_.ok()) return broken_;
+  if (fd_ < 0) return Status::Unavailable("client is not connected");
+  // The in-flight window is bounded: with both peers single-threaded per
+  // connection, writing an unbounded batch before reading any response
+  // can fill the socket buffers in both directions and deadlock (the
+  // server blocks sending responses we are not reading, we block sending
+  // requests it is not receiving). 512 frames is far below that threshold
+  // and already amortizes the round trip away.
+  constexpr size_t kWindow = 512;
+  std::vector<bool> answers;
+  answers.reserve(pairs.size());
+  Status first_error = Status::OK();
+  std::vector<uint8_t> wire;
+  for (size_t off = 0; off < pairs.size(); off += kWindow) {
+    const size_t len = std::min(kWindow, pairs.size() - off);
+    const uint64_t first_id = next_request_id_;
+    wire.clear();
+    for (size_t i = 0; i < len; ++i) {
+      Frame frame;
+      frame.type = type;
+      frame.request_id = next_request_id_++;
+      PayloadWriter req;
+      req.U64(run);
+      req.U64(pairs[off + i].first);
+      req.U64(pairs[off + i].second);
+      frame.payload = std::move(req).Finish();
+      EncodeFrame(frame, &wire);
+    }
+    if (!SendAll(fd_, wire)) {
+      return Poison(Status::Unavailable(Errno("send()")));
+    }
+    // Responses come back strictly in order. On a per-query error, keep
+    // draining the window so the connection stays usable, then report the
+    // first error after all windows flushed.
+    for (size_t i = 0; i < len; ++i) {
+      auto reply = Receive(first_id + i);
+      if (!reply.ok()) {
+        if (!broken_.ok()) return reply.status();  // transport: stop now
+        if (first_error.ok()) first_error = reply.status();
+        continue;
+      }
+      if (first_error.ok()) {
+        auto answer = DecodeBool(*reply);
+        if (!answer.ok()) {
+          first_error = answer.status();
+          continue;
+        }
+        answers.push_back(*answer);
+      }
+    }
+  }
+  if (!first_error.ok()) return first_error;
+  return answers;
+}
+
+Result<std::vector<bool>> ProvenanceClient::ReachesPipelined(
+    RunId id, std::span<const VertexPair> pairs) {
+  return PipelinedBools(MsgType::kReaches, id.value(), pairs);
+}
+
+Result<std::vector<bool>> ProvenanceClient::DependsOnPipelined(
+    RunId id, std::span<const ItemPair> pairs) {
+  return PipelinedBools(MsgType::kDependsOn, id.value(), pairs);
+}
+
+}  // namespace skl

@@ -1,0 +1,136 @@
+// ProvenanceClient: synchronous client for a ProvenanceServer. The API
+// mirrors ProvenanceService method for method, so a caller that held a
+// service ports to remote serving with a one-line change:
+//
+//   auto client = *ProvenanceClient::Connect("127.0.0.1", port);
+//   bool dep = *client.Reaches(id, v, w);          // was: svc.Reaches(...)
+//   auto answers = *client.ReachesBatch(id, pairs);
+//   RunId added = *client.AddRun(run);             // run XML over the wire
+//
+// Each call sends one request frame and blocks for its response; a server-
+// side failure comes back as the same Status (code preserved across the
+// wire) the service would have returned in-process. Transport failures —
+// refused connection, peer gone, protocol corruption — are kUnavailable or
+// kParseError, and the client then refuses further calls (single-socket
+// state cannot be trusted after a desync; reconnect instead).
+//
+// Pipelining: the *Pipelined variants write one frame per query back to
+// back (in bounded windows of 512, so the two socket buffers can never
+// deadlock against a non-reading peer) and then read the responses,
+// trading per-query round trips for one per window. They exist for
+// throughput-sensitive callers (bench_net measures the difference); the
+// semantics are identical to a loop of single calls.
+//
+// A client instance is NOT thread-safe (it owns one socket); open one
+// client per thread. Connect/queries against a server in the same process
+// are fine — tests and bench_net do exactly that.
+#ifndef SKL_NET_CLIENT_H_
+#define SKL_NET_CLIENT_H_
+
+#include <cstdint>
+#include <span>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "src/common/status.h"
+#include "src/core/provenance_service.h"
+#include "src/net/protocol.h"
+
+namespace skl {
+
+class ProvenanceClient {
+ public:
+  /// Connects to a ProvenanceServer. `host` is a numeric IPv4 address or a
+  /// resolvable name ("localhost").
+  static Result<ProvenanceClient> Connect(
+      const std::string& host, uint16_t port,
+      size_t max_frame_bytes = kDefaultMaxFrameBytes);
+
+  /// Connect via one "host:port" string (the sklctl --connect spelling).
+  static Result<ProvenanceClient> ConnectHostPort(
+      const std::string& host_port,
+      size_t max_frame_bytes = kDefaultMaxFrameBytes);
+
+  ~ProvenanceClient();
+  ProvenanceClient(ProvenanceClient&& other) noexcept;
+  ProvenanceClient& operator=(ProvenanceClient&& other) noexcept;
+  ProvenanceClient(const ProvenanceClient&) = delete;
+  ProvenanceClient& operator=(const ProvenanceClient&) = delete;
+
+  // ------------------------------------------------ service API mirror --
+
+  Result<bool> Reaches(RunId id, VertexId v, VertexId w);
+  Result<std::vector<bool>> ReachesBatch(RunId id,
+                                         std::span<const VertexPair> pairs);
+  Result<bool> DependsOn(RunId id, DataItemId x, DataItemId x_from);
+  Result<std::vector<bool>> DependsOnBatch(RunId id,
+                                           std::span<const ItemPair> pairs);
+  Result<bool> ModuleDependsOnData(RunId id, VertexId v, DataItemId x);
+  Result<bool> DataDependsOnModule(RunId id, DataItemId x, VertexId v);
+
+  /// Registers a run from its XML serialization (the wire format of
+  /// AddRun; the server parses and labels it).
+  Result<RunId> AddRunXml(std::string_view run_xml);
+  /// Convenience: serializes `run` to XML and calls AddRunXml.
+  Result<RunId> AddRun(const Run& run);
+
+  Result<RunId> ImportRun(const std::vector<uint8_t>& blob);
+  Result<std::vector<uint8_t>> ExportRun(RunId id);
+  Status RemoveRun(RunId id);
+  Result<std::vector<RunId>> ListRuns();
+  Result<RunStats> Stats(RunId id);
+  Result<ServiceStats> GetServiceStats();
+
+  /// Snapshot save/load on the *server's* filesystem.
+  Status SaveSnapshot(const std::string& path);
+  Status LoadSnapshot(const std::string& path);
+
+  // ------------------------------------------------------- lifecycle --
+
+  Status Ping();
+  /// Asks the server to drain and exit. The OK response is sent before the
+  /// server begins shutting down.
+  Status Shutdown();
+
+  // ------------------------------------------------------ pipelining --
+
+  /// One frame per pair written back to back in windows of 512, then the
+  /// window's responses read in order: N queries, one round trip per
+  /// window. Fails atomically — the first errored response wins and the
+  /// rest are drained.
+  Result<std::vector<bool>> ReachesPipelined(
+      RunId id, std::span<const VertexPair> pairs);
+  Result<std::vector<bool>> DependsOnPipelined(
+      RunId id, std::span<const ItemPair> pairs);
+
+ private:
+  ProvenanceClient(int fd, size_t max_frame_bytes);
+
+  /// Sends one request frame; returns its request id.
+  Result<uint64_t> Send(MsgType type, std::vector<uint8_t> payload);
+  /// Blocks for the next response frame and checks it answers `request_id`.
+  /// kError responses decode back into their carried Status.
+  Result<std::vector<uint8_t>> Receive(uint64_t request_id);
+  /// Send + Receive.
+  Result<std::vector<uint8_t>> Call(MsgType type,
+                                    std::vector<uint8_t> payload);
+
+  /// Sends N single-query frames, then collects N boolean replies.
+  Result<std::vector<bool>> PipelinedBools(
+      MsgType type, uint64_t run,
+      std::span<const std::pair<uint32_t, uint32_t>> pairs);
+
+  /// Marks the connection unusable and returns `status` (transport and
+  /// framing failures are not recoverable on this socket).
+  Status Poison(Status status);
+
+  int fd_ = -1;
+  uint64_t next_request_id_ = 1;
+  FrameDecoder decoder_;
+  Status broken_ = Status::OK();  ///< non-OK once the connection is poisoned
+};
+
+}  // namespace skl
+
+#endif  // SKL_NET_CLIENT_H_

@@ -1,0 +1,433 @@
+#include "src/net/server.h"
+
+#include <arpa/inet.h>
+#include <netinet/in.h>
+#include <netinet/tcp.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <cstring>
+#include <utility>
+
+#include "src/io/workflow_xml.h"
+
+namespace skl {
+
+namespace {
+
+std::string Errno(const char* what) {
+  return std::string(what) + ": " + std::strerror(errno);
+}
+
+/// Writes the whole buffer, riding out EINTR and partial sends. MSG_NOSIGNAL
+/// turns a dead peer into an error return instead of SIGPIPE.
+bool SendAll(int fd, std::span<const uint8_t> bytes) {
+  size_t off = 0;
+  while (off < bytes.size()) {
+    ssize_t n = ::send(fd, bytes.data() + off, bytes.size() - off,
+                       MSG_NOSIGNAL);
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      return false;
+    }
+    off += static_cast<size_t>(n);
+  }
+  return true;
+}
+
+/// Varint argument that must fit a 32-bit id (VertexId / DataItemId).
+Result<uint32_t> ReadU32(PayloadReader& reader, const char* what) {
+  SKL_ASSIGN_OR_RETURN(uint64_t raw, reader.U64());
+  if (raw > UINT32_MAX) {
+    return Status::InvalidArgument(std::string(what) +
+                                   " does not fit 32 bits");
+  }
+  return static_cast<uint32_t>(raw);
+}
+
+}  // namespace
+
+ProvenanceServer::ProvenanceServer(ProvenanceService service, Options options)
+    : options_(std::move(options)),
+      service_(std::move(service)),
+      pool_(ThreadPool::Resolve(options_.num_threads)) {}
+
+Result<std::unique_ptr<ProvenanceServer>> ProvenanceServer::Start(
+    ProvenanceService service, Options options) {
+  std::unique_ptr<ProvenanceServer> server(
+      new ProvenanceServer(std::move(service), std::move(options)));
+  SKL_RETURN_NOT_OK(server->Listen());
+  server->accept_thread_ =
+      std::thread([s = server.get()] { s->AcceptLoop(); });
+  return server;
+}
+
+ProvenanceServer::~ProvenanceServer() { Shutdown(); }
+
+Status ProvenanceServer::Listen() {
+  listen_fd_ = ::socket(AF_INET, SOCK_STREAM, 0);
+  if (listen_fd_ < 0) return Status::Unavailable(Errno("socket()"));
+  int one = 1;
+  ::setsockopt(listen_fd_, SOL_SOCKET, SO_REUSEADDR, &one, sizeof(one));
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_port = htons(options_.port);
+  if (::inet_pton(AF_INET, options_.bind_address.c_str(), &addr.sin_addr) !=
+      1) {
+    return Status::InvalidArgument(
+        "bind_address must be a numeric IPv4 address, got '" +
+        options_.bind_address + "'");
+  }
+  if (::bind(listen_fd_, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)) !=
+      0) {
+    return Status::Unavailable(
+        Errno(("bind " + options_.bind_address + ":" +
+               std::to_string(options_.port))
+                  .c_str()));
+  }
+  if (::listen(listen_fd_, 128) != 0) {
+    return Status::Unavailable(Errno("listen()"));
+  }
+  sockaddr_in bound{};
+  socklen_t len = sizeof(bound);
+  if (::getsockname(listen_fd_, reinterpret_cast<sockaddr*>(&bound), &len) !=
+      0) {
+    return Status::Unavailable(Errno("getsockname()"));
+  }
+  port_ = ntohs(bound.sin_port);
+  return Status::OK();
+}
+
+void ProvenanceServer::AcceptLoop() {
+  for (;;) {
+    int fd = ::accept(listen_fd_, nullptr, nullptr);
+    if (fd < 0) {
+      if (errno == EINTR) continue;
+      break;  // listener shut down (BeginShutdown) or fatal: stop accepting
+    }
+    // Responses are small frames; without TCP_NODELAY, Nagle holds each one
+    // back waiting for the peer's (delayed) ACK and pipelined throughput
+    // collapses to the 40ms delayed-ACK clock.
+    int one = 1;
+    ::setsockopt(fd, IPPROTO_TCP, TCP_NODELAY, &one, sizeof(one));
+    if (!RegisterConnection(fd)) {
+      ::close(fd);  // raced a shutdown: refuse politely
+      continue;
+    }
+    try {
+      pool_.Submit([this, fd] { HandleConnection(fd); });
+    } catch (...) {
+      UnregisterConnection(fd);  // Submit allocation failed; drop the conn
+    }
+  }
+}
+
+bool ProvenanceServer::RegisterConnection(int fd) {
+  std::lock_guard lock(state_mu_);
+  if (stop_) return false;
+  conn_fds_.insert(fd);
+  ++open_connections_;
+  return true;
+}
+
+void ProvenanceServer::UnregisterConnection(int fd) {
+  std::lock_guard lock(state_mu_);
+  conn_fds_.erase(fd);
+  ::close(fd);  // under the lock: BeginShutdown must not nudge a stale fd
+  if (--open_connections_ == 0) drained_cv_.notify_all();
+}
+
+void ProvenanceServer::HandleConnection(int fd) {
+  FrameDecoder decoder(options_.max_frame_bytes);
+  std::vector<uint8_t> out;
+  uint8_t buf[65536];
+  bool closing = false;
+  while (!closing) {
+    ssize_t n = ::recv(fd, buf, sizeof(buf), 0);
+    if (n < 0 && errno == EINTR) continue;
+    if (n <= 0) break;  // EOF (peer done, or SHUT_RD from shutdown) or error
+    decoder.Feed({buf, static_cast<size_t>(n)});
+    // Drain every complete frame before blocking on the socket again, and
+    // batch all their responses into one send — together with TCP_NODELAY
+    // this is what makes client-side pipelining pay off.
+    out.clear();
+    bool shutdown_after_flush = false;
+    while (!shutdown_after_flush) {
+      Result<std::optional<Frame>> next = decoder.Next();
+      if (!next.ok()) {
+        // Frame desynchronization (corrupted header): one best-effort
+        // error response, then drop the connection — its byte stream can
+        // no longer be trusted to contain frame boundaries.
+        Frame err;
+        err.type = MsgType::kError;
+        err.request_id = 0;
+        err.payload = EncodeErrorPayload(next.status());
+        EncodeFrame(err, &out);
+        closing = true;
+        break;
+      }
+      if (!next->has_value()) break;  // incomplete: read more
+      HandleFrame(**next, &out, &shutdown_after_flush);
+    }
+    if (!out.empty() && !SendAll(fd, out)) closing = true;
+    if (shutdown_after_flush) BeginShutdown();  // the OK reply is out first
+  }
+  UnregisterConnection(fd);
+}
+
+void ProvenanceServer::HandleFrame(const Frame& frame,
+                                   std::vector<uint8_t>* out,
+                                   bool* shutdown_after_reply) {
+  Result<std::vector<uint8_t>> payload = [&]() -> Result<std::vector<uint8_t>> {
+    if (frame.version != kProtocolVersion) {
+      return Status::InvalidArgument(
+          "unsupported protocol version " + std::to_string(frame.version) +
+          "; this server speaks version " + std::to_string(kProtocolVersion));
+    }
+    if (!IsRequestType(static_cast<uint8_t>(frame.type))) {
+      return Status::InvalidArgument(
+          "opcode " + std::to_string(static_cast<uint8_t>(frame.type)) +
+          " is not a request");
+    }
+    if (frame.type == MsgType::kLoadSnapshot) {
+      // The one request that replaces the service object outright: exclude
+      // every other in-flight dispatch for its duration.
+      std::unique_lock lock(service_mu_);
+      return Dispatch(frame, shutdown_after_reply);
+    }
+    std::shared_lock lock(service_mu_);
+    return Dispatch(frame, shutdown_after_reply);
+  }();
+
+  Frame reply;
+  reply.request_id = frame.request_id;
+  if (payload.ok()) {
+    reply.type = MsgType::kReply;
+    reply.payload = std::move(payload).value();
+  } else {
+    reply.type = MsgType::kError;
+    // Name the failing request so client-side logs are self-explanatory.
+    Status named(payload.status().code(),
+                 std::string(MsgTypeName(frame.type)) + ": " +
+                     payload.status().message());
+    reply.payload = EncodeErrorPayload(named);
+  }
+  EncodeFrame(reply, out);
+}
+
+Result<std::vector<uint8_t>> ProvenanceServer::Dispatch(
+    const Frame& frame, bool* shutdown_after_reply) {
+  PayloadReader reader(frame.payload);
+  PayloadWriter out;
+  switch (frame.type) {
+    case MsgType::kPing: {
+      SKL_RETURN_NOT_OK(reader.ExpectEnd());
+      break;
+    }
+    case MsgType::kShutdown: {
+      SKL_RETURN_NOT_OK(reader.ExpectEnd());
+      *shutdown_after_reply = true;  // reply first, then drain
+      break;
+    }
+    case MsgType::kReaches: {
+      SKL_ASSIGN_OR_RETURN(uint64_t run, reader.U64());
+      SKL_ASSIGN_OR_RETURN(VertexId v, ReadU32(reader, "vertex id"));
+      SKL_ASSIGN_OR_RETURN(VertexId w, ReadU32(reader, "vertex id"));
+      SKL_RETURN_NOT_OK(reader.ExpectEnd());
+      SKL_ASSIGN_OR_RETURN(bool answer,
+                           service_.Reaches(RunId::FromValue(run), v, w));
+      out.Boolean(answer);
+      break;
+    }
+    case MsgType::kReachesBatch: {
+      SKL_ASSIGN_OR_RETURN(uint64_t run, reader.U64());
+      SKL_ASSIGN_OR_RETURN(uint64_t count, reader.U64());
+      std::vector<VertexPair> pairs;
+      for (uint64_t i = 0; i < count; ++i) {  // reads bound the allocation
+        SKL_ASSIGN_OR_RETURN(VertexId v, ReadU32(reader, "vertex id"));
+        SKL_ASSIGN_OR_RETURN(VertexId w, ReadU32(reader, "vertex id"));
+        pairs.push_back({v, w});
+      }
+      SKL_RETURN_NOT_OK(reader.ExpectEnd());
+      SKL_ASSIGN_OR_RETURN(
+          std::vector<bool> answers,
+          service_.ReachesBatch(RunId::FromValue(run), pairs));
+      out.U64(answers.size());
+      for (bool answer : answers) out.Boolean(answer);
+      break;
+    }
+    case MsgType::kDependsOn: {
+      SKL_ASSIGN_OR_RETURN(uint64_t run, reader.U64());
+      SKL_ASSIGN_OR_RETURN(DataItemId x, ReadU32(reader, "item id"));
+      SKL_ASSIGN_OR_RETURN(DataItemId x_from, ReadU32(reader, "item id"));
+      SKL_RETURN_NOT_OK(reader.ExpectEnd());
+      SKL_ASSIGN_OR_RETURN(
+          bool answer, service_.DependsOn(RunId::FromValue(run), x, x_from));
+      out.Boolean(answer);
+      break;
+    }
+    case MsgType::kDependsOnBatch: {
+      SKL_ASSIGN_OR_RETURN(uint64_t run, reader.U64());
+      SKL_ASSIGN_OR_RETURN(uint64_t count, reader.U64());
+      std::vector<ItemPair> pairs;
+      for (uint64_t i = 0; i < count; ++i) {
+        SKL_ASSIGN_OR_RETURN(DataItemId x, ReadU32(reader, "item id"));
+        SKL_ASSIGN_OR_RETURN(DataItemId x_from, ReadU32(reader, "item id"));
+        pairs.push_back({x, x_from});
+      }
+      SKL_RETURN_NOT_OK(reader.ExpectEnd());
+      SKL_ASSIGN_OR_RETURN(
+          std::vector<bool> answers,
+          service_.DependsOnBatch(RunId::FromValue(run), pairs));
+      out.U64(answers.size());
+      for (bool answer : answers) out.Boolean(answer);
+      break;
+    }
+    case MsgType::kModuleDependsOnData: {
+      SKL_ASSIGN_OR_RETURN(uint64_t run, reader.U64());
+      SKL_ASSIGN_OR_RETURN(VertexId v, ReadU32(reader, "vertex id"));
+      SKL_ASSIGN_OR_RETURN(DataItemId x, ReadU32(reader, "item id"));
+      SKL_RETURN_NOT_OK(reader.ExpectEnd());
+      SKL_ASSIGN_OR_RETURN(
+          bool answer,
+          service_.ModuleDependsOnData(RunId::FromValue(run), v, x));
+      out.Boolean(answer);
+      break;
+    }
+    case MsgType::kDataDependsOnModule: {
+      SKL_ASSIGN_OR_RETURN(uint64_t run, reader.U64());
+      SKL_ASSIGN_OR_RETURN(DataItemId x, ReadU32(reader, "item id"));
+      SKL_ASSIGN_OR_RETURN(VertexId v, ReadU32(reader, "vertex id"));
+      SKL_RETURN_NOT_OK(reader.ExpectEnd());
+      SKL_ASSIGN_OR_RETURN(
+          bool answer,
+          service_.DataDependsOnModule(RunId::FromValue(run), x, v));
+      out.Boolean(answer);
+      break;
+    }
+    case MsgType::kAddRun: {
+      SKL_ASSIGN_OR_RETURN(std::string xml, reader.Str());
+      SKL_RETURN_NOT_OK(reader.ExpectEnd());
+      SKL_ASSIGN_OR_RETURN(::skl::Run run, ReadRunXml(xml));
+      SKL_ASSIGN_OR_RETURN(RunId id, service_.AddRun(run));
+      out.U64(id.value());
+      break;
+    }
+    case MsgType::kImportRun: {
+      SKL_ASSIGN_OR_RETURN(std::span<const uint8_t> blob, reader.Bytes());
+      SKL_RETURN_NOT_OK(reader.ExpectEnd());
+      SKL_ASSIGN_OR_RETURN(
+          RunId id,
+          service_.ImportRun(std::vector<uint8_t>(blob.begin(), blob.end())));
+      out.U64(id.value());
+      break;
+    }
+    case MsgType::kExportRun: {
+      SKL_ASSIGN_OR_RETURN(uint64_t run, reader.U64());
+      SKL_RETURN_NOT_OK(reader.ExpectEnd());
+      SKL_ASSIGN_OR_RETURN(std::vector<uint8_t> blob,
+                           service_.ExportRun(RunId::FromValue(run)));
+      out.Bytes(blob);
+      break;
+    }
+    case MsgType::kRemoveRun: {
+      SKL_ASSIGN_OR_RETURN(uint64_t run, reader.U64());
+      SKL_RETURN_NOT_OK(reader.ExpectEnd());
+      SKL_RETURN_NOT_OK(service_.RemoveRun(RunId::FromValue(run)));
+      break;
+    }
+    case MsgType::kListRuns: {
+      SKL_RETURN_NOT_OK(reader.ExpectEnd());
+      const std::vector<RunId> ids = service_.ListRuns();
+      out.U64(ids.size());
+      for (RunId id : ids) out.U64(id.value());
+      break;
+    }
+    case MsgType::kRunStats: {
+      SKL_ASSIGN_OR_RETURN(uint64_t run, reader.U64());
+      SKL_RETURN_NOT_OK(reader.ExpectEnd());
+      SKL_ASSIGN_OR_RETURN(RunStats stats,
+                           service_.Stats(RunId::FromValue(run)));
+      out.U64(stats.num_vertices);
+      out.U64(stats.num_items);
+      out.U64(stats.label_bits);
+      out.U64(stats.context_bits);
+      out.U64(stats.origin_bits);
+      out.U64(stats.num_nonempty_plus);
+      out.Boolean(stats.imported);
+      break;
+    }
+    case MsgType::kServiceStats: {
+      SKL_RETURN_NOT_OK(reader.ExpectEnd());
+      const ServiceStats stats = service_.service_stats();
+      out.U64(stats.num_runs);
+      out.U64(stats.reaches_queries);
+      out.U64(stats.depends_on_queries);
+      out.U64(stats.module_data_queries);
+      out.U64(stats.data_module_queries);
+      out.U64(stats.batch_calls);
+      out.U64(stats.runs_ingested);
+      out.U64(stats.runs_imported);
+      out.U64(stats.runs_removed);
+      out.U64(stats.bulk_batches);
+      out.U64(stats.snapshot_saves);
+      break;
+    }
+    case MsgType::kSaveSnapshot: {
+      SKL_ASSIGN_OR_RETURN(std::string path, reader.Str());
+      SKL_RETURN_NOT_OK(reader.ExpectEnd());
+      SKL_RETURN_NOT_OK(service_.SaveSnapshot(path));
+      break;
+    }
+    case MsgType::kLoadSnapshot: {
+      // Caller holds service_mu_ exclusively (see HandleFrame).
+      SKL_ASSIGN_OR_RETURN(std::string path, reader.Str());
+      SKL_RETURN_NOT_OK(reader.ExpectEnd());
+      SKL_ASSIGN_OR_RETURN(
+          ProvenanceService loaded,
+          ProvenanceService::LoadSnapshot(path, service_.options()));
+      service_ = std::move(loaded);
+      break;
+    }
+    default:
+      return Status::InvalidArgument(
+          "opcode " + std::to_string(static_cast<uint8_t>(frame.type)) +
+          " is not dispatchable");
+  }
+  return std::move(out).Finish();
+}
+
+void ProvenanceServer::BeginShutdown() {
+  std::lock_guard lock(state_mu_);
+  if (stop_) return;
+  stop_ = true;
+  // Wake the accept loop (shutdown on a listening socket unblocks accept
+  // with EINVAL on Linux); the fd itself is closed after the join in Wait().
+  if (listen_fd_ >= 0) ::shutdown(listen_fd_, SHUT_RDWR);
+  // Nudge idle connections: their blocking recv returns 0 and the handler
+  // winds down after finishing (and flushing) whatever it was serving.
+  for (int fd : conn_fds_) ::shutdown(fd, SHUT_RD);
+  drained_cv_.notify_all();
+}
+
+void ProvenanceServer::Wait() {
+  {
+    std::unique_lock lock(state_mu_);
+    drained_cv_.wait(lock, [&] { return stop_ && open_connections_ == 0; });
+  }
+  std::lock_guard join_lock(join_mu_);
+  if (accept_thread_.joinable()) accept_thread_.join();
+  std::lock_guard lock(state_mu_);
+  if (listen_fd_ >= 0) {
+    ::close(listen_fd_);
+    listen_fd_ = -1;
+  }
+}
+
+void ProvenanceServer::Shutdown() {
+  BeginShutdown();
+  Wait();
+}
+
+}  // namespace skl

@@ -1,0 +1,156 @@
+// ProvenanceServer: serves a ProvenanceService to other processes over TCP
+// using the framed wire protocol (src/net/protocol.h, docs/NETWORK.md).
+//
+//   auto svc = *ProvenanceService::Create(std::move(spec), kind);
+//   auto server = *ProvenanceServer::Start(std::move(svc), {.port = 0});
+//   std::printf("serving on 127.0.0.1:%u\n", server->port());
+//   server->Wait();  // until a Shutdown frame (or Shutdown() elsewhere)
+//
+// Threading model: one dedicated accept thread; each accepted connection is
+// handled by a task on an skl::ThreadPool (Options::num_threads workers), so
+// at most num_threads connections make progress at once and the rest queue.
+// Within a connection, requests are answered strictly in order — but the
+// client may pipeline: any number of request frames can be in flight before
+// the first response is read, and the server drains every complete frame it
+// has buffered before blocking on the socket again.
+//
+// Error model (the per-request Status mapping): a header-intact frame whose
+// payload is malformed, or whose request fails in the service, produces a
+// kError response carrying the StatusCode + message — the connection stays
+// open and later requests keep working. Only a corrupted frame *header*
+// (bad magic or length), which loses frame synchronization irrecoverably,
+// makes the server answer with a best-effort kError and close that one
+// connection. No input can crash the server or take down other connections.
+//
+// Shutdown: a kShutdown frame (or Shutdown()) stops the accept loop, nudges
+// every idle connection, lets in-flight requests finish and their responses
+// flush, then joins — the graceful drain the CI smoke job exercises.
+#ifndef SKL_NET_SERVER_H_
+#define SKL_NET_SERVER_H_
+
+#include <atomic>
+#include <condition_variable>
+#include <cstdint>
+#include <memory>
+#include <mutex>
+#include <shared_mutex>
+#include <string>
+#include <thread>
+#include <unordered_set>
+#include <vector>
+
+#include "src/common/status.h"
+#include "src/common/thread_pool.h"
+#include "src/core/provenance_service.h"
+#include "src/net/protocol.h"
+
+namespace skl {
+
+/// Server knobs, fixed at Start time. (Namespace-scope so it can be
+/// brace-defaulted; spelled ProvenanceServer::Options at call sites.)
+struct ProvenanceServerOptions {
+  /// TCP port to listen on; 0 picks an ephemeral port (read it back from
+  /// ProvenanceServer::port()).
+  uint16_t port = 0;
+  /// Listen address. Loopback by default: serving beyond the host is a
+  /// deployment decision (see docs/NETWORK.md) — pass "0.0.0.0" explicitly.
+  std::string bind_address = "127.0.0.1";
+  /// Connection-handler pool size: the number of connections that can make
+  /// progress concurrently. 0 = one per hardware thread. The default is 8,
+  /// not 0, because a handler occupies its worker for the connection's
+  /// whole lifetime — sizing by core count would cap concurrent clients at
+  /// 1 on small machines.
+  unsigned num_threads = 8;
+  /// Per-frame size ceiling, bounding what one request can make the server
+  /// buffer (AddRun XML and ImportRun blobs included).
+  size_t max_frame_bytes = kDefaultMaxFrameBytes;
+};
+
+/// A TCP server owning one ProvenanceService. Non-movable (threads hold
+/// `this`), so Start returns it behind a unique_ptr.
+class ProvenanceServer {
+ public:
+  using Options = ProvenanceServerOptions;
+
+  /// Binds, listens and starts accepting. The service is moved in; all
+  /// mutation from then on happens through request frames (or through
+  /// service(), see below).
+  static Result<std::unique_ptr<ProvenanceServer>> Start(
+      ProvenanceService service, Options options = {});
+
+  /// Blocking graceful shutdown (idempotent, callable from any non-handler
+  /// thread): stop accepting, drain in-flight requests, join everything.
+  ~ProvenanceServer();
+  void Shutdown();
+
+  /// Non-blocking shutdown trigger: stops the accept loop and nudges idle
+  /// connections, but does not wait. The kShutdown handler uses this (a
+  /// handler cannot join the machinery it runs on); pair with Wait().
+  void BeginShutdown();
+
+  /// Blocks until a shutdown (BeginShutdown/Shutdown/kShutdown frame) has
+  /// completed its drain: no accept loop, no open connections.
+  void Wait();
+
+  ProvenanceServer(const ProvenanceServer&) = delete;
+  ProvenanceServer& operator=(const ProvenanceServer&) = delete;
+
+  /// Port actually bound (resolves port 0).
+  uint16_t port() const { return port_; }
+  const Options& options() const { return options_; }
+
+  /// The served service. Safe to query concurrently with request handling
+  /// (the service is internally synchronized) — but not concurrently with a
+  /// kLoadSnapshot frame, which replaces the object. Tests use this to
+  /// compare remote answers against direct ones.
+  const ProvenanceService& service() const { return service_; }
+
+ private:
+  ProvenanceServer(ProvenanceService service, Options options);
+
+  Status Listen();
+  void AcceptLoop();
+  void HandleConnection(int fd);
+
+  /// Dispatches one decoded request frame, appending the encoded response
+  /// frame to *out (the connection's batched write buffer); sets
+  /// *shutdown_after_reply for kShutdown.
+  void HandleFrame(const Frame& frame, std::vector<uint8_t>* out,
+                   bool* shutdown_after_reply);
+
+  /// Request-type switch: decodes the payload, calls the service, encodes
+  /// the reply payload. Caller holds service_mu_ (unique for LoadSnapshot,
+  /// shared otherwise) and maps errors onto a kError response.
+  Result<std::vector<uint8_t>> Dispatch(const Frame& frame,
+                                        bool* shutdown_after_reply);
+
+  /// Registers/unregisters a connection fd with the drain bookkeeping.
+  bool RegisterConnection(int fd);  ///< false once shutdown began
+  void UnregisterConnection(int fd);
+
+  Options options_;
+  uint16_t port_ = 0;
+  int listen_fd_ = -1;
+
+  // service_mu_ lets kLoadSnapshot swap the whole service object while no
+  // request is mid-dispatch: every handler takes it shared, the load
+  // handler takes it unique. All other synchronization is inside the
+  // service itself.
+  std::shared_mutex service_mu_;
+  ProvenanceService service_;
+
+  ThreadPool pool_;
+  std::thread accept_thread_;
+
+  std::mutex state_mu_;
+  std::condition_variable drained_cv_;
+  bool stop_ = false;                     // guarded by state_mu_
+  std::unordered_set<int> conn_fds_;      // open connections, by state_mu_
+  size_t open_connections_ = 0;           // accepted minus closed
+
+  std::mutex join_mu_;  ///< serializes the accept-thread join (Wait vs dtor)
+};
+
+}  // namespace skl
+
+#endif  // SKL_NET_SERVER_H_

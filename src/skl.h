@@ -9,8 +9,10 @@
 //   bool dep = *svc->Reaches(id, v, w);                  // O(1) per query
 //
 // ProvenanceService is the recommended entry point; the lower-level facades
-// (SkeletonLabeler, OnlineLabeler, scheme-passing ProvenanceStore queries)
-// remain available for single-run and embedded uses.
+// (SkeletonLabeler, OnlineLabeler) remain available for single-run and
+// embedded uses. For serving queries to other processes, wrap the service
+// in a ProvenanceServer and connect with ProvenanceClient (src/net/,
+// docs/NETWORK.md) — the client mirrors the service API.
 #ifndef SKL_SKL_H_
 #define SKL_SKL_H_
 
@@ -26,6 +28,9 @@
 #include "src/graph/digraph.h"
 #include "src/io/snapshot.h"
 #include "src/io/workflow_xml.h"
+#include "src/net/client.h"
+#include "src/net/protocol.h"
+#include "src/net/server.h"
 #include "src/speclabel/scheme.h"
 #include "src/workflow/run.h"
 #include "src/workflow/specification.h"

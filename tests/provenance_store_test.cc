@@ -1,9 +1,13 @@
 // Tests for the persistent provenance store: lossless serialization, queries
 // from the blob alone (run graph discarded), and corrupt-input rejection.
+// The store itself is pure data since the scheme-passing overloads were
+// removed; blob queries go through ProvenanceService::ImportRun, the one
+// place that pairs a blob with the scheme its labels were built under.
 #include <gtest/gtest.h>
 
 #include <vector>
 
+#include "src/core/provenance_service.h"
 #include "src/core/provenance_store.h"
 #include "src/core/skeleton_labeler.h"
 #include "src/graph/algorithms.h"
@@ -26,6 +30,16 @@ class ProvenanceStoreTest : public ::testing::Test {
     labeling_ = std::make_unique<RunLabeling>(std::move(labeling).value());
   }
 
+  /// A service over (a copy of) the running-example spec, for importing
+  /// blobs produced by the standalone Capture/Serialize path.
+  ProvenanceService MakeService() {
+    auto ex = testing_util::MakeRunningExample();
+    auto service =
+        ProvenanceService::Create(std::move(ex.spec), SpecSchemeKind::kTcm);
+    SKL_CHECK_MSG(service.ok(), service.status().ToString().c_str());
+    return std::move(service).value();
+  }
+
   testing_util::RunningExample ex_;
   std::unique_ptr<SkeletonLabeler> labeler_;
   std::unique_ptr<RunLabeling> labeling_;
@@ -38,9 +52,12 @@ TEST_F(ProvenanceStoreTest, RoundTripLabelsOnly) {
   ASSERT_TRUE(restored.ok()) << restored.status().ToString();
   ASSERT_EQ(restored->num_vertices(), ex_.run.num_vertices());
   EXPECT_EQ(restored->num_items(), 0u);
+  // The labels round-trip bit-identically: Decide over restored labels
+  // agrees with the in-memory labeling on every pair.
   for (VertexId u = 0; u < ex_.run.num_vertices(); ++u) {
     for (VertexId v = 0; v < ex_.run.num_vertices(); ++v) {
-      EXPECT_EQ(restored->Reaches(u, v, labeler_->scheme()),
+      EXPECT_EQ(RunLabeling::Decide(restored->label(u), restored->label(v),
+                                    labeler_->scheme()),
                 labeling_->Reaches(u, v));
     }
   }
@@ -55,33 +72,40 @@ TEST_F(ProvenanceStoreTest, RoundTripWithCatalog) {
   ASSERT_TRUE(catalog.AddFlow(x6, ex_.rv("c3"), ex_.rv("h1")).ok());
 
   ProvenanceStore store = ProvenanceStore::Capture(*labeling_, &catalog);
-  auto restored = ProvenanceStore::Deserialize(store.Serialize());
-  ASSERT_TRUE(restored.ok());
-  ASSERT_EQ(restored->num_items(), 2u);
+  ProvenanceService service = MakeService();
+  auto id = service.ImportRun(store.Serialize());
+  ASSERT_TRUE(id.ok()) << id.status().ToString();
+  auto stats = service.Stats(*id);
+  ASSERT_TRUE(stats.ok());
+  ASSERT_EQ(stats->num_items, 2u);
+  EXPECT_TRUE(stats->imported);
   // Example 10, now answered from the persisted blob.
-  auto dep = restored->DependsOn(x6, x1, labeler_->scheme());
+  auto dep = service.DependsOn(*id, x6, x1);
   ASSERT_TRUE(dep.ok());
   EXPECT_TRUE(*dep);
-  auto rev = restored->DependsOn(x1, x6, labeler_->scheme());
+  auto rev = service.DependsOn(*id, x1, x6);
   ASSERT_TRUE(rev.ok());
   EXPECT_FALSE(*rev);
-  auto mod = restored->DataDependsOnModule(x6, ex_.rv("b3"),
-                                           labeler_->scheme());
+  auto mod = service.DataDependsOnModule(*id, x6, ex_.rv("b3"));
   ASSERT_TRUE(mod.ok());
   EXPECT_TRUE(*mod);
-  auto mdd = restored->ModuleDependsOnData(ex_.rv("h1"), x1,
-                                           labeler_->scheme());
+  auto mdd = service.ModuleDependsOnData(*id, ex_.rv("h1"), x1);
   ASSERT_TRUE(mdd.ok());
   EXPECT_TRUE(*mdd);
+  // The catalog accessors expose the raw writer/reader lists.
+  EXPECT_EQ(store.item_writer(x1), ex_.rv("a1"));
+  ASSERT_EQ(store.item_readers(x1).size(), 2u);
 }
 
 TEST_F(ProvenanceStoreTest, QueryErrorsOnBadIds) {
   ProvenanceStore store = ProvenanceStore::Capture(*labeling_);
-  EXPECT_FALSE(store.DependsOn(0, 0, labeler_->scheme()).ok());
-  EXPECT_FALSE(
-      store.ModuleDependsOnData(0, 99, labeler_->scheme()).ok());
-  EXPECT_FALSE(
-      store.DataDependsOnModule(99, 0, labeler_->scheme()).ok());
+  ProvenanceService service = MakeService();
+  auto id = service.ImportRun(store.Serialize());
+  ASSERT_TRUE(id.ok());
+  // No catalog: every item id is unknown; vertex ids out of range too.
+  EXPECT_FALSE(service.DependsOn(*id, 0, 0).ok());
+  EXPECT_FALSE(service.ModuleDependsOnData(*id, 0, 99).ok());
+  EXPECT_FALSE(service.DataDependsOnModule(*id, 99, 0).ok());
 }
 
 TEST_F(ProvenanceStoreTest, CorruptBlobsRejected) {
@@ -119,8 +143,6 @@ TEST(ProvenanceStoreLargeTest, GeneratedRunRoundTrip) {
 
   ProvenanceStore store = ProvenanceStore::Capture(*labeling, &catalog);
   auto blob = store.Serialize();
-  auto restored = ProvenanceStore::Deserialize(blob);
-  ASSERT_TRUE(restored.ok());
 
   // Storage sanity: label payload is within a byte-rounding of the
   // theoretical width.
@@ -129,18 +151,28 @@ TEST(ProvenanceStoreLargeTest, GeneratedRunRoundTrip) {
                     generated->run.num_vertices() +
                 catalog.size() * 8 + 64);
 
-  // Query equivalence against the in-memory path, sampled.
+  // Import the blob into a fresh service over the same spec; answers must
+  // match brute-force graph traversal.
+  auto ex = testing_util::MakeRunningExample();
+  auto service =
+      ProvenanceService::Create(std::move(ex.spec), SpecSchemeKind::kTcm);
+  ASSERT_TRUE(service.ok());
+  auto id = service->ImportRun(blob);
+  ASSERT_TRUE(id.ok()) << id.status().ToString();
+
   const Digraph& g = generated->run.graph();
   Rng rng(5);
   for (int i = 0; i < 2000; ++i) {
     VertexId u = static_cast<VertexId>(rng.NextBelow(g.num_vertices()));
     VertexId v = static_cast<VertexId>(rng.NextBelow(g.num_vertices()));
-    ASSERT_EQ(restored->Reaches(u, v, labeler.scheme()), Reaches(g, u, v));
+    auto stored = service->Reaches(*id, u, v);
+    ASSERT_TRUE(stored.ok());
+    ASSERT_EQ(*stored, Reaches(g, u, v));
   }
   for (int i = 0; i < 300; ++i) {
     DataItemId a = static_cast<DataItemId>(rng.NextBelow(catalog.size()));
     DataItemId b = static_cast<DataItemId>(rng.NextBelow(catalog.size()));
-    auto stored = restored->DependsOn(a, b, labeler.scheme());
+    auto stored = service->DependsOn(*id, a, b);
     ASSERT_TRUE(stored.ok());
     bool brute = false;
     for (VertexId r : catalog.InputsOf(b)) {
