@@ -1,0 +1,195 @@
+// Measures what the sharded registry + per-shard result cache buy on the
+// serving path (docs/BENCHMARKS.md):
+//
+//   1. per-query latency: uncached compute vs cache miss (compute+insert)
+//      vs cache hit, under a cheap scheme (TCM, O(1) label compare) and an
+//      expensive one (BFS, per-query graph search) — the hit row should
+//      undercut BFS compute by orders of magnitude and stay competitive
+//      even with TCM;
+//   2. the cache hit rate on a repeated-query workload (a bounded working
+//      set swept many times), the >90% regime the acceptance bar names;
+//   3. multi-reader throughput at 1/2/4/8 threads with the registry fully
+//      contended (--shards=1: every run on one lock) vs striped
+//      (16 shards) — the lock-contention spread only shows on multi-core
+//      hardware (the trailer prints the thread count available).
+//
+// Knobs (environment, like every bench here): SKL_BENCH_CACHE_QUERIES,
+// SKL_BENCH_CACHE_SIZE, SKL_BENCH_CACHE_WORKING_SET,
+// SKL_BENCH_CACHE_MAX_THREADS. SKL_BENCH_JSON=<path> writes the key
+// metrics for the CI bench-results artifact.
+#include <cstdio>
+#include <cstdlib>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "bench/bench_common.h"
+#include "src/core/provenance_service.h"
+
+namespace skl {
+namespace bench {
+namespace {
+
+uint32_t EnvU32(const char* name, uint32_t fallback) {
+  if (const char* env = std::getenv(name)) {
+    return static_cast<uint32_t>(std::strtoul(env, nullptr, 10));
+  }
+  return fallback;
+}
+
+ProvenanceService MakeService(const Specification& spec, SpecSchemeKind kind,
+                              size_t num_shards, size_t cache_slots) {
+  auto service = ProvenanceService::Create(
+      Specification(spec), kind,
+      {.num_shards = num_shards, .cache_slots = cache_slots});
+  SKL_CHECK_MSG(service.ok(), service.status().ToString().c_str());
+  return std::move(service).value();
+}
+
+double NsPerQuery(double seconds, size_t queries) {
+  return queries == 0 ? 0.0 : seconds * 1e9 / static_cast<double>(queries);
+}
+
+/// Sweeps the query set `rounds` times; returns elapsed seconds.
+double Sweep(const ProvenanceService& service, RunId id,
+             const std::vector<VertexPair>& queries, size_t rounds) {
+  Stopwatch sw;
+  for (size_t r = 0; r < rounds; ++r) {
+    for (const auto& [v, w] : queries) {
+      auto answer = service.Reaches(id, v, w);
+      SKL_CHECK(answer.ok());
+    }
+  }
+  return sw.ElapsedSeconds();
+}
+
+}  // namespace
+}  // namespace bench
+}  // namespace skl
+
+int main() {
+  using namespace skl;         // NOLINT: bench brevity
+  using namespace skl::bench;  // NOLINT
+
+  const uint32_t run_size = EnvU32("SKL_BENCH_CACHE_SIZE", 2000);
+  const uint32_t total_queries = EnvU32("SKL_BENCH_CACHE_QUERIES", 200000);
+  const uint32_t working_set = EnvU32("SKL_BENCH_CACHE_WORKING_SET", 1024);
+  const uint32_t max_threads = EnvU32("SKL_BENCH_CACHE_MAX_THREADS", 8);
+  const size_t rounds =
+      std::max<size_t>(1, total_queries / std::max<uint32_t>(1, working_set));
+
+  JsonReporter json("bench_query_cache");
+  const Specification spec = SyntheticSpec();
+  const GeneratedRun generated = MakeRun(spec, run_size, /*seed=*/7);
+  const VertexId n = generated.run.num_vertices();
+
+  // ------------------------------------------ 1. hit / miss / uncached ns --
+  PrintHeader("query cache: per-query latency (ns)");
+  std::printf("%-8s %14s %14s %14s %10s\n", "scheme", "uncached", "miss",
+              "hit", "hit rate");
+  for (SpecSchemeKind kind : {SpecSchemeKind::kTcm, SpecSchemeKind::kBfs}) {
+    const std::string name = SpecSchemeKindName(kind);
+    ProvenanceService uncached = MakeService(spec, kind, 8, 0);
+    ProvenanceService cached = MakeService(spec, kind, 8, 1 << 15);
+    auto uncached_id = uncached.AddRun(generated.run);
+    auto cached_id = cached.AddRun(generated.run);
+    SKL_CHECK(uncached_id.ok() && cached_id.ok());
+    const std::vector<VertexPair> queries =
+        GenerateQueries(n, working_set, /*seed=*/17);
+
+    const double uncached_ns = NsPerQuery(
+        Sweep(uncached, *uncached_id, queries, rounds),
+        queries.size() * rounds);
+    // Cold pass: every probe misses, computes and inserts.
+    const double miss_ns = NsPerQuery(
+        Sweep(cached, *cached_id, queries, 1), queries.size());
+    // Warm passes: everything hits (the working set fits the cache).
+    const double hit_ns = NsPerQuery(
+        Sweep(cached, *cached_id, queries, rounds), queries.size() * rounds);
+    const ServiceStats stats = cached.service_stats();
+    const double hit_rate =
+        100.0 * static_cast<double>(stats.cache_hits) /
+        static_cast<double>(stats.cache_hits + stats.cache_misses);
+    std::printf("%-8s %14.1f %14.1f %14.1f %9.1f%%\n", name.c_str(),
+                uncached_ns, miss_ns, hit_ns, hit_rate);
+    json.Add(name + "_uncached_ns", uncached_ns, "ns/query");
+    json.Add(name + "_miss_ns", miss_ns, "ns/query");
+    json.Add(name + "_hit_ns", hit_ns, "ns/query");
+  }
+
+  // --------------------------------- 2. repeated-query workload hit rate --
+  {
+    ProvenanceService service = MakeService(spec, SpecSchemeKind::kTcm, 8,
+                                            1 << 15);
+    auto id = service.AddRun(generated.run);
+    SKL_CHECK(id.ok());
+    const std::vector<VertexPair> queries =
+        GenerateQueries(n, working_set, /*seed=*/29);
+    Sweep(service, *id, queries, rounds);
+    const ServiceStats stats = service.service_stats();
+    const double hit_rate =
+        100.0 * static_cast<double>(stats.cache_hits) /
+        static_cast<double>(stats.cache_hits + stats.cache_misses);
+    PrintHeader("repeated-query workload");
+    std::printf("working set %u pairs, %zu sweeps: hit rate %.1f%% "
+                "(%llu hits / %llu lookups)\n",
+                working_set, rounds, hit_rate,
+                static_cast<unsigned long long>(stats.cache_hits),
+                static_cast<unsigned long long>(stats.cache_hits +
+                                                stats.cache_misses));
+    json.Add("repeat_workload_hit_rate_pct", hit_rate, "%");
+  }
+
+  // --------------------------- 3. reader scaling: contended vs sharded --
+  PrintHeader("multi-reader throughput (queries/s)");
+  std::printf("%-8s %16s %16s\n", "threads", "1 shard", "16 shards");
+  for (uint32_t threads = 1; threads <= max_threads; threads *= 2) {
+    double qps[2] = {0, 0};
+    int config = 0;
+    for (size_t shards : {size_t{1}, size_t{16}}) {
+      ProvenanceService service =
+          MakeService(spec, SpecSchemeKind::kTcm, shards, 1 << 15);
+      // One run per thread: with 16 shards the ids stripe over distinct
+      // locks; with 1 shard every thread contends on the same one.
+      std::vector<RunId> ids;
+      for (uint32_t t = 0; t < threads; ++t) {
+        auto id = service.AddRun(generated.run);
+        SKL_CHECK(id.ok());
+        ids.push_back(*id);
+      }
+      const size_t per_thread = total_queries / threads;
+      std::vector<std::vector<VertexPair>> thread_queries;
+      for (uint32_t t = 0; t < threads; ++t) {
+        thread_queries.push_back(
+            GenerateQueries(n, working_set, /*seed=*/100 + t));
+      }
+      Stopwatch sw;
+      std::vector<std::thread> workers;
+      for (uint32_t t = 0; t < threads; ++t) {
+        workers.emplace_back([&, t] {
+          const std::vector<VertexPair>& qs = thread_queries[t];
+          for (size_t q = 0; q < per_thread; ++q) {
+            const auto& [v, w] = qs[q % qs.size()];
+            auto answer = service.Reaches(ids[t], v, w);
+            SKL_CHECK(answer.ok());
+          }
+        });
+      }
+      for (std::thread& w : workers) w.join();
+      const double seconds = sw.ElapsedSeconds();
+      qps[config] = seconds > 0
+                        ? static_cast<double>(per_thread) * threads / seconds
+                        : 0.0;
+      json.Add("qps_shards" + std::to_string(shards) + "_t" +
+                   std::to_string(threads),
+               qps[config], "queries/s");
+      ++config;
+    }
+    std::printf("%-8u %16.0f %16.0f\n", threads, qps[0], qps[1]);
+  }
+  std::printf(
+      "\n(threads available on this machine: %u — the contended-vs-sharded "
+      "spread needs real cores)\n",
+      std::thread::hardware_concurrency());
+  return 0;
+}

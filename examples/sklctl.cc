@@ -30,9 +30,11 @@
 // label/stats/ingest-dir/save/serve accept
 // --scheme=tcm|bfs|dfs|interval|tree-cover|chain|2hop to pick the skeleton
 // labeling scheme (default tcm); ingest-dir, save, load and serve accept
-// --threads=N (0 = one per hardware thread), and ingest-dir --fail-fast
+// --threads=N (0 = one per hardware thread), --shards=N (registry lock
+// stripes, rounded up to a power of two) and ingest-dir --fail-fast
 // (all-or-nothing batch). load rejects --scheme: the scheme identity is
-// part of the snapshot.
+// part of the snapshot. The remote stats subcommand also prints the
+// server's result-cache hit rate.
 #include <algorithm>
 #include <cstdio>
 #include <cstdlib>
@@ -85,14 +87,14 @@ int Usage() {
       "       sklctl label [--scheme=<name>] <spec.xml> <run.xml>\n"
       "       sklctl stats [--scheme=<name>] <spec.xml> <run.xml>\n"
       "       sklctl ingest-dir [--scheme=<name>] [--threads=<n>] "
-      "[--fail-fast]\n"
-      "                         <spec.xml> <run-dir>\n"
-      "       sklctl save [--scheme=<name>] [--threads=<n>] "
-      "<spec.xml> <run-dir>\n"
-      "                   <out.snapshot>\n"
-      "       sklctl load [--threads=<n>] <snapshot>\n"
-      "       sklctl serve [--scheme=<name>] [--threads=<n>] [--port=<p>]\n"
-      "                    <spec.xml> [run-dir]\n"
+      "[--shards=<n>]\n"
+      "                         [--fail-fast] <spec.xml> <run-dir>\n"
+      "       sklctl save [--scheme=<name>] [--threads=<n>] [--shards=<n>]\n"
+      "                   <spec.xml> <run-dir> <out.snapshot>\n"
+      "       sklctl load [--threads=<n>] [--shards=<n>] <snapshot>\n"
+      "       sklctl serve [--scheme=<name>] [--threads=<n>] "
+      "[--shards=<n>]\n"
+      "                    [--port=<p>] <spec.xml> [run-dir]\n"
       "       sklctl reaches --connect=<host:port> <run-id> <from> <to>\n"
       "       sklctl stats --connect=<host:port> [run-id]\n"
       "       sklctl add-run --connect=<host:port> <run.xml>\n"
@@ -136,7 +138,7 @@ Result<std::vector<std::string>> ScanRunDir(const char* dir) {
 /// Bulk-ingests every regular file in `dir` (sorted by name, parsed as run
 /// XML) through AddRunsParallel, reporting per-file outcomes + throughput.
 int IngestDir(Specification spec, SpecSchemeKind scheme_kind,
-              unsigned num_threads, bool fail_fast, const char* dir) {
+              ProvenanceService::Options options, const char* dir) {
   auto scanned = ScanRunDir(dir);
   if (!scanned.ok()) return Fail(scanned.status());
   std::vector<std::string> paths = std::move(scanned).value();
@@ -154,9 +156,6 @@ int IngestDir(Specification spec, SpecSchemeKind scheme_kind,
     runs.push_back(std::move(run).value());
   }
 
-  ProvenanceService::Options options;
-  options.num_threads = num_threads;
-  options.fail_fast = fail_fast;
   auto service =
       ProvenanceService::Create(std::move(spec), scheme_kind, options);
   if (!service.ok()) return Fail(service.status());
@@ -193,7 +192,7 @@ int IngestDir(Specification spec, SpecSchemeKind scheme_kind,
       "\ningested %zu/%zu runs (%llu vertices) in %.2f ms "
       "on %u threads: %.0f runs/s\n",
       ok, paths.size(), static_cast<unsigned long long>(vertices),
-      seconds * 1e3, ThreadPool::Resolve(num_threads),
+      seconds * 1e3, ThreadPool::Resolve(options.num_threads),
       seconds > 0 ? static_cast<double>(ok) / seconds : 0.0);
   return ok == paths.size() ? 0 : 1;
 }
@@ -202,8 +201,9 @@ int IngestDir(Specification spec, SpecSchemeKind scheme_kind,
 /// whole service (spec + scheme identity + every labeled run) as one
 /// snapshot file. Strict: a snapshot is a durability artifact, so any parse
 /// or labeling failure aborts the save instead of dropping runs silently.
-int Save(Specification spec, SpecSchemeKind scheme_kind, unsigned num_threads,
-         const char* dir, const char* out_path) {
+int Save(Specification spec, SpecSchemeKind scheme_kind,
+         ProvenanceService::Options options, const char* dir,
+         const char* out_path) {
   auto paths = ScanRunDir(dir);
   if (!paths.ok()) return Fail(paths.status());
 
@@ -219,8 +219,6 @@ int Save(Specification spec, SpecSchemeKind scheme_kind, unsigned num_threads,
     runs.push_back(std::move(run).value());
   }
 
-  ProvenanceService::Options options;
-  options.num_threads = num_threads;
   options.fail_fast = true;  // all-or-nothing, see above
   auto service =
       ProvenanceService::Create(std::move(spec), scheme_kind, options);
@@ -265,9 +263,7 @@ int Save(Specification spec, SpecSchemeKind scheme_kind, unsigned num_threads,
 /// `sklctl load`: restore a snapshot, print what came back, and answer
 /// "<run-id> <from> <to>" reachability queries from stdin. The scheme is
 /// part of the snapshot; runtime knobs (threads) are not and pass through.
-int Load(const char* path, unsigned num_threads) {
-  ProvenanceService::Options options;
-  options.num_threads = num_threads;
+int Load(const char* path, ProvenanceService::Options options) {
   Stopwatch sw;
   auto service = ProvenanceService::LoadSnapshot(path, options);
   if (!service.ok()) return Fail(service.status());
@@ -324,9 +320,8 @@ int Load(const char* path, unsigned num_threads) {
 /// first — the CI smoke job parses "serving on <addr>:<port>" to discover
 /// an ephemeral port.
 int Serve(Specification spec, SpecSchemeKind scheme_kind,
-          unsigned num_threads, uint16_t port, const char* dir) {
-  ProvenanceService::Options options;
-  options.num_threads = num_threads;
+          ProvenanceService::Options options, uint16_t port,
+          const char* dir) {
   auto service =
       ProvenanceService::Create(std::move(spec), scheme_kind, options);
   if (!service.ok()) return Fail(service.status());
@@ -360,7 +355,9 @@ int Serve(Specification spec, SpecSchemeKind scheme_kind,
   // --threads sizes the connection-handler pool too; 0 keeps the server's
   // own default (8), which is a better serving concurrency than one-per-
   // core on small machines.
-  if (num_threads != 0) server_options.num_threads = num_threads;
+  if (options.num_threads != 0) {
+    server_options.num_threads = options.num_threads;
+  }
   auto server =
       ProvenanceServer::Start(std::move(service).value(), server_options);
   if (!server.ok()) return Fail(server.status());
@@ -405,6 +402,16 @@ int RemoteStats(ProvenanceClient& client, const std::vector<const char*>& args) 
   std::printf("runs removed:         %llu\n", u(stats->runs_removed));
   std::printf("bulk batches:         %llu\n", u(stats->bulk_batches));
   std::printf("snapshot saves:       %llu\n", u(stats->snapshot_saves));
+  std::printf("cache hits:           %llu\n", u(stats->cache_hits));
+  std::printf("cache misses:         %llu\n", u(stats->cache_misses));
+  const uint64_t lookups = stats->cache_hits + stats->cache_misses;
+  if (lookups > 0) {
+    std::printf("cache hit rate:       %.1f%%\n",
+                100.0 * static_cast<double>(stats->cache_hits) /
+                    static_cast<double>(lookups));
+  } else {
+    std::printf("cache hit rate:       n/a (no cached lookups)\n");
+  }
   return 0;
 }
 
@@ -416,6 +423,8 @@ int main(int argc, char** argv) {
   SpecSchemeKind scheme_kind = SpecSchemeKind::kTcm;
   bool scheme_given = false;
   unsigned num_threads = 0;
+  unsigned num_shards = 0;
+  bool shards_given = false;
   bool fail_fast = false;
   uint16_t port = 0;
   std::string connect;
@@ -446,6 +455,22 @@ int main(int argc, char** argv) {
         return Usage();
       }
       num_threads = static_cast<unsigned>(parsed);
+    } else if (std::strncmp(argv[i], "--shards=", 9) == 0) {
+      // Same strict parse as --threads; the bound is the registry's own
+      // clamp, so CLI and library can never drift.
+      const char* value = argv[i] + 9;
+      char* end = nullptr;
+      unsigned long parsed = std::strtoul(value, &end, 10);
+      if (*value == '\0' || *end != '\0' || value[0] == '-' || parsed < 1 ||
+          parsed > RunRegistry::kMaxShards) {
+        std::fprintf(stderr,
+                     "error: --shards expects an integer in [1, %zu], "
+                     "got '%s'\n",
+                     RunRegistry::kMaxShards, value);
+        return Usage();
+      }
+      num_shards = static_cast<unsigned>(parsed);
+      shards_given = true;
     } else if (std::strcmp(argv[i], "--fail-fast") == 0) {
       fail_fast = true;
     } else if (std::strncmp(argv[i], "--port=", 7) == 0) {
@@ -478,6 +503,11 @@ int main(int argc, char** argv) {
   }
   if (cmd.empty()) return Usage();
 
+  ProvenanceService::Options service_options;
+  service_options.num_threads = num_threads;
+  service_options.fail_fast = fail_fast;
+  if (shards_given) service_options.num_shards = num_shards;
+
   // --connect routes a command to a remote server; only these speak it.
   const bool remote_capable = cmd == "reaches" || cmd == "stats" ||
                               cmd == "add-run" || cmd == "list-runs" ||
@@ -499,7 +529,7 @@ int main(int argc, char** argv) {
     }
     auto spec = LoadSpec(args[0]);
     if (!spec.ok()) return Fail(spec.status());
-    return Serve(std::move(spec).value(), scheme_kind, num_threads, port,
+    return Serve(std::move(spec).value(), scheme_kind, service_options, port,
                  args.size() > 1 ? args[1] : nullptr);
   }
 
@@ -602,8 +632,8 @@ int main(int argc, char** argv) {
     if (args.size() != 2) return Usage();
     auto spec = LoadSpec(args[0]);
     if (!spec.ok()) return Fail(spec.status());
-    return IngestDir(std::move(spec).value(), scheme_kind, num_threads,
-                     fail_fast, args[1]);
+    return IngestDir(std::move(spec).value(), scheme_kind, service_options,
+                     args[1]);
   }
 
   if (cmd == "save") {
@@ -616,8 +646,8 @@ int main(int argc, char** argv) {
     }
     auto spec = LoadSpec(args[0]);
     if (!spec.ok()) return Fail(spec.status());
-    return Save(std::move(spec).value(), scheme_kind, num_threads, args[1],
-                args[2]);
+    return Save(std::move(spec).value(), scheme_kind, service_options,
+                args[1], args[2]);
   }
 
   if (cmd == "load") {
@@ -634,7 +664,7 @@ int main(int argc, char** argv) {
                    "not accepted\n");
       return Usage();
     }
-    return Load(args[0], num_threads);
+    return Load(args[0], service_options);
   }
 
   if (cmd == "validate" || cmd == "label" || cmd == "stats") {
@@ -657,8 +687,8 @@ int main(int argc, char** argv) {
     if (!recovered.ok()) return Fail(recovered.status());
     const size_t plan_nodes = recovered->plan.num_nodes();
 
-    auto service =
-        ProvenanceService::Create(std::move(spec).value(), scheme_kind);
+    auto service = ProvenanceService::Create(std::move(spec).value(),
+                                             scheme_kind, service_options);
     if (!service.ok()) return Fail(service.status());
     auto id = service->AddRunWithPlan(*run, recovered->plan,
                                       std::move(recovered->origin));

@@ -53,6 +53,12 @@ class Rng {
 /// splitmix64 step; exposed for seeding derived generators.
 uint64_t SplitMix64(uint64_t* state);
 
+/// Stateless splitmix64 finalizer: full-avalanche mixing of one 64-bit
+/// value. The hash-distribution workhorse for sequential ids (registry
+/// shard selection, cache slot indexing), where unmixed low bits would
+/// correlate with allocation order.
+uint64_t Mix64(uint64_t x);
+
 }  // namespace skl
 
 #endif  // SKL_COMMON_RANDOM_H_

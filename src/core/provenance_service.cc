@@ -85,6 +85,31 @@ Result<bool> StoreDataDependsOnModule(const ProvenanceStore& store,
                              store.label(store.item_writer(x)), scheme);
 }
 
+/// The one memoize shape behind every boolean query: probe the shard's
+/// cache under the read lock the caller already holds, recompute via
+/// `compute` on a miss, publish the answer stamped with the generation the
+/// caller saw. Stale stamps (a Remove/Import/swap bumped the shard since)
+/// can never hit, so a cached answer is always exactly what the recompute
+/// would produce — the property tests/query_cache_test.cc proves
+/// differentially. Preconditions (record found, ids in range) are the
+/// caller's; `compute` must not fail.
+template <typename Compute>
+bool Memoized(QueryCache* cache, uint64_t generation, uint64_t run,
+              uint32_t src, uint32_t dst, QueryKind kind,
+              std::atomic<uint64_t>& hits, std::atomic<uint64_t>& misses,
+              const Compute& compute) {
+  if (cache == nullptr) return compute();
+  bool answer = false;
+  if (cache->Lookup(generation, run, src, dst, kind, &answer)) {
+    hits.fetch_add(1, std::memory_order_relaxed);
+    return answer;
+  }
+  misses.fetch_add(1, std::memory_order_relaxed);
+  answer = compute();
+  cache->Insert(generation, run, src, dst, kind, answer);
+  return answer;
+}
+
 }  // namespace
 
 ProvenanceService::ProvenanceService(
@@ -93,8 +118,10 @@ ProvenanceService::ProvenanceService(
     : spec_(std::move(spec)),
       scheme_(std::move(scheme)),
       options_(options),
-      mu_(std::make_unique<std::shared_mutex>()),
       counters_(std::make_unique<Counters>()),
+      registry_(std::make_unique<RunRegistry>(RunRegistry::Options{
+          .num_shards = options.num_shards,
+          .cache_slots = options.cache_slots})),
       pool_mu_(std::make_unique<std::mutex>()) {}
 
 Result<ProvenanceService> ProvenanceService::Create(
@@ -131,7 +158,7 @@ Result<RunId> ProvenanceService::AddRunWithPlan(const Run& run,
   return Publish(std::move(record));
 }
 
-Result<ProvenanceService::RunRecord> ProvenanceService::BuildRecord(
+Result<RunRecord> ProvenanceService::BuildRecord(
     const Run& run, const ExecutionPlan* plan, std::vector<VertexId> origin,
     const DataCatalog* catalog) const {
   // All of this runs outside any lock (and concurrently on pool workers for
@@ -154,7 +181,7 @@ Result<ProvenanceService::RunRecord> ProvenanceService::BuildRecord(
   return CaptureRecord(labeling, catalog, /*imported=*/false);
 }
 
-ProvenanceService::RunRecord ProvenanceService::CaptureRecord(
+RunRecord ProvenanceService::CaptureRecord(
     const RunLabeling& labeling, const DataCatalog* catalog,
     bool imported) const {
   RunRecord record;
@@ -169,10 +196,8 @@ ProvenanceService::RunRecord ProvenanceService::CaptureRecord(
   return record;
 }
 
-RunId ProvenanceService::Publish(RunRecord record) {
-  std::unique_lock lock(*mu_);
-  RunId id(next_id_++);
-  runs_.emplace(id.value(), std::move(record));
+RunId ProvenanceService::Publish(RunRecord record, bool invalidate) {
+  RunId id(registry_->Publish(std::move(record), invalidate));
   counters_->runs_ingested.fetch_add(1, std::memory_order_relaxed);
   return id;
 }
@@ -258,19 +283,27 @@ std::vector<Result<RunId>> ProvenanceService::BulkIngest(
       return results;
     }
   }
-  // Phase 2: publish in input order under one writer lock, so ascending
-  // RunIds mirror the caller's batch order.
-  std::unique_lock lock(*mu_);
+  // Phase 2: publish the successes through the registry's batch path — a
+  // contiguous ascending id block mirrors the caller's batch order, and
+  // each shard's writer lock is taken once, so queries on other shards are
+  // never blocked at all.
+  std::vector<RunRecord> to_publish;
+  std::vector<size_t> publish_index(count, count);  // count = "failed"
   for (size_t i = 0; i < count; ++i) {
     Result<RunRecord>& r = *records[i];
-    if (!r.ok()) {
-      results.emplace_back(r.status());
-      continue;
+    if (!r.ok()) continue;
+    publish_index[i] = to_publish.size();
+    to_publish.push_back(std::move(r).value());
+  }
+  const std::vector<uint64_t> ids =
+      registry_->PublishBatch(std::move(to_publish));
+  counters_->runs_ingested.fetch_add(ids.size(), std::memory_order_relaxed);
+  for (size_t i = 0; i < count; ++i) {
+    if (publish_index[i] == count) {
+      results.emplace_back((*records[i]).status());
+    } else {
+      results.emplace_back(RunId(ids[publish_index[i]]));
     }
-    RunId id(next_id_++);
-    runs_.emplace(id.value(), std::move(r).value());
-    counters_->runs_ingested.fetch_add(1, std::memory_order_relaxed);
-    results.emplace_back(id);
   }
   return results;
 }
@@ -311,8 +344,7 @@ RunSession ProvenanceService::OpenSession() {
 }
 
 Status ProvenanceService::RemoveRun(RunId id) {
-  std::unique_lock lock(*mu_);
-  if (runs_.erase(id.value()) == 0) {
+  if (!registry_->Remove(id.value())) {
     return Status::NotFound("unknown run id");
   }
   counters_->runs_removed.fetch_add(1, std::memory_order_relaxed);
@@ -328,37 +360,42 @@ Result<RunId> ProvenanceService::Register(const RunLabeling& labeling,
   return Publish(CaptureRecord(labeling, catalog, imported));
 }
 
-const ProvenanceService::RunRecord* ProvenanceService::FindLocked(
-    RunId id) const {
-  auto it = runs_.find(id.value());
-  return it == runs_.end() ? nullptr : &it->second;
-}
-
 Result<bool> ProvenanceService::Reaches(RunId id, VertexId v,
                                         VertexId w) const {
-  std::shared_lock lock(*mu_);
-  const RunRecord* record = FindLocked(id);
-  if (record == nullptr) return Status::NotFound("unknown run id");
-  if (v >= record->stats.num_vertices || w >= record->stats.num_vertices) {
+  RunRegistry::ReadHandle handle = registry_->AcquireRead(id.value());
+  if (!handle) return Status::NotFound("unknown run id");
+  const RunRecord& record = handle.record();
+  if (v >= record.stats.num_vertices || w >= record.stats.num_vertices) {
     return Status::InvalidArgument("vertex out of range for run");
   }
   counters_->reaches_queries.fetch_add(1, std::memory_order_relaxed);
-  return StoreReaches(record->store, v, w, *scheme_);
+  return Memoized(handle.cache(), handle.generation(), id.value(), v, w,
+                  QueryKind::kReaches, counters_->cache_hits,
+                  counters_->cache_misses, [&] {
+                    return StoreReaches(record.store, v, w, *scheme_);
+                  });
 }
 
 Result<std::vector<bool>> ProvenanceService::ReachesBatch(
     RunId id, std::span<const VertexPair> pairs) const {
-  std::shared_lock lock(*mu_);
-  const RunRecord* record = FindLocked(id);
-  if (record == nullptr) return Status::NotFound("unknown run id");
-  const VertexId n = record->stats.num_vertices;
-  std::vector<bool> answers;
-  answers.reserve(pairs.size());
+  RunRegistry::ReadHandle handle = registry_->AcquireRead(id.value());
+  if (!handle) return Status::NotFound("unknown run id");
+  const VertexId n = handle.record().stats.num_vertices;
+  // Validate the whole span first: a failing batch answers nothing and
+  // must touch no counter — including the cache lookup counters, which by
+  // contract only tally answered queries.
   for (const auto& [v, w] : pairs) {
     if (v >= n || w >= n) {
       return Status::InvalidArgument("vertex out of range for run");
     }
-    answers.push_back(StoreReaches(record->store, v, w, *scheme_));
+  }
+  std::vector<bool> answers;
+  answers.reserve(pairs.size());
+  for (const auto& [v, w] : pairs) {
+    answers.push_back(Memoized(
+        handle.cache(), handle.generation(), id.value(), v, w,
+        QueryKind::kReaches, counters_->cache_hits, counters_->cache_misses,
+        [&] { return StoreReaches(handle.record().store, v, w, *scheme_); }));
   }
   counters_->batch_calls.fetch_add(1, std::memory_order_relaxed);
   counters_->reaches_queries.fetch_add(pairs.size(),
@@ -368,26 +405,42 @@ Result<std::vector<bool>> ProvenanceService::ReachesBatch(
 
 Result<bool> ProvenanceService::DependsOn(RunId id, DataItemId x,
                                           DataItemId x_from) const {
-  std::shared_lock lock(*mu_);
-  const RunRecord* record = FindLocked(id);
-  if (record == nullptr) return Status::NotFound("unknown run id");
-  SKL_ASSIGN_OR_RETURN(bool dep,
-                       StoreDependsOn(record->store, x, x_from, *scheme_));
+  RunRegistry::ReadHandle handle = registry_->AcquireRead(id.value());
+  if (!handle) return Status::NotFound("unknown run id");
+  const size_t items = handle.record().store.num_items();
+  if (x >= items || x_from >= items) {
+    return Status::InvalidArgument("unknown data item");
+  }
   counters_->depends_on_queries.fetch_add(1, std::memory_order_relaxed);
-  return dep;
+  return Memoized(handle.cache(), handle.generation(), id.value(), x, x_from,
+                  QueryKind::kDependsOn, counters_->cache_hits,
+                  counters_->cache_misses, [&] {
+                    return *StoreDependsOn(handle.record().store, x, x_from,
+                                           *scheme_);
+                  });
 }
 
 Result<std::vector<bool>> ProvenanceService::DependsOnBatch(
     RunId id, std::span<const ItemPair> pairs) const {
-  std::shared_lock lock(*mu_);
-  const RunRecord* record = FindLocked(id);
-  if (record == nullptr) return Status::NotFound("unknown run id");
+  RunRegistry::ReadHandle handle = registry_->AcquireRead(id.value());
+  if (!handle) return Status::NotFound("unknown run id");
+  const size_t items = handle.record().store.num_items();
+  // Same discipline as ReachesBatch: all-or-nothing validation before any
+  // counter or cache traffic.
+  for (const auto& [x, x_from] : pairs) {
+    if (x >= items || x_from >= items) {
+      return Status::InvalidArgument("unknown data item");
+    }
+  }
   std::vector<bool> answers;
   answers.reserve(pairs.size());
   for (const auto& [x, x_from] : pairs) {
-    SKL_ASSIGN_OR_RETURN(
-        bool dep, StoreDependsOn(record->store, x, x_from, *scheme_));
-    answers.push_back(dep);
+    answers.push_back(Memoized(
+        handle.cache(), handle.generation(), id.value(), x, x_from,
+        QueryKind::kDependsOn, counters_->cache_hits,
+        counters_->cache_misses, [&] {
+          return *StoreDependsOn(handle.record().store, x, x_from, *scheme_);
+        }));
   }
   counters_->batch_calls.fetch_add(1, std::memory_order_relaxed);
   counters_->depends_on_queries.fetch_add(pairs.size(),
@@ -397,31 +450,48 @@ Result<std::vector<bool>> ProvenanceService::DependsOnBatch(
 
 Result<bool> ProvenanceService::ModuleDependsOnData(RunId id, VertexId v,
                                                     DataItemId x) const {
-  std::shared_lock lock(*mu_);
-  const RunRecord* record = FindLocked(id);
-  if (record == nullptr) return Status::NotFound("unknown run id");
-  SKL_ASSIGN_OR_RETURN(
-      bool dep, StoreModuleDependsOnData(record->store, v, x, *scheme_));
+  RunRegistry::ReadHandle handle = registry_->AcquireRead(id.value());
+  if (!handle) return Status::NotFound("unknown run id");
+  const RunRecord& record = handle.record();
+  if (x >= record.store.num_items()) {
+    return Status::InvalidArgument("unknown data item");
+  }
+  if (v >= record.store.num_vertices()) {
+    return Status::InvalidArgument("unknown vertex");
+  }
   counters_->module_data_queries.fetch_add(1, std::memory_order_relaxed);
-  return dep;
+  return Memoized(handle.cache(), handle.generation(), id.value(), v, x,
+                  QueryKind::kModuleData, counters_->cache_hits,
+                  counters_->cache_misses, [&] {
+                    return *StoreModuleDependsOnData(record.store, v, x,
+                                                     *scheme_);
+                  });
 }
 
 Result<bool> ProvenanceService::DataDependsOnModule(RunId id, DataItemId x,
                                                     VertexId v) const {
-  std::shared_lock lock(*mu_);
-  const RunRecord* record = FindLocked(id);
-  if (record == nullptr) return Status::NotFound("unknown run id");
-  SKL_ASSIGN_OR_RETURN(
-      bool dep, StoreDataDependsOnModule(record->store, x, v, *scheme_));
+  RunRegistry::ReadHandle handle = registry_->AcquireRead(id.value());
+  if (!handle) return Status::NotFound("unknown run id");
+  const RunRecord& record = handle.record();
+  if (x >= record.store.num_items()) {
+    return Status::InvalidArgument("unknown data item");
+  }
+  if (v >= record.store.num_vertices()) {
+    return Status::InvalidArgument("unknown vertex");
+  }
   counters_->data_module_queries.fetch_add(1, std::memory_order_relaxed);
-  return dep;
+  return Memoized(handle.cache(), handle.generation(), id.value(), x, v,
+                  QueryKind::kDataModule, counters_->cache_hits,
+                  counters_->cache_misses, [&] {
+                    return *StoreDataDependsOnModule(record.store, x, v,
+                                                     *scheme_);
+                  });
 }
 
 Result<std::vector<uint8_t>> ProvenanceService::ExportRun(RunId id) const {
-  std::shared_lock lock(*mu_);
-  const RunRecord* record = FindLocked(id);
-  if (record == nullptr) return Status::NotFound("unknown run id");
-  return record->store.Serialize();
+  RunRegistry::ReadHandle handle = registry_->AcquireRead(id.value());
+  if (!handle) return Status::NotFound("unknown run id");
+  return handle.record().store.Serialize();
 }
 
 Result<RunId> ProvenanceService::ImportRun(
@@ -446,30 +516,26 @@ Result<RunId> ProvenanceService::ImportRun(
   record.stats.imported = true;
   record.store = std::move(store);
   counters_->runs_imported.fetch_add(1, std::memory_order_relaxed);
-  return Publish(std::move(record));
+  // Invalidate the target shard's cache: an import changes what the shard
+  // can answer, and generation-stamping makes that O(1).
+  return Publish(std::move(record), /*invalidate=*/true);
 }
 
 bool ProvenanceService::Contains(RunId id) const {
-  std::shared_lock lock(*mu_);
-  return FindLocked(id) != nullptr;
+  return registry_->Contains(id.value());
 }
 
-size_t ProvenanceService::num_runs() const {
-  std::shared_lock lock(*mu_);
-  return runs_.size();
-}
+size_t ProvenanceService::num_runs() const { return registry_->size(); }
 
 Result<RunStats> ProvenanceService::Stats(RunId id) const {
-  std::shared_lock lock(*mu_);
-  const RunRecord* record = FindLocked(id);
-  if (record == nullptr) return Status::NotFound("unknown run id");
-  return record->stats;
+  RunRegistry::ReadHandle handle = registry_->AcquireRead(id.value());
+  if (!handle) return Status::NotFound("unknown run id");
+  return handle.record().stats;
 }
 
 ServiceStats ProvenanceService::service_stats() const {
-  std::shared_lock lock(*mu_);
   ServiceStats stats;
-  stats.num_runs = runs_.size();
+  stats.num_runs = registry_->size();
   const auto get = [](const std::atomic<uint64_t>& c) {
     return c.load(std::memory_order_relaxed);
   };
@@ -483,14 +549,16 @@ ServiceStats ProvenanceService::service_stats() const {
   stats.runs_removed = get(counters_->runs_removed);
   stats.bulk_batches = get(counters_->bulk_batches);
   stats.snapshot_saves = get(counters_->snapshot_saves);
+  stats.cache_hits = get(counters_->cache_hits);
+  stats.cache_misses = get(counters_->cache_misses);
   return stats;
 }
 
 std::vector<RunId> ProvenanceService::ListRuns() const {
-  std::shared_lock lock(*mu_);
+  const std::vector<uint64_t> raw = registry_->ListIds();
   std::vector<RunId> ids;
-  ids.reserve(runs_.size());
-  for (const auto& kv : runs_) ids.push_back(RunId(kv.first));
+  ids.reserve(raw.size());
+  for (uint64_t id : raw) ids.push_back(RunId(id));
   return ids;
 }
 

@@ -25,8 +25,9 @@
 //   std::vector<Result<RunId>> ids = svc.AddRunsParallel(runs);
 //
 // Queries are self-contained — no scheme parameter, unlike the lower-level
-// facades — and guarded by a std::shared_mutex so concurrent readers never
-// block each other:
+// facades — and take only the owning shard's read lock, so concurrent
+// readers never block each other (and readers of different shards share
+// nothing at all):
 //
 //   bool dep = *svc.Reaches(a, v, w);
 //   auto answers = *svc.ReachesBatch(a, pairs);       // one lock, many pairs
@@ -38,20 +39,24 @@
 //   RunId restored = *svc.ImportRun(blob);
 //
 // Threading contract: every public method is safe to call concurrently.
-// Ingestion does the expensive labeling outside the lock and takes the
-// writer lock only to publish into the registry; queries keep answering
-// under the shared lock while a bulk batch is being labeled. The service
-// must not be moved while other threads use it or while sessions are open.
+// The registry behind the service is sharded and lock-striped
+// (src/core/run_registry.h): a query locks only the one shard that owns
+// its run — shared, so readers never block each other — and each shard
+// memoizes answers in a generation-stamped QueryCache
+// (src/core/query_cache.h; Options::cache_slots sizes it, 0 disables).
+// Ingestion does the expensive labeling outside any lock and takes one
+// shard's writer lock only to publish; queries on other shards proceed
+// entirely undisturbed, and queries on the same shard keep answering while
+// a bulk batch is being labeled. The service must not be moved while other
+// threads use it or while sessions are open.
 #ifndef SKL_CORE_PROVENANCE_SERVICE_H_
 #define SKL_CORE_PROVENANCE_SERVICE_H_
 
 #include <atomic>
 #include <cstdint>
 #include <functional>
-#include <map>
 #include <memory>
 #include <mutex>
-#include <shared_mutex>
 #include <span>
 #include <string>
 #include <string_view>
@@ -63,8 +68,8 @@
 #include "src/core/data_provenance.h"
 #include "src/core/execution_plan.h"
 #include "src/core/online_labeler.h"
-#include "src/core/provenance_store.h"
 #include "src/core/run_labeling.h"
+#include "src/core/run_registry.h"
 #include "src/speclabel/scheme.h"
 #include "src/workflow/run.h"
 #include "src/workflow/specification.h"
@@ -99,22 +104,18 @@ class RunId {
 using VertexPair = std::pair<VertexId, VertexId>;
 using ItemPair = std::pair<DataItemId, DataItemId>;
 
-/// Per-run bookkeeping returned by ProvenanceService::Stats.
-struct RunStats {
-  VertexId num_vertices = 0;
-  size_t num_items = 0;        ///< data items in the catalog (0 if none)
-  uint32_t label_bits = 0;     ///< per-label bits; 0 for imported runs
-  uint32_t context_bits = 0;   ///< 3 * ceil(log2 n_T^+); 0 for imported runs
-  uint32_t origin_bits = 0;    ///< ceil(log2 n_G); 0 for imported runs
-  uint32_t num_nonempty_plus = 0;  ///< nonempty + nodes; 0 for imported runs
-  bool imported = false;       ///< true when ingested via ImportRun
-};
+// RunStats (per-run bookkeeping returned by ProvenanceService::Stats) and
+// RunRecord live in src/core/run_registry.h, next to the sharded registry
+// that stores them.
 
 /// Service-wide cumulative counters since service creation (they are not
-/// part of a snapshot: a restored service starts counting afresh). Query
-/// counters tally *answered* queries — a NotFound or out-of-range request
-/// does not count as served. Batch calls count one per answered pair, plus
-/// one batch_calls tick per invocation.
+/// part of a snapshot: a restored service — including one swapped in by
+/// the net server's kLoadSnapshot — starts counting afresh; see
+/// docs/NETWORK.md). Query counters tally *answered* queries — a NotFound
+/// or out-of-range request does not count as served. Batch calls count one
+/// per answered pair, plus one batch_calls tick per invocation. Cache
+/// counters tally result-cache lookups on answered queries (both stay 0
+/// when the cache is disabled via Options::cache_slots = 0).
 struct ServiceStats {
   uint64_t num_runs = 0;             ///< currently registered (point in time)
   uint64_t reaches_queries = 0;      ///< Reaches + ReachesBatch pairs
@@ -127,6 +128,8 @@ struct ServiceStats {
   uint64_t runs_removed = 0;
   uint64_t bulk_batches = 0;         ///< AddRuns*Parallel invocations
   uint64_t snapshot_saves = 0;       ///< successful SaveSnapshot calls
+  uint64_t cache_hits = 0;           ///< result-cache hits
+  uint64_t cache_misses = 0;         ///< result-cache misses (computed)
 };
 
 class RunSession;
@@ -154,6 +157,14 @@ struct ProvenanceServiceOptions {
   /// true: all-or-nothing — the first failure cancels the rest of the
   /// batch and nothing is published.
   bool fail_fast = false;
+  /// Registry shards (lock stripes); rounded up to a power of two and
+  /// clamped to [1, 1024]. More shards = less reader/writer contention;
+  /// 1 reproduces the old single-lock behavior.
+  size_t num_shards = 8;
+  /// Reachability result-cache slots per shard (rounded up to a power of
+  /// two, 32 bytes each). 0 disables caching — the configuration the
+  /// differential conformance test replays against.
+  size_t cache_slots = 4096;
 };
 
 /// One specification + one built skeleton scheme + many labeled runs.
@@ -253,10 +264,11 @@ class ProvenanceService {
   /// Serializes the whole service — specification, scheme identity, and
   /// every registered run with its labels, catalog and stats — to one
   /// versioned, checksummed snapshot file (src/io/snapshot.h; format in
-  /// docs/PERSISTENCE.md). Point-in-time consistent: taken under the shared
-  /// lock, so concurrent queries keep answering. Fails with InvalidArgument
-  /// for services over caller-constructed schemes that are not one of the
-  /// bundled SpecSchemeKinds.
+  /// docs/PERSISTENCE.md). Composed shard by shard under each shard's read
+  /// lock — no stop-the-world pass, so concurrent queries keep answering
+  /// throughout; the view is per-shard consistent. Fails with
+  /// InvalidArgument for services over caller-constructed schemes that are
+  /// not one of the bundled SpecSchemeKinds.
   Status SaveSnapshot(const std::string& path) const;
 
   /// Restores a service saved by SaveSnapshot: same RunIds (including the
@@ -287,16 +299,11 @@ class ProvenanceService {
  private:
   friend class RunSession;
 
-  struct RunRecord {
-    ProvenanceStore store;
-    RunStats stats;
-  };
-
   /// ServiceStats internals. The fields are atomic because they are
-  /// bumped from concurrent shared-lock holders (query paths) as well as
-  /// unique-lock registry mutations — and, for snapshot_saves, after the
-  /// save's lock scope has ended. Do not downgrade them to plain ints on
-  /// the grounds that mu_ "is always held": it is not.
+  /// bumped from concurrent shard read-lock holders (query paths) as well
+  /// as shard writer-lock registry mutations — and, for snapshot_saves,
+  /// after the save's lock scope has ended. There is no lock that all of
+  /// them share anymore.
   struct Counters {
     std::atomic<uint64_t> reaches_queries{0};
     std::atomic<uint64_t> depends_on_queries{0};
@@ -308,6 +315,8 @@ class ProvenanceService {
     std::atomic<uint64_t> runs_removed{0};
     std::atomic<uint64_t> bulk_batches{0};
     std::atomic<uint64_t> snapshot_saves{0};
+    std::atomic<uint64_t> cache_hits{0};
+    std::atomic<uint64_t> cache_misses{0};
   };
 
   ProvenanceService(std::unique_ptr<const Specification> spec,
@@ -327,8 +336,9 @@ class ProvenanceService {
   RunRecord CaptureRecord(const RunLabeling& labeling,
                           const DataCatalog* catalog, bool imported) const;
 
-  /// Publishes a record under a fresh id (takes the writer lock).
-  RunId Publish(RunRecord record);
+  /// Publishes a record under a fresh id (takes one shard's writer lock).
+  /// `invalidate` bumps the target shard's cache generation (ImportRun).
+  RunId Publish(RunRecord record, bool invalidate = false);
 
   /// Captures a labeling (+ optional catalog) and publishes it under a new
   /// id. Validates the catalog against the labeling first.
@@ -343,8 +353,10 @@ class ProvenanceService {
   /// Returns the bulk-ingestion pool, starting it on first use.
   ThreadPool& Pool();
 
-  /// Looks up a record; the caller must hold `mu_` (shared or unique).
-  const RunRecord* FindLocked(RunId id) const;
+  // The query methods memoize through the shard's QueryCache via one
+  // shared helper (Memoized, provenance_service.cc): probe under the read
+  // lock the ReadHandle holds, recompute on a miss, stamp with the
+  // handle's generation.
 
   // unique_ptrs keep spec/scheme addresses stable across service moves:
   // schemes hold a pointer to spec.graph(), sessions to both.
@@ -352,12 +364,11 @@ class ProvenanceService {
   std::unique_ptr<SpecLabelingScheme> scheme_;
   Options options_;
 
-  mutable std::unique_ptr<std::shared_mutex> mu_;
-  std::unique_ptr<Counters> counters_;  // see Counters for the lock contract
-  uint64_t next_id_ = 1;  // guarded by mu_
-  // Ids are monotonic and never reused, so ascending key order doubles as
-  // registration order (ListRuns).
-  std::map<uint64_t, RunRecord> runs_;  // guarded by mu_
+  std::unique_ptr<Counters> counters_;  // see Counters for the contract
+  // The sharded, lock-striped run storage (internally synchronized);
+  // behind a unique_ptr so the service stays movable while shard mutexes
+  // and handed-out ReadHandles keep stable addresses.
+  std::unique_ptr<RunRegistry> registry_;
 
   std::unique_ptr<std::mutex> pool_mu_;  // guards lazy pool_ creation
   std::unique_ptr<ThreadPool> pool_;     // created on first bulk call

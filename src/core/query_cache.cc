@@ -1,0 +1,82 @@
+#include "src/core/query_cache.h"
+
+#include <algorithm>
+#include <bit>
+
+#include "src/common/random.h"
+
+namespace skl {
+
+namespace {
+
+constexpr uint64_t kGenerationShift = 3;
+constexpr uint64_t kKindShift = 1;
+
+uint64_t PackPair(uint32_t src, uint32_t dst) {
+  return (static_cast<uint64_t>(src) << 32) | dst;
+}
+
+uint64_t PackData(uint64_t generation, QueryKind kind, bool answer) {
+  return (generation << kGenerationShift) |
+         (static_cast<uint64_t>(kind) << kKindShift) | (answer ? 1u : 0u);
+}
+
+}  // namespace
+
+QueryCache::QueryCache(size_t slots)
+    : mask_(std::bit_ceil(std::clamp<size_t>(slots, 1, size_t{1} << 30)) -
+            1),
+      slots_(std::make_unique<Slot[]>(mask_ + 1)) {}
+
+size_t QueryCache::IndexOf(uint64_t run, uint64_t pair,
+                           QueryKind kind) const {
+  // Mix64: consecutive vertex ids must spread across the table instead of
+  // clustering in one probe neighborhood.
+  const uint64_t h =
+      Mix64(run ^ Mix64(pair ^ (static_cast<uint64_t>(kind) << 62)));
+  return static_cast<size_t>(h) & mask_;
+}
+
+bool QueryCache::Lookup(uint64_t generation, uint64_t run, uint32_t src,
+                        uint32_t dst, QueryKind kind, bool* answer) const {
+  const uint64_t pair = PackPair(src, dst);
+  const Slot& slot = slots_[IndexOf(run, pair, kind)];
+  const uint64_t seq = slot.seq.load(std::memory_order_acquire);
+  if (seq & 1) return false;  // writer mid-publish
+  const uint64_t key_run = slot.key_run.load(std::memory_order_relaxed);
+  const uint64_t key_pair = slot.key_pair.load(std::memory_order_relaxed);
+  const uint64_t data = slot.data.load(std::memory_order_relaxed);
+  // The fence orders the three field loads before the sequence re-check; an
+  // unchanged even sequence proves no writer published between them, so the
+  // (key, data) pair below is one consistent entry, never a mix of two.
+  std::atomic_thread_fence(std::memory_order_acquire);
+  if (slot.seq.load(std::memory_order_relaxed) != seq) return false;
+  if (key_run != run || key_pair != pair) return false;
+  if (data != PackData(generation, kind, data & 1)) return false;
+  *answer = (data & 1) != 0;
+  return true;
+}
+
+void QueryCache::Insert(uint64_t generation, uint64_t run, uint32_t src,
+                        uint32_t dst, QueryKind kind, bool answer) {
+  const uint64_t pair = PackPair(src, dst);
+  Slot& slot = slots_[IndexOf(run, pair, kind)];
+  uint64_t seq = slot.seq.load(std::memory_order_relaxed);
+  if (seq & 1) return;  // another writer owns the slot; shed the insert
+  if (!slot.seq.compare_exchange_strong(seq, seq + 1,
+                                        std::memory_order_acq_rel,
+                                        std::memory_order_relaxed)) {
+    return;
+  }
+  // The release fence keeps the field stores from hoisting above the odd
+  // sequence: readers that can see any of these stores also see seq odd
+  // (or the later even), and discard the read.
+  std::atomic_thread_fence(std::memory_order_release);
+  slot.key_run.store(run, std::memory_order_relaxed);
+  slot.key_pair.store(pair, std::memory_order_relaxed);
+  slot.data.store(PackData(generation, kind, answer),
+                  std::memory_order_relaxed);
+  slot.seq.store(seq + 2, std::memory_order_release);
+}
+
+}  // namespace skl

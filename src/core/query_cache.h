@@ -1,0 +1,88 @@
+// Bounded reachability result cache: an open-addressing table of
+// generation-stamped query answers, shared by concurrent readers without any
+// lock of its own. One instance lives inside each RunRegistry shard and
+// memoizes the service-level boolean queries (Reaches / DependsOn /
+// ModuleDependsOnData / DataDependsOnModule) keyed by
+// (run, src, dst, kind).
+//
+// Invalidation is O(1) by construction: every entry is stamped with the
+// owning shard's generation at insert time, and a lookup only hits when the
+// stamp equals the shard's *current* generation. RemoveRun / ImportRun /
+// LoadSnapshot bump the generation instead of scanning the table, so the
+// whole shard's cache goes cold in one increment — the answering-under-
+// updates discipline that tests/query_cache_test.cc proves differentially.
+//
+// Concurrency: lookups and inserts run under the shard's *shared* lock, so
+// they race with each other by design. Each slot is a seqlock over
+// individually-atomic words: a writer claims the slot by CAS-ing the
+// sequence to odd, publishes the fields, and releases it even; a reader
+// re-checks the sequence after reading the fields and treats any observed
+// movement as a miss. A torn or half-written entry can therefore never be
+// returned — the cache either answers exactly what a compute would, or
+// misses. Losing an insert race just costs a future recompute; it is only a
+// cache.
+#ifndef SKL_CORE_QUERY_CACHE_H_
+#define SKL_CORE_QUERY_CACHE_H_
+
+#include <atomic>
+#include <cstddef>
+#include <cstdint>
+#include <memory>
+
+namespace skl {
+
+/// Which service query an entry answers; part of the cache key, so the same
+/// (src, dst) pair can hold one answer per query family.
+enum class QueryKind : uint8_t {
+  kReaches = 0,
+  kDependsOn = 1,
+  kModuleData = 2,   ///< ModuleDependsOnData(v, x)
+  kDataModule = 3,   ///< DataDependsOnModule(x, v)
+};
+
+class QueryCache {
+ public:
+  /// `slots` is rounded up to a power of two (minimum 1). Memory is
+  /// 32 bytes per slot, allocated eagerly so the table never resizes (a
+  /// resize would need a writer lock, which lookups must not take).
+  explicit QueryCache(size_t slots);
+
+  QueryCache(const QueryCache&) = delete;
+  QueryCache& operator=(const QueryCache&) = delete;
+
+  /// Probes for a current-generation entry. On hit writes the cached
+  /// answer to *answer and returns true; any mismatch — key, kind, stale
+  /// generation, or a concurrent writer mid-publish — is a miss.
+  bool Lookup(uint64_t generation, uint64_t run, uint32_t src, uint32_t dst,
+              QueryKind kind, bool* answer) const;
+
+  /// Publishes an answer, overwriting whatever occupied the slot. Skips
+  /// silently if another writer holds the slot (caches shed load, they do
+  /// not wait).
+  void Insert(uint64_t generation, uint64_t run, uint32_t src, uint32_t dst,
+              QueryKind kind, bool answer);
+
+  size_t num_slots() const { return mask_ + 1; }
+
+ private:
+  /// One entry. `seq` odd = a writer is mid-publish. The key spans two
+  /// words (run, src<<32|dst); kind and the boolean answer ride in `data`
+  /// beside the generation stamp:  data = generation << 3 | kind << 1 |
+  /// answer. Fields are individually atomic (no torn word) and the seqlock
+  /// re-check makes the *set* consistent.
+  struct Slot {
+    std::atomic<uint64_t> seq{0};
+    std::atomic<uint64_t> key_run{0};
+    std::atomic<uint64_t> key_pair{0};
+    std::atomic<uint64_t> data{0};
+  };
+
+  size_t IndexOf(uint64_t run, uint64_t pair, QueryKind kind) const;
+
+  size_t mask_;
+  std::unique_ptr<Slot[]> slots_;
+};
+
+}  // namespace skl
+
+#endif  // SKL_CORE_QUERY_CACHE_H_

@@ -4,7 +4,6 @@
 #include <atomic>
 #include <filesystem>
 #include <fstream>
-#include <shared_mutex>
 #include <string_view>
 
 #if defined(__unix__) || defined(__APPLE__)
@@ -253,27 +252,47 @@ Status ProvenanceService::SaveSnapshot(const std::string& path) const {
       kSnapshotSectionScheme,
       std::vector<uint8_t>(scheme_name.begin(), scheme_name.end()));
 
+  // Compose the registry view shard by shard under each shard's read lock
+  // — no stop-the-world pass, so queries keep answering while the snapshot
+  // is encoded. Shards partition ids by hash, so the sweep's cross-shard
+  // order interleaves; sorting restores the ascending id order the on-disk
+  // layout requires (the byte format is unchanged from the single-lock
+  // registry).
+  struct SavedRun {
+    uint64_t id;
+    RunStats stats;
+    std::vector<uint8_t> blob;
+  };
+  std::vector<SavedRun> saved;
+  registry_->ForEach([&](uint64_t id, const RunRecord& record) {
+    saved.push_back({id, record.stats, record.store.Serialize()});
+  });
+  // Read the id allocator *after* the sweep: every id the sweep collected
+  // was allocated before this load, so the invariant id < next_id holds
+  // even for runs published concurrently mid-sweep.
+  const uint64_t next_id = registry_->next_id();
+  std::sort(saved.begin(), saved.end(),
+            [](const SavedRun& a, const SavedRun& b) { return a.id < b.id; });
+
   BitWriter runs;
-  {
-    // One shared-lock pass: the snapshot is a consistent point-in-time view
-    // of the registry; queries keep answering while it is encoded.
-    std::shared_lock lock(*mu_);
-    runs.WriteVarint(next_id_);
-    runs.WriteVarint(runs_.size());
-    for (const auto& [id, record] : runs_) {
-      runs.WriteVarint(id);
-      const RunStats& s = record.stats;
-      runs.WriteVarint(s.num_vertices);
-      runs.WriteVarint(s.num_items);
-      runs.WriteVarint(s.label_bits);
-      runs.WriteVarint(s.context_bits);
-      runs.WriteVarint(s.origin_bits);
-      runs.WriteVarint(s.num_nonempty_plus);
-      runs.WriteVarint(s.imported ? 1 : 0);
-      const std::vector<uint8_t> blob = record.store.Serialize();
-      runs.WriteVarint(blob.size());
-      runs.WriteBytes(blob);
-    }
+  runs.WriteVarint(next_id);
+  runs.WriteVarint(saved.size());
+  for (SavedRun& r : saved) {
+    runs.WriteVarint(r.id);
+    const RunStats& s = r.stats;
+    runs.WriteVarint(s.num_vertices);
+    runs.WriteVarint(s.num_items);
+    runs.WriteVarint(s.label_bits);
+    runs.WriteVarint(s.context_bits);
+    runs.WriteVarint(s.origin_bits);
+    runs.WriteVarint(s.num_nonempty_plus);
+    runs.WriteVarint(s.imported ? 1 : 0);
+    runs.WriteVarint(r.blob.size());
+    runs.WriteBytes(r.blob);
+    // Each blob exists twice once written (here and in the section being
+    // assembled); release it now so peak memory stays ~one registry, not
+    // two, on large services.
+    std::vector<uint8_t>().swap(r.blob);
   }
   writer.AddSection(kSnapshotSectionRuns, runs.Finish());
   Status written = std::move(writer).WriteFile(path);
@@ -375,14 +394,17 @@ Result<ProvenanceService> ProvenanceService::LoadSnapshot(
     record.stats.num_nonempty_plus = static_cast<uint32_t>(num_nonempty_plus);
     record.stats.imported = imported != 0;
     record.store = std::move(store);
-    service.runs_.emplace(id, std::move(record));
+    if (!service.registry_->Restore(id, std::move(record))) {
+      return Status::ParseError("snapshot run registry: duplicate run id " +
+                                std::to_string(id));
+    }
     prev_id = id;
   }
   if (runs.bit_position() != runs_bytes.size() * 8) {
     return Status::ParseError(
         "snapshot run registry has trailing bytes after the declared runs");
   }
-  service.next_id_ = next_id;
+  service.registry_->SetNextId(next_id);
   return service;
 }
 

@@ -393,6 +393,8 @@ Result<ServiceStats> ProvenanceClient::GetServiceStats() {
   SKL_ASSIGN_OR_RETURN(stats.runs_removed, reader.U64());
   SKL_ASSIGN_OR_RETURN(stats.bulk_batches, reader.U64());
   SKL_ASSIGN_OR_RETURN(stats.snapshot_saves, reader.U64());
+  SKL_ASSIGN_OR_RETURN(stats.cache_hits, reader.U64());
+  SKL_ASSIGN_OR_RETURN(stats.cache_misses, reader.U64());
   SKL_RETURN_NOT_OK(reader.ExpectEnd());
   return stats;
 }

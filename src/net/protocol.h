@@ -43,7 +43,9 @@ namespace skl {
 /// Protocol version carried in every frame body. Bumped on any incompatible
 /// change to the frame layout or a payload encoding; servers reject frames
 /// from a different version with kError (see docs/NETWORK.md).
-inline constexpr uint8_t kProtocolVersion = 1;
+/// Version 2: the kServiceStats reply grew the result-cache counters
+/// (cache_hits, cache_misses) — 13 varints instead of 11.
+inline constexpr uint8_t kProtocolVersion = 2;
 
 /// First two frame bytes, "SN". A stream that does not start with them is
 /// not speaking this protocol.

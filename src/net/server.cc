@@ -372,6 +372,8 @@ Result<std::vector<uint8_t>> ProvenanceServer::Dispatch(
       out.U64(stats.runs_removed);
       out.U64(stats.bulk_batches);
       out.U64(stats.snapshot_saves);
+      out.U64(stats.cache_hits);
+      out.U64(stats.cache_misses);
       break;
     }
     case MsgType::kSaveSnapshot: {
@@ -381,7 +383,13 @@ Result<std::vector<uint8_t>> ProvenanceServer::Dispatch(
       break;
     }
     case MsgType::kLoadSnapshot: {
-      // Caller holds service_mu_ exclusively (see HandleFrame).
+      // Caller holds service_mu_ exclusively (see HandleFrame). The swap
+      // replaces the whole service — sharded registry, caches (fresh
+      // generations) and ServiceStats counters included. Counters RESET on
+      // load by contract: they describe the served lifetime of a registry,
+      // not the process (asserted by net_server_test, documented in
+      // docs/NETWORK.md). Runtime knobs (threads, shards, cache size) are
+      // not part of the snapshot and carry over from the old service.
       SKL_ASSIGN_OR_RETURN(std::string path, reader.Str());
       SKL_RETURN_NOT_OK(reader.ExpectEnd());
       SKL_ASSIGN_OR_RETURN(

@@ -534,6 +534,13 @@ TEST(NetServerTest, ServiceStatsRpcCountsServedQueries) {
   EXPECT_EQ(after->num_runs, 3u);
   EXPECT_EQ(after->runs_ingested, 3u);
   EXPECT_EQ(after->runs_imported, 1u);
+  // The result-cache counters travel the wire too (protocol v2): the five
+  // answered pairs above were all cache lookups on the default-enabled
+  // cache, and the repeated (0, 1) query must have produced a hit.
+  EXPECT_EQ((after->cache_hits + after->cache_misses) -
+                (before->cache_hits + before->cache_misses),
+            2u + 3u);
+  EXPECT_GT(after->cache_hits, before->cache_hits);
   server->Shutdown();
 }
 
@@ -559,6 +566,24 @@ TEST(NetServerTest, SnapshotSaveAndLoadOverTheWire) {
   for (size_t i = 0; i < ids_before->size(); ++i) {
     EXPECT_EQ((*ids_after)[i].value(), (*ids_before)[i].value());
   }
+  // The pinned-down ServiceStats contract (docs/NETWORK.md): the swap
+  // installs a fresh registry AND fresh counters — cumulative counters
+  // describe the served lifetime of one registry, so they reset to zero on
+  // load; only the point-in-time num_runs reflects the restored registry.
+  auto reset = client.GetServiceStats();
+  ASSERT_TRUE(reset.ok());
+  EXPECT_EQ(reset->num_runs, ids_before->size());
+  EXPECT_EQ(reset->reaches_queries, 0u);
+  EXPECT_EQ(reset->runs_ingested, 0u);
+  EXPECT_EQ(reset->runs_removed, 0u);
+  EXPECT_EQ(reset->snapshot_saves, 0u);
+  EXPECT_EQ(reset->cache_hits, 0u);
+  EXPECT_EQ(reset->cache_misses, 0u);
+  // Post-swap traffic counts from zero on the restored registry.
+  ASSERT_TRUE(client.Reaches((*ids_after)[0], 0, 1).ok());
+  auto counted = client.GetServiceStats();
+  ASSERT_TRUE(counted.ok());
+  EXPECT_EQ(counted->reaches_queries, 1u);
   // Loading a nonexistent path is a remote error, not a dead server.
   auto missing = client.LoadSnapshot("/nonexistent/missing.skls");
   EXPECT_FALSE(missing.ok());

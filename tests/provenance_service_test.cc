@@ -6,10 +6,12 @@
 #include <gtest/gtest.h>
 
 #include <atomic>
+#include <filesystem>
 #include <thread>
 #include <utility>
 #include <vector>
 
+#include "src/common/temp_path.h"
 #include "src/core/provenance_service.h"
 #include "src/core/skeleton_labeler.h"
 #include "src/workload/data_generator.h"
@@ -513,6 +515,99 @@ TEST(ProvenanceServiceTest, AddRunsParallelCatalogMismatchAndEmptyBatch) {
   EXPECT_EQ(service->num_runs(), 0u);
 
   EXPECT_TRUE(service->AddRunsParallel({}).empty());
+}
+
+TEST(ProvenanceServiceTest, ServiceStatsResetAcrossLoadSnapshot) {
+  // The pinned-down semantics (docs/NETWORK.md): ServiceStats counters
+  // describe the served lifetime of one registry and are NOT part of a
+  // snapshot — a LoadSnapshot-restored service starts every cumulative
+  // counter at zero, while the point-in-time num_runs reflects the
+  // restored registry.
+  Specification spec = MakeSpec();
+  ::skl::Run run = MakeGeneratedRun(spec, 60, 3);
+  auto service =
+      ProvenanceService::Create(std::move(spec), SpecSchemeKind::kTcm);
+  ASSERT_TRUE(service.ok());
+  auto id = service->AddRun(run);
+  ASSERT_TRUE(id.ok());
+  ASSERT_TRUE(service->Reaches(*id, 0, 1).ok());
+  ASSERT_TRUE(service->Reaches(*id, 0, 1).ok());
+
+  const std::string path =
+      PidQualifiedTempPath("skl_service_stats_reset", ".skls");
+  ASSERT_TRUE(service->SaveSnapshot(path).ok());
+
+  const ServiceStats before = service->service_stats();
+  EXPECT_EQ(before.runs_ingested, 1u);
+  EXPECT_EQ(before.reaches_queries, 2u);
+  EXPECT_EQ(before.snapshot_saves, 1u);
+  EXPECT_EQ(before.cache_hits + before.cache_misses, 2u);
+
+  auto restored = ProvenanceService::LoadSnapshot(path);
+  ASSERT_TRUE(restored.ok()) << restored.status().ToString();
+  const ServiceStats after = restored->service_stats();
+  EXPECT_EQ(after.num_runs, 1u) << "the registry itself is restored";
+  EXPECT_EQ(after.reaches_queries, 0u);
+  EXPECT_EQ(after.depends_on_queries, 0u);
+  EXPECT_EQ(after.module_data_queries, 0u);
+  EXPECT_EQ(after.data_module_queries, 0u);
+  EXPECT_EQ(after.batch_calls, 0u);
+  EXPECT_EQ(after.runs_ingested, 0u);
+  EXPECT_EQ(after.runs_imported, 0u);
+  EXPECT_EQ(after.runs_removed, 0u);
+  EXPECT_EQ(after.bulk_batches, 0u);
+  EXPECT_EQ(after.snapshot_saves, 0u);
+  EXPECT_EQ(after.cache_hits, 0u);
+  EXPECT_EQ(after.cache_misses, 0u);
+
+  // The restored service counts its own lifetime from here.
+  ASSERT_TRUE(restored->Reaches(*id, 0, 1).ok());
+  EXPECT_EQ(restored->service_stats().reaches_queries, 1u);
+
+  std::error_code ec;
+  std::filesystem::remove(path, ec);
+}
+
+TEST(ProvenanceServiceTest, ShardedRegistryAndCacheAnswerIdentically) {
+  // Smoke for the Options knobs themselves: extreme shard counts (clamped)
+  // and cache on/off answer identically, and repeated queries on a cached
+  // service actually hit.
+  Specification spec = MakeSpec();
+  ::skl::Run run = MakeGeneratedRun(spec, 80, 5);
+  std::vector<std::vector<bool>> reference = ReferenceMatrix(spec, run);
+
+  for (size_t shards : {size_t{0}, size_t{1}, size_t{3}, size_t{64},
+                        size_t{100000}}) {
+    SCOPED_TRACE("shards=" + std::to_string(shards));
+    auto service = ProvenanceService::Create(
+        Specification(spec), SpecSchemeKind::kTcm,
+        {.num_shards = shards, .cache_slots = 64});
+    ASSERT_TRUE(service.ok());
+    auto id = service->AddRun(run);
+    ASSERT_TRUE(id.ok());
+    for (VertexId u = 0; u < run.num_vertices(); u += 3) {
+      for (VertexId v = 0; v < run.num_vertices(); v += 5) {
+        ASSERT_EQ(*service->Reaches(*id, u, v), reference[u][v]);
+        ASSERT_EQ(*service->Reaches(*id, u, v), reference[u][v]);  // cached
+      }
+    }
+    const ServiceStats stats = service->service_stats();
+    EXPECT_GT(stats.cache_hits, 0u) << "repeat queries must hit";
+  }
+
+  // cache_slots = 0 disables caching entirely: same answers, zero lookups.
+  auto uncached = ProvenanceService::Create(
+      Specification(spec), SpecSchemeKind::kTcm, {.cache_slots = 0});
+  ASSERT_TRUE(uncached.ok());
+  auto id = uncached->AddRun(run);
+  ASSERT_TRUE(id.ok());
+  for (VertexId u = 0; u < run.num_vertices(); u += 3) {
+    ASSERT_EQ(*uncached->Reaches(*id, u, 0), reference[u][0]);
+    ASSERT_EQ(*uncached->Reaches(*id, u, 0), reference[u][0]);
+  }
+  const ServiceStats stats = uncached->service_stats();
+  EXPECT_EQ(stats.cache_hits, 0u);
+  EXPECT_EQ(stats.cache_misses, 0u);
 }
 
 TEST(ProvenanceServiceTest, ConcurrentBulkIngestWhileQuerying) {
