@@ -1,0 +1,205 @@
+// bench_replication: the replication subsystem (src/replication/,
+// docs/REPLICATION.md) over loopback. Three figures:
+//
+//   lag        per-write replication lag: time from the primary acking a
+//              mutation (append-before-ack, so the LSN is durable) to a
+//              tailing replica having applied that LSN (p50/p99)
+//   catch-up   a fresh replica started against a primary that already
+//              holds the whole workload: wall time from Start() to
+//              caught-up, rated over the op-log's on-disk bytes (MB/s)
+//   read qps   Reaches throughput against 1/2/4 endpoints (the primary
+//              plus N-1 replicas, one client thread per endpoint) — the
+//              horizontal read-scaling figure replicas exist for
+//
+// Environment knobs (CI uses tiny values):
+//   SKL_BENCH_REPL_WRITES     lag samples (default 200)
+//   SKL_BENCH_REPL_RUNS       catch-up workload size in runs (default 48)
+//   SKL_BENCH_REPL_SIZE      run size in vertices (default 500)
+//   SKL_BENCH_REPL_QUERIES    total queries per endpoint point (default 20000)
+//   SKL_BENCH_REPL_ENDPOINTS  largest endpoint count (default 4)
+//   SKL_BENCH_REPL_FSYNC=1    fsync each op-log append (default off: the
+//                             bench measures shipping, not disk flushes)
+//   SKL_BENCH_JSON            machine-readable results (bench_common.h)
+#include <algorithm>
+#include <cstdio>
+#include <cstdlib>
+#include <filesystem>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "bench/bench_common.h"
+#include "src/common/temp_path.h"
+#include "src/skl.h"
+
+using namespace skl;         // NOLINT: bench brevity
+using namespace skl::bench;  // NOLINT
+
+namespace {
+
+size_t EnvOr(const char* name, size_t fallback) {
+  if (const char* env = std::getenv(name)) {
+    return static_cast<size_t>(std::strtoull(env, nullptr, 10));
+  }
+  return fallback;
+}
+
+double Quantile(std::vector<double>& sorted_us, double q) {
+  if (sorted_us.empty()) return 0;
+  const size_t idx = static_cast<size_t>(
+      q * static_cast<double>(sorted_us.size() - 1) + 0.5);
+  return sorted_us[std::min(idx, sorted_us.size() - 1)];
+}
+
+}  // namespace
+
+int main() {
+  const size_t lag_writes = EnvOr("SKL_BENCH_REPL_WRITES", 200);
+  const size_t catchup_runs = EnvOr("SKL_BENCH_REPL_RUNS", 48);
+  const uint32_t run_size =
+      static_cast<uint32_t>(EnvOr("SKL_BENCH_REPL_SIZE", 500));
+  const size_t total_queries = EnvOr("SKL_BENCH_REPL_QUERIES", 20000);
+  const unsigned max_endpoints =
+      static_cast<unsigned>(EnvOr("SKL_BENCH_REPL_ENDPOINTS", 4));
+
+  Specification spec = QblastSpec();
+  const std::string spec_xml = WriteSpecificationXml(spec);
+  GeneratedRun gen = MakeRun(spec, run_size, 7);
+
+  const std::string oplog_path =
+      PidQualifiedTempPath("bench_replication", ".skllog");
+  std::filesystem::remove(oplog_path);
+  OpLog::Options log_options;
+  log_options.fsync = EnvOr("SKL_BENCH_REPL_FSYNC", 0) != 0;
+  auto oplog = OpLog::Open(oplog_path, spec_xml,
+                           SpecSchemeKindName(SpecSchemeKind::kTcm),
+                           log_options);
+  SKL_CHECK_MSG(oplog.ok(), oplog.status().ToString().c_str());
+
+  auto service =
+      ProvenanceService::Create(std::move(spec), SpecSchemeKind::kTcm);
+  SKL_CHECK_MSG(service.ok(), service.status().ToString().c_str());
+  ProvenanceServer::Options server_options;
+  server_options.oplog = oplog->get();
+  auto server =
+      ProvenanceServer::Start(std::move(service).value(), server_options);
+  SKL_CHECK_MSG(server.ok(), server.status().ToString().c_str());
+  const uint16_t port = (*server)->port();
+
+  ReadReplica::Options replica_options;
+  replica_options.poll_interval_ms = 1;
+  auto tail_replica = ReadReplica::Start("127.0.0.1", port, replica_options);
+  SKL_CHECK_MSG(tail_replica.ok(), tail_replica.status().ToString().c_str());
+
+  auto writer = ProvenanceClient::Connect("127.0.0.1", port);
+  SKL_CHECK_MSG(writer.ok(), writer.status().ToString().c_str());
+
+  JsonReporter json("bench_replication");
+  PrintHeader("replication: op-log shipping over loopback, runs of " +
+              std::to_string(gen.run.num_vertices()) + " vertices");
+
+  // --- lag: ack-to-replica-visible per write -----------------------------
+  std::vector<double> lag_us;
+  lag_us.reserve(lag_writes);
+  std::vector<RunId> written;
+  for (size_t i = 0; i < lag_writes; ++i) {
+    Stopwatch sw;
+    auto id = writer->AddRun(gen.run);
+    SKL_CHECK_MSG(id.ok(), id.status().ToString().c_str());
+    const uint64_t lsn = writer->last_write_lsn();
+    Status caught = (*tail_replica)->WaitForLsn(lsn, /*timeout_ms=*/10000);
+    SKL_CHECK_MSG(caught.ok(), caught.ToString().c_str());
+    lag_us.push_back(sw.ElapsedSeconds() * 1e6);
+    written.push_back(*id);
+  }
+  std::sort(lag_us.begin(), lag_us.end());
+  const double lag_p50 = Quantile(lag_us, 0.50);
+  const double lag_p99 = Quantile(lag_us, 0.99);
+  std::printf("lag over %zu writes:       p50 %.0f us, p99 %.0f us "
+              "(ack to replica-visible, incl. the write itself)\n",
+              lag_writes, lag_p50, lag_p99);
+  json.Add("repl_lag_p50", lag_p50, "us");
+  json.Add("repl_lag_p99", lag_p99, "us");
+
+  // Keep the registry small for the read phase; the catch-up workload below
+  // re-fills it to a known size.
+  for (size_t i = 1; i < written.size(); ++i) {
+    SKL_CHECK_MSG(writer->RemoveRun(written[i]).ok(), "remove failed");
+  }
+  const RunId query_id = written[0];
+
+  // --- catch-up: fresh replica against the full workload -----------------
+  for (size_t i = 0; i < catchup_runs; ++i) {
+    auto id = writer->AddRun(gen.run);
+    SKL_CHECK_MSG(id.ok(), id.status().ToString().c_str());
+  }
+  const uint64_t head = writer->last_write_lsn();
+  std::error_code ec;
+  const auto log_bytes = std::filesystem::file_size(oplog_path, ec);
+  Stopwatch catchup;
+  auto fresh = ReadReplica::Start("127.0.0.1", port, replica_options);
+  SKL_CHECK_MSG(fresh.ok(), fresh.status().ToString().c_str());
+  Status caught = (*fresh)->WaitForLsn(head, /*timeout_ms=*/60000);
+  SKL_CHECK_MSG(caught.ok(), caught.ToString().c_str());
+  const double catchup_secs = catchup.ElapsedSeconds();
+  const double mb = ec ? 0 : static_cast<double>(log_bytes) / 1e6;
+  const double mb_per_sec = catchup_secs > 0 ? mb / catchup_secs : 0;
+  std::printf("catch-up over %zu runs:     %.2f MB logged, %.1f ms, "
+              "%.1f MB/s\n",
+              catchup_runs, mb, catchup_secs * 1e3, mb_per_sec);
+  json.Add("repl_catch_up", mb_per_sec, "MB/s");
+  (*fresh)->Stop();
+
+  // --- read qps at 1/2/4 endpoints ---------------------------------------
+  // Endpoint 0 is the primary; endpoints 1..E-1 are replicas, started once
+  // and reused across points.
+  std::vector<std::unique_ptr<ReadReplica>> replicas;
+  replicas.push_back(std::move(*tail_replica));
+  while (replicas.size() + 1 < max_endpoints) {
+    auto extra = ReadReplica::Start("127.0.0.1", port, replica_options);
+    SKL_CHECK_MSG(extra.ok(), extra.status().ToString().c_str());
+    replicas.push_back(std::move(extra).value());
+  }
+  for (auto& replica : replicas) {
+    SKL_CHECK_MSG(replica->WaitForLsn(head, 60000).ok(), "catch-up");
+  }
+  const VertexId n = gen.run.num_vertices();
+  std::printf("%10s %10s %12s\n", "endpoints", "queries", "queries/s");
+  for (unsigned endpoints = 1; endpoints <= max_endpoints; endpoints *= 2) {
+    std::vector<ProvenanceClient> clients;
+    for (unsigned e = 0; e < endpoints; ++e) {
+      const uint16_t target = e == 0 ? port : replicas[e - 1]->port();
+      auto client = ProvenanceClient::Connect("127.0.0.1", target);
+      SKL_CHECK_MSG(client.ok(), client.status().ToString().c_str());
+      clients.push_back(std::move(client).value());
+    }
+    const size_t per_endpoint = total_queries / endpoints;
+    std::vector<std::thread> threads;
+    Stopwatch wall;
+    for (unsigned e = 0; e < endpoints; ++e) {
+      threads.emplace_back([&, e] {
+        Rng rng(9000 + e);
+        for (size_t i = 0; i < per_endpoint; ++i) {
+          auto answer =
+              clients[e].Reaches(query_id,
+                                 static_cast<VertexId>(rng.NextBelow(n)),
+                                 static_cast<VertexId>(rng.NextBelow(n)));
+          SKL_CHECK_MSG(answer.ok(), answer.status().ToString().c_str());
+        }
+      });
+    }
+    for (std::thread& t : threads) t.join();
+    const double secs = wall.ElapsedSeconds();
+    const double qps =
+        secs > 0 ? static_cast<double>(per_endpoint * endpoints) / secs : 0;
+    std::printf("%10u %10zu %12.0f\n", endpoints, per_endpoint * endpoints,
+                qps);
+    json.Add("repl_read_qps_" + std::to_string(endpoints) + "_endpoints",
+             qps, "queries/s");
+  }
+
+  for (auto& replica : replicas) replica->Stop();
+  (*server)->Shutdown();
+  std::filesystem::remove(oplog_path);
+  return 0;
+}

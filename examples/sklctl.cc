@@ -27,6 +27,21 @@
 //   sklctl shutdown  --connect=H:P                    graceful server drain
 //   sklctl save      --connect=H:P out.skls           server-side snapshot
 //
+// Replication (docs/REPLICATION.md):
+//
+//   sklctl serve --oplog=ops.log spec.xml [runs/]
+//       serve with a durable op-log attached: every mutation is logged
+//       before it is acked, and if ops.log already exists the service is
+//       first rebuilt from it (crash recovery) — the spec.xml argument is
+//       then checked against the log's recorded specification
+//   sklctl replicate --connect=H:P [--listen=H:P]
+//       start a read replica of the primary at --connect: bootstraps from
+//       a snapshot, serves reads (ships with LSN read-your-writes tokens),
+//       tails the primary's op stream until shut down
+//
+// The remote stats subcommand prints the server's replication LSN and lag
+// (how far a replica trails the primary it tails; 0 on a primary).
+//
 // label/stats/ingest-dir/save/serve accept
 // --scheme=tcm|bfs|dfs|interval|tree-cover|chain|2hop to pick the skeleton
 // labeling scheme (default tcm); ingest-dir, save, load and serve accept
@@ -42,6 +57,8 @@
 #include <filesystem>
 #include <fstream>
 #include <iostream>
+#include <memory>
+#include <optional>
 #include <sstream>
 #include <string>
 #include <vector>
@@ -94,7 +111,10 @@ int Usage() {
       "       sklctl load [--threads=<n>] [--shards=<n>] <snapshot>\n"
       "       sklctl serve [--scheme=<name>] [--threads=<n>] "
       "[--shards=<n>]\n"
-      "                    [--port=<p>] <spec.xml> [run-dir]\n"
+      "                    [--port=<p>] [--oplog=<path>] <spec.xml> "
+      "[run-dir]\n"
+      "       sklctl replicate --connect=<host:port> "
+      "[--listen=<host:port>]\n"
       "       sklctl reaches --connect=<host:port> <run-id> <from> <to>\n"
       "       sklctl stats --connect=<host:port> [run-id]\n"
       "       sklctl add-run --connect=<host:port> <run.xml>\n"
@@ -318,13 +338,47 @@ int Load(const char* path, ProvenanceService::Options options) {
 /// every run XML in a directory, all-or-nothing), then serve it over TCP
 /// until a remote shutdown frame drains it. The bound address is printed
 /// first — the CI smoke job parses "serving on <addr>:<port>" to discover
-/// an ephemeral port.
+/// an ephemeral port. With --oplog, every mutation is durably logged
+/// before it is acked; an existing log is replayed first (crash recovery),
+/// and its recorded scheme wins over --scheme.
 int Serve(Specification spec, SpecSchemeKind scheme_kind,
           ProvenanceService::Options options, uint16_t port,
-          const char* dir) {
-  auto service =
-      ProvenanceService::Create(std::move(spec), scheme_kind, options);
-  if (!service.ok()) return Fail(service.status());
+          const std::string& oplog_path, const char* dir) {
+  std::unique_ptr<OpLog> oplog;
+  std::optional<ProvenanceService> service;
+  if (!oplog_path.empty() && std::filesystem::exists(oplog_path)) {
+    auto recovered = RecoverPrimary(oplog_path, options);
+    if (!recovered.ok()) return Fail(recovered.status());
+    // The log's recorded specification is authoritative; a mismatched
+    // spec.xml is a typo'd invocation, not a request to relabel.
+    if (WriteSpecificationXml(recovered->service.spec()) !=
+        WriteSpecificationXml(spec)) {
+      std::fprintf(stderr,
+                   "error: %s was recorded against a different "
+                   "specification than the given spec.xml\n",
+                   oplog_path.c_str());
+      return 1;
+    }
+    service = std::move(recovered->service);
+    oplog = std::move(recovered->oplog);
+    std::printf("recovered %zu runs from %s (lsn %llu)\n",
+                service->num_runs(), oplog_path.c_str(),
+                static_cast<unsigned long long>(oplog->last_lsn()));
+  } else {
+    auto created =
+        ProvenanceService::Create(std::move(spec), scheme_kind, options);
+    if (!created.ok()) return Fail(created.status());
+    service = std::move(created).value();
+    if (!oplog_path.empty()) {
+      auto opened =
+          OpLog::Open(oplog_path, WriteSpecificationXml(service->spec()),
+                      SpecSchemeKindName(scheme_kind));
+      if (!opened.ok()) return Fail(opened.status());
+      oplog = std::move(opened).value();
+      // Attach before pre-ingestion so directory runs are logged too.
+      service->AttachOpLog(oplog.get());
+    }
+  }
 
   if (dir != nullptr) {
     auto paths = ScanRunDir(dir);
@@ -352,22 +406,82 @@ int Serve(Specification spec, SpecSchemeKind scheme_kind,
 
   ProvenanceServer::Options server_options;
   server_options.port = port;
+  server_options.oplog = oplog.get();
   // --threads sizes the connection-handler pool too; 0 keeps the server's
   // own default (8), which is a better serving concurrency than one-per-
   // core on small machines.
   if (options.num_threads != 0) {
     server_options.num_threads = options.num_threads;
   }
-  auto server =
-      ProvenanceServer::Start(std::move(service).value(), server_options);
+  auto server = ProvenanceServer::Start(std::move(*service), server_options);
   if (!server.ok()) return Fail(server.status());
   std::printf("serving on %s:%u (scheme %s, %zu runs)\n",
               (*server)->options().bind_address.c_str(), (*server)->port(),
-              SpecSchemeKindName(scheme_kind),
+              std::string((*server)->service().scheme().name()).c_str(),
               (*server)->service().num_runs());
   std::fflush(stdout);  // the port line must reach a redirected pipe now
   (*server)->Wait();
   std::printf("server drained, exiting\n");
+  return 0;
+}
+
+/// `sklctl replicate`: a read replica of the primary at `connect`,
+/// listening on `listen` ("host:port"; port 0 picks an ephemeral one).
+/// Prints its bound address in the same greppable shape as serve, then
+/// serves until a remote shutdown frame drains it.
+int Replicate(const std::string& connect, const std::string& listen,
+              ProvenanceService::Options service_options) {
+  const size_t colon = connect.rfind(':');
+  if (colon == std::string::npos || colon == 0 ||
+      colon + 1 == connect.size()) {
+    std::fprintf(stderr, "error: --connect expects <host:port>, got '%s'\n",
+                 connect.c_str());
+    return Usage();
+  }
+  const std::string primary_host = connect.substr(0, colon);
+  char* end = nullptr;
+  const unsigned long primary_port =
+      std::strtoul(connect.c_str() + colon + 1, &end, 10);
+  if (*end != '\0' || primary_port == 0 || primary_port > 65535) {
+    std::fprintf(stderr, "error: --connect expects <host:port>, got '%s'\n",
+                 connect.c_str());
+    return Usage();
+  }
+
+  ReadReplica::Options options;
+  options.service = service_options;
+  if (!listen.empty()) {
+    const size_t sep = listen.rfind(':');
+    if (sep == std::string::npos || sep == 0 || sep + 1 == listen.size()) {
+      std::fprintf(stderr, "error: --listen expects <host:port>, got '%s'\n",
+                   listen.c_str());
+      return Usage();
+    }
+    options.listen_address = listen.substr(0, sep);
+    end = nullptr;
+    const unsigned long port = std::strtoul(listen.c_str() + sep + 1, &end, 10);
+    if (*end != '\0' || port > 65535) {
+      std::fprintf(stderr, "error: --listen expects <host:port>, got '%s'\n",
+                   listen.c_str());
+      return Usage();
+    }
+    options.port = static_cast<uint16_t>(port);
+  }
+  if (service_options.num_threads != 0) {
+    options.num_threads = service_options.num_threads;
+  }
+
+  auto replica = ReadReplica::Start(
+      primary_host, static_cast<uint16_t>(primary_port), options);
+  if (!replica.ok()) return Fail(replica.status());
+  std::printf("replica serving on %s:%u (primary %s, lsn %llu)\n",
+              options.listen_address.c_str(), (*replica)->port(),
+              connect.c_str(),
+              static_cast<unsigned long long>((*replica)->applied_lsn()));
+  std::fflush(stdout);  // CI parses the port line from a redirected pipe
+  (*replica)->server().Wait();
+  (*replica)->Stop();
+  std::printf("replica drained, exiting\n");
   return 0;
 }
 
@@ -412,6 +526,9 @@ int RemoteStats(ProvenanceClient& client, const std::vector<const char*>& args) 
   } else {
     std::printf("cache hit rate:       n/a (no cached lookups)\n");
   }
+  std::printf("replication lsn:      %llu\n", u(stats->replication_lsn));
+  std::printf("replication lag:      %llu\n",
+              u(stats->replication_target_lsn - stats->replication_lsn));
   return 0;
 }
 
@@ -428,6 +545,8 @@ int main(int argc, char** argv) {
   bool fail_fast = false;
   uint16_t port = 0;
   std::string connect;
+  std::string oplog_path;
+  std::string listen;
   std::vector<const char*> args;
   for (int i = 1; i < argc; ++i) {
     if (std::strncmp(argv[i], "--scheme=", 9) == 0) {
@@ -492,6 +611,18 @@ int main(int argc, char** argv) {
         std::fprintf(stderr, "error: --connect expects <host:port>\n");
         return Usage();
       }
+    } else if (std::strncmp(argv[i], "--oplog=", 8) == 0) {
+      oplog_path = argv[i] + 8;
+      if (oplog_path.empty()) {
+        std::fprintf(stderr, "error: --oplog expects a file path\n");
+        return Usage();
+      }
+    } else if (std::strncmp(argv[i], "--listen=", 9) == 0) {
+      listen = argv[i] + 9;
+      if (listen.empty()) {
+        std::fprintf(stderr, "error: --listen expects <host:port>\n");
+        return Usage();
+      }
     } else if (std::strncmp(argv[i], "--", 2) == 0) {
       std::fprintf(stderr, "error: unknown option '%s'\n", argv[i]);
       return Usage();
@@ -511,11 +642,20 @@ int main(int argc, char** argv) {
   // --connect routes a command to a remote server; only these speak it.
   const bool remote_capable = cmd == "reaches" || cmd == "stats" ||
                               cmd == "add-run" || cmd == "list-runs" ||
-                              cmd == "shutdown" || cmd == "save";
+                              cmd == "shutdown" || cmd == "save" ||
+                              cmd == "replicate";
   if (!connect.empty() && !remote_capable) {
     std::fprintf(stderr,
                  "error: --connect is only accepted by reaches, stats, "
-                 "add-run, list-runs, shutdown and save\n");
+                 "add-run, list-runs, shutdown, save and replicate\n");
+    return Usage();
+  }
+  if (!oplog_path.empty() && cmd != "serve") {
+    std::fprintf(stderr, "error: --oplog is only accepted by serve\n");
+    return Usage();
+  }
+  if (!listen.empty() && cmd != "replicate") {
+    std::fprintf(stderr, "error: --listen is only accepted by replicate\n");
     return Usage();
   }
 
@@ -530,7 +670,24 @@ int main(int argc, char** argv) {
     auto spec = LoadSpec(args[0]);
     if (!spec.ok()) return Fail(spec.status());
     return Serve(std::move(spec).value(), scheme_kind, service_options, port,
-                 args.size() > 1 ? args[1] : nullptr);
+                 oplog_path, args.size() > 1 ? args[1] : nullptr);
+  }
+
+  if (cmd == "replicate") {
+    if (!args.empty()) return Usage();
+    if (connect.empty()) {
+      std::fprintf(stderr,
+                   "error: replicate requires --connect=<host:port>\n");
+      return Usage();
+    }
+    if (scheme_given || fail_fast) {
+      std::fprintf(stderr,
+                   "error: a replica mirrors the primary's scheme and "
+                   "performs no ingestion; --scheme/--fail-fast are not "
+                   "accepted\n");
+      return Usage();
+    }
+    return Replicate(connect, listen, service_options);
   }
 
   if (cmd == "reaches" || cmd == "add-run" || cmd == "list-runs" ||

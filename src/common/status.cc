@@ -24,6 +24,8 @@ const char* StatusCodeName(StatusCode code) {
       return "Cancelled";
     case StatusCode::kUnavailable:
       return "Unavailable";
+    case StatusCode::kRetryAt:
+      return "RetryAt";
   }
   return "Unknown";
 }
@@ -57,6 +59,9 @@ Status Status::Cancelled(std::string msg) {
 }
 Status Status::Unavailable(std::string msg) {
   return Status(StatusCode::kUnavailable, std::move(msg));
+}
+Status Status::RetryAt(std::string msg) {
+  return Status(StatusCode::kRetryAt, std::move(msg));
 }
 
 std::string Status::ToString() const {

@@ -23,6 +23,7 @@ enum class StatusCode : uint8_t {
   kInternal = 7,          ///< Invariant broken inside the library.
   kCancelled = 8,         ///< Work abandoned (e.g. fail-fast bulk ingestion).
   kUnavailable = 9,       ///< Peer unreachable (connect/read/write failed).
+  kRetryAt = 10,          ///< Replica not yet caught up to the requested LSN.
 };
 
 /// Human-readable name of a status code (e.g. "InvalidSpecification").
@@ -47,6 +48,7 @@ class Status {
   static Status Internal(std::string msg);
   static Status Cancelled(std::string msg);
   static Status Unavailable(std::string msg);
+  static Status RetryAt(std::string msg);
 
   bool ok() const { return code_ == StatusCode::kOk; }
   StatusCode code() const { return code_; }

@@ -7,6 +7,7 @@
 #include <string>
 
 #include "src/core/plan_builder.h"
+#include "src/replication/oplog.h"
 
 namespace skl {
 
@@ -196,9 +197,31 @@ RunRecord ProvenanceService::CaptureRecord(
   return record;
 }
 
-RunId ProvenanceService::Publish(RunRecord record, bool invalidate) {
+Result<RunId> ProvenanceService::Publish(RunRecord record, bool invalidate) {
+  LogOp op;
+  if (oplog_ != nullptr) {
+    // Serialize before the registry takes ownership of the record; the op
+    // carries the exact stats and blob a replica restores bit-identically.
+    op.kind = record.stats.imported ? LogOp::Kind::kImportRun
+                                    : LogOp::Kind::kAddRun;
+    op.stats = record.stats;
+    op.blob = record.store.Serialize();
+  }
   RunId id(registry_->Publish(std::move(record), invalidate));
   counters_->runs_ingested.fetch_add(1, std::memory_order_relaxed);
+  if (oplog_ != nullptr) {
+    op.run_id = id.value();
+    Result<uint64_t> appended = oplog_->Append(std::move(op));
+    if (!appended.ok()) {
+      // Published locally but not logged: acking success would break the
+      // append-before-ack contract, so surface the divergence instead.
+      return Status::Internal(
+          "run " + std::to_string(id.value()) +
+          " was registered but its op-log append failed (" +
+          appended.status().message() +
+          "); the service is ahead of its replication log");
+    }
+  }
   return id;
 }
 
@@ -295,12 +318,48 @@ std::vector<Result<RunId>> ProvenanceService::BulkIngest(
     publish_index[i] = to_publish.size();
     to_publish.push_back(std::move(r).value());
   }
+  // Serialize the op-log payloads before PublishBatch consumes the records
+  // (same before-the-move discipline as the single-run Publish path).
+  struct PendingOp {
+    RunStats stats;
+    std::vector<uint8_t> blob;
+  };
+  std::vector<PendingOp> pending;
+  if (oplog_ != nullptr) {
+    pending.reserve(to_publish.size());
+    for (const RunRecord& r : to_publish) {
+      pending.push_back({r.stats, r.store.Serialize()});
+    }
+  }
   const std::vector<uint64_t> ids =
       registry_->PublishBatch(std::move(to_publish));
   counters_->runs_ingested.fetch_add(ids.size(), std::memory_order_relaxed);
+  // Append in ascending id order — the block is contiguous, so log order
+  // matches id order and a replica replays the batch exactly as published.
+  std::vector<Status> append_status(ids.size());
+  if (oplog_ != nullptr) {
+    for (size_t j = 0; j < ids.size(); ++j) {
+      LogOp op;
+      op.kind = pending[j].stats.imported ? LogOp::Kind::kImportRun
+                                          : LogOp::Kind::kAddRun;
+      op.run_id = ids[j];
+      op.stats = pending[j].stats;
+      op.blob = std::move(pending[j].blob);
+      Result<uint64_t> appended = oplog_->Append(std::move(op));
+      if (!appended.ok()) {
+        append_status[j] = Status::Internal(
+            "run " + std::to_string(ids[j]) +
+            " was registered but its op-log append failed (" +
+            appended.status().message() +
+            "); the service is ahead of its replication log");
+      }
+    }
+  }
   for (size_t i = 0; i < count; ++i) {
     if (publish_index[i] == count) {
       results.emplace_back((*records[i]).status());
+    } else if (!append_status[publish_index[i]].ok()) {
+      results.emplace_back(append_status[publish_index[i]]);
     } else {
       results.emplace_back(RunId(ids[publish_index[i]]));
     }
@@ -348,6 +407,19 @@ Status ProvenanceService::RemoveRun(RunId id) {
     return Status::NotFound("unknown run id");
   }
   counters_->runs_removed.fetch_add(1, std::memory_order_relaxed);
+  if (oplog_ != nullptr) {
+    LogOp op;
+    op.kind = LogOp::Kind::kRemoveRun;
+    op.run_id = id.value();
+    Result<uint64_t> appended = oplog_->Append(std::move(op));
+    if (!appended.ok()) {
+      return Status::Internal(
+          "run " + std::to_string(id.value()) +
+          " was removed but its op-log append failed (" +
+          appended.status().message() +
+          "); the service is ahead of its replication log");
+    }
+  }
   return Status::OK();
 }
 
@@ -551,7 +623,55 @@ ServiceStats ProvenanceService::service_stats() const {
   stats.snapshot_saves = get(counters_->snapshot_saves);
   stats.cache_hits = get(counters_->cache_hits);
   stats.cache_misses = get(counters_->cache_misses);
+  // Locally both fields report the attached log's head; the net server
+  // substitutes a replica's applied/target pair before encoding.
+  stats.replication_lsn = replication_lsn();
+  stats.replication_target_lsn = stats.replication_lsn;
   return stats;
+}
+
+void ProvenanceService::AttachOpLog(OpLog* oplog) { oplog_ = oplog; }
+
+uint64_t ProvenanceService::replication_lsn() const {
+  return oplog_ != nullptr ? oplog_->last_lsn() : 0;
+}
+
+Status ProvenanceService::RestoreRun(uint64_t id, const RunStats& stats,
+                                     std::span<const uint8_t> blob) {
+  if (id == 0) {
+    return Status::InvalidArgument("run id 0 is not a valid id");
+  }
+  if (registry_->Contains(id)) {
+    // Already applied — the snapshot/stream overlap of a replica bootstrap,
+    // or a retried batch. Idempotence makes both safe.
+    return Status::OK();
+  }
+  SKL_ASSIGN_OR_RETURN(ProvenanceStore store,
+                       ProvenanceStore::Deserialize(blob));
+  if (store.num_vertices() != stats.num_vertices ||
+      store.num_items() != stats.num_items) {
+    return Status::InvalidArgument(
+        "replicated run " + std::to_string(id) +
+        ": stats disagree with the stored labels/catalog");
+  }
+  // Same guard as ImportRun: every origin must name a spec vertex, or
+  // queries would index the scheme out of range.
+  const VertexId n_g = spec_->graph().num_vertices();
+  for (VertexId v = 0; v < store.num_vertices(); ++v) {
+    if (store.label(v).origin >= n_g) {
+      return Status::InvalidArgument(
+          "replicated run " + std::to_string(id) +
+          " references spec vertex " + std::to_string(store.label(v).origin) +
+          " unknown to this service's specification");
+    }
+  }
+  RunRecord record;
+  record.stats = stats;
+  record.store = std::move(store);
+  // A false return means another apply raced this id in; idempotence again.
+  (void)registry_->Restore(id, std::move(record));
+  registry_->EnsureNextIdAtLeast(id + 1);
+  return Status::OK();
 }
 
 std::vector<RunId> ProvenanceService::ListRuns() const {

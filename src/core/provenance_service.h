@@ -76,6 +76,10 @@
 
 namespace skl {
 
+class OpLog;           // src/replication/oplog.h
+class SnapshotWriter;  // src/io/snapshot.h
+class SnapshotReader;
+
 /// Opaque handle to a run registered with a ProvenanceService. Handles are
 /// never reused, so a stale handle (e.g. after RemoveRun) fails cleanly with
 /// NotFound instead of silently addressing another run.
@@ -130,6 +134,12 @@ struct ServiceStats {
   uint64_t snapshot_saves = 0;       ///< successful SaveSnapshot calls
   uint64_t cache_hits = 0;           ///< result-cache hits
   uint64_t cache_misses = 0;         ///< result-cache misses (computed)
+  /// Replication state (docs/REPLICATION.md): the op-log LSN this service
+  /// has durably appended (primary) or applied (replica). 0 when no op-log
+  /// is attached. Over the wire the server fills both fields; a replica's
+  /// target lags behind the primary's last published LSN it has seen.
+  uint64_t replication_lsn = 0;
+  uint64_t replication_target_lsn = 0;
 };
 
 class RunSession;
@@ -282,6 +292,41 @@ class ProvenanceService {
   static Result<ProvenanceService> LoadSnapshot(const std::string& path,
                                                 Options options = {});
 
+  /// In-memory SaveSnapshot: the same container bytes WriteFile would
+  /// persist, for shipping over the wire (kSnapshotFetch) instead of to
+  /// disk. Does not count as a snapshot_saves tick.
+  Result<std::vector<uint8_t>> SnapshotBytes() const;
+
+  /// In-memory LoadSnapshot over bytes produced by SnapshotBytes (or read
+  /// from a snapshot file).
+  static Result<ProvenanceService> LoadSnapshotBytes(
+      std::vector<uint8_t> bytes, Options options = {});
+
+  // ---------------------------------------------------------- replication --
+
+  /// Attaches a durable op-log (src/replication/oplog.h): from now on every
+  /// successful mutation — AddRun/bulk/session ingestion, ImportRun,
+  /// RemoveRun — is appended to the log *before* the call returns, so an
+  /// acked op is always replayable (append-before-ack). The log must
+  /// outlive the service; pass nullptr to detach. An append failure after
+  /// the registry already published surfaces as Internal: the caller must
+  /// treat the service as ahead of its log.
+  void AttachOpLog(OpLog* oplog);
+
+  /// Last LSN appended to the attached op-log; 0 when none is attached.
+  uint64_t replication_lsn() const;
+
+  /// Replica-side apply of a shipped AddRun/ImportRun op (and the restore
+  /// path of log recovery): registers the record under the *primary's* run
+  /// id, validating the blob against this service's specification exactly
+  /// like ImportRun. Idempotent — an id that is already registered is
+  /// skipped silently, which is what makes snapshot+stream bootstrap safe
+  /// when the two overlap. Never appended to an attached op-log and not
+  /// counted in the ingestion counters (the stats describe locally served
+  /// ops, not replicated ones).
+  Status RestoreRun(uint64_t id, const RunStats& stats,
+                    std::span<const uint8_t> blob);
+
   // ------------------------------------------------------------- registry --
 
   bool Contains(RunId id) const;
@@ -336,9 +381,11 @@ class ProvenanceService {
   RunRecord CaptureRecord(const RunLabeling& labeling,
                           const DataCatalog* catalog, bool imported) const;
 
-  /// Publishes a record under a fresh id (takes one shard's writer lock).
+  /// Publishes a record under a fresh id (takes one shard's writer lock),
+  /// then appends the op to the attached op-log (if any) before returning
+  /// — the append-before-ack half of the replication contract.
   /// `invalidate` bumps the target shard's cache generation (ImportRun).
-  RunId Publish(RunRecord record, bool invalidate = false);
+  Result<RunId> Publish(RunRecord record, bool invalidate = false);
 
   /// Captures a labeling (+ optional catalog) and publishes it under a new
   /// id. Validates the catalog against the labeling first.
@@ -352,6 +399,12 @@ class ProvenanceService {
 
   /// Returns the bulk-ingestion pool, starting it on first use.
   ThreadPool& Pool();
+
+  /// Shared snapshot composition behind SaveSnapshot / SnapshotBytes.
+  Result<SnapshotWriter> BuildSnapshotWriter() const;
+  /// Shared restore behind LoadSnapshot / LoadSnapshotBytes.
+  static Result<ProvenanceService> LoadFromSnapshotReader(
+      SnapshotReader reader, Options options);
 
   // The query methods memoize through the shard's QueryCache via one
   // shared helper (Memoized, provenance_service.cc): probe under the read
@@ -372,6 +425,8 @@ class ProvenanceService {
 
   std::unique_ptr<std::mutex> pool_mu_;  // guards lazy pool_ creation
   std::unique_ptr<ThreadPool> pool_;     // created on first bulk call
+
+  OpLog* oplog_ = nullptr;  ///< borrowed; see AttachOpLog
 };
 
 /// Live labeling of one in-flight run, created by

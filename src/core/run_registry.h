@@ -169,6 +169,18 @@ class RunRegistry {
     next_id_.store(next_id, std::memory_order_release);
   }
 
+  /// Monotonic SetNextId (CAS-max) for replica apply, where Restore()d ids
+  /// arrive one op at a time: after applying an op for id X the allocator
+  /// must be at least X+1, but must never move backwards.
+  void EnsureNextIdAtLeast(uint64_t next_id) {
+    uint64_t current = next_id_.load(std::memory_order_acquire);
+    while (current < next_id &&
+           !next_id_.compare_exchange_weak(current, next_id,
+                                           std::memory_order_acq_rel,
+                                           std::memory_order_acquire)) {
+    }
+  }
+
   size_t num_shards() const { return shard_mask_ + 1; }
   size_t cache_slots_per_shard() const { return cache_slots_; }
 

@@ -236,7 +236,7 @@ Result<std::span<const uint8_t>> SnapshotReader::Section(uint32_t id) const {
 // yields bit-identical skeleton labels — and therefore bit-identical query
 // answers — at a fraction of the snapshot size.
 
-Status ProvenanceService::SaveSnapshot(const std::string& path) const {
+Result<SnapshotWriter> ProvenanceService::BuildSnapshotWriter() const {
   const std::string_view scheme_name = scheme_->name();
   if (!ParseSpecSchemeKind(scheme_name).ok()) {
     return Status::InvalidArgument(
@@ -295,6 +295,11 @@ Status ProvenanceService::SaveSnapshot(const std::string& path) const {
     std::vector<uint8_t>().swap(r.blob);
   }
   writer.AddSection(kSnapshotSectionRuns, runs.Finish());
+  return writer;
+}
+
+Status ProvenanceService::SaveSnapshot(const std::string& path) const {
+  SKL_ASSIGN_OR_RETURN(SnapshotWriter writer, BuildSnapshotWriter());
   Status written = std::move(writer).WriteFile(path);
   if (written.ok()) {
     counters_->snapshot_saves.fetch_add(1, std::memory_order_relaxed);
@@ -302,10 +307,29 @@ Status ProvenanceService::SaveSnapshot(const std::string& path) const {
   return written;
 }
 
+Result<std::vector<uint8_t>> ProvenanceService::SnapshotBytes() const {
+  // The replication bootstrap path (kSnapshotFetch): same encoding as
+  // SaveSnapshot, but handed back as bytes for the wire instead of a file,
+  // and not counted as a snapshot save — nothing durable happened here.
+  SKL_ASSIGN_OR_RETURN(SnapshotWriter writer, BuildSnapshotWriter());
+  return std::move(writer).Finish();
+}
+
 Result<ProvenanceService> ProvenanceService::LoadSnapshot(
     const std::string& path, Options options) {
   SKL_ASSIGN_OR_RETURN(SnapshotReader reader, SnapshotReader::ReadFile(path));
+  return LoadFromSnapshotReader(std::move(reader), std::move(options));
+}
 
+Result<ProvenanceService> ProvenanceService::LoadSnapshotBytes(
+    std::vector<uint8_t> bytes, Options options) {
+  SKL_ASSIGN_OR_RETURN(SnapshotReader reader,
+                       SnapshotReader::Parse(std::move(bytes)));
+  return LoadFromSnapshotReader(std::move(reader), std::move(options));
+}
+
+Result<ProvenanceService> ProvenanceService::LoadFromSnapshotReader(
+    SnapshotReader reader, Options options) {
   SKL_ASSIGN_OR_RETURN(std::span<const uint8_t> spec_bytes,
                        reader.Section(kSnapshotSectionSpec));
   SKL_ASSIGN_OR_RETURN(

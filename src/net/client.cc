@@ -7,9 +7,12 @@
 #include <unistd.h>
 
 #include <cerrno>
+#include <chrono>
 #include <cstring>
+#include <thread>
 #include <utility>
 
+#include "src/common/random.h"
 #include "src/io/workflow_xml.h"
 
 namespace skl {
@@ -70,48 +73,13 @@ Result<bool> DecodeBool(std::span<const uint8_t> payload) {
   return answer;
 }
 
-Result<RunId> DecodeRunId(std::span<const uint8_t> payload) {
-  PayloadReader reader(payload);
-  SKL_ASSIGN_OR_RETURN(uint64_t value, reader.U64());
-  SKL_RETURN_NOT_OK(reader.ExpectEnd());
-  return RunId::FromValue(value);
-}
-
 Status ExpectEmpty(std::span<const uint8_t> payload) {
   PayloadReader reader(payload);
   return reader.ExpectEnd();
 }
 
-}  // namespace
-
-ProvenanceClient::ProvenanceClient(int fd, size_t max_frame_bytes)
-    : fd_(fd), decoder_(max_frame_bytes) {}
-
-ProvenanceClient::~ProvenanceClient() {
-  if (fd_ >= 0) ::close(fd_);
-}
-
-ProvenanceClient::ProvenanceClient(ProvenanceClient&& other) noexcept
-    : fd_(std::exchange(other.fd_, -1)),
-      next_request_id_(other.next_request_id_),
-      decoder_(std::move(other.decoder_)),
-      broken_(std::move(other.broken_)) {}
-
-ProvenanceClient& ProvenanceClient::operator=(
-    ProvenanceClient&& other) noexcept {
-  if (this != &other) {
-    if (fd_ >= 0) ::close(fd_);
-    fd_ = std::exchange(other.fd_, -1);
-    next_request_id_ = other.next_request_id_;
-    decoder_ = std::move(other.decoder_);
-    broken_ = std::move(other.broken_);
-  }
-  return *this;
-}
-
-Result<ProvenanceClient> ProvenanceClient::Connect(const std::string& host,
-                                                   uint16_t port,
-                                                   size_t max_frame_bytes) {
+/// Dials host:port; returns the connected fd with TCP_NODELAY set.
+Result<int> Dial(const std::string& host, uint16_t port) {
   addrinfo hints{};
   hints.ai_family = AF_UNSPEC;
   hints.ai_socktype = SOCK_STREAM;
@@ -141,11 +109,75 @@ Result<ProvenanceClient> ProvenanceClient::Connect(const std::string& host,
   // server's delayed ACK (the mirror of the server-side setting).
   int one = 1;
   ::setsockopt(fd, IPPROTO_TCP, TCP_NODELAY, &one, sizeof(one));
-  return ProvenanceClient(fd, max_frame_bytes);
+  return fd;
+}
+
+}  // namespace
+
+ProvenanceClient::ProvenanceClient(int fd, Options options, std::string host,
+                                   uint16_t port)
+    : fd_(fd),
+      decoder_(options.max_frame_bytes),
+      options_(options),
+      host_(std::move(host)),
+      port_(port) {}
+
+ProvenanceClient::~ProvenanceClient() {
+  if (fd_ >= 0) ::close(fd_);
+}
+
+ProvenanceClient::ProvenanceClient(ProvenanceClient&& other) noexcept
+    : fd_(std::exchange(other.fd_, -1)),
+      next_request_id_(other.next_request_id_),
+      decoder_(std::move(other.decoder_)),
+      broken_(std::move(other.broken_)),
+      options_(other.options_),
+      host_(std::move(other.host_)),
+      port_(other.port_),
+      read_lsn_(other.read_lsn_),
+      last_write_lsn_(other.last_write_lsn_) {}
+
+ProvenanceClient& ProvenanceClient::operator=(
+    ProvenanceClient&& other) noexcept {
+  if (this != &other) {
+    if (fd_ >= 0) ::close(fd_);
+    fd_ = std::exchange(other.fd_, -1);
+    next_request_id_ = other.next_request_id_;
+    decoder_ = std::move(other.decoder_);
+    broken_ = std::move(other.broken_);
+    options_ = other.options_;
+    host_ = std::move(other.host_);
+    port_ = other.port_;
+    read_lsn_ = other.read_lsn_;
+    last_write_lsn_ = other.last_write_lsn_;
+  }
+  return *this;
+}
+
+Result<ProvenanceClient> ProvenanceClient::Connect(const std::string& host,
+                                                   uint16_t port,
+                                                   size_t max_frame_bytes) {
+  Options options;
+  options.max_frame_bytes = max_frame_bytes;
+  return Connect(host, port, options);
+}
+
+Result<ProvenanceClient> ProvenanceClient::Connect(const std::string& host,
+                                                   uint16_t port,
+                                                   const Options& options) {
+  SKL_ASSIGN_OR_RETURN(int fd, Dial(host, port));
+  return ProvenanceClient(fd, options, host, port);
 }
 
 Result<ProvenanceClient> ProvenanceClient::ConnectHostPort(
     const std::string& host_port, size_t max_frame_bytes) {
+  Options options;
+  options.max_frame_bytes = max_frame_bytes;
+  return ConnectHostPort(host_port, options);
+}
+
+Result<ProvenanceClient> ProvenanceClient::ConnectHostPort(
+    const std::string& host_port, const Options& options) {
   const size_t colon = host_port.rfind(':');
   if (colon == std::string::npos || colon == 0 ||
       colon + 1 == host_port.size()) {
@@ -160,12 +192,26 @@ Result<ProvenanceClient> ProvenanceClient::ConnectHostPort(
                                    port_str + "'");
   }
   return Connect(host_port.substr(0, colon), static_cast<uint16_t>(port),
-                 max_frame_bytes);
+                 options);
 }
 
 Status ProvenanceClient::Poison(Status status) {
   broken_ = status;
   return status;
+}
+
+Status ProvenanceClient::Reconnect() {
+  if (host_.empty()) {
+    return Status::Unavailable("client has no remembered endpoint");
+  }
+  Result<int> fd = Dial(host_, port_);
+  if (!fd.ok()) return Poison(fd.status());
+  if (fd_ >= 0) ::close(fd_);
+  fd_ = *fd;
+  decoder_ = FrameDecoder(options_.max_frame_bytes);
+  next_request_id_ = 1;
+  broken_ = Status::OK();
+  return Status::OK();
 }
 
 Result<uint64_t> ProvenanceClient::Send(MsgType type,
@@ -184,7 +230,8 @@ Result<uint64_t> ProvenanceClient::Send(MsgType type,
   return frame.request_id;
 }
 
-Result<std::vector<uint8_t>> ProvenanceClient::Receive(uint64_t request_id) {
+Result<std::vector<uint8_t>> ProvenanceClient::Receive(uint64_t request_id,
+                                                       MsgType expected) {
   if (!broken_.ok()) return broken_;
   uint8_t buf[65536];
   for (;;) {
@@ -205,10 +252,21 @@ Result<std::vector<uint8_t>> ProvenanceClient::Receive(uint64_t request_id) {
         // The service-level error; the connection stays usable.
         return DecodeErrorPayload(frame.payload);
       }
-      if (frame.type != MsgType::kReply) {
+      if (frame.type == MsgType::kRetryAt) {
+        // The replica is behind the read token; the connection stays
+        // usable — retry here later or read elsewhere (FleetClient does).
+        PayloadReader reader(frame.payload);
+        SKL_ASSIGN_OR_RETURN(uint64_t applied, reader.U64());
+        SKL_RETURN_NOT_OK(reader.ExpectEnd());
+        return Status::RetryAt(
+            "replica has applied LSN " + std::to_string(applied) +
+            ", behind the requested read LSN " + std::to_string(read_lsn_));
+      }
+      if (frame.type != expected) {
         return Poison(Status::ParseError(
             std::string("peer sent a ") + MsgTypeName(frame.type) +
-            " frame where a response was expected"));
+            " frame where a " + MsgTypeName(expected) +
+            " response was expected"));
       }
       return std::move(frame.payload);
     }
@@ -229,13 +287,45 @@ Result<std::vector<uint8_t>> ProvenanceClient::Call(
   return Receive(id);
 }
 
+Result<std::vector<uint8_t>> ProvenanceClient::CallRead(
+    MsgType type, const std::vector<uint8_t>& payload) {
+  for (int attempt = 0;; ++attempt) {
+    Result<std::vector<uint8_t>> reply = Call(type, payload);
+    if (reply.ok() ||
+        reply.status().code() != StatusCode::kUnavailable ||
+        attempt >= options_.max_read_retries || host_.empty()) {
+      return reply;
+    }
+    // Bounded exponential backoff with jitter: sleep uniformly in
+    // [s/2, s], s = min(max, base << attempt). Mix64 keeps the delay
+    // deterministic per (seed, attempt) — reproducible tests, and
+    // distinct seeds decorrelate a fleet.
+    const int shift = attempt < 20 ? attempt : 20;
+    const uint64_t s =
+        std::min<uint64_t>(options_.backoff_max_ms,
+                           static_cast<uint64_t>(options_.backoff_base_ms)
+                               << shift);
+    const uint64_t half = s / 2;
+    const uint64_t span = s - half + 1;
+    const uint64_t delay =
+        half + Mix64(options_.backoff_seed ^
+                     (0x9e3779b97f4a7c15ULL * (attempt + 1))) %
+                   span;
+    std::this_thread::sleep_for(std::chrono::milliseconds(delay));
+    // A failed reconnect leaves the client poisoned; the next Call then
+    // fails kUnavailable and the loop either retries or gives up.
+    (void)Reconnect();
+  }
+}
+
 Result<bool> ProvenanceClient::Reaches(RunId id, VertexId v, VertexId w) {
   PayloadWriter req;
   req.U64(id.value());
   req.U64(v);
   req.U64(w);
+  req.U64(read_lsn_);
   SKL_ASSIGN_OR_RETURN(std::vector<uint8_t> reply,
-                       Call(MsgType::kReaches, std::move(req).Finish()));
+                       CallRead(MsgType::kReaches, std::move(req).Finish()));
   return DecodeBool(reply);
 }
 
@@ -248,8 +338,10 @@ Result<std::vector<bool>> ProvenanceClient::ReachesBatch(
     req.U64(v);
     req.U64(w);
   }
-  SKL_ASSIGN_OR_RETURN(std::vector<uint8_t> reply,
-                       Call(MsgType::kReachesBatch, std::move(req).Finish()));
+  req.U64(read_lsn_);
+  SKL_ASSIGN_OR_RETURN(
+      std::vector<uint8_t> reply,
+      CallRead(MsgType::kReachesBatch, std::move(req).Finish()));
   return DecodeBoolVector(reply, pairs.size());
 }
 
@@ -259,8 +351,10 @@ Result<bool> ProvenanceClient::DependsOn(RunId id, DataItemId x,
   req.U64(id.value());
   req.U64(x);
   req.U64(x_from);
-  SKL_ASSIGN_OR_RETURN(std::vector<uint8_t> reply,
-                       Call(MsgType::kDependsOn, std::move(req).Finish()));
+  req.U64(read_lsn_);
+  SKL_ASSIGN_OR_RETURN(
+      std::vector<uint8_t> reply,
+      CallRead(MsgType::kDependsOn, std::move(req).Finish()));
   return DecodeBool(reply);
 }
 
@@ -273,9 +367,10 @@ Result<std::vector<bool>> ProvenanceClient::DependsOnBatch(
     req.U64(x);
     req.U64(x_from);
   }
+  req.U64(read_lsn_);
   SKL_ASSIGN_OR_RETURN(
       std::vector<uint8_t> reply,
-      Call(MsgType::kDependsOnBatch, std::move(req).Finish()));
+      CallRead(MsgType::kDependsOnBatch, std::move(req).Finish()));
   return DecodeBoolVector(reply, pairs.size());
 }
 
@@ -285,9 +380,10 @@ Result<bool> ProvenanceClient::ModuleDependsOnData(RunId id, VertexId v,
   req.U64(id.value());
   req.U64(v);
   req.U64(x);
+  req.U64(read_lsn_);
   SKL_ASSIGN_OR_RETURN(
       std::vector<uint8_t> reply,
-      Call(MsgType::kModuleDependsOnData, std::move(req).Finish()));
+      CallRead(MsgType::kModuleDependsOnData, std::move(req).Finish()));
   return DecodeBool(reply);
 }
 
@@ -297,10 +393,22 @@ Result<bool> ProvenanceClient::DataDependsOnModule(RunId id, DataItemId x,
   req.U64(id.value());
   req.U64(x);
   req.U64(v);
+  req.U64(read_lsn_);
   SKL_ASSIGN_OR_RETURN(
       std::vector<uint8_t> reply,
-      Call(MsgType::kDataDependsOnModule, std::move(req).Finish()));
+      CallRead(MsgType::kDataDependsOnModule, std::move(req).Finish()));
   return DecodeBool(reply);
+}
+
+/// Decodes the v3 mutating-reply tail: the primary's ack LSN.
+Result<RunId> ProvenanceClient::DecodeMutationReply(
+    std::span<const uint8_t> payload) {
+  PayloadReader reader(payload);
+  SKL_ASSIGN_OR_RETURN(uint64_t value, reader.U64());
+  SKL_ASSIGN_OR_RETURN(uint64_t lsn, reader.U64());
+  SKL_RETURN_NOT_OK(reader.ExpectEnd());
+  if (lsn > last_write_lsn_) last_write_lsn_ = lsn;
+  return RunId::FromValue(value);
 }
 
 Result<RunId> ProvenanceClient::AddRunXml(std::string_view run_xml) {
@@ -308,7 +416,7 @@ Result<RunId> ProvenanceClient::AddRunXml(std::string_view run_xml) {
   req.Str(run_xml);
   SKL_ASSIGN_OR_RETURN(std::vector<uint8_t> reply,
                        Call(MsgType::kAddRun, std::move(req).Finish()));
-  return DecodeRunId(reply);
+  return DecodeMutationReply(reply);
 }
 
 Result<RunId> ProvenanceClient::AddRun(const Run& run) {
@@ -320,14 +428,16 @@ Result<RunId> ProvenanceClient::ImportRun(const std::vector<uint8_t>& blob) {
   req.Bytes(blob);
   SKL_ASSIGN_OR_RETURN(std::vector<uint8_t> reply,
                        Call(MsgType::kImportRun, std::move(req).Finish()));
-  return DecodeRunId(reply);
+  return DecodeMutationReply(reply);
 }
 
 Result<std::vector<uint8_t>> ProvenanceClient::ExportRun(RunId id) {
   PayloadWriter req;
   req.U64(id.value());
-  SKL_ASSIGN_OR_RETURN(std::vector<uint8_t> reply,
-                       Call(MsgType::kExportRun, std::move(req).Finish()));
+  req.U64(read_lsn_);
+  SKL_ASSIGN_OR_RETURN(
+      std::vector<uint8_t> reply,
+      CallRead(MsgType::kExportRun, std::move(req).Finish()));
   PayloadReader reader(reply);
   SKL_ASSIGN_OR_RETURN(std::span<const uint8_t> blob, reader.Bytes());
   SKL_RETURN_NOT_OK(reader.ExpectEnd());
@@ -339,12 +449,19 @@ Status ProvenanceClient::RemoveRun(RunId id) {
   req.U64(id.value());
   auto reply = Call(MsgType::kRemoveRun, std::move(req).Finish());
   if (!reply.ok()) return reply.status();
-  return ExpectEmpty(*reply);
+  PayloadReader reader(*reply);
+  SKL_ASSIGN_OR_RETURN(uint64_t lsn, reader.U64());
+  SKL_RETURN_NOT_OK(reader.ExpectEnd());
+  if (lsn > last_write_lsn_) last_write_lsn_ = lsn;
+  return Status::OK();
 }
 
 Result<std::vector<RunId>> ProvenanceClient::ListRuns() {
-  SKL_ASSIGN_OR_RETURN(std::vector<uint8_t> reply,
-                       Call(MsgType::kListRuns, {}));
+  PayloadWriter req;
+  req.U64(read_lsn_);
+  SKL_ASSIGN_OR_RETURN(
+      std::vector<uint8_t> reply,
+      CallRead(MsgType::kListRuns, std::move(req).Finish()));
   PayloadReader reader(reply);
   SKL_ASSIGN_OR_RETURN(uint64_t count, reader.U64());
   std::vector<RunId> ids;
@@ -359,8 +476,10 @@ Result<std::vector<RunId>> ProvenanceClient::ListRuns() {
 Result<RunStats> ProvenanceClient::Stats(RunId id) {
   PayloadWriter req;
   req.U64(id.value());
-  SKL_ASSIGN_OR_RETURN(std::vector<uint8_t> reply,
-                       Call(MsgType::kRunStats, std::move(req).Finish()));
+  req.U64(read_lsn_);
+  SKL_ASSIGN_OR_RETURN(
+      std::vector<uint8_t> reply,
+      CallRead(MsgType::kRunStats, std::move(req).Finish()));
   PayloadReader reader(reply);
   RunStats stats;
   SKL_ASSIGN_OR_RETURN(stats.num_vertices,
@@ -379,7 +498,7 @@ Result<RunStats> ProvenanceClient::Stats(RunId id) {
 
 Result<ServiceStats> ProvenanceClient::GetServiceStats() {
   SKL_ASSIGN_OR_RETURN(std::vector<uint8_t> reply,
-                       Call(MsgType::kServiceStats, {}));
+                       CallRead(MsgType::kServiceStats, {}));
   PayloadReader reader(reply);
   ServiceStats stats;
   SKL_ASSIGN_OR_RETURN(stats.num_runs, reader.U64());
@@ -395,6 +514,8 @@ Result<ServiceStats> ProvenanceClient::GetServiceStats() {
   SKL_ASSIGN_OR_RETURN(stats.snapshot_saves, reader.U64());
   SKL_ASSIGN_OR_RETURN(stats.cache_hits, reader.U64());
   SKL_ASSIGN_OR_RETURN(stats.cache_misses, reader.U64());
+  SKL_ASSIGN_OR_RETURN(stats.replication_lsn, reader.U64());
+  SKL_ASSIGN_OR_RETURN(stats.replication_target_lsn, reader.U64());
   SKL_RETURN_NOT_OK(reader.ExpectEnd());
   return stats;
 }
@@ -427,6 +548,52 @@ Status ProvenanceClient::Shutdown() {
   return ExpectEmpty(*reply);
 }
 
+Result<SnapshotFetchResult> ProvenanceClient::SnapshotFetch() {
+  SKL_ASSIGN_OR_RETURN(std::vector<uint8_t> reply,
+                       Call(MsgType::kSnapshotFetch, {}));
+  PayloadReader reader(reply);
+  SnapshotFetchResult result;
+  SKL_ASSIGN_OR_RETURN(result.lsn, reader.U64());
+  SKL_ASSIGN_OR_RETURN(std::span<const uint8_t> bytes, reader.Bytes());
+  SKL_RETURN_NOT_OK(reader.ExpectEnd());
+  result.bytes.assign(bytes.begin(), bytes.end());
+  return result;
+}
+
+Result<LogBatch> ProvenanceClient::Subscribe(uint64_t after_lsn,
+                                             uint64_t max_entries) {
+  PayloadWriter req;
+  req.U64(after_lsn);
+  req.U64(max_entries);
+  SKL_ASSIGN_OR_RETURN(uint64_t id,
+                       Send(MsgType::kSubscribe, std::move(req).Finish()));
+  SKL_ASSIGN_OR_RETURN(std::vector<uint8_t> reply,
+                       Receive(id, MsgType::kLogEntries));
+  PayloadReader reader(reply);
+  SKL_ASSIGN_OR_RETURN(uint64_t count, reader.U64());
+  LogBatch batch;
+  batch.ops.reserve(count);
+  uint64_t expected_lsn = after_lsn;
+  for (uint64_t i = 0; i < count; ++i) {
+    SKL_ASSIGN_OR_RETURN(std::span<const uint8_t> entry, reader.Bytes());
+    SKL_ASSIGN_OR_RETURN(LogOp op, DeserializeLogOp(entry));
+    // The batch must be a contiguous LSN run starting just past
+    // after_lsn — anything else means the primary's log disagrees with
+    // what this replica already applied.
+    ++expected_lsn;
+    if (op.lsn != expected_lsn) {
+      return Status::ParseError(
+          "subscribe batch entry " + std::to_string(i) + " carries LSN " +
+          std::to_string(op.lsn) + ", expected " +
+          std::to_string(expected_lsn));
+    }
+    batch.ops.push_back(std::move(op));
+  }
+  SKL_ASSIGN_OR_RETURN(batch.primary_last_lsn, reader.U64());
+  SKL_RETURN_NOT_OK(reader.ExpectEnd());
+  return batch;
+}
+
 Result<std::vector<bool>> ProvenanceClient::PipelinedBools(
     MsgType type, uint64_t run,
     std::span<const std::pair<uint32_t, uint32_t>> pairs) {
@@ -455,6 +622,7 @@ Result<std::vector<bool>> ProvenanceClient::PipelinedBools(
       req.U64(run);
       req.U64(pairs[off + i].first);
       req.U64(pairs[off + i].second);
+      req.U64(read_lsn_);
       frame.payload = std::move(req).Finish();
       EncodeFrame(frame, &wire);
     }

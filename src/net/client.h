@@ -24,6 +24,16 @@
 // A client instance is NOT thread-safe (it owns one socket); open one
 // client per thread. Connect/queries against a server in the same process
 // are fine — tests and bench_net do exactly that.
+//
+// Replication awareness (docs/REPLICATION.md): the client speaks protocol
+// v3. Every read request carries the client's read-LSN token (0 = any
+// state is fine); a replica that has not yet applied that LSN answers
+// kRetryAt, surfaced as StatusCode::kRetryAt without poisoning the
+// connection. Every mutating response carries the primary's ack LSN,
+// remembered in last_write_lsn() — pin it on replica clients via
+// SetReadLsn for read-your-writes. Idempotent reads can additionally be
+// retried across reconnects with jittered exponential backoff
+// (Options::max_read_retries); mutations are never retried.
 #ifndef SKL_NET_CLIENT_H_
 #define SKL_NET_CLIENT_H_
 
@@ -36,21 +46,65 @@
 #include "src/common/status.h"
 #include "src/core/provenance_service.h"
 #include "src/net/protocol.h"
+#include "src/replication/oplog.h"
 
 namespace skl {
 
+/// Client knobs. (Namespace-scope so it can be brace-defaulted; spelled
+/// ProvenanceClient::Options at call sites.)
+struct ProvenanceClientOptions {
+  /// Per-frame size ceiling for responses.
+  size_t max_frame_bytes = kDefaultMaxFrameBytes;
+  /// How many times an idempotent read is retried after a *transport*
+  /// failure (kUnavailable), reconnecting before each retry. 0 = fail
+  /// fast (the historical behavior). Service-level errors — including
+  /// kRetryAt — are never retried here; the caller (or FleetClient)
+  /// decides those.
+  int max_read_retries = 0;
+  /// Backoff before retry k sleeps uniformly in [s/2, s] where
+  /// s = min(backoff_max_ms, backoff_base_ms << k) — bounded exponential
+  /// with jitter, so a fleet of clients hammering a restarting server
+  /// spreads out instead of thundering in lockstep.
+  uint32_t backoff_base_ms = 5;
+  uint32_t backoff_max_ms = 200;
+  /// Jitter seed (deterministic per seed+attempt; pick per-client values
+  /// to decorrelate a fleet).
+  uint64_t backoff_seed = 0;
+};
+
+/// kSnapshotFetch result: a snapshot byte-stream that contains every op
+/// with LSN <= lsn (tail the log from `lsn` to catch up).
+struct SnapshotFetchResult {
+  uint64_t lsn = 0;
+  std::vector<uint8_t> bytes;
+};
+
+/// kSubscribe result: ops with LSN > the requested after_lsn, in order,
+/// plus the primary's log head (the catch-up target).
+struct LogBatch {
+  std::vector<LogOp> ops;
+  uint64_t primary_last_lsn = 0;
+};
+
 class ProvenanceClient {
  public:
+  using Options = ProvenanceClientOptions;
+
   /// Connects to a ProvenanceServer. `host` is a numeric IPv4 address or a
   /// resolvable name ("localhost").
   static Result<ProvenanceClient> Connect(
       const std::string& host, uint16_t port,
       size_t max_frame_bytes = kDefaultMaxFrameBytes);
+  static Result<ProvenanceClient> Connect(const std::string& host,
+                                          uint16_t port,
+                                          const Options& options);
 
   /// Connect via one "host:port" string (the sklctl --connect spelling).
   static Result<ProvenanceClient> ConnectHostPort(
       const std::string& host_port,
       size_t max_frame_bytes = kDefaultMaxFrameBytes);
+  static Result<ProvenanceClient> ConnectHostPort(
+      const std::string& host_port, const Options& options);
 
   ~ProvenanceClient();
   ProvenanceClient(ProvenanceClient&& other) noexcept;
@@ -93,6 +147,28 @@ class ProvenanceClient {
   /// server begins shutting down.
   Status Shutdown();
 
+  // ------------------------------------------------------ replication --
+
+  /// Raises the read-LSN token attached to every subsequent read (monotone
+  /// max — a smaller LSN never lowers it). Against a replica, reads then
+  /// either see a state containing that LSN or come back kRetryAt.
+  void SetReadLsn(uint64_t lsn) {
+    if (lsn > read_lsn_) read_lsn_ = lsn;
+  }
+  uint64_t read_lsn() const { return read_lsn_; }
+
+  /// The primary's ack LSN from the most recent successful mutation
+  /// through this client (0 before any, or when the server has no op-log).
+  uint64_t last_write_lsn() const { return last_write_lsn_; }
+
+  /// Fetches a replica bootstrap snapshot (requires the server to have an
+  /// op-log attached).
+  Result<SnapshotFetchResult> SnapshotFetch();
+
+  /// Fetches up to `max_entries` log entries with LSN > after_lsn — the
+  /// replica tailing primitive.
+  Result<LogBatch> Subscribe(uint64_t after_lsn, uint64_t max_entries);
+
   // ------------------------------------------------------ pipelining --
 
   /// One frame per pair written back to back in windows of 512, then the
@@ -105,16 +181,29 @@ class ProvenanceClient {
       RunId id, std::span<const ItemPair> pairs);
 
  private:
-  ProvenanceClient(int fd, size_t max_frame_bytes);
+  ProvenanceClient(int fd, Options options, std::string host, uint16_t port);
 
   /// Sends one request frame; returns its request id.
   Result<uint64_t> Send(MsgType type, std::vector<uint8_t> payload);
   /// Blocks for the next response frame and checks it answers `request_id`.
-  /// kError responses decode back into their carried Status.
-  Result<std::vector<uint8_t>> Receive(uint64_t request_id);
+  /// kError responses decode back into their carried Status; kRetryAt
+  /// decodes into StatusCode::kRetryAt — both leave the connection usable.
+  /// `expected` is the success frame type (kLogEntries for Subscribe).
+  Result<std::vector<uint8_t>> Receive(uint64_t request_id,
+                                       MsgType expected = MsgType::kReply);
   /// Send + Receive.
   Result<std::vector<uint8_t>> Call(MsgType type,
                                     std::vector<uint8_t> payload);
+  /// Call with the read retry policy: on kUnavailable, sleeps the jittered
+  /// backoff, reconnects and retries, up to Options::max_read_retries.
+  /// Only for idempotent requests.
+  Result<std::vector<uint8_t>> CallRead(MsgType type,
+                                        const std::vector<uint8_t>& payload);
+  /// Tears down the socket and dials host_:port_ again with fresh framing
+  /// state. On failure the client stays poisoned with the dial error.
+  Status Reconnect();
+  /// Decodes a mutating reply ({run id, ack LSN}), recording the LSN.
+  Result<RunId> DecodeMutationReply(std::span<const uint8_t> payload);
 
   /// Sends N single-query frames, then collects N boolean replies.
   Result<std::vector<bool>> PipelinedBools(
@@ -129,6 +218,12 @@ class ProvenanceClient {
   uint64_t next_request_id_ = 1;
   FrameDecoder decoder_;
   Status broken_ = Status::OK();  ///< non-OK once the connection is poisoned
+
+  Options options_;
+  std::string host_;  ///< remembered for Reconnect
+  uint16_t port_ = 0;
+  uint64_t read_lsn_ = 0;        ///< token sent with every read
+  uint64_t last_write_lsn_ = 0;  ///< primary ack LSN of the last mutation
 };
 
 }  // namespace skl

@@ -26,15 +26,19 @@ const char* MsgTypeName(MsgType type) {
     case MsgType::kSaveSnapshot: return "SaveSnapshot";
     case MsgType::kLoadSnapshot: return "LoadSnapshot";
     case MsgType::kShutdown: return "Shutdown";
+    case MsgType::kSnapshotFetch: return "SnapshotFetch";
+    case MsgType::kSubscribe: return "Subscribe";
     case MsgType::kReply: return "Reply";
     case MsgType::kError: return "Error";
+    case MsgType::kLogEntries: return "LogEntries";
+    case MsgType::kRetryAt: return "RetryAt";
   }
   return "Unknown";
 }
 
 bool IsRequestType(uint8_t type) {
   return type >= static_cast<uint8_t>(MsgType::kPing) &&
-         type <= static_cast<uint8_t>(MsgType::kShutdown);
+         type <= static_cast<uint8_t>(MsgType::kSubscribe);
 }
 
 void EncodeFrame(const Frame& frame, std::vector<uint8_t>* out) {
@@ -200,7 +204,7 @@ Status DecodeErrorPayload(std::span<const uint8_t> payload) {
     return Status::ParseError("malformed error payload: " + end.message());
   }
   if (code == static_cast<uint64_t>(StatusCode::kOk) ||
-      code > static_cast<uint64_t>(StatusCode::kUnavailable)) {
+      code > static_cast<uint64_t>(StatusCode::kRetryAt)) {
     // An error frame must carry an error; map codes from a future peer to
     // Internal but keep the human-readable message.
     return Status(StatusCode::kInternal,

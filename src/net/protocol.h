@@ -42,10 +42,21 @@ namespace skl {
 
 /// Protocol version carried in every frame body. Bumped on any incompatible
 /// change to the frame layout or a payload encoding; servers reject frames
-/// from a different version with kError (see docs/NETWORK.md).
+/// outside [kMinSupportedProtocolVersion, kProtocolVersion] with a kError
+/// naming both versions (see docs/NETWORK.md).
 /// Version 2: the kServiceStats reply grew the result-cache counters
 /// (cache_hits, cache_misses) — 13 varints instead of 11.
-inline constexpr uint8_t kProtocolVersion = 2;
+/// Version 3 (replication, docs/REPLICATION.md): read requests carry a
+/// trailing min-LSN token (read-your-writes; a lagging replica answers
+/// kRetryAt), mutating replies carry the op's ack LSN, kServiceStats gains
+/// applied/target LSNs, and the kSnapshotFetch / kSubscribe opcodes stream
+/// the primary's op-log to replicas.
+inline constexpr uint8_t kProtocolVersion = 3;
+
+/// Oldest request version the server still dispatches. Version-2 requests
+/// are answered in version-2 reply shapes, so pre-replication clients keep
+/// working against a version-3 server.
+inline constexpr uint8_t kMinSupportedProtocolVersion = 2;
 
 /// First two frame bytes, "SN". A stream that does not start with them is
 /// not speaking this protocol.
@@ -79,15 +90,19 @@ enum class MsgType : uint8_t {
   kSaveSnapshot = 15,  ///< server-side snapshot save (path on the server)
   kLoadSnapshot = 16,  ///< server-side snapshot load: replaces the service
   kShutdown = 17,      ///< graceful drain-and-shutdown of the whole server
+  kSnapshotFetch = 18, ///< v3: reply carries {lsn, snapshot bytes}
+  kSubscribe = 19,     ///< v3: {after_lsn, max}; answered by kLogEntries
 
   kReply = 64,
   kError = 65,
+  kLogEntries = 66,    ///< v3 kSubscribe response: a batch of op-log entries
+  kRetryAt = 67,       ///< v3: replica behind the request's min-LSN token
 };
 
 /// Opcode name for logs and error messages ("Reaches", "Error", ...).
 const char* MsgTypeName(MsgType type);
 
-/// True for the request opcodes a server dispatches (kPing..kShutdown).
+/// True for the request opcodes a server dispatches (kPing..kSubscribe).
 bool IsRequestType(uint8_t type);
 
 /// One decoded message. `payload` is the type-specific body remainder.

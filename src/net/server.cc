@@ -6,11 +6,13 @@
 #include <sys/socket.h>
 #include <unistd.h>
 
+#include <algorithm>
 #include <cerrno>
 #include <cstring>
 #include <utility>
 
 #include "src/io/workflow_xml.h"
+#include "src/replication/oplog.h"
 
 namespace skl {
 
@@ -55,6 +57,11 @@ ProvenanceServer::ProvenanceServer(ProvenanceService service, Options options)
 
 Result<std::unique_ptr<ProvenanceServer>> ProvenanceServer::Start(
     ProvenanceService service, Options options) {
+  if (options.oplog != nullptr) {
+    // Attach before the first frame can arrive: a mutation that slipped in
+    // unlogged would be invisible to replicas and to crash recovery.
+    service.AttachOpLog(options.oplog);
+  }
   std::unique_ptr<ProvenanceServer> server(
       new ProvenanceServer(std::move(service), std::move(options)));
   SKL_RETURN_NOT_OK(server->Listen());
@@ -179,11 +186,17 @@ void ProvenanceServer::HandleConnection(int fd) {
 void ProvenanceServer::HandleFrame(const Frame& frame,
                                    std::vector<uint8_t>* out,
                                    bool* shutdown_after_reply) {
+  MsgType reply_type = MsgType::kReply;
   Result<std::vector<uint8_t>> payload = [&]() -> Result<std::vector<uint8_t>> {
-    if (frame.version != kProtocolVersion) {
+    if (frame.version > kProtocolVersion ||
+        frame.version < kMinSupportedProtocolVersion) {
+      // Name both ends of the supported range so a mismatched peer's log
+      // says exactly which side must upgrade (asserted by protocol_test).
       return Status::InvalidArgument(
           "unsupported protocol version " + std::to_string(frame.version) +
-          "; this server speaks version " + std::to_string(kProtocolVersion));
+          "; this server speaks versions " +
+          std::to_string(kMinSupportedProtocolVersion) + " through " +
+          std::to_string(kProtocolVersion));
     }
     if (!IsRequestType(static_cast<uint8_t>(frame.type))) {
       return Status::InvalidArgument(
@@ -194,16 +207,17 @@ void ProvenanceServer::HandleFrame(const Frame& frame,
       // The one request that replaces the service object outright: exclude
       // every other in-flight dispatch for its duration.
       std::unique_lock lock(service_mu_);
-      return Dispatch(frame, shutdown_after_reply);
+      return Dispatch(frame, shutdown_after_reply, &reply_type);
     }
     std::shared_lock lock(service_mu_);
-    return Dispatch(frame, shutdown_after_reply);
+    return Dispatch(frame, shutdown_after_reply, &reply_type);
   }();
 
   Frame reply;
+  reply.version = frame.version;  // answer in the requester's version
   reply.request_id = frame.request_id;
   if (payload.ok()) {
-    reply.type = MsgType::kReply;
+    reply.type = reply_type;
     reply.payload = std::move(payload).value();
   } else {
     reply.type = MsgType::kError;
@@ -217,9 +231,37 @@ void ProvenanceServer::HandleFrame(const Frame& frame,
 }
 
 Result<std::vector<uint8_t>> ProvenanceServer::Dispatch(
-    const Frame& frame, bool* shutdown_after_reply) {
+    const Frame& frame, bool* shutdown_after_reply, MsgType* reply_type) {
   PayloadReader reader(frame.payload);
   PayloadWriter out;
+  if (options_.read_only &&
+      (frame.type == MsgType::kAddRun || frame.type == MsgType::kImportRun ||
+       frame.type == MsgType::kRemoveRun ||
+       frame.type == MsgType::kLoadSnapshot)) {
+    return Status::InvalidArgument(
+        "read-only replica; writes must go to the primary");
+  }
+  const bool v3 = frame.version >= 3;
+  // Version-3 read payloads end with a min-LSN token (read-your-writes,
+  // docs/REPLICATION.md): if this server has not applied that far yet, the
+  // request bounces as kRetryAt carrying the applied LSN instead of
+  // answering from a stale registry. A primary never bounces — appends ack
+  // only after the log holds the op, so its applied LSN covers every token
+  // a client can legitimately hold.
+  bool bounce = false;
+  uint64_t bounce_applied = 0;
+  auto end_read = [&](PayloadReader& r) -> Status {
+    if (!v3) return r.ExpectEnd();
+    Result<uint64_t> min_lsn = r.U64();
+    if (!min_lsn.ok()) return min_lsn.status();
+    SKL_RETURN_NOT_OK(r.ExpectEnd());
+    const uint64_t applied = CurrentAppliedLsn();
+    if (*min_lsn > applied) {
+      bounce = true;
+      bounce_applied = applied;
+    }
+    return Status::OK();
+  };
   switch (frame.type) {
     case MsgType::kPing: {
       SKL_RETURN_NOT_OK(reader.ExpectEnd());
@@ -234,7 +276,8 @@ Result<std::vector<uint8_t>> ProvenanceServer::Dispatch(
       SKL_ASSIGN_OR_RETURN(uint64_t run, reader.U64());
       SKL_ASSIGN_OR_RETURN(VertexId v, ReadU32(reader, "vertex id"));
       SKL_ASSIGN_OR_RETURN(VertexId w, ReadU32(reader, "vertex id"));
-      SKL_RETURN_NOT_OK(reader.ExpectEnd());
+      SKL_RETURN_NOT_OK(end_read(reader));
+      if (bounce) break;
       SKL_ASSIGN_OR_RETURN(bool answer,
                            service_.Reaches(RunId::FromValue(run), v, w));
       out.Boolean(answer);
@@ -249,7 +292,8 @@ Result<std::vector<uint8_t>> ProvenanceServer::Dispatch(
         SKL_ASSIGN_OR_RETURN(VertexId w, ReadU32(reader, "vertex id"));
         pairs.push_back({v, w});
       }
-      SKL_RETURN_NOT_OK(reader.ExpectEnd());
+      SKL_RETURN_NOT_OK(end_read(reader));
+      if (bounce) break;
       SKL_ASSIGN_OR_RETURN(
           std::vector<bool> answers,
           service_.ReachesBatch(RunId::FromValue(run), pairs));
@@ -261,7 +305,8 @@ Result<std::vector<uint8_t>> ProvenanceServer::Dispatch(
       SKL_ASSIGN_OR_RETURN(uint64_t run, reader.U64());
       SKL_ASSIGN_OR_RETURN(DataItemId x, ReadU32(reader, "item id"));
       SKL_ASSIGN_OR_RETURN(DataItemId x_from, ReadU32(reader, "item id"));
-      SKL_RETURN_NOT_OK(reader.ExpectEnd());
+      SKL_RETURN_NOT_OK(end_read(reader));
+      if (bounce) break;
       SKL_ASSIGN_OR_RETURN(
           bool answer, service_.DependsOn(RunId::FromValue(run), x, x_from));
       out.Boolean(answer);
@@ -276,7 +321,8 @@ Result<std::vector<uint8_t>> ProvenanceServer::Dispatch(
         SKL_ASSIGN_OR_RETURN(DataItemId x_from, ReadU32(reader, "item id"));
         pairs.push_back({x, x_from});
       }
-      SKL_RETURN_NOT_OK(reader.ExpectEnd());
+      SKL_RETURN_NOT_OK(end_read(reader));
+      if (bounce) break;
       SKL_ASSIGN_OR_RETURN(
           std::vector<bool> answers,
           service_.DependsOnBatch(RunId::FromValue(run), pairs));
@@ -288,7 +334,8 @@ Result<std::vector<uint8_t>> ProvenanceServer::Dispatch(
       SKL_ASSIGN_OR_RETURN(uint64_t run, reader.U64());
       SKL_ASSIGN_OR_RETURN(VertexId v, ReadU32(reader, "vertex id"));
       SKL_ASSIGN_OR_RETURN(DataItemId x, ReadU32(reader, "item id"));
-      SKL_RETURN_NOT_OK(reader.ExpectEnd());
+      SKL_RETURN_NOT_OK(end_read(reader));
+      if (bounce) break;
       SKL_ASSIGN_OR_RETURN(
           bool answer,
           service_.ModuleDependsOnData(RunId::FromValue(run), v, x));
@@ -299,7 +346,8 @@ Result<std::vector<uint8_t>> ProvenanceServer::Dispatch(
       SKL_ASSIGN_OR_RETURN(uint64_t run, reader.U64());
       SKL_ASSIGN_OR_RETURN(DataItemId x, ReadU32(reader, "item id"));
       SKL_ASSIGN_OR_RETURN(VertexId v, ReadU32(reader, "vertex id"));
-      SKL_RETURN_NOT_OK(reader.ExpectEnd());
+      SKL_RETURN_NOT_OK(end_read(reader));
+      if (bounce) break;
       SKL_ASSIGN_OR_RETURN(
           bool answer,
           service_.DataDependsOnModule(RunId::FromValue(run), x, v));
@@ -312,6 +360,9 @@ Result<std::vector<uint8_t>> ProvenanceServer::Dispatch(
       SKL_ASSIGN_OR_RETURN(::skl::Run run, ReadRunXml(xml));
       SKL_ASSIGN_OR_RETURN(RunId id, service_.AddRun(run));
       out.U64(id.value());
+      // v3 mutating replies carry an ack LSN >= the op's own: the token a
+      // client pins later replica reads with (read-your-writes).
+      if (v3) out.U64(service_.replication_lsn());
       break;
     }
     case MsgType::kImportRun: {
@@ -321,11 +372,13 @@ Result<std::vector<uint8_t>> ProvenanceServer::Dispatch(
           RunId id,
           service_.ImportRun(std::vector<uint8_t>(blob.begin(), blob.end())));
       out.U64(id.value());
+      if (v3) out.U64(service_.replication_lsn());
       break;
     }
     case MsgType::kExportRun: {
       SKL_ASSIGN_OR_RETURN(uint64_t run, reader.U64());
-      SKL_RETURN_NOT_OK(reader.ExpectEnd());
+      SKL_RETURN_NOT_OK(end_read(reader));
+      if (bounce) break;
       SKL_ASSIGN_OR_RETURN(std::vector<uint8_t> blob,
                            service_.ExportRun(RunId::FromValue(run)));
       out.Bytes(blob);
@@ -335,10 +388,12 @@ Result<std::vector<uint8_t>> ProvenanceServer::Dispatch(
       SKL_ASSIGN_OR_RETURN(uint64_t run, reader.U64());
       SKL_RETURN_NOT_OK(reader.ExpectEnd());
       SKL_RETURN_NOT_OK(service_.RemoveRun(RunId::FromValue(run)));
+      if (v3) out.U64(service_.replication_lsn());
       break;
     }
     case MsgType::kListRuns: {
-      SKL_RETURN_NOT_OK(reader.ExpectEnd());
+      SKL_RETURN_NOT_OK(end_read(reader));
+      if (bounce) break;
       const std::vector<RunId> ids = service_.ListRuns();
       out.U64(ids.size());
       for (RunId id : ids) out.U64(id.value());
@@ -346,7 +401,8 @@ Result<std::vector<uint8_t>> ProvenanceServer::Dispatch(
     }
     case MsgType::kRunStats: {
       SKL_ASSIGN_OR_RETURN(uint64_t run, reader.U64());
-      SKL_RETURN_NOT_OK(reader.ExpectEnd());
+      SKL_RETURN_NOT_OK(end_read(reader));
+      if (bounce) break;
       SKL_ASSIGN_OR_RETURN(RunStats stats,
                            service_.Stats(RunId::FromValue(run)));
       out.U64(stats.num_vertices);
@@ -374,6 +430,58 @@ Result<std::vector<uint8_t>> ProvenanceServer::Dispatch(
       out.U64(stats.snapshot_saves);
       out.U64(stats.cache_hits);
       out.U64(stats.cache_misses);
+      if (v3) {
+        // Applied/target LSN pair: equal on a primary, the lag
+        // numerator/denominator on a replica. Clamped so a freshly updated
+        // applied LSN never reads as ahead of a stale target.
+        const uint64_t applied = CurrentAppliedLsn();
+        uint64_t target =
+            options_.oplog != nullptr
+                ? options_.oplog->last_lsn()
+                : target_lsn_.load(std::memory_order_acquire);
+        target = std::max(target, applied);
+        out.U64(applied);
+        out.U64(target);
+      }
+      break;
+    }
+    case MsgType::kSnapshotFetch: {
+      SKL_RETURN_NOT_OK(reader.ExpectEnd());
+      if (options_.oplog == nullptr) {
+        return Status::InvalidArgument(
+            "server has no replication log attached; start it with an "
+            "op-log (e.g. sklctl serve --oplog=...) to serve replicas");
+      }
+      // Read the LSN *before* composing the snapshot: the bytes then
+      // contain every op <= lsn (append-before-ack), and ops > lsn may
+      // appear in both snapshot and stream — which is why replica apply is
+      // idempotent.
+      const uint64_t lsn = options_.oplog->last_lsn();
+      SKL_ASSIGN_OR_RETURN(std::vector<uint8_t> bytes,
+                           service_.SnapshotBytes());
+      out.U64(lsn);
+      out.Bytes(bytes);
+      break;
+    }
+    case MsgType::kSubscribe: {
+      SKL_ASSIGN_OR_RETURN(uint64_t after_lsn, reader.U64());
+      SKL_ASSIGN_OR_RETURN(uint64_t max_ops, reader.U64());
+      SKL_RETURN_NOT_OK(reader.ExpectEnd());
+      if (options_.oplog == nullptr) {
+        return Status::InvalidArgument(
+            "server has no replication log attached; start it with an "
+            "op-log (e.g. sklctl serve --oplog=...) to serve replicas");
+      }
+      // Cap the batch so one subscribe cannot ask for an unbounded reply
+      // frame; the tailer just comes back for the rest.
+      const size_t capped =
+          static_cast<size_t>(std::min<uint64_t>(max_ops, 4096));
+      const std::vector<LogOp> ops =
+          options_.oplog->ReadFrom(after_lsn, capped);
+      *reply_type = MsgType::kLogEntries;
+      out.U64(ops.size());
+      for (const LogOp& op : ops) out.Bytes(SerializeLogOp(op));
+      out.U64(options_.oplog->last_lsn());
       break;
     }
     case MsgType::kSaveSnapshot: {
@@ -396,6 +504,24 @@ Result<std::vector<uint8_t>> ProvenanceServer::Dispatch(
           ProvenanceService loaded,
           ProvenanceService::LoadSnapshot(path, service_.options()));
       service_ = std::move(loaded);
+      if (options_.oplog != nullptr) {
+        // The swap dropped the old service's attachment; re-attach and
+        // append a barrier so recovery and replicas know the registry was
+        // replaced wholesale at this LSN (they chain through the snapshot
+        // rather than replaying across it).
+        service_.AttachOpLog(options_.oplog);
+        LogOp barrier;
+        barrier.kind = LogOp::Kind::kSnapshotBarrier;
+        barrier.blob.assign(path.begin(), path.end());
+        Result<uint64_t> appended =
+            options_.oplog->Append(std::move(barrier));
+        if (!appended.ok()) {
+          return Status::Internal(
+              "snapshot loaded but the op-log barrier append failed (" +
+              appended.status().message() +
+              "); the service is ahead of its replication log");
+        }
+      }
       break;
     }
     default:
@@ -403,7 +529,37 @@ Result<std::vector<uint8_t>> ProvenanceServer::Dispatch(
           "opcode " + std::to_string(static_cast<uint8_t>(frame.type)) +
           " is not dispatchable");
   }
+  if (bounce) {
+    *reply_type = MsgType::kRetryAt;
+    PayloadWriter behind;
+    behind.U64(bounce_applied);
+    return std::move(behind).Finish();
+  }
   return std::move(out).Finish();
+}
+
+uint64_t ProvenanceServer::CurrentAppliedLsn() const {
+  return options_.oplog != nullptr
+             ? options_.oplog->last_lsn()
+             : applied_lsn_.load(std::memory_order_acquire);
+}
+
+void ProvenanceServer::SetReplicationLsns(uint64_t applied_lsn,
+                                          uint64_t target_lsn) {
+  applied_lsn_.store(applied_lsn, std::memory_order_release);
+  target_lsn_.store(target_lsn, std::memory_order_release);
+}
+
+void ProvenanceServer::ReplaceService(ProvenanceService service) {
+  std::unique_lock lock(service_mu_);
+  service_ = std::move(service);
+  if (options_.oplog != nullptr) service_.AttachOpLog(options_.oplog);
+}
+
+void ProvenanceServer::WithServiceShared(
+    const std::function<void(ProvenanceService&)>& fn) {
+  std::shared_lock lock(service_mu_);
+  fn(service_);
 }
 
 void ProvenanceServer::BeginShutdown() {

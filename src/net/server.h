@@ -31,6 +31,7 @@
 #include <atomic>
 #include <condition_variable>
 #include <cstdint>
+#include <functional>
 #include <memory>
 #include <mutex>
 #include <shared_mutex>
@@ -64,6 +65,17 @@ struct ProvenanceServerOptions {
   /// Per-frame size ceiling, bounding what one request can make the server
   /// buffer (AddRun XML and ImportRun blobs included).
   size_t max_frame_bytes = kDefaultMaxFrameBytes;
+  /// Primary-side replication (docs/REPLICATION.md): the op-log this
+  /// server's service appends to. Borrowed — must outlive the server. When
+  /// set, kSnapshotFetch / kSubscribe serve replica bootstrap and tailing,
+  /// and a kLoadSnapshot swap re-attaches the log and appends a barrier.
+  OpLog* oplog = nullptr;
+  /// Replica mode: mutating opcodes (kAddRun, kImportRun, kRemoveRun,
+  /// kLoadSnapshot) are refused with InvalidArgument; the replication
+  /// tailer mutates the service directly via WithServiceShared instead.
+  /// kShutdown and kSaveSnapshot stay allowed (operational, not
+  /// replicated).
+  bool read_only = false;
 };
 
 /// A TCP server owning one ProvenanceService. Non-movable (threads hold
@@ -105,6 +117,23 @@ class ProvenanceServer {
   /// compare remote answers against direct ones.
   const ProvenanceService& service() const { return service_; }
 
+  /// Replica bookkeeping (docs/REPLICATION.md): the LSN the replica has
+  /// applied (what min-LSN read tokens are checked against) and the
+  /// primary's last known LSN (the lag denominator in kServiceStats). A
+  /// primary ignores these — its applied LSN is its op-log head.
+  void SetReplicationLsns(uint64_t applied_lsn, uint64_t target_lsn);
+
+  /// Swaps in a new service under the exclusive service lock — the replica
+  /// re-bootstrap path (a kSnapshotBarrier arrived in the op stream). The
+  /// configured op-log, if any, is re-attached to the new service.
+  void ReplaceService(ProvenanceService service);
+
+  /// Runs `fn` on the served service under the shared service lock: safe
+  /// against a concurrent ReplaceService/kLoadSnapshot swap, concurrent
+  /// with request handling (the service is internally synchronized). The
+  /// replication tailer applies shipped ops through this.
+  void WithServiceShared(const std::function<void(ProvenanceService&)>& fn);
+
  private:
   ProvenanceServer(ProvenanceService service, Options options);
 
@@ -120,9 +149,19 @@ class ProvenanceServer {
 
   /// Request-type switch: decodes the payload, calls the service, encodes
   /// the reply payload. Caller holds service_mu_ (unique for LoadSnapshot,
-  /// shared otherwise) and maps errors onto a kError response.
+  /// shared otherwise) and maps errors onto a kError response. The reply is
+  /// kReply unless the case overrides *reply_type (kLogEntries for
+  /// kSubscribe, kRetryAt for a read whose min-LSN token is ahead of the
+  /// applied LSN). Version-2 requests get version-2 reply shapes — no LSN
+  /// fields.
   Result<std::vector<uint8_t>> Dispatch(const Frame& frame,
-                                        bool* shutdown_after_reply);
+                                        bool* shutdown_after_reply,
+                                        MsgType* reply_type);
+
+  /// The LSN reads are served at: the op-log head on a primary (appends
+  /// ack only after the log has the op, so it is never behind a handed-out
+  /// token), the tailer-reported applied LSN on a replica.
+  uint64_t CurrentAppliedLsn() const;
 
   /// Registers/unregisters a connection fd with the drain bookkeeping.
   bool RegisterConnection(int fd);  ///< false once shutdown began
@@ -149,6 +188,11 @@ class ProvenanceServer {
   size_t open_connections_ = 0;           // accepted minus closed
 
   std::mutex join_mu_;  ///< serializes the accept-thread join (Wait vs dtor)
+
+  // Replica-mode LSN bookkeeping, written by the tailer thread via
+  // SetReplicationLsns and read by every dispatch; unused on a primary.
+  std::atomic<uint64_t> applied_lsn_{0};
+  std::atomic<uint64_t> target_lsn_{0};
 };
 
 }  // namespace skl

@@ -1,0 +1,108 @@
+#include "src/replication/fleet_client.h"
+
+#include <utility>
+
+namespace skl {
+
+Result<FleetClient> FleetClient::Connect(
+    const std::string& primary, const std::vector<std::string>& replicas,
+    const Options& options) {
+  SKL_ASSIGN_OR_RETURN(ProvenanceClient primary_client,
+                       ProvenanceClient::ConnectHostPort(primary, options));
+  std::vector<ProvenanceClient> replica_clients;
+  replica_clients.reserve(replicas.size());
+  for (const std::string& endpoint : replicas) {
+    Result<ProvenanceClient> client =
+        ProvenanceClient::ConnectHostPort(endpoint, options);
+    if (!client.ok()) {
+      return Status::Unavailable("replica '" + endpoint +
+                                 "': " + client.status().message());
+    }
+    replica_clients.push_back(std::move(*client));
+  }
+  return FleetClient(std::move(primary_client), std::move(replica_clients));
+}
+
+void FleetClient::PinWriteLsn() {
+  const uint64_t lsn = primary_.last_write_lsn();
+  for (ProvenanceClient& replica : replicas_) replica.SetReadLsn(lsn);
+}
+
+Result<RunId> FleetClient::AddRun(const Run& run) {
+  SKL_ASSIGN_OR_RETURN(RunId id, primary_.AddRun(run));
+  PinWriteLsn();
+  return id;
+}
+
+Result<RunId> FleetClient::AddRunXml(std::string_view run_xml) {
+  SKL_ASSIGN_OR_RETURN(RunId id, primary_.AddRunXml(run_xml));
+  PinWriteLsn();
+  return id;
+}
+
+Result<RunId> FleetClient::ImportRun(const std::vector<uint8_t>& blob) {
+  SKL_ASSIGN_OR_RETURN(RunId id, primary_.ImportRun(blob));
+  PinWriteLsn();
+  return id;
+}
+
+Status FleetClient::RemoveRun(RunId id) {
+  SKL_RETURN_NOT_OK(primary_.RemoveRun(id));
+  PinWriteLsn();
+  return Status::OK();
+}
+
+Result<bool> FleetClient::Reaches(RunId id, VertexId v, VertexId w) {
+  return ReadOp(
+      [&](ProvenanceClient& client) { return client.Reaches(id, v, w); });
+}
+
+Result<std::vector<bool>> FleetClient::ReachesBatch(
+    RunId id, std::span<const VertexPair> pairs) {
+  return ReadOp([&](ProvenanceClient& client) {
+    return client.ReachesBatch(id, pairs);
+  });
+}
+
+Result<bool> FleetClient::DependsOn(RunId id, DataItemId x,
+                                    DataItemId x_from) {
+  return ReadOp([&](ProvenanceClient& client) {
+    return client.DependsOn(id, x, x_from);
+  });
+}
+
+Result<std::vector<bool>> FleetClient::DependsOnBatch(
+    RunId id, std::span<const ItemPair> pairs) {
+  return ReadOp([&](ProvenanceClient& client) {
+    return client.DependsOnBatch(id, pairs);
+  });
+}
+
+Result<bool> FleetClient::ModuleDependsOnData(RunId id, VertexId v,
+                                              DataItemId x) {
+  return ReadOp([&](ProvenanceClient& client) {
+    return client.ModuleDependsOnData(id, v, x);
+  });
+}
+
+Result<bool> FleetClient::DataDependsOnModule(RunId id, DataItemId x,
+                                              VertexId v) {
+  return ReadOp([&](ProvenanceClient& client) {
+    return client.DataDependsOnModule(id, x, v);
+  });
+}
+
+Result<std::vector<uint8_t>> FleetClient::ExportRun(RunId id) {
+  return ReadOp(
+      [&](ProvenanceClient& client) { return client.ExportRun(id); });
+}
+
+Result<std::vector<RunId>> FleetClient::ListRuns() {
+  return ReadOp([&](ProvenanceClient& client) { return client.ListRuns(); });
+}
+
+Result<RunStats> FleetClient::Stats(RunId id) {
+  return ReadOp([&](ProvenanceClient& client) { return client.Stats(id); });
+}
+
+}  // namespace skl

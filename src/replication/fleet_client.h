@@ -1,0 +1,119 @@
+// FleetClient: one logical client over a primary + N read replicas
+// (docs/REPLICATION.md).
+//
+//   auto fleet = *FleetClient::Connect(
+//       "127.0.0.1:7001", {"127.0.0.1:7002", "127.0.0.1:7003"});
+//   RunId id = *fleet.AddRun(run);           // pinned to the primary
+//   bool dep = *fleet.Reaches(id, v, w);     // load-balanced over replicas
+//
+// Writes always go to the primary. Every successful write's ack LSN is
+// pinned as the read-LSN token on every replica connection, so subsequent
+// reads are read-your-writes: a replica that has not caught up to the
+// write answers kRetryAt and the fleet client moves on to the next
+// endpoint, falling back to the primary (which by construction always has
+// every acked write). Reads rotate round-robin across the replicas;
+// endpoints that answer kUnavailable are likewise skipped for that call.
+// With no replicas configured, everything goes to the primary — a drop-in
+// ProvenanceClient.
+//
+// Like ProvenanceClient, a FleetClient is NOT thread-safe; open one per
+// thread.
+#ifndef SKL_REPLICATION_FLEET_CLIENT_H_
+#define SKL_REPLICATION_FLEET_CLIENT_H_
+
+#include <cstdint>
+#include <span>
+#include <string>
+#include <string_view>
+#include <utility>
+#include <vector>
+
+#include "src/common/status.h"
+#include "src/core/provenance_service.h"
+#include "src/net/client.h"
+
+namespace skl {
+
+class FleetClient {
+ public:
+  using Options = ProvenanceClientOptions;
+
+  /// Connects to every endpoint ("host:port" each) up front; any endpoint
+  /// failing to connect fails the whole call (a fleet with silently
+  /// missing members would skew reads toward the survivors unnoticed).
+  static Result<FleetClient> Connect(const std::string& primary,
+                                     const std::vector<std::string>& replicas,
+                                     const Options& options = {});
+
+  FleetClient(FleetClient&&) = default;
+  FleetClient& operator=(FleetClient&&) = default;
+
+  // -------------------------------------------- writes (primary-pinned) --
+
+  Result<RunId> AddRun(const Run& run);
+  Result<RunId> AddRunXml(std::string_view run_xml);
+  Result<RunId> ImportRun(const std::vector<uint8_t>& blob);
+  Status RemoveRun(RunId id);
+
+  // ----------------------------------------- reads (replica-balanced) --
+
+  Result<bool> Reaches(RunId id, VertexId v, VertexId w);
+  Result<std::vector<bool>> ReachesBatch(RunId id,
+                                         std::span<const VertexPair> pairs);
+  Result<bool> DependsOn(RunId id, DataItemId x, DataItemId x_from);
+  Result<std::vector<bool>> DependsOnBatch(RunId id,
+                                           std::span<const ItemPair> pairs);
+  Result<bool> ModuleDependsOnData(RunId id, VertexId v, DataItemId x);
+  Result<bool> DataDependsOnModule(RunId id, DataItemId x, VertexId v);
+  Result<std::vector<uint8_t>> ExportRun(RunId id);
+  Result<std::vector<RunId>> ListRuns();
+  Result<RunStats> Stats(RunId id);
+
+  // ------------------------------------------------------------ fleet --
+
+  /// The primary's ack LSN of the last successful write through this
+  /// client (the token replica reads are pinned at).
+  uint64_t last_write_lsn() const { return primary_.last_write_lsn(); }
+
+  ProvenanceClient& primary() { return primary_; }
+  size_t num_replicas() const { return replicas_.size(); }
+  ProvenanceClient& replica(size_t i) { return replicas_[i]; }
+
+ private:
+  FleetClient(ProvenanceClient primary,
+              std::vector<ProvenanceClient> replicas)
+      : primary_(std::move(primary)), replicas_(std::move(replicas)) {}
+
+  /// After a successful write: pin the primary's ack LSN on every replica
+  /// connection (monotone, so an older ack never lowers it).
+  void PinWriteLsn();
+
+  /// Runs a read against the replicas round-robin, skipping endpoints that
+  /// answer kRetryAt (behind the pinned LSN) or kUnavailable (down), and
+  /// falls back to the primary. Any other error is the query's real answer
+  /// and is returned from the endpoint that produced it.
+  template <typename Fn>
+  auto ReadOp(Fn&& fn) -> decltype(fn(std::declval<ProvenanceClient&>())) {
+    const size_t n = replicas_.size();
+    for (size_t i = 0; i < n; ++i) {
+      const size_t at = (next_replica_ + i) % n;
+      auto result = fn(replicas_[at]);
+      const StatusCode code =
+          result.ok() ? StatusCode::kOk : result.status().code();
+      if (code == StatusCode::kRetryAt || code == StatusCode::kUnavailable) {
+        continue;  // behind or down: try the next endpoint
+      }
+      next_replica_ = (at + 1) % n;
+      return result;
+    }
+    return fn(primary_);
+  }
+
+  ProvenanceClient primary_;
+  std::vector<ProvenanceClient> replicas_;
+  size_t next_replica_ = 0;
+};
+
+}  // namespace skl
+
+#endif  // SKL_REPLICATION_FLEET_CLIENT_H_

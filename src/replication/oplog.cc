@@ -1,0 +1,479 @@
+#include "src/replication/oplog.h"
+
+#include <algorithm>
+#include <filesystem>
+#include <fstream>
+
+#if defined(__unix__) || defined(__APPLE__)
+#include <fcntl.h>
+#include <unistd.h>
+#endif
+
+#include "src/common/bit_codec.h"
+#include "src/common/crc32.h"
+
+namespace skl {
+
+namespace {
+
+constexpr uint32_t kMagic = 0x534b4c4f;  // "SKLO"
+
+/// Bytes of the len + CRC prefix in front of every entry payload.
+constexpr size_t kEntryFrameBytes = 8;
+
+#if defined(__unix__) || defined(__APPLE__)
+Status FsyncPath(const char* path, int flags, const std::string& what) {
+  int fd = ::open(path, flags);
+  if (fd < 0) return Status::Internal("cannot open " + what + " for sync");
+  const bool synced = ::fsync(fd) == 0;
+  ::close(fd);
+  if (!synced) return Status::Internal("cannot sync " + what);
+  return Status::OK();
+}
+#endif
+
+Status SyncDir(const std::string& dir) {
+#if defined(__unix__) || defined(__APPLE__)
+  const std::string d = dir.empty() ? "." : dir;
+  return FsyncPath(d.c_str(), O_RDONLY | O_DIRECTORY,
+                   "op-log directory " + d);
+#else
+  (void)dir;
+  return Status::OK();
+#endif
+}
+
+/// Flushes an open log file's written bytes to stable storage.
+Status SyncOpenFile(std::FILE* file, const std::string& path) {
+#if defined(__unix__) || defined(__APPLE__)
+  if (::fsync(::fileno(file)) != 0) {
+    return Status::Internal("cannot sync op-log file " + path);
+  }
+#else
+  (void)file;
+  (void)path;
+#endif
+  return Status::OK();
+}
+
+Result<std::vector<uint8_t>> ReadFileBytes(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in) return Status::NotFound("cannot open op-log file " + path);
+  std::vector<uint8_t> bytes((std::istreambuf_iterator<char>(in)),
+                             std::istreambuf_iterator<char>());
+  if (in.bad()) return Status::Internal("error reading op-log file " + path);
+  return bytes;
+}
+
+std::span<const uint8_t> StrSpan(const std::string& s) {
+  return {reinterpret_cast<const uint8_t*>(s.data()), s.size()};
+}
+
+/// The bytes a fresh log file starts with: magic, format version, and the
+/// CRC-framed header payload naming the spec and scheme.
+std::vector<uint8_t> EncodeFilePrefix(const std::string& spec_xml,
+                                      const std::string& scheme_name) {
+  BitWriter header;
+  header.WriteVarint(spec_xml.size());
+  header.WriteBytes(StrSpan(spec_xml));
+  header.WriteVarint(scheme_name.size());
+  header.WriteBytes(StrSpan(scheme_name));
+  const std::vector<uint8_t> header_payload = header.Finish();
+
+  BitWriter prefix;
+  prefix.Write(kMagic, 32);
+  prefix.WriteVarint(kOpLogFormatVersion);
+  prefix.Write(static_cast<uint32_t>(header_payload.size()), 32);
+  prefix.Write(Crc32(header_payload), 32);
+  prefix.WriteBytes(header_payload);
+  return prefix.Finish();
+}
+
+}  // namespace
+
+// ------------------------------------------------------- entry payloads --
+
+std::vector<uint8_t> SerializeLogOp(const LogOp& op) {
+  BitWriter writer;
+  writer.WriteVarint(op.lsn);
+  writer.Write(static_cast<uint8_t>(op.kind), 8);
+  switch (op.kind) {
+    case LogOp::Kind::kAddRun:
+    case LogOp::Kind::kImportRun: {
+      writer.WriteVarint(op.run_id);
+      const RunStats& s = op.stats;
+      writer.WriteVarint(s.num_vertices);
+      writer.WriteVarint(s.num_items);
+      writer.WriteVarint(s.label_bits);
+      writer.WriteVarint(s.context_bits);
+      writer.WriteVarint(s.origin_bits);
+      writer.WriteVarint(s.num_nonempty_plus);
+      writer.WriteVarint(s.imported ? 1 : 0);
+      writer.WriteVarint(op.blob.size());
+      writer.WriteBytes(op.blob);
+      break;
+    }
+    case LogOp::Kind::kRemoveRun:
+      writer.WriteVarint(op.run_id);
+      break;
+    case LogOp::Kind::kSnapshotBarrier:
+      writer.WriteVarint(op.blob.size());
+      writer.WriteBytes(op.blob);
+      break;
+  }
+  return writer.Finish();
+}
+
+Result<LogOp> DeserializeLogOp(std::span<const uint8_t> payload) {
+  BitReader reader(payload.data(), payload.size());
+  uint64_t lsn = 0, kind = 0;
+  if (!reader.ReadVarint(&lsn).ok()) {
+    return Status::ParseError("op-log entry truncated inside its LSN");
+  }
+  if (lsn == 0) {
+    return Status::ParseError("op-log entry carries LSN 0 (LSNs start at 1)");
+  }
+  if (!reader.Read(8, &kind).ok()) {
+    return Status::ParseError("op-log entry truncated before its op kind");
+  }
+  if (kind < static_cast<uint64_t>(LogOp::Kind::kAddRun) ||
+      kind > static_cast<uint64_t>(LogOp::Kind::kSnapshotBarrier)) {
+    return Status::ParseError("op-log entry has unknown op kind " +
+                              std::to_string(kind));
+  }
+
+  LogOp op;
+  op.lsn = lsn;
+  op.kind = static_cast<LogOp::Kind>(kind);
+  switch (op.kind) {
+    case LogOp::Kind::kAddRun:
+    case LogOp::Kind::kImportRun: {
+      uint64_t run_id = 0, num_vertices = 0, num_items = 0, label_bits = 0,
+               context_bits = 0, origin_bits = 0, num_nonempty_plus = 0,
+               imported = 0, blob_len = 0;
+      if (!reader.ReadVarint(&run_id).ok() ||
+          !reader.ReadVarint(&num_vertices).ok() ||
+          !reader.ReadVarint(&num_items).ok() ||
+          !reader.ReadVarint(&label_bits).ok() ||
+          !reader.ReadVarint(&context_bits).ok() ||
+          !reader.ReadVarint(&origin_bits).ok() ||
+          !reader.ReadVarint(&num_nonempty_plus).ok() ||
+          !reader.ReadVarint(&imported).ok() ||
+          !reader.ReadVarint(&blob_len).ok()) {
+        return Status::ParseError("op-log entry LSN " + std::to_string(lsn) +
+                                  ": truncated run fields");
+      }
+      if (run_id == 0) {
+        return Status::ParseError("op-log entry LSN " + std::to_string(lsn) +
+                                  ": run id 0 is not a valid id");
+      }
+      if (imported > 1) {
+        return Status::ParseError("op-log entry LSN " + std::to_string(lsn) +
+                                  ": bad imported flag");
+      }
+      // The stats fields restore into uint32_t (same guard as the snapshot
+      // Runs section): a corrupted varint must not silently truncate.
+      if (num_vertices > UINT32_MAX || label_bits > UINT32_MAX ||
+          context_bits > UINT32_MAX || origin_bits > UINT32_MAX ||
+          num_nonempty_plus > UINT32_MAX) {
+        return Status::ParseError("op-log entry LSN " + std::to_string(lsn) +
+                                  ": stats field out of range");
+      }
+      std::span<const uint8_t> blob;
+      if (!reader.ReadBytes(static_cast<size_t>(blob_len), &blob).ok()) {
+        return Status::ParseError(
+            "op-log entry LSN " + std::to_string(lsn) + " declares " +
+            std::to_string(blob_len) + " blob bytes past the entry end");
+      }
+      op.run_id = run_id;
+      op.stats.num_vertices = static_cast<VertexId>(num_vertices);
+      op.stats.num_items = static_cast<size_t>(num_items);
+      op.stats.label_bits = static_cast<uint32_t>(label_bits);
+      op.stats.context_bits = static_cast<uint32_t>(context_bits);
+      op.stats.origin_bits = static_cast<uint32_t>(origin_bits);
+      op.stats.num_nonempty_plus = static_cast<uint32_t>(num_nonempty_plus);
+      op.stats.imported = imported != 0;
+      op.blob.assign(blob.begin(), blob.end());
+      break;
+    }
+    case LogOp::Kind::kRemoveRun: {
+      uint64_t run_id = 0;
+      if (!reader.ReadVarint(&run_id).ok()) {
+        return Status::ParseError("op-log entry LSN " + std::to_string(lsn) +
+                                  ": truncated run id");
+      }
+      if (run_id == 0) {
+        return Status::ParseError("op-log entry LSN " + std::to_string(lsn) +
+                                  ": run id 0 is not a valid id");
+      }
+      op.run_id = run_id;
+      break;
+    }
+    case LogOp::Kind::kSnapshotBarrier: {
+      uint64_t blob_len = 0;
+      if (!reader.ReadVarint(&blob_len).ok()) {
+        return Status::ParseError("op-log entry LSN " + std::to_string(lsn) +
+                                  ": truncated barrier payload length");
+      }
+      std::span<const uint8_t> blob;
+      if (!reader.ReadBytes(static_cast<size_t>(blob_len), &blob).ok()) {
+        return Status::ParseError(
+            "op-log entry LSN " + std::to_string(lsn) + " declares " +
+            std::to_string(blob_len) + " barrier bytes past the entry end");
+      }
+      op.blob.assign(blob.begin(), blob.end());
+      break;
+    }
+  }
+  reader.AlignToByte();
+  if (reader.bit_position() / 8 != payload.size()) {
+    return Status::ParseError(
+        "op-log entry LSN " + std::to_string(lsn) + " has " +
+        std::to_string(payload.size() - reader.bit_position() / 8) +
+        " trailing bytes");
+  }
+  return op;
+}
+
+// ------------------------------------------------------------ the log --
+
+OpLog::OpLog(std::string path, std::string spec_xml, std::string scheme_name,
+             Options options)
+    : path_(std::move(path)),
+      spec_xml_(std::move(spec_xml)),
+      scheme_name_(std::move(scheme_name)),
+      options_(options) {}
+
+OpLog::~OpLog() {
+  if (file_ != nullptr) std::fclose(file_);
+}
+
+Result<OpLogReplay> OpLog::ReplayFile(const std::string& path) {
+  SKL_ASSIGN_OR_RETURN(std::vector<uint8_t> bytes, ReadFileBytes(path));
+  BitReader reader(bytes);
+
+  uint64_t magic = 0;
+  if (!reader.Read(32, &magic).ok()) {
+    return Status::ParseError("op-log truncated: missing file header");
+  }
+  if (magic != kMagic) {
+    return Status::ParseError("not an SKL op-log (bad magic)");
+  }
+  uint64_t version = 0;
+  if (!reader.ReadVarint(&version).ok()) {
+    return Status::ParseError("op-log truncated: missing format version");
+  }
+  if (version != kOpLogFormatVersion) {
+    return Status::ParseError(
+        "unsupported op-log format version " + std::to_string(version) +
+        " (this build reads version " + std::to_string(kOpLogFormatVersion) +
+        ")");
+  }
+  uint64_t header_len = 0, header_crc = 0;
+  if (!reader.Read(32, &header_len).ok() ||
+      !reader.Read(32, &header_crc).ok()) {
+    return Status::ParseError("op-log truncated: incomplete header frame");
+  }
+  std::span<const uint8_t> header_payload;
+  if (!reader.ReadBytes(static_cast<size_t>(header_len), &header_payload)
+           .ok()) {
+    return Status::ParseError("op-log header declares " +
+                              std::to_string(header_len) +
+                              " bytes past end of file");
+  }
+  if (Crc32(header_payload) != header_crc) {
+    return Status::ParseError(
+        "op-log header checksum mismatch (corrupted header)");
+  }
+
+  OpLogReplay replay;
+  {
+    BitReader header(header_payload.data(), header_payload.size());
+    uint64_t spec_len = 0, scheme_len = 0;
+    std::span<const uint8_t> spec, scheme;
+    if (!header.ReadVarint(&spec_len).ok() ||
+        !header.ReadBytes(static_cast<size_t>(spec_len), &spec).ok() ||
+        !header.ReadVarint(&scheme_len).ok() ||
+        !header.ReadBytes(static_cast<size_t>(scheme_len), &scheme).ok()) {
+      return Status::ParseError("op-log header payload is malformed");
+    }
+    header.AlignToByte();
+    if (header.bit_position() / 8 != header_payload.size()) {
+      return Status::ParseError("op-log header has trailing bytes");
+    }
+    replay.spec_xml.assign(spec.begin(), spec.end());
+    replay.scheme_name.assign(scheme.begin(), scheme.end());
+  }
+
+  // Entry loop. The replay invariant: after every iteration, ops holds the
+  // complete valid prefix (LSNs 1..last_lsn) and valid_bytes points just
+  // past it — the first damaged frame sets `tail` and stops, never skips.
+  replay.valid_bytes = reader.bit_position() / 8;
+  const size_t total = bytes.size();
+  while (true) {
+    const size_t offset = reader.bit_position() / 8;
+    const size_t remaining = total - offset;
+    if (remaining == 0) break;  // clean end: tail stays OK
+    const std::string after = "after LSN " + std::to_string(replay.last_lsn);
+    if (remaining < kEntryFrameBytes) {
+      replay.tail = Status::ParseError(
+          "op-log torn tail " + after + ": " + std::to_string(remaining) +
+          " trailing bytes are too short for an entry frame");
+      break;
+    }
+    uint64_t len = 0, crc = 0;
+    // Cannot fail: kEntryFrameBytes are present.
+    (void)reader.Read(32, &len);
+    (void)reader.Read(32, &crc);
+    if (len > remaining - kEntryFrameBytes) {
+      replay.tail = Status::ParseError(
+          "op-log entry " + after + " declares " + std::to_string(len) +
+          " payload bytes but only " +
+          std::to_string(remaining - kEntryFrameBytes) +
+          " remain (torn tail)");
+      break;
+    }
+    std::span<const uint8_t> payload;
+    (void)reader.ReadBytes(static_cast<size_t>(len), &payload);
+    if (Crc32(payload) != crc) {
+      replay.tail = Status::ParseError(
+          "op-log entry " + after +
+          " failed its CRC-32 check (corrupted or torn append)");
+      break;
+    }
+    Result<LogOp> op = DeserializeLogOp(payload);
+    if (!op.ok()) {
+      replay.tail = Status::ParseError("op-log entry " + after +
+                                       " is malformed: " +
+                                       op.status().message());
+      break;
+    }
+    if (op->lsn != replay.last_lsn + 1) {
+      replay.tail = Status::ParseError(
+          "op-log LSN discontinuity: expected " +
+          std::to_string(replay.last_lsn + 1) + ", entry carries " +
+          std::to_string(op->lsn));
+      break;
+    }
+    replay.ops.push_back(std::move(op).value());
+    replay.last_lsn += 1;
+    replay.valid_bytes = reader.bit_position() / 8;
+  }
+  return replay;
+}
+
+Result<std::unique_ptr<OpLog>> OpLog::Open(const std::string& path,
+                                           const std::string& spec_xml,
+                                           const std::string& scheme_name,
+                                           Options options) {
+  std::unique_ptr<OpLog> log(
+      new OpLog(path, spec_xml, scheme_name, options));
+  std::error_code ec;
+  const bool exists = std::filesystem::exists(path, ec);
+  if (exists) {
+    SKL_ASSIGN_OR_RETURN(OpLogReplay replay, ReplayFile(path));
+    if (replay.spec_xml != spec_xml) {
+      return Status::InvalidArgument(
+          "op-log at " + path +
+          " was written for a different specification; refusing to append");
+    }
+    if (replay.scheme_name != scheme_name) {
+      return Status::InvalidArgument(
+          "op-log at " + path + " was written for scheme '" +
+          replay.scheme_name + "', not '" + scheme_name +
+          "'; refusing to append");
+    }
+    // Drop the torn/corrupt tail (if any) so the next append lands right
+    // after the last valid entry instead of extending garbage.
+    std::error_code size_ec;
+    const uintmax_t size = std::filesystem::file_size(path, size_ec);
+    if (size_ec) {
+      return Status::Internal("cannot stat op-log file " + path + ": " +
+                              size_ec.message());
+    }
+    if (size > replay.valid_bytes) {
+      std::error_code trunc_ec;
+      std::filesystem::resize_file(path, replay.valid_bytes, trunc_ec);
+      if (trunc_ec) {
+        return Status::Internal("cannot truncate op-log torn tail at " +
+                                path + ": " + trunc_ec.message());
+      }
+    }
+    log->ops_ = std::move(replay.ops);
+    log->last_lsn_.store(replay.last_lsn, std::memory_order_release);
+    log->file_ = std::fopen(path.c_str(), "ab");
+    if (log->file_ == nullptr) {
+      return Status::Internal("cannot open op-log file " + path +
+                              " for append");
+    }
+  } else {
+    log->file_ = std::fopen(path.c_str(), "wb");
+    if (log->file_ == nullptr) {
+      return Status::Internal("cannot create op-log file " + path);
+    }
+    const std::vector<uint8_t> prefix =
+        EncodeFilePrefix(spec_xml, scheme_name);
+    if (std::fwrite(prefix.data(), 1, prefix.size(), log->file_) !=
+            prefix.size() ||
+        std::fflush(log->file_) != 0) {
+      return Status::Internal("error writing op-log header to " + path);
+    }
+    if (options.fsync) {
+      SKL_RETURN_NOT_OK(SyncOpenFile(log->file_, path));
+      // The file's directory entry must also be durable, or a crash could
+      // forget the log existed while clients hold acks recorded in it.
+      SKL_RETURN_NOT_OK(
+          SyncDir(std::filesystem::path(path).parent_path().string()));
+    }
+  }
+  return log;
+}
+
+Result<uint64_t> OpLog::Append(LogOp op) {
+  std::lock_guard<std::mutex> lock(mu_);
+  if (!poisoned_.ok()) return poisoned_;
+  const uint64_t lsn = last_lsn_.load(std::memory_order_relaxed) + 1;
+  op.lsn = lsn;
+  const std::vector<uint8_t> payload = SerializeLogOp(op);
+  BitWriter framed;
+  framed.Write(static_cast<uint32_t>(payload.size()), 32);
+  framed.Write(Crc32(payload), 32);
+  framed.WriteBytes(payload);
+  const std::vector<uint8_t> bytes = framed.Finish();
+  if (std::fwrite(bytes.data(), 1, bytes.size(), file_) != bytes.size() ||
+      std::fflush(file_) != 0) {
+    poisoned_ = Status::Internal(
+        "op-log append of LSN " + std::to_string(lsn) + " failed: write "
+        "error on " + path_ + " (the file may hold a torn entry; the log "
+        "is poisoned and refuses further appends)");
+    return poisoned_;
+  }
+  if (options_.fsync) {
+    Status synced = SyncOpenFile(file_, path_);
+    if (!synced.ok()) {
+      poisoned_ = Status::Internal(
+          "op-log append of LSN " + std::to_string(lsn) +
+          " failed: " + synced.message() +
+          " (durability unknown; the log is poisoned)");
+      return poisoned_;
+    }
+  }
+  ops_.push_back(std::move(op));
+  last_lsn_.store(lsn, std::memory_order_release);
+  return lsn;
+}
+
+std::vector<LogOp> OpLog::ReadFrom(uint64_t after_lsn, size_t max_ops) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  std::vector<LogOp> out;
+  if (after_lsn >= ops_.size()) return out;
+  // LSN n lives at index n-1, so the first entry past `after_lsn` is at
+  // index after_lsn exactly.
+  const size_t begin = static_cast<size_t>(after_lsn);
+  const size_t end = std::min(ops_.size(), begin + max_ops);
+  out.assign(ops_.begin() + static_cast<ptrdiff_t>(begin),
+             ops_.begin() + static_cast<ptrdiff_t>(end));
+  return out;
+}
+
+}  // namespace skl

@@ -1,0 +1,155 @@
+// Replica-side and recovery halves of the replication subsystem
+// (docs/REPLICATION.md; the primary-side half is OpLog + the server's
+// kSnapshotFetch/kSubscribe handlers).
+//
+//   // Crash recovery: rebuild a primary from its op-log alone.
+//   auto rec = *RecoverPrimary("/var/lib/skl/ops.log");
+//   auto server = *ProvenanceServer::Start(std::move(rec.service),
+//                                          {.oplog = rec.oplog.get()});
+//
+//   // A read replica: bootstrap from the primary's snapshot, serve reads,
+//   // tail the op stream until stopped.
+//   auto replica = *ReadReplica::Start("127.0.0.1", primary_port, {});
+//   // ... point read clients at replica->port() ...
+//
+// A ReadReplica owns a read-only ProvenanceServer plus one tailer thread.
+// The tailer bootstraps via kSnapshotFetch (a snapshot containing every op
+// up to some LSN L), then streams kSubscribe batches from L onward,
+// applying each op under the server's shared service lock. Apply is
+// idempotent (snapshot and stream may overlap at L) and strictly in LSN
+// order. A kSnapshotBarrier in the stream means the primary's registry was
+// replaced wholesale (kLoadSnapshot) — the replica re-bootstraps from a
+// fresh snapshot instead of replaying across it. A dead primary just makes
+// the tailer retry with backoff; the replica keeps answering reads at its
+// last applied LSN throughout (the failover property the CI smoke step
+// kills a primary to check).
+#ifndef SKL_REPLICATION_REPLICATOR_H_
+#define SKL_REPLICATION_REPLICATOR_H_
+
+#include <atomic>
+#include <cstdint>
+#include <memory>
+#include <mutex>
+#include <optional>
+#include <string>
+#include <thread>
+
+#include "src/common/status.h"
+#include "src/core/provenance_service.h"
+#include "src/net/client.h"
+#include "src/net/server.h"
+#include "src/replication/oplog.h"
+
+namespace skl {
+
+/// Applies one shipped log op to a service: AddRun/ImportRun restore the
+/// primary's record under the primary's id (idempotent), RemoveRun removes
+/// it (an id already gone is OK — replay idempotence), a barrier is a
+/// no-op here (the tailer and RecoverPrimary give it meaning). The service
+/// must not have an op-log attached, or removals would re-append.
+Status ApplyLogOp(ProvenanceService& service, const LogOp& op);
+
+/// What RecoverPrimary rebuilt: the service at the state the log proves,
+/// and the log reopened for appending (already attached to the service).
+struct RecoveredPrimary {
+  ProvenanceService service;
+  std::unique_ptr<OpLog> oplog;
+};
+
+/// Rebuilds a crashed primary from its op-log: replays the header's
+/// specification + scheme, applies every surviving entry in LSN order
+/// (chaining through snapshot barriers by loading the recorded snapshot
+/// file), truncates any torn tail, and reopens the log for appending. The
+/// recovered service answers exactly like the pre-crash one for every op
+/// that was acked (append-before-ack), and its next RunId continues the
+/// pre-crash sequence.
+Result<RecoveredPrimary> RecoverPrimary(
+    const std::string& oplog_path,
+    ProvenanceService::Options service_options = {},
+    OpLog::Options oplog_options = {});
+
+/// ReadReplica knobs. (Namespace-scope so it can be brace-defaulted;
+/// spelled ReadReplica::Options at call sites.)
+struct ReadReplicaOptions {
+  /// Where the replica's read-only server listens.
+  std::string listen_address = "127.0.0.1";
+  uint16_t port = 0;  ///< 0 picks an ephemeral port
+  unsigned num_threads = 4;
+  /// Tailer sleep between empty kSubscribe polls.
+  unsigned poll_interval_ms = 2;
+  /// Max ops per kSubscribe batch (the server additionally caps at 4096).
+  size_t max_batch = 512;
+  /// Runtime knobs for the replica's own service instance.
+  ProvenanceService::Options service;
+  /// Connection options for the tailer's client (backoff knobs govern the
+  /// reconnect cadence after the primary drops).
+  ProvenanceClient::Options client;
+};
+
+/// A read-only replica of one primary. Non-movable (the tailer thread
+/// holds `this`), so Start returns it behind a unique_ptr.
+class ReadReplica {
+ public:
+  using Options = ReadReplicaOptions;
+
+  /// Synchronous bootstrap: connects to the primary, fetches a snapshot,
+  /// starts the read-only server at that state, then spawns the tailer.
+  /// On return the replica is serving — possibly behind the primary, which
+  /// is what read-LSN tokens are for.
+  static Result<std::unique_ptr<ReadReplica>> Start(
+      const std::string& primary_host, uint16_t primary_port,
+      Options options = {});
+
+  /// Stops the tailer and shuts the server down (idempotent).
+  ~ReadReplica();
+  void Stop();
+
+  ReadReplica(const ReadReplica&) = delete;
+  ReadReplica& operator=(const ReadReplica&) = delete;
+
+  /// The replica server's bound port (resolves Options::port = 0).
+  uint16_t port() const { return server_->port(); }
+  ProvenanceServer& server() { return *server_; }
+
+  /// Last LSN applied to the replica's service.
+  uint64_t applied_lsn() const {
+    return applied_.load(std::memory_order_acquire);
+  }
+
+  /// Blocks until applied_lsn() >= lsn (polling), the tailer records an
+  /// error, or the timeout elapses (Unavailable naming both LSNs).
+  Status WaitForLsn(uint64_t lsn, uint64_t timeout_ms) const;
+
+  /// The tailer's most recent error (transport errors clear once a retry
+  /// succeeds; apply errors are terminal and stop the tailer).
+  Status tail_error() const;
+
+ private:
+  ReadReplica(Options options, std::string primary_host,
+              uint16_t primary_port);
+
+  void TailLoop();
+  /// Fetches a fresh snapshot and swaps it in (the kSnapshotBarrier path);
+  /// advances applied_ to the snapshot's LSN.
+  Status Rebootstrap();
+  void RecordError(Status status);
+
+  Options options_;
+  std::string primary_host_;
+  uint16_t primary_port_ = 0;
+
+  std::unique_ptr<ProvenanceServer> server_;
+  std::optional<ProvenanceClient> client_;  ///< tailer-owned connection
+
+  std::thread tail_thread_;
+  std::atomic<bool> stop_{false};
+  std::atomic<uint64_t> applied_{0};
+
+  mutable std::mutex err_mu_;
+  Status tail_error_;  // guarded by err_mu_
+  bool stopped_ = false;  ///< Stop() ran (guarded by err_mu_)
+};
+
+}  // namespace skl
+
+#endif  // SKL_REPLICATION_REPLICATOR_H_

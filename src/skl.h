@@ -12,7 +12,9 @@
 // (SkeletonLabeler, OnlineLabeler) remain available for single-run and
 // embedded uses. For serving queries to other processes, wrap the service
 // in a ProvenanceServer and connect with ProvenanceClient (src/net/,
-// docs/NETWORK.md) — the client mirrors the service API.
+// docs/NETWORK.md) — the client mirrors the service API. For durability and
+// horizontal read scaling, attach an OpLog and point ReadReplica /
+// FleetClient at the server (src/replication/, docs/REPLICATION.md).
 #ifndef SKL_SKL_H_
 #define SKL_SKL_H_
 
@@ -31,6 +33,9 @@
 #include "src/net/client.h"
 #include "src/net/protocol.h"
 #include "src/net/server.h"
+#include "src/replication/fleet_client.h"
+#include "src/replication/oplog.h"
+#include "src/replication/replicator.h"
 #include "src/speclabel/scheme.h"
 #include "src/workflow/run.h"
 #include "src/workflow/specification.h"

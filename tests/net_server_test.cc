@@ -455,6 +455,83 @@ TEST(NetServerTest, UnknownOpcodeAndWrongVersionGetDescriptiveErrors) {
   server->Shutdown();
 }
 
+TEST(NetServerTest, VersionCrossesGetMatchingRepliesOrDescriptiveErrors) {
+  auto server = StartServer(SpecSchemeKind::kTcm);
+  {
+    // A v2 client against this v3 server: still served, and the reply is
+    // stamped v2 so the old client's own version check passes. A v2
+    // ListRuns carries no read-LSN token and its reply must not carry LSN
+    // fields either — it decodes as exactly {count, count × id}.
+    RawConn conn(server->port());
+    conn.Send(EncodeOne(Frame{kMinSupportedProtocolVersion, MsgType::kPing,
+                              1, {}}));
+    conn.Send(EncodeOne(Frame{kMinSupportedProtocolVersion,
+                              MsgType::kListRuns, 2, {}}));
+    conn.FinishWrites();
+    FrameDecoder decoder;
+    decoder.Feed(conn.ReadUntilEof());
+    auto ping = decoder.Next();
+    ASSERT_TRUE(ping.ok() && ping->has_value());
+    EXPECT_EQ((*ping)->type, MsgType::kReply);
+    EXPECT_EQ((*ping)->version, kMinSupportedProtocolVersion);
+    auto list = decoder.Next();
+    ASSERT_TRUE(list.ok() && list->has_value());
+    EXPECT_EQ((*list)->type, MsgType::kReply);
+    EXPECT_EQ((*list)->version, kMinSupportedProtocolVersion);
+    PayloadReader reader((*list)->payload);
+    auto count = reader.U64();
+    ASSERT_TRUE(count.ok());
+    EXPECT_EQ(*count, 3u);  // StartServer pre-ingests three runs
+    for (uint64_t want = 1; want <= 3; ++want) {
+      auto id = reader.U64();
+      ASSERT_TRUE(id.ok());
+      EXPECT_EQ(*id, want);
+    }
+    EXPECT_TRUE(reader.ExpectEnd().ok());
+  }
+  {
+    // A client from the future: the error names both its version and the
+    // range this server speaks, so an operator reading one log line knows
+    // which side to upgrade.
+    RawConn conn(server->port());
+    conn.Send(EncodeOne(Frame{kProtocolVersion + 1, MsgType::kPing, 1, {}}));
+    conn.FinishWrites();
+    FrameDecoder decoder;
+    decoder.Feed(conn.ReadUntilEof());
+    auto first = decoder.Next();
+    ASSERT_TRUE(first.ok() && first->has_value());
+    EXPECT_EQ((*first)->type, MsgType::kError);
+    Status carried = DecodeErrorPayload((*first)->payload);
+    EXPECT_EQ(carried.code(), StatusCode::kInvalidArgument);
+    EXPECT_NE(carried.message().find(std::to_string(kProtocolVersion + 1)),
+              std::string::npos)
+        << carried.ToString();
+    EXPECT_NE(carried.message().find(std::to_string(kProtocolVersion)),
+              std::string::npos)
+        << carried.ToString();
+    EXPECT_NE(
+        carried.message().find(std::to_string(kMinSupportedProtocolVersion)),
+        std::string::npos)
+        << carried.ToString();
+  }
+  {
+    // One below the supported floor is refused the same way.
+    RawConn conn(server->port());
+    conn.Send(EncodeOne(Frame{kMinSupportedProtocolVersion - 1,
+                              MsgType::kPing, 1, {}}));
+    conn.FinishWrites();
+    FrameDecoder decoder;
+    decoder.Feed(conn.ReadUntilEof());
+    auto first = decoder.Next();
+    ASSERT_TRUE(first.ok() && first->has_value());
+    EXPECT_EQ((*first)->type, MsgType::kError);
+    Status carried = DecodeErrorPayload((*first)->payload);
+    EXPECT_EQ(carried.code(), StatusCode::kInvalidArgument);
+    EXPECT_NE(carried.message().find("version"), std::string::npos);
+  }
+  server->Shutdown();
+}
+
 // ------------------------------------------------------------ concurrency --
 
 TEST(NetServerTest, FourConcurrentClientsIngestAndQueryRaceFree) {

@@ -209,7 +209,7 @@ TEST(ProtocolTest, ErrorPayloadRoundTripsEveryCode) {
         StatusCode::kInvalidRun, StatusCode::kNotFound,
         StatusCode::kParseError, StatusCode::kCapacityExceeded,
         StatusCode::kInternal, StatusCode::kCancelled,
-        StatusCode::kUnavailable}) {
+        StatusCode::kUnavailable, StatusCode::kRetryAt}) {
     const Status original(code, std::string("message for ") +
                                     StatusCodeName(code));
     Status decoded = DecodeErrorPayload(EncodeErrorPayload(original));
