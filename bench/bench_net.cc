@@ -11,12 +11,30 @@
 // the protocol; the spread between 1 and 8 connections shows how far the
 // per-connection handler model scales on this machine's cores.
 //
+// A third mode exercises the epoll reactor at connection scale: 256/1k/4k
+// open connections, almost all idle, 32 active roundtrip clients measured
+// for p50/p99/qps while a churn thread connects, pings and disconnects in a
+// loop. The idle population and the churn are the point — with the
+// thread-per-connection model this sweep would need thousands of threads;
+// the reactor serves it from Options::num_io_threads.
+//
 // Environment knobs (CI uses tiny values, docs/BENCHMARKS.md the defaults):
 //   SKL_BENCH_NET_QUERIES    total queries per mode point (default 20000)
 //   SKL_BENCH_NET_SIZE       run size in vertices (default 2000)
 //   SKL_BENCH_NET_MAX_CONNS  largest connection count (default 8)
+//   SKL_BENCH_NET_CONNS      largest connection-scale level (default 4096,
+//                            0 skips the connection-scale sweep)
+//   SKL_BENCH_NET_ACTIVE     active clients at each level (default 32)
+//   SKL_BENCH_NET_IO_THREADS reactor threads for the server (default 2)
 //   SKL_BENCH_JSON           machine-readable results (bench_common.h)
+#include <arpa/inet.h>
+#include <netinet/in.h>
+#include <sys/resource.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
 #include <algorithm>
+#include <atomic>
 #include <cstdio>
 #include <cstdlib>
 #include <span>
@@ -52,6 +70,34 @@ struct ModeResult {
   std::vector<double> lat_us;  ///< per-query (roundtrip mode only)
 };
 
+/// Raises the soft fd limit toward the hard one and returns the resulting
+/// soft limit (the connection-scale sweep needs thousands of sockets).
+size_t RaiseFdLimit() {
+  rlimit lim{};
+  if (::getrlimit(RLIMIT_NOFILE, &lim) != 0) return 1024;
+  if (lim.rlim_cur < lim.rlim_max) {
+    lim.rlim_cur = lim.rlim_max;
+    ::setrlimit(RLIMIT_NOFILE, &lim);
+    ::getrlimit(RLIMIT_NOFILE, &lim);
+  }
+  return static_cast<size_t>(lim.rlim_cur);
+}
+
+/// A raw connected TCP socket that sends nothing: the idle population.
+int ConnectIdle(uint16_t port) {
+  const int fd = ::socket(AF_INET, SOCK_STREAM, 0);
+  if (fd < 0) return -1;
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_port = htons(port);
+  ::inet_pton(AF_INET, "127.0.0.1", &addr.sin_addr);
+  if (::connect(fd, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)) != 0) {
+    ::close(fd);
+    return -1;
+  }
+  return fd;
+}
+
 }  // namespace
 
 int main() {
@@ -72,6 +118,8 @@ int main() {
 
   ProvenanceServer::Options server_options;
   server_options.num_threads = std::max(max_conns, 1u);
+  server_options.num_io_threads =
+      static_cast<unsigned>(EnvOr("SKL_BENCH_NET_IO_THREADS", 2));
   auto server =
       ProvenanceServer::Start(std::move(service).value(), server_options);
   SKL_CHECK_MSG(server.ok(), server.status().ToString().c_str());
@@ -174,6 +222,106 @@ int main() {
   for (unsigned conns = 1; conns <= max_conns; conns *= 2) {
     run_mode(conns, /*pipelined=*/false);
     run_mode(conns, /*pipelined=*/true);
+  }
+
+  // ---- connection-scale sweep: mostly-idle populations + churn ----
+  const size_t conn_scale_max = EnvOr("SKL_BENCH_NET_CONNS", 4096);
+  const size_t active_conns = std::max<size_t>(EnvOr("SKL_BENCH_NET_ACTIVE", 32), 1);
+  const size_t fd_limit = RaiseFdLimit();
+  if (conn_scale_max > 0) {
+    PrintHeader("connection scale: " + std::to_string(active_conns) +
+                " active roundtrip clients inside an idle population, "
+                "with connection churn");
+    std::printf("%6s  %-10s %10s %12s %10s %10s %10s\n", "conns", "mode",
+                "queries", "queries/s", "p50(us)", "p99(us)", "churned");
+  }
+  const auto run_conn_scale = [&](size_t level) {
+    // Idle sockets + active clients + our own files + server-side fds for
+    // all of them: be conservative about what fits under the fd limit.
+    if (level * 2 + 64 > fd_limit) {
+      std::printf("%6zu  %-10s  skipped: fd limit %zu is too low\n", level,
+                  "connscale", fd_limit);
+      return;
+    }
+    const size_t idle = level > active_conns ? level - active_conns : 0;
+    std::vector<int> idle_fds;
+    idle_fds.reserve(idle);
+    for (size_t i = 0; i < idle; ++i) {
+      const int fd = ConnectIdle(port);
+      SKL_CHECK_MSG(fd >= 0, "idle connect failed");
+      idle_fds.push_back(fd);
+    }
+    const size_t per_conn =
+        std::max<size_t>(total_queries / active_conns, 1);
+    std::vector<ModeResult> results(active_conns);
+    std::vector<ProvenanceClient> clients;
+    clients.reserve(active_conns);
+    for (size_t c = 0; c < active_conns; ++c) {
+      auto client = ProvenanceClient::Connect("127.0.0.1", port);
+      SKL_CHECK_MSG(client.ok(), client.status().ToString().c_str());
+      clients.push_back(std::move(client).value());
+    }
+    std::atomic<bool> done{false};
+    std::atomic<size_t> churned{0};
+    // Connection churn alongside the measurement: connect, ping, close —
+    // the accept/teardown path must not disturb the serving population.
+    std::thread churner([&] {
+      while (!done.load(std::memory_order_relaxed)) {
+        auto client = ProvenanceClient::Connect("127.0.0.1", port);
+        if (!client.ok()) continue;
+        if (client->Ping().ok()) {
+          churned.fetch_add(1, std::memory_order_relaxed);
+        }
+      }
+    });
+    std::vector<std::thread> threads;
+    Stopwatch wall;
+    for (size_t c = 0; c < active_conns; ++c) {
+      threads.emplace_back([&, c] {
+        ProvenanceClient& client = clients[c];
+        const std::vector<VertexPair> pairs =
+            make_pairs(static_cast<unsigned>(c + 100), per_conn);
+        ModeResult& result = results[c];
+        result.lat_us.reserve(pairs.size());
+        Stopwatch sw;
+        for (const auto& [v, w] : pairs) {
+          sw.Restart();
+          auto answer = client.Reaches(*id, v, w);
+          result.lat_us.push_back(sw.ElapsedSeconds() * 1e6);
+          SKL_CHECK_MSG(answer.ok(), answer.status().ToString().c_str());
+          ++result.queries;
+        }
+      });
+    }
+    for (std::thread& t : threads) t.join();
+    const double wall_secs = wall.ElapsedSeconds();
+    done.store(true, std::memory_order_relaxed);
+    churner.join();
+    for (int fd : idle_fds) ::close(fd);
+
+    ModeResult merged;
+    for (ModeResult& r : results) {
+      merged.queries += r.queries;
+      merged.lat_us.insert(merged.lat_us.end(), r.lat_us.begin(),
+                           r.lat_us.end());
+    }
+    std::sort(merged.lat_us.begin(), merged.lat_us.end());
+    const double qps =
+        wall_secs > 0 ? static_cast<double>(merged.queries) / wall_secs : 0;
+    const double p50 = Quantile(merged.lat_us, 0.50);
+    const double p99 = Quantile(merged.lat_us, 0.99);
+    std::printf("%6zu  %-10s %10zu %12.0f %10.1f %10.1f %10zu\n", level,
+                "connscale", merged.queries, qps, p50, p99, churned.load());
+    const std::string prefix =
+        "net_connscale_" + std::to_string(level) + "_";
+    json.Add(prefix + "queries_per_sec", qps, "queries/s");
+    json.Add(prefix + "p50_latency", p50, "us");
+    json.Add(prefix + "p99_latency", p99, "us");
+    json.Add(prefix + "churned_conns", static_cast<double>(churned.load()),
+             "conns");
+  };
+  for (size_t level : {size_t{256}, size_t{1024}, size_t{4096}}) {
+    if (level <= conn_scale_max) run_conn_scale(level);
   }
 
   (*server)->Shutdown();

@@ -111,8 +111,9 @@ int Usage() {
       "       sklctl load [--threads=<n>] [--shards=<n>] <snapshot>\n"
       "       sklctl serve [--scheme=<name>] [--threads=<n>] "
       "[--shards=<n>]\n"
-      "                    [--port=<p>] [--oplog=<path>] <spec.xml> "
-      "[run-dir]\n"
+      "                    [--num-io-threads=<n>] [--port=<p>] "
+      "[--oplog=<path>]\n"
+      "                    <spec.xml> [run-dir]\n"
       "       sklctl replicate --connect=<host:port> "
       "[--listen=<host:port>]\n"
       "       sklctl reaches --connect=<host:port> <run-id> <from> <to>\n"
@@ -343,7 +344,8 @@ int Load(const char* path, ProvenanceService::Options options) {
 /// and its recorded scheme wins over --scheme.
 int Serve(Specification spec, SpecSchemeKind scheme_kind,
           ProvenanceService::Options options, uint16_t port,
-          const std::string& oplog_path, const char* dir) {
+          unsigned num_io_threads, const std::string& oplog_path,
+          const char* dir) {
   std::unique_ptr<OpLog> oplog;
   std::optional<ProvenanceService> service;
   if (!oplog_path.empty() && std::filesystem::exists(oplog_path)) {
@@ -412,6 +414,12 @@ int Serve(Specification spec, SpecSchemeKind scheme_kind,
   // core on small machines.
   if (options.num_threads != 0) {
     server_options.num_threads = options.num_threads;
+  }
+  // --num-io-threads sizes the epoll reactor (socket multiplexing); 0
+  // keeps the server's default of one I/O thread, plenty below many
+  // thousands of connections.
+  if (num_io_threads != 0) {
+    server_options.num_io_threads = num_io_threads;
   }
   auto server = ProvenanceServer::Start(std::move(*service), server_options);
   if (!server.ok()) return Fail(server.status());
@@ -529,6 +537,15 @@ int RemoteStats(ProvenanceClient& client, const std::vector<const char*>& args) 
   std::printf("replication lsn:      %llu\n", u(stats->replication_lsn));
   std::printf("replication lag:      %llu\n",
               u(stats->replication_target_lsn - stats->replication_lsn));
+  std::printf("connections open:     %llu\n", u(stats->connections_open));
+  std::printf("connections accepted: %llu\n",
+              u(stats->connections_accepted));
+  std::printf("conns timed out:      %llu\n",
+              u(stats->connections_timed_out));
+  std::printf("backpressure trips:   %llu\n",
+              u(stats->connections_backpressured));
+  std::printf("epoll wakeups:        %llu\n", u(stats->epoll_wakeups));
+  std::printf("accept backoffs:      %llu\n", u(stats->accept_backoffs));
   return 0;
 }
 
@@ -540,6 +557,7 @@ int main(int argc, char** argv) {
   SpecSchemeKind scheme_kind = SpecSchemeKind::kTcm;
   bool scheme_given = false;
   unsigned num_threads = 0;
+  unsigned num_io_threads = 0;
   unsigned num_shards = 0;
   bool shards_given = false;
   bool fail_fast = false;
@@ -574,6 +592,21 @@ int main(int argc, char** argv) {
         return Usage();
       }
       num_threads = static_cast<unsigned>(parsed);
+    } else if (std::strncmp(argv[i], "--num-io-threads=", 17) == 0) {
+      // Reactor thread count for serve; same strict-parse discipline, with
+      // the server's own clamp as the bound.
+      const char* value = argv[i] + 17;
+      char* end = nullptr;
+      unsigned long parsed = std::strtoul(value, &end, 10);
+      if (*value == '\0' || *end != '\0' || value[0] == '-' || parsed < 1 ||
+          parsed > 64) {
+        std::fprintf(stderr,
+                     "error: --num-io-threads expects an integer in "
+                     "[1, 64], got '%s'\n",
+                     value);
+        return Usage();
+      }
+      num_io_threads = static_cast<unsigned>(parsed);
     } else if (std::strncmp(argv[i], "--shards=", 9) == 0) {
       // Same strict parse as --threads; the bound is the registry's own
       // clamp, so CLI and library can never drift.
@@ -654,6 +687,11 @@ int main(int argc, char** argv) {
     std::fprintf(stderr, "error: --oplog is only accepted by serve\n");
     return Usage();
   }
+  if (num_io_threads != 0 && cmd != "serve") {
+    std::fprintf(stderr,
+                 "error: --num-io-threads is only accepted by serve\n");
+    return Usage();
+  }
   if (!listen.empty() && cmd != "replicate") {
     std::fprintf(stderr, "error: --listen is only accepted by replicate\n");
     return Usage();
@@ -670,7 +708,8 @@ int main(int argc, char** argv) {
     auto spec = LoadSpec(args[0]);
     if (!spec.ok()) return Fail(spec.status());
     return Serve(std::move(spec).value(), scheme_kind, service_options, port,
-                 oplog_path, args.size() > 1 ? args[1] : nullptr);
+                 num_io_threads, oplog_path,
+                 args.size() > 1 ? args[1] : nullptr);
   }
 
   if (cmd == "replicate") {

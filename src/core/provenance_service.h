@@ -140,6 +140,17 @@ struct ServiceStats {
   /// target lags behind the primary's last published LSN it has seen.
   uint64_t replication_lsn = 0;
   uint64_t replication_target_lsn = 0;
+  /// Reactor counters (protocol v4, docs/NETWORK.md): filled by the net
+  /// server when the stats travel over the wire, always 0 on a local
+  /// service (there is no server underneath). Unlike the counters above,
+  /// these describe the server *process* — they do NOT reset when a
+  /// kLoadSnapshot swaps the service.
+  uint64_t connections_open = 0;           ///< currently connected peers
+  uint64_t connections_accepted = 0;       ///< cumulative accepts
+  uint64_t connections_timed_out = 0;      ///< closed by the idle reaper
+  uint64_t connections_backpressured = 0;  ///< write-buffer cap trips
+  uint64_t epoll_wakeups = 0;              ///< reactor loop turns
+  uint64_t accept_backoffs = 0;            ///< fd-exhaustion accept retries
 };
 
 class RunSession;

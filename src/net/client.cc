@@ -516,6 +516,12 @@ Result<ServiceStats> ProvenanceClient::GetServiceStats() {
   SKL_ASSIGN_OR_RETURN(stats.cache_misses, reader.U64());
   SKL_ASSIGN_OR_RETURN(stats.replication_lsn, reader.U64());
   SKL_ASSIGN_OR_RETURN(stats.replication_target_lsn, reader.U64());
+  SKL_ASSIGN_OR_RETURN(stats.connections_open, reader.U64());
+  SKL_ASSIGN_OR_RETURN(stats.connections_accepted, reader.U64());
+  SKL_ASSIGN_OR_RETURN(stats.connections_timed_out, reader.U64());
+  SKL_ASSIGN_OR_RETURN(stats.connections_backpressured, reader.U64());
+  SKL_ASSIGN_OR_RETURN(stats.epoll_wakeups, reader.U64());
+  SKL_ASSIGN_OR_RETURN(stats.accept_backoffs, reader.U64());
   SKL_RETURN_NOT_OK(reader.ExpectEnd());
   return stats;
 }

@@ -51,11 +51,15 @@ namespace skl {
 /// kRetryAt), mutating replies carry the op's ack LSN, kServiceStats gains
 /// applied/target LSNs, and the kSnapshotFetch / kSubscribe opcodes stream
 /// the primary's op-log to replicas.
-inline constexpr uint8_t kProtocolVersion = 3;
+/// Version 4 (epoll reactor server): the kServiceStats reply grew six
+/// reactor counters (connections open/accepted/timed-out/backpressured,
+/// epoll wakeups, accept backoffs). Unlike the service counters, these
+/// describe the server process and do NOT reset on kLoadSnapshot.
+inline constexpr uint8_t kProtocolVersion = 4;
 
 /// Oldest request version the server still dispatches. Version-2 requests
 /// are answered in version-2 reply shapes, so pre-replication clients keep
-/// working against a version-3 server.
+/// working against a version-4 server.
 inline constexpr uint8_t kMinSupportedProtocolVersion = 2;
 
 /// First two frame bytes, "SN". A stream that does not start with them is

@@ -1,14 +1,22 @@
 #include "src/net/server.h"
 
 #include <arpa/inet.h>
+#include <fcntl.h>
 #include <netinet/in.h>
 #include <netinet/tcp.h>
+#include <sys/epoll.h>
+#include <sys/eventfd.h>
 #include <sys/socket.h>
 #include <unistd.h>
 
 #include <algorithm>
+#include <array>
 #include <cerrno>
+#include <chrono>
 #include <cstring>
+#include <deque>
+#include <optional>
+#include <unordered_map>
 #include <utility>
 
 #include "src/io/workflow_xml.h"
@@ -18,24 +26,10 @@ namespace skl {
 
 namespace {
 
+using Clock = std::chrono::steady_clock;
+
 std::string Errno(const char* what) {
   return std::string(what) + ": " + std::strerror(errno);
-}
-
-/// Writes the whole buffer, riding out EINTR and partial sends. MSG_NOSIGNAL
-/// turns a dead peer into an error return instead of SIGPIPE.
-bool SendAll(int fd, std::span<const uint8_t> bytes) {
-  size_t off = 0;
-  while (off < bytes.size()) {
-    ssize_t n = ::send(fd, bytes.data() + off, bytes.size() - off,
-                       MSG_NOSIGNAL);
-    if (n < 0) {
-      if (errno == EINTR) continue;
-      return false;
-    }
-    off += static_cast<size_t>(n);
-  }
-  return true;
 }
 
 /// Varint argument that must fit a 32-bit id (VertexId / DataItemId).
@@ -48,7 +42,89 @@ Result<uint32_t> ReadU32(PayloadReader& reader, const char* what) {
   return static_cast<uint32_t>(raw);
 }
 
+/// epoll user-data tags for the two non-connection fds each reactor thread
+/// watches; connection events carry the Conn* instead (never 0/1).
+constexpr uint64_t kEventFdTag = 0;
+constexpr uint64_t kListenFdTag = 1;
+
+/// Flush responses once this much is buffered even mid-batch, so pipelined
+/// replies still leave in large sends without the buffer ballooning.
+constexpr size_t kFlushChunkBytes = 64u << 10;
+
+int64_t MsUntil(Clock::time_point t) {
+  const auto d = t - Clock::now();
+  const int64_t ms =
+      std::chrono::duration_cast<std::chrono::milliseconds>(d).count();
+  return ms < 0 ? 0 : ms + 1;  // round up: never wake before the deadline
+}
+
 }  // namespace
+
+/// Per-connection state. The owning I/O thread is the only one that reads
+/// the socket, touches the decoder, or registers/closes the fd; everything
+/// under `mu` is shared with the dispatch pool task. Writes to the socket
+/// happen under `mu` (from whichever thread flushes), and the fd is closed
+/// under `mu` with `closed` set — so no thread can write a stale fd.
+struct ProvenanceServer::Conn {
+  Conn(int fd_in, size_t io, size_t max_frame)
+      : fd(fd_in), io_index(io), decoder(max_frame) {}
+
+  const int fd;
+  const size_t io_index;  ///< owning reactor thread
+
+  // --- owner I/O thread only ---
+  FrameDecoder decoder;
+  bool in_epoll = false;
+
+  std::mutex mu;  // guards everything below
+  std::deque<Frame> pending;       ///< decoded, not yet dispatched (FIFO)
+  std::optional<Status> terminal;  ///< decoder poison: error-then-close
+  bool terminal_encoded = false;
+  bool task_active = false;  ///< at most one pool task per connection
+  std::vector<uint8_t> wbuf;
+  size_t woff = 0;           ///< flushed prefix of wbuf
+  bool want_write = false;   ///< partial flush: needs EPOLLOUT
+  bool epollout_armed = false;
+  bool paused = false;          ///< backpressure: reads+dispatch suspended
+  bool read_throttled = false;  ///< kMaxPendingFrames cap hit
+  bool read_closed = false;
+  bool close_after_flush = false;
+  bool shutdown_after_flush = false;  ///< kShutdown: reply out, then drain
+  bool io_error = false;  ///< transport dead; close without flushing
+  bool closed = false;    ///< fd closed; no socket use past this
+  Clock::time_point last_activity{};
+};
+
+/// Per-reactor-thread state. `conns`/`retired` and the accept/idle
+/// deadlines belong to the owning thread; `nudges` is the cross-thread
+/// mailbox (paired with an eventfd write).
+struct ProvenanceServer::IoThread {
+  ~IoThread() {
+    if (epoll_fd >= 0) ::close(epoll_fd);
+    if (event_fd >= 0) ::close(event_fd);
+  }
+
+  size_t index = 0;
+  int epoll_fd = -1;
+  int event_fd = -1;
+  std::thread thread;
+
+  std::mutex nudge_mu;
+  std::vector<std::shared_ptr<Conn>> nudges;
+
+  // --- owner thread only ---
+  std::unordered_map<int, std::shared_ptr<Conn>> conns;
+  /// Closed this loop turn: keeps Conn* in already-harvested epoll events
+  /// valid until the turn ends (the map entry is erased immediately so the
+  /// fd number can be reused by a fresh accept).
+  std::vector<std::shared_ptr<Conn>> retired;
+  bool accept_retry_armed = false;
+  Clock::time_point accept_retry_at{};
+  uint32_t accept_backoff_ms = 0;
+  Clock::time_point next_idle_scan{};
+  bool stop_seen = false;
+  Clock::time_point drain_deadline{};
+};
 
 ProvenanceServer::ProvenanceServer(ProvenanceService service, Options options)
     : options_(std::move(options)),
@@ -65,8 +141,7 @@ Result<std::unique_ptr<ProvenanceServer>> ProvenanceServer::Start(
   std::unique_ptr<ProvenanceServer> server(
       new ProvenanceServer(std::move(service), std::move(options)));
   SKL_RETURN_NOT_OK(server->Listen());
-  server->accept_thread_ =
-      std::thread([s = server.get()] { s->AcceptLoop(); });
+  SKL_RETURN_NOT_OK(server->StartIoThreads());
   return server;
 }
 
@@ -106,81 +181,559 @@ Status ProvenanceServer::Listen() {
   return Status::OK();
 }
 
-void ProvenanceServer::AcceptLoop() {
-  for (;;) {
-    int fd = ::accept(listen_fd_, nullptr, nullptr);
-    if (fd < 0) {
-      if (errno == EINTR) continue;
-      break;  // listener shut down (BeginShutdown) or fatal: stop accepting
+Status ProvenanceServer::StartIoThreads() {
+  const unsigned requested =
+      options_.num_io_threads == 0 ? 1u : options_.num_io_threads;
+  const size_t n = std::min(requested, 64u);
+  for (size_t i = 0; i < n; ++i) {
+    auto io = std::make_unique<IoThread>();
+    io->index = i;
+    io->epoll_fd = ::epoll_create1(EPOLL_CLOEXEC);
+    if (io->epoll_fd < 0) return Status::Unavailable(Errno("epoll_create1()"));
+    io->event_fd = ::eventfd(0, EFD_CLOEXEC | EFD_NONBLOCK);
+    if (io->event_fd < 0) return Status::Unavailable(Errno("eventfd()"));
+    epoll_event ev{};
+    ev.events = EPOLLIN;  // level-triggered is right for a wakeup counter
+    ev.data.u64 = kEventFdTag;
+    if (::epoll_ctl(io->epoll_fd, EPOLL_CTL_ADD, io->event_fd, &ev) != 0) {
+      return Status::Unavailable(Errno("epoll_ctl(eventfd)"));
     }
+    io_threads_.push_back(std::move(io));
+  }
+  // The listener lives in thread 0's epoll, edge-triggered: DoAccept drains
+  // to EAGAIN, and the fd-exhaustion retry path re-polls it by deadline.
+  const int flags = ::fcntl(listen_fd_, F_GETFL, 0);
+  if (flags < 0 || ::fcntl(listen_fd_, F_SETFL, flags | O_NONBLOCK) != 0) {
+    return Status::Unavailable(Errno("fcntl(listen, O_NONBLOCK)"));
+  }
+  epoll_event ev{};
+  ev.events = EPOLLIN | EPOLLET;
+  ev.data.u64 = kListenFdTag;
+  if (::epoll_ctl(io_threads_[0]->epoll_fd, EPOLL_CTL_ADD, listen_fd_, &ev) !=
+      0) {
+    return Status::Unavailable(Errno("epoll_ctl(listen)"));
+  }
+  for (auto& io : io_threads_) {
+    io->thread = std::thread([this, p = io.get()] { IoLoop(p->index); });
+  }
+  return Status::OK();
+}
+
+int ProvenanceServer::LoopTimeoutMs(const IoThread& io) const {
+  int64_t timeout = -1;  // block until an event or a nudge
+  auto consider = [&](int64_t ms) {
+    if (timeout < 0 || ms < timeout) timeout = ms;
+  };
+  if (options_.idle_timeout_ms > 0 && !io.conns.empty()) {
+    consider(MsUntil(io.next_idle_scan));
+  }
+  if (io.accept_retry_armed) consider(MsUntil(io.accept_retry_at));
+  if (io.stop_seen && !io.conns.empty()) consider(50);  // drain-grace ticks
+  if (timeout > 60000) timeout = 60000;
+  return static_cast<int>(timeout);
+}
+
+void ProvenanceServer::IoLoop(size_t index) {
+  IoThread& io = *io_threads_[index];
+  const uint32_t idle_scan_ms =
+      options_.idle_timeout_ms > 0
+          ? std::clamp(options_.idle_timeout_ms / 4, 10u, 1000u)
+          : 0;
+  io.next_idle_scan = Clock::now() + std::chrono::milliseconds(idle_scan_ms);
+  std::array<epoll_event, 128> events;
+  for (;;) {
+    const int n = ::epoll_wait(io.epoll_fd, events.data(),
+                               static_cast<int>(events.size()),
+                               LoopTimeoutMs(io));
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      break;  // epoll itself failed; nothing sane left to do
+    }
+    epoll_wakeups_.fetch_add(1, std::memory_order_relaxed);
+    bool accept_ready = false;
+    for (int i = 0; i < n; ++i) {
+      const epoll_event& ev = events[i];
+      if (ev.data.u64 == kEventFdTag) {
+        uint64_t drained;
+        while (::read(io.event_fd, &drained, sizeof(drained)) > 0) {
+        }
+      } else if (ev.data.u64 == kListenFdTag) {
+        accept_ready = true;
+      } else {
+        // Closed-this-turn conns were erased from the map but their
+        // pointers stay valid via `retired`; the lookup filters them out.
+        // New fds are only adopted after this event sweep, so an entry
+        // found under this fd is the event's connection.
+        auto it = io.conns.find(static_cast<Conn*>(ev.data.ptr)->fd);
+        if (it == io.conns.end() ||
+            it->second.get() != static_cast<Conn*>(ev.data.ptr)) {
+          continue;
+        }
+        std::shared_ptr<Conn> c = it->second;
+        if (ev.events & EPOLLOUT) HandleWritable(io, c);
+        if (ev.events & (EPOLLIN | EPOLLERR | EPOLLHUP)) ReadFrom(io, c);
+        TryClose(io, c, /*force=*/false);
+      }
+    }
+    std::vector<std::shared_ptr<Conn>> nudged;
+    {
+      std::lock_guard lock(io.nudge_mu);
+      nudged.swap(io.nudges);
+    }
+    for (const auto& c : nudged) {
+      if (!c->in_epoll) {
+        AdoptConn(io, c);
+      } else {
+        ServiceNudge(io, c);
+      }
+    }
+    if (stop_.load(std::memory_order_acquire)) {
+      if (!io.stop_seen) {
+        io.stop_seen = true;
+        {
+          std::lock_guard lock(state_mu_);
+          io.drain_deadline =
+              stop_time_ + std::chrono::milliseconds(options_.drain_grace_ms);
+        }
+        // Half-close every connection: already-decoded requests finish and
+        // flush, idle ones close right away.
+        std::vector<std::shared_ptr<Conn>> open;
+        open.reserve(io.conns.size());
+        for (const auto& [fd, c] : io.conns) open.push_back(c);
+        for (const auto& c : open) {
+          {
+            std::lock_guard lock(c->mu);
+            if (!c->closed && !c->read_closed) {
+              ::shutdown(c->fd, SHUT_RD);
+              c->read_closed = true;
+            }
+          }
+          MaybeDispatch(c);
+          TryClose(io, c, /*force=*/false);
+        }
+      } else if (!io.conns.empty() && Clock::now() >= io.drain_deadline) {
+        // A peer that will not drain its responses must not wedge the
+        // shutdown: past the grace window, close it mid-buffer.
+        std::vector<std::shared_ptr<Conn>> open;
+        open.reserve(io.conns.size());
+        for (const auto& [fd, c] : io.conns) open.push_back(c);
+        for (const auto& c : open) TryClose(io, c, /*force=*/true);
+      }
+    }
+    if (io.index == 0 && !stop_.load(std::memory_order_acquire)) {
+      const bool retry_due =
+          io.accept_retry_armed && Clock::now() >= io.accept_retry_at;
+      if (accept_ready || retry_due) DoAccept(io);
+    }
+    if (idle_scan_ms > 0 && Clock::now() >= io.next_idle_scan) {
+      io.next_idle_scan =
+          Clock::now() + std::chrono::milliseconds(idle_scan_ms);
+      const auto cutoff =
+          Clock::now() - std::chrono::milliseconds(options_.idle_timeout_ms);
+      std::vector<std::shared_ptr<Conn>> expired;
+      for (const auto& [fd, c] : io.conns) {
+        std::lock_guard lock(c->mu);
+        // "Idle" means nothing anywhere: no unread request, no running
+        // dispatch, no unflushed response, and no socket bytes either way
+        // since the cutoff. A half-received frame keeps a connection alive
+        // exactly as long as bytes keep trickling in.
+        if (!c->closed && !c->task_active && c->pending.empty() &&
+            !c->terminal.has_value() && c->wbuf.size() == c->woff &&
+            c->last_activity < cutoff) {
+          expired.push_back(c);
+        }
+      }
+      for (const auto& c : expired) {
+        timed_out_total_.fetch_add(1, std::memory_order_relaxed);
+        TryClose(io, c, /*force=*/true);
+      }
+    }
+    io.retired.clear();
+    if (stop_.load(std::memory_order_acquire) && io.conns.empty()) break;
+  }
+}
+
+void ProvenanceServer::DoAccept(IoThread& io) {
+  io.accept_retry_armed = false;
+  for (;;) {
+    if (stop_.load(std::memory_order_acquire)) return;
+    const int fd =
+        ::accept4(listen_fd_, nullptr, nullptr, SOCK_NONBLOCK | SOCK_CLOEXEC);
+    if (fd < 0) {
+      if (errno == EINTR || errno == ECONNABORTED) continue;
+      if (errno == EAGAIN || errno == EWOULDBLOCK) return;
+      if (errno == EMFILE || errno == ENFILE || errno == ENOBUFS ||
+          errno == ENOMEM) {
+        // fd exhaustion is transient: pending handshakes keep waiting in
+        // the listen backlog, so back off and retry by deadline instead of
+        // abandoning the accept path (the edge-triggered event is spent).
+        accept_backoffs_.fetch_add(1, std::memory_order_relaxed);
+        io.accept_backoff_ms =
+            io.accept_backoff_ms == 0
+                ? 10
+                : std::min(io.accept_backoff_ms * 2, 1000u);
+        io.accept_retry_armed = true;
+        io.accept_retry_at =
+            Clock::now() + std::chrono::milliseconds(io.accept_backoff_ms);
+        return;
+      }
+      return;  // listener shut down (EINVAL after BeginShutdown) or fatal
+    }
+    io.accept_backoff_ms = 0;
     // Responses are small frames; without TCP_NODELAY, Nagle holds each one
     // back waiting for the peer's (delayed) ACK and pipelined throughput
     // collapses to the 40ms delayed-ACK clock.
     int one = 1;
     ::setsockopt(fd, IPPROTO_TCP, TCP_NODELAY, &one, sizeof(one));
-    if (!RegisterConnection(fd)) {
+    if (!RegisterConnection()) {
       ::close(fd);  // raced a shutdown: refuse politely
       continue;
     }
-    try {
-      pool_.Submit([this, fd] { HandleConnection(fd); });
-    } catch (...) {
-      UnregisterConnection(fd);  // Submit allocation failed; drop the conn
+    accepted_total_.fetch_add(1, std::memory_order_relaxed);
+    const size_t target =
+        next_io_.fetch_add(1, std::memory_order_relaxed) % io_threads_.size();
+    auto conn = std::make_shared<Conn>(fd, target, options_.max_frame_bytes);
+    conn->last_activity = Clock::now();
+    if (target == io.index) {
+      AdoptConn(io, conn);
+    } else {
+      NudgeOwner(conn);  // the owner adopts it on its next loop turn
     }
   }
 }
 
-bool ProvenanceServer::RegisterConnection(int fd) {
+void ProvenanceServer::AdoptConn(IoThread& io,
+                                 const std::shared_ptr<Conn>& conn) {
+  epoll_event ev{};
+  ev.events = EPOLLIN | EPOLLET;
+  ev.data.ptr = conn.get();
+  if (::epoll_ctl(io.epoll_fd, EPOLL_CTL_ADD, conn->fd, &ev) != 0) {
+    {
+      std::lock_guard lock(conn->mu);
+      conn->closed = true;
+      ::close(conn->fd);
+    }
+    UnregisterConnection();
+    return;
+  }
+  conn->in_epoll = true;
+  io.conns.emplace(conn->fd, conn);
+  if (stop_.load(std::memory_order_acquire)) {
+    // Raced BeginShutdown after registration: this thread's half-close
+    // sweep already ran, so apply it here.
+    std::lock_guard lock(conn->mu);
+    if (!conn->read_closed) {
+      ::shutdown(conn->fd, SHUT_RD);
+      conn->read_closed = true;
+    }
+  }
+  // Edge-triggered: bytes may have arrived before the ADD; read them now.
+  ReadFrom(io, conn);
+  TryClose(io, conn, /*force=*/false);
+}
+
+void ProvenanceServer::ReadFrom(IoThread& io, const std::shared_ptr<Conn>& c) {
+  (void)io;
+  uint8_t buf[65536];
+  bool progress = false;
+  for (;;) {
+    {
+      std::lock_guard lock(c->mu);
+      if (c->closed || c->read_closed || c->paused || c->read_throttled) {
+        break;
+      }
+    }
+    // Drain frames already buffered in the decoder before touching the
+    // socket: the pending-frame throttle can trip mid-chunk, leaving
+    // complete frames behind in the decoder with the socket already
+    // empty — no readability edge will ever revisit them, so the resume
+    // path must decode first, recv second.
+    bool poisoned = false;
+    bool throttled = false;
+    for (;;) {
+      Result<std::optional<Frame>> next = c->decoder.Next();
+      if (!next.ok()) {
+        // Frame desynchronization (corrupted header): queue one
+        // best-effort error — emitted after the replies to frames that
+        // did decode — then drop the connection; its byte stream can no
+        // longer be trusted to contain frame boundaries.
+        std::lock_guard lock(c->mu);
+        c->terminal = next.status();
+        c->read_closed = true;
+        poisoned = true;
+        break;
+      }
+      if (!next->has_value()) break;  // incomplete: read more
+      progress = true;
+      std::lock_guard lock(c->mu);
+      c->pending.push_back(std::move(**next));
+      if (c->pending.size() >= kMaxPendingFrames) {
+        c->read_throttled = true;  // dispatch drains it, then reads resume
+        throttled = true;
+        break;
+      }
+    }
+    if (poisoned || throttled) break;
+    const ssize_t n = ::recv(c->fd, buf, sizeof(buf), 0);
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      if (errno == EAGAIN || errno == EWOULDBLOCK) break;
+      std::lock_guard lock(c->mu);
+      c->io_error = true;  // transport dead; responses are undeliverable
+      c->read_closed = true;
+      break;
+    }
+    if (n == 0) {
+      std::lock_guard lock(c->mu);
+      c->read_closed = true;  // peer half-closed (or our shutdown sweep)
+      break;
+    }
+    progress = true;
+    c->decoder.Feed({buf, static_cast<size_t>(n)});
+  }
+  if (progress) {
+    std::lock_guard lock(c->mu);
+    c->last_activity = Clock::now();
+  }
+  MaybeDispatch(c);
+}
+
+void ProvenanceServer::MaybeDispatch(const std::shared_ptr<Conn>& c) {
+  {
+    std::lock_guard lock(c->mu);
+    if (c->closed || c->task_active || c->paused) return;
+    const bool work = !c->pending.empty() ||
+                      (c->terminal.has_value() && !c->terminal_encoded);
+    if (!work) return;
+    c->task_active = true;
+  }
+  try {
+    pool_.Submit([this, c] { DispatchLoop(c); });
+  } catch (...) {
+    std::lock_guard lock(c->mu);
+    c->task_active = false;
+    c->io_error = true;  // cannot serve it; the owner will close
+  }
+}
+
+void ProvenanceServer::DispatchLoop(std::shared_ptr<Conn> c) {
+  for (;;) {
+    Frame frame;
+    bool resume_read = false;
+    {
+      std::lock_guard lock(c->mu);
+      if (c->closed ||
+          c->wbuf.size() - c->woff > options_.max_write_buffer_bytes) {
+        if (!c->closed && !c->paused) {
+          // Peer stopped draining: suspend this connection's reads and
+          // dispatch until the buffer empties below half (FlushAndSettle
+          // resumes us). Bounds memory per connection.
+          c->paused = true;
+          backpressured_total_.fetch_add(1, std::memory_order_relaxed);
+        }
+        c->task_active = false;
+        break;
+      }
+      if (c->pending.empty()) {
+        if (c->terminal.has_value() && !c->terminal_encoded) {
+          Frame err;
+          err.type = MsgType::kError;
+          err.request_id = 0;
+          err.payload = EncodeErrorPayload(*c->terminal);
+          EncodeFrame(err, &c->wbuf);
+          c->terminal_encoded = true;
+          c->close_after_flush = true;
+        }
+        c->task_active = false;
+        break;
+      }
+      frame = std::move(c->pending.front());
+      c->pending.pop_front();
+      if (c->read_throttled && c->pending.size() <= kMaxPendingFrames / 2) {
+        c->read_throttled = false;
+        resume_read = true;
+      }
+    }
+    if (resume_read) NudgeOwner(c);
+    std::vector<uint8_t> out;
+    bool shutdown_after_reply = false;
+    HandleFrame(frame, &out, &shutdown_after_reply);
+    bool flush_now;
+    {
+      std::lock_guard lock(c->mu);
+      c->wbuf.insert(c->wbuf.end(), out.begin(), out.end());
+      if (shutdown_after_reply) c->shutdown_after_flush = true;
+      // Batch small pipelined replies into large sends; flush eagerly once
+      // a chunk has built up (or a shutdown reply must get out).
+      flush_now = c->wbuf.size() - c->woff >= kFlushChunkBytes ||
+                  c->shutdown_after_flush;
+    }
+    if (flush_now) FlushAndSettle(c);
+  }
+  FlushAndSettle(c);
+}
+
+void ProvenanceServer::FlushAndSettle(const std::shared_ptr<Conn>& c) {
+  bool begin_shutdown = false;
+  bool redispatch = false;
+  bool nudge = false;
+  {
+    std::lock_guard lock(c->mu);
+    if (c->closed) return;
+    if (!c->io_error) {
+      while (c->woff < c->wbuf.size()) {
+        const ssize_t n =
+            ::send(c->fd, c->wbuf.data() + c->woff, c->wbuf.size() - c->woff,
+                   MSG_NOSIGNAL | MSG_DONTWAIT);
+        if (n < 0) {
+          if (errno == EINTR) continue;
+          if (errno == EAGAIN || errno == EWOULDBLOCK) {
+            c->want_write = true;  // socket full: EPOLLOUT finishes the job
+            break;
+          }
+          c->io_error = true;  // peer gone mid-response
+          break;
+        }
+        c->woff += static_cast<size_t>(n);
+        c->last_activity = Clock::now();
+      }
+      if (c->woff == c->wbuf.size()) {
+        c->wbuf.clear();
+        c->woff = 0;
+        c->want_write = false;
+      } else if (c->woff >= kFlushChunkBytes) {
+        c->wbuf.erase(c->wbuf.begin(),
+                      c->wbuf.begin() + static_cast<ptrdiff_t>(c->woff));
+        c->woff = 0;
+      }
+    }
+    const size_t backlog = c->wbuf.size() - c->woff;
+    if (c->io_error) {
+      nudge = true;  // owner force-closes
+    } else {
+      if (backlog == 0 && c->shutdown_after_flush) {
+        c->shutdown_after_flush = false;
+        begin_shutdown = true;  // the OK reply is out first
+      }
+      if (c->paused && backlog <= options_.max_write_buffer_bytes / 2) {
+        c->paused = false;  // peer drained: resume dispatch and reads
+        redispatch = true;
+        nudge = true;
+      }
+      if (c->want_write && !c->epollout_armed) nudge = true;
+      if (backlog == 0 && (c->close_after_flush || c->read_closed) &&
+          !c->task_active && c->pending.empty() &&
+          !(c->terminal.has_value() && !c->terminal_encoded)) {
+        nudge = true;  // nothing left: owner closes
+      }
+    }
+  }
+  if (begin_shutdown) BeginShutdown();
+  if (redispatch) MaybeDispatch(c);
+  if (nudge) NudgeOwner(c);
+}
+
+void ProvenanceServer::HandleWritable(IoThread& io,
+                                      const std::shared_ptr<Conn>& c) {
+  FlushAndSettle(c);
+  std::lock_guard lock(c->mu);
+  if (c->closed) return;
+  if (!c->want_write && c->epollout_armed) {
+    epoll_event ev{};
+    ev.events = EPOLLIN | EPOLLET;
+    ev.data.ptr = c.get();
+    ::epoll_ctl(io.epoll_fd, EPOLL_CTL_MOD, c->fd, &ev);
+    c->epollout_armed = false;
+  }
+}
+
+void ProvenanceServer::ServiceNudge(IoThread& io,
+                                    const std::shared_ptr<Conn>& c) {
+  bool arm = false;
+  bool read_more = false;
+  {
+    std::lock_guard lock(c->mu);
+    if (c->closed) return;
+    if (c->want_write && !c->epollout_armed) {
+      // EPOLL_CTL_MOD re-arms the edge: if the socket is already writable
+      // again, the event fires immediately — no stall window.
+      epoll_event ev{};
+      ev.events = EPOLLIN | EPOLLOUT | EPOLLET;
+      ev.data.ptr = c.get();
+      if (::epoll_ctl(io.epoll_fd, EPOLL_CTL_MOD, c->fd, &ev) == 0) {
+        c->epollout_armed = true;
+      }
+      arm = true;
+    }
+    read_more = !c->read_closed && !c->paused && !c->read_throttled;
+  }
+  (void)arm;
+  // A nudge can mean "resume reading" (backpressure lifted, throttle
+  // cleared): the data's edge was consumed long ago, so read explicitly.
+  if (read_more) ReadFrom(io, c);
+  MaybeDispatch(c);
+  TryClose(io, c, /*force=*/false);
+}
+
+void ProvenanceServer::TryClose(IoThread& io, const std::shared_ptr<Conn>& c,
+                                bool force) {
+  {
+    std::lock_guard lock(c->mu);
+    if (c->closed) return;
+    if (!force && !c->io_error) {
+      const size_t backlog = c->wbuf.size() - c->woff;
+      const bool work_left =
+          c->task_active || !c->pending.empty() ||
+          (c->terminal.has_value() && !c->terminal_encoded) || backlog != 0;
+      const bool done =
+          (c->read_closed || c->close_after_flush) && !work_left;
+      if (!done) return;
+    }
+    c->closed = true;
+    ::close(c->fd);  // under mu: every socket write checks `closed` first
+  }
+  io.conns.erase(c->fd);
+  io.retired.push_back(c);  // keep Conn* in this turn's events valid
+  UnregisterConnection();
+}
+
+void ProvenanceServer::NudgeOwner(const std::shared_ptr<Conn>& c) {
+  IoThread& io = *io_threads_[c->io_index];
+  {
+    std::lock_guard lock(io.nudge_mu);
+    io.nudges.push_back(c);
+  }
+  const uint64_t one = 1;
+  [[maybe_unused]] ssize_t n =
+      ::write(io.event_fd, &one, sizeof(one));  // EAGAIN (counter full) is
+                                                // fine: a wakeup is pending
+}
+
+bool ProvenanceServer::RegisterConnection() {
   std::lock_guard lock(state_mu_);
-  if (stop_) return false;
-  conn_fds_.insert(fd);
+  if (stop_.load(std::memory_order_acquire)) return false;
   ++open_connections_;
   return true;
 }
 
-void ProvenanceServer::UnregisterConnection(int fd) {
+void ProvenanceServer::UnregisterConnection() {
   std::lock_guard lock(state_mu_);
-  conn_fds_.erase(fd);
-  ::close(fd);  // under the lock: BeginShutdown must not nudge a stale fd
   if (--open_connections_ == 0) drained_cv_.notify_all();
 }
 
-void ProvenanceServer::HandleConnection(int fd) {
-  FrameDecoder decoder(options_.max_frame_bytes);
-  std::vector<uint8_t> out;
-  uint8_t buf[65536];
-  bool closing = false;
-  while (!closing) {
-    ssize_t n = ::recv(fd, buf, sizeof(buf), 0);
-    if (n < 0 && errno == EINTR) continue;
-    if (n <= 0) break;  // EOF (peer done, or SHUT_RD from shutdown) or error
-    decoder.Feed({buf, static_cast<size_t>(n)});
-    // Drain every complete frame before blocking on the socket again, and
-    // batch all their responses into one send — together with TCP_NODELAY
-    // this is what makes client-side pipelining pay off.
-    out.clear();
-    bool shutdown_after_flush = false;
-    while (!shutdown_after_flush) {
-      Result<std::optional<Frame>> next = decoder.Next();
-      if (!next.ok()) {
-        // Frame desynchronization (corrupted header): one best-effort
-        // error response, then drop the connection — its byte stream can
-        // no longer be trusted to contain frame boundaries.
-        Frame err;
-        err.type = MsgType::kError;
-        err.request_id = 0;
-        err.payload = EncodeErrorPayload(next.status());
-        EncodeFrame(err, &out);
-        closing = true;
-        break;
-      }
-      if (!next->has_value()) break;  // incomplete: read more
-      HandleFrame(**next, &out, &shutdown_after_flush);
-    }
-    if (!out.empty() && !SendAll(fd, out)) closing = true;
-    if (shutdown_after_flush) BeginShutdown();  // the OK reply is out first
+ReactorStats ProvenanceServer::reactor_stats() const {
+  ReactorStats s;
+  {
+    std::lock_guard lock(state_mu_);
+    s.connections_open = open_connections_;
   }
-  UnregisterConnection(fd);
+  s.connections_accepted = accepted_total_.load(std::memory_order_relaxed);
+  s.connections_timed_out = timed_out_total_.load(std::memory_order_relaxed);
+  s.connections_backpressured =
+      backpressured_total_.load(std::memory_order_relaxed);
+  s.epoll_wakeups = epoll_wakeups_.load(std::memory_order_relaxed);
+  s.accept_backoffs = accept_backoffs_.load(std::memory_order_relaxed);
+  return s;
 }
 
 void ProvenanceServer::HandleFrame(const Frame& frame,
@@ -443,6 +996,17 @@ Result<std::vector<uint8_t>> ProvenanceServer::Dispatch(
         out.U64(applied);
         out.U64(target);
       }
+      if (frame.version >= 4) {
+        // Reactor counters (docs/NETWORK.md): these describe the server
+        // process, not the registry — they do NOT reset on kLoadSnapshot.
+        const ReactorStats rs = reactor_stats();
+        out.U64(rs.connections_open);
+        out.U64(rs.connections_accepted);
+        out.U64(rs.connections_timed_out);
+        out.U64(rs.connections_backpressured);
+        out.U64(rs.epoll_wakeups);
+        out.U64(rs.accept_backoffs);
+      }
       break;
     }
     case MsgType::kSnapshotFetch: {
@@ -563,25 +1127,36 @@ void ProvenanceServer::WithServiceShared(
 }
 
 void ProvenanceServer::BeginShutdown() {
-  std::lock_guard lock(state_mu_);
-  if (stop_) return;
-  stop_ = true;
-  // Wake the accept loop (shutdown on a listening socket unblocks accept
-  // with EINVAL on Linux); the fd itself is closed after the join in Wait().
-  if (listen_fd_ >= 0) ::shutdown(listen_fd_, SHUT_RDWR);
-  // Nudge idle connections: their blocking recv returns 0 and the handler
-  // winds down after finishing (and flushing) whatever it was serving.
-  for (int fd : conn_fds_) ::shutdown(fd, SHUT_RD);
-  drained_cv_.notify_all();
+  {
+    std::lock_guard lock(state_mu_);
+    if (stop_.load(std::memory_order_acquire)) return;
+    stop_time_ = Clock::now();
+    stop_.store(true, std::memory_order_release);
+    // Refuse new connections immediately (shutdown on a listening socket
+    // makes connects fail); the fd itself is closed after the join in
+    // Wait().
+    if (listen_fd_ >= 0) ::shutdown(listen_fd_, SHUT_RDWR);
+    drained_cv_.notify_all();
+  }
+  // Wake every reactor thread: each runs its half-close sweep and winds
+  // down once its connections drain.
+  for (const auto& io : io_threads_) {
+    const uint64_t one = 1;
+    [[maybe_unused]] ssize_t n = ::write(io->event_fd, &one, sizeof(one));
+  }
 }
 
 void ProvenanceServer::Wait() {
   {
     std::unique_lock lock(state_mu_);
-    drained_cv_.wait(lock, [&] { return stop_ && open_connections_ == 0; });
+    drained_cv_.wait(lock, [&] {
+      return stop_.load(std::memory_order_acquire) && open_connections_ == 0;
+    });
   }
   std::lock_guard join_lock(join_mu_);
-  if (accept_thread_.joinable()) accept_thread_.join();
+  for (const auto& io : io_threads_) {
+    if (io->thread.joinable()) io->thread.join();
+  }
   std::lock_guard lock(state_mu_);
   if (listen_fd_ >= 0) {
     ::close(listen_fd_);

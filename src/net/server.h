@@ -6,13 +6,30 @@
 //   std::printf("serving on 127.0.0.1:%u\n", server->port());
 //   server->Wait();  // until a Shutdown frame (or Shutdown() elsewhere)
 //
-// Threading model: one dedicated accept thread; each accepted connection is
-// handled by a task on an skl::ThreadPool (Options::num_threads workers), so
-// at most num_threads connections make progress at once and the rest queue.
-// Within a connection, requests are answered strictly in order — but the
-// client may pipeline: any number of request frames can be in flight before
-// the first response is read, and the server drains every complete frame it
-// has buffered before blocking on the socket again.
+// Threading model (the epoll reactor, docs/NETWORK.md has the diagram):
+// Options::num_io_threads reactor threads multiplex *all* sockets through
+// epoll in edge-triggered non-blocking mode — a connection costs a few
+// hundred bytes of state, never a thread, so thousands of mostly-idle
+// clients are cheap. Each accepted connection is owned by exactly one I/O
+// thread (round-robin at accept); that thread does every socket read and
+// all epoll bookkeeping for it. Decoded request frames are handed to a
+// query-execution ThreadPool (Options::num_threads workers): at most one
+// dispatch task runs per connection at a time, draining its frame queue in
+// FIFO order — which is what keeps responses strictly in request order
+// while different connections' queries run concurrently. Responses are
+// appended to a per-connection write buffer and flushed non-blockingly by
+// whoever holds the buffer (the pool task on the fast path, the owning I/O
+// thread via an eventfd nudge + EPOLLOUT when the socket is full).
+//
+// Flow control: the per-connection write buffer is bounded
+// (Options::max_write_buffer_bytes). A client that stops draining its
+// responses trips backpressure — the server suspends reading *and*
+// dispatching for that connection until the buffer drains below half,
+// bounding memory per connection no matter how fast the peer pipelines.
+// Similarly, at most kMaxPendingFrames decoded-but-undispatched frames are
+// buffered before reading pauses. Connections idle longer than
+// Options::idle_timeout_ms (no bytes in either direction, nothing in
+// flight) are closed and counted. Both counters travel in kServiceStats.
 //
 // Error model (the per-request Status mapping): a header-intact frame whose
 // payload is malformed, or whose request fails in the service, produces a
@@ -20,15 +37,21 @@
 // open and later requests keep working. Only a corrupted frame *header*
 // (bad magic or length), which loses frame synchronization irrecoverably,
 // makes the server answer with a best-effort kError and close that one
-// connection. No input can crash the server or take down other connections.
+// connection. On fd exhaustion (EMFILE/ENFILE) the acceptor backs off and
+// retries instead of abandoning the accept path — pending connections sit
+// in the listen backlog and are admitted once descriptors free up. No
+// input can crash the server or take down other connections.
 //
-// Shutdown: a kShutdown frame (or Shutdown()) stops the accept loop, nudges
-// every idle connection, lets in-flight requests finish and their responses
-// flush, then joins — the graceful drain the CI smoke job exercises.
+// Shutdown: a kShutdown frame (or Shutdown()) stops the accept path,
+// half-closes every connection's read side, lets already-decoded requests
+// finish and their responses flush, then joins — the graceful drain the CI
+// smoke job exercises. A peer that refuses to drain its responses is
+// force-closed after Options::drain_grace_ms so shutdown always completes.
 #ifndef SKL_NET_SERVER_H_
 #define SKL_NET_SERVER_H_
 
 #include <atomic>
+#include <chrono>
 #include <condition_variable>
 #include <cstdint>
 #include <functional>
@@ -37,7 +60,6 @@
 #include <shared_mutex>
 #include <string>
 #include <thread>
-#include <unordered_set>
 #include <vector>
 
 #include "src/common/status.h"
@@ -56,15 +78,31 @@ struct ProvenanceServerOptions {
   /// Listen address. Loopback by default: serving beyond the host is a
   /// deployment decision (see docs/NETWORK.md) — pass "0.0.0.0" explicitly.
   std::string bind_address = "127.0.0.1";
-  /// Connection-handler pool size: the number of connections that can make
-  /// progress concurrently. 0 = one per hardware thread. The default is 8,
-  /// not 0, because a handler occupies its worker for the connection's
-  /// whole lifetime — sizing by core count would cap concurrent clients at
-  /// 1 on small machines.
+  /// Query-execution pool size: how many requests (across all connections)
+  /// can be answered concurrently. 0 = one per hardware thread. Workers
+  /// are no longer pinned to connections — a worker serves one request
+  /// batch and moves on — so this bounds CPU parallelism, not clients.
   unsigned num_threads = 8;
+  /// Reactor (epoll) I/O threads multiplexing the sockets. 0 = 1. More
+  /// than 1 only pays off when socket I/O itself saturates a core;
+  /// connections are distributed round-robin at accept time.
+  unsigned num_io_threads = 1;
   /// Per-frame size ceiling, bounding what one request can make the server
   /// buffer (AddRun XML and ImportRun blobs included).
   size_t max_frame_bytes = kDefaultMaxFrameBytes;
+  /// Close connections with no socket activity and nothing in flight for
+  /// this long. 0 disables idle reaping. A half-received frame counts as
+  /// activity as long as bytes keep arriving within the window.
+  uint32_t idle_timeout_ms = 0;
+  /// Per-connection response-buffer bound: past it, the connection's reads
+  /// and dispatches are suspended (backpressure) until the peer drains
+  /// below half. Responses already being composed may overshoot by one
+  /// frame, so the hard bound is this plus max_frame_bytes.
+  size_t max_write_buffer_bytes = 8u << 20;  // 8 MiB
+  /// How long a graceful shutdown waits for unflushed responses before
+  /// force-closing the connection (a non-draining peer must not be able to
+  /// wedge the drain forever).
+  uint32_t drain_grace_ms = 2000;
   /// Primary-side replication (docs/REPLICATION.md): the op-log this
   /// server's service appends to. Borrowed — must outlive the server. When
   /// set, kSnapshotFetch / kSubscribe serve replica bootstrap and tailing,
@@ -78,13 +116,24 @@ struct ProvenanceServerOptions {
   bool read_only = false;
 };
 
+/// Point-in-time reactor counters (also appended to the kServiceStats reply
+/// for protocol-v4 peers; see ServiceStats and docs/NETWORK.md).
+struct ReactorStats {
+  uint64_t connections_open = 0;           ///< currently registered
+  uint64_t connections_accepted = 0;       ///< cumulative accepts
+  uint64_t connections_timed_out = 0;      ///< closed by the idle reaper
+  uint64_t connections_backpressured = 0;  ///< write-buffer cap trips
+  uint64_t epoll_wakeups = 0;              ///< epoll_wait returns, all threads
+  uint64_t accept_backoffs = 0;            ///< fd-exhaustion accept retries
+};
+
 /// A TCP server owning one ProvenanceService. Non-movable (threads hold
 /// `this`), so Start returns it behind a unique_ptr.
 class ProvenanceServer {
  public:
   using Options = ProvenanceServerOptions;
 
-  /// Binds, listens and starts accepting. The service is moved in; all
+  /// Binds, listens and starts the reactor. The service is moved in; all
   /// mutation from then on happens through request frames (or through
   /// service(), see below).
   static Result<std::unique_ptr<ProvenanceServer>> Start(
@@ -95,13 +144,13 @@ class ProvenanceServer {
   ~ProvenanceServer();
   void Shutdown();
 
-  /// Non-blocking shutdown trigger: stops the accept loop and nudges idle
-  /// connections, but does not wait. The kShutdown handler uses this (a
+  /// Non-blocking shutdown trigger: stops the accept path and nudges every
+  /// connection, but does not wait. The kShutdown handler uses this (a
   /// handler cannot join the machinery it runs on); pair with Wait().
   void BeginShutdown();
 
   /// Blocks until a shutdown (BeginShutdown/Shutdown/kShutdown frame) has
-  /// completed its drain: no accept loop, no open connections.
+  /// completed its drain: no accept path, no open connections.
   void Wait();
 
   ProvenanceServer(const ProvenanceServer&) = delete;
@@ -116,6 +165,9 @@ class ProvenanceServer {
   /// kLoadSnapshot frame, which replaces the object. Tests use this to
   /// compare remote answers against direct ones.
   const ProvenanceService& service() const { return service_; }
+
+  /// Snapshot of the reactor counters (tests and kServiceStats use this).
+  ReactorStats reactor_stats() const;
 
   /// Replica bookkeeping (docs/REPLICATION.md): the LSN the replica has
   /// applied (what min-LSN read tokens are checked against) and the
@@ -134,16 +186,61 @@ class ProvenanceServer {
   /// replication tailer applies shipped ops through this.
   void WithServiceShared(const std::function<void(ProvenanceService&)>& fn);
 
+  /// Decoded-but-undispatched frames buffered per connection before its
+  /// reads pause (the request-side twin of max_write_buffer_bytes).
+  static constexpr size_t kMaxPendingFrames = 1024;
+
  private:
+  struct Conn;      // per-connection state (server.cc)
+  struct IoThread;  // per-reactor-thread state (server.cc)
+
   ProvenanceServer(ProvenanceService service, Options options);
 
   Status Listen();
-  void AcceptLoop();
-  void HandleConnection(int fd);
+  Status StartIoThreads();
+
+  /// The reactor loop of I/O thread `index` (thread 0 also owns the
+  /// listening socket).
+  void IoLoop(size_t index);
+  /// epoll_wait timeout for one loop turn: the soonest of the idle-reap
+  /// tick, the accept-retry deadline and the shutdown drain deadline.
+  int LoopTimeoutMs(const IoThread& io) const;
+
+  /// Accepts until EAGAIN; on fd exhaustion arms the retry deadline
+  /// instead of abandoning the accept path. Thread 0 only.
+  void DoAccept(IoThread& io);
+  /// Adds a connection to its owner thread's epoll + map (owner only).
+  void AdoptConn(IoThread& io, const std::shared_ptr<Conn>& conn);
+
+  /// Reads until EAGAIN/EOF, feeds the decoder, queues decoded frames and
+  /// submits a dispatch task when one is due. Owner I/O thread only.
+  void ReadFrom(IoThread& io, const std::shared_ptr<Conn>& conn);
+  /// EPOLLOUT handler: flush, then disarm EPOLLOUT once the buffer drains.
+  /// Owner I/O thread only.
+  void HandleWritable(IoThread& io, const std::shared_ptr<Conn>& conn);
+  /// Acts on a cross-thread nudge: arm EPOLLOUT, resume a suspended read,
+  /// re-dispatch, or close. Owner I/O thread only.
+  void ServiceNudge(IoThread& io, const std::shared_ptr<Conn>& conn);
+  /// Submits a dispatch pool task if the connection has work and none is
+  /// running. Any thread.
+  void MaybeDispatch(const std::shared_ptr<Conn>& conn);
+  /// Pool task: drains the connection's frame queue in order, appending
+  /// responses to the write buffer, then flushes.
+  void DispatchLoop(std::shared_ptr<Conn> conn);
+  /// Flushes the write buffer (non-blocking) and settles the aftermath:
+  /// un-pausing, EPOLLOUT arming, shutdown-after-flush, owner nudging.
+  /// Safe from pool and I/O threads.
+  void FlushAndSettle(const std::shared_ptr<Conn>& conn);
+  /// Closes the connection if it has nothing left to do (or `force`).
+  /// Owner I/O thread only.
+  void TryClose(IoThread& io, const std::shared_ptr<Conn>& conn, bool force);
+
+  /// Queues a connection for its owner I/O thread's attention and wakes it
+  /// through the thread's eventfd. Any thread.
+  void NudgeOwner(const std::shared_ptr<Conn>& conn);
 
   /// Dispatches one decoded request frame, appending the encoded response
-  /// frame to *out (the connection's batched write buffer); sets
-  /// *shutdown_after_reply for kShutdown.
+  /// frame to *out; sets *shutdown_after_reply for kShutdown.
   void HandleFrame(const Frame& frame, std::vector<uint8_t>* out,
                    bool* shutdown_after_reply);
 
@@ -153,7 +250,7 @@ class ProvenanceServer {
   /// kReply unless the case overrides *reply_type (kLogEntries for
   /// kSubscribe, kRetryAt for a read whose min-LSN token is ahead of the
   /// applied LSN). Version-2 requests get version-2 reply shapes — no LSN
-  /// fields.
+  /// fields; version-4 kServiceStats replies carry the reactor counters.
   Result<std::vector<uint8_t>> Dispatch(const Frame& frame,
                                         bool* shutdown_after_reply,
                                         MsgType* reply_type);
@@ -163,9 +260,9 @@ class ProvenanceServer {
   /// token), the tailer-reported applied LSN on a replica.
   uint64_t CurrentAppliedLsn() const;
 
-  /// Registers/unregisters a connection fd with the drain bookkeeping.
-  bool RegisterConnection(int fd);  ///< false once shutdown began
-  void UnregisterConnection(int fd);
+  /// Registers a fresh connection with the drain bookkeeping.
+  bool RegisterConnection();  ///< false once shutdown began
+  void UnregisterConnection();
 
   Options options_;
   uint16_t port_ = 0;
@@ -178,21 +275,33 @@ class ProvenanceServer {
   std::shared_mutex service_mu_;
   ProvenanceService service_;
 
-  ThreadPool pool_;
-  std::thread accept_thread_;
+  std::vector<std::unique_ptr<IoThread>> io_threads_;
+  std::atomic<size_t> next_io_{0};  ///< round-robin connection placement
 
-  std::mutex state_mu_;
+  mutable std::mutex state_mu_;
   std::condition_variable drained_cv_;
-  bool stop_ = false;                     // guarded by state_mu_
-  std::unordered_set<int> conn_fds_;      // open connections, by state_mu_
-  size_t open_connections_ = 0;           // accepted minus closed
+  std::atomic<bool> stop_{false};
+  size_t open_connections_ = 0;  // guarded by state_mu_
+  std::chrono::steady_clock::time_point stop_time_{};  // by state_mu_
 
-  std::mutex join_mu_;  ///< serializes the accept-thread join (Wait vs dtor)
+  std::mutex join_mu_;  ///< serializes the io-thread join (Wait vs dtor)
+
+  // Reactor counters (ReactorStats); connections_open is derived from
+  // open_connections_.
+  std::atomic<uint64_t> accepted_total_{0};
+  std::atomic<uint64_t> timed_out_total_{0};
+  std::atomic<uint64_t> backpressured_total_{0};
+  std::atomic<uint64_t> epoll_wakeups_{0};
+  std::atomic<uint64_t> accept_backoffs_{0};
 
   // Replica-mode LSN bookkeeping, written by the tailer thread via
   // SetReplicationLsns and read by every dispatch; unused on a primary.
   std::atomic<uint64_t> applied_lsn_{0};
   std::atomic<uint64_t> target_lsn_{0};
+
+  // Declared last so it is destroyed first: the pool drains dispatch tasks
+  // (which touch every member above) before anything else goes away.
+  ThreadPool pool_;  ///< query execution, shared by all connections
 };
 
 }  // namespace skl

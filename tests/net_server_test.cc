@@ -12,6 +12,7 @@
 #include <unistd.h>
 
 #include <atomic>
+#include <chrono>
 #include <filesystem>
 #include <string>
 #include <thread>
@@ -684,6 +685,66 @@ TEST(NetServerTest, ShutdownFrameDrainsTheServer) {
   EXPECT_FALSE(refused.ok());
   EXPECT_EQ(refused.status().code(), StatusCode::kUnavailable);
   // Idempotent from the owner's side too.
+  server->Shutdown();
+}
+
+std::unique_ptr<ProvenanceServer> StartServerWithIdleTimeout(
+    uint64_t idle_timeout_ms) {
+  Specification spec = testing_util::MakeRunningExample().spec;
+  auto service = ProvenanceService::Create(std::move(spec),
+                                           SpecSchemeKind::kTcm);
+  SKL_CHECK_MSG(service.ok(), service.status().ToString().c_str());
+  ProvenanceServer::Options options;
+  options.idle_timeout_ms = idle_timeout_ms;
+  auto server = ProvenanceServer::Start(std::move(service).value(), options);
+  SKL_CHECK_MSG(server.ok(), server.status().ToString().c_str());
+  return std::move(server).value();
+}
+
+TEST(NetServerTest, IdleConnectionPastTimeoutIsClosedAndCounted) {
+  auto server = StartServerWithIdleTimeout(150);
+  RawConn idle(server->port());
+  // Never write a byte: the reaper must close the connection from its side
+  // (ReadUntilEof returns without us shutting our write half) and the
+  // close must be attributed to the timeout, not to an error.
+  const auto start = std::chrono::steady_clock::now();
+  const std::vector<uint8_t> response = idle.ReadUntilEof();
+  const auto waited = std::chrono::steady_clock::now() - start;
+  EXPECT_TRUE(response.empty());
+  EXPECT_GE(waited, std::chrono::milliseconds(100));
+  EXPECT_LT(waited, std::chrono::seconds(10));
+  EXPECT_GE(server->reactor_stats().connections_timed_out, 1u);
+  // The counter also travels the wire: a fresh (briefly-lived) client sees
+  // it in the stats RPC.
+  ProvenanceClient client = NewClient(*server);
+  auto stats = client.GetServiceStats();
+  ASSERT_TRUE(stats.ok()) << stats.status().ToString();
+  EXPECT_GE(stats->connections_timed_out, 1u);
+  server->Shutdown();
+}
+
+TEST(NetServerTest, SlowButLiveFrameSurvivesTheIdleTimeout) {
+  auto server = StartServerWithIdleTimeout(150);
+  RawConn conn(server->port());
+  const std::vector<uint8_t> wire =
+      EncodeOne(Frame{kProtocolVersion, MsgType::kPing, 7, {}});
+  // Drip the frame one byte every 50 ms: the connection spends far longer
+  // than the 150 ms budget half-way through a frame, but each byte is
+  // activity — the reaper must never count it as idle.
+  for (uint8_t byte : wire) {
+    conn.Send({&byte, 1});
+    std::this_thread::sleep_for(std::chrono::milliseconds(50));
+  }
+  conn.FinishWrites();
+  const std::vector<uint8_t> response = conn.ReadUntilEof();
+  FrameDecoder decoder;
+  decoder.Feed(response);
+  auto next = decoder.Next();
+  ASSERT_TRUE(next.ok());
+  ASSERT_TRUE(next->has_value());
+  EXPECT_EQ((*next)->type, MsgType::kReply);
+  EXPECT_EQ((*next)->request_id, 7u);
+  EXPECT_EQ(server->reactor_stats().connections_timed_out, 0u);
   server->Shutdown();
 }
 
