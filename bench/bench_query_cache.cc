@@ -25,6 +25,8 @@
 
 #include "bench/bench_common.h"
 #include "src/core/provenance_service.h"
+#include "src/core/provenance_store.h"
+#include "src/core/run_labeling.h"
 
 namespace skl {
 namespace bench {
@@ -115,6 +117,11 @@ int main() {
     json.Add(name + "_uncached_ns", uncached_ns, "ns/query");
     json.Add(name + "_miss_ns", miss_ns, "ns/query");
     json.Add(name + "_hit_ns", hit_ns, "ns/query");
+    if (kind == SpecSchemeKind::kTcm) {
+      // The bench-compare CI gate's serving-latency key
+      // (tools/bench_compare.py; docs/BENCHMARKS.md).
+      json.Add("query_cache_hit_ns", hit_ns, "ns/query");
+    }
   }
 
   // --------------------------------- 2. repeated-query workload hit rate --
@@ -138,6 +145,59 @@ int main() {
                 static_cast<unsigned long long>(stats.cache_hits +
                                                 stats.cache_misses));
     json.Add("repeat_workload_hit_rate_pct", hit_rate, "%");
+  }
+
+  // ------------------- 2b. batch kernel: columnar vs AoS label storage --
+  {
+    // The storage-layout before/after column: the same label-compare sweep
+    // (every source vertex against a fixed target, the ReachesBatch inner
+    // loop) over the store's flat columns vs an array-of-structs twin
+    // materialized from them — the per-run heap-blob layout the columnar
+    // arena replaced. Store-level on purpose: no cache, no locks, just the
+    // memory layout under the decision kernel.
+    ProvenanceService service = MakeService(spec, SpecSchemeKind::kTcm, 8, 0);
+    auto id = service.AddRun(generated.run);
+    SKL_CHECK(id.ok());
+    auto blob = service.ExportRun(*id);
+    SKL_CHECK(blob.ok());
+    auto store = ProvenanceStore::Deserialize(*blob);
+    SKL_CHECK(store.ok());
+    const SpecLabelingScheme& scheme = service.scheme();
+    const size_t kernel_rounds = std::max<size_t>(1, total_queries / n);
+
+    std::vector<RunLabel> aos;
+    aos.reserve(n);
+    for (VertexId v = 0; v < n; ++v) aos.push_back(store->label(v));
+
+    size_t columnar_true = 0, aos_true = 0;
+    Stopwatch sw;
+    for (size_t r = 0; r < kernel_rounds; ++r) {
+      const RunLabel target = store->label(n - 1 - (r % n));
+      for (VertexId v = 0; v < n; ++v) {
+        columnar_true +=
+            RunLabeling::Decide(store->label(v), target, scheme) ? 1 : 0;
+      }
+    }
+    const double columnar_ns =
+        NsPerQuery(sw.ElapsedSeconds(), static_cast<size_t>(n) * kernel_rounds);
+    sw.Restart();
+    for (size_t r = 0; r < kernel_rounds; ++r) {
+      const RunLabel target = aos[n - 1 - (r % n)];
+      for (VertexId v = 0; v < n; ++v) {
+        aos_true += RunLabeling::Decide(aos[v], target, scheme) ? 1 : 0;
+      }
+    }
+    const double aos_ns =
+        NsPerQuery(sw.ElapsedSeconds(), static_cast<size_t>(n) * kernel_rounds);
+    SKL_CHECK(columnar_true == aos_true);  // layouts must agree bit-for-bit
+
+    PrintHeader("batch label-compare kernel (TCM, full-run sweep)");
+    std::printf("columnar %8.2f ns/pair   aos twin %8.2f ns/pair "
+                "(%zu pairs, answers identical)\n",
+                columnar_ns, aos_ns,
+                static_cast<size_t>(n) * kernel_rounds);
+    json.Add("batch_columnar_ns", columnar_ns, "ns/pair");
+    json.Add("batch_aos_ns", aos_ns, "ns/pair");
   }
 
   // --------------------------- 3. reader scaling: contended vs sharded --

@@ -108,12 +108,13 @@ int Usage() {
       "                         [--fail-fast] <spec.xml> <run-dir>\n"
       "       sklctl save [--scheme=<name>] [--threads=<n>] [--shards=<n>]\n"
       "                   <spec.xml> <run-dir> <out.snapshot>\n"
-      "       sklctl load [--threads=<n>] [--shards=<n>] <snapshot>\n"
+      "       sklctl load [--threads=<n>] [--shards=<n>] [--mmap] "
+      "<snapshot>\n"
       "       sklctl serve [--scheme=<name>] [--threads=<n>] "
       "[--shards=<n>]\n"
       "                    [--num-io-threads=<n>] [--port=<p>] "
       "[--oplog=<path>]\n"
-      "                    <spec.xml> [run-dir]\n"
+      "                    [--mmap] <spec.xml> [run-dir]\n"
       "       sklctl replicate --connect=<host:port> "
       "[--listen=<host:port>]\n"
       "       sklctl reaches --connect=<host:port> <run-id> <from> <to>\n"
@@ -122,6 +123,8 @@ int Usage() {
       "       sklctl list-runs --connect=<host:port>\n"
       "       sklctl shutdown --connect=<host:port>\n"
       "       sklctl save --connect=<host:port> <out.snapshot>\n"
+      "       sklctl load-snapshot --connect=<host:port> "
+      "<server-path.skls>\n"
       "scheme names: tcm (default), bfs, dfs, interval, tree-cover, "
       "chain, 2hop\n");
   return 2;
@@ -284,9 +287,11 @@ int Save(Specification spec, SpecSchemeKind scheme_kind,
 /// `sklctl load`: restore a snapshot, print what came back, and answer
 /// "<run-id> <from> <to>" reachability queries from stdin. The scheme is
 /// part of the snapshot; runtime knobs (threads) are not and pass through.
-int Load(const char* path, ProvenanceService::Options options) {
+int Load(const char* path, ProvenanceService::Options options,
+         bool use_mmap) {
   Stopwatch sw;
-  auto service = ProvenanceService::LoadSnapshot(path, options);
+  auto service =
+      ProvenanceService::LoadSnapshot(path, options, {.use_mmap = use_mmap});
   if (!service.ok()) return Fail(service.status());
   const double load_secs = sw.ElapsedSeconds();
 
@@ -305,12 +310,16 @@ int Load(const char* path, ProvenanceService::Options options) {
                   stats->imported ? " (imported)" : "");
     run_lines += line;
   }
+  // "via mmap" only when the runs actually view the mapping — a v1
+  // snapshot or an SKL_NO_MMAP/mapping fallback reports "via copy" even
+  // under --mmap, which is what the CI smoke legs assert.
   std::printf("restored %s in %.2f ms: scheme %s, %u spec modules, "
-              "%zu runs, %llu run vertices\n",
+              "%zu runs, %llu run vertices via %s\n",
               path, load_secs * 1e3,
               std::string(service->scheme().name()).c_str(),
               service->spec().graph().num_vertices(), ids.size(),
-              static_cast<unsigned long long>(vertices));
+              static_cast<unsigned long long>(vertices),
+              service->loaded_via_mmap() ? "mmap" : "copy");
   std::fputs(run_lines.c_str(), stdout);
 
   std::string line;
@@ -345,7 +354,7 @@ int Load(const char* path, ProvenanceService::Options options) {
 int Serve(Specification spec, SpecSchemeKind scheme_kind,
           ProvenanceService::Options options, uint16_t port,
           unsigned num_io_threads, const std::string& oplog_path,
-          const char* dir) {
+          bool mmap_snapshots, const char* dir) {
   std::unique_ptr<OpLog> oplog;
   std::optional<ProvenanceService> service;
   if (!oplog_path.empty() && std::filesystem::exists(oplog_path)) {
@@ -409,6 +418,8 @@ int Serve(Specification spec, SpecSchemeKind scheme_kind,
   ProvenanceServer::Options server_options;
   server_options.port = port;
   server_options.oplog = oplog.get();
+  // --mmap: kLoadSnapshot swaps restore through the zero-copy path.
+  server_options.mmap_snapshots = mmap_snapshots;
   // --threads sizes the connection-handler pool too; 0 keeps the server's
   // own default (8), which is a better serving concurrency than one-per-
   // core on small machines.
@@ -561,6 +572,7 @@ int main(int argc, char** argv) {
   unsigned num_shards = 0;
   bool shards_given = false;
   bool fail_fast = false;
+  bool use_mmap = false;
   uint16_t port = 0;
   std::string connect;
   std::string oplog_path;
@@ -625,6 +637,8 @@ int main(int argc, char** argv) {
       shards_given = true;
     } else if (std::strcmp(argv[i], "--fail-fast") == 0) {
       fail_fast = true;
+    } else if (std::strcmp(argv[i], "--mmap") == 0) {
+      use_mmap = true;
     } else if (std::strncmp(argv[i], "--port=", 7) == 0) {
       const char* value = argv[i] + 7;
       char* end = nullptr;
@@ -676,11 +690,16 @@ int main(int argc, char** argv) {
   const bool remote_capable = cmd == "reaches" || cmd == "stats" ||
                               cmd == "add-run" || cmd == "list-runs" ||
                               cmd == "shutdown" || cmd == "save" ||
-                              cmd == "replicate";
+                              cmd == "load-snapshot" || cmd == "replicate";
   if (!connect.empty() && !remote_capable) {
     std::fprintf(stderr,
                  "error: --connect is only accepted by reaches, stats, "
-                 "add-run, list-runs, shutdown, save and replicate\n");
+                 "add-run, list-runs, shutdown, save, load-snapshot and "
+                 "replicate\n");
+    return Usage();
+  }
+  if (use_mmap && cmd != "load" && cmd != "serve") {
+    std::fprintf(stderr, "error: --mmap is only accepted by load and serve\n");
     return Usage();
   }
   if (!oplog_path.empty() && cmd != "serve") {
@@ -708,7 +727,7 @@ int main(int argc, char** argv) {
     auto spec = LoadSpec(args[0]);
     if (!spec.ok()) return Fail(spec.status());
     return Serve(std::move(spec).value(), scheme_kind, service_options, port,
-                 num_io_threads, oplog_path,
+                 num_io_threads, oplog_path, use_mmap,
                  args.size() > 1 ? args[1] : nullptr);
   }
 
@@ -730,7 +749,8 @@ int main(int argc, char** argv) {
   }
 
   if (cmd == "reaches" || cmd == "add-run" || cmd == "list-runs" ||
-      cmd == "shutdown" || (cmd == "stats" && !connect.empty()) ||
+      cmd == "shutdown" || cmd == "load-snapshot" ||
+      (cmd == "stats" && !connect.empty()) ||
       (cmd == "save" && !connect.empty())) {
     if (connect.empty()) {
       std::fprintf(stderr, "error: %s requires --connect=<host:port>\n",
@@ -786,6 +806,16 @@ int main(int argc, char** argv) {
       Status saved = client->SaveSnapshot(args[0]);
       if (!saved.ok()) return Fail(saved);
       std::printf("server saved snapshot to %s\n", args[0]);
+      return 0;
+    }
+    if (cmd == "load-snapshot") {
+      // Server-side swap: the path names a snapshot on the *server's*
+      // filesystem; whether it restores via mmap is the server's
+      // --mmap/mmap_snapshots setting, not a client choice.
+      if (args.size() != 1) return Usage();
+      Status swapped = client->LoadSnapshot(args[0]);
+      if (!swapped.ok()) return Fail(swapped);
+      std::printf("server loaded snapshot %s\n", args[0]);
       return 0;
     }
     // shutdown
@@ -860,7 +890,7 @@ int main(int argc, char** argv) {
                    "not accepted\n");
       return Usage();
     }
-    return Load(args[0], service_options);
+    return Load(args[0], service_options, use_mmap);
   }
 
   if (cmd == "validate" || cmd == "label" || cmd == "stats") {

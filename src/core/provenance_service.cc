@@ -49,7 +49,7 @@ Result<bool> StoreDependsOn(const ProvenanceStore& store, DataItemId x,
   }
   // Paper Section 6: x depends on x_from iff some reader of x_from reaches
   // the execution that wrote x.
-  const RunLabel& out = store.label(store.item_writer(x));
+  const RunLabel out = store.label(store.item_writer(x));
   for (VertexId r : store.item_readers(x_from)) {
     if (RunLabeling::Decide(store.label(r), out, scheme)) return true;
   }
@@ -186,7 +186,7 @@ RunRecord ProvenanceService::CaptureRecord(
     const RunLabeling& labeling, const DataCatalog* catalog,
     bool imported) const {
   RunRecord record;
-  record.store = ProvenanceStore::Capture(labeling, catalog);
+  record.store = ProvenanceStore::Capture(labeling, catalog, scheme_->name());
   record.stats.num_vertices = labeling.num_vertices();
   record.stats.num_items = record.store.num_items();
   record.stats.label_bits = labeling.label_bits();
@@ -570,6 +570,15 @@ Result<RunId> ProvenanceService::ImportRun(
     const std::vector<uint8_t>& blob) {
   SKL_ASSIGN_OR_RETURN(ProvenanceStore store,
                        ProvenanceStore::Deserialize(blob));
+  // Tagged blobs must name this service's scheme — labels only answer
+  // correctly under the scheme that produced them. Untagged (v1) blobs
+  // predate the tag and are accepted as before.
+  if (!store.scheme_tag().empty() && store.scheme_tag() != scheme_->name()) {
+    return Status::InvalidArgument(
+        "blob was labeled under scheme '" + store.scheme_tag() +
+        "', but this service answers under scheme '" +
+        std::string(scheme_->name()) + "'");
+  }
   // The blob must stem from a run of this service's specification: every
   // origin must name a spec vertex, or queries would index the scheme out
   // of range.
@@ -648,6 +657,13 @@ Status ProvenanceService::RestoreRun(uint64_t id, const RunStats& stats,
   }
   SKL_ASSIGN_OR_RETURN(ProvenanceStore store,
                        ProvenanceStore::Deserialize(blob));
+  if (!store.scheme_tag().empty() && store.scheme_tag() != scheme_->name()) {
+    return Status::InvalidArgument(
+        "replicated run " + std::to_string(id) +
+        " was labeled under scheme '" + store.scheme_tag() +
+        "', but this service answers under scheme '" +
+        std::string(scheme_->name()) + "'");
+  }
   if (store.num_vertices() != stats.num_vertices ||
       store.num_items() != stats.num_items) {
     return Status::InvalidArgument(

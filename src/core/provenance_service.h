@@ -188,6 +188,20 @@ struct ProvenanceServiceOptions {
   size_t cache_slots = 4096;
 };
 
+/// Knobs for ProvenanceService::LoadSnapshot, separate from the service
+/// Options because they describe how to *read the file*, not the restored
+/// service. (Namespace-scope for the same brace-defaulting reason as
+/// ProvenanceServiceOptions.)
+struct SnapshotLoadOptions {
+  /// Request the zero-copy path: mmap the snapshot read-only and let the
+  /// restored runs view the label columns in place (v2 columnar snapshots
+  /// only). Falls back to the copying reader when the platform cannot map
+  /// the file or `SKL_NO_MMAP` is set in the environment; v1 snapshots
+  /// load through the map but decode into owned memory either way. See
+  /// docs/PERSISTENCE.md for the mapping lifetime contract.
+  bool use_mmap = false;
+};
+
 /// One specification + one built skeleton scheme + many labeled runs.
 class ProvenanceService {
  public:
@@ -300,8 +314,21 @@ class ProvenanceService {
   /// snapshot; pass them here. Malformed input — truncated file, bad magic,
   /// unsupported version, corrupted section — fails with a descriptive
   /// ParseError.
-  static Result<ProvenanceService> LoadSnapshot(const std::string& path,
-                                                Options options = {});
+  static Result<ProvenanceService> LoadSnapshot(
+      const std::string& path, Options options = {},
+      SnapshotLoadOptions load_options = {});
+
+  /// True when this service was restored through the mmap path and its
+  /// runs view the mapped snapshot (released when the last viewing run is
+  /// destroyed). False for copying loads and non-snapshot services.
+  bool loaded_via_mmap() const { return loaded_via_mmap_; }
+
+  /// SaveSnapshot pinned to an older container format version, for compat
+  /// tests and the before/after benchmark columns. Supported: 1 (per-run
+  /// blob section) and kSnapshotFormatVersion (columnar, what SaveSnapshot
+  /// writes).
+  Status SaveSnapshotAtVersion(const std::string& path,
+                               uint32_t format_version) const;
 
   /// In-memory SaveSnapshot: the same container bytes WriteFile would
   /// persist, for shipping over the wire (kSnapshotFetch) instead of to
@@ -412,10 +439,14 @@ class ProvenanceService {
   ThreadPool& Pool();
 
   /// Shared snapshot composition behind SaveSnapshot / SnapshotBytes.
-  Result<SnapshotWriter> BuildSnapshotWriter() const;
+  Result<SnapshotWriter> BuildSnapshotWriter(uint32_t format_version) const;
   /// Shared restore behind LoadSnapshot / LoadSnapshotBytes.
   static Result<ProvenanceService> LoadFromSnapshotReader(
       SnapshotReader reader, Options options);
+  /// Restores the v2 columnar run sections into `service` (snapshot.cc).
+  static Status LoadColumnarRuns(const SnapshotReader& reader,
+                                 std::string_view scheme_name, VertexId n_g,
+                                 ProvenanceService* service);
 
   // The query methods memoize through the shard's QueryCache via one
   // shared helper (Memoized, provenance_service.cc): probe under the read
@@ -438,6 +469,8 @@ class ProvenanceService {
   std::unique_ptr<ThreadPool> pool_;     // created on first bulk call
 
   OpLog* oplog_ = nullptr;  ///< borrowed; see AttachOpLog
+
+  bool loaded_via_mmap_ = false;  ///< see loaded_via_mmap()
 };
 
 /// Live labeling of one in-flight run, created by

@@ -9,21 +9,114 @@ namespace skl {
 
 namespace {
 constexpr uint32_t kMagic = 0x534b4c50;  // "SKLP"
-constexpr uint32_t kVersion = 1;
+// v1: untagged. v2 adds the scheme tag right after the version varint; the
+// rest of the layout is bit-identical to v1, so v1 blobs keep loading.
+constexpr uint32_t kVersion = 2;
+constexpr uint64_t kMaxSchemeTagBytes = 256;
 }  // namespace
 
-ProvenanceStore ProvenanceStore::Capture(const RunLabeling& labeling,
-                                         const DataCatalog* catalog) {
-  ProvenanceStore store;
-  store.labels_ = labeling.labels();
-  if (catalog != nullptr) {
-    store.item_writers_.reserve(catalog->size());
-    store.item_readers_.reserve(catalog->size());
-    for (DataItemId x = 0; x < catalog->size(); ++x) {
-      store.item_writers_.push_back(catalog->OutputOf(x));
-      store.item_readers_.push_back(catalog->InputsOf(x));
-    }
+ProvenanceStore& ProvenanceStore::operator=(const ProvenanceStore& other) {
+  if (this == &other) return *this;
+  scheme_tag_ = other.scheme_tag_;
+  if (other.backing_ != nullptr) {
+    // View: share the backing, copy the column spans verbatim.
+    arena_.clear();
+    backing_ = other.backing_;
+    q1_ = other.q1_;
+    q2_ = other.q2_;
+    q3_ = other.q3_;
+    origin_ = other.origin_;
+    item_writers_ = other.item_writers_;
+    reader_offsets_ = other.reader_offsets_;
+    readers_ = other.readers_;
+  } else {
+    // Owned: copy the arena and re-derive the spans from the fixed layout.
+    backing_.reset();
+    arena_ = other.arena_;
+    BindToArena(other.q1_.size(), other.item_writers_.size(),
+                other.readers_.size());
   }
+  return *this;
+}
+
+void ProvenanceStore::BindToArena(size_t n, size_t items,
+                                  size_t readers_total) {
+  if (arena_.empty()) {
+    q1_ = q2_ = q3_ = origin_ = {};
+    item_writers_ = reader_offsets_ = readers_ = {};
+    return;
+  }
+  const uint32_t* base = arena_.data();
+  q1_ = {base, n};
+  q2_ = {base + n, n};
+  q3_ = {base + 2 * n, n};
+  origin_ = {base + 3 * n, n};
+  item_writers_ = {base + 4 * n, items};
+  reader_offsets_ = {base + 4 * n + items, items + 1};
+  readers_ = {base + 4 * n + 2 * items + 1, readers_total};
+}
+
+std::vector<uint32_t>& ProvenanceStore::AllocateArena(size_t n, size_t items,
+                                                      size_t readers_total) {
+  arena_.assign(4 * n + 2 * items + 1 + readers_total, 0);
+  backing_.reset();
+  BindToArena(n, items, readers_total);
+  return arena_;
+}
+
+ProvenanceStore ProvenanceStore::Capture(const RunLabeling& labeling,
+                                         const DataCatalog* catalog,
+                                         std::string_view scheme_tag) {
+  ProvenanceStore store;
+  store.scheme_tag_.assign(scheme_tag);
+  const std::vector<RunLabel>& labels = labeling.labels();
+  const size_t n = labels.size();
+  const size_t items = catalog != nullptr ? catalog->size() : 0;
+  size_t readers_total = 0;
+  for (DataItemId x = 0; x < items; ++x) {
+    readers_total += catalog->InputsOf(x).size();
+  }
+  std::vector<uint32_t>& arena = store.AllocateArena(n, items, readers_total);
+  uint32_t* q1 = arena.data();
+  uint32_t* q2 = q1 + n;
+  uint32_t* q3 = q2 + n;
+  uint32_t* origin = q3 + n;
+  for (size_t v = 0; v < n; ++v) {
+    q1[v] = labels[v].q1;
+    q2[v] = labels[v].q2;
+    q3[v] = labels[v].q3;
+    origin[v] = labels[v].origin;
+  }
+  uint32_t* writers = origin + n;
+  uint32_t* offsets = writers + items;
+  uint32_t* readers = offsets + items + 1;
+  uint32_t off = 0;
+  offsets[0] = 0;
+  for (DataItemId x = 0; x < items; ++x) {
+    writers[x] = catalog->OutputOf(x);
+    for (VertexId r : catalog->InputsOf(x)) readers[off++] = r;
+    offsets[x + 1] = off;
+  }
+  return store;
+}
+
+ProvenanceStore ProvenanceStore::FromColumns(
+    std::span<const uint32_t> q1, std::span<const uint32_t> q2,
+    std::span<const uint32_t> q3, std::span<const uint32_t> origin,
+    std::span<const uint32_t> item_writers,
+    std::span<const uint32_t> reader_offsets,
+    std::span<const uint32_t> readers, std::string scheme_tag,
+    std::shared_ptr<const void> backing) {
+  ProvenanceStore store;
+  store.q1_ = q1;
+  store.q2_ = q2;
+  store.q3_ = q3;
+  store.origin_ = origin;
+  store.item_writers_ = item_writers;
+  store.reader_offsets_ = reader_offsets;
+  store.readers_ = readers;
+  store.scheme_tag_ = std::move(scheme_tag);
+  store.backing_ = std::move(backing);
   return store;
 }
 
@@ -31,30 +124,35 @@ std::vector<uint8_t> ProvenanceStore::Serialize() const {
   BitWriter writer;
   writer.Write(kMagic, 32);
   writer.WriteVarint(kVersion);
+  writer.WriteVarint(scheme_tag_.size());
+  writer.WriteBytes(std::span<const uint8_t>(
+      reinterpret_cast<const uint8_t*>(scheme_tag_.data()),
+      scheme_tag_.size()));
   // Labels block: reuse the label codec widths.
-  const uint32_t n = static_cast<uint32_t>(labels_.size());
+  const uint32_t n = static_cast<uint32_t>(q1_.size());
   uint32_t max_q = 1, max_origin = 0;
-  for (const RunLabel& l : labels_) {
-    max_q = std::max({max_q, l.q1, l.q2, l.q3});
-    max_origin = std::max(max_origin, l.origin);
-  }
+  for (uint32_t q : q1_) max_q = std::max(max_q, q);
+  for (uint32_t q : q2_) max_q = std::max(max_q, q);
+  for (uint32_t q : q3_) max_q = std::max(max_q, q);
+  for (uint32_t o : origin_) max_origin = std::max(max_origin, o);
   const int q_bits = BitsForCount(max_q + 1);
   const int o_bits = BitsForCount(max_origin + 2);
   writer.WriteVarint(n);
   writer.WriteVarint(static_cast<uint64_t>(q_bits));
   writer.WriteVarint(static_cast<uint64_t>(o_bits));
-  for (const RunLabel& l : labels_) {
-    writer.Write(l.q1, q_bits);
-    writer.Write(l.q2, q_bits);
-    writer.Write(l.q3, q_bits);
-    writer.Write(l.origin, o_bits);
+  for (uint32_t v = 0; v < n; ++v) {
+    writer.Write(q1_[v], q_bits);
+    writer.Write(q2_[v], q_bits);
+    writer.Write(q3_[v], q_bits);
+    writer.Write(origin_[v], o_bits);
   }
   // Catalog block.
   writer.WriteVarint(item_writers_.size());
   for (size_t x = 0; x < item_writers_.size(); ++x) {
     writer.WriteVarint(item_writers_[x]);
-    writer.WriteVarint(item_readers_[x].size());
-    for (VertexId r : item_readers_[x]) writer.WriteVarint(r);
+    std::span<const VertexId> rs = item_readers(static_cast<DataItemId>(x));
+    writer.WriteVarint(rs.size());
+    for (VertexId r : rs) writer.WriteVarint(r);
   }
   return writer.Finish();
 }
@@ -71,8 +169,19 @@ Result<ProvenanceStore> ProvenanceStore::Deserialize(
   SKL_RETURN_NOT_OK(reader.Read(32, &magic));
   if (magic != kMagic) return Status::ParseError("not a provenance store");
   SKL_RETURN_NOT_OK(reader.ReadVarint(&version));
-  if (version != kVersion) {
+  if (version != 1 && version != kVersion) {
     return Status::ParseError("unsupported store version");
+  }
+  ProvenanceStore store;
+  if (version >= 2) {
+    uint64_t tag_len;
+    SKL_RETURN_NOT_OK(reader.ReadVarint(&tag_len));
+    if (tag_len > kMaxSchemeTagBytes) {
+      return Status::ParseError("corrupt store header (scheme tag too long)");
+    }
+    std::span<const uint8_t> tag;
+    SKL_RETURN_NOT_OK(reader.ReadBytes(tag_len, &tag));
+    store.scheme_tag_.assign(tag.begin(), tag.end());
   }
   SKL_RETURN_NOT_OK(reader.ReadVarint(&n));
   SKL_RETURN_NOT_OK(reader.ReadVarint(&q_bits));
@@ -80,39 +189,59 @@ Result<ProvenanceStore> ProvenanceStore::Deserialize(
   if (q_bits == 0 || q_bits > 32 || o_bits == 0 || o_bits > 32) {
     return Status::ParseError("corrupt store header");
   }
-  ProvenanceStore store;
-  store.labels_.resize(n);
+  // A valid blob carries n * (3*q_bits + o_bits) label bits, so n cannot
+  // exceed what the byte stream could possibly hold.
+  if (n > bytes.size() * 8 / (3 * q_bits + o_bits)) {
+    return Status::ParseError("corrupt store header");
+  }
+  // Labels land at the front of the arena; the catalog's size is unknown
+  // until parsed, so it goes through temporaries and is appended after.
+  std::vector<uint32_t> arena(4 * n, 0);
+  uint32_t* col_q1 = arena.data();
+  uint32_t* col_q2 = col_q1 + n;
+  uint32_t* col_q3 = col_q2 + n;
+  uint32_t* col_origin = col_q3 + n;
   for (uint64_t v = 0; v < n; ++v) {
     uint64_t q1, q2, q3, origin;
     SKL_RETURN_NOT_OK(reader.Read(static_cast<int>(q_bits), &q1));
     SKL_RETURN_NOT_OK(reader.Read(static_cast<int>(q_bits), &q2));
     SKL_RETURN_NOT_OK(reader.Read(static_cast<int>(q_bits), &q3));
     SKL_RETURN_NOT_OK(reader.Read(static_cast<int>(o_bits), &origin));
-    store.labels_[v] = RunLabel{
-        static_cast<uint32_t>(q1), static_cast<uint32_t>(q2),
-        static_cast<uint32_t>(q3), static_cast<VertexId>(origin)};
+    col_q1[v] = static_cast<uint32_t>(q1);
+    col_q2[v] = static_cast<uint32_t>(q2);
+    col_q3[v] = static_cast<uint32_t>(q3);
+    col_origin[v] = static_cast<uint32_t>(origin);
   }
   uint64_t items;
   SKL_RETURN_NOT_OK(reader.ReadVarint(&items));
-  store.item_writers_.resize(items);
-  store.item_readers_.resize(items);
+  if (items > bytes.size()) {
+    return Status::ParseError("corrupt store header");
+  }
+  std::vector<uint32_t> writers(items, 0);
+  std::vector<uint32_t> offsets(items + 1, 0);
+  std::vector<uint32_t> readers;
   for (uint64_t x = 0; x < items; ++x) {
-    uint64_t writer_v, readers;
+    uint64_t writer_v, n_readers;
     SKL_RETURN_NOT_OK(reader.ReadVarint(&writer_v));
     if (writer_v >= n) return Status::ParseError("item writer out of range");
-    store.item_writers_[x] = static_cast<VertexId>(writer_v);
-    SKL_RETURN_NOT_OK(reader.ReadVarint(&readers));
-    if (readers > n) return Status::ParseError("reader count out of range");
-    store.item_readers_[x].resize(readers);
-    for (uint64_t r = 0; r < readers; ++r) {
+    writers[x] = static_cast<uint32_t>(writer_v);
+    SKL_RETURN_NOT_OK(reader.ReadVarint(&n_readers));
+    if (n_readers > n) return Status::ParseError("reader count out of range");
+    for (uint64_t r = 0; r < n_readers; ++r) {
       uint64_t reader_v;
       SKL_RETURN_NOT_OK(reader.ReadVarint(&reader_v));
       if (reader_v >= n) {
         return Status::ParseError("item reader out of range");
       }
-      store.item_readers_[x][r] = static_cast<VertexId>(reader_v);
+      readers.push_back(static_cast<uint32_t>(reader_v));
     }
+    offsets[x + 1] = static_cast<uint32_t>(readers.size());
   }
+  arena.insert(arena.end(), writers.begin(), writers.end());
+  arena.insert(arena.end(), offsets.begin(), offsets.end());
+  arena.insert(arena.end(), readers.begin(), readers.end());
+  store.arena_ = std::move(arena);
+  store.BindToArena(n, items, readers.size());
   return store;
 }
 

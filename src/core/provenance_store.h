@@ -1,18 +1,29 @@
 // Persistent provenance store: what a workflow system would actually write
-// to its provenance database after a run completes. Holds the bit-packed run
-// labels (at the exact Lemma 4.7 width) plus the data-item catalog, serialized
-// to a single self-describing binary blob. Queries need only the blob and the
-// specification's skeleton scheme — the run graph itself can be discarded,
-// which is the whole point of reachability labels.
+// to its provenance database after a run completes. Holds the run labels in
+// contiguous columnar arrays (one flat uint32 column per label component)
+// plus the data-item catalog in CSR form, so batch queries are tight loops
+// over flat memory. Serializes to a single self-describing binary blob;
+// queries need only the blob and the specification's skeleton scheme — the
+// run graph itself can be discarded, which is the whole point of
+// reachability labels.
 //
-// Layout: magic "SKLP", format version, encoded labels block (label_codec),
-// then the catalog as varints (item count; per item: writer, reader count,
-// readers).
+// Blob layout: magic "SKLP", format version, scheme tag (v2+), encoded
+// labels block at the exact Lemma 4.7 bit width (label_codec), then the
+// catalog as varints (item count; per item: writer, reader count, readers).
+//
+// Storage is either *owned* (one contiguous uint32 arena, built by
+// Capture/Deserialize) or a *view* over externally owned columns (built by
+// FromColumns, e.g. spans into an mmap'd snapshot); a view keeps its backing
+// alive through a shared_ptr, so the mapping is released only when the last
+// store viewing it is destroyed.
 #ifndef SKL_CORE_PROVENANCE_STORE_H_
 #define SKL_CORE_PROVENANCE_STORE_H_
 
 #include <cstdint>
+#include <memory>
 #include <span>
+#include <string>
+#include <string_view>
 #include <vector>
 
 #include "src/common/status.h"
@@ -23,44 +34,103 @@ namespace skl {
 
 class ProvenanceStore {
  public:
-  /// Captures a labeled run and (optionally) its data catalog.
-  static ProvenanceStore Capture(const RunLabeling& labeling,
-                                 const DataCatalog* catalog = nullptr);
+  ProvenanceStore() = default;
+  ProvenanceStore(const ProvenanceStore& other) { *this = other; }
+  ProvenanceStore& operator=(const ProvenanceStore& other);
+  ProvenanceStore(ProvenanceStore&&) = default;
+  ProvenanceStore& operator=(ProvenanceStore&&) = default;
 
-  /// Serializes to a self-describing blob.
+  /// Captures a labeled run and (optionally) its data catalog. `scheme_tag`
+  /// names the skeleton scheme the labels were produced under (the bundled
+  /// SpecSchemeKind name); it is embedded in the blob so a later import can
+  /// reject a blob paired with the wrong scheme. Empty means "unknown"
+  /// (legacy v1 blobs) and is accepted everywhere.
+  static ProvenanceStore Capture(const RunLabeling& labeling,
+                                 const DataCatalog* catalog = nullptr,
+                                 std::string_view scheme_tag = {});
+
+  /// Wraps externally owned columns without copying. The spans must point
+  /// into memory kept alive by `backing` (e.g. an mmap'd snapshot section);
+  /// `reader_offsets` is the CSR offset column (size num_items() + 1, or
+  /// empty when there are no items). All range validation is the caller's
+  /// job — accessors index the spans directly.
+  static ProvenanceStore FromColumns(std::span<const uint32_t> q1,
+                                     std::span<const uint32_t> q2,
+                                     std::span<const uint32_t> q3,
+                                     std::span<const uint32_t> origin,
+                                     std::span<const uint32_t> item_writers,
+                                     std::span<const uint32_t> reader_offsets,
+                                     std::span<const uint32_t> readers,
+                                     std::string scheme_tag,
+                                     std::shared_ptr<const void> backing);
+
+  /// Serializes to a self-describing blob (current format: v2, tagged).
   std::vector<uint8_t> Serialize() const;
 
-  /// Restores a store from a blob.
+  /// Restores a store from a blob. Accepts v1 (untagged) and v2 (tagged)
+  /// blobs; v1 restores with an empty scheme tag.
   static Result<ProvenanceStore> Deserialize(std::span<const uint8_t> bytes);
   static Result<ProvenanceStore> Deserialize(
       const std::vector<uint8_t>& bytes);
 
-  VertexId num_vertices() const {
-    return static_cast<VertexId>(labels_.size());
-  }
+  VertexId num_vertices() const { return static_cast<VertexId>(q1_.size()); }
   size_t num_items() const { return item_writers_.size(); }
 
-  const RunLabel& label(VertexId v) const { return labels_[v]; }
+  RunLabel label(VertexId v) const {
+    return RunLabel{q1_[v], q2_[v], q3_[v], origin_[v]};
+  }
 
-  // The store is pure data: labels plus the catalog's writer/reader lists.
-  // The scheme-passing query overloads that used to live here (deprecated
-  // since the service landed) are gone — nothing ties a blob to the scheme
-  // it was labeled under, so pairing the two is the service's job. Query
-  // through skl::ProvenanceService (Reaches/DependsOn/...), which holds the
-  // scheme once per specification and answers from these accessors.
+  // Flat label columns for batch loops (SIMD-friendly: one contiguous
+  // uint32 array per component, indexed by vertex).
+  std::span<const uint32_t> q1_column() const { return q1_; }
+  std::span<const uint32_t> q2_column() const { return q2_; }
+  std::span<const uint32_t> q3_column() const { return q3_; }
+  std::span<const uint32_t> origin_column() const { return origin_; }
+
+  // The store is pure data: label columns plus the catalog's writer/reader
+  // lists. The scheme-passing query overloads that used to live here
+  // (deprecated since the service landed) are gone; query through
+  // skl::ProvenanceService (Reaches/DependsOn/...), which holds the scheme
+  // once per specification and answers from these accessors. The blob's
+  // scheme tag (below) is what ties a blob to the scheme it was labeled
+  // under — importers reject a tag that names a different scheme.
 
   /// Execution that wrote item x. Precondition: x < num_items().
   VertexId item_writer(DataItemId x) const { return item_writers_[x]; }
 
   /// Executions that read item x. Precondition: x < num_items().
   std::span<const VertexId> item_readers(DataItemId x) const {
-    return item_readers_[x];
+    return readers_.subspan(reader_offsets_[x],
+                            reader_offsets_[x + 1] - reader_offsets_[x]);
   }
 
+  /// Total reader entries across all items (the READERS column length).
+  size_t num_reader_entries() const { return readers_.size(); }
+
+  /// Name of the skeleton scheme these labels were produced under; empty
+  /// for legacy (v1) blobs that predate the tag.
+  const std::string& scheme_tag() const { return scheme_tag_; }
+
+  /// True when the columns view externally owned memory (snapshot backing)
+  /// rather than an owned arena.
+  bool is_view() const { return backing_ != nullptr; }
+
  private:
-  std::vector<RunLabel> labels_;
-  std::vector<VertexId> item_writers_;
-  std::vector<std::vector<VertexId>> item_readers_;
+  // Owned stores keep every column in one contiguous arena, in the fixed
+  // order [q1 | q2 | q3 | origin | writers | offsets | readers]; views
+  // point wherever the backing put them. Spans always describe the live
+  // columns, whichever case we are in.
+  void BindToArena(size_t n, size_t items, size_t readers_total);
+  std::vector<uint32_t>& AllocateArena(size_t n, size_t items,
+                                       size_t readers_total);
+
+  std::span<const uint32_t> q1_, q2_, q3_, origin_;
+  std::span<const uint32_t> item_writers_;
+  std::span<const uint32_t> reader_offsets_;  // size num_items()+1, or empty
+  std::span<const uint32_t> readers_;
+  std::vector<uint32_t> arena_;            // owned storage; empty for views
+  std::shared_ptr<const void> backing_;    // keeps a view's columns alive
+  std::string scheme_tag_;
 };
 
 }  // namespace skl

@@ -2,12 +2,16 @@
 
 #include <algorithm>
 #include <atomic>
+#include <bit>
+#include <cstdlib>
 #include <filesystem>
 #include <fstream>
 #include <string_view>
 
 #if defined(__unix__) || defined(__APPLE__)
 #include <fcntl.h>
+#include <sys/mman.h>
+#include <sys/stat.h>
 #include <unistd.h>
 #endif
 
@@ -22,6 +26,7 @@ namespace skl {
 namespace {
 
 constexpr uint32_t kMagic = 0x534b4c53;  // "SKLS"
+constexpr uint64_t kMaxSchemeTagBytes = 256;
 
 #if defined(__unix__) || defined(__APPLE__)
 Status FsyncPath(const char* path, int flags, const std::string& what) {
@@ -66,24 +71,108 @@ Result<std::vector<uint8_t>> ReadFileBytes(const std::string& path) {
   return bytes;
 }
 
+/// Encoded length of WriteVarint's LEB128 (7 bits per byte).
+size_t VarintLen(uint64_t value) {
+  size_t n = 1;
+  while (value >= 0x80) {
+    value >>= 7;
+    ++n;
+  }
+  return n;
+}
+
+size_t AlignUp(size_t offset) {
+  return (offset + kSnapshotSectionAlignment - 1) &
+         ~(kSnapshotSectionAlignment - 1);
+}
+
+void AppendU32Le(std::vector<uint8_t>& out, uint32_t value) {
+  out.push_back(static_cast<uint8_t>(value));
+  out.push_back(static_cast<uint8_t>(value >> 8));
+  out.push_back(static_cast<uint8_t>(value >> 16));
+  out.push_back(static_cast<uint8_t>(value >> 24));
+}
+
+uint32_t LoadU32Le(const uint8_t* p) {
+  return static_cast<uint32_t>(p[0]) | (static_cast<uint32_t>(p[1]) << 8) |
+         (static_cast<uint32_t>(p[2]) << 16) |
+         (static_cast<uint32_t>(p[3]) << 24);
+}
+
+/// Heap-owned snapshot bytes (Parse/ReadFile).
+class HeapBacking final : public SnapshotBacking {
+ public:
+  explicit HeapBacking(std::vector<uint8_t> buf) : buf_(std::move(buf)) {
+    bytes_ = buf_;
+  }
+
+ private:
+  std::vector<uint8_t> buf_;
+};
+
+#if defined(__unix__) || defined(__APPLE__)
+/// mmap'd snapshot bytes (MapFile); unmapped when the last shared owner
+/// (reader or zero-copy run view) drops its reference.
+class MmapBacking final : public SnapshotBacking {
+ public:
+  MmapBacking(void* addr, size_t len) : addr_(addr), len_(len) {
+    bytes_ = std::span<const uint8_t>(static_cast<const uint8_t*>(addr), len);
+  }
+  ~MmapBacking() override { ::munmap(addr_, len_); }
+  bool mapped() const override { return true; }
+
+ private:
+  void* addr_;
+  size_t len_;
+};
+#endif
+
 }  // namespace
 
 // ----------------------------------------------------------- container IO --
 
 void SnapshotWriter::AddSection(uint32_t id, std::vector<uint8_t> payload) {
-  sections_.emplace_back(id, std::move(payload));
+  sections_.push_back({id, std::move(payload), /*aligned=*/false});
+}
+
+void SnapshotWriter::AddAlignedSection(uint32_t id,
+                                       std::vector<uint8_t> payload) {
+  sections_.push_back({id, std::move(payload), /*aligned=*/true});
 }
 
 std::vector<uint8_t> SnapshotWriter::Finish() && {
+  size_t n_sections = sections_.size();
+  for (const PendingSection& s : sections_) {
+    if (s.aligned) ++n_sections;  // each aligned section gets a pad section
+  }
   BitWriter writer;
   writer.Write(kMagic, 32);
   writer.WriteVarint(format_version_);
-  writer.WriteVarint(sections_.size());
-  for (const auto& [id, payload] : sections_) {
-    writer.WriteVarint(id);
-    writer.WriteVarint(payload.size());
-    writer.Write(Crc32(payload), 32);
-    writer.WriteBytes(payload);
+  writer.WriteVarint(n_sections);
+  size_t offset = 4 + VarintLen(format_version_) + VarintLen(n_sections);
+  for (const PendingSection& s : sections_) {
+    const size_t header_len = VarintLen(s.id) + VarintLen(s.payload.size()) + 4;
+    if (s.aligned) {
+      // A pad section (id 0) sized so the *next* section's payload lands on
+      // an alignment boundary. The pad's own header is 6 bytes: 1-byte id,
+      // 1-byte length (the pad is < 64, so its varint is one byte), 4-byte
+      // CRC.
+      const size_t unpadded = offset + 6 + header_len;
+      const size_t pad =
+          (kSnapshotSectionAlignment - unpadded % kSnapshotSectionAlignment) %
+          kSnapshotSectionAlignment;
+      const std::vector<uint8_t> zeros(pad, 0);
+      writer.WriteVarint(kSnapshotSectionPad);
+      writer.WriteVarint(pad);
+      writer.Write(Crc32(zeros), 32);
+      writer.WriteBytes(zeros);
+      offset += 6 + pad;
+    }
+    writer.WriteVarint(s.id);
+    writer.WriteVarint(s.payload.size());
+    writer.Write(Crc32(s.payload), 32);
+    writer.WriteBytes(s.payload);
+    offset += header_len + s.payload.size();
   }
   return writer.Finish();
 }
@@ -135,10 +224,12 @@ Status SnapshotWriter::WriteFile(const std::string& path) && {
   return SyncDir(std::filesystem::path(path).parent_path().string());
 }
 
-Result<SnapshotReader> SnapshotReader::Parse(std::vector<uint8_t> bytes) {
+Result<SnapshotReader> SnapshotReader::ParseBacking(
+    std::shared_ptr<const SnapshotBacking> backing) {
   SnapshotReader snapshot;
-  snapshot.bytes_ = std::move(bytes);
-  BitReader reader(snapshot.bytes_);
+  snapshot.backing_ = std::move(backing);
+  const std::span<const uint8_t> bytes = snapshot.backing_->bytes();
+  BitReader reader(bytes.data(), bytes.size());
   uint64_t magic = 0;
   if (!reader.Read(32, &magic).ok()) {
     return Status::ParseError("snapshot truncated: missing file header");
@@ -150,18 +241,17 @@ Result<SnapshotReader> SnapshotReader::Parse(std::vector<uint8_t> bytes) {
   if (!reader.ReadVarint(&version).ok() || !reader.ReadVarint(&count).ok()) {
     return Status::ParseError("snapshot truncated: incomplete header");
   }
-  if (version != kSnapshotFormatVersion) {
+  if (version == 0 || version > kSnapshotFormatVersion) {
     return Status::ParseError(
         "unsupported snapshot format version " + std::to_string(version) +
-        " (this build reads version " +
+        " (this build reads versions 1.." +
         std::to_string(kSnapshotFormatVersion) + ")");
   }
   snapshot.format_version_ = static_cast<uint32_t>(version);
   // The count is corruption-controlled: cap the reserve at what the file
   // could physically hold (>= 6 header bytes per section) so a crafted
   // varint yields ParseError below, not a length_error/bad_alloc abort.
-  snapshot.sections_.reserve(
-      std::min<uint64_t>(count, snapshot.bytes_.size() / 6));
+  snapshot.sections_.reserve(std::min<uint64_t>(count, bytes.size() / 6));
   for (uint64_t i = 0; i < count; ++i) {
     uint64_t id = 0, length = 0, expected_crc = 0;
     if (!reader.ReadVarint(&id).ok() || !reader.ReadVarint(&length).ok() ||
@@ -185,21 +275,55 @@ Result<SnapshotReader> SnapshotReader::Parse(std::vector<uint8_t> bytes) {
     }
     snapshot.sections_.push_back(
         {static_cast<uint32_t>(id),
-         static_cast<size_t>(payload.data() - snapshot.bytes_.data()),
+         static_cast<size_t>(payload.data() - bytes.data()),
          static_cast<size_t>(length)});
   }
   // Bytes past the last declared section mean a torn writer or a
   // concatenated file — reject rather than silently ignore them.
-  if (reader.bit_position() != snapshot.bytes_.size() * 8) {
+  if (reader.bit_position() != bytes.size() * 8) {
     return Status::ParseError(
         "snapshot has trailing bytes after the last section");
   }
   return snapshot;
 }
 
+Result<SnapshotReader> SnapshotReader::Parse(std::vector<uint8_t> bytes) {
+  return ParseBacking(std::make_shared<HeapBacking>(std::move(bytes)));
+}
+
 Result<SnapshotReader> SnapshotReader::ReadFile(const std::string& path) {
   SKL_ASSIGN_OR_RETURN(std::vector<uint8_t> bytes, ReadFileBytes(path));
   return Parse(std::move(bytes));
+}
+
+Result<SnapshotReader> SnapshotReader::MapFile(const std::string& path) {
+#if defined(__unix__) || defined(__APPLE__)
+  int fd = ::open(path.c_str(), O_RDONLY);
+  if (fd < 0) return Status::NotFound("cannot open snapshot file " + path);
+  struct stat st;
+  if (::fstat(fd, &st) != 0) {
+    ::close(fd);
+    return Status::Internal("cannot stat snapshot file " + path);
+  }
+  const size_t len = static_cast<size_t>(st.st_size);
+  if (len == 0) {
+    // mmap(0) is an error; report what Parse would say about an empty file.
+    ::close(fd);
+    return Status::ParseError("snapshot truncated: missing file header");
+  }
+  void* addr = ::mmap(nullptr, len, PROT_READ, MAP_PRIVATE, fd, 0);
+  ::close(fd);  // the mapping survives the descriptor
+  if (addr == MAP_FAILED) {
+    return Status::Internal("cannot mmap snapshot file " + path);
+  }
+  // The CRC sweep inside ParseBacking touches every page, so corruption
+  // surfaces here as ParseError — the same way the copying path reports it
+  // — not as a SIGBUS at query time.
+  return ParseBacking(std::make_shared<MmapBacking>(addr, len));
+#else
+  (void)path;
+  return Status::Internal("mmap snapshots are not supported on this platform");
+#endif
 }
 
 bool SnapshotReader::Has(uint32_t id) const {
@@ -212,7 +336,7 @@ bool SnapshotReader::Has(uint32_t id) const {
 Result<std::span<const uint8_t>> SnapshotReader::Section(uint32_t id) const {
   for (const SectionEntry& s : sections_) {
     if (s.id == id) {
-      return std::span<const uint8_t>(bytes_.data() + s.offset, s.length);
+      return backing_->bytes().subspan(s.offset, s.length);
     }
   }
   return Status::NotFound("snapshot has no section " + std::to_string(id));
@@ -225,18 +349,40 @@ Result<std::span<const uint8_t>> SnapshotReader::Section(uint32_t id) const {
 //
 //   section kSnapshotSectionSpec    spec XML (WriteSpecificationXml)
 //   section kSnapshotSectionScheme  canonical scheme name ("TCM", ...)
+//
+// and then, format version 1 (what SaveSnapshotAtVersion(path, 1) still
+// writes; every v1 file keeps loading):
+//
 //   section kSnapshotSectionRuns    varint next_id, varint run count, then
 //     per run in ascending id order: varint id, the RunStats fields
 //     (num_vertices, num_items, label_bits, context_bits, origin_bits,
 //     num_nonempty_plus, imported), varint blob length, and the
 //     ProvenanceStore blob (which carries its own magic + version).
 //
+// or format version 2 (the default), which splits the registry into a
+// small index and one aligned columnar payload the loader can view in
+// place (the mmap path maps it read-only and copies nothing):
+//
+//   section kSnapshotSectionRunIndex  varint next_id, varint run count,
+//     then per run in ascending id order: varint id, the RunStats fields
+//     as in v1, varint reader-entry count, varint scheme-tag length + tag
+//     bytes.
+//   section kSnapshotSectionColumns (aligned)  a 16-byte header of u32-LE
+//     totals (vertices, items, offset entries, reader entries), then seven
+//     u32-LE columns, each starting at a 64-byte multiple relative to the
+//     payload: Q1, Q2, Q3, ORIGIN (label components, all runs' vertices
+//     concatenated in id order), WRITERS (item writers), OFFSETS (per-run
+//     CSR offset arrays, run-local values, num_items+1 entries per run),
+//     READERS (CSR reader entries). A run's columns are the contiguous
+//     slices at its cumulative base.
+//
 // The scheme itself is not serialized: every bundled scheme builds
 // deterministically from the specification graph, so rebuilding on load
 // yields bit-identical skeleton labels — and therefore bit-identical query
 // answers — at a fraction of the snapshot size.
 
-Result<SnapshotWriter> ProvenanceService::BuildSnapshotWriter() const {
+Result<SnapshotWriter> ProvenanceService::BuildSnapshotWriter(
+    uint32_t format_version) const {
   const std::string_view scheme_name = scheme_->name();
   if (!ParseSpecSchemeKind(scheme_name).ok()) {
     return Status::InvalidArgument(
@@ -244,7 +390,7 @@ Result<SnapshotWriter> ProvenanceService::BuildSnapshotWriter() const {
         "' is not a bundled SpecSchemeKind; only services over bundled "
         "schemes can be snapshotted");
   }
-  SnapshotWriter writer;
+  SnapshotWriter writer(format_version);
   const std::string spec_xml = WriteSpecificationXml(*spec_);
   writer.AddSection(kSnapshotSectionSpec,
                     std::vector<uint8_t>(spec_xml.begin(), spec_xml.end()));
@@ -256,16 +402,15 @@ Result<SnapshotWriter> ProvenanceService::BuildSnapshotWriter() const {
   // — no stop-the-world pass, so queries keep answering while the snapshot
   // is encoded. Shards partition ids by hash, so the sweep's cross-shard
   // order interleaves; sorting restores the ascending id order the on-disk
-  // layout requires (the byte format is unchanged from the single-lock
-  // registry).
+  // layout requires.
   struct SavedRun {
     uint64_t id;
     RunStats stats;
-    std::vector<uint8_t> blob;
+    ProvenanceStore store;
   };
   std::vector<SavedRun> saved;
   registry_->ForEach([&](uint64_t id, const RunRecord& record) {
-    saved.push_back({id, record.stats, record.store.Serialize()});
+    saved.push_back({id, record.stats, record.store});
   });
   // Read the id allocator *after* the sweep: every id the sweep collected
   // was allocated before this load, so the invariant id < next_id holds
@@ -274,32 +419,128 @@ Result<SnapshotWriter> ProvenanceService::BuildSnapshotWriter() const {
   std::sort(saved.begin(), saved.end(),
             [](const SavedRun& a, const SavedRun& b) { return a.id < b.id; });
 
-  BitWriter runs;
-  runs.WriteVarint(next_id);
-  runs.WriteVarint(saved.size());
-  for (SavedRun& r : saved) {
-    runs.WriteVarint(r.id);
-    const RunStats& s = r.stats;
-    runs.WriteVarint(s.num_vertices);
-    runs.WriteVarint(s.num_items);
-    runs.WriteVarint(s.label_bits);
-    runs.WriteVarint(s.context_bits);
-    runs.WriteVarint(s.origin_bits);
-    runs.WriteVarint(s.num_nonempty_plus);
-    runs.WriteVarint(s.imported ? 1 : 0);
-    runs.WriteVarint(r.blob.size());
-    runs.WriteBytes(r.blob);
-    // Each blob exists twice once written (here and in the section being
-    // assembled); release it now so peak memory stays ~one registry, not
-    // two, on large services.
-    std::vector<uint8_t>().swap(r.blob);
+  if (format_version == 1) {
+    BitWriter runs;
+    runs.WriteVarint(next_id);
+    runs.WriteVarint(saved.size());
+    for (SavedRun& r : saved) {
+      runs.WriteVarint(r.id);
+      const RunStats& s = r.stats;
+      runs.WriteVarint(s.num_vertices);
+      runs.WriteVarint(s.num_items);
+      runs.WriteVarint(s.label_bits);
+      runs.WriteVarint(s.context_bits);
+      runs.WriteVarint(s.origin_bits);
+      runs.WriteVarint(s.num_nonempty_plus);
+      runs.WriteVarint(s.imported ? 1 : 0);
+      const std::vector<uint8_t> blob = r.store.Serialize();
+      runs.WriteVarint(blob.size());
+      runs.WriteBytes(blob);
+      // Release the copied store early; peak memory stays ~one registry.
+      r.store = ProvenanceStore();
+    }
+    writer.AddSection(kSnapshotSectionRuns, runs.Finish());
+    return writer;
   }
-  writer.AddSection(kSnapshotSectionRuns, runs.Finish());
+
+  // v2: run index + one aligned columnar payload.
+  uint64_t total_vertices = 0, total_items = 0, total_offsets = 0,
+           total_readers = 0;
+  for (const SavedRun& r : saved) {
+    total_vertices += r.store.num_vertices();
+    total_items += r.store.num_items();
+    total_offsets += r.store.num_items() + 1;
+    total_readers += r.store.num_reader_entries();
+  }
+  if (total_vertices > UINT32_MAX || total_items > UINT32_MAX ||
+      total_offsets > UINT32_MAX || total_readers > UINT32_MAX) {
+    return Status::InvalidArgument(
+        "run registry too large for a columnar snapshot");
+  }
+
+  BitWriter index;
+  index.WriteVarint(next_id);
+  index.WriteVarint(saved.size());
+  for (const SavedRun& r : saved) {
+    index.WriteVarint(r.id);
+    const RunStats& s = r.stats;
+    index.WriteVarint(s.num_vertices);
+    index.WriteVarint(s.num_items);
+    index.WriteVarint(s.label_bits);
+    index.WriteVarint(s.context_bits);
+    index.WriteVarint(s.origin_bits);
+    index.WriteVarint(s.num_nonempty_plus);
+    index.WriteVarint(s.imported ? 1 : 0);
+    index.WriteVarint(r.store.num_reader_entries());
+    const std::string& tag = r.store.scheme_tag();
+    index.WriteVarint(tag.size());
+    index.WriteBytes(std::span<const uint8_t>(
+        reinterpret_cast<const uint8_t*>(tag.data()), tag.size()));
+  }
+  writer.AddSection(kSnapshotSectionRunIndex, index.Finish());
+
+  std::vector<uint8_t> cols;
+  cols.reserve(AlignUp(16) +
+               4 * (total_vertices * 4 + total_items + total_offsets +
+                    total_readers) +
+               7 * kSnapshotSectionAlignment);
+  AppendU32Le(cols, static_cast<uint32_t>(total_vertices));
+  AppendU32Le(cols, static_cast<uint32_t>(total_items));
+  AppendU32Le(cols, static_cast<uint32_t>(total_offsets));
+  AppendU32Le(cols, static_cast<uint32_t>(total_readers));
+  const auto begin_column = [&cols] { cols.resize(AlignUp(cols.size()), 0); };
+  const auto label_column = [&](std::span<const uint32_t> (
+                                    ProvenanceStore::*column)() const) {
+    begin_column();
+    for (const SavedRun& r : saved) {
+      for (uint32_t value : (r.store.*column)()) AppendU32Le(cols, value);
+    }
+  };
+  label_column(&ProvenanceStore::q1_column);
+  label_column(&ProvenanceStore::q2_column);
+  label_column(&ProvenanceStore::q3_column);
+  label_column(&ProvenanceStore::origin_column);
+  begin_column();  // WRITERS
+  for (const SavedRun& r : saved) {
+    for (DataItemId x = 0; x < r.store.num_items(); ++x) {
+      AppendU32Le(cols, r.store.item_writer(x));
+    }
+  }
+  begin_column();  // OFFSETS (run-local CSR)
+  for (const SavedRun& r : saved) {
+    uint32_t off = 0;
+    AppendU32Le(cols, 0);
+    for (DataItemId x = 0; x < r.store.num_items(); ++x) {
+      off += static_cast<uint32_t>(r.store.item_readers(x).size());
+      AppendU32Le(cols, off);
+    }
+  }
+  begin_column();  // READERS
+  for (const SavedRun& r : saved) {
+    for (DataItemId x = 0; x < r.store.num_items(); ++x) {
+      for (VertexId reader : r.store.item_readers(x)) {
+        AppendU32Le(cols, reader);
+      }
+    }
+  }
+  writer.AddAlignedSection(kSnapshotSectionColumns, std::move(cols));
   return writer;
 }
 
 Status ProvenanceService::SaveSnapshot(const std::string& path) const {
-  SKL_ASSIGN_OR_RETURN(SnapshotWriter writer, BuildSnapshotWriter());
+  return SaveSnapshotAtVersion(path, kSnapshotFormatVersion);
+}
+
+Status ProvenanceService::SaveSnapshotAtVersion(const std::string& path,
+                                                uint32_t format_version) const {
+  if (format_version == 0 || format_version > kSnapshotFormatVersion) {
+    return Status::InvalidArgument(
+        "cannot write snapshot format version " +
+        std::to_string(format_version) + " (this build writes versions 1.." +
+        std::to_string(kSnapshotFormatVersion) + ")");
+  }
+  SKL_ASSIGN_OR_RETURN(SnapshotWriter writer,
+                       BuildSnapshotWriter(format_version));
   Status written = std::move(writer).WriteFile(path);
   if (written.ok()) {
     counters_->snapshot_saves.fetch_add(1, std::memory_order_relaxed);
@@ -311,12 +552,28 @@ Result<std::vector<uint8_t>> ProvenanceService::SnapshotBytes() const {
   // The replication bootstrap path (kSnapshotFetch): same encoding as
   // SaveSnapshot, but handed back as bytes for the wire instead of a file,
   // and not counted as a snapshot save — nothing durable happened here.
-  SKL_ASSIGN_OR_RETURN(SnapshotWriter writer, BuildSnapshotWriter());
+  SKL_ASSIGN_OR_RETURN(SnapshotWriter writer,
+                       BuildSnapshotWriter(kSnapshotFormatVersion));
   return std::move(writer).Finish();
 }
 
 Result<ProvenanceService> ProvenanceService::LoadSnapshot(
-    const std::string& path, Options options) {
+    const std::string& path, Options options,
+    SnapshotLoadOptions load_options) {
+  if (load_options.use_mmap && std::getenv("SKL_NO_MMAP") == nullptr) {
+    Result<SnapshotReader> mapped = SnapshotReader::MapFile(path);
+    if (mapped.ok()) {
+      return LoadFromSnapshotReader(std::move(mapped).value(),
+                                    std::move(options));
+    }
+    if (mapped.status().code() == StatusCode::kParseError ||
+        mapped.status().code() == StatusCode::kNotFound) {
+      // The *file* is bad; the copying reader would report the same thing.
+      return mapped.status();
+    }
+    // Only the mapping mechanism failed (platform/filesystem): fall back to
+    // the copying reader below, which sees the same bytes.
+  }
   SKL_ASSIGN_OR_RETURN(SnapshotReader reader, SnapshotReader::ReadFile(path));
   return LoadFromSnapshotReader(std::move(reader), std::move(options));
 }
@@ -347,6 +604,14 @@ Result<ProvenanceService> ProvenanceService::LoadFromSnapshotReader(
   // Rebuilds the skeleton scheme over the restored spec (deterministic).
   SKL_ASSIGN_OR_RETURN(ProvenanceService service,
                        Create(std::move(spec), kind, options));
+  const std::string_view scheme_name = service.scheme_->name();
+  const VertexId n_g = service.spec_->graph().num_vertices();
+
+  if (reader.Has(kSnapshotSectionRunIndex)) {
+    SKL_RETURN_NOT_OK(
+        LoadColumnarRuns(reader, scheme_name, n_g, &service));
+    return service;
+  }
 
   SKL_ASSIGN_OR_RETURN(std::span<const uint8_t> runs_bytes,
                        reader.Section(kSnapshotSectionRuns));
@@ -359,7 +624,6 @@ Result<ProvenanceService> ProvenanceService::LoadFromSnapshotReader(
   }
   // Declared-count vs payload mismatches are checked at the end of the
   // loop: unread runs would vanish silently from the restored registry.
-  const VertexId n_g = service.spec_->graph().num_vertices();
   uint64_t prev_id = 0;
   for (uint64_t i = 0; i < count; ++i) {
     uint64_t id = 0, num_vertices = 0, num_items = 0, label_bits = 0,
@@ -399,6 +663,13 @@ Result<ProvenanceService> ProvenanceService::LoadFromSnapshotReader(
           "snapshot run " + std::to_string(id) +
           ": stats disagree with the stored labels/catalog");
     }
+    if (!store.scheme_tag().empty() && store.scheme_tag() != scheme_name) {
+      return Status::ParseError(
+          "snapshot run " + std::to_string(id) +
+          " was labeled under scheme '" + store.scheme_tag() +
+          "', but the snapshot's scheme is '" + std::string(scheme_name) +
+          "'");
+    }
     // Same guard as ImportRun: every origin must name a spec vertex, or
     // queries would index the rebuilt scheme out of range.
     for (VertexId v = 0; v < store.num_vertices(); ++v) {
@@ -430,6 +701,219 @@ Result<ProvenanceService> ProvenanceService::LoadFromSnapshotReader(
   }
   service.registry_->SetNextId(next_id);
   return service;
+}
+
+Status ProvenanceService::LoadColumnarRuns(const SnapshotReader& reader,
+                                           std::string_view scheme_name,
+                                           VertexId n_g,
+                                           ProvenanceService* service) {
+  SKL_ASSIGN_OR_RETURN(std::span<const uint8_t> index_bytes,
+                       reader.Section(kSnapshotSectionRunIndex));
+  BitReader index(index_bytes.data(), index_bytes.size());
+  uint64_t next_id = 0, count = 0;
+  SKL_RETURN_NOT_OK(index.ReadVarint(&next_id));
+  SKL_RETURN_NOT_OK(index.ReadVarint(&count));
+  if (next_id == 0) {
+    return Status::ParseError("snapshot run registry: id counter is zero");
+  }
+  struct RunMeta {
+    uint64_t id;
+    RunStats stats;
+    uint64_t readers_total;
+    std::string tag;
+  };
+  std::vector<RunMeta> metas;
+  // Reserve is corruption-controlled like the section table: each indexed
+  // run occupies at least 10 varint bytes.
+  metas.reserve(std::min<uint64_t>(count, index_bytes.size() / 10 + 1));
+  uint64_t prev_id = 0;
+  uint64_t sum_vertices = 0, sum_items = 0, sum_offsets = 0, sum_readers = 0;
+  for (uint64_t i = 0; i < count; ++i) {
+    uint64_t id = 0, num_vertices = 0, num_items = 0, label_bits = 0,
+             context_bits = 0, origin_bits = 0, num_nonempty_plus = 0,
+             imported = 0, readers_total = 0, tag_len = 0;
+    SKL_RETURN_NOT_OK(index.ReadVarint(&id));
+    SKL_RETURN_NOT_OK(index.ReadVarint(&num_vertices));
+    SKL_RETURN_NOT_OK(index.ReadVarint(&num_items));
+    SKL_RETURN_NOT_OK(index.ReadVarint(&label_bits));
+    SKL_RETURN_NOT_OK(index.ReadVarint(&context_bits));
+    SKL_RETURN_NOT_OK(index.ReadVarint(&origin_bits));
+    SKL_RETURN_NOT_OK(index.ReadVarint(&num_nonempty_plus));
+    SKL_RETURN_NOT_OK(index.ReadVarint(&imported));
+    SKL_RETURN_NOT_OK(index.ReadVarint(&readers_total));
+    SKL_RETURN_NOT_OK(index.ReadVarint(&tag_len));
+    if (id <= prev_id || id >= next_id) {
+      return Status::ParseError(
+          "snapshot run registry: run id " + std::to_string(id) +
+          " out of order or beyond the id counter");
+    }
+    if (imported > 1) {
+      return Status::ParseError("snapshot run registry: bad imported flag");
+    }
+    if (num_vertices > UINT32_MAX || num_items > UINT32_MAX ||
+        label_bits > UINT32_MAX || context_bits > UINT32_MAX ||
+        origin_bits > UINT32_MAX || num_nonempty_plus > UINT32_MAX ||
+        readers_total > UINT32_MAX) {
+      return Status::ParseError("snapshot run " + std::to_string(id) +
+                                ": stats field out of range");
+    }
+    if (tag_len > kMaxSchemeTagBytes) {
+      return Status::ParseError("snapshot run " + std::to_string(id) +
+                                ": scheme tag too long");
+    }
+    std::span<const uint8_t> tag_bytes;
+    SKL_RETURN_NOT_OK(index.ReadBytes(tag_len, &tag_bytes));
+    std::string tag(tag_bytes.begin(), tag_bytes.end());
+    if (!tag.empty() && tag != scheme_name) {
+      return Status::ParseError(
+          "snapshot run " + std::to_string(id) + " was labeled under scheme '" +
+          tag + "', but the snapshot's scheme is '" + std::string(scheme_name) +
+          "'");
+    }
+    RunMeta meta;
+    meta.id = id;
+    meta.stats.num_vertices = static_cast<VertexId>(num_vertices);
+    meta.stats.num_items = static_cast<size_t>(num_items);
+    meta.stats.label_bits = static_cast<uint32_t>(label_bits);
+    meta.stats.context_bits = static_cast<uint32_t>(context_bits);
+    meta.stats.origin_bits = static_cast<uint32_t>(origin_bits);
+    meta.stats.num_nonempty_plus = static_cast<uint32_t>(num_nonempty_plus);
+    meta.stats.imported = imported != 0;
+    meta.readers_total = readers_total;
+    meta.tag = std::move(tag);
+    metas.push_back(std::move(meta));
+    sum_vertices += num_vertices;
+    sum_items += num_items;
+    sum_offsets += num_items + 1;
+    sum_readers += readers_total;
+    prev_id = id;
+  }
+  if (index.bit_position() != index_bytes.size() * 8) {
+    return Status::ParseError(
+        "snapshot run registry has trailing bytes after the declared runs");
+  }
+
+  SKL_ASSIGN_OR_RETURN(std::span<const uint8_t> cols,
+                       reader.Section(kSnapshotSectionColumns));
+  if (cols.size() < 16) {
+    return Status::ParseError("snapshot columnar section truncated");
+  }
+  const uint64_t totals[4] = {LoadU32Le(cols.data()), LoadU32Le(cols.data() + 4),
+                              LoadU32Le(cols.data() + 8),
+                              LoadU32Le(cols.data() + 12)};
+  if (totals[0] != sum_vertices || totals[1] != sum_items ||
+      totals[2] != sum_offsets || totals[3] != sum_readers) {
+    return Status::ParseError(
+        "snapshot columnar section totals disagree with the run index");
+  }
+  // Column geometry: 16-byte header, then seven u32 columns, each aligned
+  // to a 64-byte multiple relative to the payload start.
+  const uint64_t col_counts[7] = {totals[0], totals[0], totals[0], totals[0],
+                                  totals[1], totals[2], totals[3]};
+  size_t col_off[7];
+  size_t off = 16;
+  for (int c = 0; c < 7; ++c) {
+    off = AlignUp(off);
+    col_off[c] = off;
+    off += static_cast<size_t>(col_counts[c]) * 4;
+  }
+  if (off != cols.size()) {
+    return Status::ParseError(
+        "snapshot columnar section size disagrees with the run index");
+  }
+
+  // Zero-copy view when the host can read the little-endian columns in
+  // place (the payload's actual address is u32-aligned; guaranteed for the
+  // writer's aligned section under both the heap and mmap readers, checked
+  // anyway for hand-assembled files). Otherwise decode into one owned
+  // contiguous buffer — same layout, shared by every restored run.
+  const bool can_view =
+      std::endian::native == std::endian::little &&
+      reinterpret_cast<uintptr_t>(cols.data()) % alignof(uint32_t) == 0;
+  const uint32_t* base[7];
+  std::shared_ptr<const void> backing;
+  if (can_view) {
+    for (int c = 0; c < 7; ++c) {
+      base[c] = reinterpret_cast<const uint32_t*>(cols.data() + col_off[c]);
+    }
+    backing = reader.backing();
+  } else {
+    auto decoded = std::make_shared<std::vector<uint32_t>>();
+    size_t total = 0;
+    for (uint64_t n : col_counts) total += static_cast<size_t>(n);
+    decoded->resize(total);
+    size_t out = 0;
+    for (int c = 0; c < 7; ++c) {
+      base[c] = decoded->data() + out;
+      for (uint64_t j = 0; j < col_counts[c]; ++j) {
+        (*decoded)[out++] = LoadU32Le(cols.data() + col_off[c] + 4 * j);
+      }
+    }
+    backing = std::move(decoded);
+  }
+
+  size_t cum_v = 0, cum_items = 0, cum_offsets = 0, cum_readers = 0;
+  for (RunMeta& meta : metas) {
+    const size_t n = meta.stats.num_vertices;
+    const size_t items = meta.stats.num_items;
+    const size_t readers_total = static_cast<size_t>(meta.readers_total);
+    const std::span<const uint32_t> q1(base[0] + cum_v, n);
+    const std::span<const uint32_t> q2(base[1] + cum_v, n);
+    const std::span<const uint32_t> q3(base[2] + cum_v, n);
+    const std::span<const uint32_t> origin(base[3] + cum_v, n);
+    const std::span<const uint32_t> writers(base[4] + cum_items, items);
+    const std::span<const uint32_t> offsets(base[5] + cum_offsets, items + 1);
+    const std::span<const uint32_t> readers(base[6] + cum_readers,
+                                            readers_total);
+    // Same guard as ImportRun: every origin must name a spec vertex, or
+    // queries would index the rebuilt scheme out of range.
+    for (uint32_t o : origin) {
+      if (o >= n_g) {
+        return Status::ParseError(
+            "snapshot run " + std::to_string(meta.id) +
+            " references spec vertex " + std::to_string(o) +
+            " unknown to the snapshotted specification");
+      }
+    }
+    for (uint32_t w : writers) {
+      if (w >= n) {
+        return Status::ParseError("snapshot run " + std::to_string(meta.id) +
+                                  ": item writer out of range");
+      }
+    }
+    if (offsets[0] != 0 || offsets[items] != readers_total) {
+      return Status::ParseError("snapshot run " + std::to_string(meta.id) +
+                                ": corrupt reader offsets");
+    }
+    for (size_t x = 0; x < items; ++x) {
+      if (offsets[x + 1] < offsets[x]) {
+        return Status::ParseError("snapshot run " + std::to_string(meta.id) +
+                                  ": corrupt reader offsets");
+      }
+    }
+    for (uint32_t r : readers) {
+      if (r >= n) {
+        return Status::ParseError("snapshot run " + std::to_string(meta.id) +
+                                  ": item reader out of range");
+      }
+    }
+    RunRecord record;
+    record.stats = meta.stats;
+    record.store = ProvenanceStore::FromColumns(
+        q1, q2, q3, origin, writers, offsets, readers, std::move(meta.tag),
+        backing);
+    if (!service->registry_->Restore(meta.id, std::move(record))) {
+      return Status::ParseError("snapshot run registry: duplicate run id " +
+                                std::to_string(meta.id));
+    }
+    cum_v += n;
+    cum_items += items;
+    cum_offsets += items + 1;
+    cum_readers += readers_total;
+  }
+  service->registry_->SetNextId(next_id);
+  service->loaded_via_mmap_ = can_view && reader.is_mapped();
+  return Status::OK();
 }
 
 }  // namespace skl

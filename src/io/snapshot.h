@@ -18,16 +18,21 @@
 //     payload                 raw bytes
 //
 // Sections are opaque payloads to the container; SnapshotWriter /
-// SnapshotReader only deal in (id, bytes, checksum). The service-level
-// encoding on top (section ids kSnapshotSection*) lives in snapshot.cc and
-// is documented in docs/PERSISTENCE.md, together with the versioning and
-// recovery policy. Every malformed input — truncated file, bad magic,
-// unsupported version, checksum mismatch — is reported as a descriptive
-// ParseError Status, never a crash.
+// SnapshotReader only deal in (id, bytes, checksum). An *aligned* section's
+// payload additionally starts at a 64-byte multiple in the file — the
+// writer inserts a pad section (id 0) in front of it — so a reader that
+// mmaps the file can hand the payload to SIMD loops and typed column views
+// in place. The service-level encoding on top (section ids
+// kSnapshotSection*) lives in snapshot.cc and is documented in
+// docs/PERSISTENCE.md, together with the versioning and recovery policy.
+// Every malformed input — truncated file, bad magic, unsupported version,
+// checksum mismatch — is reported as a descriptive ParseError Status,
+// never a crash.
 #ifndef SKL_IO_SNAPSHOT_H_
 #define SKL_IO_SNAPSHOT_H_
 
 #include <cstdint>
+#include <memory>
 #include <span>
 #include <string>
 #include <utility>
@@ -37,13 +42,44 @@
 
 namespace skl {
 
-/// Current container format version written by SnapshotWriter.
-inline constexpr uint32_t kSnapshotFormatVersion = 1;
+/// Current container format version written by SnapshotWriter. Version 1
+/// stored runs as per-run self-describing blobs; version 2 stores them as
+/// contiguous columnar arrays (plus the run index). SnapshotReader accepts
+/// both; see docs/PERSISTENCE.md for the compat matrix.
+inline constexpr uint32_t kSnapshotFormatVersion = 2;
+
+/// Alignment (bytes) the writer guarantees for aligned sections' payloads,
+/// chosen to match cache-line / SIMD-width expectations of the column
+/// loops.
+inline constexpr size_t kSnapshotSectionAlignment = 64;
 
 /// Section ids of the service snapshot encoding (see docs/PERSISTENCE.md).
-inline constexpr uint32_t kSnapshotSectionSpec = 1;    ///< spec XML
-inline constexpr uint32_t kSnapshotSectionScheme = 2;  ///< scheme name
-inline constexpr uint32_t kSnapshotSectionRuns = 3;    ///< run registry
+inline constexpr uint32_t kSnapshotSectionPad = 0;       ///< alignment filler
+inline constexpr uint32_t kSnapshotSectionSpec = 1;      ///< spec XML
+inline constexpr uint32_t kSnapshotSectionScheme = 2;    ///< scheme name
+inline constexpr uint32_t kSnapshotSectionRuns = 3;      ///< v1 run registry
+inline constexpr uint32_t kSnapshotSectionRunIndex = 4;  ///< v2 run index
+inline constexpr uint32_t kSnapshotSectionColumns = 5;   ///< v2 label columns
+
+/// Owns the bytes a parsed snapshot points into — a heap buffer or a
+/// read-only mmap'd region. Shared (via shared_ptr) by the SnapshotReader
+/// and any zero-copy ProvenanceStore views carved out of it, so an mmap is
+/// released exactly when the last owner lets go.
+class SnapshotBacking {
+ public:
+  virtual ~SnapshotBacking() = default;
+  SnapshotBacking(const SnapshotBacking&) = delete;
+  SnapshotBacking& operator=(const SnapshotBacking&) = delete;
+
+  std::span<const uint8_t> bytes() const { return bytes_; }
+  /// True for mmap'd regions (whose validity depends on the file not being
+  /// truncated underneath the mapping — see docs/PERSISTENCE.md).
+  virtual bool mapped() const { return false; }
+
+ protected:
+  SnapshotBacking() = default;
+  std::span<const uint8_t> bytes_;
+};
 
 /// Assembles a snapshot file: add sections, then Finish() into bytes or
 /// WriteFile() to disk (written to a unique "<path>.tmp.<pid>.<seq>"
@@ -52,14 +88,20 @@ inline constexpr uint32_t kSnapshotSectionRuns = 3;    ///< run registry
 /// snapshot at `path`).
 class SnapshotWriter {
  public:
-  /// `format_version` is overridable only so tests can fabricate snapshots
-  /// from the future; production callers use the default.
+  /// `format_version` is overridable so tests can fabricate snapshots from
+  /// the future and compat paths can pin the previous format; production
+  /// callers use the default.
   explicit SnapshotWriter(uint32_t format_version = kSnapshotFormatVersion)
       : format_version_(format_version) {}
 
   /// Appends one section. Ids should be unique; SnapshotReader::Section
   /// returns the first match.
   void AddSection(uint32_t id, std::vector<uint8_t> payload);
+
+  /// Appends one section whose payload will start at a multiple of
+  /// kSnapshotSectionAlignment in the encoded file (a pad section is
+  /// inserted in front of it). Precondition: id < 128.
+  void AddAlignedSection(uint32_t id, std::vector<uint8_t> payload);
 
   /// Encodes the container and returns its bytes.
   std::vector<uint8_t> Finish() &&;
@@ -68,21 +110,36 @@ class SnapshotWriter {
   Status WriteFile(const std::string& path) &&;
 
  private:
+  struct PendingSection {
+    uint32_t id;
+    std::vector<uint8_t> payload;
+    bool aligned;
+  };
   uint32_t format_version_;
-  std::vector<std::pair<uint32_t, std::vector<uint8_t>>> sections_;
+  std::vector<PendingSection> sections_;
 };
 
 /// Parses and validates a snapshot: magic, version, section table, and the
 /// CRC-32 of every section payload are all checked up front, so a reader
-/// holding a SnapshotReader knows the bytes are intact.
+/// holding a SnapshotReader knows the bytes are intact (for an mmap'd file,
+/// "intact" as of the eager CRC sweep — the mapping contract is the
+/// caller's from there).
 class SnapshotReader {
  public:
   /// Parses an in-memory snapshot. The reader owns the bytes; Section()
   /// spans point into them.
   static Result<SnapshotReader> Parse(std::vector<uint8_t> bytes);
 
-  /// Reads and parses a snapshot file.
+  /// Reads and parses a snapshot file into a heap buffer (the copying
+  /// path).
   static Result<SnapshotReader> ReadFile(const std::string& path);
+
+  /// Maps a snapshot file read-only and parses it in place (the zero-copy
+  /// path). NotFound if the file cannot be opened, ParseError if its bytes
+  /// are malformed (exactly as ReadFile would report), Internal if the
+  /// platform cannot map it — callers treat only the last as "fall back to
+  /// ReadFile".
+  static Result<SnapshotReader> MapFile(const std::string& path);
 
   uint32_t format_version() const { return format_version_; }
   size_t num_sections() const { return sections_.size(); }
@@ -90,19 +147,33 @@ class SnapshotReader {
   bool Has(uint32_t id) const;
 
   /// Payload of the section with the given id (checksum already verified),
-  /// or NotFound. The span is valid for the reader's lifetime.
+  /// or NotFound. The span is valid while the backing lives.
   Result<std::span<const uint8_t>> Section(uint32_t id) const;
+
+  /// The byte owner. Callers that build zero-copy views into Section()
+  /// spans must retain a copy of this shared_ptr for the views' lifetime.
+  const std::shared_ptr<const SnapshotBacking>& backing() const {
+    return backing_;
+  }
+
+  /// True when the backing is an mmap'd region rather than a heap buffer.
+  bool is_mapped() const {
+    return backing_ != nullptr && backing_->mapped();
+  }
 
  private:
   struct SectionEntry {
     uint32_t id;
-    size_t offset;  ///< byte offset of the payload in bytes_
+    size_t offset;  ///< byte offset of the payload in the backing
     size_t length;
   };
 
   SnapshotReader() = default;
 
-  std::vector<uint8_t> bytes_;
+  static Result<SnapshotReader> ParseBacking(
+      std::shared_ptr<const SnapshotBacking> backing);
+
+  std::shared_ptr<const SnapshotBacking> backing_;
   uint32_t format_version_ = 0;
   std::vector<SectionEntry> sections_;
 };

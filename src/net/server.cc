@@ -1066,7 +1066,9 @@ Result<std::vector<uint8_t>> ProvenanceServer::Dispatch(
       SKL_RETURN_NOT_OK(reader.ExpectEnd());
       SKL_ASSIGN_OR_RETURN(
           ProvenanceService loaded,
-          ProvenanceService::LoadSnapshot(path, service_.options()));
+          ProvenanceService::LoadSnapshot(
+              path, service_.options(),
+              {.use_mmap = options_.mmap_snapshots}));
       service_ = std::move(loaded);
       if (options_.oplog != nullptr) {
         // The swap dropped the old service's attachment; re-attach and

@@ -114,6 +114,11 @@ struct ProvenanceServerOptions {
   /// kShutdown and kSaveSnapshot stay allowed (operational, not
   /// replicated).
   bool read_only = false;
+  /// kLoadSnapshot swaps restore through the zero-copy mmap path
+  /// (SnapshotLoadOptions::use_mmap): v2 columnar snapshots are mapped
+  /// read-only and the new service's runs view the mapping in place. Same
+  /// fallback contract as the library call (SKL_NO_MMAP, mapping failure).
+  bool mmap_snapshots = false;
 };
 
 /// Point-in-time reactor counters (also appended to the kServiceStats reply

@@ -546,7 +546,10 @@ TEST(SnapshotTest, RunsSectionTrailingBytesAreRejected) {
   ASSERT_TRUE(service.ok());
   ASSERT_TRUE(service->AddRun(ex.run).ok());
   TempFile file("runs_trailing");
-  ASSERT_TRUE(service->SaveSnapshot(file.path()).ok());
+  // Pinned to format v1 — the only version with a kSnapshotSectionRuns
+  // section (the v2 run-index trailing-bytes case lives in
+  // columnar_snapshot_test.cc).
+  ASSERT_TRUE(service->SaveSnapshotAtVersion(file.path(), 1).ok());
 
   auto reader = SnapshotReader::ReadFile(file.path());
   ASSERT_TRUE(reader.ok());
