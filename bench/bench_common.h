@@ -112,10 +112,16 @@ inline void PrintHeader(const std::string& title) {
 ///   json.Add("serial_runs_per_sec", runs / secs, "runs/s");
 ///
 /// Output shape (one file per bench binary; CI uploads the directory):
-///   {"bench": "<name>", "results": [
+///   {"bench": "<name>", "bench_schema_version": 1, "results": [
 ///     {"name": "...", "value": 123.4, "unit": "..."}, ...]}
+///
+/// bench_schema_version names the artifact format itself; bump it on any
+/// incompatible change to this shape so tools/bench_compare.py can reject
+/// a stale baseline instead of mis-reading it.
 class JsonReporter {
  public:
+  /// Artifact format version written into every document.
+  static constexpr int kSchemaVersion = 1;
   explicit JsonReporter(std::string bench_name)
       : bench_(std::move(bench_name)) {}
 
@@ -145,7 +151,9 @@ class JsonReporter {
       std::fprintf(stderr, "warning: cannot write SKL_BENCH_JSON=%s\n", path);
       return;
     }
-    out << "{\n  \"bench\": \"" << Escape(bench_) << "\",\n  \"results\": [\n";
+    out << "{\n  \"bench\": \"" << Escape(bench_)
+        << "\",\n  \"bench_schema_version\": " << kSchemaVersion
+        << ",\n  \"results\": [\n";
     for (size_t i = 0; i < entries_.size(); ++i) {
       out << entries_[i] << (i + 1 < entries_.size() ? ",\n" : "\n");
     }

@@ -43,6 +43,7 @@
 #include <vector>
 
 #include "bench/bench_common.h"
+#include "src/common/metrics.h"
 #include "src/skl.h"
 
 using namespace skl;         // NOLINT: bench brevity
@@ -57,17 +58,9 @@ size_t EnvOr(const char* name, size_t fallback) {
   return fallback;
 }
 
-double Quantile(std::vector<double>& sorted_us, double q) {
-  if (sorted_us.empty()) return 0;
-  const size_t idx = static_cast<size_t>(
-      q * static_cast<double>(sorted_us.size() - 1) + 0.5);
-  return sorted_us[std::min(idx, sorted_us.size() - 1)];
-}
-
 struct ModeResult {
   double seconds = 0;
   size_t queries = 0;
-  std::vector<double> lat_us;  ///< per-query (roundtrip mode only)
 };
 
 /// Raises the soft fd limit toward the hard one and returns the resulting
@@ -146,6 +139,11 @@ int main() {
 
   const auto run_mode = [&](unsigned conns, bool pipelined) {
     const size_t per_conn = total_queries / conns;
+    // The same histogram type the server's metrics endpoint serves
+    // (docs/OBSERVABILITY.md): thread-safe to record from every client
+    // thread, quantiles within 12.5% of exact. Bench latencies record in
+    // nanoseconds; the report converts to microseconds.
+    LatencyHistogram lat_hist;
     std::vector<ModeResult> results(conns);
     std::vector<ProvenanceClient> clients;
     clients.reserve(conns);
@@ -174,12 +172,12 @@ int main() {
           }
           result.seconds = sw.ElapsedSeconds();
         } else {
-          result.lat_us.reserve(pairs.size());
           Stopwatch total;
           for (const auto& [v, w] : pairs) {
             sw.Restart();
             auto answer = client.Reaches(*id, v, w);
-            result.lat_us.push_back(sw.ElapsedSeconds() * 1e6);
+            lat_hist.Record(
+                static_cast<uint64_t>(sw.ElapsedSeconds() * 1e9));
             SKL_CHECK_MSG(answer.ok(), answer.status().ToString().c_str());
             ++result.queries;
           }
@@ -192,16 +190,11 @@ int main() {
 
     ModeResult merged;
     merged.seconds = wall_secs;
-    for (ModeResult& r : results) {
-      merged.queries += r.queries;
-      merged.lat_us.insert(merged.lat_us.end(), r.lat_us.begin(),
-                           r.lat_us.end());
-    }
-    std::sort(merged.lat_us.begin(), merged.lat_us.end());
+    for (ModeResult& r : results) merged.queries += r.queries;
     const double qps =
         wall_secs > 0 ? static_cast<double>(merged.queries) / wall_secs : 0;
-    const double p50 = Quantile(merged.lat_us, 0.50);
-    const double p99 = Quantile(merged.lat_us, 0.99);
+    const double p50 = lat_hist.Quantile(0.50) / 1e3;
+    const double p99 = lat_hist.Quantile(0.99) / 1e3;
     const char* mode = pipelined ? "pipelined" : "roundtrip";
     if (pipelined) {
       std::printf("%6u  %-10s %10zu %12.0f %10s %10s\n", conns, mode,
@@ -253,6 +246,7 @@ int main() {
     }
     const size_t per_conn =
         std::max<size_t>(total_queries / active_conns, 1);
+    LatencyHistogram lat_hist;  // shared, recorded in ns (see run_mode)
     std::vector<ModeResult> results(active_conns);
     std::vector<ProvenanceClient> clients;
     clients.reserve(active_conns);
@@ -282,12 +276,11 @@ int main() {
         const std::vector<VertexPair> pairs =
             make_pairs(static_cast<unsigned>(c + 100), per_conn);
         ModeResult& result = results[c];
-        result.lat_us.reserve(pairs.size());
         Stopwatch sw;
         for (const auto& [v, w] : pairs) {
           sw.Restart();
           auto answer = client.Reaches(*id, v, w);
-          result.lat_us.push_back(sw.ElapsedSeconds() * 1e6);
+          lat_hist.Record(static_cast<uint64_t>(sw.ElapsedSeconds() * 1e9));
           SKL_CHECK_MSG(answer.ok(), answer.status().ToString().c_str());
           ++result.queries;
         }
@@ -300,16 +293,11 @@ int main() {
     for (int fd : idle_fds) ::close(fd);
 
     ModeResult merged;
-    for (ModeResult& r : results) {
-      merged.queries += r.queries;
-      merged.lat_us.insert(merged.lat_us.end(), r.lat_us.begin(),
-                           r.lat_us.end());
-    }
-    std::sort(merged.lat_us.begin(), merged.lat_us.end());
+    for (ModeResult& r : results) merged.queries += r.queries;
     const double qps =
         wall_secs > 0 ? static_cast<double>(merged.queries) / wall_secs : 0;
-    const double p50 = Quantile(merged.lat_us, 0.50);
-    const double p99 = Quantile(merged.lat_us, 0.99);
+    const double p50 = lat_hist.Quantile(0.50) / 1e3;
+    const double p99 = lat_hist.Quantile(0.99) / 1e3;
     std::printf("%6zu  %-10s %10zu %12.0f %10.1f %10.1f %10zu\n", level,
                 "connscale", merged.queries, qps, p50, p99, churned.load());
     const std::string prefix =

@@ -27,6 +27,23 @@
 //   sklctl shutdown  --connect=H:P                    graceful server drain
 //   sklctl save      --connect=H:P out.skls           server-side snapshot
 //
+// Observability (docs/OBSERVABILITY.md):
+//
+//   sklctl serve --slow-query-threshold-us=N ...
+//       record any request slower than N microseconds (queue + execute) in
+//       the server's bounded slow-query ring buffer
+//   sklctl metrics --connect=H:P
+//       scrape the server's metrics in Prometheus text exposition format
+//   sklctl slow-queries --connect=H:P
+//       dump the slow-query ring buffer (trace id, opcode, run, shard,
+//       queue/execute breakdown), oldest first
+//   sklctl stats --connect=H:P --json
+//       the service counters as one JSON object (stable keys = the
+//       ServiceStats field names)
+//   Every remote subcommand accepts --trace-id=N: the 64-bit token stamped
+//   on each request it sends, echoed in the server's slow-query log and
+//   error replies.
+//
 // Replication (docs/REPLICATION.md):
 //
 //   sklctl serve --oplog=ops.log spec.xml [runs/]
@@ -51,6 +68,7 @@
 // part of the snapshot. The remote stats subcommand also prints the
 // server's result-cache hit rate.
 #include <algorithm>
+#include <cerrno>
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
@@ -114,17 +132,22 @@ int Usage() {
       "[--shards=<n>]\n"
       "                    [--num-io-threads=<n>] [--port=<p>] "
       "[--oplog=<path>]\n"
-      "                    [--mmap] <spec.xml> [run-dir]\n"
+      "                    [--slow-query-threshold-us=<n>] [--mmap] "
+      "<spec.xml> [run-dir]\n"
       "       sklctl replicate --connect=<host:port> "
       "[--listen=<host:port>]\n"
       "       sklctl reaches --connect=<host:port> <run-id> <from> <to>\n"
-      "       sklctl stats --connect=<host:port> [run-id]\n"
+      "       sklctl stats --connect=<host:port> [--json] [run-id]\n"
       "       sklctl add-run --connect=<host:port> <run.xml>\n"
       "       sklctl list-runs --connect=<host:port>\n"
       "       sklctl shutdown --connect=<host:port>\n"
       "       sklctl save --connect=<host:port> <out.snapshot>\n"
       "       sklctl load-snapshot --connect=<host:port> "
       "<server-path.skls>\n"
+      "       sklctl metrics --connect=<host:port>\n"
+      "       sklctl slow-queries --connect=<host:port>\n"
+      "remote subcommands also accept --trace-id=<n> (slow-query log "
+      "attribution)\n"
       "scheme names: tcm (default), bfs, dfs, interval, tree-cover, "
       "chain, 2hop\n");
   return 2;
@@ -354,7 +377,8 @@ int Load(const char* path, ProvenanceService::Options options,
 int Serve(Specification spec, SpecSchemeKind scheme_kind,
           ProvenanceService::Options options, uint16_t port,
           unsigned num_io_threads, const std::string& oplog_path,
-          bool mmap_snapshots, const char* dir) {
+          bool mmap_snapshots, uint32_t slow_query_threshold_us,
+          const char* dir) {
   std::unique_ptr<OpLog> oplog;
   std::optional<ProvenanceService> service;
   if (!oplog_path.empty() && std::filesystem::exists(oplog_path)) {
@@ -420,6 +444,9 @@ int Serve(Specification spec, SpecSchemeKind scheme_kind,
   server_options.oplog = oplog.get();
   // --mmap: kLoadSnapshot swaps restore through the zero-copy path.
   server_options.mmap_snapshots = mmap_snapshots;
+  // --slow-query-threshold-us: requests slower than this (queue + execute)
+  // land in the slow-query ring buffer; 0 keeps the log disabled.
+  server_options.slow_query_threshold_us = slow_query_threshold_us;
   // --threads sizes the connection-handler pool too; 0 keeps the server's
   // own default (8), which is a better serving concurrency than one-per-
   // core on small machines.
@@ -512,9 +539,19 @@ void PrintRunStatsLine(uint64_t id, const RunStats& stats) {
 }
 
 /// Remote `sklctl stats`: with a run-id argument, that run's stats; without,
-/// the service-wide cumulative counters (the new ServiceStats RPC).
-int RemoteStats(ProvenanceClient& client, const std::vector<const char*>& args) {
+/// the service-wide cumulative counters (the new ServiceStats RPC). With
+/// `json`, the counters as one JSON object whose keys are exactly the
+/// ServiceStats field names — the stable machine contract the CI smoke leg
+/// parses.
+int RemoteStats(ProvenanceClient& client, const std::vector<const char*>& args,
+                bool json) {
   if (args.size() == 1) {
+    if (json) {
+      std::fprintf(stderr,
+                   "error: --json prints the service-wide counters; a "
+                   "run-id argument is not accepted\n");
+      return Usage();
+    }
     const uint64_t run = std::strtoull(args[0], nullptr, 10);
     auto stats = client.Stats(RunId::FromValue(run));
     if (!stats.ok()) return Fail(stats.status());
@@ -524,6 +561,32 @@ int RemoteStats(ProvenanceClient& client, const std::vector<const char*>& args) 
   auto stats = client.GetServiceStats();
   if (!stats.ok()) return Fail(stats.status());
   const auto u = [](uint64_t v) { return static_cast<unsigned long long>(v); };
+  if (json) {
+    std::printf(
+        "{\"num_runs\": %llu, \"reaches_queries\": %llu, "
+        "\"depends_on_queries\": %llu, \"module_data_queries\": %llu, "
+        "\"data_module_queries\": %llu, \"batch_calls\": %llu, "
+        "\"runs_ingested\": %llu, \"runs_imported\": %llu, "
+        "\"runs_removed\": %llu, \"bulk_batches\": %llu, "
+        "\"snapshot_saves\": %llu, \"cache_hits\": %llu, "
+        "\"cache_misses\": %llu, \"replication_lsn\": %llu, "
+        "\"replication_target_lsn\": %llu, \"connections_open\": %llu, "
+        "\"connections_accepted\": %llu, \"connections_timed_out\": %llu, "
+        "\"connections_backpressured\": %llu, \"epoll_wakeups\": %llu, "
+        "\"accept_backoffs\": %llu}\n",
+        u(stats->num_runs), u(stats->reaches_queries),
+        u(stats->depends_on_queries), u(stats->module_data_queries),
+        u(stats->data_module_queries), u(stats->batch_calls),
+        u(stats->runs_ingested), u(stats->runs_imported),
+        u(stats->runs_removed), u(stats->bulk_batches),
+        u(stats->snapshot_saves), u(stats->cache_hits),
+        u(stats->cache_misses), u(stats->replication_lsn),
+        u(stats->replication_target_lsn), u(stats->connections_open),
+        u(stats->connections_accepted), u(stats->connections_timed_out),
+        u(stats->connections_backpressured), u(stats->epoll_wakeups),
+        u(stats->accept_backoffs));
+    return 0;
+  }
   std::printf("runs registered:      %llu\n", u(stats->num_runs));
   std::printf("reaches queries:      %llu\n", u(stats->reaches_queries));
   std::printf("depends-on queries:   %llu\n", u(stats->depends_on_queries));
@@ -577,6 +640,11 @@ int main(int argc, char** argv) {
   std::string connect;
   std::string oplog_path;
   std::string listen;
+  uint64_t trace_id = 0;
+  bool trace_id_given = false;
+  bool json_output = false;
+  uint32_t slow_query_threshold_us = 0;
+  bool slow_threshold_given = false;
   std::vector<const char*> args;
   for (int i = 1; i < argc; ++i) {
     if (std::strncmp(argv[i], "--scheme=", 9) == 0) {
@@ -635,6 +703,40 @@ int main(int argc, char** argv) {
       }
       num_shards = static_cast<unsigned>(parsed);
       shards_given = true;
+    } else if (std::strncmp(argv[i], "--slow-query-threshold-us=", 26) == 0) {
+      // Same strict parse as --threads; 0 means "disabled", so the usable
+      // range is the option's full uint32 domain.
+      const char* value = argv[i] + 26;
+      char* end = nullptr;
+      unsigned long long parsed = std::strtoull(value, &end, 10);
+      if (*value == '\0' || *end != '\0' || value[0] == '-' ||
+          parsed > UINT32_MAX) {
+        std::fprintf(stderr,
+                     "error: --slow-query-threshold-us expects an integer "
+                     "in [0, %llu], got '%s'\n",
+                     static_cast<unsigned long long>(UINT32_MAX), value);
+        return Usage();
+      }
+      slow_query_threshold_us = static_cast<uint32_t>(parsed);
+      slow_threshold_given = true;
+    } else if (std::strncmp(argv[i], "--trace-id=", 11) == 0) {
+      // The full uint64 domain is valid (clients pick random ids); only
+      // the spelling is checked.
+      const char* value = argv[i] + 11;
+      char* end = nullptr;
+      errno = 0;
+      unsigned long long parsed = std::strtoull(value, &end, 10);
+      if (*value == '\0' || *end != '\0' || value[0] == '-' || errno != 0) {
+        std::fprintf(stderr,
+                     "error: --trace-id expects an unsigned 64-bit "
+                     "integer, got '%s'\n",
+                     value);
+        return Usage();
+      }
+      trace_id = parsed;
+      trace_id_given = true;
+    } else if (std::strcmp(argv[i], "--json") == 0) {
+      json_output = true;
     } else if (std::strcmp(argv[i], "--fail-fast") == 0) {
       fail_fast = true;
     } else if (std::strcmp(argv[i], "--mmap") == 0) {
@@ -690,12 +792,35 @@ int main(int argc, char** argv) {
   const bool remote_capable = cmd == "reaches" || cmd == "stats" ||
                               cmd == "add-run" || cmd == "list-runs" ||
                               cmd == "shutdown" || cmd == "save" ||
-                              cmd == "load-snapshot" || cmd == "replicate";
+                              cmd == "load-snapshot" || cmd == "replicate" ||
+                              cmd == "metrics" || cmd == "slow-queries";
   if (!connect.empty() && !remote_capable) {
     std::fprintf(stderr,
                  "error: --connect is only accepted by reaches, stats, "
-                 "add-run, list-runs, shutdown, save, load-snapshot and "
-                 "replicate\n");
+                 "add-run, list-runs, shutdown, save, load-snapshot, "
+                 "metrics, slow-queries and replicate\n");
+    return Usage();
+  }
+  if (trace_id_given && (connect.empty() || cmd == "replicate")) {
+    std::fprintf(stderr,
+                 "error: --trace-id is only accepted by the remote "
+                 "subcommands (reaches, stats, add-run, list-runs, "
+                 "shutdown, save, load-snapshot, metrics, slow-queries)\n");
+    return Usage();
+  }
+  if (json_output && cmd != "stats") {
+    std::fprintf(stderr, "error: --json is only accepted by stats\n");
+    return Usage();
+  }
+  if (json_output && connect.empty()) {
+    std::fprintf(stderr,
+                 "error: --json requires stats --connect=<host:port>\n");
+    return Usage();
+  }
+  if (slow_threshold_given && cmd != "serve") {
+    std::fprintf(stderr,
+                 "error: --slow-query-threshold-us is only accepted by "
+                 "serve\n");
     return Usage();
   }
   if (use_mmap && cmd != "load" && cmd != "serve") {
@@ -728,6 +853,7 @@ int main(int argc, char** argv) {
     if (!spec.ok()) return Fail(spec.status());
     return Serve(std::move(spec).value(), scheme_kind, service_options, port,
                  num_io_threads, oplog_path, use_mmap,
+                 slow_query_threshold_us,
                  args.size() > 1 ? args[1] : nullptr);
   }
 
@@ -749,17 +875,48 @@ int main(int argc, char** argv) {
   }
 
   if (cmd == "reaches" || cmd == "add-run" || cmd == "list-runs" ||
-      cmd == "shutdown" || cmd == "load-snapshot" ||
-      (cmd == "stats" && !connect.empty()) ||
+      cmd == "shutdown" || cmd == "load-snapshot" || cmd == "metrics" ||
+      cmd == "slow-queries" || (cmd == "stats" && !connect.empty()) ||
       (cmd == "save" && !connect.empty())) {
     if (connect.empty()) {
       std::fprintf(stderr, "error: %s requires --connect=<host:port>\n",
                    cmd.c_str());
       return Usage();
     }
+    // Arity before dialing: misuse must exit 2 even when nothing listens.
+    if ((cmd == "metrics" || cmd == "slow-queries") && !args.empty()) {
+      std::fprintf(stderr, "error: %s takes no positional arguments\n",
+                   cmd.c_str());
+      return Usage();
+    }
     auto client = ProvenanceClient::ConnectHostPort(connect);
     if (!client.ok()) return Fail(client.status());
+    client->set_trace_id(trace_id);
 
+    if (cmd == "metrics") {
+      auto text = client->GetMetrics();
+      if (!text.ok()) return Fail(text.status());
+      std::fputs(text->c_str(), stdout);
+      return 0;
+    }
+    if (cmd == "slow-queries") {
+      auto entries = client->SlowQueries();
+      if (!entries.ok()) return Fail(entries.status());
+      for (const SlowQueryEntry& e : *entries) {
+        std::printf(
+            "trace %llu op %s run %llu shard %llu: queue %llu us + "
+            "exec %llu us = %llu us\n",
+            static_cast<unsigned long long>(e.trace_id),
+            MsgTypeName(static_cast<MsgType>(e.opcode)),
+            static_cast<unsigned long long>(e.run_id),
+            static_cast<unsigned long long>(e.shard),
+            static_cast<unsigned long long>(e.queue_us),
+            static_cast<unsigned long long>(e.exec_us),
+            static_cast<unsigned long long>(e.queue_us + e.exec_us));
+      }
+      std::printf("%zu slow queries\n", entries->size());
+      return 0;
+    }
     if (cmd == "reaches") {
       if (args.size() != 3) return Usage();
       const uint64_t run = std::strtoull(args[0], nullptr, 10);
@@ -776,7 +933,7 @@ int main(int argc, char** argv) {
     }
     if (cmd == "stats") {
       if (args.size() > 1) return Usage();
-      return RemoteStats(*client, args);
+      return RemoteStats(*client, args, json_output);
     }
     if (cmd == "add-run") {
       if (args.size() != 1) return Usage();

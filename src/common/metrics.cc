@@ -1,0 +1,218 @@
+#include "src/common/metrics.h"
+
+#include <bit>
+#include <cinttypes>
+#include <cmath>
+#include <cstdio>
+#include <unordered_set>
+
+namespace skl {
+
+namespace {
+
+/// Width of bucket `index` (every value in the bucket lies in
+/// [lower, lower + width)).
+uint64_t BucketWidth(size_t index) {
+  if (index < LatencyHistogram::kSubBuckets) return 1;
+  return uint64_t{1} << (index / LatencyHistogram::kSubBuckets - 1);
+}
+
+void AppendLine(std::string* out, std::string_view name,
+                std::string_view labels, uint64_t value) {
+  char buf[32];
+  std::snprintf(buf, sizeof(buf), "%" PRIu64, value);
+  out->append(name);
+  if (!labels.empty()) {
+    out->push_back('{');
+    out->append(labels);
+    out->push_back('}');
+  }
+  out->push_back(' ');
+  out->append(buf);
+  out->push_back('\n');
+}
+
+}  // namespace
+
+size_t LatencyHistogram::BucketIndex(uint64_t value) {
+  if (value < kSubBuckets) return static_cast<size_t>(value);
+  const int msb = 63 - std::countl_zero(value);
+  const int shift = msb - static_cast<int>(kSubBits);
+  return (static_cast<size_t>(shift) + 1) * kSubBuckets +
+         static_cast<size_t>((value >> shift) & (kSubBuckets - 1));
+}
+
+uint64_t LatencyHistogram::BucketLowerBound(size_t index) {
+  if (index < kSubBuckets) return index;
+  const size_t block = index / kSubBuckets;  // >= 1
+  const size_t sub = index % kSubBuckets;
+  return static_cast<uint64_t>(kSubBuckets + sub) << (block - 1);
+}
+
+double LatencyHistogram::Quantile(double q) const {
+  const uint64_t total = Count();
+  if (total == 0) return 0.0;
+  if (q < 0.0) q = 0.0;
+  if (q > 1.0) q = 1.0;
+  const double target = q * static_cast<double>(total);
+  double cum = 0.0;
+  for (size_t i = 0; i < kNumBuckets; ++i) {
+    const uint64_t c = BucketCount(i);
+    if (c == 0) continue;
+    const double next = cum + static_cast<double>(c);
+    if (next >= target) {
+      const double frac =
+          (target - cum) / static_cast<double>(c);  // c > 0 here
+      return static_cast<double>(BucketLowerBound(i)) +
+             frac * static_cast<double>(BucketWidth(i));
+    }
+    cum = next;
+  }
+  // Count() can run ahead of the bucket sums under concurrent Record;
+  // answer from the highest populated bucket instead of 0.
+  for (size_t i = kNumBuckets; i-- > 0;) {
+    if (BucketCount(i) != 0) return static_cast<double>(BucketLowerBound(i));
+  }
+  return 0.0;
+}
+
+void LatencyHistogram::MergeFrom(const LatencyHistogram& other) {
+  for (size_t i = 0; i < kNumBuckets; ++i) {
+    const uint64_t c = other.BucketCount(i);
+    if (c != 0) buckets_[i].fetch_add(c, std::memory_order_relaxed);
+  }
+  count_.fetch_add(other.Count(), std::memory_order_relaxed);
+  sum_.fetch_add(other.Sum(), std::memory_order_relaxed);
+}
+
+void LatencyHistogram::Reset() {
+  for (auto& b : buckets_) b.store(0, std::memory_order_relaxed);
+  count_.store(0, std::memory_order_relaxed);
+  sum_.store(0, std::memory_order_relaxed);
+}
+
+void RenderHistogramPrometheus(const LatencyHistogram& histogram,
+                               std::string_view name, std::string_view labels,
+                               std::string* out) {
+  // Exposition ladder: powers of two from 1 to 2^30, then +Inf — coarse on
+  // purpose (31 lines per series, vs 496 internal buckets). A bucket is
+  // counted under the first `le` at or above its maximum value, so the
+  // cumulative counts are monotone and exact at every ladder boundary up
+  // to the internal buckets' <=12.5% width.
+  const std::string prefix(name);
+  uint64_t cum = 0;
+  size_t next_internal = 0;
+  for (uint32_t power = 0; power <= 30; ++power) {
+    const uint64_t le = uint64_t{1} << power;
+    while (next_internal < LatencyHistogram::kNumBuckets &&
+           LatencyHistogram::BucketLowerBound(next_internal) +
+                   BucketWidth(next_internal) - 1 <=
+               le) {
+      cum += histogram.BucketCount(next_internal);
+      ++next_internal;
+    }
+    std::string le_labels(labels);
+    if (!le_labels.empty()) le_labels += ",";
+    char bound[32];
+    std::snprintf(bound, sizeof(bound), "le=\"%" PRIu64 "\"", le);
+    le_labels += bound;
+    AppendLine(out, prefix + "_bucket", le_labels, cum);
+  }
+  std::string inf_labels(labels);
+  if (!inf_labels.empty()) inf_labels += ",";
+  inf_labels += "le=\"+Inf\"";
+  AppendLine(out, prefix + "_bucket", inf_labels, histogram.Count());
+  AppendLine(out, prefix + "_sum", labels, histogram.Sum());
+  AppendLine(out, prefix + "_count", labels, histogram.Count());
+}
+
+MetricCounter* MetricsRegistry::AddCounter(std::string name, std::string help,
+                                           std::string labels) {
+  auto entry = std::make_unique<Entry>();
+  entry->kind = Kind::kCounter;
+  entry->name = std::move(name);
+  entry->help = std::move(help);
+  entry->labels = std::move(labels);
+  entry->counter = std::make_unique<MetricCounter>();
+  MetricCounter* out = entry->counter.get();
+  std::lock_guard<std::mutex> lock(mu_);
+  entries_.push_back(std::move(entry));
+  return out;
+}
+
+MetricGauge* MetricsRegistry::AddGauge(std::string name, std::string help,
+                                       std::string labels) {
+  auto entry = std::make_unique<Entry>();
+  entry->kind = Kind::kGauge;
+  entry->name = std::move(name);
+  entry->help = std::move(help);
+  entry->labels = std::move(labels);
+  entry->gauge = std::make_unique<MetricGauge>();
+  MetricGauge* out = entry->gauge.get();
+  std::lock_guard<std::mutex> lock(mu_);
+  entries_.push_back(std::move(entry));
+  return out;
+}
+
+void MetricsRegistry::AddCallbackGauge(std::string name, std::string help,
+                                       std::string labels,
+                                       std::function<uint64_t()> fn) {
+  auto entry = std::make_unique<Entry>();
+  entry->kind = Kind::kCallbackGauge;
+  entry->name = std::move(name);
+  entry->help = std::move(help);
+  entry->labels = std::move(labels);
+  entry->callback = std::move(fn);
+  std::lock_guard<std::mutex> lock(mu_);
+  entries_.push_back(std::move(entry));
+}
+
+LatencyHistogram* MetricsRegistry::AddHistogram(std::string name,
+                                                std::string help,
+                                                std::string labels) {
+  auto entry = std::make_unique<Entry>();
+  entry->kind = Kind::kHistogram;
+  entry->name = std::move(name);
+  entry->help = std::move(help);
+  entry->labels = std::move(labels);
+  entry->histogram = std::make_unique<LatencyHistogram>();
+  LatencyHistogram* out = entry->histogram.get();
+  std::lock_guard<std::mutex> lock(mu_);
+  entries_.push_back(std::move(entry));
+  return out;
+}
+
+std::string MetricsRegistry::RenderPrometheus() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  std::string out;
+  std::unordered_set<std::string_view> headered;
+  for (const auto& entry : entries_) {
+    if (headered.insert(entry->name).second) {
+      const char* type = entry->kind == Kind::kCounter     ? "counter"
+                         : entry->kind == Kind::kHistogram ? "histogram"
+                                                           : "gauge";
+      out += "# HELP " + entry->name + " " + entry->help + "\n";
+      out += "# TYPE " + entry->name + " " + type;
+      out.push_back('\n');
+    }
+    switch (entry->kind) {
+      case Kind::kCounter:
+        AppendLine(&out, entry->name, entry->labels,
+                   entry->counter->Value());
+        break;
+      case Kind::kGauge:
+        AppendLine(&out, entry->name, entry->labels, entry->gauge->Value());
+        break;
+      case Kind::kCallbackGauge:
+        AppendLine(&out, entry->name, entry->labels, entry->callback());
+        break;
+      case Kind::kHistogram:
+        RenderHistogramPrometheus(*entry->histogram, entry->name,
+                                  entry->labels, &out);
+        break;
+    }
+  }
+  return out;
+}
+
+}  // namespace skl

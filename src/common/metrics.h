@@ -1,0 +1,180 @@
+// The observability core (docs/OBSERVABILITY.md): a lock-free, mergeable,
+// log-bucketed latency histogram plus a named-metric registry that renders
+// the Prometheus text exposition format.
+//
+//   MetricsRegistry registry;
+//   LatencyHistogram* h = registry.AddHistogram(
+//       "skl_request_execute_seconds", "Dispatch execute time",
+//       "op=\"Reaches\"");
+//   h->Record(elapsed_us);            // any integer unit; pick one per family
+//   std::string text = registry.RenderPrometheus();
+//
+// LatencyHistogram is HDR-style: values are bucketed by their power-of-two
+// octave with kSubBuckets linear sub-buckets per octave, so every bucket's
+// width is at most 1/kSubBuckets (12.5%) of its lower bound — quantiles are
+// exact to that relative error at every magnitude from 1 to 2^63. All
+// mutation is relaxed fetch_add on per-bucket atomics: concurrent Record
+// calls never contend on a lock and the type is TSan-clean by construction.
+// Count()/Sum()/Quantile() over a concurrently mutated histogram see some
+// valid interleaving (each bucket individually consistent), which is the
+// usual and sufficient contract for monitoring reads.
+//
+// The registry owns its metrics; Add* returns stable pointers for the hot
+// path (register once at construction, record lock-free forever after).
+// Rendering groups metrics into families (same name = one # HELP/# TYPE
+// header) in registration order, histograms as cumulative `le` buckets on
+// a powers-of-two ladder.
+#ifndef SKL_COMMON_METRICS_H_
+#define SKL_COMMON_METRICS_H_
+
+#include <array>
+#include <atomic>
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace skl {
+
+/// Monotonic counter. Increment is relaxed fetch_add; safe from any thread.
+class MetricCounter {
+ public:
+  void Increment(uint64_t n = 1) {
+    value_.fetch_add(n, std::memory_order_relaxed);
+  }
+  uint64_t Value() const { return value_.load(std::memory_order_relaxed); }
+
+ private:
+  std::atomic<uint64_t> value_{0};
+};
+
+/// Settable gauge (last write wins). For values that are cheap to push on
+/// change; values that are only known at scrape time use the registry's
+/// callback-gauge form instead.
+class MetricGauge {
+ public:
+  void Set(uint64_t v) { value_.store(v, std::memory_order_relaxed); }
+  uint64_t Value() const { return value_.load(std::memory_order_relaxed); }
+
+ private:
+  std::atomic<uint64_t> value_{0};
+};
+
+/// Log-bucketed (HDR-style) histogram over atomic buckets. Unit-agnostic:
+/// the caller picks one integer unit per family (the serving path records
+/// microseconds, the benches nanoseconds) and the exposition names it.
+class LatencyHistogram {
+ public:
+  /// Linear sub-buckets per power-of-two octave (8 = 12.5% max relative
+  /// bucket width). Values 0..kSubBuckets-1 get exact unit buckets.
+  static constexpr uint32_t kSubBits = 3;
+  static constexpr uint32_t kSubBuckets = 1u << kSubBits;
+  /// One linear block for [0, kSubBuckets) plus one block per octave whose
+  /// values need more than kSubBits bits — covers the full uint64 range.
+  static constexpr size_t kNumBuckets =
+      static_cast<size_t>(64 - kSubBits + 1) * kSubBuckets;
+
+  LatencyHistogram() = default;
+  LatencyHistogram(const LatencyHistogram&) = delete;
+  LatencyHistogram& operator=(const LatencyHistogram&) = delete;
+
+  /// Which bucket `value` lands in. Exposed for the exposition renderer
+  /// and the bucket-layout unit tests.
+  static size_t BucketIndex(uint64_t value);
+
+  /// Smallest value that lands in bucket `index` (buckets cover
+  /// [lower_bound(i), lower_bound(i+1))).
+  static uint64_t BucketLowerBound(size_t index);
+
+  void Record(uint64_t value) {
+    buckets_[BucketIndex(value)].fetch_add(1, std::memory_order_relaxed);
+    count_.fetch_add(1, std::memory_order_relaxed);
+    sum_.fetch_add(value, std::memory_order_relaxed);
+  }
+
+  uint64_t Count() const { return count_.load(std::memory_order_relaxed); }
+  uint64_t Sum() const { return sum_.load(std::memory_order_relaxed); }
+  uint64_t BucketCount(size_t index) const {
+    return buckets_[index].load(std::memory_order_relaxed);
+  }
+
+  /// The q-quantile (q in [0, 1]), linearly interpolated inside the target
+  /// bucket — so exact to the bucket's <=12.5% relative width. 0 when the
+  /// histogram is empty.
+  double Quantile(double q) const;
+
+  /// Adds every bucket of `other` into this histogram (bench workers merge
+  /// their thread-local histograms into one before reporting).
+  void MergeFrom(const LatencyHistogram& other);
+
+  void Reset();
+
+ private:
+  std::array<std::atomic<uint64_t>, kNumBuckets> buckets_{};
+  std::atomic<uint64_t> count_{0};
+  std::atomic<uint64_t> sum_{0};
+};
+
+/// Appends one histogram in Prometheus text format to `out`: cumulative
+/// `name_bucket{le="..."}` lines on a powers-of-two ladder (1, 2, 4, ...,
+/// 2^30, +Inf), then `name_sum` and `name_count`. `labels` (may be empty)
+/// is spliced into every line next to the `le` label. The free-function
+/// form serves histograms embedded outside any registry (OpLog's).
+void RenderHistogramPrometheus(const LatencyHistogram& histogram,
+                               std::string_view name, std::string_view labels,
+                               std::string* out);
+
+/// Named metrics container. Instantiable — one per component (server,
+/// service), NOT a process-global singleton: tests run many servers per
+/// process and each must count only its own traffic. Registration takes a
+/// mutex and happens at component construction; the returned pointers are
+/// stable for the registry's lifetime and lock-free to record through.
+class MetricsRegistry {
+ public:
+  MetricsRegistry() = default;
+  MetricsRegistry(const MetricsRegistry&) = delete;
+  MetricsRegistry& operator=(const MetricsRegistry&) = delete;
+
+  /// `name` is the family (shared # HELP/# TYPE header); `labels` (e.g.
+  /// `op="Reaches",shard="3"` — no surrounding braces) distinguishes
+  /// series within it. `help` is taken from the family's first
+  /// registration.
+  MetricCounter* AddCounter(std::string name, std::string help,
+                            std::string labels = "");
+  MetricGauge* AddGauge(std::string name, std::string help,
+                        std::string labels = "");
+  /// A gauge whose value is computed at render time (e.g. replica apply
+  /// lag = target - applied). `fn` must be safe to call from any thread.
+  void AddCallbackGauge(std::string name, std::string help,
+                        std::string labels, std::function<uint64_t()> fn);
+  LatencyHistogram* AddHistogram(std::string name, std::string help,
+                                 std::string labels = "");
+
+  /// The whole registry in Prometheus text exposition format, families in
+  /// registration order. Safe to call concurrently with recording.
+  std::string RenderPrometheus() const;
+
+ private:
+  enum class Kind { kCounter, kGauge, kCallbackGauge, kHistogram };
+
+  struct Entry {
+    Kind kind;
+    std::string name;
+    std::string help;
+    std::string labels;
+    std::unique_ptr<MetricCounter> counter;
+    std::unique_ptr<MetricGauge> gauge;
+    std::function<uint64_t()> callback;
+    std::unique_ptr<LatencyHistogram> histogram;
+  };
+
+  mutable std::mutex mu_;           // guards entries_ growth
+  std::vector<std::unique_ptr<Entry>> entries_;  // stable addresses
+};
+
+}  // namespace skl
+
+#endif  // SKL_COMMON_METRICS_H_

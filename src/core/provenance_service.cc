@@ -1,6 +1,7 @@
 #include "src/core/provenance_service.h"
 
 #include <atomic>
+#include <chrono>
 #include <future>
 #include <mutex>
 #include <optional>
@@ -95,19 +96,22 @@ Result<bool> StoreDataDependsOnModule(const ProvenanceStore& store,
 /// differentially. Preconditions (record found, ids in range) are the
 /// caller's; `compute` must not fail.
 template <typename Compute>
-bool Memoized(QueryCache* cache, uint64_t generation, uint64_t run,
+bool Memoized(const RunRegistry::ReadHandle& handle, uint64_t run,
               uint32_t src, uint32_t dst, QueryKind kind,
               std::atomic<uint64_t>& hits, std::atomic<uint64_t>& misses,
               const Compute& compute) {
+  QueryCache* cache = handle.cache();
   if (cache == nullptr) return compute();
   bool answer = false;
-  if (cache->Lookup(generation, run, src, dst, kind, &answer)) {
+  if (cache->Lookup(handle.generation(), run, src, dst, kind, &answer)) {
     hits.fetch_add(1, std::memory_order_relaxed);
+    handle.shard_cache_hits()->fetch_add(1, std::memory_order_relaxed);
     return answer;
   }
   misses.fetch_add(1, std::memory_order_relaxed);
+  handle.shard_cache_misses()->fetch_add(1, std::memory_order_relaxed);
   answer = compute();
-  cache->Insert(generation, run, src, dst, kind, answer);
+  cache->Insert(handle.generation(), run, src, dst, kind, answer);
   return answer;
 }
 
@@ -123,7 +127,38 @@ ProvenanceService::ProvenanceService(
       registry_(std::make_unique<RunRegistry>(RunRegistry::Options{
           .num_shards = options.num_shards,
           .cache_slots = options.cache_slots})),
-      pool_mu_(std::make_unique<std::mutex>()) {}
+      metrics_(std::make_unique<MetricsRegistry>()),
+      pool_mu_(std::make_unique<std::mutex>()) {
+  RegisterServiceMetrics();
+}
+
+void ProvenanceService::RegisterServiceMetrics() {
+  labeling_hist_ = metrics_->AddHistogram(
+      "skl_service_labeling_us",
+      "Microseconds spent building a run's labeling (plan recovery, label "
+      "assignment, catalog validation, record capture)");
+  // Per-shard cache tallies as callback gauges: the shards already keep
+  // relaxed atomics (bumped on the query path), so scrape time just reads
+  // them. The captured registry address is stable — it sits behind a
+  // unique_ptr in this movable service.
+  const RunRegistry* reg = registry_.get();
+  for (size_t s = 0; s < reg->num_shards(); ++s) {
+    metrics_->AddCallbackGauge(
+        "skl_cache_shard_hits", "Query-cache hits served by this shard",
+        "shard=\"" + std::to_string(s) + "\"",
+        [reg, s] { return reg->shard_cache_hits(s); });
+  }
+  for (size_t s = 0; s < reg->num_shards(); ++s) {
+    metrics_->AddCallbackGauge(
+        "skl_cache_shard_misses", "Query-cache misses taken by this shard",
+        "shard=\"" + std::to_string(s) + "\"",
+        [reg, s] { return reg->shard_cache_misses(s); });
+  }
+}
+
+size_t ProvenanceService::shard_of(RunId id) const {
+  return registry_->ShardIndexFor(id.value());
+}
 
 Result<ProvenanceService> ProvenanceService::Create(
     Specification spec, SpecSchemeKind scheme_kind, Options options) {
@@ -164,6 +199,7 @@ Result<RunRecord> ProvenanceService::BuildRecord(
     const DataCatalog* catalog) const {
   // All of this runs outside any lock (and concurrently on pool workers for
   // the bulk paths): it only reads the immutable spec and built scheme.
+  const auto labeling_start = std::chrono::steady_clock::now();
   RecoveredPlan recovered;
   if (plan == nullptr) {
     SKL_ASSIGN_OR_RETURN(recovered, ConstructPlan(*spec_, run));
@@ -179,7 +215,12 @@ Result<RunRecord> ProvenanceService::BuildRecord(
   if (catalog != nullptr) {
     SKL_RETURN_NOT_OK(ValidateCatalog(*catalog, labeling.num_vertices()));
   }
-  return CaptureRecord(labeling, catalog, /*imported=*/false);
+  RunRecord record = CaptureRecord(labeling, catalog, /*imported=*/false);
+  labeling_hist_->Record(static_cast<uint64_t>(
+      std::chrono::duration_cast<std::chrono::microseconds>(
+          std::chrono::steady_clock::now() - labeling_start)
+          .count()));
+  return record;
 }
 
 RunRecord ProvenanceService::CaptureRecord(
@@ -441,7 +482,7 @@ Result<bool> ProvenanceService::Reaches(RunId id, VertexId v,
     return Status::InvalidArgument("vertex out of range for run");
   }
   counters_->reaches_queries.fetch_add(1, std::memory_order_relaxed);
-  return Memoized(handle.cache(), handle.generation(), id.value(), v, w,
+  return Memoized(handle, id.value(), v, w,
                   QueryKind::kReaches, counters_->cache_hits,
                   counters_->cache_misses, [&] {
                     return StoreReaches(record.store, v, w, *scheme_);
@@ -465,7 +506,7 @@ Result<std::vector<bool>> ProvenanceService::ReachesBatch(
   answers.reserve(pairs.size());
   for (const auto& [v, w] : pairs) {
     answers.push_back(Memoized(
-        handle.cache(), handle.generation(), id.value(), v, w,
+        handle, id.value(), v, w,
         QueryKind::kReaches, counters_->cache_hits, counters_->cache_misses,
         [&] { return StoreReaches(handle.record().store, v, w, *scheme_); }));
   }
@@ -484,7 +525,7 @@ Result<bool> ProvenanceService::DependsOn(RunId id, DataItemId x,
     return Status::InvalidArgument("unknown data item");
   }
   counters_->depends_on_queries.fetch_add(1, std::memory_order_relaxed);
-  return Memoized(handle.cache(), handle.generation(), id.value(), x, x_from,
+  return Memoized(handle, id.value(), x, x_from,
                   QueryKind::kDependsOn, counters_->cache_hits,
                   counters_->cache_misses, [&] {
                     return *StoreDependsOn(handle.record().store, x, x_from,
@@ -508,7 +549,7 @@ Result<std::vector<bool>> ProvenanceService::DependsOnBatch(
   answers.reserve(pairs.size());
   for (const auto& [x, x_from] : pairs) {
     answers.push_back(Memoized(
-        handle.cache(), handle.generation(), id.value(), x, x_from,
+        handle, id.value(), x, x_from,
         QueryKind::kDependsOn, counters_->cache_hits,
         counters_->cache_misses, [&] {
           return *StoreDependsOn(handle.record().store, x, x_from, *scheme_);
@@ -532,7 +573,7 @@ Result<bool> ProvenanceService::ModuleDependsOnData(RunId id, VertexId v,
     return Status::InvalidArgument("unknown vertex");
   }
   counters_->module_data_queries.fetch_add(1, std::memory_order_relaxed);
-  return Memoized(handle.cache(), handle.generation(), id.value(), v, x,
+  return Memoized(handle, id.value(), v, x,
                   QueryKind::kModuleData, counters_->cache_hits,
                   counters_->cache_misses, [&] {
                     return *StoreModuleDependsOnData(record.store, v, x,
@@ -552,7 +593,7 @@ Result<bool> ProvenanceService::DataDependsOnModule(RunId id, DataItemId x,
     return Status::InvalidArgument("unknown vertex");
   }
   counters_->data_module_queries.fetch_add(1, std::memory_order_relaxed);
-  return Memoized(handle.cache(), handle.generation(), id.value(), x, v,
+  return Memoized(handle, id.value(), x, v,
                   QueryKind::kDataModule, counters_->cache_hits,
                   counters_->cache_misses, [&] {
                     return *StoreDataDependsOnModule(record.store, x, v,

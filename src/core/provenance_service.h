@@ -63,6 +63,7 @@
 #include <utility>
 #include <vector>
 
+#include "src/common/metrics.h"
 #include "src/common/status.h"
 #include "src/common/thread_pool.h"
 #include "src/core/data_provenance.h"
@@ -379,6 +380,17 @@ class ProvenanceService {
   const SpecLabelingScheme& scheme() const { return *scheme_; }
   const Options& options() const { return options_; }
 
+  /// The service-level metrics registry (docs/OBSERVABILITY.md): the
+  /// labeling-time histogram and per-shard result-cache tallies. The net
+  /// server renders it into its kMetrics exposition. Like the ServiceStats
+  /// counters, it describes this service object's lifetime — a snapshot
+  /// load swaps in a fresh registry.
+  const MetricsRegistry& metrics() const { return *metrics_; }
+
+  /// Which registry shard owns `id` — the shard label the slow-query log
+  /// records next to a run id.
+  size_t shard_of(RunId id) const;
+
  private:
   friend class RunSession;
 
@@ -459,11 +471,21 @@ class ProvenanceService {
   std::unique_ptr<SpecLabelingScheme> scheme_;
   Options options_;
 
+  /// Registers the labeling histogram and per-shard cache gauges on
+  /// metrics_ (constructor only; the gauges capture registry_'s address,
+  /// which unique_ptr keeps stable across service moves).
+  void RegisterServiceMetrics();
+
   std::unique_ptr<Counters> counters_;  // see Counters for the contract
   // The sharded, lock-striped run storage (internally synchronized);
   // behind a unique_ptr so the service stays movable while shard mutexes
   // and handed-out ReadHandles keep stable addresses.
   std::unique_ptr<RunRegistry> registry_;
+
+  // Behind a unique_ptr for movability; labeling_hist_ points into
+  // metrics_ (stable addresses) and records lock-free.
+  std::unique_ptr<MetricsRegistry> metrics_;
+  LatencyHistogram* labeling_hist_ = nullptr;
 
   std::unique_ptr<std::mutex> pool_mu_;  // guards lazy pool_ creation
   std::unique_ptr<ThreadPool> pool_;     // created on first bulk call

@@ -42,6 +42,8 @@ RunRegistry::ReadHandle RunRegistry::AcquireRead(uint64_t id) const {
   handle.record_ = &it->second;
   handle.cache_ = shard.cache.get();
   handle.generation_ = shard.generation;
+  handle.shard_hits_ = &shard.cache_hits;
+  handle.shard_misses_ = &shard.cache_misses;
   return handle;
 }
 

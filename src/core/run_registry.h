@@ -106,6 +106,13 @@ class RunRegistry {
     const RunRecord& record() const { return *record_; }
     QueryCache* cache() const { return cache_; }
     uint64_t generation() const { return generation_; }
+    /// The owning shard's cache hit/miss tallies (docs/OBSERVABILITY.md);
+    /// the query path bumps them relaxed alongside the service-wide
+    /// counters. Null iff the handle is falsy.
+    std::atomic<uint64_t>* shard_cache_hits() const { return shard_hits_; }
+    std::atomic<uint64_t>* shard_cache_misses() const {
+      return shard_misses_;
+    }
 
    private:
     friend class RunRegistry;
@@ -114,6 +121,8 @@ class RunRegistry {
     const RunRecord* record_ = nullptr;
     QueryCache* cache_ = nullptr;
     uint64_t generation_ = 0;
+    std::atomic<uint64_t>* shard_hits_ = nullptr;
+    std::atomic<uint64_t>* shard_misses_ = nullptr;
   };
 
   /// Locks the owning shard shared and resolves the id. The handle keeps
@@ -184,6 +193,19 @@ class RunRegistry {
   size_t num_shards() const { return shard_mask_ + 1; }
   size_t cache_slots_per_shard() const { return cache_slots_; }
 
+  /// Which shard owns `id` — the label the observability layer stamps on
+  /// per-shard series and slow-query entries.
+  size_t ShardIndexFor(uint64_t id) const { return ShardIndexOf(id); }
+
+  /// Point-in-time per-shard cache tallies (shard < num_shards()); the
+  /// metrics exposition reads these at scrape time.
+  uint64_t shard_cache_hits(size_t shard) const {
+    return shards_[shard].cache_hits.load(std::memory_order_relaxed);
+  }
+  uint64_t shard_cache_misses(size_t shard) const {
+    return shards_[shard].cache_misses.load(std::memory_order_relaxed);
+  }
+
  private:
   struct Shard {
     mutable std::shared_mutex mu;
@@ -193,6 +215,11 @@ class RunRegistry {
     // cache slots can never satisfy a lookup.
     uint64_t generation = 1;
     std::unique_ptr<QueryCache> cache;  // null when caching is disabled
+    // Per-shard result-cache tallies, bumped relaxed by read-lock holders
+    // (not guarded by mu; the sum over shards tracks the service-wide
+    // cache_hits/cache_misses counters).
+    mutable std::atomic<uint64_t> cache_hits{0};
+    mutable std::atomic<uint64_t> cache_misses{0};
   };
 
   size_t ShardIndexOf(uint64_t id) const;

@@ -135,7 +135,8 @@ ProvenanceClient::ProvenanceClient(ProvenanceClient&& other) noexcept
       host_(std::move(other.host_)),
       port_(other.port_),
       read_lsn_(other.read_lsn_),
-      last_write_lsn_(other.last_write_lsn_) {}
+      last_write_lsn_(other.last_write_lsn_),
+      trace_id_(other.trace_id_) {}
 
 ProvenanceClient& ProvenanceClient::operator=(
     ProvenanceClient&& other) noexcept {
@@ -150,6 +151,7 @@ ProvenanceClient& ProvenanceClient::operator=(
     port_ = other.port_;
     read_lsn_ = other.read_lsn_;
     last_write_lsn_ = other.last_write_lsn_;
+    trace_id_ = other.trace_id_;
   }
   return *this;
 }
@@ -249,7 +251,12 @@ Result<std::vector<uint8_t>> ProvenanceClient::Receive(uint64_t request_id,
             " (pipelining misuse or desynchronized stream)"));
       }
       if (frame.type == MsgType::kError) {
-        // The service-level error; the connection stays usable.
+        // The service-level error; the connection stays usable. v5 error
+        // payloads additionally echo the request's trace id.
+        if (frame.version >= 5) {
+          uint64_t trace = 0;
+          return DecodeErrorPayload(frame.payload, &trace);
+        }
         return DecodeErrorPayload(frame.payload);
       }
       if (frame.type == MsgType::kRetryAt) {
@@ -324,6 +331,7 @@ Result<bool> ProvenanceClient::Reaches(RunId id, VertexId v, VertexId w) {
   req.U64(v);
   req.U64(w);
   req.U64(read_lsn_);
+  req.U64(trace_id_);
   SKL_ASSIGN_OR_RETURN(std::vector<uint8_t> reply,
                        CallRead(MsgType::kReaches, std::move(req).Finish()));
   return DecodeBool(reply);
@@ -339,6 +347,7 @@ Result<std::vector<bool>> ProvenanceClient::ReachesBatch(
     req.U64(w);
   }
   req.U64(read_lsn_);
+  req.U64(trace_id_);
   SKL_ASSIGN_OR_RETURN(
       std::vector<uint8_t> reply,
       CallRead(MsgType::kReachesBatch, std::move(req).Finish()));
@@ -352,6 +361,7 @@ Result<bool> ProvenanceClient::DependsOn(RunId id, DataItemId x,
   req.U64(x);
   req.U64(x_from);
   req.U64(read_lsn_);
+  req.U64(trace_id_);
   SKL_ASSIGN_OR_RETURN(
       std::vector<uint8_t> reply,
       CallRead(MsgType::kDependsOn, std::move(req).Finish()));
@@ -368,6 +378,7 @@ Result<std::vector<bool>> ProvenanceClient::DependsOnBatch(
     req.U64(x_from);
   }
   req.U64(read_lsn_);
+  req.U64(trace_id_);
   SKL_ASSIGN_OR_RETURN(
       std::vector<uint8_t> reply,
       CallRead(MsgType::kDependsOnBatch, std::move(req).Finish()));
@@ -381,6 +392,7 @@ Result<bool> ProvenanceClient::ModuleDependsOnData(RunId id, VertexId v,
   req.U64(v);
   req.U64(x);
   req.U64(read_lsn_);
+  req.U64(trace_id_);
   SKL_ASSIGN_OR_RETURN(
       std::vector<uint8_t> reply,
       CallRead(MsgType::kModuleDependsOnData, std::move(req).Finish()));
@@ -394,6 +406,7 @@ Result<bool> ProvenanceClient::DataDependsOnModule(RunId id, DataItemId x,
   req.U64(x);
   req.U64(v);
   req.U64(read_lsn_);
+  req.U64(trace_id_);
   SKL_ASSIGN_OR_RETURN(
       std::vector<uint8_t> reply,
       CallRead(MsgType::kDataDependsOnModule, std::move(req).Finish()));
@@ -414,6 +427,7 @@ Result<RunId> ProvenanceClient::DecodeMutationReply(
 Result<RunId> ProvenanceClient::AddRunXml(std::string_view run_xml) {
   PayloadWriter req;
   req.Str(run_xml);
+  req.U64(trace_id_);
   SKL_ASSIGN_OR_RETURN(std::vector<uint8_t> reply,
                        Call(MsgType::kAddRun, std::move(req).Finish()));
   return DecodeMutationReply(reply);
@@ -426,6 +440,7 @@ Result<RunId> ProvenanceClient::AddRun(const Run& run) {
 Result<RunId> ProvenanceClient::ImportRun(const std::vector<uint8_t>& blob) {
   PayloadWriter req;
   req.Bytes(blob);
+  req.U64(trace_id_);
   SKL_ASSIGN_OR_RETURN(std::vector<uint8_t> reply,
                        Call(MsgType::kImportRun, std::move(req).Finish()));
   return DecodeMutationReply(reply);
@@ -435,6 +450,7 @@ Result<std::vector<uint8_t>> ProvenanceClient::ExportRun(RunId id) {
   PayloadWriter req;
   req.U64(id.value());
   req.U64(read_lsn_);
+  req.U64(trace_id_);
   SKL_ASSIGN_OR_RETURN(
       std::vector<uint8_t> reply,
       CallRead(MsgType::kExportRun, std::move(req).Finish()));
@@ -447,6 +463,7 @@ Result<std::vector<uint8_t>> ProvenanceClient::ExportRun(RunId id) {
 Status ProvenanceClient::RemoveRun(RunId id) {
   PayloadWriter req;
   req.U64(id.value());
+  req.U64(trace_id_);
   auto reply = Call(MsgType::kRemoveRun, std::move(req).Finish());
   if (!reply.ok()) return reply.status();
   PayloadReader reader(*reply);
@@ -459,6 +476,7 @@ Status ProvenanceClient::RemoveRun(RunId id) {
 Result<std::vector<RunId>> ProvenanceClient::ListRuns() {
   PayloadWriter req;
   req.U64(read_lsn_);
+  req.U64(trace_id_);
   SKL_ASSIGN_OR_RETURN(
       std::vector<uint8_t> reply,
       CallRead(MsgType::kListRuns, std::move(req).Finish()));
@@ -477,6 +495,7 @@ Result<RunStats> ProvenanceClient::Stats(RunId id) {
   PayloadWriter req;
   req.U64(id.value());
   req.U64(read_lsn_);
+  req.U64(trace_id_);
   SKL_ASSIGN_OR_RETURN(
       std::vector<uint8_t> reply,
       CallRead(MsgType::kRunStats, std::move(req).Finish()));
@@ -497,8 +516,11 @@ Result<RunStats> ProvenanceClient::Stats(RunId id) {
 }
 
 Result<ServiceStats> ProvenanceClient::GetServiceStats() {
-  SKL_ASSIGN_OR_RETURN(std::vector<uint8_t> reply,
-                       CallRead(MsgType::kServiceStats, {}));
+  PayloadWriter req;
+  req.U64(trace_id_);
+  SKL_ASSIGN_OR_RETURN(
+      std::vector<uint8_t> reply,
+      CallRead(MsgType::kServiceStats, std::move(req).Finish()));
   PayloadReader reader(reply);
   ServiceStats stats;
   SKL_ASSIGN_OR_RETURN(stats.num_runs, reader.U64());
@@ -529,6 +551,7 @@ Result<ServiceStats> ProvenanceClient::GetServiceStats() {
 Status ProvenanceClient::SaveSnapshot(const std::string& path) {
   PayloadWriter req;
   req.Str(path);
+  req.U64(trace_id_);
   auto reply = Call(MsgType::kSaveSnapshot, std::move(req).Finish());
   if (!reply.ok()) return reply.status();
   return ExpectEmpty(*reply);
@@ -537,26 +560,34 @@ Status ProvenanceClient::SaveSnapshot(const std::string& path) {
 Status ProvenanceClient::LoadSnapshot(const std::string& path) {
   PayloadWriter req;
   req.Str(path);
+  req.U64(trace_id_);
   auto reply = Call(MsgType::kLoadSnapshot, std::move(req).Finish());
   if (!reply.ok()) return reply.status();
   return ExpectEmpty(*reply);
 }
 
 Status ProvenanceClient::Ping() {
-  auto reply = Call(MsgType::kPing, {});
+  PayloadWriter req;
+  req.U64(trace_id_);
+  auto reply = Call(MsgType::kPing, std::move(req).Finish());
   if (!reply.ok()) return reply.status();
   return ExpectEmpty(*reply);
 }
 
 Status ProvenanceClient::Shutdown() {
-  auto reply = Call(MsgType::kShutdown, {});
+  PayloadWriter req;
+  req.U64(trace_id_);
+  auto reply = Call(MsgType::kShutdown, std::move(req).Finish());
   if (!reply.ok()) return reply.status();
   return ExpectEmpty(*reply);
 }
 
 Result<SnapshotFetchResult> ProvenanceClient::SnapshotFetch() {
-  SKL_ASSIGN_OR_RETURN(std::vector<uint8_t> reply,
-                       Call(MsgType::kSnapshotFetch, {}));
+  PayloadWriter req;
+  req.U64(trace_id_);
+  SKL_ASSIGN_OR_RETURN(
+      std::vector<uint8_t> reply,
+      Call(MsgType::kSnapshotFetch, std::move(req).Finish()));
   PayloadReader reader(reply);
   SnapshotFetchResult result;
   SKL_ASSIGN_OR_RETURN(result.lsn, reader.U64());
@@ -571,6 +602,7 @@ Result<LogBatch> ProvenanceClient::Subscribe(uint64_t after_lsn,
   PayloadWriter req;
   req.U64(after_lsn);
   req.U64(max_entries);
+  req.U64(trace_id_);
   SKL_ASSIGN_OR_RETURN(uint64_t id,
                        Send(MsgType::kSubscribe, std::move(req).Finish()));
   SKL_ASSIGN_OR_RETURN(std::vector<uint8_t> reply,
@@ -598,6 +630,46 @@ Result<LogBatch> ProvenanceClient::Subscribe(uint64_t after_lsn,
   SKL_ASSIGN_OR_RETURN(batch.primary_last_lsn, reader.U64());
   SKL_RETURN_NOT_OK(reader.ExpectEnd());
   return batch;
+}
+
+Result<std::string> ProvenanceClient::GetMetrics() {
+  PayloadWriter req;
+  req.U64(trace_id_);
+  SKL_ASSIGN_OR_RETURN(
+      std::vector<uint8_t> reply,
+      CallRead(MsgType::kMetrics, std::move(req).Finish()));
+  PayloadReader reader(reply);
+  SKL_ASSIGN_OR_RETURN(std::string text, reader.Str());
+  SKL_RETURN_NOT_OK(reader.ExpectEnd());
+  return text;
+}
+
+Result<std::vector<SlowQueryEntry>> ProvenanceClient::SlowQueries() {
+  PayloadWriter req;
+  req.U64(trace_id_);
+  SKL_ASSIGN_OR_RETURN(
+      std::vector<uint8_t> reply,
+      CallRead(MsgType::kSlowQueries, std::move(req).Finish()));
+  PayloadReader reader(reply);
+  SKL_ASSIGN_OR_RETURN(uint64_t count, reader.U64());
+  std::vector<SlowQueryEntry> entries;
+  entries.reserve(count);
+  for (uint64_t i = 0; i < count; ++i) {
+    SlowQueryEntry e;
+    SKL_ASSIGN_OR_RETURN(e.trace_id, reader.U64());
+    SKL_ASSIGN_OR_RETURN(uint64_t opcode, reader.U64());
+    if (opcode > UINT8_MAX) {
+      return Status::ParseError("slow-query entry opcode does not fit 8 bits");
+    }
+    e.opcode = static_cast<uint8_t>(opcode);
+    SKL_ASSIGN_OR_RETURN(e.run_id, reader.U64());
+    SKL_ASSIGN_OR_RETURN(e.shard, reader.U64());
+    SKL_ASSIGN_OR_RETURN(e.queue_us, reader.U64());
+    SKL_ASSIGN_OR_RETURN(e.exec_us, reader.U64());
+    entries.push_back(e);
+  }
+  SKL_RETURN_NOT_OK(reader.ExpectEnd());
+  return entries;
 }
 
 Result<std::vector<bool>> ProvenanceClient::PipelinedBools(
@@ -629,6 +701,7 @@ Result<std::vector<bool>> ProvenanceClient::PipelinedBools(
       req.U64(pairs[off + i].first);
       req.U64(pairs[off + i].second);
       req.U64(read_lsn_);
+      req.U64(trace_id_);
       frame.payload = std::move(req).Finish();
       EncodeFrame(frame, &wire);
     }

@@ -26,7 +26,10 @@
 // are fine — tests and bench_net do exactly that.
 //
 // Replication awareness (docs/REPLICATION.md): the client speaks protocol
-// v3. Every read request carries the client's read-LSN token (0 = any
+// v5. Every request additionally carries the client's trace id as its
+// trailing varint (set_trace_id; 0 = untraced) — the token the server's
+// slow-query log and error replies echo back (docs/OBSERVABILITY.md).
+// Every read request carries the client's read-LSN token (0 = any
 // state is fine); a replica that has not yet applied that LSN answers
 // kRetryAt, surfaced as StatusCode::kRetryAt without poisoning the
 // connection. Every mutating response carries the primary's ack LSN,
@@ -147,6 +150,22 @@ class ProvenanceClient {
   /// server begins shutting down.
   Status Shutdown();
 
+  // ---------------------------------------------------- observability --
+
+  /// The trace id stamped on every request this client sends (v5 framing:
+  /// the trailing varint of each request payload). 0 — the default — means
+  /// "untraced"; the server still accepts it, it just logs as trace 0.
+  /// Pick a random or request-scoped value and grep it out of the server's
+  /// slow-query log (docs/OBSERVABILITY.md).
+  void set_trace_id(uint64_t trace_id) { trace_id_ = trace_id; }
+  uint64_t trace_id() const { return trace_id_; }
+
+  /// The server's metrics in Prometheus text exposition format (kMetrics).
+  Result<std::string> GetMetrics();
+
+  /// The server's slow-query ring buffer, oldest first (kSlowQueries).
+  Result<std::vector<SlowQueryEntry>> SlowQueries();
+
   // ------------------------------------------------------ replication --
 
   /// Raises the read-LSN token attached to every subsequent read (monotone
@@ -224,6 +243,7 @@ class ProvenanceClient {
   uint16_t port_ = 0;
   uint64_t read_lsn_ = 0;        ///< token sent with every read
   uint64_t last_write_lsn_ = 0;  ///< primary ack LSN of the last mutation
+  uint64_t trace_id_ = 0;        ///< v5 trace token sent with every request
 };
 
 }  // namespace skl

@@ -28,6 +28,8 @@ const char* MsgTypeName(MsgType type) {
     case MsgType::kShutdown: return "Shutdown";
     case MsgType::kSnapshotFetch: return "SnapshotFetch";
     case MsgType::kSubscribe: return "Subscribe";
+    case MsgType::kMetrics: return "Metrics";
+    case MsgType::kSlowQueries: return "SlowQueries";
     case MsgType::kReply: return "Reply";
     case MsgType::kError: return "Error";
     case MsgType::kLogEntries: return "LogEntries";
@@ -38,7 +40,7 @@ const char* MsgTypeName(MsgType type) {
 
 bool IsRequestType(uint8_t type) {
   return type >= static_cast<uint8_t>(MsgType::kPing) &&
-         type <= static_cast<uint8_t>(MsgType::kSubscribe);
+         type <= static_cast<uint8_t>(MsgType::kSlowQueries);
 }
 
 void EncodeFrame(const Frame& frame, std::vector<uint8_t>* out) {
@@ -185,7 +187,21 @@ std::vector<uint8_t> EncodeErrorPayload(const Status& status) {
   return std::move(writer).Finish();
 }
 
-Status DecodeErrorPayload(std::span<const uint8_t> payload) {
+std::vector<uint8_t> EncodeErrorPayload(const Status& status,
+                                        uint64_t trace_id) {
+  PayloadWriter writer;
+  writer.U64(static_cast<uint64_t>(status.code()));
+  writer.Str(status.message());
+  writer.U64(trace_id);
+  return std::move(writer).Finish();
+}
+
+namespace {
+
+/// Shared body of the two DecodeErrorPayload forms: `trace_id` non-null
+/// means the v5 shape (trailing trace-id varint) is expected.
+Status DecodeErrorPayloadImpl(std::span<const uint8_t> payload,
+                              uint64_t* trace_id) {
   PayloadReader reader(payload);
   Result<uint64_t> code_result = reader.U64();
   if (!code_result.ok()) {
@@ -199,6 +215,14 @@ Status DecodeErrorPayload(std::span<const uint8_t> payload) {
                               message_result.status().message());
   }
   std::string message = std::move(message_result).value();
+  if (trace_id != nullptr) {
+    Result<uint64_t> trace_result = reader.U64();
+    if (!trace_result.ok()) {
+      return Status::ParseError("malformed error payload: " +
+                                trace_result.status().message());
+    }
+    *trace_id = *trace_result;
+  }
   Status end = reader.ExpectEnd();
   if (!end.ok()) {
     return Status::ParseError("malformed error payload: " + end.message());
@@ -212,6 +236,18 @@ Status DecodeErrorPayload(std::span<const uint8_t> payload) {
                       ": " + message);
   }
   return Status(static_cast<StatusCode>(code), std::move(message));
+}
+
+}  // namespace
+
+Status DecodeErrorPayload(std::span<const uint8_t> payload) {
+  return DecodeErrorPayloadImpl(payload, nullptr);
+}
+
+Status DecodeErrorPayload(std::span<const uint8_t> payload,
+                          uint64_t* trace_id) {
+  *trace_id = 0;
+  return DecodeErrorPayloadImpl(payload, trace_id);
 }
 
 }  // namespace skl

@@ -55,11 +55,17 @@ namespace skl {
 /// reactor counters (connections open/accepted/timed-out/backpressured,
 /// epoll wakeups, accept backoffs). Unlike the service counters, these
 /// describe the server process and do NOT reset on kLoadSnapshot.
-inline constexpr uint8_t kProtocolVersion = 4;
+/// Version 5 (observability, docs/OBSERVABILITY.md): every request payload
+/// carries a trailing client-generated 64-bit trace-id varint (after the
+/// v3 read token on reads), echoed as a trailing varint in kError replies
+/// to in-range v5 requests and recorded in the server's slow-query log;
+/// the kMetrics / kSlowQueries opcodes expose Prometheus text metrics and
+/// the slow-query ring buffer.
+inline constexpr uint8_t kProtocolVersion = 5;
 
 /// Oldest request version the server still dispatches. Version-2 requests
 /// are answered in version-2 reply shapes, so pre-replication clients keep
-/// working against a version-4 server.
+/// working against a version-5 server.
 inline constexpr uint8_t kMinSupportedProtocolVersion = 2;
 
 /// First two frame bytes, "SN". A stream that does not start with them is
@@ -96,6 +102,8 @@ enum class MsgType : uint8_t {
   kShutdown = 17,      ///< graceful drain-and-shutdown of the whole server
   kSnapshotFetch = 18, ///< v3: reply carries {lsn, snapshot bytes}
   kSubscribe = 19,     ///< v3: {after_lsn, max}; answered by kLogEntries
+  kMetrics = 20,       ///< v5: reply carries Prometheus text exposition
+  kSlowQueries = 21,   ///< v5: reply carries the slow-query ring buffer
 
   kReply = 64,
   kError = 65,
@@ -106,7 +114,7 @@ enum class MsgType : uint8_t {
 /// Opcode name for logs and error messages ("Reaches", "Error", ...).
 const char* MsgTypeName(MsgType type);
 
-/// True for the request opcodes a server dispatches (kPing..kSubscribe).
+/// True for the request opcodes a server dispatches (kPing..kSlowQueries).
 bool IsRequestType(uint8_t type);
 
 /// One decoded message. `payload` is the type-specific body remainder.
@@ -195,14 +203,45 @@ class PayloadReader {
   size_t size_bytes_;
 };
 
-/// Encodes a non-OK status as a kError payload (code + message).
+/// Encodes a non-OK status as a kError payload (code + message) — the
+/// legacy (v2-v4) shape, also used when the failing frame's version is
+/// unknown or untrusted (out-of-range version, decoder poison).
 std::vector<uint8_t> EncodeErrorPayload(const Status& status);
+
+/// v5 kError payload: code + message + trailing trace-id varint, echoing
+/// the trace id the failing request carried (0 when it carried none, e.g.
+/// when the payload was too malformed to reach the trace field).
+std::vector<uint8_t> EncodeErrorPayload(const Status& status,
+                                        uint64_t trace_id);
 
 /// Decodes a kError payload back into the Status it carried; a malformed
 /// payload decodes to a ParseError describing the corruption instead. An
 /// unknown code (from a future peer) maps to kInternal with the message
 /// preserved. Always non-OK.
 Status DecodeErrorPayload(std::span<const uint8_t> payload);
+
+/// v5 form: additionally reads the trailing trace-id varint into
+/// `*trace_id` (left 0 when the payload is malformed). Use when the error
+/// frame's version is >= 5.
+Status DecodeErrorPayload(std::span<const uint8_t> payload,
+                          uint64_t* trace_id);
+
+/// One slow-query log record (docs/OBSERVABILITY.md): a request whose
+/// queue-wait + execute time exceeded the server's slow-query threshold.
+/// Lives here because it is also the kSlowQueries reply wire shape: the
+/// payload is a count varint followed by the six fields of each entry as
+/// varints, in declaration order.
+/// `run_id` is the run the request named (0 for run-less opcodes or when
+/// the payload was too malformed to carry one); `trace_id` is the client's
+/// v5 trace token (0 for v2-v4 requests, which carry none).
+struct SlowQueryEntry {
+  uint64_t trace_id = 0;
+  uint8_t opcode = 0;  ///< raw MsgType value (MsgTypeName prints it)
+  uint64_t run_id = 0;
+  uint64_t shard = 0;     ///< registry shard owning run_id (0 when run-less)
+  uint64_t queue_us = 0;  ///< decoded-to-dequeued wait in the frame queue
+  uint64_t exec_us = 0;   ///< dispatch + reply encode
+};
 
 }  // namespace skl
 

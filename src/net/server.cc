@@ -58,6 +58,37 @@ int64_t MsUntil(Clock::time_point t) {
   return ms < 0 ? 0 : ms + 1;  // round up: never wake before the deadline
 }
 
+uint64_t UsBetween(Clock::time_point from, Clock::time_point to) {
+  const int64_t us =
+      std::chrono::duration_cast<std::chrono::microseconds>(to - from)
+          .count();
+  return us < 0 ? 0 : static_cast<uint64_t>(us);
+}
+
+/// Best-effort run id for the slow-query log: the opcodes that name a run
+/// carry it as the first payload varint. 0 for run-less opcodes or when
+/// the payload is too malformed to read one (the dispatch error already
+/// describes that).
+uint64_t PeekRunId(const Frame& frame) {
+  switch (frame.type) {
+    case MsgType::kReaches:
+    case MsgType::kReachesBatch:
+    case MsgType::kDependsOn:
+    case MsgType::kDependsOnBatch:
+    case MsgType::kModuleDependsOnData:
+    case MsgType::kDataDependsOnModule:
+    case MsgType::kExportRun:
+    case MsgType::kRemoveRun:
+    case MsgType::kRunStats: {
+      PayloadReader reader(frame.payload);
+      Result<uint64_t> run = reader.U64();
+      return run.ok() ? *run : 0;
+    }
+    default:
+      return 0;
+  }
+}
+
 }  // namespace
 
 /// Per-connection state. The owning I/O thread is the only one that reads
@@ -69,6 +100,13 @@ struct ProvenanceServer::Conn {
   Conn(int fd_in, size_t io, size_t max_frame)
       : fd(fd_in), io_index(io), decoder(max_frame) {}
 
+  /// A decoded request stamped with its decode time, so dispatch can split
+  /// total latency into queue-wait (decoded -> dequeued) and execute.
+  struct PendingFrame {
+    Frame frame;
+    Clock::time_point enqueued;
+  };
+
   const int fd;
   const size_t io_index;  ///< owning reactor thread
 
@@ -77,7 +115,7 @@ struct ProvenanceServer::Conn {
   bool in_epoll = false;
 
   std::mutex mu;  // guards everything below
-  std::deque<Frame> pending;       ///< decoded, not yet dispatched (FIFO)
+  std::deque<PendingFrame> pending;  ///< decoded, not yet dispatched (FIFO)
   std::optional<Status> terminal;  ///< decoder poison: error-then-close
   bool terminal_encoded = false;
   bool task_active = false;  ///< at most one pool task per connection
@@ -140,6 +178,7 @@ Result<std::unique_ptr<ProvenanceServer>> ProvenanceServer::Start(
   }
   std::unique_ptr<ProvenanceServer> server(
       new ProvenanceServer(std::move(service), std::move(options)));
+  server->RegisterMetrics();  // before any frame can record
   SKL_RETURN_NOT_OK(server->Listen());
   SKL_RETURN_NOT_OK(server->StartIoThreads());
   return server;
@@ -466,7 +505,7 @@ void ProvenanceServer::ReadFrom(IoThread& io, const std::shared_ptr<Conn>& c) {
       if (!next->has_value()) break;  // incomplete: read more
       progress = true;
       std::lock_guard lock(c->mu);
-      c->pending.push_back(std::move(**next));
+      c->pending.push_back({std::move(**next), Clock::now()});
       if (c->pending.size() >= kMaxPendingFrames) {
         c->read_throttled = true;  // dispatch drains it, then reads resume
         throttled = true;
@@ -518,7 +557,7 @@ void ProvenanceServer::MaybeDispatch(const std::shared_ptr<Conn>& c) {
 
 void ProvenanceServer::DispatchLoop(std::shared_ptr<Conn> c) {
   for (;;) {
-    Frame frame;
+    Conn::PendingFrame pending;
     bool resume_read = false;
     {
       std::lock_guard lock(c->mu);
@@ -547,7 +586,7 @@ void ProvenanceServer::DispatchLoop(std::shared_ptr<Conn> c) {
         c->task_active = false;
         break;
       }
-      frame = std::move(c->pending.front());
+      pending = std::move(c->pending.front());
       c->pending.pop_front();
       if (c->read_throttled && c->pending.size() <= kMaxPendingFrames / 2) {
         c->read_throttled = false;
@@ -555,9 +594,15 @@ void ProvenanceServer::DispatchLoop(std::shared_ptr<Conn> c) {
       }
     }
     if (resume_read) NudgeOwner(c);
+    const Frame& frame = pending.frame;
     std::vector<uint8_t> out;
     bool shutdown_after_reply = false;
-    HandleFrame(frame, &out, &shutdown_after_reply);
+    uint64_t trace_id = 0;
+    const auto exec_start = Clock::now();
+    HandleFrame(frame, &out, &shutdown_after_reply, &trace_id);
+    RecordFrameTiming(frame, trace_id,
+                      UsBetween(pending.enqueued, exec_start),
+                      UsBetween(exec_start, Clock::now()));
     bool flush_now;
     {
       std::lock_guard lock(c->mu);
@@ -736,13 +781,129 @@ ReactorStats ProvenanceServer::reactor_stats() const {
   return s;
 }
 
+void ProvenanceServer::RegisterMetrics() {
+  // Two passes so each histogram family's per-opcode series are registered
+  // contiguously — the exposition emits one # HELP/# TYPE header per
+  // family, and Prometheus requires a family's samples to be adjacent.
+  for (int pass = 0; pass < 2; ++pass) {
+    for (uint8_t op = static_cast<uint8_t>(MsgType::kPing);
+         op <= static_cast<uint8_t>(MsgType::kSlowQueries); ++op) {
+      if (!IsRequestType(op)) continue;
+      const std::string labels =
+          std::string("op=\"") + MsgTypeName(static_cast<MsgType>(op)) + "\"";
+      if (pass == 0) {
+        queue_hist_[op] = metrics_.AddHistogram(
+            "skl_server_queue_wait_us",
+            "Microseconds a decoded request waited before dispatch", labels);
+      } else {
+        exec_hist_[op] = metrics_.AddHistogram(
+            "skl_server_execute_us",
+            "Microseconds spent dispatching a request and encoding its reply",
+            labels);
+      }
+    }
+  }
+  // Replication lag at scrape time: on a primary applied == target (the
+  // op-log head); on a replica the tailer-reported pair, clamped so a
+  // freshly updated applied LSN never reads as ahead of a stale target.
+  auto target = [this] {
+    const uint64_t applied = CurrentAppliedLsn();
+    const uint64_t t = options_.oplog != nullptr
+                           ? options_.oplog->last_lsn()
+                           : target_lsn_.load(std::memory_order_acquire);
+    return std::max(t, applied);
+  };
+  metrics_.AddCallbackGauge("skl_replication_applied_lsn",
+                            "Last op-log LSN applied by this server", "",
+                            [this] { return CurrentAppliedLsn(); });
+  metrics_.AddCallbackGauge(
+      "skl_replication_target_lsn",
+      "Primary's last known op-log LSN (apply-lag denominator)", "", target);
+  metrics_.AddCallbackGauge(
+      "skl_replication_apply_lag",
+      "Ops the primary has logged that this server has not yet applied", "",
+      [this, target] { return target() - CurrentAppliedLsn(); });
+}
+
+const LatencyHistogram* ProvenanceServer::queue_wait_histogram(
+    MsgType type) const {
+  const size_t op = static_cast<uint8_t>(type);
+  return op < kOpcodeSlots ? queue_hist_[op] : nullptr;
+}
+
+const LatencyHistogram* ProvenanceServer::execute_histogram(
+    MsgType type) const {
+  const size_t op = static_cast<uint8_t>(type);
+  return op < kOpcodeSlots ? exec_hist_[op] : nullptr;
+}
+
+std::vector<SlowQueryEntry> ProvenanceServer::slow_queries() const {
+  std::lock_guard lock(slow_mu_);
+  return {slow_queries_.begin(), slow_queries_.end()};
+}
+
+void ProvenanceServer::RecordFrameTiming(const Frame& frame,
+                                         uint64_t trace_id, uint64_t queue_us,
+                                         uint64_t exec_us) {
+  const size_t op = static_cast<uint8_t>(frame.type);
+  if (op >= kOpcodeSlots || queue_hist_[op] == nullptr) return;
+  queue_hist_[op]->Record(queue_us);
+  exec_hist_[op]->Record(exec_us);
+  const uint32_t threshold = options_.slow_query_threshold_us;
+  if (threshold == 0 || queue_us + exec_us <= threshold) return;
+  SlowQueryEntry entry;
+  entry.trace_id = trace_id;
+  entry.opcode = static_cast<uint8_t>(frame.type);
+  entry.run_id = PeekRunId(frame);
+  if (entry.run_id != 0) {
+    // Slow path only: a brief shared service lock to resolve the owning
+    // shard (the registry can be swapped by kLoadSnapshot/ReplaceService).
+    std::shared_lock service_lock(service_mu_);
+    entry.shard = service_.shard_of(RunId::FromValue(entry.run_id));
+  }
+  entry.queue_us = queue_us;
+  entry.exec_us = exec_us;
+  std::lock_guard lock(slow_mu_);
+  if (slow_queries_.size() >= kSlowQueryLogCapacity) {
+    slow_queries_.pop_front();  // ring: newest kSlowQueryLogCapacity win
+  }
+  slow_queries_.push_back(entry);
+}
+
+std::string ProvenanceServer::RenderMetricsLocked() {
+  std::string text = metrics_.RenderPrometheus();
+  text += service_.metrics().RenderPrometheus();
+  if (options_.oplog != nullptr) {
+    text +=
+        "# HELP skl_oplog_append_us Microseconds per op-log append "
+        "(serialize+write+flush, fsync included)\n"
+        "# TYPE skl_oplog_append_us histogram\n";
+    RenderHistogramPrometheus(options_.oplog->append_histogram(),
+                              "skl_oplog_append_us", "", &text);
+    text +=
+        "# HELP skl_oplog_fsync_us Microseconds per op-log fsync\n"
+        "# TYPE skl_oplog_fsync_us histogram\n";
+    RenderHistogramPrometheus(options_.oplog->fsync_histogram(),
+                              "skl_oplog_fsync_us", "", &text);
+  }
+  return text;
+}
+
+std::string ProvenanceServer::RenderMetricsText() {
+  std::shared_lock lock(service_mu_);
+  return RenderMetricsLocked();
+}
+
 void ProvenanceServer::HandleFrame(const Frame& frame,
                                    std::vector<uint8_t>* out,
-                                   bool* shutdown_after_reply) {
+                                   bool* shutdown_after_reply,
+                                   uint64_t* trace_id) {
+  *trace_id = 0;
+  const bool version_in_range = frame.version <= kProtocolVersion &&
+                                frame.version >= kMinSupportedProtocolVersion;
   MsgType reply_type = MsgType::kReply;
   Result<std::vector<uint8_t>> payload = [&]() -> Result<std::vector<uint8_t>> {
-    if (frame.version > kProtocolVersion ||
-        frame.version < kMinSupportedProtocolVersion) {
+    if (!version_in_range) {
       // Name both ends of the supported range so a mismatched peer's log
       // says exactly which side must upgrade (asserted by protocol_test).
       return Status::InvalidArgument(
@@ -760,10 +921,10 @@ void ProvenanceServer::HandleFrame(const Frame& frame,
       // The one request that replaces the service object outright: exclude
       // every other in-flight dispatch for its duration.
       std::unique_lock lock(service_mu_);
-      return Dispatch(frame, shutdown_after_reply, &reply_type);
+      return Dispatch(frame, shutdown_after_reply, &reply_type, trace_id);
     }
     std::shared_lock lock(service_mu_);
-    return Dispatch(frame, shutdown_after_reply, &reply_type);
+    return Dispatch(frame, shutdown_after_reply, &reply_type, trace_id);
   }();
 
   Frame reply;
@@ -778,13 +939,19 @@ void ProvenanceServer::HandleFrame(const Frame& frame,
     Status named(payload.status().code(),
                  std::string(MsgTypeName(frame.type)) + ": " +
                      payload.status().message());
-    reply.payload = EncodeErrorPayload(named);
+    // v5 errors echo the request's trace id (0 when the payload never got
+    // as far as the trace field); an out-of-range version is untrusted and
+    // keeps the legacy code+message shape.
+    reply.payload = version_in_range && frame.version >= 5
+                        ? EncodeErrorPayload(named, *trace_id)
+                        : EncodeErrorPayload(named);
   }
   EncodeFrame(reply, out);
 }
 
 Result<std::vector<uint8_t>> ProvenanceServer::Dispatch(
-    const Frame& frame, bool* shutdown_after_reply, MsgType* reply_type) {
+    const Frame& frame, bool* shutdown_after_reply, MsgType* reply_type,
+    uint64_t* trace_id) {
   PayloadReader reader(frame.payload);
   PayloadWriter out;
   if (options_.read_only &&
@@ -795,19 +962,31 @@ Result<std::vector<uint8_t>> ProvenanceServer::Dispatch(
         "read-only replica; writes must go to the primary");
   }
   const bool v3 = frame.version >= 3;
-  // Version-3 read payloads end with a min-LSN token (read-your-writes,
-  // docs/REPLICATION.md): if this server has not applied that far yet, the
-  // request bounces as kRetryAt carrying the applied LSN instead of
-  // answering from a stale registry. A primary never bounces — appends ack
-  // only after the log holds the op, so its applied LSN covers every token
-  // a client can legitimately hold.
+  const bool v5 = frame.version >= 5;
+  // Version-5 payloads end with a client-generated trace-id varint
+  // (docs/OBSERVABILITY.md) — the last field of every request, after the
+  // v3 read token on reads. Every case ends its payload through here.
+  auto end_request = [&](PayloadReader& r) -> Status {
+    if (v5) {
+      Result<uint64_t> trace = r.U64();
+      if (!trace.ok()) return trace.status();
+      *trace_id = *trace;
+    }
+    return r.ExpectEnd();
+  };
+  // Version-3 read payloads additionally carry a min-LSN token before the
+  // trace id (read-your-writes, docs/REPLICATION.md): if this server has
+  // not applied that far yet, the request bounces as kRetryAt carrying the
+  // applied LSN instead of answering from a stale registry. A primary
+  // never bounces — appends ack only after the log holds the op, so its
+  // applied LSN covers every token a client can legitimately hold.
   bool bounce = false;
   uint64_t bounce_applied = 0;
   auto end_read = [&](PayloadReader& r) -> Status {
-    if (!v3) return r.ExpectEnd();
+    if (!v3) return end_request(r);
     Result<uint64_t> min_lsn = r.U64();
     if (!min_lsn.ok()) return min_lsn.status();
-    SKL_RETURN_NOT_OK(r.ExpectEnd());
+    SKL_RETURN_NOT_OK(end_request(r));
     const uint64_t applied = CurrentAppliedLsn();
     if (*min_lsn > applied) {
       bounce = true;
@@ -817,11 +996,11 @@ Result<std::vector<uint8_t>> ProvenanceServer::Dispatch(
   };
   switch (frame.type) {
     case MsgType::kPing: {
-      SKL_RETURN_NOT_OK(reader.ExpectEnd());
+      SKL_RETURN_NOT_OK(end_request(reader));
       break;
     }
     case MsgType::kShutdown: {
-      SKL_RETURN_NOT_OK(reader.ExpectEnd());
+      SKL_RETURN_NOT_OK(end_request(reader));
       *shutdown_after_reply = true;  // reply first, then drain
       break;
     }
@@ -909,7 +1088,7 @@ Result<std::vector<uint8_t>> ProvenanceServer::Dispatch(
     }
     case MsgType::kAddRun: {
       SKL_ASSIGN_OR_RETURN(std::string xml, reader.Str());
-      SKL_RETURN_NOT_OK(reader.ExpectEnd());
+      SKL_RETURN_NOT_OK(end_request(reader));
       SKL_ASSIGN_OR_RETURN(::skl::Run run, ReadRunXml(xml));
       SKL_ASSIGN_OR_RETURN(RunId id, service_.AddRun(run));
       out.U64(id.value());
@@ -920,7 +1099,7 @@ Result<std::vector<uint8_t>> ProvenanceServer::Dispatch(
     }
     case MsgType::kImportRun: {
       SKL_ASSIGN_OR_RETURN(std::span<const uint8_t> blob, reader.Bytes());
-      SKL_RETURN_NOT_OK(reader.ExpectEnd());
+      SKL_RETURN_NOT_OK(end_request(reader));
       SKL_ASSIGN_OR_RETURN(
           RunId id,
           service_.ImportRun(std::vector<uint8_t>(blob.begin(), blob.end())));
@@ -939,7 +1118,7 @@ Result<std::vector<uint8_t>> ProvenanceServer::Dispatch(
     }
     case MsgType::kRemoveRun: {
       SKL_ASSIGN_OR_RETURN(uint64_t run, reader.U64());
-      SKL_RETURN_NOT_OK(reader.ExpectEnd());
+      SKL_RETURN_NOT_OK(end_request(reader));
       SKL_RETURN_NOT_OK(service_.RemoveRun(RunId::FromValue(run)));
       if (v3) out.U64(service_.replication_lsn());
       break;
@@ -968,7 +1147,7 @@ Result<std::vector<uint8_t>> ProvenanceServer::Dispatch(
       break;
     }
     case MsgType::kServiceStats: {
-      SKL_RETURN_NOT_OK(reader.ExpectEnd());
+      SKL_RETURN_NOT_OK(end_request(reader));
       const ServiceStats stats = service_.service_stats();
       out.U64(stats.num_runs);
       out.U64(stats.reaches_queries);
@@ -1010,7 +1189,7 @@ Result<std::vector<uint8_t>> ProvenanceServer::Dispatch(
       break;
     }
     case MsgType::kSnapshotFetch: {
-      SKL_RETURN_NOT_OK(reader.ExpectEnd());
+      SKL_RETURN_NOT_OK(end_request(reader));
       if (options_.oplog == nullptr) {
         return Status::InvalidArgument(
             "server has no replication log attached; start it with an "
@@ -1030,7 +1209,7 @@ Result<std::vector<uint8_t>> ProvenanceServer::Dispatch(
     case MsgType::kSubscribe: {
       SKL_ASSIGN_OR_RETURN(uint64_t after_lsn, reader.U64());
       SKL_ASSIGN_OR_RETURN(uint64_t max_ops, reader.U64());
-      SKL_RETURN_NOT_OK(reader.ExpectEnd());
+      SKL_RETURN_NOT_OK(end_request(reader));
       if (options_.oplog == nullptr) {
         return Status::InvalidArgument(
             "server has no replication log attached; start it with an "
@@ -1050,7 +1229,7 @@ Result<std::vector<uint8_t>> ProvenanceServer::Dispatch(
     }
     case MsgType::kSaveSnapshot: {
       SKL_ASSIGN_OR_RETURN(std::string path, reader.Str());
-      SKL_RETURN_NOT_OK(reader.ExpectEnd());
+      SKL_RETURN_NOT_OK(end_request(reader));
       SKL_RETURN_NOT_OK(service_.SaveSnapshot(path));
       break;
     }
@@ -1063,7 +1242,7 @@ Result<std::vector<uint8_t>> ProvenanceServer::Dispatch(
       // docs/NETWORK.md). Runtime knobs (threads, shards, cache size) are
       // not part of the snapshot and carry over from the old service.
       SKL_ASSIGN_OR_RETURN(std::string path, reader.Str());
-      SKL_RETURN_NOT_OK(reader.ExpectEnd());
+      SKL_RETURN_NOT_OK(end_request(reader));
       SKL_ASSIGN_OR_RETURN(
           ProvenanceService loaded,
           ProvenanceService::LoadSnapshot(
@@ -1087,6 +1266,27 @@ Result<std::vector<uint8_t>> ProvenanceServer::Dispatch(
               appended.status().message() +
               "); the service is ahead of its replication log");
         }
+      }
+      break;
+    }
+    case MsgType::kMetrics: {
+      SKL_RETURN_NOT_OK(end_request(reader));
+      // service_mu_ is already held (shared) by HandleFrame, so render
+      // through the lock-free body, not the public re-locking wrapper.
+      out.Str(RenderMetricsLocked());
+      break;
+    }
+    case MsgType::kSlowQueries: {
+      SKL_RETURN_NOT_OK(end_request(reader));
+      const std::vector<SlowQueryEntry> entries = slow_queries();
+      out.U64(entries.size());
+      for (const SlowQueryEntry& e : entries) {
+        out.U64(e.trace_id);
+        out.U64(e.opcode);
+        out.U64(e.run_id);
+        out.U64(e.shard);
+        out.U64(e.queue_us);
+        out.U64(e.exec_us);
       }
       break;
     }

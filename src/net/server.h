@@ -50,10 +50,12 @@
 #ifndef SKL_NET_SERVER_H_
 #define SKL_NET_SERVER_H_
 
+#include <array>
 #include <atomic>
 #include <chrono>
 #include <condition_variable>
 #include <cstdint>
+#include <deque>
 #include <functional>
 #include <memory>
 #include <mutex>
@@ -62,6 +64,7 @@
 #include <thread>
 #include <vector>
 
+#include "src/common/metrics.h"
 #include "src/common/status.h"
 #include "src/common/thread_pool.h"
 #include "src/core/provenance_service.h"
@@ -119,6 +122,10 @@ struct ProvenanceServerOptions {
   /// read-only and the new service's runs view the mapping in place. Same
   /// fallback contract as the library call (SKL_NO_MMAP, mapping failure).
   bool mmap_snapshots = false;
+  /// Requests whose queue-wait + execute time exceeds this land in the
+  /// slow-query ring buffer (docs/OBSERVABILITY.md), dumpable via the
+  /// kSlowQueries opcode / `sklctl slow-queries`. 0 disables the log.
+  uint32_t slow_query_threshold_us = 0;
 };
 
 /// Point-in-time reactor counters (also appended to the kServiceStats reply
@@ -131,6 +138,9 @@ struct ReactorStats {
   uint64_t epoll_wakeups = 0;              ///< epoll_wait returns, all threads
   uint64_t accept_backoffs = 0;            ///< fd-exhaustion accept retries
 };
+
+// SlowQueryEntry — the record Options::slow_query_threshold_us populates —
+// lives in protocol.h: it doubles as the kSlowQueries reply wire shape.
 
 /// A TCP server owning one ProvenanceService. Non-movable (threads hold
 /// `this`), so Start returns it behind a unique_ptr.
@@ -173,6 +183,29 @@ class ProvenanceServer {
 
   /// Snapshot of the reactor counters (tests and kServiceStats use this).
   ReactorStats reactor_stats() const;
+
+  /// The server-side metrics registry: per-opcode queue-wait / execute
+  /// histograms and the replication-lag gauges. Registered once at Start;
+  /// recording is lock-free (docs/OBSERVABILITY.md).
+  const MetricsRegistry& metrics() const { return metrics_; }
+
+  /// Per-opcode dispatch histograms, microseconds. Null for non-request
+  /// opcodes. Tests assert histogram counts against ServiceStats counters.
+  const LatencyHistogram* queue_wait_histogram(MsgType type) const;
+  const LatencyHistogram* execute_histogram(MsgType type) const;
+
+  /// Snapshot of the slow-query ring buffer, oldest first (the kSlowQueries
+  /// reply and `sklctl slow-queries` render this).
+  std::vector<SlowQueryEntry> slow_queries() const;
+
+  /// Everything this process exposes, one Prometheus text document: the
+  /// server registry, the served service's registry, and (when an op-log is
+  /// attached) its append/fsync histograms. The kMetrics reply body.
+  std::string RenderMetricsText();
+
+  /// Ring-buffer capacity of the slow-query log: one cache-resident page of
+  /// recent offenders, not a durable audit trail.
+  static constexpr size_t kSlowQueryLogCapacity = 128;
 
   /// Replica bookkeeping (docs/REPLICATION.md): the LSN the replica has
   /// applied (what min-LSN read tokens are checked against) and the
@@ -245,9 +278,11 @@ class ProvenanceServer {
   void NudgeOwner(const std::shared_ptr<Conn>& conn);
 
   /// Dispatches one decoded request frame, appending the encoded response
-  /// frame to *out; sets *shutdown_after_reply for kShutdown.
+  /// frame to *out; sets *shutdown_after_reply for kShutdown and
+  /// *trace_id to the request's v5 trace token (0 when it carried none or
+  /// the payload failed before the trace field).
   void HandleFrame(const Frame& frame, std::vector<uint8_t>* out,
-                   bool* shutdown_after_reply);
+                   bool* shutdown_after_reply, uint64_t* trace_id);
 
   /// Request-type switch: decodes the payload, calls the service, encodes
   /// the reply payload. Caller holds service_mu_ (unique for LoadSnapshot,
@@ -255,10 +290,25 @@ class ProvenanceServer {
   /// kReply unless the case overrides *reply_type (kLogEntries for
   /// kSubscribe, kRetryAt for a read whose min-LSN token is ahead of the
   /// applied LSN). Version-2 requests get version-2 reply shapes — no LSN
-  /// fields; version-4 kServiceStats replies carry the reactor counters.
+  /// fields; version-4 kServiceStats replies carry the reactor counters;
+  /// version-5 payloads end with a trace-id varint written to *trace_id.
   Result<std::vector<uint8_t>> Dispatch(const Frame& frame,
                                         bool* shutdown_after_reply,
-                                        MsgType* reply_type);
+                                        MsgType* reply_type,
+                                        uint64_t* trace_id);
+
+  /// Registers the per-opcode histograms and replication gauges (Start
+  /// path, before any frame can arrive).
+  void RegisterMetrics();
+
+  /// Records one dispatched frame's timing into the per-opcode histograms
+  /// and, past the slow-query threshold, into the ring buffer.
+  void RecordFrameTiming(const Frame& frame, uint64_t trace_id,
+                         uint64_t queue_us, uint64_t exec_us);
+
+  /// RenderMetricsText body; caller holds service_mu_ (the kMetrics
+  /// dispatch case already does and must not re-lock).
+  std::string RenderMetricsLocked();
 
   /// The LSN reads are served at: the op-log head on a primary (appends
   /// ack only after the log has the op, so it is never behind a handed-out
@@ -303,6 +353,17 @@ class ProvenanceServer {
   // SetReplicationLsns and read by every dispatch; unused on a primary.
   std::atomic<uint64_t> applied_lsn_{0};
   std::atomic<uint64_t> target_lsn_{0};
+
+  // Observability (docs/OBSERVABILITY.md). The histogram pointer tables
+  // are indexed by raw opcode value and filled by RegisterMetrics before
+  // the reactor starts; entries stay null for non-request opcodes.
+  MetricsRegistry metrics_;
+  static constexpr size_t kOpcodeSlots = 64;
+  std::array<LatencyHistogram*, kOpcodeSlots> queue_hist_{};
+  std::array<LatencyHistogram*, kOpcodeSlots> exec_hist_{};
+
+  mutable std::mutex slow_mu_;
+  std::deque<SlowQueryEntry> slow_queries_;  ///< ring, oldest at front
 
   // Declared last so it is destroyed first: the pool drains dispatch tasks
   // (which touch every member above) before anything else goes away.

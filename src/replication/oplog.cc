@@ -1,6 +1,7 @@
 #include "src/replication/oplog.h"
 
 #include <algorithm>
+#include <chrono>
 #include <filesystem>
 #include <fstream>
 
@@ -430,6 +431,7 @@ Result<std::unique_ptr<OpLog>> OpLog::Open(const std::string& path,
 }
 
 Result<uint64_t> OpLog::Append(LogOp op) {
+  const auto append_start = std::chrono::steady_clock::now();
   std::lock_guard<std::mutex> lock(mu_);
   if (!poisoned_.ok()) return poisoned_;
   const uint64_t lsn = last_lsn_.load(std::memory_order_relaxed) + 1;
@@ -449,7 +451,12 @@ Result<uint64_t> OpLog::Append(LogOp op) {
     return poisoned_;
   }
   if (options_.fsync) {
+    const auto fsync_start = std::chrono::steady_clock::now();
     Status synced = SyncOpenFile(file_, path_);
+    fsync_hist_.Record(static_cast<uint64_t>(
+        std::chrono::duration_cast<std::chrono::microseconds>(
+            std::chrono::steady_clock::now() - fsync_start)
+            .count()));
     if (!synced.ok()) {
       poisoned_ = Status::Internal(
           "op-log append of LSN " + std::to_string(lsn) +
@@ -460,6 +467,10 @@ Result<uint64_t> OpLog::Append(LogOp op) {
   }
   ops_.push_back(std::move(op));
   last_lsn_.store(lsn, std::memory_order_release);
+  append_hist_.Record(static_cast<uint64_t>(
+      std::chrono::duration_cast<std::chrono::microseconds>(
+          std::chrono::steady_clock::now() - append_start)
+          .count()));
   return lsn;
 }
 

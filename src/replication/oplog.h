@@ -45,6 +45,7 @@
 #include <string>
 #include <vector>
 
+#include "src/common/metrics.h"
 #include "src/common/status.h"
 #include "src/core/run_registry.h"
 
@@ -161,6 +162,13 @@ class OpLog {
   const std::string& spec_xml() const { return spec_xml_; }
   const std::string& scheme_name() const { return scheme_name_; }
 
+  /// Append latency distributions, microseconds (docs/OBSERVABILITY.md):
+  /// the whole Append (serialize + write + flush + fsync) and the fsync
+  /// portion alone (0-filled when Options::fsync is off). The net server
+  /// renders both into its kMetrics exposition.
+  const LatencyHistogram& append_histogram() const { return append_hist_; }
+  const LatencyHistogram& fsync_histogram() const { return fsync_hist_; }
+
  private:
   OpLog(std::string path, std::string spec_xml, std::string scheme_name,
         Options options);
@@ -175,6 +183,8 @@ class OpLog {
   std::vector<LogOp> ops_;        // every entry, index = LSN - 1; by mu_
   Status poisoned_;               // non-OK once an append failed; by mu_
   std::atomic<uint64_t> last_lsn_{0};
+  LatencyHistogram append_hist_;  // internally atomic, not under mu_
+  LatencyHistogram fsync_hist_;
 };
 
 }  // namespace skl

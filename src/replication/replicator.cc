@@ -90,6 +90,7 @@ Result<std::unique_ptr<ReadReplica>> ReadReplica::Start(
   SKL_ASSIGN_OR_RETURN(
       ProvenanceClient client,
       ProvenanceClient::Connect(primary_host, primary_port, options.client));
+  client.set_trace_id(options.trace_id);
   SKL_ASSIGN_OR_RETURN(SnapshotFetchResult snap, client.SnapshotFetch());
   SKL_ASSIGN_OR_RETURN(ProvenanceService service,
                        ProvenanceService::LoadSnapshotBytes(
@@ -186,7 +187,10 @@ void ReadReplica::TailLoop() {
       if (stop_.load(std::memory_order_acquire)) return;
       Result<ProvenanceClient> fresh = ProvenanceClient::Connect(
           primary_host_, primary_port_, options_.client);
-      if (fresh.ok()) client_.emplace(std::move(*fresh));
+      if (fresh.ok()) {
+        fresh->set_trace_id(options_.trace_id);
+        client_.emplace(std::move(*fresh));
+      }
       continue;
     }
     failures = 0;

@@ -84,6 +84,11 @@ struct ReadReplicaOptions {
   /// Connection options for the tailer's client (backoff knobs govern the
   /// reconnect cadence after the primary drops).
   ProvenanceClient::Options client;
+  /// Trace id stamped on every frame the replica sends the primary
+  /// (bootstrap kSnapshotFetch and kSubscribe tails), so replica traffic
+  /// is attributable in the primary's slow-query log and metrics
+  /// (docs/OBSERVABILITY.md). 0 = untraced.
+  uint64_t trace_id = 0;
 };
 
 /// A read-only replica of one primary. Non-movable (the tailer thread

@@ -1,0 +1,198 @@
+// The observability core in isolation (src/common/metrics.h): the
+// log-bucketed histogram's bucket layout and quantile error bound, its
+// lock-free concurrent recording, merge/reset semantics, and the
+// registry's Prometheus text rendering — family grouping, label splicing,
+// callback gauges, and the cumulative le ladder.
+#include "src/common/metrics.h"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cmath>
+#include <cstdint>
+#include <random>
+#include <string>
+#include <thread>
+#include <vector>
+
+namespace skl {
+namespace {
+
+// ------------------------------------------------------------ bucket layout --
+
+TEST(LatencyHistogramTest, BucketBoundsPartitionTheValueRange) {
+  // Buckets tile [0, 2^64) without gaps or overlaps: every bucket's lower
+  // bound maps back to that bucket, and the value just below the next
+  // bucket's bound still lands in this one.
+  for (size_t i = 0; i + 1 < LatencyHistogram::kNumBuckets; ++i) {
+    const uint64_t lo = LatencyHistogram::BucketLowerBound(i);
+    const uint64_t next = LatencyHistogram::BucketLowerBound(i + 1);
+    ASSERT_LT(lo, next) << "bucket " << i;
+    EXPECT_EQ(LatencyHistogram::BucketIndex(lo), i);
+    EXPECT_EQ(LatencyHistogram::BucketIndex(next - 1), i);
+  }
+  EXPECT_EQ(LatencyHistogram::BucketIndex(0), 0u);
+  EXPECT_EQ(LatencyHistogram::BucketIndex(~0ull),
+            LatencyHistogram::kNumBuckets - 1);
+}
+
+TEST(LatencyHistogramTest, SmallValuesGetExactUnitBuckets) {
+  // Values below kSubBuckets are exact: one value per bucket, so tiny
+  // latencies never smear.
+  for (uint64_t v = 0; v < LatencyHistogram::kSubBuckets; ++v) {
+    EXPECT_EQ(LatencyHistogram::BucketIndex(v), v);
+    EXPECT_EQ(LatencyHistogram::BucketLowerBound(v), v);
+  }
+}
+
+TEST(LatencyHistogramTest, BucketWidthStaysWithinTheRelativeErrorBound) {
+  // The design bound: every bucket's width is at most 1/kSubBuckets
+  // (12.5%) of its lower bound, at every magnitude.
+  for (size_t i = LatencyHistogram::kSubBuckets;
+       i + 1 < LatencyHistogram::kNumBuckets; ++i) {
+    const uint64_t lo = LatencyHistogram::BucketLowerBound(i);
+    const uint64_t width = LatencyHistogram::BucketLowerBound(i + 1) - lo;
+    EXPECT_LE(width * LatencyHistogram::kSubBuckets, lo)
+        << "bucket " << i << " [" << lo << ", " << (lo + width) << ")";
+  }
+}
+
+// --------------------------------------------------------------- recording --
+
+TEST(LatencyHistogramTest, CountSumAndBucketsTrackRecords) {
+  LatencyHistogram hist;
+  EXPECT_EQ(hist.Count(), 0u);
+  EXPECT_EQ(hist.Quantile(0.5), 0.0);
+  hist.Record(3);
+  hist.Record(3);
+  hist.Record(1000);
+  EXPECT_EQ(hist.Count(), 3u);
+  EXPECT_EQ(hist.Sum(), 1006u);
+  EXPECT_EQ(hist.BucketCount(LatencyHistogram::BucketIndex(3)), 2u);
+  EXPECT_EQ(hist.BucketCount(LatencyHistogram::BucketIndex(1000)), 1u);
+}
+
+TEST(LatencyHistogramTest, QuantilesAreExactToTheBucketWidth) {
+  LatencyHistogram hist;
+  std::mt19937_64 rng(17);
+  std::vector<uint64_t> values;
+  for (int i = 0; i < 20000; ++i) {
+    // Log-uniform over ~6 decades, the shape of real latency data.
+    const double exponent = std::uniform_real_distribution<>(0, 20)(rng);
+    values.push_back(static_cast<uint64_t>(std::pow(2.0, exponent)));
+  }
+  for (uint64_t v : values) hist.Record(v);
+  std::sort(values.begin(), values.end());
+  for (double q : {0.5, 0.9, 0.99}) {
+    const double exact = static_cast<double>(
+        values[static_cast<size_t>(q * (values.size() - 1))]);
+    const double approx = hist.Quantile(q);
+    EXPECT_NEAR(approx, exact, exact / LatencyHistogram::kSubBuckets + 1)
+        << "q=" << q;
+  }
+}
+
+TEST(LatencyHistogramTest, ConcurrentRecordsAllLand) {
+  LatencyHistogram hist;
+  constexpr int kThreads = 8;
+  constexpr int kPerThread = 20000;
+  std::vector<std::thread> threads;
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&hist, t] {
+      for (int i = 0; i < kPerThread; ++i) {
+        hist.Record(static_cast<uint64_t>(t) * 1000 + 1);
+      }
+    });
+  }
+  for (std::thread& t : threads) t.join();
+  EXPECT_EQ(hist.Count(), static_cast<uint64_t>(kThreads) * kPerThread);
+  uint64_t bucket_total = 0;
+  for (size_t i = 0; i < LatencyHistogram::kNumBuckets; ++i) {
+    bucket_total += hist.BucketCount(i);
+  }
+  EXPECT_EQ(bucket_total, hist.Count());
+}
+
+TEST(LatencyHistogramTest, MergeAddsAndResetClears) {
+  LatencyHistogram a;
+  LatencyHistogram b;
+  a.Record(5);
+  a.Record(500);
+  b.Record(5);
+  b.MergeFrom(a);
+  EXPECT_EQ(b.Count(), 3u);
+  EXPECT_EQ(b.Sum(), 510u);
+  EXPECT_EQ(b.BucketCount(LatencyHistogram::BucketIndex(5)), 2u);
+  b.Reset();
+  EXPECT_EQ(b.Count(), 0u);
+  EXPECT_EQ(b.Sum(), 0u);
+  EXPECT_EQ(b.BucketCount(LatencyHistogram::BucketIndex(5)), 0u);
+  EXPECT_EQ(a.Count(), 2u);  // the source is untouched
+}
+
+// ---------------------------------------------------------------- registry --
+
+TEST(MetricsRegistryTest, RendersFamiliesWithHelpTypeAndLabels) {
+  MetricsRegistry registry;
+  MetricCounter* hits =
+      registry.AddCounter("skl_test_hits", "Cache hits", "shard=\"0\"");
+  registry.AddCounter("skl_test_hits", "ignored duplicate help",
+                      "shard=\"1\"");
+  MetricGauge* depth = registry.AddGauge("skl_test_depth", "Queue depth");
+  registry.AddCallbackGauge("skl_test_lag", "Apply lag", "",
+                            [] { return uint64_t{7}; });
+  hits->Increment(3);
+  depth->Set(11);
+
+  const std::string text = registry.RenderPrometheus();
+  // One HELP/TYPE header per family, taken from the first registration.
+  EXPECT_NE(text.find("# HELP skl_test_hits Cache hits"), std::string::npos);
+  EXPECT_EQ(text.find("ignored duplicate help"), std::string::npos);
+  EXPECT_NE(text.find("# TYPE skl_test_hits counter"), std::string::npos);
+  EXPECT_NE(text.find("skl_test_hits{shard=\"0\"} 3"), std::string::npos);
+  EXPECT_NE(text.find("skl_test_hits{shard=\"1\"} 0"), std::string::npos);
+  EXPECT_NE(text.find("# TYPE skl_test_depth gauge"), std::string::npos);
+  EXPECT_NE(text.find("skl_test_depth 11"), std::string::npos);
+  // The callback gauge is evaluated at render time.
+  EXPECT_NE(text.find("skl_test_lag 7"), std::string::npos);
+}
+
+TEST(MetricsRegistryTest, RendersHistogramAsCumulativeLeLadder) {
+  MetricsRegistry registry;
+  LatencyHistogram* hist = registry.AddHistogram(
+      "skl_test_us", "Test latencies", "op=\"Ping\"");
+  hist->Record(3);
+  hist->Record(3);
+  hist->Record(1000000000);  // beyond the 2^30 ladder top: only in +Inf
+
+  const std::string text = registry.RenderPrometheus();
+  EXPECT_NE(text.find("# TYPE skl_test_us histogram"), std::string::npos);
+  // Cumulative: the le="4" bucket already holds both small records.
+  EXPECT_NE(text.find("skl_test_us_bucket{op=\"Ping\",le=\"4\"} 2"),
+            std::string::npos)
+      << text;
+  EXPECT_NE(text.find("skl_test_us_bucket{op=\"Ping\",le=\"+Inf\"} 3"),
+            std::string::npos)
+      << text;
+  EXPECT_NE(text.find("skl_test_us_count{op=\"Ping\"} 3"), std::string::npos);
+  EXPECT_NE(text.find("skl_test_us_sum{op=\"Ping\"} 1000000006"),
+            std::string::npos);
+}
+
+TEST(MetricsRegistryTest, PointersStayValidAsTheRegistryGrows) {
+  MetricsRegistry registry;
+  MetricCounter* first = registry.AddCounter("skl_test_first", "first");
+  std::vector<MetricCounter*> counters;
+  for (int i = 0; i < 200; ++i) {
+    counters.push_back(registry.AddCounter(
+        "skl_test_bulk", "bulk", "i=\"" + std::to_string(i) + "\""));
+  }
+  first->Increment();  // must not be dangling after 200 more registrations
+  counters[0]->Increment(5);
+  const std::string text = registry.RenderPrometheus();
+  EXPECT_NE(text.find("skl_test_first 1"), std::string::npos);
+  EXPECT_NE(text.find("skl_test_bulk{i=\"0\"} 5"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace skl

@@ -324,6 +324,15 @@ std::vector<uint8_t> EncodeOne(Frame frame) {
   return bytes;
 }
 
+/// A current-version ping: v5 request payloads end with the trace-id
+/// varint, even when there is nothing else to say.
+Frame PingFrame(uint64_t request_id, uint64_t trace_id = 0) {
+  PayloadWriter payload;
+  payload.U64(trace_id);
+  return Frame{kProtocolVersion, MsgType::kPing, request_id,
+               std::move(payload).Finish()};
+}
+
 TEST(NetServerTest, CorruptionAtEveryByteGetsAnErrorNeverACrash) {
   auto server = StartServer(SpecSchemeKind::kTcm);
   Frame request;
@@ -333,6 +342,8 @@ TEST(NetServerTest, CorruptionAtEveryByteGetsAnErrorNeverACrash) {
   payload.U64(1);
   payload.U64(0);
   payload.U64(1);
+  payload.U64(0);  // v3+ read-LSN token
+  payload.U64(0);  // v5 trace id
   request.payload = std::move(payload).Finish();
   const std::vector<uint8_t> wire = EncodeOne(request);
 
@@ -400,7 +411,7 @@ TEST(NetServerTest, MalformedPayloadKeepsTheConnectionAlive) {
 
   RawConn conn(server->port());
   conn.Send(EncodeOne(malformed));
-  conn.Send(EncodeOne(Frame{kProtocolVersion, MsgType::kPing, 2, {}}));
+  conn.Send(EncodeOne(PingFrame(2)));
   conn.FinishWrites();
   const std::vector<uint8_t> response = conn.ReadUntilEof();
 
@@ -410,7 +421,10 @@ TEST(NetServerTest, MalformedPayloadKeepsTheConnectionAlive) {
   ASSERT_TRUE(first.ok() && first->has_value());
   EXPECT_EQ((*first)->type, MsgType::kError);
   EXPECT_EQ((*first)->request_id, 1u);
-  Status carried = DecodeErrorPayload((*first)->payload);
+  // An in-range v5 request gets the v5 error shape (trailing trace id).
+  uint64_t trace = ~0ull;
+  Status carried = DecodeErrorPayload((*first)->payload, &trace);
+  EXPECT_EQ(trace, 0u);  // the malformed request never got to its trace
   EXPECT_EQ(carried.code(), StatusCode::kParseError);
   EXPECT_NE(carried.message().find("Reaches"), std::string::npos)
       << carried.ToString();
@@ -429,7 +443,7 @@ TEST(NetServerTest, UnknownOpcodeAndWrongVersionGetDescriptiveErrors) {
     RawConn conn(server->port());
     conn.Send(EncodeOne(Frame{kProtocolVersion, static_cast<MsgType>(60), 1,
                               {}}));
-    conn.Send(EncodeOne(Frame{kProtocolVersion, MsgType::kPing, 2, {}}));
+    conn.Send(EncodeOne(PingFrame(2)));
     conn.FinishWrites();
     FrameDecoder decoder;
     decoder.Feed(conn.ReadUntilEof());
@@ -459,7 +473,7 @@ TEST(NetServerTest, UnknownOpcodeAndWrongVersionGetDescriptiveErrors) {
 TEST(NetServerTest, VersionCrossesGetMatchingRepliesOrDescriptiveErrors) {
   auto server = StartServer(SpecSchemeKind::kTcm);
   {
-    // A v2 client against this v3 server: still served, and the reply is
+    // A v2 client against this v5 server: still served, and the reply is
     // stamped v2 so the old client's own version check passes. A v2
     // ListRuns carries no read-LSN token and its reply must not carry LSN
     // fields either — it decodes as exactly {count, count × id}.
@@ -489,6 +503,40 @@ TEST(NetServerTest, VersionCrossesGetMatchingRepliesOrDescriptiveErrors) {
       EXPECT_EQ(*id, want);
     }
     EXPECT_TRUE(reader.ExpectEnd().ok());
+  }
+  {
+    // The trace-less middle versions: a v3 or v4 Reaches carries the read
+    // token but no trace id, and must get a plain boolean answer stamped
+    // with the requester's version — exactly what a pre-observability
+    // client expects.
+    for (uint8_t version : {uint8_t{3}, uint8_t{4}}) {
+      SCOPED_TRACE("version " + std::to_string(version));
+      PayloadWriter payload;
+      payload.U64(1);  // run
+      payload.U64(0);  // v
+      payload.U64(1);  // w
+      payload.U64(0);  // v3 read-LSN token — and nothing after it
+      RawConn conn(server->port());
+      conn.Send(EncodeOne(Frame{version, MsgType::kReaches, 1,
+                                std::move(payload).Finish()}));
+      conn.Send(EncodeOne(Frame{version, MsgType::kPing, 2, {}}));
+      conn.FinishWrites();
+      FrameDecoder decoder;
+      decoder.Feed(conn.ReadUntilEof());
+      auto answer = decoder.Next();
+      ASSERT_TRUE(answer.ok() && answer->has_value());
+      EXPECT_EQ((*answer)->type, MsgType::kReply);
+      EXPECT_EQ((*answer)->version, version);
+      PayloadReader reader((*answer)->payload);
+      auto value = reader.U64();
+      ASSERT_TRUE(value.ok());
+      EXPECT_LE(*value, 1u);  // a bare boolean, no trailing fields
+      EXPECT_TRUE(reader.ExpectEnd().ok());
+      auto ping = decoder.Next();
+      ASSERT_TRUE(ping.ok() && ping->has_value());
+      EXPECT_EQ((*ping)->type, MsgType::kReply);
+      EXPECT_EQ((*ping)->version, version);
+    }
   }
   {
     // A client from the future: the error names both its version and the
@@ -530,6 +578,86 @@ TEST(NetServerTest, VersionCrossesGetMatchingRepliesOrDescriptiveErrors) {
     EXPECT_EQ(carried.code(), StatusCode::kInvalidArgument);
     EXPECT_NE(carried.message().find("version"), std::string::npos);
   }
+  server->Shutdown();
+}
+
+// ---------------------------------------------------------- observability --
+
+TEST(NetServerTest, ErrorRepliesEchoTheClientTraceId) {
+  auto server = StartServer(SpecSchemeKind::kTcm);
+  // A v5 Reaches against a run that does not exist, traced as 77: the
+  // error reply must carry the Status AND echo the trace id, so a client
+  // log line and a server slow-query line join on one token.
+  PayloadWriter payload;
+  payload.U64(999);  // no such run
+  payload.U64(0);
+  payload.U64(0);
+  payload.U64(0);   // read-LSN token
+  payload.U64(77);  // trace id
+  RawConn conn(server->port());
+  conn.Send(EncodeOne(Frame{kProtocolVersion, MsgType::kReaches, 1,
+                            std::move(payload).Finish()}));
+  conn.FinishWrites();
+  FrameDecoder decoder;
+  decoder.Feed(conn.ReadUntilEof());
+  auto first = decoder.Next();
+  ASSERT_TRUE(first.ok() && first->has_value());
+  EXPECT_EQ((*first)->type, MsgType::kError);
+  uint64_t trace = 0;
+  Status carried = DecodeErrorPayload((*first)->payload, &trace);
+  EXPECT_EQ(carried.code(), StatusCode::kNotFound);
+  EXPECT_EQ(trace, 77u);
+  server->Shutdown();
+}
+
+TEST(NetServerTest, SlowQueryLogRecordsTracedRequestsWithTiming) {
+  Specification spec = testing_util::MakeRunningExample().spec;
+  ::skl::Run run = GenerateRun(spec, 40, 11);
+  auto service = ProvenanceService::Create(std::move(spec),
+                                           SpecSchemeKind::kTcm);
+  ASSERT_TRUE(service.ok());
+  ASSERT_TRUE(service->AddRun(run).ok());
+  ProvenanceServer::Options options;
+  options.slow_query_threshold_us = 1;  // everything is "slow"
+  auto server = ProvenanceServer::Start(std::move(service).value(), options);
+  ASSERT_TRUE(server.ok());
+
+  ProvenanceClient client = NewClient(**server);
+  client.set_trace_id(42);
+  ASSERT_TRUE(client.Reaches(RunId::FromValue(1), 0, 1).ok());
+  ASSERT_TRUE(client.Ping().ok());
+
+  auto entries = client.SlowQueries();
+  ASSERT_TRUE(entries.ok()) << entries.status().ToString();
+  bool found = false;
+  for (const SlowQueryEntry& e : *entries) {
+    if (e.opcode != static_cast<uint8_t>(MsgType::kReaches)) continue;
+    found = true;
+    EXPECT_EQ(e.trace_id, 42u);
+    EXPECT_EQ(e.run_id, 1u);
+    EXPECT_GT(e.exec_us + e.queue_us, 0u);
+  }
+  EXPECT_TRUE(found) << entries->size() << " entries, none for kReaches";
+
+  // The scrape agrees: the per-opcode execute histogram observed exactly
+  // the one Reaches request the counter counted.
+  auto text = client.GetMetrics();
+  ASSERT_TRUE(text.ok()) << text.status().ToString();
+  EXPECT_NE(text->find("# TYPE skl_server_execute_us histogram"),
+            std::string::npos);
+  EXPECT_NE(text->find("skl_server_execute_us_count{op=\"Reaches\"} 1"),
+            std::string::npos)
+      << *text;
+  (*server)->Shutdown();
+}
+
+TEST(NetServerTest, SlowQueryLogStaysDisabledWithoutAThreshold) {
+  auto server = StartServer(SpecSchemeKind::kTcm);  // threshold 0 = off
+  ProvenanceClient client = NewClient(*server);
+  ASSERT_TRUE(client.Reaches(RunId::FromValue(1), 0, 1).ok());
+  auto entries = client.SlowQueries();
+  ASSERT_TRUE(entries.ok());
+  EXPECT_TRUE(entries->empty());
   server->Shutdown();
 }
 
@@ -726,8 +854,7 @@ TEST(NetServerTest, IdleConnectionPastTimeoutIsClosedAndCounted) {
 TEST(NetServerTest, SlowButLiveFrameSurvivesTheIdleTimeout) {
   auto server = StartServerWithIdleTimeout(150);
   RawConn conn(server->port());
-  const std::vector<uint8_t> wire =
-      EncodeOne(Frame{kProtocolVersion, MsgType::kPing, 7, {}});
+  const std::vector<uint8_t> wire = EncodeOne(PingFrame(7));
   // Drip the frame one byte every 50 ms: the connection spends far longer
   // than the 150 ms budget half-way through a frame, but each byte is
   // activity — the reaper must never count it as idle.

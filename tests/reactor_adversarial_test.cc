@@ -159,6 +159,9 @@ std::vector<uint8_t> PingFrame(uint64_t request_id) {
   Frame frame;
   frame.type = MsgType::kPing;
   frame.request_id = request_id;
+  PayloadWriter payload;
+  payload.U64(0);  // v5 trace id: untraced
+  frame.payload = std::move(payload).Finish();
   return EncodeOne(std::move(frame));
 }
 
@@ -169,6 +172,7 @@ std::vector<uint8_t> ExportFrame(RunId id, uint64_t request_id) {
   PayloadWriter payload;
   payload.U64(id.value());
   payload.U64(0);  // v3+ read token: any LSN is applied on a primary
+  payload.U64(0);  // v5 trace id: untraced
   frame.payload = std::move(payload).Finish();
   return EncodeOne(std::move(frame));
 }

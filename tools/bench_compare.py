@@ -13,14 +13,23 @@ artifact and fills CURRENT_DIR from this run (docs/BENCHMARKS.md).
 
 Every metric present on both sides is reported in a markdown delta table
 (written to --summary for $GITHUB_STEP_SUMMARY, and always to stdout).
-Only the *gated* keys fail the job: snapshot_load_* and
-query_cache_hit_ns, the snapshot-restore and serving-latency surfaces
-this repo promises not to regress. A gated key regresses when it worsens
-by more than --threshold (default 25%); "worsens" respects the unit's
-direction — time-like units (ms, ns/query) regress upward, rate-like
-units (MB/s, runs/s) regress downward. A gated key that exists in the
-baseline but vanished from the current run also fails (a silently
-dropped metric must not pass the gate it used to guard).
+Only the *gated* keys fail the job: snapshot_load_*,
+query_cache_hit_ns, net_connscale_*_p99_latency and repl_lag_p50/p99 —
+the snapshot-restore, serving-latency, connection-scale tail-latency
+and replication-lag surfaces this repo promises not to regress. A gated
+key regresses when it worsens by more than --threshold (default 25%);
+"worsens" respects the unit's direction — UNIT_DIRECTIONS pins it
+explicitly for every unit a gated key uses, and time-like units
+(ms, ns/query) otherwise regress upward, rate-like units (MB/s, runs/s)
+downward. A gated key that exists in the baseline but vanished from the
+current run also fails (a silently dropped metric must not pass the
+gate it used to guard).
+
+Artifact compatibility: documents written by JsonReporter carry
+bench_schema_version (bench/bench_common.h). A file whose version is
+newer or older than SCHEMA_VERSION exits 2 — mis-reading a stale
+baseline is worse than failing loudly. Files without the field predate
+the versioning and are accepted as version-1 shaped.
 
 Exit codes: 0 ok, 1 regression, 2 usage/IO error — matching the repo's
 CLI misuse convention.
@@ -32,19 +41,44 @@ import json
 import os
 import sys
 
+#: The JsonReporter artifact format this comparator understands
+#: (bench/bench_common.h kSchemaVersion).
+SCHEMA_VERSION = 1
+
 GATED_PREFIXES = ("snapshot_load_",)
-GATED_EXACT = ("query_cache_hit_ns",)
+GATED_EXACT = ("query_cache_hit_ns", "repl_lag_p50", "repl_lag_p99")
+#: (prefix, suffix) pairs: gates the connection-scale p99 keys
+#: (net_connscale_256_p99_latency, ..._1024_..., ...) without gating the
+#: qps/churn keys that share the prefix.
+GATED_AFFIXES = (("net_connscale_", "_p99_latency"),)
+
+#: Explicit direction for every unit a gated key uses (True = higher is
+#: better). The heuristic in higher_is_better covers the informational
+#: rest; gated keys must not depend on a substring guess.
+UNIT_DIRECTIONS = {
+    "ms": False,
+    "us": False,
+    "ns/query": False,
+    "queries/s": True,
+    "runs/s": True,
+    "MB/s": True,
+}
 
 
 def is_gated(key):
     name = key.rsplit("/", 1)[-1]
-    return name.startswith(GATED_PREFIXES) or name in GATED_EXACT
+    if name.startswith(GATED_PREFIXES) or name in GATED_EXACT:
+        return True
+    return any(name.startswith(prefix) and name.endswith(suffix)
+               for prefix, suffix in GATED_AFFIXES)
 
 
 def higher_is_better(unit):
     """Rate-like units improve upward; everything else (ms, ns, MB, x)
     is treated as lower-is-better, which is correct for every gated key
     and harmless for the informational rows."""
+    if unit in UNIT_DIRECTIONS:
+        return UNIT_DIRECTIONS[unit]
     return "/s" in unit or "per_sec" in unit
 
 
@@ -57,6 +91,12 @@ def load_dir(path):
                 doc = json.load(fh)
         except (OSError, json.JSONDecodeError) as err:
             print(f"error: cannot read {file}: {err}", file=sys.stderr)
+            sys.exit(2)
+        version = doc.get("bench_schema_version")
+        if version is not None and version != SCHEMA_VERSION:
+            print(f"error: {file}: bench_schema_version {version} is not "
+                  f"the supported {SCHEMA_VERSION}; refusing to compare "
+                  "incompatible artifacts", file=sys.stderr)
             sys.exit(2)
         bench = doc.get("bench", os.path.basename(file))
         for entry in doc.get("results", []):
@@ -98,7 +138,8 @@ def main():
 
     lines = [
         f"### Bench comparison (gate: ±{args.threshold:.0%} on "
-        "`snapshot_load_*`, `query_cache_hit_ns`)",
+        "`snapshot_load_*`, `query_cache_hit_ns`, "
+        "`net_connscale_*_p99_latency`, `repl_lag_p50/p99`)",
         "",
         "| metric | baseline | current | delta | gate |",
         "|---|---:|---:|---:|---|",
