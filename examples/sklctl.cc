@@ -146,6 +146,15 @@ int Usage() {
       "<server-path.skls>\n"
       "       sklctl metrics --connect=<host:port>\n"
       "       sklctl slow-queries --connect=<host:port>\n"
+      "       sklctl apply-delta --connect=<host:port> "
+      "add-module <name> <from-csv> <to-csv>\n"
+      "       sklctl apply-delta --connect=<host:port> "
+      "remove-module <name>\n"
+      "       sklctl apply-delta --connect=<host:port> "
+      "add-edge <from> <to>\n"
+      "       sklctl apply-delta --connect=<host:port> "
+      "remove-edge <from> <to>\n"
+      "         (module lists are comma-separated; \"-\" means empty)\n"
       "remote subcommands also accept --trace-id=<n> (slow-query log "
       "attribution)\n"
       "scheme names: tcm (default), bfs, dfs, interval, tree-cover, "
@@ -385,8 +394,10 @@ int Serve(Specification spec, SpecSchemeKind scheme_kind,
     auto recovered = RecoverPrimary(oplog_path, options);
     if (!recovered.ok()) return Fail(recovered.status());
     // The log's recorded specification is authoritative; a mismatched
-    // spec.xml is a typo'd invocation, not a request to relabel.
-    if (WriteSpecificationXml(recovered->service.spec()) !=
+    // spec.xml is a typo'd invocation, not a request to relabel. The
+    // comparison is against the *creation* spec: replayed spec deltas may
+    // have moved the head past it.
+    if (WriteSpecificationXml(recovered->service.base_spec()) !=
         WriteSpecificationXml(spec)) {
       std::fprintf(stderr,
                    "error: %s was recorded against a different "
@@ -406,7 +417,7 @@ int Serve(Specification spec, SpecSchemeKind scheme_kind,
     service = std::move(created).value();
     if (!oplog_path.empty()) {
       auto opened =
-          OpLog::Open(oplog_path, WriteSpecificationXml(service->spec()),
+          OpLog::Open(oplog_path, WriteSpecificationXml(service->base_spec()),
                       SpecSchemeKindName(scheme_kind));
       if (!opened.ok()) return Fail(opened.status());
       oplog = std::move(opened).value();
@@ -573,7 +584,7 @@ int RemoteStats(ProvenanceClient& client, const std::vector<const char*>& args,
         "\"replication_target_lsn\": %llu, \"connections_open\": %llu, "
         "\"connections_accepted\": %llu, \"connections_timed_out\": %llu, "
         "\"connections_backpressured\": %llu, \"epoll_wakeups\": %llu, "
-        "\"accept_backoffs\": %llu}\n",
+        "\"accept_backoffs\": %llu, \"spec_epoch\": %llu}\n",
         u(stats->num_runs), u(stats->reaches_queries),
         u(stats->depends_on_queries), u(stats->module_data_queries),
         u(stats->data_module_queries), u(stats->batch_calls),
@@ -584,7 +595,7 @@ int RemoteStats(ProvenanceClient& client, const std::vector<const char*>& args,
         u(stats->replication_target_lsn), u(stats->connections_open),
         u(stats->connections_accepted), u(stats->connections_timed_out),
         u(stats->connections_backpressured), u(stats->epoll_wakeups),
-        u(stats->accept_backoffs));
+        u(stats->accept_backoffs), u(stats->spec_epoch));
     return 0;
   }
   std::printf("runs registered:      %llu\n", u(stats->num_runs));
@@ -620,7 +631,59 @@ int RemoteStats(ProvenanceClient& client, const std::vector<const char*>& args,
               u(stats->connections_backpressured));
   std::printf("epoll wakeups:        %llu\n", u(stats->epoll_wakeups));
   std::printf("accept backoffs:      %llu\n", u(stats->accept_backoffs));
+  std::printf("spec epoch:           %llu\n", u(stats->spec_epoch));
   return 0;
+}
+
+/// Parses a comma-separated module-name list; "-" means the empty list
+/// (positional grammar needs an explicit empty marker).
+std::vector<std::string> SplitModuleList(const char* csv) {
+  std::vector<std::string> out;
+  const std::string s(csv);
+  if (s == "-") return out;
+  size_t start = 0;
+  while (start <= s.size()) {
+    const size_t comma = s.find(',', start);
+    if (comma == std::string::npos) {
+      out.push_back(s.substr(start));
+      break;
+    }
+    out.push_back(s.substr(start, comma - start));
+    start = comma + 1;
+  }
+  return out;
+}
+
+/// `sklctl apply-delta` argument grammar -> SpecDelta; arity/kind misuse
+/// returns no value (the caller prints Usage and exits 2, before dialing).
+std::optional<SpecDelta> ParseDeltaArgs(
+    const std::vector<const char*>& args) {
+  if (args.empty()) return std::nullopt;
+  const std::string op = args[0];
+  SpecDelta delta;
+  if (op == "add-module") {
+    if (args.size() != 4) return std::nullopt;
+    delta.kind = SpecDelta::Kind::kAddModule;
+    delta.module = args[1];
+    delta.from = SplitModuleList(args[2]);
+    delta.to = SplitModuleList(args[3]);
+    return delta;
+  }
+  if (op == "remove-module") {
+    if (args.size() != 2) return std::nullopt;
+    delta.kind = SpecDelta::Kind::kRemoveModule;
+    delta.module = args[1];
+    return delta;
+  }
+  if (op == "add-edge" || op == "remove-edge") {
+    if (args.size() != 3) return std::nullopt;
+    delta.kind = op == "add-edge" ? SpecDelta::Kind::kAddEdge
+                                  : SpecDelta::Kind::kRemoveEdge;
+    delta.edge_from = args[1];
+    delta.edge_to = args[2];
+    return delta;
+  }
+  return std::nullopt;
 }
 
 }  // namespace
@@ -793,19 +856,21 @@ int main(int argc, char** argv) {
                               cmd == "add-run" || cmd == "list-runs" ||
                               cmd == "shutdown" || cmd == "save" ||
                               cmd == "load-snapshot" || cmd == "replicate" ||
-                              cmd == "metrics" || cmd == "slow-queries";
+                              cmd == "metrics" || cmd == "slow-queries" ||
+                              cmd == "apply-delta";
   if (!connect.empty() && !remote_capable) {
     std::fprintf(stderr,
                  "error: --connect is only accepted by reaches, stats, "
                  "add-run, list-runs, shutdown, save, load-snapshot, "
-                 "metrics, slow-queries and replicate\n");
+                 "metrics, slow-queries, apply-delta and replicate\n");
     return Usage();
   }
   if (trace_id_given && (connect.empty() || cmd == "replicate")) {
     std::fprintf(stderr,
                  "error: --trace-id is only accepted by the remote "
                  "subcommands (reaches, stats, add-run, list-runs, "
-                 "shutdown, save, load-snapshot, metrics, slow-queries)\n");
+                 "shutdown, save, load-snapshot, metrics, slow-queries, "
+                 "apply-delta)\n");
     return Usage();
   }
   if (json_output && cmd != "stats") {
@@ -876,7 +941,8 @@ int main(int argc, char** argv) {
 
   if (cmd == "reaches" || cmd == "add-run" || cmd == "list-runs" ||
       cmd == "shutdown" || cmd == "load-snapshot" || cmd == "metrics" ||
-      cmd == "slow-queries" || (cmd == "stats" && !connect.empty()) ||
+      cmd == "slow-queries" || cmd == "apply-delta" ||
+      (cmd == "stats" && !connect.empty()) ||
       (cmd == "save" && !connect.empty())) {
     if (connect.empty()) {
       std::fprintf(stderr, "error: %s requires --connect=<host:port>\n",
@@ -889,10 +955,28 @@ int main(int argc, char** argv) {
                    cmd.c_str());
       return Usage();
     }
+    std::optional<SpecDelta> delta;
+    if (cmd == "apply-delta") {
+      delta = ParseDeltaArgs(args);
+      if (!delta.has_value()) {
+        std::fprintf(stderr,
+                     "error: apply-delta takes add-module <name> <from-csv> "
+                     "<to-csv>, remove-module <name>, add-edge <from> <to> "
+                     "or remove-edge <from> <to>\n");
+        return Usage();
+      }
+    }
     auto client = ProvenanceClient::ConnectHostPort(connect);
     if (!client.ok()) return Fail(client.status());
     client->set_trace_id(trace_id);
 
+    if (cmd == "apply-delta") {
+      auto epoch = client->ApplySpecDelta(*delta);
+      if (!epoch.ok()) return Fail(epoch.status());
+      std::printf("spec epoch %llu\n",
+                  static_cast<unsigned long long>(*epoch));
+      return 0;
+    }
     if (cmd == "metrics") {
       auto text = client->GetMetrics();
       if (!text.ok()) return Fail(text.status());

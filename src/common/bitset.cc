@@ -76,6 +76,30 @@ size_t DynamicBitset::FindFirst() const {
   return size_;
 }
 
+void DynamicBitset::GrowTo(size_t new_size) {
+  SKL_DCHECK(new_size >= size_);
+  size_ = new_size;
+  words_.resize((new_size + 63) / 64, 0);
+}
+
+void DynamicBitset::EraseBit(size_t pos) {
+  SKL_DCHECK(pos < size_);
+  const size_t w = pos >> 6;
+  const size_t b = pos & 63;
+  // In the word holding `pos`: keep the bits below it, shift the bits
+  // above it down one.
+  const uint64_t low_mask = b == 0 ? 0 : (~uint64_t{0} >> (64 - b));
+  words_[w] = (words_[w] & low_mask) | ((words_[w] >> 1) & ~low_mask);
+  // Each later word shifts right one, its lowest bit carrying into the
+  // previous word's top bit.
+  for (size_t k = w + 1; k < words_.size(); ++k) {
+    words_[k - 1] |= (words_[k] & 1) << 63;
+    words_[k] >>= 1;
+  }
+  --size_;
+  words_.resize((size_ + 63) / 64);
+}
+
 size_t DynamicBitset::FindNext(size_t i) const {
   ++i;
   if (i >= size_) return size_;

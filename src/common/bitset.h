@@ -43,6 +43,15 @@ class DynamicBitset {
   /// Index of the first set bit at position > i, or size() if none.
   size_t FindNext(size_t i) const;
 
+  /// Grows the bitset to `new_size` bits; the new bits are clear. Must not
+  /// shrink. Word-level — the incremental-relabel fast paths rely on this
+  /// being O(words), not O(bits).
+  void GrowTo(size_t new_size);
+  /// Removes the bit at `pos`: every bit above it shifts down one and the
+  /// size drops by one. Word-level (shift with cross-word carry), so a row
+  /// copy under a single-module removal costs O(words), not O(set bits).
+  void EraseBit(size_t pos);
+
   /// Storage footprint in bytes (used by label-length accounting).
   size_t MemoryBytes() const { return words_.size() * sizeof(uint64_t); }
 

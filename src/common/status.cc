@@ -26,6 +26,8 @@ const char* StatusCodeName(StatusCode code) {
       return "Unavailable";
     case StatusCode::kRetryAt:
       return "RetryAt";
+    case StatusCode::kEpochMismatch:
+      return "EpochMismatch";
   }
   return "Unknown";
 }
@@ -62,6 +64,9 @@ Status Status::Unavailable(std::string msg) {
 }
 Status Status::RetryAt(std::string msg) {
   return Status(StatusCode::kRetryAt, std::move(msg));
+}
+Status Status::EpochMismatch(std::string msg) {
+  return Status(StatusCode::kEpochMismatch, std::move(msg));
 }
 
 std::string Status::ToString() const {

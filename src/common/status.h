@@ -24,6 +24,7 @@ enum class StatusCode : uint8_t {
   kCancelled = 8,         ///< Work abandoned (e.g. fail-fast bulk ingestion).
   kUnavailable = 9,       ///< Peer unreachable (connect/read/write failed).
   kRetryAt = 10,          ///< Replica not yet caught up to the requested LSN.
+  kEpochMismatch = 11,    ///< Query pinned to a spec epoch the run is not in.
 };
 
 /// Human-readable name of a status code (e.g. "InvalidSpecification").
@@ -49,6 +50,7 @@ class Status {
   static Status Cancelled(std::string msg);
   static Status Unavailable(std::string msg);
   static Status RetryAt(std::string msg);
+  static Status EpochMismatch(std::string msg);
 
   bool ok() const { return code_ == StatusCode::kOk; }
   StatusCode code() const { return code_; }

@@ -7,6 +7,7 @@
 #include <optional>
 #include <string>
 
+#include "src/common/stopwatch.h"
 #include "src/core/plan_builder.h"
 #include "src/replication/oplog.h"
 
@@ -120,8 +121,9 @@ bool Memoized(const RunRegistry::ReadHandle& handle, uint64_t run,
 ProvenanceService::ProvenanceService(
     std::unique_ptr<const Specification> spec,
     std::unique_ptr<SpecLabelingScheme> scheme, Options options)
-    : spec_(std::move(spec)),
-      scheme_(std::move(scheme)),
+    : epochs_(std::make_unique<std::deque<SpecEpoch>>()),
+      head_(std::make_unique<std::atomic<const SpecEpoch*>>(nullptr)),
+      epoch_mu_(std::make_unique<std::mutex>()),
       options_(options),
       counters_(std::make_unique<Counters>()),
       registry_(std::make_unique<RunRegistry>(RunRegistry::Options{
@@ -129,6 +131,17 @@ ProvenanceService::ProvenanceService(
           .cache_slots = options.cache_slots})),
       metrics_(std::make_unique<MetricsRegistry>()),
       pool_mu_(std::make_unique<std::mutex>()) {
+  // Only a scheme whose name round-trips through the kind parser can be
+  // rebuilt for a later epoch (and snapshotted); remember the verdict so
+  // ApplySpecDelta can refuse caller-constructed schemes cleanly.
+  Result<SpecSchemeKind> kind = ParseSpecSchemeKind(scheme->name());
+  if (kind.ok()) {
+    bundled_scheme_ = true;
+    scheme_kind_ = *kind;
+  }
+  epochs_->push_back(
+      SpecEpoch{1, std::move(spec), std::move(scheme), SpecDelta{}});
+  head_->store(&epochs_->back(), std::memory_order_release);
   RegisterServiceMetrics();
 }
 
@@ -137,6 +150,21 @@ void ProvenanceService::RegisterServiceMetrics() {
       "skl_service_labeling_us",
       "Microseconds spent building a run's labeling (plan recovery, label "
       "assignment, catalog validation, record capture)");
+  relabel_hist_ = metrics_->AddHistogram(
+      "skl_spec_relabel_us",
+      "Microseconds spent relabeling the skeleton for a spec delta "
+      "(incremental over the dirty region, or a full rebuild under "
+      "Options::full_rebuild_on_delta)");
+  // The current spec epoch as a render-time gauge; head_ sits behind a
+  // unique_ptr, so the captured address survives service moves.
+  const std::atomic<const SpecEpoch*>* head = head_.get();
+  metrics_->AddCallbackGauge(
+      "skl_spec_epoch",
+      "Current spec epoch (1 at creation, +1 per applied spec delta)", "",
+      [head] {
+        const SpecEpoch* entry = head->load(std::memory_order_acquire);
+        return entry != nullptr ? entry->number : 0;
+      });
   // Per-shard cache tallies as callback gauges: the shards already keep
   // relaxed atomics (bumped on the query path), so scrape time just reads
   // them. The captured registry address is stable — it sits behind a
@@ -180,8 +208,11 @@ Result<ProvenanceService> ProvenanceService::Create(
 
 Result<RunId> ProvenanceService::AddRun(const Run& run,
                                         const DataCatalog* catalog) {
+  // Capture the head epoch once: a delta landing mid-call must not split
+  // the run between two schemes.
+  const SpecEpoch* at = &head_epoch_entry();
   SKL_ASSIGN_OR_RETURN(RunRecord record,
-                       BuildRecord(run, /*plan=*/nullptr, {}, catalog));
+                       BuildRecord(run, /*plan=*/nullptr, {}, catalog, at));
   return Publish(std::move(record));
 }
 
@@ -189,20 +220,22 @@ Result<RunId> ProvenanceService::AddRunWithPlan(const Run& run,
                                                 const ExecutionPlan& plan,
                                                 std::vector<VertexId> origin,
                                                 const DataCatalog* catalog) {
-  SKL_ASSIGN_OR_RETURN(RunRecord record,
-                       BuildRecord(run, &plan, std::move(origin), catalog));
+  const SpecEpoch* at = &head_epoch_entry();
+  SKL_ASSIGN_OR_RETURN(
+      RunRecord record,
+      BuildRecord(run, &plan, std::move(origin), catalog, at));
   return Publish(std::move(record));
 }
 
 Result<RunRecord> ProvenanceService::BuildRecord(
     const Run& run, const ExecutionPlan* plan, std::vector<VertexId> origin,
-    const DataCatalog* catalog) const {
+    const DataCatalog* catalog, const SpecEpoch* at) const {
   // All of this runs outside any lock (and concurrently on pool workers for
-  // the bulk paths): it only reads the immutable spec and built scheme.
+  // the bulk paths): it only reads the immutable epoch spec and scheme.
   const auto labeling_start = std::chrono::steady_clock::now();
   RecoveredPlan recovered;
   if (plan == nullptr) {
-    SKL_ASSIGN_OR_RETURN(recovered, ConstructPlan(*spec_, run));
+    SKL_ASSIGN_OR_RETURN(recovered, ConstructPlan(*at->spec, run));
     plan = &recovered.plan;
     origin = std::move(recovered.origin);
   }
@@ -210,12 +243,12 @@ Result<RunRecord> ProvenanceService::BuildRecord(
     return Status::InvalidArgument("origin size does not match run");
   }
   SKL_ASSIGN_OR_RETURN(RunLabeling labeling,
-                       RunLabeling::FromPlan(*spec_, scheme_.get(), *plan,
-                                             std::move(origin)));
+                       RunLabeling::FromPlan(*at->spec, at->scheme.get(),
+                                             *plan, std::move(origin)));
   if (catalog != nullptr) {
     SKL_RETURN_NOT_OK(ValidateCatalog(*catalog, labeling.num_vertices()));
   }
-  RunRecord record = CaptureRecord(labeling, catalog, /*imported=*/false);
+  RunRecord record = CaptureRecord(labeling, catalog, /*imported=*/false, at);
   labeling_hist_->Record(static_cast<uint64_t>(
       std::chrono::duration_cast<std::chrono::microseconds>(
           std::chrono::steady_clock::now() - labeling_start)
@@ -223,11 +256,13 @@ Result<RunRecord> ProvenanceService::BuildRecord(
   return record;
 }
 
-RunRecord ProvenanceService::CaptureRecord(
-    const RunLabeling& labeling, const DataCatalog* catalog,
-    bool imported) const {
+RunRecord ProvenanceService::CaptureRecord(const RunLabeling& labeling,
+                                           const DataCatalog* catalog,
+                                           bool imported,
+                                           const SpecEpoch* at) const {
   RunRecord record;
-  record.store = ProvenanceStore::Capture(labeling, catalog, scheme_->name());
+  record.store =
+      ProvenanceStore::Capture(labeling, catalog, at->scheme->name());
   record.stats.num_vertices = labeling.num_vertices();
   record.stats.num_items = record.store.num_items();
   record.stats.label_bits = labeling.label_bits();
@@ -235,6 +270,9 @@ RunRecord ProvenanceService::CaptureRecord(
   record.stats.origin_bits = labeling.origin_bits();
   record.stats.num_nonempty_plus = labeling.num_nonempty_plus();
   record.stats.imported = imported;
+  record.stats.epoch = at->number;
+  record.spec = at->spec.get();
+  record.scheme = at->scheme.get();
   return record;
 }
 
@@ -419,15 +457,17 @@ std::vector<Result<RunId>> ProvenanceService::AddRunsParallel(
     }
     return results;
   }
-  return BulkIngest(runs.size(), [&](size_t i) {
+  const SpecEpoch* at = &head_epoch_entry();
+  return BulkIngest(runs.size(), [&, at](size_t i) {
     return BuildRecord(runs[i], /*plan=*/nullptr, {},
-                       catalogs.empty() ? nullptr : catalogs[i]);
+                       catalogs.empty() ? nullptr : catalogs[i], at);
   });
 }
 
 std::vector<Result<RunId>> ProvenanceService::AddRunsWithPlansParallel(
     std::span<const PlannedRun> runs) {
-  return BulkIngest(runs.size(), [&](size_t i) -> Result<RunRecord> {
+  const SpecEpoch* at = &head_epoch_entry();
+  return BulkIngest(runs.size(), [&, at](size_t i) -> Result<RunRecord> {
     const PlannedRun& pr = runs[i];
     if (pr.run == nullptr || pr.plan == nullptr) {
       return Status::InvalidArgument("PlannedRun with null run or plan");
@@ -435,12 +475,12 @@ std::vector<Result<RunId>> ProvenanceService::AddRunsWithPlansParallel(
     return BuildRecord(*pr.run, pr.plan,
                        std::vector<VertexId>(pr.origin.begin(),
                                              pr.origin.end()),
-                       pr.catalog);
+                       pr.catalog, at);
   });
 }
 
 RunSession ProvenanceService::OpenSession() {
-  return RunSession(this, spec_.get(), scheme_.get());
+  return RunSession(this, &head_epoch_entry());
 }
 
 Status ProvenanceService::RemoveRun(RunId id) {
@@ -466,33 +506,62 @@ Status ProvenanceService::RemoveRun(RunId id) {
 
 Result<RunId> ProvenanceService::Register(const RunLabeling& labeling,
                                           const DataCatalog* catalog,
-                                          bool imported) {
+                                          bool imported,
+                                          const SpecEpoch* at) {
   if (catalog != nullptr) {
     SKL_RETURN_NOT_OK(ValidateCatalog(*catalog, labeling.num_vertices()));
   }
-  return Publish(CaptureRecord(labeling, catalog, imported));
+  return Publish(CaptureRecord(labeling, catalog, imported, at));
 }
 
-Result<bool> ProvenanceService::Reaches(RunId id, VertexId v,
-                                        VertexId w) const {
+namespace {
+
+/// The cross-epoch query contract (docs/UPDATES.md): `at_epoch` 0 accepts
+/// the run's own epoch; any other value must match it exactly.
+Status CheckEpochPin(const RunRecord& record, uint64_t at_epoch) {
+  if (at_epoch != 0 && at_epoch != record.stats.epoch) {
+    return Status::EpochMismatch(
+        "run is frozen to spec epoch " +
+        std::to_string(record.stats.epoch) +
+        " but the query is pinned to epoch " + std::to_string(at_epoch) +
+        "; answers are only defined against the run's own epoch");
+  }
+  return Status::OK();
+}
+
+/// The scheme a record's labels answer under: its ingest epoch's scheme.
+/// `fallback` (the head scheme) covers records built without a service —
+/// registry unit tests; the service always sets the pointer.
+const SpecLabelingScheme& SchemeFor(const RunRecord& record,
+                                    const SpecLabelingScheme& fallback) {
+  return record.scheme != nullptr ? *record.scheme : fallback;
+}
+
+}  // namespace
+
+Result<bool> ProvenanceService::Reaches(RunId id, VertexId v, VertexId w,
+                                        uint64_t at_epoch) const {
   RunRegistry::ReadHandle handle = registry_->AcquireRead(id.value());
   if (!handle) return Status::NotFound("unknown run id");
   const RunRecord& record = handle.record();
+  SKL_RETURN_NOT_OK(CheckEpochPin(record, at_epoch));
   if (v >= record.stats.num_vertices || w >= record.stats.num_vertices) {
     return Status::InvalidArgument("vertex out of range for run");
   }
+  const SpecLabelingScheme& sch = SchemeFor(record, scheme());
   counters_->reaches_queries.fetch_add(1, std::memory_order_relaxed);
   return Memoized(handle, id.value(), v, w,
                   QueryKind::kReaches, counters_->cache_hits,
                   counters_->cache_misses, [&] {
-                    return StoreReaches(record.store, v, w, *scheme_);
+                    return StoreReaches(record.store, v, w, sch);
                   });
 }
 
 Result<std::vector<bool>> ProvenanceService::ReachesBatch(
-    RunId id, std::span<const VertexPair> pairs) const {
+    RunId id, std::span<const VertexPair> pairs, uint64_t at_epoch) const {
   RunRegistry::ReadHandle handle = registry_->AcquireRead(id.value());
   if (!handle) return Status::NotFound("unknown run id");
+  SKL_RETURN_NOT_OK(CheckEpochPin(handle.record(), at_epoch));
   const VertexId n = handle.record().stats.num_vertices;
   // Validate the whole span first: a failing batch answers nothing and
   // must touch no counter — including the cache lookup counters, which by
@@ -502,13 +571,14 @@ Result<std::vector<bool>> ProvenanceService::ReachesBatch(
       return Status::InvalidArgument("vertex out of range for run");
     }
   }
+  const SpecLabelingScheme& sch = SchemeFor(handle.record(), scheme());
   std::vector<bool> answers;
   answers.reserve(pairs.size());
   for (const auto& [v, w] : pairs) {
     answers.push_back(Memoized(
         handle, id.value(), v, w,
         QueryKind::kReaches, counters_->cache_hits, counters_->cache_misses,
-        [&] { return StoreReaches(handle.record().store, v, w, *scheme_); }));
+        [&] { return StoreReaches(handle.record().store, v, w, sch); }));
   }
   counters_->batch_calls.fetch_add(1, std::memory_order_relaxed);
   counters_->reaches_queries.fetch_add(pairs.size(),
@@ -517,26 +587,30 @@ Result<std::vector<bool>> ProvenanceService::ReachesBatch(
 }
 
 Result<bool> ProvenanceService::DependsOn(RunId id, DataItemId x,
-                                          DataItemId x_from) const {
+                                          DataItemId x_from,
+                                          uint64_t at_epoch) const {
   RunRegistry::ReadHandle handle = registry_->AcquireRead(id.value());
   if (!handle) return Status::NotFound("unknown run id");
+  SKL_RETURN_NOT_OK(CheckEpochPin(handle.record(), at_epoch));
   const size_t items = handle.record().store.num_items();
   if (x >= items || x_from >= items) {
     return Status::InvalidArgument("unknown data item");
   }
+  const SpecLabelingScheme& sch = SchemeFor(handle.record(), scheme());
   counters_->depends_on_queries.fetch_add(1, std::memory_order_relaxed);
   return Memoized(handle, id.value(), x, x_from,
                   QueryKind::kDependsOn, counters_->cache_hits,
                   counters_->cache_misses, [&] {
                     return *StoreDependsOn(handle.record().store, x, x_from,
-                                           *scheme_);
+                                           sch);
                   });
 }
 
 Result<std::vector<bool>> ProvenanceService::DependsOnBatch(
-    RunId id, std::span<const ItemPair> pairs) const {
+    RunId id, std::span<const ItemPair> pairs, uint64_t at_epoch) const {
   RunRegistry::ReadHandle handle = registry_->AcquireRead(id.value());
   if (!handle) return Status::NotFound("unknown run id");
+  SKL_RETURN_NOT_OK(CheckEpochPin(handle.record(), at_epoch));
   const size_t items = handle.record().store.num_items();
   // Same discipline as ReachesBatch: all-or-nothing validation before any
   // counter or cache traffic.
@@ -545,6 +619,7 @@ Result<std::vector<bool>> ProvenanceService::DependsOnBatch(
       return Status::InvalidArgument("unknown data item");
     }
   }
+  const SpecLabelingScheme& sch = SchemeFor(handle.record(), scheme());
   std::vector<bool> answers;
   answers.reserve(pairs.size());
   for (const auto& [x, x_from] : pairs) {
@@ -552,7 +627,7 @@ Result<std::vector<bool>> ProvenanceService::DependsOnBatch(
         handle, id.value(), x, x_from,
         QueryKind::kDependsOn, counters_->cache_hits,
         counters_->cache_misses, [&] {
-          return *StoreDependsOn(handle.record().store, x, x_from, *scheme_);
+          return *StoreDependsOn(handle.record().store, x, x_from, sch);
         }));
   }
   counters_->batch_calls.fetch_add(1, std::memory_order_relaxed);
@@ -562,42 +637,46 @@ Result<std::vector<bool>> ProvenanceService::DependsOnBatch(
 }
 
 Result<bool> ProvenanceService::ModuleDependsOnData(RunId id, VertexId v,
-                                                    DataItemId x) const {
+                                                    DataItemId x,
+                                                    uint64_t at_epoch) const {
   RunRegistry::ReadHandle handle = registry_->AcquireRead(id.value());
   if (!handle) return Status::NotFound("unknown run id");
   const RunRecord& record = handle.record();
+  SKL_RETURN_NOT_OK(CheckEpochPin(record, at_epoch));
   if (x >= record.store.num_items()) {
     return Status::InvalidArgument("unknown data item");
   }
   if (v >= record.store.num_vertices()) {
     return Status::InvalidArgument("unknown vertex");
   }
+  const SpecLabelingScheme& sch = SchemeFor(record, scheme());
   counters_->module_data_queries.fetch_add(1, std::memory_order_relaxed);
   return Memoized(handle, id.value(), v, x,
                   QueryKind::kModuleData, counters_->cache_hits,
                   counters_->cache_misses, [&] {
-                    return *StoreModuleDependsOnData(record.store, v, x,
-                                                     *scheme_);
+                    return *StoreModuleDependsOnData(record.store, v, x, sch);
                   });
 }
 
 Result<bool> ProvenanceService::DataDependsOnModule(RunId id, DataItemId x,
-                                                    VertexId v) const {
+                                                    VertexId v,
+                                                    uint64_t at_epoch) const {
   RunRegistry::ReadHandle handle = registry_->AcquireRead(id.value());
   if (!handle) return Status::NotFound("unknown run id");
   const RunRecord& record = handle.record();
+  SKL_RETURN_NOT_OK(CheckEpochPin(record, at_epoch));
   if (x >= record.store.num_items()) {
     return Status::InvalidArgument("unknown data item");
   }
   if (v >= record.store.num_vertices()) {
     return Status::InvalidArgument("unknown vertex");
   }
+  const SpecLabelingScheme& sch = SchemeFor(record, scheme());
   counters_->data_module_queries.fetch_add(1, std::memory_order_relaxed);
   return Memoized(handle, id.value(), x, v,
                   QueryKind::kDataModule, counters_->cache_hits,
                   counters_->cache_misses, [&] {
-                    return *StoreDataDependsOnModule(record.store, x, v,
-                                                     *scheme_);
+                    return *StoreDataDependsOnModule(record.store, x, v, sch);
                   });
 }
 
@@ -611,19 +690,23 @@ Result<RunId> ProvenanceService::ImportRun(
     const std::vector<uint8_t>& blob) {
   SKL_ASSIGN_OR_RETURN(ProvenanceStore store,
                        ProvenanceStore::Deserialize(blob));
+  // Imports land in the head epoch: the blob's labels must be valid
+  // against the spec/scheme that is current right now.
+  const SpecEpoch& at = head_epoch_entry();
   // Tagged blobs must name this service's scheme — labels only answer
   // correctly under the scheme that produced them. Untagged (v1) blobs
   // predate the tag and are accepted as before.
-  if (!store.scheme_tag().empty() && store.scheme_tag() != scheme_->name()) {
+  if (!store.scheme_tag().empty() &&
+      store.scheme_tag() != at.scheme->name()) {
     return Status::InvalidArgument(
         "blob was labeled under scheme '" + store.scheme_tag() +
         "', but this service answers under scheme '" +
-        std::string(scheme_->name()) + "'");
+        std::string(at.scheme->name()) + "'");
   }
   // The blob must stem from a run of this service's specification: every
   // origin must name a spec vertex, or queries would index the scheme out
   // of range.
-  const VertexId n_g = spec_->graph().num_vertices();
+  const VertexId n_g = at.spec->graph().num_vertices();
   for (VertexId v = 0; v < store.num_vertices(); ++v) {
     if (store.label(v).origin >= n_g) {
       return Status::InvalidArgument(
@@ -636,6 +719,9 @@ Result<RunId> ProvenanceService::ImportRun(
   record.stats.num_vertices = store.num_vertices();
   record.stats.num_items = store.num_items();
   record.stats.imported = true;
+  record.stats.epoch = at.number;
+  record.spec = at.spec.get();
+  record.scheme = at.scheme.get();
   record.store = std::move(store);
   counters_->runs_imported.fetch_add(1, std::memory_order_relaxed);
   // Invalidate the target shard's cache: an import changes what the shard
@@ -677,6 +763,7 @@ ServiceStats ProvenanceService::service_stats() const {
   // substitutes a replica's applied/target pair before encoding.
   stats.replication_lsn = replication_lsn();
   stats.replication_target_lsn = stats.replication_lsn;
+  stats.spec_epoch = spec_epoch();
   return stats;
 }
 
@@ -698,12 +785,27 @@ Status ProvenanceService::RestoreRun(uint64_t id, const RunStats& stats,
   }
   SKL_ASSIGN_OR_RETURN(ProvenanceStore store,
                        ProvenanceStore::Deserialize(blob));
-  if (!store.scheme_tag().empty() && store.scheme_tag() != scheme_->name()) {
+  // Resolve the run's epoch: replicated/restored stats carry the epoch the
+  // run was ingested under on the source service. Epoch 0 is the pre-epoch
+  // wire/snapshot encoding and normalizes to 1 (the creation spec).
+  RunStats normalized = stats;
+  if (normalized.epoch == 0) normalized.epoch = 1;
+  const SpecEpoch* at = FindEpoch(normalized.epoch);
+  if (at == nullptr) {
+    return Status::InvalidArgument(
+        "replicated run " + std::to_string(id) + " was ingested under spec "
+        "epoch " + std::to_string(normalized.epoch) +
+        ", but this service's epoch chain only reaches epoch " +
+        std::to_string(spec_epoch()) +
+        " — apply the missing spec deltas first");
+  }
+  if (!store.scheme_tag().empty() &&
+      store.scheme_tag() != at->scheme->name()) {
     return Status::InvalidArgument(
         "replicated run " + std::to_string(id) +
         " was labeled under scheme '" + store.scheme_tag() +
         "', but this service answers under scheme '" +
-        std::string(scheme_->name()) + "'");
+        std::string(at->scheme->name()) + "'");
   }
   if (store.num_vertices() != stats.num_vertices ||
       store.num_items() != stats.num_items) {
@@ -711,9 +813,9 @@ Status ProvenanceService::RestoreRun(uint64_t id, const RunStats& stats,
         "replicated run " + std::to_string(id) +
         ": stats disagree with the stored labels/catalog");
   }
-  // Same guard as ImportRun: every origin must name a spec vertex, or
-  // queries would index the scheme out of range.
-  const VertexId n_g = spec_->graph().num_vertices();
+  // Same guard as ImportRun: every origin must name a spec vertex of the
+  // run's epoch, or queries would index the scheme out of range.
+  const VertexId n_g = at->spec->graph().num_vertices();
   for (VertexId v = 0; v < store.num_vertices(); ++v) {
     if (store.label(v).origin >= n_g) {
       return Status::InvalidArgument(
@@ -723,7 +825,9 @@ Status ProvenanceService::RestoreRun(uint64_t id, const RunStats& stats,
     }
   }
   RunRecord record;
-  record.stats = stats;
+  record.stats = normalized;
+  record.spec = at->spec.get();
+  record.scheme = at->scheme.get();
   record.store = std::move(store);
   // A false return means another apply raced this id in; idempotence again.
   (void)registry_->Restore(id, std::move(record));
@@ -741,7 +845,120 @@ std::vector<RunId> ProvenanceService::ListRuns() const {
 
 Result<RunId> RunSession::Seal(const DataCatalog* catalog) && {
   SKL_ASSIGN_OR_RETURN(RunLabeling labeling, std::move(labeler_).Finish());
-  return service_->Register(labeling, catalog, /*imported=*/false);
+  return service_->Register(labeling, catalog, /*imported=*/false, epoch_);
+}
+
+const ProvenanceService::SpecEpoch* ProvenanceService::FindEpoch(
+    uint64_t number) const {
+  std::lock_guard<std::mutex> lock(*epoch_mu_);
+  if (number == 0 || number > epochs_->size()) return nullptr;
+  return &(*epochs_)[number - 1];
+}
+
+Result<uint64_t> ProvenanceService::ApplySpecDelta(const SpecDelta& delta) {
+  std::lock_guard<std::mutex> lock(*epoch_mu_);
+  return ApplyDeltaLocked(delta, /*check_dependents=*/true,
+                          /*append_log=*/true);
+}
+
+Status ProvenanceService::ApplySpecDeltaReplicated(const SpecDelta& delta,
+                                                   uint64_t target_epoch) {
+  std::lock_guard<std::mutex> lock(*epoch_mu_);
+  const uint64_t head = epochs_->back().number;
+  if (target_epoch != 0 && target_epoch <= head) {
+    // Already applied — the snapshot/stream overlap of a replica
+    // bootstrap, or a retried batch. Idempotence makes both safe.
+    return Status::OK();
+  }
+  if (target_epoch != 0 && target_epoch != head + 1) {
+    return Status::InvalidArgument(
+        "gap in the delta chain: replica is at spec epoch " +
+        std::to_string(head) + " but the op targets epoch " +
+        std::to_string(target_epoch));
+  }
+  // No dependent check and no op-log append: the primary already ran the
+  // check, and a replica never writes its own log from applied ops.
+  Result<uint64_t> applied = ApplyDeltaLocked(delta, /*check_dependents=*/false,
+                                              /*append_log=*/false);
+  if (!applied.ok()) return applied.status();
+  return Status::OK();
+}
+
+Result<uint64_t> ProvenanceService::ApplyDeltaLocked(const SpecDelta& delta,
+                                                     bool check_dependents,
+                                                     bool append_log) {
+  const SpecEpoch& head = epochs_->back();
+  if (!bundled_scheme_) {
+    return Status::InvalidArgument(
+        "spec deltas require a bundled labeling scheme (the service was "
+        "created with a custom SpecLabelingScheme it cannot re-instantiate "
+        "for the new epoch)");
+  }
+  if (check_dependents && delta.kind == SpecDelta::Kind::kRemoveModule) {
+    // RemoveModule must not orphan live runs: a head-epoch run whose
+    // labels reference the victim vertex would keep answering (it is
+    // frozen to its epoch), but the operator almost certainly meant to
+    // retire those runs first. The scan is best-effort under concurrent
+    // ingestion — a run ingested after the scan freezes to the *old*
+    // epoch and stays correct, so correctness never depends on the check.
+    const VertexId victim = head.spec->VertexOf(delta.module);
+    if (victim != kInvalidVertex) {
+      size_t dependents = 0;
+      registry_->ForEach([&](uint64_t, const RunRecord& record) {
+        if (record.stats.epoch != head.number) return;
+        const ProvenanceStore& store = record.store;
+        for (VertexId v = 0; v < store.num_vertices(); ++v) {
+          if (store.label(v).origin == victim) {
+            ++dependents;
+            return;
+          }
+        }
+      });
+      if (dependents > 0) {
+        return Status::InvalidArgument(
+            "RemoveModule '" + delta.module + "' rejected: " +
+            std::to_string(dependents) + " live run(s) of the current "
+            "epoch execute that module; remove those runs first");
+      }
+    }
+  }
+  SKL_ASSIGN_OR_RETURN(SpecDeltaApplication applied,
+                       ApplySpecDeltaToSpec(*head.spec, delta));
+  std::unique_ptr<SpecLabelingScheme> scheme =
+      CreateSpecScheme(scheme_kind_);
+  {
+    Stopwatch relabel_timer;
+    Status built =
+        options_.full_rebuild_on_delta
+            ? scheme->Build(applied.spec.graph())
+            : scheme->BuildIncremental(applied.spec.graph(), *head.scheme,
+                                       applied.vertex_remap, applied.dirty);
+    if (relabel_hist_ != nullptr) {
+      relabel_hist_->Record(
+          static_cast<uint64_t>(relabel_timer.ElapsedMicros()));
+    }
+    SKL_RETURN_NOT_OK(built);
+  }
+  SpecEpoch next;
+  next.number = head.number + 1;
+  next.spec = std::make_unique<Specification>(std::move(applied.spec));
+  next.scheme = std::move(scheme);
+  next.delta = delta;
+  // Log-before-install: a delta needs no allocated id, so an append
+  // failure simply rejects the delta with the service unchanged — the
+  // opposite order would let a replica miss an epoch the primary serves.
+  if (append_log && oplog_ != nullptr) {
+    LogOp op;
+    op.kind = LogOp::Kind::kSpecDelta;
+    op.run_id = 0;
+    op.stats.epoch = next.number;
+    op.blob = SerializeSpecDelta(delta);
+    Result<uint64_t> appended = oplog_->Append(std::move(op));
+    if (!appended.ok()) return appended.status();
+  }
+  epochs_->push_back(std::move(next));
+  head_->store(&epochs_->back(), std::memory_order_release);
+  return epochs_->back().number;
 }
 
 }  // namespace skl

@@ -54,6 +54,7 @@
 
 #include <atomic>
 #include <cstdint>
+#include <deque>
 #include <functional>
 #include <memory>
 #include <mutex>
@@ -73,6 +74,7 @@
 #include "src/core/run_registry.h"
 #include "src/speclabel/scheme.h"
 #include "src/workflow/run.h"
+#include "src/workflow/spec_delta.h"
 #include "src/workflow/specification.h"
 
 namespace skl {
@@ -152,6 +154,10 @@ struct ServiceStats {
   uint64_t connections_backpressured = 0;  ///< write-buffer cap trips
   uint64_t epoll_wakeups = 0;              ///< reactor loop turns
   uint64_t accept_backoffs = 0;            ///< fd-exhaustion accept retries
+  /// Current spec epoch (protocol v6, docs/UPDATES.md): 1 at creation,
+  /// +1 per successful ApplySpecDelta. Unlike the cumulative counters this
+  /// IS part of a snapshot — a restored service resumes at the saved epoch.
+  uint64_t spec_epoch = 1;
 };
 
 class RunSession;
@@ -187,6 +193,13 @@ struct ProvenanceServiceOptions {
   /// two, 32 bytes each). 0 disables caching — the configuration the
   /// differential conformance test replays against.
   size_t cache_slots = 4096;
+  /// Forces ApplySpecDelta to rebuild the new epoch's scheme from scratch
+  /// instead of relabeling the dirty region incrementally. The two paths
+  /// must be bit-identical — the differential update harness
+  /// (tests/spec_update_differential_test.cc) runs a twin with this on and
+  /// compares every answer; the knob exists for that harness and for the
+  /// bench's before/after columns, not for production use.
+  bool full_rebuild_on_delta = false;
 };
 
 /// Knobs for ProvenanceService::LoadSnapshot, separate from the service
@@ -263,27 +276,89 @@ class ProvenanceService {
 
   // -------------------------------------------------------------- queries --
 
+  // Every query answers against the scheme of the epoch the run was
+  // ingested under — NOT the current head epoch — so a spec delta never
+  // changes an existing answer (docs/UPDATES.md). `at_epoch` pins the
+  // query: 0 (the default) accepts whatever epoch the run is frozen to;
+  // a nonzero value that differs from the run's epoch fails with
+  // kEpochMismatch instead of answering against a scheme the caller did
+  // not ask for.
+
   /// Module-level reachability (reflexive): is there a path v ~> w in the
   /// identified run?
-  Result<bool> Reaches(RunId id, VertexId v, VertexId w) const;
+  Result<bool> Reaches(RunId id, VertexId v, VertexId w,
+                       uint64_t at_epoch = 0) const;
 
   /// Answers many reachability queries under one reader lock; answers[i]
   /// corresponds to pairs[i].
-  Result<std::vector<bool>> ReachesBatch(
-      RunId id, std::span<const VertexPair> pairs) const;
+  Result<std::vector<bool>> ReachesBatch(RunId id,
+                                         std::span<const VertexPair> pairs,
+                                         uint64_t at_epoch = 0) const;
 
   /// Item-level dependency (Section 6): does item x depend on x_from?
-  Result<bool> DependsOn(RunId id, DataItemId x, DataItemId x_from) const;
+  Result<bool> DependsOn(RunId id, DataItemId x, DataItemId x_from,
+                         uint64_t at_epoch = 0) const;
 
   /// Batch variant of DependsOn; answers[i] corresponds to pairs[i].
-  Result<std::vector<bool>> DependsOnBatch(
-      RunId id, std::span<const ItemPair> pairs) const;
+  Result<std::vector<bool>> DependsOnBatch(RunId id,
+                                           std::span<const ItemPair> pairs,
+                                           uint64_t at_epoch = 0) const;
 
   /// Did module execution v read data derived from item x?
-  Result<bool> ModuleDependsOnData(RunId id, VertexId v, DataItemId x) const;
+  Result<bool> ModuleDependsOnData(RunId id, VertexId v, DataItemId x,
+                                   uint64_t at_epoch = 0) const;
 
   /// Is item x downstream of module execution v?
-  Result<bool> DataDependsOnModule(RunId id, DataItemId x, VertexId v) const;
+  Result<bool> DataDependsOnModule(RunId id, DataItemId x, VertexId v,
+                                   uint64_t at_epoch = 0) const;
+
+  // ------------------------------------------------------------ spec epochs --
+
+  /// One entry of the append-only spec-epoch chain (docs/UPDATES.md).
+  /// Entries are never destroyed or mutated once published, so the
+  /// pointers handed out to run records and sessions stay valid for the
+  /// service's lifetime.
+  struct SpecEpoch {
+    uint64_t number = 1;
+    std::unique_ptr<const Specification> spec;
+    std::unique_ptr<SpecLabelingScheme> scheme;
+    /// The delta that created this epoch (meaningless for epoch 1).
+    SpecDelta delta;
+  };
+
+  /// Applies one specification edit, opening a new spec epoch: the head
+  /// specification is rebuilt through the delta (re-validating Definitions
+  /// 1-3), the labeling scheme is relabeled over the delta's dirty region
+  /// (or fully rebuilt under Options::full_rebuild_on_delta), and runs
+  /// ingested from now on are labeled against the new epoch. Existing runs
+  /// are untouched: they stay frozen to — and queryable against — their
+  /// own epoch's scheme. Returns the new epoch number.
+  ///
+  /// Rejections (unknown module, duplicate edge, a rebuild that violates
+  /// the workflow model, RemoveModule while live head-epoch runs reference
+  /// the module, or a caller-constructed non-bundled scheme) leave the
+  /// service entirely unchanged. With an op-log attached the delta is
+  /// appended before this returns (append-before-ack), so replicas and
+  /// RecoverPrimary replay it deterministically.
+  Result<uint64_t> ApplySpecDelta(const SpecDelta& delta);
+
+  /// Replica-side apply of a shipped kSpecDelta op (and the restore path
+  /// of log recovery): applies `delta`, expecting the chain to land on
+  /// `target_epoch`. Idempotent — a target at or below the current head is
+  /// skipped silently (snapshot+stream overlap). Never appended to an
+  /// attached op-log and exempt from the live-dependent-run guard (the
+  /// primary already enforced it).
+  Status ApplySpecDeltaReplicated(const SpecDelta& delta,
+                                  uint64_t target_epoch);
+
+  /// Current spec epoch: 1 at creation, +1 per successful ApplySpecDelta.
+  uint64_t spec_epoch() const {
+    return head_epoch_entry().number;
+  }
+
+  /// The chain entry a given epoch number, or null when out of range.
+  /// Entry addresses are stable for the service's lifetime.
+  const SpecEpoch* FindEpoch(uint64_t number) const;
 
   // ---------------------------------------------------------- persistence --
 
@@ -376,8 +451,16 @@ class ProvenanceService {
   /// Handles of all registered runs, in registration order.
   std::vector<RunId> ListRuns() const;
 
-  const Specification& spec() const { return *spec_; }
-  const SpecLabelingScheme& scheme() const { return *scheme_; }
+  /// The *head-epoch* specification and scheme — what new runs are labeled
+  /// against. Old epochs stay reachable through FindEpoch / run records.
+  const Specification& spec() const { return *head_epoch_entry().spec; }
+  const SpecLabelingScheme& scheme() const {
+    return *head_epoch_entry().scheme;
+  }
+  /// The epoch-1 specification the service was created with — the spec an
+  /// op-log header or snapshot Spec section records; deltas are replayed
+  /// on top of it (docs/UPDATES.md).
+  const Specification& base_spec() const { return *epochs_->front().spec; }
   const Options& options() const { return options_; }
 
   /// The service-level metrics registry (docs/OBSERVABILITY.md): the
@@ -418,18 +501,32 @@ class ProvenanceService {
                     std::unique_ptr<SpecLabelingScheme> scheme,
                     Options options);
 
+  /// The head of the epoch chain (acquire load; published with release by
+  /// ApplySpecDelta, so a reader always sees a fully constructed entry).
+  const SpecEpoch& head_epoch_entry() const {
+    return *head_->load(std::memory_order_acquire);
+  }
+
+  /// Shared delta application behind ApplySpecDelta (logging, guarded) and
+  /// ApplySpecDeltaReplicated / snapshot replay (non-logging, unguarded).
+  Result<uint64_t> ApplyDeltaLocked(const SpecDelta& delta,
+                                    bool check_dependents, bool append_log);
+
   /// Labels one run outside any lock: plan recovery (unless supplied, in
   /// which case `origin` is recovered too and the argument is ignored),
-  /// run labeling, catalog validation and store capture.
+  /// run labeling, catalog validation and store capture. `at` is the epoch
+  /// the run is labeled (and forever frozen) under.
   Result<RunRecord> BuildRecord(const Run& run, const ExecutionPlan* plan,
                                 std::vector<VertexId> origin,
-                                const DataCatalog* catalog) const;
+                                const DataCatalog* catalog,
+                                const SpecEpoch* at) const;
 
   /// Packs a labeling (+ optional, already validated catalog) into the
   /// record format the registry stores. Lock-free; shared by every
   /// ingestion path so the stats fields cannot diverge between them.
   RunRecord CaptureRecord(const RunLabeling& labeling,
-                          const DataCatalog* catalog, bool imported) const;
+                          const DataCatalog* catalog, bool imported,
+                          const SpecEpoch* at) const;
 
   /// Publishes a record under a fresh id (takes one shard's writer lock),
   /// then appends the op to the attached op-log (if any) before returning
@@ -440,7 +537,8 @@ class ProvenanceService {
   /// Captures a labeling (+ optional catalog) and publishes it under a new
   /// id. Validates the catalog against the labeling first.
   Result<RunId> Register(const RunLabeling& labeling,
-                         const DataCatalog* catalog, bool imported);
+                         const DataCatalog* catalog, bool imported,
+                         const SpecEpoch* at);
 
   /// Shared driver of the two bulk paths: `build(i)` produces record i on a
   /// pool worker; successes are published in input order.
@@ -465,10 +563,19 @@ class ProvenanceService {
   // lock the ReadHandle holds, recompute on a miss, stamp with the
   // handle's generation.
 
-  // unique_ptrs keep spec/scheme addresses stable across service moves:
-  // schemes hold a pointer to spec.graph(), sessions to both.
-  std::unique_ptr<const Specification> spec_;
-  std::unique_ptr<SpecLabelingScheme> scheme_;
+  // The append-only spec-epoch chain. Behind a unique_ptr so entry (and
+  // container) addresses survive service moves: schemes hold a pointer to
+  // their epoch's spec.graph(), sessions and run records to both. Reads go
+  // through head_ (atomic) or a record's cached pointers — never through
+  // the deque itself, whose push_back is guarded by epoch_mu_.
+  std::unique_ptr<std::deque<SpecEpoch>> epochs_;
+  std::unique_ptr<std::atomic<const SpecEpoch*>> head_;
+  std::unique_ptr<std::mutex> epoch_mu_;  // serializes ApplySpecDelta
+  /// The bundled scheme kind deltas rebuild with; set iff the scheme's
+  /// name round-trips through ParseSpecSchemeKind. A service over a
+  /// caller-constructed scheme cannot apply deltas (nor snapshot).
+  bool bundled_scheme_ = false;
+  SpecSchemeKind scheme_kind_ = SpecSchemeKind::kTcm;
   Options options_;
 
   /// Registers the labeling histogram and per-shard cache gauges on
@@ -482,10 +589,11 @@ class ProvenanceService {
   // and handed-out ReadHandles keep stable addresses.
   std::unique_ptr<RunRegistry> registry_;
 
-  // Behind a unique_ptr for movability; labeling_hist_ points into
-  // metrics_ (stable addresses) and records lock-free.
+  // Behind a unique_ptr for movability; the histogram pointers point into
+  // metrics_ (stable addresses) and record lock-free.
   std::unique_ptr<MetricsRegistry> metrics_;
   LatencyHistogram* labeling_hist_ = nullptr;
+  LatencyHistogram* relabel_hist_ = nullptr;  ///< skl_spec_relabel_us
 
   std::unique_ptr<std::mutex> pool_mu_;  // guards lazy pool_ creation
   std::unique_ptr<ThreadPool> pool_;     // created on first bulk call
@@ -536,11 +644,16 @@ class RunSession {
 
  private:
   friend class ProvenanceService;
-  RunSession(ProvenanceService* service, const Specification* spec,
-             const SpecLabelingScheme* scheme)
-      : service_(service), labeler_(spec, scheme) {}
+  RunSession(ProvenanceService* service,
+             const ProvenanceService::SpecEpoch* epoch)
+      : service_(service),
+        epoch_(epoch),
+        labeler_(epoch->spec.get(), epoch->scheme.get()) {}
 
   ProvenanceService* service_;
+  /// The epoch the session labels against, captured at OpenSession time;
+  /// Seal registers the run frozen to it even if deltas landed meanwhile.
+  const ProvenanceService::SpecEpoch* epoch_;
   OnlineLabeler labeler_;
 };
 

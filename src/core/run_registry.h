@@ -57,6 +57,9 @@
 
 namespace skl {
 
+class Specification;
+class SpecLabelingScheme;
+
 /// Per-run bookkeeping returned by ProvenanceService::Stats.
 struct RunStats {
   VertexId num_vertices = 0;
@@ -66,6 +69,10 @@ struct RunStats {
   uint32_t origin_bits = 0;    ///< ceil(log2 n_G); 0 for imported runs
   uint32_t num_nonempty_plus = 0;  ///< nonempty + nodes; 0 for imported runs
   bool imported = false;       ///< true when ingested via ImportRun
+  /// Spec epoch the run was ingested under (docs/UPDATES.md). Runs are
+  /// frozen to their epoch: queries answer against that epoch's scheme
+  /// forever, so later spec deltas never change an existing answer.
+  uint64_t epoch = 1;
 };
 
 /// What a shard stores per run: the immutable bit-packed labels (+ catalog)
@@ -73,6 +80,12 @@ struct RunStats {
 struct RunRecord {
   ProvenanceStore store;
   RunStats stats;
+  /// The ingest epoch's specification and labeling scheme, borrowed from
+  /// the service's epoch chain (epoch entries are never destroyed, so the
+  /// pointers stay valid for the service's lifetime). Null in contexts
+  /// without a service (registry unit tests); the service always sets them.
+  const Specification* spec = nullptr;
+  const SpecLabelingScheme* scheme = nullptr;
 };
 
 class RunRegistry {

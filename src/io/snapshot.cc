@@ -383,20 +383,55 @@ Result<std::span<const uint8_t>> SnapshotReader::Section(uint32_t id) const {
 
 Result<SnapshotWriter> ProvenanceService::BuildSnapshotWriter(
     uint32_t format_version) const {
-  const std::string_view scheme_name = scheme_->name();
+  const std::string_view scheme_name = scheme().name();
   if (!ParseSpecSchemeKind(scheme_name).ok()) {
     return Status::InvalidArgument(
         "scheme '" + std::string(scheme_name) +
         "' is not a bundled SpecSchemeKind; only services over bundled "
         "schemes can be snapshotted");
   }
+  // Freeze the epoch chain for this snapshot: deltas applied after this
+  // point are simply not part of the file, exactly like runs published
+  // after the registry sweep below. (Epoch entries are append-only, so the
+  // copied prefix stays internally consistent.)
+  std::vector<std::pair<uint64_t, std::vector<uint8_t>>> deltas;
+  uint64_t epoch_count = 1;
+  {
+    std::lock_guard<std::mutex> lock(*epoch_mu_);
+    epoch_count = epochs_->back().number;
+    for (const SpecEpoch& e : *epochs_) {
+      if (e.number < 2) continue;  // epoch 1 is the spec XML itself
+      deltas.emplace_back(e.number, SerializeSpecDelta(e.delta));
+    }
+  }
+  if (format_version < 3 && epoch_count > 1) {
+    return Status::InvalidArgument(
+        "cannot write snapshot format version " +
+        std::to_string(format_version) + ": the service is at spec epoch " +
+        std::to_string(epoch_count) +
+        " and only format 3+ records the epoch chain");
+  }
   SnapshotWriter writer(format_version);
-  const std::string spec_xml = WriteSpecificationXml(*spec_);
+  // The Spec section always holds the *creation* (epoch 1) specification;
+  // the Epochs section replays the deltas on load.
+  const std::string spec_xml = WriteSpecificationXml(base_spec());
   writer.AddSection(kSnapshotSectionSpec,
                     std::vector<uint8_t>(spec_xml.begin(), spec_xml.end()));
   writer.AddSection(
       kSnapshotSectionScheme,
       std::vector<uint8_t>(scheme_name.begin(), scheme_name.end()));
+  if (format_version >= 3) {
+    // Epochs section: varint chain length, then per epoch >= 2 its number
+    // and the serialized delta that produced it.
+    BitWriter epochs;
+    epochs.WriteVarint(epoch_count);
+    for (const auto& [number, blob] : deltas) {
+      epochs.WriteVarint(number);
+      epochs.WriteVarint(blob.size());
+      epochs.WriteBytes(blob);
+    }
+    writer.AddSection(kSnapshotSectionEpochs, epochs.Finish());
+  }
 
   // Compose the registry view shard by shard under each shard's read lock
   // — no stop-the-world pass, so queries keep answering while the snapshot
@@ -410,6 +445,10 @@ Result<SnapshotWriter> ProvenanceService::BuildSnapshotWriter(
   };
   std::vector<SavedRun> saved;
   registry_->ForEach([&](uint64_t id, const RunRecord& record) {
+    // A run ingested under an epoch past the frozen chain (a delta raced
+    // in between the chain copy and this sweep) belongs to a later
+    // snapshot; including it would dangle off the recorded chain.
+    if (record.stats.epoch > epoch_count) return;
     saved.push_back({id, record.stats, record.store});
   });
   // Read the id allocator *after* the sweep: every id the sweep collected
@@ -471,6 +510,7 @@ Result<SnapshotWriter> ProvenanceService::BuildSnapshotWriter(
     index.WriteVarint(s.origin_bits);
     index.WriteVarint(s.num_nonempty_plus);
     index.WriteVarint(s.imported ? 1 : 0);
+    if (format_version >= 3) index.WriteVarint(s.epoch);
     index.WriteVarint(r.store.num_reader_entries());
     const std::string& tag = r.store.scheme_tag();
     index.WriteVarint(tag.size());
@@ -604,8 +644,53 @@ Result<ProvenanceService> ProvenanceService::LoadFromSnapshotReader(
   // Rebuilds the skeleton scheme over the restored spec (deterministic).
   SKL_ASSIGN_OR_RETURN(ProvenanceService service,
                        Create(std::move(spec), kind, options));
-  const std::string_view scheme_name = service.scheme_->name();
-  const VertexId n_g = service.spec_->graph().num_vertices();
+
+  // v3: replay the recorded delta chain before any run is restored, so
+  // every run's ingest epoch resolves to a live chain entry. Replay goes
+  // through the replica path — chain continuity is enforced and nothing is
+  // re-logged.
+  if (reader.Has(kSnapshotSectionEpochs)) {
+    SKL_ASSIGN_OR_RETURN(std::span<const uint8_t> epoch_bytes,
+                         reader.Section(kSnapshotSectionEpochs));
+    BitReader epochs(epoch_bytes.data(), epoch_bytes.size());
+    uint64_t chain_len = 0;
+    SKL_RETURN_NOT_OK(epochs.ReadVarint(&chain_len));
+    if (chain_len == 0) {
+      return Status::ParseError("snapshot epoch chain: length is zero");
+    }
+    for (uint64_t number = 2; number <= chain_len; ++number) {
+      uint64_t recorded = 0, blob_len = 0;
+      std::span<const uint8_t> blob;
+      if (!epochs.ReadVarint(&recorded).ok() ||
+          !epochs.ReadVarint(&blob_len).ok() ||
+          !epochs.ReadBytes(static_cast<size_t>(blob_len), &blob).ok()) {
+        return Status::ParseError(
+            "snapshot epoch chain truncated at epoch " +
+            std::to_string(number));
+      }
+      if (recorded != number) {
+        return Status::ParseError(
+            "snapshot epoch chain out of order: expected epoch " +
+            std::to_string(number) + ", found " + std::to_string(recorded));
+      }
+      SKL_ASSIGN_OR_RETURN(SpecDelta delta, DeserializeSpecDelta(blob));
+      Status applied = service.ApplySpecDeltaReplicated(delta, number);
+      if (!applied.ok()) {
+        return Status::ParseError(
+            "snapshot epoch " + std::to_string(number) +
+            " does not replay: " + applied.message());
+      }
+    }
+    epochs.AlignToByte();
+    if (epochs.bit_position() / 8 != epoch_bytes.size()) {
+      return Status::ParseError(
+          "snapshot epoch chain has trailing bytes after the declared "
+          "deltas");
+    }
+  }
+
+  const std::string_view scheme_name = service.scheme().name();
+  const VertexId n_g = service.base_spec().graph().num_vertices();
 
   if (reader.Has(kSnapshotSectionRunIndex)) {
     SKL_RETURN_NOT_OK(
@@ -688,6 +773,11 @@ Result<ProvenanceService> ProvenanceService::LoadFromSnapshotReader(
     record.stats.origin_bits = static_cast<uint32_t>(origin_bits);
     record.stats.num_nonempty_plus = static_cast<uint32_t>(num_nonempty_plus);
     record.stats.imported = imported != 0;
+    // The v1 runs section predates epochs: every run is epoch 1.
+    const SpecEpoch* at = service.FindEpoch(1);
+    record.stats.epoch = 1;
+    record.spec = at->spec.get();
+    record.scheme = at->scheme.get();
     record.store = std::move(store);
     if (!service.registry_->Restore(id, std::move(record))) {
       return Status::ParseError("snapshot run registry: duplicate run id " +
@@ -707,6 +797,7 @@ Status ProvenanceService::LoadColumnarRuns(const SnapshotReader& reader,
                                            std::string_view scheme_name,
                                            VertexId n_g,
                                            ProvenanceService* service) {
+  (void)n_g;  // origin checks are per-run-epoch since format v3
   SKL_ASSIGN_OR_RETURN(std::span<const uint8_t> index_bytes,
                        reader.Section(kSnapshotSectionRunIndex));
   BitReader index(index_bytes.data(), index_bytes.size());
@@ -731,7 +822,7 @@ Status ProvenanceService::LoadColumnarRuns(const SnapshotReader& reader,
   for (uint64_t i = 0; i < count; ++i) {
     uint64_t id = 0, num_vertices = 0, num_items = 0, label_bits = 0,
              context_bits = 0, origin_bits = 0, num_nonempty_plus = 0,
-             imported = 0, readers_total = 0, tag_len = 0;
+             imported = 0, epoch = 1, readers_total = 0, tag_len = 0;
     SKL_RETURN_NOT_OK(index.ReadVarint(&id));
     SKL_RETURN_NOT_OK(index.ReadVarint(&num_vertices));
     SKL_RETURN_NOT_OK(index.ReadVarint(&num_items));
@@ -740,6 +831,9 @@ Status ProvenanceService::LoadColumnarRuns(const SnapshotReader& reader,
     SKL_RETURN_NOT_OK(index.ReadVarint(&origin_bits));
     SKL_RETURN_NOT_OK(index.ReadVarint(&num_nonempty_plus));
     SKL_RETURN_NOT_OK(index.ReadVarint(&imported));
+    if (reader.format_version() >= 3) {
+      SKL_RETURN_NOT_OK(index.ReadVarint(&epoch));
+    }
     SKL_RETURN_NOT_OK(index.ReadVarint(&readers_total));
     SKL_RETURN_NOT_OK(index.ReadVarint(&tag_len));
     if (id <= prev_id || id >= next_id) {
@@ -749,6 +843,12 @@ Status ProvenanceService::LoadColumnarRuns(const SnapshotReader& reader,
     }
     if (imported > 1) {
       return Status::ParseError("snapshot run registry: bad imported flag");
+    }
+    if (service->FindEpoch(epoch) == nullptr) {
+      return Status::ParseError(
+          "snapshot run " + std::to_string(id) + " was ingested under spec "
+          "epoch " + std::to_string(epoch) +
+          ", which the snapshot's epoch chain does not reach");
     }
     if (num_vertices > UINT32_MAX || num_items > UINT32_MAX ||
         label_bits > UINT32_MAX || context_bits > UINT32_MAX ||
@@ -779,6 +879,7 @@ Status ProvenanceService::LoadColumnarRuns(const SnapshotReader& reader,
     meta.stats.origin_bits = static_cast<uint32_t>(origin_bits);
     meta.stats.num_nonempty_plus = static_cast<uint32_t>(num_nonempty_plus);
     meta.stats.imported = imported != 0;
+    meta.stats.epoch = epoch;
     meta.readers_total = readers_total;
     meta.tag = std::move(tag);
     metas.push_back(std::move(meta));
@@ -865,14 +966,18 @@ Status ProvenanceService::LoadColumnarRuns(const SnapshotReader& reader,
     const std::span<const uint32_t> offsets(base[5] + cum_offsets, items + 1);
     const std::span<const uint32_t> readers(base[6] + cum_readers,
                                             readers_total);
-    // Same guard as ImportRun: every origin must name a spec vertex, or
-    // queries would index the rebuilt scheme out of range.
+    // Same guard as ImportRun, against the run's *own* epoch: every origin
+    // must name a vertex of the spec the run was labeled under, or queries
+    // would index that epoch's scheme out of range. (Presence was already
+    // verified in the index pass.)
+    const SpecEpoch* at = service->FindEpoch(meta.stats.epoch);
+    const VertexId run_n_g = at->spec->graph().num_vertices();
     for (uint32_t o : origin) {
-      if (o >= n_g) {
+      if (o >= run_n_g) {
         return Status::ParseError(
             "snapshot run " + std::to_string(meta.id) +
             " references spec vertex " + std::to_string(o) +
-            " unknown to the snapshotted specification");
+            " unknown to its epoch's specification");
       }
     }
     for (uint32_t w : writers) {
@@ -899,6 +1004,8 @@ Status ProvenanceService::LoadColumnarRuns(const SnapshotReader& reader,
     }
     RunRecord record;
     record.stats = meta.stats;
+    record.spec = at->spec.get();
+    record.scheme = at->scheme.get();
     record.store = ProvenanceStore::FromColumns(
         q1, q2, q3, origin, writers, offsets, readers, std::move(meta.tag),
         backing);

@@ -44,9 +44,13 @@ namespace skl {
 
 /// Current container format version written by SnapshotWriter. Version 1
 /// stored runs as per-run self-describing blobs; version 2 stores them as
-/// contiguous columnar arrays (plus the run index). SnapshotReader accepts
-/// both; see docs/PERSISTENCE.md for the compat matrix.
-inline constexpr uint32_t kSnapshotFormatVersion = 2;
+/// contiguous columnar arrays (plus the run index); version 3 adds the
+/// spec-epoch chain (docs/UPDATES.md) — the delta history and a per-run
+/// ingest epoch in the run index. SnapshotReader accepts all three; see
+/// docs/PERSISTENCE.md for the compat matrix. A service past epoch 1
+/// refuses to save at versions < 3 (older readers would mis-attribute its
+/// runs to the creation spec).
+inline constexpr uint32_t kSnapshotFormatVersion = 3;
 
 /// Alignment (bytes) the writer guarantees for aligned sections' payloads,
 /// chosen to match cache-line / SIMD-width expectations of the column
@@ -60,6 +64,7 @@ inline constexpr uint32_t kSnapshotSectionScheme = 2;    ///< scheme name
 inline constexpr uint32_t kSnapshotSectionRuns = 3;      ///< v1 run registry
 inline constexpr uint32_t kSnapshotSectionRunIndex = 4;  ///< v2 run index
 inline constexpr uint32_t kSnapshotSectionColumns = 5;   ///< v2 label columns
+inline constexpr uint32_t kSnapshotSectionEpochs = 6;    ///< v3 epoch chain
 
 /// Owns the bytes a parsed snapshot points into — a heap buffer or a
 /// read-only mmap'd region. Shared (via shared_ptr) by the SnapshotReader

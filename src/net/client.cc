@@ -544,8 +544,21 @@ Result<ServiceStats> ProvenanceClient::GetServiceStats() {
   SKL_ASSIGN_OR_RETURN(stats.connections_backpressured, reader.U64());
   SKL_ASSIGN_OR_RETURN(stats.epoll_wakeups, reader.U64());
   SKL_ASSIGN_OR_RETURN(stats.accept_backoffs, reader.U64());
+  SKL_ASSIGN_OR_RETURN(stats.spec_epoch, reader.U64());
   SKL_RETURN_NOT_OK(reader.ExpectEnd());
   return stats;
+}
+
+Result<uint64_t> ProvenanceClient::ApplySpecDelta(const SpecDelta& delta) {
+  PayloadWriter req;
+  req.Bytes(SerializeSpecDelta(delta));
+  req.U64(trace_id_);
+  SKL_ASSIGN_OR_RETURN(
+      std::vector<uint8_t> reply,
+      Call(MsgType::kApplySpecDelta, std::move(req).Finish()));
+  // Same shape as every mutating reply: the value, then the ack LSN.
+  SKL_ASSIGN_OR_RETURN(RunId epoch_as_id, DecodeMutationReply(reply));
+  return epoch_as_id.value();
 }
 
 Status ProvenanceClient::SaveSnapshot(const std::string& path) {

@@ -139,6 +139,11 @@ class ProvenanceClient {
   Result<RunStats> Stats(RunId id);
   Result<ServiceStats> GetServiceStats();
 
+  /// Applies a specification delta on the server (docs/UPDATES.md) and
+  /// returns the new spec epoch. A v6 mutating call: the reply's ack LSN
+  /// updates last_write_lsn() like every other mutation.
+  Result<uint64_t> ApplySpecDelta(const SpecDelta& delta);
+
   /// Snapshot save/load on the *server's* filesystem.
   Status SaveSnapshot(const std::string& path);
   Status LoadSnapshot(const std::string& path);

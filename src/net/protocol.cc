@@ -30,6 +30,7 @@ const char* MsgTypeName(MsgType type) {
     case MsgType::kSubscribe: return "Subscribe";
     case MsgType::kMetrics: return "Metrics";
     case MsgType::kSlowQueries: return "SlowQueries";
+    case MsgType::kApplySpecDelta: return "ApplySpecDelta";
     case MsgType::kReply: return "Reply";
     case MsgType::kError: return "Error";
     case MsgType::kLogEntries: return "LogEntries";
@@ -40,7 +41,7 @@ const char* MsgTypeName(MsgType type) {
 
 bool IsRequestType(uint8_t type) {
   return type >= static_cast<uint8_t>(MsgType::kPing) &&
-         type <= static_cast<uint8_t>(MsgType::kSlowQueries);
+         type <= static_cast<uint8_t>(MsgType::kApplySpecDelta);
 }
 
 void EncodeFrame(const Frame& frame, std::vector<uint8_t>* out) {
@@ -228,7 +229,7 @@ Status DecodeErrorPayloadImpl(std::span<const uint8_t> payload,
     return Status::ParseError("malformed error payload: " + end.message());
   }
   if (code == static_cast<uint64_t>(StatusCode::kOk) ||
-      code > static_cast<uint64_t>(StatusCode::kRetryAt)) {
+      code > static_cast<uint64_t>(StatusCode::kEpochMismatch)) {
     // An error frame must carry an error; map codes from a future peer to
     // Internal but keep the human-readable message.
     return Status(StatusCode::kInternal,

@@ -61,7 +61,11 @@ namespace skl {
 /// to in-range v5 requests and recorded in the server's slow-query log;
 /// the kMetrics / kSlowQueries opcodes expose Prometheus text metrics and
 /// the slow-query ring buffer.
-inline constexpr uint8_t kProtocolVersion = 5;
+/// Version 6 (dynamic spec updates, docs/UPDATES.md): the kApplySpecDelta
+/// opcode mutates the specification (reply: {new epoch, ack LSN}), the
+/// kServiceStats reply grows a trailing spec-epoch varint, and kError can
+/// carry StatusCode::kEpochMismatch.
+inline constexpr uint8_t kProtocolVersion = 6;
 
 /// Oldest request version the server still dispatches. Version-2 requests
 /// are answered in version-2 reply shapes, so pre-replication clients keep
@@ -104,6 +108,7 @@ enum class MsgType : uint8_t {
   kSubscribe = 19,     ///< v3: {after_lsn, max}; answered by kLogEntries
   kMetrics = 20,       ///< v5: reply carries Prometheus text exposition
   kSlowQueries = 21,   ///< v5: reply carries the slow-query ring buffer
+  kApplySpecDelta = 22,  ///< v6: {delta blob}; reply {epoch, ack lsn}
 
   kReply = 64,
   kError = 65,

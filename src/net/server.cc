@@ -787,7 +787,7 @@ void ProvenanceServer::RegisterMetrics() {
   // family, and Prometheus requires a family's samples to be adjacent.
   for (int pass = 0; pass < 2; ++pass) {
     for (uint8_t op = static_cast<uint8_t>(MsgType::kPing);
-         op <= static_cast<uint8_t>(MsgType::kSlowQueries); ++op) {
+         op <= static_cast<uint8_t>(MsgType::kApplySpecDelta); ++op) {
       if (!IsRequestType(op)) continue;
       const std::string labels =
           std::string("op=\"") + MsgTypeName(static_cast<MsgType>(op)) + "\"";
@@ -957,7 +957,8 @@ Result<std::vector<uint8_t>> ProvenanceServer::Dispatch(
   if (options_.read_only &&
       (frame.type == MsgType::kAddRun || frame.type == MsgType::kImportRun ||
        frame.type == MsgType::kRemoveRun ||
-       frame.type == MsgType::kLoadSnapshot)) {
+       frame.type == MsgType::kLoadSnapshot ||
+       frame.type == MsgType::kApplySpecDelta)) {
     return Status::InvalidArgument(
         "read-only replica; writes must go to the primary");
   }
@@ -1186,6 +1187,7 @@ Result<std::vector<uint8_t>> ProvenanceServer::Dispatch(
         out.U64(rs.epoll_wakeups);
         out.U64(rs.accept_backoffs);
       }
+      if (frame.version >= 6) out.U64(stats.spec_epoch);
       break;
     }
     case MsgType::kSnapshotFetch: {
@@ -1288,6 +1290,17 @@ Result<std::vector<uint8_t>> ProvenanceServer::Dispatch(
         out.U64(e.queue_us);
         out.U64(e.exec_us);
       }
+      break;
+    }
+    case MsgType::kApplySpecDelta: {
+      SKL_ASSIGN_OR_RETURN(std::span<const uint8_t> blob, reader.Bytes());
+      SKL_RETURN_NOT_OK(end_request(reader));
+      SKL_ASSIGN_OR_RETURN(SpecDelta delta, DeserializeSpecDelta(blob));
+      // Internally synchronized (the service's epoch mutex): the shared
+      // service_mu_ held by HandleFrame is enough, exactly as for AddRun.
+      SKL_ASSIGN_OR_RETURN(uint64_t epoch, service_.ApplySpecDelta(delta));
+      out.U64(epoch);
+      if (v3) out.U64(service_.replication_lsn());
       break;
     }
     default:

@@ -51,8 +51,11 @@
 
 namespace skl {
 
-/// Current op-log format version.
-inline constexpr uint32_t kOpLogFormatVersion = 1;
+/// Current op-log format version. Version 2 (docs/UPDATES.md) adds the
+/// run's spec epoch to add/import entries and the kSpecDelta entry kind;
+/// version-1 files remain readable (their runs decode as epoch 1) but
+/// refuse v2-only appends.
+inline constexpr uint32_t kOpLogFormatVersion = 2;
 
 /// One replicated operation. The AddRun/ImportRun payload carries the
 /// registered id, the ingestion-time RunStats and the ProvenanceStore blob
@@ -64,30 +67,42 @@ struct LogOp {
     kImportRun = 2,        ///< ImportRun (replica apply also invalidates)
     kRemoveRun = 3,
     kSnapshotBarrier = 4,  ///< service replaced via LoadSnapshot
+    kSpecDelta = 5,        ///< ApplySpecDelta (format v2+ only)
   };
 
   Kind kind = Kind::kAddRun;
   uint64_t lsn = 0;     ///< assigned by OpLog::Append
-  uint64_t run_id = 0;  ///< add/import/remove; unused for barriers
-  RunStats stats;       ///< add/import only
+  uint64_t run_id = 0;  ///< add/import/remove; unused for barriers/deltas
+  /// add/import: the ingestion-time stats (stats.epoch is the run's spec
+  /// epoch). kSpecDelta reuses stats.epoch alone: the epoch the delta
+  /// *produces*, so a replica can verify chain continuity before applying.
+  RunStats stats;
   /// add/import: the ProvenanceStore blob; barrier: the server-side
-  /// snapshot path (recovery chains through it).
+  /// snapshot path (recovery chains through it); delta: the
+  /// SerializeSpecDelta bytes.
   std::vector<uint8_t> blob;
 };
 
 /// Encodes one op into its entry payload (without the length/CRC framing):
-/// the byte shape that travels in kLogEntries frames and on disk.
-std::vector<uint8_t> SerializeLogOp(const LogOp& op);
+/// the byte shape that travels in kLogEntries frames and on disk, at the
+/// given format version. Version 1 cannot express epochs past 1 or
+/// kSpecDelta — callers must gate (OpLog::Append does).
+std::vector<uint8_t> SerializeLogOp(const LogOp& op,
+                                    uint32_t version = kOpLogFormatVersion);
 
-/// Decodes an entry payload, validating the op kind, field ranges and that
-/// the payload is fully consumed. `lsn` is whatever the entry carries; the
-/// sequence check against the predecessor is the caller's.
-Result<LogOp> DeserializeLogOp(std::span<const uint8_t> payload);
+/// Decodes an entry payload at the given format version, validating the op
+/// kind, field ranges and that the payload is fully consumed. `lsn` is
+/// whatever the entry carries; the sequence check against the predecessor
+/// is the caller's. Version-1 payloads decode with stats.epoch = 1.
+Result<LogOp> DeserializeLogOp(std::span<const uint8_t> payload,
+                               uint32_t version = kOpLogFormatVersion);
 
 /// What OpLog::ReplayFile recovered from a log file.
 struct OpLogReplay {
   std::string spec_xml;
   std::string scheme_name;
+  /// The file's format version (1 or 2).
+  uint32_t version = kOpLogFormatVersion;
   /// The valid entry prefix, LSNs 1..last_lsn in order.
   std::vector<LogOp> ops;
   uint64_t last_lsn = 0;
@@ -162,6 +177,13 @@ class OpLog {
   const std::string& spec_xml() const { return spec_xml_; }
   const std::string& scheme_name() const { return scheme_name_; }
 
+  /// The format version of the backing file: kOpLogFormatVersion for a
+  /// fresh file, the recorded version for a reopened one. Appends encode
+  /// at this version; v2-only ops (kSpecDelta, epoch > 1) into a version-1
+  /// file fail with InvalidArgument instead of writing bytes a version-1
+  /// reader would mis-decode.
+  uint32_t file_version() const { return file_version_; }
+
   /// Append latency distributions, microseconds (docs/OBSERVABILITY.md):
   /// the whole Append (serialize + write + flush + fsync) and the fsync
   /// portion alone (0-filled when Options::fsync is off). The net server
@@ -177,6 +199,7 @@ class OpLog {
   std::string spec_xml_;
   std::string scheme_name_;
   Options options_;
+  uint32_t file_version_ = kOpLogFormatVersion;  // set once in Open
 
   mutable std::mutex mu_;
   std::FILE* file_ = nullptr;     // guarded by mu_

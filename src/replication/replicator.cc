@@ -23,6 +23,13 @@ Status ApplyLogOp(ProvenanceService& service, const LogOp& op) {
     }
     case LogOp::Kind::kSnapshotBarrier:
       return Status::OK();
+    case LogOp::Kind::kSpecDelta: {
+      SKL_ASSIGN_OR_RETURN(SpecDelta delta, DeserializeSpecDelta(op.blob));
+      // op.stats.epoch is the epoch the delta produced on the primary; the
+      // replica path enforces chain continuity and skips already-applied
+      // epochs (snapshot/stream overlap).
+      return service.ApplySpecDeltaReplicated(delta, op.stats.epoch);
+    }
   }
   return Status::InvalidArgument(
       "log op kind " +

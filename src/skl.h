@@ -38,6 +38,7 @@
 #include "src/replication/replicator.h"
 #include "src/speclabel/scheme.h"
 #include "src/workflow/run.h"
+#include "src/workflow/spec_delta.h"
 #include "src/workflow/specification.h"
 #include "src/workflow/validation.h"
 

@@ -9,6 +9,7 @@
 #define SKL_SPECLABEL_SCHEME_H_
 
 #include <memory>
+#include <span>
 #include <string>
 #include <string_view>
 
@@ -46,6 +47,24 @@ class SpecLabelingScheme {
 
   /// Builds labels for `g`. Must be called exactly once before queries.
   virtual Status Build(const Digraph& g) = 0;
+
+  /// Builds labels for `new_graph` given the built index of `previous`
+  /// (the same scheme kind over the pre-delta graph), a vertex remap
+  /// (`vertex_remap[old] == new id`, or kInvalidVertex if removed) and the
+  /// set of `dirty` new-graph vertices whose reachable sets may have
+  /// changed (docs/UPDATES.md). Implementations must produce a result
+  /// bit-identical to Build(new_graph); the default does exactly that.
+  /// Schemes with a canonical index (TCM) override this to reuse the clean
+  /// region of `previous` and recompute only the dirty rows.
+  virtual Status BuildIncremental(const Digraph& new_graph,
+                                  const SpecLabelingScheme& previous,
+                                  std::span<const VertexId> vertex_remap,
+                                  std::span<const VertexId> dirty) {
+    (void)previous;
+    (void)vertex_remap;
+    (void)dirty;
+    return Build(new_graph);
+  }
 
   /// Reflexive reachability between spec vertices.
   virtual bool Reaches(VertexId u, VertexId v) const = 0;

@@ -4,6 +4,7 @@
 #ifndef SKL_SPECLABEL_TCM_H_
 #define SKL_SPECLABEL_TCM_H_
 
+#include <span>
 #include <vector>
 
 #include "src/common/bitset.h"
@@ -15,6 +16,14 @@ class TcmScheme : public SpecLabelingScheme {
  public:
   std::string_view name() const override { return "TCM"; }
   Status Build(const Digraph& g) override;
+  /// The closure matrix is canonical, so an incremental build can copy the
+  /// rows of vertices outside the dirty region verbatim (remapping columns
+  /// through `vertex_remap`) and recompute only the dirty rows by BFS —
+  /// bit-identical to a full rebuild.
+  Status BuildIncremental(const Digraph& new_graph,
+                          const SpecLabelingScheme& previous,
+                          std::span<const VertexId> vertex_remap,
+                          std::span<const VertexId> dirty) override;
   bool Reaches(VertexId u, VertexId v) const override;
   size_t TotalLabelBits() const override;
   size_t MaxLabelBits() const override;

@@ -1,0 +1,94 @@
+// SpecDelta: a single edit to a workflow specification, the unit of the
+// dynamic-update subsystem (docs/UPDATES.md). Deltas name modules by their
+// *names*, never by vertex id — ids renumber when a module is removed, so a
+// name is the only stable coordinate across epochs.
+//
+// Grammar (four operations):
+//   AddModule    {module, from[], to[]}  — new module wired below the named
+//                                          upstream modules and above the
+//                                          named downstream modules
+//   RemoveModule {module}                — drop the module and its edges
+//   AddEdge      {edge_from, edge_to}    — new data channel between modules
+//   RemoveEdge   {edge_from, edge_to}    — drop an existing data channel
+//
+// Applying a delta reconstructs the specification through
+// SpecificationBuilder, so every Definition 1-3 invariant (acyclic flow
+// network, unique source/sink, well-nested fork/loop subgraphs) is
+// re-validated; an edit that would break the model comes back as a
+// descriptive error and the base specification is untouched. The
+// application also reports the *dirty region* — the new-graph vertices
+// whose reachable sets may differ from the base — which is what lets a
+// labeling scheme relabel incrementally instead of rebuilding from scratch.
+#ifndef SKL_WORKFLOW_SPEC_DELTA_H_
+#define SKL_WORKFLOW_SPEC_DELTA_H_
+
+#include <cstdint>
+#include <span>
+#include <string>
+#include <vector>
+
+#include "src/common/status.h"
+#include "src/workflow/specification.h"
+
+namespace skl {
+
+/// One specification edit. Which fields are meaningful depends on `kind`;
+/// the rest must be left empty (the serializer enforces this shape).
+struct SpecDelta {
+  enum class Kind : uint8_t {
+    kAddModule = 1,
+    kRemoveModule = 2,
+    kAddEdge = 3,
+    kRemoveEdge = 4,
+  };
+
+  Kind kind = Kind::kAddModule;
+  /// kAddModule / kRemoveModule: the module being added or removed.
+  std::string module;
+  /// kAddModule: upstream neighbors (edges from[i] -> module) and
+  /// downstream neighbors (edges module -> to[i]). Either may be empty,
+  /// but a module with no edges at all cannot join the flow network.
+  std::vector<std::string> from;
+  std::vector<std::string> to;
+  /// kAddEdge / kRemoveEdge: the edge endpoints.
+  std::string edge_from;
+  std::string edge_to;
+};
+
+/// "AddModule", "RemoveModule", "AddEdge", "RemoveEdge" or "Unknown".
+const char* SpecDeltaKindName(SpecDelta::Kind kind);
+
+/// Serializes a delta to a self-contained byte blob (varint framing in the
+/// op-log style): kind byte, then the kind's fields as length-prefixed
+/// strings / string lists.
+std::vector<uint8_t> SerializeSpecDelta(const SpecDelta& delta);
+
+/// Restores a delta from SerializeSpecDelta bytes. Rejects unknown kinds,
+/// truncated or oversized fields, and trailing garbage with ParseError.
+Result<SpecDelta> DeserializeSpecDelta(std::span<const uint8_t> bytes);
+
+/// The outcome of applying a delta to a base specification.
+struct SpecDeltaApplication {
+  /// The rebuilt (and re-validated) specification.
+  Specification spec;
+  /// Old vertex id -> new vertex id; kInvalidVertex for a removed module.
+  /// Size == base.graph().num_vertices().
+  std::vector<VertexId> vertex_remap;
+  /// New-graph vertices whose reachable sets may differ from the base
+  /// (sorted ascending): the ancestors of the delta's anchor vertex. Every
+  /// vertex outside this set provably keeps its reachability row, so a
+  /// canonical scheme can copy those labels forward.
+  std::vector<VertexId> dirty;
+};
+
+/// Applies `delta` to `base`, revalidating through SpecificationBuilder.
+/// On any failure (unknown module names, duplicate module, duplicate or
+/// missing edge, a module that participates in a fork/loop declaration,
+/// or a rebuild that violates Definitions 1-3) the error Status describes
+/// the rejection and `base` is untouched.
+Result<SpecDeltaApplication> ApplySpecDeltaToSpec(const Specification& base,
+                                                  const SpecDelta& delta);
+
+}  // namespace skl
+
+#endif  // SKL_WORKFLOW_SPEC_DELTA_H_

@@ -197,6 +197,56 @@ TEST(BitsetTest, Equality) {
   EXPECT_TRUE(a == b);
 }
 
+TEST(BitsetTest, GrowToPreservesBitsAndClearsNewOnes) {
+  DynamicBitset bs(70);
+  bs.Set(0);
+  bs.Set(63);
+  bs.Set(69);
+  bs.GrowTo(200);
+  EXPECT_EQ(bs.size(), 200u);
+  EXPECT_TRUE(bs.Test(0));
+  EXPECT_TRUE(bs.Test(63));
+  EXPECT_TRUE(bs.Test(69));
+  for (size_t i = 70; i < 200; ++i) EXPECT_FALSE(bs.Test(i)) << i;
+  bs.GrowTo(200);  // growing to the current size is a no-op
+  EXPECT_EQ(bs.size(), 200u);
+}
+
+// EraseBit against a reference model, across word-boundary positions: the
+// word-level shift-with-carry must agree with deleting one element of a
+// bool vector for every erase position.
+TEST(BitsetTest, EraseBitMatchesReferenceModel) {
+  constexpr size_t kBits = 140;
+  for (size_t pos = 0; pos < kBits; ++pos) {
+    DynamicBitset bs(kBits);
+    std::vector<bool> model(kBits);
+    Rng rng(0xB17 + pos);
+    for (size_t i = 0; i < kBits; ++i) {
+      if (rng.NextBelow(2) == 1) {
+        bs.Set(i);
+        model[i] = true;
+      }
+    }
+    bs.EraseBit(pos);
+    model.erase(model.begin() + static_cast<ptrdiff_t>(pos));
+    ASSERT_EQ(bs.size(), kBits - 1);
+    for (size_t i = 0; i + 1 < kBits; ++i) {
+      ASSERT_EQ(bs.Test(i), model[i]) << "pos=" << pos << " i=" << i;
+    }
+  }
+}
+
+TEST(BitsetTest, EraseBitDownToEmpty) {
+  DynamicBitset bs(65);
+  bs.Set(64);
+  bs.EraseBit(0);  // the carried top bit shifts down a word
+  EXPECT_EQ(bs.size(), 64u);
+  EXPECT_TRUE(bs.Test(63));
+  while (bs.size() > 0) bs.EraseBit(bs.size() - 1);
+  EXPECT_EQ(bs.size(), 0u);
+  EXPECT_EQ(bs.MemoryBytes(), 0u);
+}
+
 TEST(BitCodecTest, RoundTripFixedWidths) {
   BitWriter w;
   w.Write(0b101, 3);

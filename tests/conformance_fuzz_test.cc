@@ -3,12 +3,24 @@
 // either rejects the mutant as nonconforming or — if the mutant happens to
 // remain a valid run — produces labels that still agree with graph search.
 // Either outcome is sound; silently mislabeling is the only failure mode.
+// The spec-delta dimension fuzzes the other mutable input: random valid
+// and invalid specification edits against a live service. An invalid delta
+// must come back as a descriptive typed Status — and must not corrupt
+// anything, which a full query sweep over every ingested run proves after
+// each rejection. A valid delta must advance the epoch by exactly one and
+// leave every old run's answers frozen.
 #include <gtest/gtest.h>
+
+#include <string>
+#include <vector>
 
 #include "src/common/check.h"
 #include "src/common/random.h"
+#include "src/core/provenance_service.h"
 #include "src/core/skeleton_labeler.h"
 #include "src/graph/algorithms.h"
+#include "src/workflow/spec_delta.h"
+#include "src/workload/data_generator.h"
 #include "src/workload/run_generator.h"
 #include "src/workload/spec_generator.h"
 
@@ -115,6 +127,169 @@ TEST_P(ConformanceFuzz, MutantsAreRejectedOrLabeledCorrectly) {
 
 INSTANTIATE_TEST_SUITE_P(Seeds, ConformanceFuzz,
                          ::testing::Values(1u, 2u, 3u, 4u, 5u, 6u));
+
+// ------------------------------------------------- spec-delta dimension --
+
+class SpecDeltaFuzz : public ::testing::TestWithParam<uint64_t> {};
+
+TEST_P(SpecDeltaFuzz, InvalidDeltasRejectDescriptivelyWithoutCorruption) {
+  const uint64_t seed = GetParam();
+  SpecGenOptions sopt;
+  sopt.num_vertices = 24;
+  sopt.num_edges = 36;
+  sopt.num_subgraphs = 3;
+  sopt.depth = 2;
+  sopt.seed = seed;
+  auto spec = GenerateSpecification(sopt);
+  ASSERT_TRUE(spec.ok()) << spec.status().ToString();
+  std::vector<std::string> module_names;
+  for (VertexId v = 0; v < spec->graph().num_vertices(); ++v) {
+    module_names.push_back(spec->ModuleName(v));
+  }
+
+  auto service = ProvenanceService::Create(spec.value(),
+                                           SpecSchemeKind::kTcm);
+  ASSERT_TRUE(service.ok()) << service.status().ToString();
+  RunGenerator gen(&service->spec());
+  std::vector<RunId> ids;
+  for (int i = 0; i < 3; ++i) {
+    RunGenOptions ropt;
+    ropt.target_vertices = 60;
+    ropt.seed = seed * 100 + i;
+    auto generated = gen.Generate(ropt);
+    ASSERT_TRUE(generated.ok());
+    DataGenOptions dopt;
+    dopt.seed = seed * 10 + i;
+    const DataCatalog catalog = GenerateDataCatalog(generated->run, dopt);
+    auto id = service->AddRun(generated->run, &catalog);
+    ASSERT_TRUE(id.ok()) << id.status().ToString();
+    ids.push_back(*id);
+  }
+
+  // Ground truth per run, captured before any delta: a probe grid across
+  // all four query kinds. The sweep below replays it verbatim.
+  struct Truth {
+    RunId id;
+    VertexId n;
+    size_t items;
+    std::vector<bool> reaches;       // n x n flattened (capped)
+    std::vector<bool> depends;       // items x items flattened (capped)
+  };
+  std::vector<Truth> truths;
+  for (RunId id : ids) {
+    auto stats = service->Stats(id);
+    ASSERT_TRUE(stats.ok());
+    Truth t;
+    t.id = id;
+    t.n = std::min<VertexId>(stats->num_vertices, 12);
+    t.items = std::min<size_t>(stats->num_items, 8);
+    for (VertexId u = 0; u < t.n; ++u) {
+      for (VertexId v = 0; v < t.n; ++v) {
+        auto r = service->Reaches(id, u, v);
+        ASSERT_TRUE(r.ok());
+        t.reaches.push_back(*r);
+      }
+    }
+    for (size_t x = 0; x < t.items; ++x) {
+      for (size_t y = 0; y < t.items; ++y) {
+        auto r = service->DependsOn(id, static_cast<DataItemId>(x),
+                                    static_cast<DataItemId>(y));
+        ASSERT_TRUE(r.ok());
+        t.depends.push_back(*r);
+      }
+    }
+    truths.push_back(std::move(t));
+  }
+  auto sweep = [&](const char* when) {
+    for (const Truth& t : truths) {
+      size_t k = 0;
+      for (VertexId u = 0; u < t.n; ++u) {
+        for (VertexId v = 0; v < t.n; ++v, ++k) {
+          auto r = service->Reaches(t.id, u, v);
+          ASSERT_TRUE(r.ok()) << when << ": " << r.status().ToString();
+          ASSERT_EQ(*r, t.reaches[k])
+              << when << ": Reaches(" << t.id.value() << ", " << u << ", "
+              << v << ") changed";
+        }
+      }
+      k = 0;
+      for (size_t x = 0; x < t.items; ++x) {
+        for (size_t y = 0; y < t.items; ++y, ++k) {
+          auto r = service->DependsOn(t.id, static_cast<DataItemId>(x),
+                                      static_cast<DataItemId>(y));
+          ASSERT_TRUE(r.ok()) << when << ": " << r.status().ToString();
+          ASSERT_EQ(*r, t.depends[k])
+              << when << ": DependsOn(" << t.id.value() << ", " << x << ", "
+              << y << ") changed";
+        }
+      }
+    }
+  };
+
+  Rng rng(seed * 104729 + 1);
+  auto pick_name = [&]() -> std::string {
+    const uint64_t r = rng.NextBelow(10);
+    if (r < 6) return module_names[rng.NextBelow(module_names.size())];
+    if (r < 8) return "zz" + std::to_string(rng.NextBelow(4));  // unknown
+    return "";  // empty name: always invalid
+  };
+  size_t applied = 0, rejected = 0;
+  uint64_t fresh = 0;
+  for (int trial = 0; trial < 80; ++trial) {
+    SpecDelta delta;
+    delta.kind = static_cast<SpecDelta::Kind>(1 + rng.NextBelow(4));
+    switch (delta.kind) {
+      case SpecDelta::Kind::kAddModule:
+        delta.module = rng.NextBelow(3) == 0
+                           ? pick_name()  // duplicate or garbage name
+                           : "dyn" + std::to_string(fresh++);
+        for (uint64_t i = 0; i < rng.NextBelow(3); ++i) {
+          delta.from.push_back(pick_name());
+        }
+        for (uint64_t i = 0; i < rng.NextBelow(3); ++i) {
+          delta.to.push_back(pick_name());
+        }
+        break;
+      case SpecDelta::Kind::kRemoveModule:
+        delta.module = pick_name();
+        break;
+      case SpecDelta::Kind::kAddEdge:
+      case SpecDelta::Kind::kRemoveEdge:
+        delta.edge_from = pick_name();
+        delta.edge_to = pick_name();
+        break;
+    }
+    const uint64_t epoch_before = service->spec_epoch();
+    auto result = service->ApplySpecDelta(delta);
+    if (result.ok()) {
+      ++applied;
+      ASSERT_EQ(*result, epoch_before + 1) << "epoch must advance by one";
+      ASSERT_EQ(service->spec_epoch(), epoch_before + 1);
+    } else {
+      ++rejected;
+      // Rejection must be typed and descriptive, never a crash or a
+      // silent half-application.
+      EXPECT_FALSE(result.status().message().empty())
+          << "trial " << trial << ": undescriptive rejection";
+      ASSERT_EQ(service->spec_epoch(), epoch_before)
+          << "trial " << trial << ": rejected delta moved the epoch";
+    }
+    // Whatever happened, runs ingested under epoch 1 answer unchanged.
+    sweep(result.ok() ? "after accepted delta" : "after rejected delta");
+    if (::testing::Test::HasFatalFailure()) {
+      ADD_FAILURE() << "seed " << seed << " trial " << trial << " delta "
+                    << SpecDeltaKindName(delta.kind);
+      return;
+    }
+  }
+  // Random edits against a declared-subgraph-rich spec must hit both
+  // paths, or the fuzz proved nothing.
+  EXPECT_GT(rejected, 0u) << "no delta was rejected across 80 trials";
+  (void)applied;
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, SpecDeltaFuzz,
+                         ::testing::Values(21u, 22u, 23u, 24u));
 
 TEST(ConformanceFuzzShape, ScrambledEdgesRejected) {
   // Extreme mutant: keep the vertex multiset of a valid run but rewire all

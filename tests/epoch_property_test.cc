@@ -1,0 +1,228 @@
+// Property tests for the spec-epoch model (docs/UPDATES.md): epochs only
+// move forward and only by one; answers of a run ingested under an older
+// epoch are frozen — bitwise — no matter how many deltas land after it;
+// and RemoveModule refuses to orphan live runs of the current epoch.
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "src/common/random.h"
+#include "src/core/provenance_service.h"
+#include "src/workflow/spec_delta.h"
+#include "src/workload/run_generator.h"
+#include "tests/test_util.h"
+
+namespace skl {
+namespace {
+
+/// The always-valid edit: append a fresh module after the current sink.
+SpecDelta AppendAfterSink(const ProvenanceService& service,
+                          const std::string& name) {
+  const Specification& spec = service.spec();
+  const Digraph& g = spec.graph();
+  SpecDelta delta;
+  delta.kind = SpecDelta::Kind::kAddModule;
+  delta.module = name;
+  for (VertexId v = 0; v < g.num_vertices(); ++v) {
+    if (g.OutNeighbors(v).empty()) {
+      delta.from = {spec.ModuleName(v)};
+      break;
+    }
+  }
+  return delta;
+}
+
+TEST(EpochPropertyTest, EpochsAdvanceByExactlyOneAndNeverRegress) {
+  auto service = ProvenanceService::Create(
+      testing_util::MakeRunningExample().spec, SpecSchemeKind::kTcm);
+  ASSERT_TRUE(service.ok());
+  EXPECT_EQ(service->spec_epoch(), 1u);
+  ASSERT_NE(service->FindEpoch(1), nullptr);
+  EXPECT_EQ(service->FindEpoch(1)->number, 1u);
+  EXPECT_EQ(service->FindEpoch(0), nullptr);
+  EXPECT_EQ(service->FindEpoch(2), nullptr);
+
+  for (uint64_t i = 0; i < 6; ++i) {
+    const uint64_t before = service->spec_epoch();
+    // A rejected delta must not move the epoch...
+    SpecDelta bogus;
+    bogus.kind = SpecDelta::Kind::kRemoveModule;
+    bogus.module = "no-such-module";
+    auto rejected = service->ApplySpecDelta(bogus);
+    ASSERT_FALSE(rejected.ok());
+    EXPECT_EQ(service->spec_epoch(), before);
+    // ...and an accepted one moves it by exactly one.
+    auto epoch = service->ApplySpecDelta(
+        AppendAfterSink(*service, "dyn" + std::to_string(i)));
+    ASSERT_TRUE(epoch.ok()) << epoch.status().ToString();
+    EXPECT_EQ(*epoch, before + 1);
+    EXPECT_EQ(service->spec_epoch(), before + 1);
+    // Every epoch ever created stays reachable, in order.
+    for (uint64_t e = 1; e <= service->spec_epoch(); ++e) {
+      const auto* entry = service->FindEpoch(e);
+      ASSERT_NE(entry, nullptr) << "epoch " << e << " unreachable";
+      EXPECT_EQ(entry->number, e);
+    }
+    EXPECT_EQ(service->FindEpoch(service->spec_epoch() + 1), nullptr);
+  }
+  EXPECT_EQ(service->spec_epoch(), 7u);
+  // The base spec never moves, even though the head has grown 6 modules.
+  EXPECT_EQ(service->base_spec().graph().num_vertices(),
+            service->FindEpoch(1)->spec->graph().num_vertices());
+  EXPECT_EQ(service->spec().graph().num_vertices(),
+            service->base_spec().graph().num_vertices() + 6);
+}
+
+TEST(EpochPropertyTest, OldEpochAnswersAreFrozenUnderLaterDeltas) {
+  auto service = ProvenanceService::Create(
+      testing_util::MakeRunningExample().spec, SpecSchemeKind::kTcm);
+  ASSERT_TRUE(service.ok());
+  RunGenerator generator(&service->spec());
+  RunGenOptions opt;
+  opt.target_vertices = 50;
+  opt.seed = 13;
+  auto gen = generator.Generate(opt);
+  ASSERT_TRUE(gen.ok());
+  auto id = service->AddRun(gen->run);
+  ASSERT_TRUE(id.ok());
+  auto stats = service->Stats(*id);
+  ASSERT_TRUE(stats.ok());
+  ASSERT_EQ(stats->epoch, 1u);
+
+  // The run's complete answer matrix at epoch 1, before any delta.
+  const VertexId n = stats->num_vertices;
+  std::vector<bool> matrix;
+  for (VertexId u = 0; u < n; ++u) {
+    for (VertexId v = 0; v < n; ++v) {
+      auto r = service->Reaches(*id, u, v);
+      ASSERT_TRUE(r.ok());
+      matrix.push_back(*r);
+    }
+  }
+
+  for (int i = 0; i < 5; ++i) {
+    auto epoch = service->ApplySpecDelta(
+        AppendAfterSink(*service, "late" + std::to_string(i)));
+    ASSERT_TRUE(epoch.ok()) << epoch.status().ToString();
+    // After every delta: the run is still pinned to epoch 1 and every
+    // answer — default pin and explicit pin alike — is bit-identical.
+    auto after = service->Stats(*id);
+    ASSERT_TRUE(after.ok());
+    EXPECT_EQ(after->epoch, 1u);
+    size_t k = 0;
+    for (VertexId u = 0; u < n; ++u) {
+      for (VertexId v = 0; v < n; ++v, ++k) {
+        auto def = service->Reaches(*id, u, v);
+        ASSERT_TRUE(def.ok());
+        ASSERT_EQ(*def, matrix[k])
+            << "delta " << i << " changed Reaches(" << u << ", " << v << ")";
+        auto pinned = service->Reaches(*id, u, v, 1);
+        ASSERT_TRUE(pinned.ok());
+        ASSERT_EQ(*pinned, matrix[k]);
+      }
+    }
+    // Pinning the old run to the *new* head is an explicit mismatch, not
+    // a silent re-answer against the wrong scheme.
+    auto cross = service->Reaches(*id, 0, 0, service->spec_epoch());
+    ASSERT_FALSE(cross.ok());
+    EXPECT_EQ(cross.status().code(), StatusCode::kEpochMismatch);
+    // The mismatch names both epochs so the operator can see the pin.
+    EXPECT_NE(cross.status().message().find("epoch"), std::string::npos);
+  }
+
+  // A run ingested *now* freezes to the current head, not to 1.
+  RunGenerator head_gen(&service->spec());
+  RunGenOptions opt2;
+  opt2.target_vertices = 40;
+  opt2.seed = 14;
+  auto late = head_gen.Generate(opt2);
+  ASSERT_TRUE(late.ok());
+  auto late_id = service->AddRun(late->run);
+  ASSERT_TRUE(late_id.ok()) << late_id.status().ToString();
+  auto late_stats = service->Stats(*late_id);
+  ASSERT_TRUE(late_stats.ok());
+  EXPECT_EQ(late_stats->epoch, 6u);
+  // And pinning it to the old epoch mismatches in the other direction.
+  auto back = service->Reaches(*late_id, 0, 0, 1);
+  ASSERT_FALSE(back.ok());
+  EXPECT_EQ(back.status().code(), StatusCode::kEpochMismatch);
+}
+
+TEST(EpochPropertyTest, RemoveModuleWithLiveDependentRunsIsRejected) {
+  auto service = ProvenanceService::Create(
+      testing_util::MakeRunningExample().spec, SpecSchemeKind::kTcm);
+  ASSERT_TRUE(service.ok());
+  // A parallel branch a -> audit -> h: removable later (unlike a sink
+  // append, which RemoveModule rejects structurally).
+  SpecDelta add;
+  add.kind = SpecDelta::Kind::kAddModule;
+  add.module = "audit";
+  add.from = {"a"};
+  add.to = {"h"};
+  auto epoch = service->ApplySpecDelta(add);
+  ASSERT_TRUE(epoch.ok()) << epoch.status().ToString();
+  ASSERT_EQ(*epoch, 2u);
+
+  // Every conforming run of the new head executes "audit", so this run is
+  // a live dependent.
+  RunGenerator generator(&service->spec());
+  RunGenOptions opt;
+  opt.target_vertices = 40;
+  opt.seed = 5;
+  auto gen = generator.Generate(opt);
+  ASSERT_TRUE(gen.ok());
+  auto id = service->AddRun(gen->run);
+  ASSERT_TRUE(id.ok()) << id.status().ToString();
+
+  SpecDelta remove;
+  remove.kind = SpecDelta::Kind::kRemoveModule;
+  remove.module = "audit";
+  auto rejected = service->ApplySpecDelta(remove);
+  ASSERT_FALSE(rejected.ok());
+  EXPECT_EQ(rejected.status().code(), StatusCode::kInvalidArgument);
+  EXPECT_NE(rejected.status().message().find("live run"), std::string::npos)
+      << rejected.status().ToString();
+  EXPECT_EQ(service->spec_epoch(), 2u);
+  // The dependent run is untouched by the refused edit.
+  EXPECT_TRUE(service->Reaches(*id, 0, 0).ok());
+
+  // Retiring the dependent unblocks the removal.
+  ASSERT_TRUE(service->RemoveRun(*id).ok());
+  auto accepted = service->ApplySpecDelta(remove);
+  ASSERT_TRUE(accepted.ok()) << accepted.status().ToString();
+  EXPECT_EQ(*accepted, 3u);
+
+  // Old-epoch dependents never block: an epoch-1 run executing module "h"
+  // does not stop "h"-adjacent edits of later epochs from landing, because
+  // it is frozen to its own scheme. (Removing "h" itself is structurally
+  // invalid here — it sits inside declared subgraphs — so probe with a
+  // fresh append/remove pair instead.)
+  RunGenOptions opt2;
+  opt2.target_vertices = 30;
+  opt2.seed = 6;
+  RunGenerator gen3(&service->spec());
+  auto old_run = gen3.Generate(opt2);
+  ASSERT_TRUE(old_run.ok());
+  auto old_id = service->AddRun(old_run->run);
+  ASSERT_TRUE(old_id.ok());
+  SpecDelta add_tail;
+  add_tail.kind = SpecDelta::Kind::kAddModule;
+  add_tail.module = "tail";
+  add_tail.from = {"a"};
+  add_tail.to = {"h"};
+  auto e4 = service->ApplySpecDelta(add_tail);
+  ASSERT_TRUE(e4.ok());
+  // The epoch-3 run does not execute "tail", so removing it is legal even
+  // though the run is still live.
+  SpecDelta remove_tail;
+  remove_tail.kind = SpecDelta::Kind::kRemoveModule;
+  remove_tail.module = "tail";
+  auto e5 = service->ApplySpecDelta(remove_tail);
+  ASSERT_TRUE(e5.ok()) << e5.status().ToString();
+  EXPECT_EQ(*e5, 5u);
+}
+
+}  // namespace
+}  // namespace skl

@@ -397,13 +397,16 @@ TEST(QueryCacheDifferentialTest, CacheOnBitIdenticalToCacheOffAllSchemes) {
   // Shard counts rotate so the differential replay covers the fully
   // contended single-shard layout and genuinely striped ones.
   const size_t shard_choices[] = {1, 2, 8};
+  const uint64_t base_seed =
+      testing_util::TestSeed("QueryCacheDifferentialTest", 0xC0FFEE);
+  const uint64_t iters = 1600 * testing_util::TestIterScale();
   size_t i = 0;
   for (SpecSchemeKind kind : kinds) {
     SCOPED_TRACE(SpecSchemeKindName(kind));
-    DifferentialTester tester(kind, /*seed=*/0xC0FFEE + i,
+    DifferentialTester tester(kind, /*seed=*/base_seed + i,
                               shard_choices[i % 3]);
     // 7 schemes x 1600 ops > the 10k-op floor the suite promises.
-    tester.Run(1600);
+    tester.Run(iters);
     if (::testing::Test::HasFatalFailure()) return;
     ++i;
   }

@@ -442,12 +442,15 @@ TEST(ReplicationDifferentialTest, FleetBitIdenticalToSingleNodeAllSchemes) {
       SpecSchemeKind::kDfs,       SpecSchemeKind::kInterval,
       SpecSchemeKind::kTreeCover, SpecSchemeKind::kChain,
       SpecSchemeKind::kTwoHop};
+  const uint64_t base_seed =
+      testing_util::TestSeed("ReplicationDifferentialTest", 0xD1CE);
+  const uint64_t iters = 1500 * testing_util::TestIterScale();
   size_t i = 0;
   for (SpecSchemeKind kind : kinds) {
     SCOPED_TRACE(SpecSchemeKindName(kind));
-    FleetDifferentialTester tester(kind, /*seed=*/0xD1CE + i);
+    FleetDifferentialTester tester(kind, /*seed=*/base_seed + i);
     // 7 schemes x 1500 ops > the 10k-op floor the suite promises.
-    tester.Run(1500);
+    tester.Run(iters);
     if (::testing::Test::HasFatalFailure()) return;
     ++i;
   }

@@ -3,6 +3,9 @@
 #ifndef SKL_TESTS_TEST_UTIL_H_
 #define SKL_TESTS_TEST_UTIL_H_
 
+#include <cstdint>
+#include <cstdio>
+#include <cstdlib>
 #include <string>
 #include <unordered_map>
 #include <vector>
@@ -14,6 +17,42 @@
 
 namespace skl {
 namespace testing_util {
+
+/// The base seed of a randomized differential suite. SKL_TEST_SEED=<n> in
+/// the environment overrides `default_seed` — a CI failure replays locally
+/// with one export — and the chosen value is printed unconditionally, so
+/// the seed is in the log even when the suite dies before its own
+/// diagnostics run. Accepts decimal, 0x hex, or 0 octal spellings.
+inline uint64_t TestSeed(const char* suite, uint64_t default_seed) {
+  uint64_t seed = default_seed;
+  const char* from = "default";
+  if (const char* env = std::getenv("SKL_TEST_SEED")) {
+    char* end = nullptr;
+    const unsigned long long parsed = std::strtoull(env, &end, 0);
+    if (end != env && *end == '\0') {
+      seed = parsed;
+      from = "SKL_TEST_SEED";
+    } else {
+      std::fprintf(stderr, "[%s] ignoring unparseable SKL_TEST_SEED=\"%s\"\n",
+                   suite, env);
+    }
+  }
+  std::fprintf(stderr, "[%s] seed=%llu (%s; override with SKL_TEST_SEED)\n",
+               suite, static_cast<unsigned long long>(seed), from);
+  return seed;
+}
+
+/// Iteration multiplier for the randomized suites: 1 normally,
+/// SKL_TEST_ITER_SCALE=<n> in CI's nightly long-fuzz leg. Values < 1 or
+/// unparseable spellings fall back to 1.
+inline uint64_t TestIterScale() {
+  if (const char* env = std::getenv("SKL_TEST_ITER_SCALE")) {
+    char* end = nullptr;
+    const unsigned long long parsed = std::strtoull(env, &end, 0);
+    if (end != env && *end == '\0' && parsed >= 1) return parsed;
+  }
+  return 1;
+}
 
 /// The Figure 3 run of the running example: F1 executed twice; in one copy
 /// L2... — precisely: fork F1 {b,c} twice (copies (b1,c1,b2,c2) with loop L1

@@ -13,10 +13,11 @@ artifact and fills CURRENT_DIR from this run (docs/BENCHMARKS.md).
 
 Every metric present on both sides is reported in a markdown delta table
 (written to --summary for $GITHUB_STEP_SUMMARY, and always to stdout).
-Only the *gated* keys fail the job: snapshot_load_*,
+Only the *gated* keys fail the job: snapshot_load_*, spec_delta_*,
 query_cache_hit_ns, net_connscale_*_p99_latency and repl_lag_p50/p99 —
-the snapshot-restore, serving-latency, connection-scale tail-latency
-and replication-lag surfaces this repo promises not to regress. A gated
+the snapshot-restore, spec-update-relabel, serving-latency,
+connection-scale tail-latency and replication-lag surfaces this repo
+promises not to regress. A gated
 key regresses when it worsens by more than --threshold (default 25%);
 "worsens" respects the unit's direction — UNIT_DIRECTIONS pins it
 explicitly for every unit a gated key uses, and time-like units
@@ -45,7 +46,7 @@ import sys
 #: (bench/bench_common.h kSchemaVersion).
 SCHEMA_VERSION = 1
 
-GATED_PREFIXES = ("snapshot_load_",)
+GATED_PREFIXES = ("snapshot_load_", "spec_delta_")
 GATED_EXACT = ("query_cache_hit_ns", "repl_lag_p50", "repl_lag_p99")
 #: (prefix, suffix) pairs: gates the connection-scale p99 keys
 #: (net_connscale_256_p99_latency, ..._1024_..., ...) without gating the
@@ -138,7 +139,7 @@ def main():
 
     lines = [
         f"### Bench comparison (gate: ±{args.threshold:.0%} on "
-        "`snapshot_load_*`, `query_cache_hit_ns`, "
+        "`snapshot_load_*`, `spec_delta_*`, `query_cache_hit_ns`, "
         "`net_connscale_*_p99_latency`, `repl_lag_p50/p99`)",
         "",
         "| metric | baseline | current | delta | gate |",
